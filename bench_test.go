@@ -1,0 +1,620 @@
+// Benchmarks reproducing the complexity results of the paper's
+// "evaluation" (Propositions 1–10 and Theorems 1–2). One benchmark
+// family per experiment row of DESIGN.md §4; cmd/jsonrepro turns the
+// same sweeps into the tables recorded in EXPERIMENTS.md.
+//
+// The paper states asymptotic bounds rather than wall-clock numbers, so
+// each family sweeps the relevant parameter and the *shape* of the
+// series (linear vs quadratic vs cubic vs exponential) is the result
+// being reproduced.
+package jsonlogic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jsonlogic/internal/datalog"
+	"jsonlogic/internal/gen"
+	"jsonlogic/internal/jauto"
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+	"jsonlogic/internal/schema"
+	"jsonlogic/internal/stream"
+	"jsonlogic/internal/translate"
+	"jsonlogic/internal/xmlenc"
+)
+
+// detFormula builds a deterministic JNL formula of roughly the given
+// size (number of operators) probing keys the generator uses.
+func detFormula(size int) jnl.Unary {
+	parts := make([]jnl.Unary, 0, size/4)
+	for i := 0; len(parts) < size/4 || i < 1; i++ {
+		k1 := fmt.Sprintf("k%d", i%16)
+		k2 := fmt.Sprintf("k%d", (i+7)%16)
+		parts = append(parts, jnl.Or{
+			Left:  jnl.Exists{Path: jnl.Seq(jnl.Key(k1), jnl.Key(k2))},
+			Right: jnl.Not{Inner: jnl.Exists{Path: jnl.Seq(jnl.Key(k2), jnl.At(0))}},
+		})
+	}
+	return jnl.AndAll(parts...)
+}
+
+var docSizes = []int{1000, 8000, 64000}
+
+// BenchmarkP1EvalDeterministic reproduces Proposition 1: deterministic
+// JNL evaluation in O(|J|·|φ|). ns/op should grow linearly in the doc
+// axis and in the formula axis.
+func BenchmarkP1EvalDeterministic(b *testing.B) {
+	for _, n := range docSizes {
+		tree := jsontree.FromValue(gen.SizedDocument(1, n))
+		for _, fs := range []int{8, 64} {
+			u := detFormula(fs)
+			b.Run(fmt.Sprintf("doc=%d/phi=%d", tree.Len(), fs), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ev := jnl.NewEvaluator(tree)
+					if ev.Eval(u) == nil {
+						b.Fatal("nil result")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkP1EvalDatalog evaluates the same formulas through the
+// monadic-datalog translation the proof of Proposition 1 uses; the
+// series must show the same linear shape as the direct evaluator.
+func BenchmarkP1EvalDatalog(b *testing.B) {
+	for _, n := range docSizes {
+		tree := jsontree.FromValue(gen.SizedDocument(1, n))
+		u := detFormula(8)
+		prog, err := datalog.FromJNL(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("doc=%d/phi=8", tree.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := datalog.Evaluate(prog, tree); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP2Sat3SAT reproduces Proposition 2: satisfiability of
+// deterministic positive JNL is NP-complete. The 3SAT reduction is the
+// hardness direction; time grows exponentially with the variable count.
+func BenchmarkP2Sat3SAT(b *testing.B) {
+	for _, vars := range []int{3, 4, 5} {
+		r := rand.New(rand.NewSource(int64(vars)))
+		inst := gen.RandomThreeSAT(r, vars, vars+2)
+		u := inst.ToJNL()
+		b.Run(fmt.Sprintf("vars=%d/clauses=%d", vars, vars+2), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := jauto.SatisfiableJNL(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP3EvalNoEQ reproduces the linear half of Proposition 3:
+// recursive non-deterministic JNL without EQ(α,β) evaluates in
+// O(|J|·|φ|) via the PDL-style model checker.
+func BenchmarkP3EvalNoEQ(b *testing.B) {
+	// Descendant query: some node reachable over any path satisfies a test.
+	u := jnl.Exists{Path: jnl.Seq(
+		jnl.Star{Inner: jnl.Rx(".*")},
+		jnl.Test{Inner: jnl.EQDoc{Path: jnl.Epsilon{}, Doc: jsonval.Num(7)}},
+	)}
+	for _, n := range docSizes {
+		tree := jsontree.FromValue(gen.SizedDocument(1, n))
+		b.Run(fmt.Sprintf("doc=%d", tree.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := jnl.NewEvaluator(tree)
+				_ = ev.Eval(u)
+			}
+		})
+	}
+}
+
+// BenchmarkP3EvalWithEQ reproduces the cubic half of Proposition 3:
+// EQ(α,β) with non-deterministic paths forces the per-node product
+// search. The series grows superlinearly in |J|.
+func BenchmarkP3EvalWithEQ(b *testing.B) {
+	u := jnl.EQPaths{
+		Left:  jnl.Seq(jnl.Rx(".*"), jnl.Rx(".*")),
+		Right: jnl.Seq(jnl.Rx(".*")),
+	}
+	for _, n := range []int{300, 3000, 30000} {
+		tree := jsontree.FromValue(gen.SizedDocument(1, n))
+		b.Run(fmt.Sprintf("doc=%d", tree.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := jnl.NewEvaluator(tree)
+				_ = ev.Eval(u)
+			}
+		})
+	}
+}
+
+// BenchmarkP5SatNonRecursive reproduces the PSPACE satisfiability of
+// non-deterministic non-recursive JNL without EQ(α,β): the
+// regex-universality family from the hardness proof, [X_Σ*] ∧ [X_e].
+func BenchmarkP5SatNonRecursive(b *testing.B) {
+	for _, k := range []int{2, 4, 6} {
+		// e = (a|b){k} is universal over words of length k on {a,b}.
+		re := "(a|b)"
+		expr := re
+		for i := 1; i < k; i++ {
+			expr += re
+		}
+		u := jnl.And{
+			Left:  jnl.Exists{Path: jnl.Rx(".*")},
+			Right: jnl.Not{Inner: jnl.Exists{Path: jnl.Rx(expr)}},
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := jauto.SatisfiableJNL(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP5SatRecursive reproduces the EXPTIME satisfiability of
+// recursive non-deterministic JNL without EQ(α,β): reachability of a
+// deep obligation through a Kleene star.
+func BenchmarkP5SatRecursive(b *testing.B) {
+	for _, depth := range []int{2, 4, 8} {
+		inner := jnl.Unary(jnl.EQDoc{Path: jnl.Epsilon{}, Doc: jsonval.Num(1)})
+		for i := 0; i < depth; i++ {
+			inner = jnl.Exists{Path: jnl.Seq(jnl.Key("a"), jnl.Test{Inner: inner})}
+		}
+		u := jnl.Exists{Path: jnl.Seq(jnl.Star{Inner: jnl.Rx("a|b")}, jnl.Test{Inner: inner})}
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := jauto.SatisfiableJNL(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP6EvalNoUnique reproduces the linear half of Proposition 6:
+// JSL evaluation without uniqueItems is O(|J|·|φ|).
+func BenchmarkP6EvalNoUnique(b *testing.B) {
+	f := jsl.AndAll(
+		jsl.IsObj{},
+		jsl.BoxRe(relang.MustCompile("k.*"), jsl.Or{Left: jsl.IsObj{}, Right: jsl.Or{Left: jsl.IsArr{}, Right: jsl.Or{Left: jsl.IsStr{}, Right: jsl.IsInt{}}}}),
+		jsl.MinCh{K: 1},
+	)
+	for _, n := range docSizes {
+		tree := jsontree.FromValue(gen.SizedDocument(1, n))
+		b.Run(fmt.Sprintf("doc=%d", tree.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := jsl.NewEvaluator(tree)
+				if _, err := ev.Eval(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP6EvalUnique reproduces the quadratic half of Proposition 6:
+// uniqueItems with the naive pairwise comparison the bound assumes. The
+// hash-bucketed production check is the ablation baseline.
+func BenchmarkP6EvalUnique(b *testing.B) {
+	f := jsl.And{Left: jsl.IsArr{}, Right: jsl.Unique{}}
+	for _, n := range []int{256, 1024, 4096} {
+		doc := gen.ArrayDocument(n, n) // all-distinct: worst case for pairwise
+		tree := jsontree.FromValue(doc)
+		for _, naive := range []bool{true, false} {
+			name := fmt.Sprintf("elems=%d/naive=%v", n, naive)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ev := jsl.NewEvaluatorOptions(tree, jsl.Options{NaiveUnique: naive})
+					if _, err := ev.Eval(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkP7SatQBF reproduces Proposition 7: JSL satisfiability is
+// PSPACE-hard via the QBF reduction; time grows exponentially in the
+// number of quantified variables.
+func BenchmarkP7SatQBF(b *testing.B) {
+	for _, vars := range []int{2, 3, 4} {
+		r := rand.New(rand.NewSource(int64(vars)))
+		q := gen.RandomQBF(r, vars, vars)
+		f := q.ToJSL()
+		b.Run(fmt.Sprintf("vars=%d", vars), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := jauto.SatisfiableJSLFormula(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// evenDepth is the recursive JSL expression of Example 2 (every
+// root-to-leaf path has even length).
+func evenDepth() *jsl.Recursive {
+	any := relang.MustCompile(".*")
+	return &jsl.Recursive{
+		Defs: []jsl.Definition{
+			{Name: "g1", Body: jsl.BoxRe(any, jsl.Ref{Name: "g2"})},
+			{Name: "g2", Body: jsl.And{
+				Left:  jsl.DiaRe(any, jsl.True{}),
+				Right: jsl.BoxRe(any, jsl.Ref{Name: "g1"}),
+			}},
+		},
+		Base: jsl.Ref{Name: "g1"},
+	}
+}
+
+// BenchmarkP9BottomUp reproduces the PTIME half of Proposition 9:
+// bottom-up evaluation of recursive JSL over trees of growing height.
+func BenchmarkP9BottomUp(b *testing.B) {
+	r := evenDepth()
+	for _, h := range []int{64, 256, 1024} {
+		tree := jsontree.FromValue(gen.DeepDocument(h))
+		b.Run(fmt.Sprintf("height=%d", h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := jsl.NewEvaluator(tree)
+				if _, err := ev.EvalRecursive(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// doubling is a recursive JSL expression whose definition body
+// mentions its symbol twice, so unfold_J grows as 2^height while the
+// bottom-up evaluation of Proposition 9 stays linear.
+func doubling() *jsl.Recursive {
+	next := relang.MustCompile("next")
+	return &jsl.Recursive{
+		Defs: []jsl.Definition{
+			{Name: "g", Body: jsl.Or{
+				Left: jsl.Not{Inner: jsl.DiaRe(relang.MustCompile(".*"), jsl.True{})},
+				Right: jsl.And{
+					Left:  jsl.DiaRe(next, jsl.Ref{Name: "g"}),
+					Right: jsl.BoxRe(next, jsl.Ref{Name: "g"}),
+				},
+			}},
+		},
+		Base: jsl.Ref{Name: "g"},
+	}
+}
+
+// BenchmarkP9Unfold is the ablation for Proposition 9: the unfold_J
+// reference semantics is exponential in the tree height (the doubling
+// family mentions its symbol twice per definition), so only small
+// heights are feasible.
+func BenchmarkP9Unfold(b *testing.B) {
+	r := doubling()
+	for _, h := range []int{4, 8, 12} {
+		tree := jsontree.FromValue(gen.DeepDocument(h))
+		b.Run(fmt.Sprintf("height=%d", h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := r.Unfold(h)
+				ev := jsl.NewEvaluator(tree)
+				if _, err := ev.Eval(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP10Nonemptiness reproduces Proposition 10: non-emptiness of
+// J-automata compiled from recursive JSL, with and without Unique (the
+// Unique variant pays the extra exponential of child-multiset counting).
+func BenchmarkP10Nonemptiness(b *testing.B) {
+	families := []struct {
+		name string
+		expr *jsl.Recursive
+	}{
+		{"evenDepth", evenDepth()},
+		{"completeBinary", completeBinaryTrees()},
+	}
+	for _, fam := range families {
+		b.Run(fam.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := jauto.SatisfiableJSL(fam.expr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// completeBinaryTrees is the Example 5 expression: ¬Unique forces both
+// children equal, so models are exactly complete binary trees.
+func completeBinaryTrees() *jsl.Recursive {
+	return &jsl.Recursive{
+		Defs: []jsl.Definition{
+			{Name: "g", Body: jsl.Or{
+				Left: jsl.Not{Inner: jsl.DiamondIdx{Lo: 0, Hi: 0, Inner: jsl.True{}}},
+				Right: jsl.AndAll(
+					jsl.MinCh{K: 2}, jsl.MaxCh{K: 2},
+					jsl.Not{Inner: jsl.Unique{}},
+					jsl.BoxIdx{Lo: 0, Hi: 1, Inner: jsl.Ref{Name: "g"}},
+				),
+			}},
+		},
+		Base: jsl.Ref{Name: "g"},
+	}
+}
+
+// BenchmarkT1Validation reproduces Table 1: validating documents against
+// a schema exercising every keyword group, both through the direct
+// validator and through the Theorem 1 translation to JSL.
+func BenchmarkT1Validation(b *testing.B) {
+	s := schema.MustParse(table1Schema)
+	doc := jsonval.MustParse(table1Doc)
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Validate(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	r, err := s.ToJSL()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := jsontree.FromValue(doc)
+	b.Run("viaJSL", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev := jsl.NewEvaluator(tree)
+			if _, err := ev.HoldsRecursive(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+const table1Schema = `{
+	"type": "object",
+	"minProperties": 2,
+	"maxProperties": 16,
+	"required": ["name", "age"],
+	"properties": {
+		"name": {"type": "string", "pattern": "[A-Za-z ]+"},
+		"age": {"type": "number", "minimum": 0, "maximum": 150},
+		"scores": {
+			"type": "array",
+			"items": [{"type": "number"}, {"type": "number"}],
+			"additionalItems": {"type": "number", "multipleOf": 2},
+			"uniqueItems": 1
+		}
+	},
+	"patternProperties": {
+		"x-.*": {"anyOf": [{"type": "string"}, {"type": "number"}]}
+	},
+	"additionalProperties": {"not": {"type": "array"}}
+}`
+
+const table1Doc = `{
+	"name": "Sue Storm",
+	"age": 34,
+	"scores": [7, 11, 2, 4, 8],
+	"x-note": "extension",
+	"extra": {"nested": 1}
+}`
+
+// BenchmarkT2TranslationBlowup reproduces the Theorem 2 remark: JSL→JNL
+// is polynomial while JNL→JSL can be exponential. The custom metric
+// outSize/inSize records the blowup of the formula being translated.
+func BenchmarkT2TranslationBlowup(b *testing.B) {
+	for _, k := range []int{2, 4, 6, 8} {
+		// (X_a1 | X_b1) ∘ (X_a2 | X_b2) ∘ … chains: each union of paths
+		// duplicates the continuation in the translation, so the JSL
+		// rendition doubles per composition (the Theorem 2 remark).
+		path := jnl.Binary(jnl.Alt{Left: jnl.Key("a0"), Right: jnl.Key("b0")})
+		for i := 1; i < k; i++ {
+			step := jnl.Alt{Left: jnl.Key(fmt.Sprintf("a%d", i)), Right: jnl.Key(fmt.Sprintf("b%d", i))}
+			path = jnl.Concat{Left: path, Right: step}
+		}
+		u := jnl.Exists{Path: path}
+		b.Run(fmt.Sprintf("JNLtoJSL/k=%d", k), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				f, err := translate.JNLToJSL(u)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = float64(jslSize(f)) / float64(jnl.Size(u))
+			}
+			b.ReportMetric(ratio, "size-ratio")
+		})
+	}
+	for _, k := range []int{8, 32, 128} {
+		f := jsl.Formula(jsl.True{})
+		for i := 0; i < k; i++ {
+			f = jsl.And{Left: jsl.DiaWord(fmt.Sprintf("w%d", i), jsl.True{}), Right: f}
+		}
+		b.Run(fmt.Sprintf("JSLtoJNL/k=%d", k), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				u, err := translate.JSLToJNL(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = float64(jnl.Size(u)) / float64(jslSize(f))
+			}
+			b.ReportMetric(ratio, "size-ratio")
+		})
+	}
+}
+
+// jslSize counts AST nodes of a JSL formula.
+func jslSize(f jsl.Formula) int {
+	n := 1
+	switch t := f.(type) {
+	case jsl.Not:
+		n += jslSize(t.Inner)
+	case jsl.And:
+		n += jslSize(t.Left) + jslSize(t.Right)
+	case jsl.Or:
+		n += jslSize(t.Left) + jslSize(t.Right)
+	case jsl.DiamondKey:
+		n += jslSize(t.Inner)
+	case jsl.BoxKey:
+		n += jslSize(t.Inner)
+	case jsl.DiamondIdx:
+		n += jslSize(t.Inner)
+	case jsl.BoxIdx:
+		n += jslSize(t.Inner)
+	}
+	return n
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+// BenchmarkAblationSubtreeEquality compares the hash-class subtree
+// equality against the naive recursive comparison inside EQ-heavy
+// evaluation.
+func BenchmarkAblationSubtreeEquality(b *testing.B) {
+	u := jnl.EQPaths{Left: jnl.Key("k1"), Right: jnl.Key("k2")}
+	for _, n := range []int{1000, 8000} {
+		tree := jsontree.FromValue(gen.SizedDocument(3, n))
+		for _, naive := range []bool{false, true} {
+			b.Run(fmt.Sprintf("doc=%d/naive=%v", tree.Len(), naive), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ev := jnl.NewEvaluatorOptions(tree, jnl.Options{NaiveEquality: naive})
+					_ = ev.Eval(u)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationUnique compares hash-bucketed against pairwise
+// uniqueItems on arrays with duplicates present (early-exit friendly)
+// and absent (worst case).
+func BenchmarkAblationUnique(b *testing.B) {
+	f := jsl.And{Left: jsl.IsArr{}, Right: jsl.Unique{}}
+	for _, dup := range []bool{false, true} {
+		n := 2048
+		k := n
+		if dup {
+			k = n / 2
+		}
+		tree := jsontree.FromValue(gen.ArrayDocument(n, k))
+		for _, naive := range []bool{false, true} {
+			b.Run(fmt.Sprintf("dups=%v/naive=%v", dup, naive), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ev := jsl.NewEvaluatorOptions(tree, jsl.Options{NaiveUnique: naive})
+					if _, err := ev.Eval(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationRegexEdges measures the Proposition 3 preprocessing:
+// evaluating a regex axis with the per-tree edge marks (cached in the
+// evaluator) versus re-matching per evaluation with a cold evaluator.
+func BenchmarkAblationRegexEdges(b *testing.B) {
+	u := jnl.Exists{Path: jnl.Seq(jnl.Rx("k(1|3|5)"), jnl.Rx(".*"))}
+	tree := jsontree.FromValue(gen.SizedDocument(5, 16000))
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := jnl.NewEvaluator(tree)
+			_ = ev.Eval(u)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		ev := jnl.NewEvaluator(tree)
+		for i := 0; i < b.N; i++ {
+			_ = ev.Eval(u)
+		}
+	})
+}
+
+// BenchmarkAblationXMLKeyLookup measures the §3.2 modelling argument:
+// worst-case key lookup on a wide object in the deterministic JSON
+// tree versus the XML-style encoding's child scan.
+func BenchmarkAblationXMLKeyLookup(b *testing.B) {
+	for _, width := range []int{16, 256, 4096} {
+		doc := gen.WideDocument(width)
+		tree := jsontree.FromValue(doc)
+		enc := xmlenc.Encode(doc)
+		probe := fmt.Sprintf("k%06d", width-1)
+		b.Run(fmt.Sprintf("tree/width=%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if tree.ChildByKey(tree.Root(), probe) == jsontree.InvalidNode {
+					b.Fatal("missing key")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("xmlscan/width=%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if enc.ChildByKeyScan(probe) == nil {
+					b.Fatal("missing key")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamValidate measures the §6 streaming validator: a wide
+// flat document at three sizes. ns/op grows linearly with size while
+// B/op stays width-independent (frames, not nodes, are allocated).
+func BenchmarkStreamValidate(b *testing.B) {
+	f := jsl.BoxRe(relang.MustCompile(".*"), jsl.IsInt{})
+	v, err := stream.NewValidatorFormula(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, width := range []int{1000, 10000, 100000} {
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for i := 0; i < width; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "\"k%d\":%d", i, i)
+		}
+		sb.WriteByte('}')
+		doc := sb.String()
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				ok, err := v.Validate(strings.NewReader(doc))
+				if err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+}

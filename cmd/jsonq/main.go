@@ -1,0 +1,106 @@
+// Command jsonq evaluates queries over JSON documents: unary JNL
+// formulas (the paper's navigational logic), JSONPath expressions, or
+// MongoDB find filters.
+//
+// Usage:
+//
+//	jsonq -doc file.json -jnl '[/name/first]'
+//	jsonq -doc file.json -jsonpath '$.store.book[*].title'
+//	jsonq -doc file.json -mongo '{"age": {"$gt": 30}}'
+//
+// With -jnl, the selected nodes (tree-domain addresses and values) are
+// printed; with -jsonpath, the selected values; with -mongo, whether the
+// document matches. Pass "-" as -doc to read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsonpath"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/mongoq"
+)
+
+func main() {
+	docPath := flag.String("doc", "-", "JSON document file, or - for stdin")
+	jnlSrc := flag.String("jnl", "", "unary JNL formula to evaluate")
+	pathSrc := flag.String("jsonpath", "", "JSONPath expression to evaluate")
+	mongoSrc := flag.String("mongo", "", "MongoDB find filter to evaluate")
+	flag.Parse()
+
+	doc, err := readDoc(*docPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	selected := 0
+	if *jnlSrc != "" {
+		selected++
+	}
+	if *pathSrc != "" {
+		selected++
+	}
+	if *mongoSrc != "" {
+		selected++
+	}
+	if selected != 1 {
+		fatal(fmt.Errorf("exactly one of -jnl, -jsonpath, -mongo is required"))
+	}
+
+	switch {
+	case *jnlSrc != "":
+		u, err := jnl.Parse(*jnlSrc)
+		if err != nil {
+			fatal(err)
+		}
+		tr := jsontree.FromValue(doc)
+		set := jnl.Eval(tr, u)
+		for _, n := range set.Slice() {
+			fmt.Printf("%v\t%s\n", tr.Path(n), tr.Value(n))
+		}
+		fmt.Fprintf(os.Stderr, "%d of %d nodes satisfy the formula\n", set.Len(), tr.Len())
+	case *pathSrc != "":
+		p, err := jsonpath.Compile(*pathSrc)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range p.Select(doc) {
+			fmt.Println(v)
+		}
+	case *mongoSrc != "":
+		f, err := mongoq.Parse(*mongoSrc)
+		if err != nil {
+			fatal(err)
+		}
+		if f.Matches(doc) {
+			fmt.Println("match")
+		} else {
+			fmt.Println("no match")
+			os.Exit(1)
+		}
+	}
+}
+
+func readDoc(path string) (*jsonval.Value, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return jsonval.ParseBytes(data)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jsonq:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,147 @@
+// Command jsonsat decides satisfiability of JNL formulas, JSL
+// expressions and JSON Schemas (Propositions 2, 5, 7 and 10 of the
+// paper), printing a witness document when one exists.
+//
+// Usage:
+//
+//	jsonsat -jnl '[/a <[/1]>] && [/a <[/b]>]'
+//	jsonsat -jsl 'def g = number || some("a", g) ; g'
+//	jsonsat -schema schema.json
+//	jsonsat -schema a.json -implies b.json    # schema containment
+//
+// With -implies, the tool decides whether every document valid under
+// the first schema is valid under the second, by testing S₁ ∧ ¬S₂ for
+// unsatisfiability — the static-analysis use case §5.2 motivates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jsonlogic/internal/jauto"
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/schema"
+)
+
+func main() {
+	jnlSrc := flag.String("jnl", "", "unary JNL formula")
+	jslSrc := flag.String("jsl", "", "recursive JSL expression")
+	schemaPath := flag.String("schema", "", "JSON Schema file")
+	impliesPath := flag.String("implies", "", "second schema: decide containment schema ⊑ implies")
+	flag.Parse()
+
+	var (
+		witness *jsonval.Value
+		sat     bool
+		err     error
+	)
+	switch {
+	case *jnlSrc != "":
+		witness, sat, err = jauto.SatisfiableJNL(mustJNL(*jnlSrc))
+	case *jslSrc != "":
+		r, perr := jsl.ParseRecursive(*jslSrc)
+		if perr != nil {
+			fatal(perr)
+		}
+		witness, sat, err = jauto.SatisfiableJSL(r)
+	case *schemaPath != "" && *impliesPath != "":
+		s1, s2 := mustSchema(*schemaPath), mustSchema(*impliesPath)
+		r1, e1 := s1.ToJSL()
+		r2, e2 := s2.ToJSL()
+		if e1 != nil || e2 != nil {
+			fatal(fmt.Errorf("translation failed: %v %v", e1, e2))
+		}
+		// S₁ ⊑ S₂ iff S₁ ∧ ¬S₂ is unsatisfiable. Merge the definition
+		// sections (renaming the second to avoid clashes).
+		merged := &jsl.Recursive{Base: jsl.And{Left: r1.Base, Right: jsl.Not{Inner: renameRefs(r2.Base)}}}
+		merged.Defs = append(merged.Defs, r1.Defs...)
+		for _, d := range r2.Defs {
+			merged.Defs = append(merged.Defs, jsl.Definition{Name: "rhs_" + d.Name, Body: renameRefs(d.Body)})
+		}
+		witness, sat, err = jauto.SatisfiableJSL(merged)
+		if err != nil {
+			fatal(err)
+		}
+		if sat {
+			fmt.Printf("NOT CONTAINED: counterexample document:\n%s\n", witness.Indent("  "))
+			os.Exit(1)
+		}
+		fmt.Println("contained: every document valid under the first schema is valid under the second")
+		return
+	case *schemaPath != "":
+		s := mustSchema(*schemaPath)
+		r, terr := s.ToJSL()
+		if terr != nil {
+			fatal(terr)
+		}
+		witness, sat, err = jauto.SatisfiableJSL(r)
+	default:
+		fatal(fmt.Errorf("one of -jnl, -jsl, -schema is required"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if sat {
+		fmt.Printf("SATISFIABLE; witness:\n%s\n", witness.Indent("  "))
+	} else {
+		fmt.Println("UNSATISFIABLE")
+		os.Exit(1)
+	}
+}
+
+// renameRefs prefixes every reference with rhs_ so two definition
+// namespaces can coexist.
+func renameRefs(f jsl.Formula) jsl.Formula {
+	switch t := f.(type) {
+	case jsl.Ref:
+		return jsl.Ref{Name: "rhs_" + t.Name}
+	case jsl.Not:
+		return jsl.Not{Inner: renameRefs(t.Inner)}
+	case jsl.And:
+		return jsl.And{Left: renameRefs(t.Left), Right: renameRefs(t.Right)}
+	case jsl.Or:
+		return jsl.Or{Left: renameRefs(t.Left), Right: renameRefs(t.Right)}
+	case jsl.DiamondKey:
+		t.Inner = renameRefs(t.Inner)
+		return t
+	case jsl.BoxKey:
+		t.Inner = renameRefs(t.Inner)
+		return t
+	case jsl.DiamondIdx:
+		t.Inner = renameRefs(t.Inner)
+		return t
+	case jsl.BoxIdx:
+		t.Inner = renameRefs(t.Inner)
+		return t
+	default:
+		return f
+	}
+}
+
+func mustJNL(src string) jnl.Unary {
+	u, err := jnl.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	return u
+}
+
+func mustSchema(path string) *schema.Schema {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := schema.Parse(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jsonsat:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,18 @@
+// Package jsonlogic is a from-scratch Go reproduction of "JSON: Data
+// model, Query languages and Schema specification" (Bourhis, Reutter,
+// Suárez, Vrgoč; PODS 2017, arXiv:1701.02221).
+//
+// The library implements the paper's JSON tree data model, the JSON
+// Navigational Logic (JNL) with its deterministic, non-deterministic and
+// recursive fragments, the JSON Schema Logic (JSL) with recursive
+// definitions, the Table 1 fragment of JSON Schema with both Theorem 1
+// translations, J-automata with satisfiability procedures, and MongoDB
+// find-filter and JSONPath frontends compiled into the logics.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured record of every reproduced result. The
+// functional packages live under internal/; the cmd/ directory provides
+// the jsonq, jsonvalidate, jsonsat and jsonrepro executables, and
+// examples/ holds eight runnable walkthroughs.
+package jsonlogic

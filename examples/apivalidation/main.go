@@ -1,0 +1,87 @@
+// The apivalidation example models the Open API use case of §6 of the
+// paper: an API endpoint's responses are described by a recursive JSON
+// Schema (with definitions and $ref), incoming payloads are validated,
+// and the Theorem 1 translation is used to double-check validation
+// through the logic.
+package main
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/schema"
+)
+
+// userSchema documents the /users endpoint: a user has a name, an age
+// of at least 13, an email matching a pattern, and optionally a list of
+// follower users — a recursive structure expressed with definitions.
+const userSchema = `{
+	"definitions": {
+		"user": {
+			"type": "object",
+			"required": ["name", "email"],
+			"properties": {
+				"name": {"type": "string", "pattern": ".+"},
+				"age": {"type": "number", "minimum": 13},
+				"email": {"type": "string", "pattern": "[a-z]+@[a-z]+\\.[a-z]+"},
+				"followers": {
+					"type": "array",
+					"uniqueItems": 1,
+					"additionalItems": {"$ref": "#/definitions/user"}
+				}
+			},
+			"additionalProperties": {"not": {}}
+		}
+	},
+	"$ref": "#/definitions/user"
+}`
+
+func main() {
+	s := schema.MustParse(userSchema)
+	payloads := []string{
+		`{"name":"ada","email":"ada@lovelace.org","age":36}`,
+		`{"name":"bob","email":"bob@example.com","followers":[
+			{"name":"carol","email":"carol@example.com"},
+			{"name":"dan","email":"dan@example.com","age":20}
+		]}`,
+		`{"name":"kid","email":"kid@example.com","age":9}`,
+		`{"name":"eve","email":"not-an-email"}`,
+		`{"email":"ghost@example.com"}`,
+		`{"name":"mal","email":"mal@example.com","role":"admin"}`,
+		`{"name":"dup","email":"dup@example.com","followers":[
+			{"name":"x","email":"x@example.com"},
+			{"name":"x","email":"x@example.com"}
+		]}`,
+	}
+
+	r, err := s.ToJSL()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("endpoint schema as recursive JSL:")
+	fmt.Println(r.String())
+	fmt.Println()
+
+	for _, src := range payloads {
+		doc := jsonval.MustParse(src)
+		direct, err := s.Validate(doc)
+		if err != nil {
+			panic(err)
+		}
+		viaLogic, err := jsl.HoldsRecursive(jsontree.FromValue(doc), r)
+		if err != nil {
+			panic(err)
+		}
+		verdict := "rejected"
+		if direct {
+			verdict = "accepted"
+		}
+		agreement := ""
+		if direct != viaLogic {
+			agreement = "  !! Theorem 1 violated"
+		}
+		fmt.Printf("%-8s %s%s\n", verdict, src, agreement)
+	}
+}

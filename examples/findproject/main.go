@@ -1,0 +1,57 @@
+// The findproject example runs the complete two-argument find function
+// of §4.1: MongoDB-style filters (Example 1) combined with the
+// projection argument that §6 discusses, over an in-memory collection
+// of user profiles.
+package main
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/mongoq"
+	"jsonlogic/internal/projection"
+)
+
+func main() {
+	people := mongoq.NewCollection(
+		jsonval.MustParse(`{"name":"Sue","age":25,"address":{"city":"Santiago","zip":"832"},"hobbies":["climbing","chess"],"ssn":"111"}`),
+		jsonval.MustParse(`{"name":"Bob","age":17,"address":{"city":"Lille","zip":"590"},"hobbies":["fishing"],"ssn":"222"}`),
+		jsonval.MustParse(`{"name":"Ann","age":32,"address":{"city":"Santiago","zip":"833"},"hobbies":["yoga","chess"],"ssn":"333"}`),
+		jsonval.MustParse(`{"name":"Joe","age":41,"address":{"city":"Oslo","zip":"021"},"ssn":"444"}`),
+	)
+
+	// Example 1 of the paper, verbatim: find({name: {$eq: "Sue"}}, {}).
+	sue := mongoq.MustParse(`{"name": {"$eq": "Sue"}}`)
+	fmt.Println("find({name:{$eq:\"Sue\"}}, {}):")
+	for _, d := range projection.Find(people, sue, nil) {
+		fmt.Println(" ", d)
+	}
+
+	// Adults in Santiago, projecting away the sensitive column.
+	adultsInSantiago := mongoq.MustParse(`{
+		"$and": [
+			{"age": {"$gte": 18}},
+			{"address.city": "Santiago"}
+		]
+	}`)
+	public := projection.MustParse(`{"ssn": 0}`)
+	fmt.Println("\nadults in Santiago, ssn excluded:")
+	for _, d := range projection.Find(people, adultsInSantiago, public) {
+		fmt.Println(" ", d)
+	}
+
+	// Chess players, keeping only name and first hobby: an include
+	// projection with a positional path.
+	chess := mongoq.MustParse(`{"hobbies": {"$exists": 1}}`)
+	nameAndFirstHobby := projection.MustParse(`{"name": 1, "hobbies.0": 1}`)
+	fmt.Println("\npeople with hobbies, projected to name + first hobby:")
+	for _, d := range projection.Find(people, chess, nameAndFirstHobby) {
+		fmt.Println(" ", d)
+	}
+
+	// Every filter compiles into the paper's schema logic; print one to
+	// show the correspondence the paper establishes.
+	fmt.Println("\nthe Santiago filter as a JSL formula:")
+	fmt.Println(" ", jsl.String(adultsInSantiago.Formula()))
+}

@@ -1,0 +1,46 @@
+// The jsonpathnav example exercises the JSONPath frontend (§4.1 of the
+// paper): XPath-style navigation compiled into non-deterministic
+// recursive JNL and evaluated with the product algorithm of
+// Proposition 3.
+package main
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsonpath"
+	"jsonlogic/internal/jsonval"
+)
+
+const store = `{
+	"store": {
+		"book": [
+			{"category":"fiction","title":"Sayings of the Century","price":8},
+			{"category":"fiction","title":"Moby Dick","price":9},
+			{"category":"reference","title":"Lore of Trees","price":23}
+		],
+		"bicycle": {"color":"red","price":20}
+	},
+	"expensive": 10
+}`
+
+func main() {
+	doc := jsonval.MustParse(store)
+	paths := []string{
+		`$.store.book[*].title`,
+		`$.store.book[0:2].price`,
+		`$..price`,
+		`$.store.book[?(@.price < 10)].title`,
+		`$.store.book[?(@.category == 'fiction')].title`,
+		`$..book[-1].title`,
+		`$.store.*.color`,
+	}
+	for _, src := range paths {
+		p := jsonpath.MustCompile(src)
+		fmt.Printf("%s\n  as JNL: %s\n", src, jnl.StringBinary(p.Binary()))
+		for _, v := range p.Select(doc) {
+			fmt.Printf("  -> %s\n", v)
+		}
+		fmt.Println()
+	}
+}

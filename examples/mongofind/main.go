@@ -1,0 +1,42 @@
+// The mongofind example reproduces the workload that motivates §4.1 of
+// the paper: filtering a collection of JSON documents with MongoDB's
+// find function, including Example 1's query, compiled into the paper's
+// schema logic.
+package main
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/mongoq"
+)
+
+func main() {
+	people := mongoq.NewCollection(
+		jsonval.MustParse(`{"name":"Sue","age":28,"hobbies":["chess","go"]}`),
+		jsonval.MustParse(`{"name":"John","age":32,"address":{"city":"Santiago"}}`),
+		jsonval.MustParse(`{"name":"Ana","age":17,"hobbies":["fishing","yoga"]}`),
+		jsonval.MustParse(`{"name":"Bob","age":45,"hobbies":[]}`),
+		jsonval.MustParse(`{"name":"Eve"}`),
+	)
+
+	queries := []string{
+		// Example 1 of the paper: db.collection.find({name:{$eq:"Sue"}},{}).
+		`{"name": {"$eq": "Sue"}}`,
+		`{"age": {"$gte": 18, "$lt": 40}}`,
+		`{"hobbies.1": "yoga"}`,
+		`{"address.city": {"$exists": 1}}`,
+		`{"$or": [{"age": {"$exists": 0}}, {"hobbies": {"$size": 0}}]}`,
+		`{"name": {"$nin": ["Sue", "Bob"]}}`,
+	}
+	for _, q := range queries {
+		filter := mongoq.MustParse(q)
+		fmt.Printf("find(%s)\n", q)
+		fmt.Printf("  as JSL: %s\n", jsl.String(filter.Formula()))
+		for _, doc := range people.Find(filter) {
+			fmt.Printf("  -> %s\n", doc)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,82 @@
+// The quickstart example walks through the paper's running document
+// (Figure 1) end to end: parsing, the JSON tree model of §3, navigation
+// instructions (§2), JNL queries (§4), JSL formulas and JSON Schema
+// validation (§5).
+package main
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/schema"
+)
+
+const figure1 = `{
+	"name": {
+		"first": "John",
+		"last": "Doe"
+	},
+	"age": 32,
+	"hobbies": ["fishing","yoga"]
+}`
+
+func main() {
+	// §2: parse the document of Figure 1 into a value.
+	doc := jsonval.MustParse(figure1)
+	fmt.Println("document:", doc)
+	fmt.Println("values nested inside:", doc.Size())
+
+	// §2: JSON navigation instructions J[key] and J[i].
+	name, _ := doc.Member("name")
+	first, _ := name.Member("first")
+	hobbies, _ := doc.Member("hobbies")
+	second, _ := hobbies.Elem(1)
+	last, _ := hobbies.Elem(-1)
+	fmt.Printf("J[name][first] = %s, J[hobbies][1] = %s, J[hobbies][-1] = %s\n", first, second, last)
+
+	// §3: the JSON tree J = (D, Obj, Arr, Str, Int, A, O, val).
+	tree := jsontree.FromValue(doc)
+	fmt.Print("\nthe tree of §3.1:\n", tree.Dump())
+	node := tree.Navigate(tree.Root(), jsontree.Key("name"), jsontree.Key("last"))
+	fmt.Printf("node at J[name][last]: address %v, value %s\n", tree.Path(node), tree.Value(node))
+
+	// §4: JNL queries. Example 1's MongoDB condition and a recursive
+	// descendant search.
+	queries := []string{
+		`eq(/name/first, "John")`,
+		`[/hobbies /[0:] <eq(eps, "yoga")>]`,
+		`[((/~".*")* (/[0:])*)* <eq(eps, "Doe")>]`,
+		`eq(/name, {"last":"Doe","first":"John"})`, // subtree equality, order-free
+	}
+	fmt.Println("\nJNL queries at the root:")
+	for _, q := range queries {
+		u := jnl.MustParse(q)
+		fmt.Printf("  %-55s %v\n", q, jnl.Holds(tree, u, tree.Root()))
+	}
+
+	// §5: a JSL formula and the equivalent JSON Schema (Theorem 1).
+	formula := jsl.MustParse(
+		`object && some("name", object && some("first", string)) && some("age", number && min(18))`)
+	ok, _ := jsl.Holds(tree, formula)
+	fmt.Println("\nJSL adult-person formula holds:", ok)
+
+	s := schema.MustParse(`{
+		"type": "object",
+		"required": ["name", "age"],
+		"properties": {
+			"name": {"type":"object", "required":["first","last"]},
+			"age": {"type":"number", "minimum": 18},
+			"hobbies": {"type":"array", "additionalItems": {"type":"string"}, "uniqueItems": 1}
+		}
+	}`)
+	valid, _ := s.Validate(doc)
+	fmt.Println("JSON Schema validates:", valid)
+
+	// Theorem 1: the same schema as a JSL formula.
+	r, _ := s.ToJSL()
+	viaJSL, _ := jsl.HoldsRecursive(tree, r)
+	fmt.Println("validation through the Theorem 1 translation agrees:", viaJSL == valid)
+}

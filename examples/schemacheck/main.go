@@ -1,0 +1,88 @@
+// The schemacheck example demonstrates the static-analysis tasks the
+// paper's satisfiability results enable (§5.2): detecting unsatisfiable
+// schemas, deciding schema containment, and synthesizing example
+// documents from schemas — all through J-automata non-emptiness
+// (Proposition 10).
+package main
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jauto"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/schema"
+)
+
+func main() {
+	// 1. An unsatisfiable schema: a number that is both ≥ 10 and ≤ 5.
+	contradictory := schema.MustParse(`{
+		"allOf": [
+			{"type":"number","minimum":10},
+			{"type":"number","maximum":5}
+		]
+	}`)
+	report("contradictory bounds", contradictory)
+
+	// 2. A subtle one: required key whose value must be an array AND an
+	// object — the key-uniqueness conflict of Proposition 2.
+	conflict := schema.MustParse(`{
+		"allOf": [
+			{"type":"object","properties":{"a":{"type":"array"}},"required":["a"]},
+			{"type":"object","properties":{"a":{"type":"object"}},"required":["a"]}
+		]
+	}`)
+	report("key-kind conflict", conflict)
+
+	// 3. A satisfiable schema: the solver synthesizes an example
+	// document, useful for API documentation and testing.
+	person := schema.MustParse(`{
+		"type": "object",
+		"required": ["name", "scores"],
+		"properties": {
+			"name": {"type":"string","pattern":"[a-z]+"},
+			"scores": {"type":"array","uniqueItems":1,
+			           "items":[{"type":"number","minimum":1,"multipleOf":3}],
+			           "additionalItems":{"type":"number","maximum":10}}
+		}
+	}`)
+	report("person schema", person)
+
+	// 4. Schema containment: numbers in [2,4] are contained in numbers
+	// in [0,10], but not vice versa. S₁ ⊑ S₂ iff S₁ ∧ ¬S₂ is UNSAT.
+	narrow := schema.MustParse(`{"type":"number","minimum":2,"maximum":4}`)
+	wide := schema.MustParse(`{"type":"number","minimum":0,"maximum":10}`)
+	fmt.Println("containment checks:")
+	checkContainment("  [2,4] ⊑ [0,10]", narrow, wide)
+	checkContainment("  [0,10] ⊑ [2,4]", wide, narrow)
+}
+
+func report(name string, s *schema.Schema) {
+	r, err := s.ToJSL()
+	if err != nil {
+		panic(err)
+	}
+	w, sat, err := jauto.SatisfiableJSL(r)
+	if err != nil {
+		panic(err)
+	}
+	if sat {
+		fmt.Printf("%s: satisfiable; example document: %s\n\n", name, w)
+	} else {
+		fmt.Printf("%s: UNSATISFIABLE — no document can ever validate\n\n", name)
+	}
+}
+
+func checkContainment(label string, s1, s2 *schema.Schema) {
+	r1, _ := s1.ToJSL()
+	r2, _ := s2.ToJSL()
+	test := &jsl.Recursive{Base: jsl.And{Left: r1.Base, Right: jsl.Not{Inner: r2.Base}}}
+	w, sat, err := jauto.SatisfiableJSL(test)
+	if err != nil {
+		panic(err)
+	}
+	if sat {
+		fmt.Printf("%s: NO (counterexample %s)\n", label, w)
+	} else {
+		fmt.Printf("%s: yes\n", label)
+	}
+}

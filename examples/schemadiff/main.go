@@ -1,0 +1,90 @@
+// The schemadiff example uses satisfiability (Propositions 7 and 10)
+// for the API-evolution task the paper's §6 motivates: when a service
+// publishes version 2 of a response schema, is every v1 document still
+// accepted (backward compatible), and what exactly breaks when not?
+// Containment checking answers both, with a counterexample document as
+// the diagnostic.
+package main
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/containment"
+	"jsonlogic/internal/schema"
+)
+
+const v1 = `{
+	"type": "object",
+	"required": ["id", "name"],
+	"properties": {
+		"id": {"type": "number"},
+		"name": {"type": "string"},
+		"tags": {"type": "array", "additionalItems": {"type": "string"}}
+	}
+}`
+
+// v2a only widens v1: tags may now hold numbers as well. (Note that
+// "adding an optional field with a type" would NOT be widening — v1
+// documents may already use that key with any value — and the checker
+// below catches exactly that kind of accidental narrowing.)
+const v2a = `{
+	"type": "object",
+	"required": ["id", "name"],
+	"properties": {
+		"id": {"type": "number"},
+		"name": {"type": "string"},
+		"tags": {"type": "array", "additionalItems": {"anyOf": [{"type": "string"}, {"type": "number"}]}}
+	}
+}`
+
+// v2b silently breaks v1 clients: ids must now be even.
+const v2b = `{
+	"type": "object",
+	"required": ["id", "name"],
+	"properties": {
+		"id": {"type": "number", "multipleOf": 2},
+		"name": {"type": "string"},
+		"tags": {"type": "array", "additionalItems": {"type": "string"}}
+	}
+}`
+
+func check(name string, oldS, newS *schema.Schema) {
+	res, err := containment.Schemas(oldS, newS)
+	if err != nil {
+		panic(err)
+	}
+	if res.Contained {
+		fmt.Printf("%s: backward compatible — every v1 document validates against it\n", name)
+		return
+	}
+	fmt.Printf("%s: NOT backward compatible\n", name)
+	fmt.Printf("  counterexample (valid under v1, rejected by %s): %s\n", name, res.Counterexample)
+}
+
+func main() {
+	oldS := schema.MustParse(v1)
+	fmt.Println("containment check: v1 ⊑ v2?")
+	check("v2a", oldS, schema.MustParse(v2a))
+	check("v2b", oldS, schema.MustParse(v2b))
+
+	// Equivalence: did a refactoring change the schema's meaning?
+	refactored := schema.MustParse(`{
+		"allOf": [
+			{"type": "object", "required": ["id"]},
+			{"type": "object", "required": ["name"]},
+			{"type": "object", "properties": {
+				"id": {"type": "number"},
+				"name": {"type": "string"},
+				"tags": {"type": "array", "additionalItems": {"type": "string"}}
+			}}
+		]
+	}`)
+	res, err := containment.EquivalentSchemas(oldS, refactored)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nequivalence check: v1 ≡ refactored(v1)? %v\n", res.Contained)
+	if !res.Contained {
+		fmt.Printf("  distinguishing document: %s\n", res.Counterexample)
+	}
+}

@@ -1,0 +1,278 @@
+// Cross-module integration tests: the same semantic question answered
+// through independent paths of the system must agree everywhere —
+// in-memory JSL evaluation (Prop 6), streaming validation (§6), the
+// Theorem 1 round-trip through JSON Schema, the Theorem 2 round-trip
+// through JNL, and satisfiability witnesses (Prop 10).
+package jsonlogic
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jauto"
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/mongoq"
+	"jsonlogic/internal/relang"
+	"jsonlogic/internal/schema"
+	"jsonlogic/internal/stream"
+	"jsonlogic/internal/translate"
+)
+
+// randIntegrationFormula draws JSL formulas in the fragment every path
+// supports: no Unique (streaming), no negative-index modalities.
+func randIntegrationFormula(r *rand.Rand, depth int) jsl.Formula {
+	if depth == 0 {
+		switch r.Intn(8) {
+		case 0:
+			return jsl.True{}
+		case 1:
+			return jsl.IsObj{}
+		case 2:
+			return jsl.IsArr{}
+		case 3:
+			return jsl.IsStr{}
+		case 4:
+			return jsl.IsInt{}
+		case 5:
+			return jsl.Min{I: uint64(r.Intn(4))}
+		case 6:
+			return jsl.Pattern{Re: relang.MustCompile("a|b")}
+		default:
+			return jsl.EqDoc{Doc: randIntegrationDoc(r, 1)}
+		}
+	}
+	switch r.Intn(7) {
+	case 0:
+		return jsl.Not{Inner: randIntegrationFormula(r, depth-1)}
+	case 1:
+		return jsl.And{Left: randIntegrationFormula(r, depth-1), Right: randIntegrationFormula(r, depth-1)}
+	case 2:
+		return jsl.Or{Left: randIntegrationFormula(r, depth-1), Right: randIntegrationFormula(r, depth-1)}
+	case 3:
+		return jsl.DiaWord([]string{"a", "b"}[r.Intn(2)], randIntegrationFormula(r, depth-1))
+	case 4:
+		return jsl.BoxRe(relang.MustCompile("a|b"), randIntegrationFormula(r, depth-1))
+	case 5:
+		return jsl.DiamondIdx{Lo: 0, Hi: r.Intn(2) + 1, Inner: randIntegrationFormula(r, depth-1)}
+	default:
+		return jsl.MinCh{K: r.Intn(3)}
+	}
+}
+
+func randIntegrationDoc(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 {
+		if r.Intn(2) == 0 {
+			return jsonval.Num(uint64(r.Intn(4)))
+		}
+		return jsonval.Str([]string{"a", "b"}[r.Intn(2)])
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(3)
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = randIntegrationDoc(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	keys := []string{"a", "b"}
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	n := r.Intn(3)
+	members := make([]jsonval.Member, 0, n)
+	for i := 0; i < n && i < len(keys); i++ {
+		members = append(members, jsonval.Member{Key: keys[i], Value: randIntegrationDoc(r, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
+
+type integrationCase struct {
+	f   jsl.Formula
+	doc *jsonval.Value
+}
+
+func (integrationCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(integrationCase{
+		f:   randIntegrationFormula(r, 3),
+		doc: randIntegrationDoc(r, 3),
+	})
+}
+
+// TestFourWayAgreement runs one (formula, document) pair through four
+// independent deciders.
+func TestFourWayAgreement(t *testing.T) {
+	check := func(c integrationCase) bool {
+		tree := jsontree.FromValue(c.doc)
+
+		// Path 1: the in-memory JSL evaluator (Prop 6).
+		direct, err := jsl.Holds(tree, c.f)
+		if err != nil {
+			t.Fatalf("jsl.Holds: %v", err)
+		}
+
+		// Path 2: streaming validation (§6).
+		sv, err := stream.NewValidatorFormula(c.f)
+		if err != nil {
+			t.Fatalf("stream compile %s: %v", jsl.String(c.f), err)
+		}
+		streamed, err := sv.Validate(strings.NewReader(c.doc.String()))
+		if err != nil {
+			t.Fatalf("stream validate: %v", err)
+		}
+
+		// Path 3: Theorem 1 round-trip — JSL → JSON Schema → direct
+		// schema validation.
+		s, err := schema.FromJSLFormula(c.f)
+		if err != nil {
+			t.Fatalf("FromJSLFormula(%s): %v", jsl.String(c.f), err)
+		}
+		viaSchema, err := s.Validate(c.doc)
+		if err != nil {
+			t.Fatalf("schema validate: %v", err)
+		}
+
+		// Path 4: Theorem 2 round-trip — JSL → JNL → JNL evaluator.
+		// Only the ~(A)-fragment translates (Theorem 2); formulas using
+		// other node tests are legitimately refused and the path is
+		// skipped for them.
+		viaJNL := direct
+		if u, err := translate.JSLToJNL(c.f); err == nil {
+			viaJNL = jnl.Holds(tree, u, tree.Root())
+		}
+
+		if direct != streamed || direct != viaSchema || direct != viaJNL {
+			t.Logf("formula: %s", jsl.String(c.f))
+			t.Logf("doc: %s", c.doc)
+			t.Logf("direct=%v stream=%v schema=%v jnl=%v", direct, streamed, viaSchema, viaJNL)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWitnessRoundTrip: for satisfiable random formulas, the witness
+// produced by the Prop 10 machinery must satisfy the formula under
+// every decider.
+func TestWitnessRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	found := 0
+	for trial := 0; trial < 200 && found < 60; trial++ {
+		f := randIntegrationFormula(r, 3)
+		w, sat, err := jauto.SatisfiableJSLFormula(f)
+		if err != nil {
+			continue // budget exhaustion: no verdict, nothing to check
+		}
+		if !sat {
+			continue
+		}
+		found++
+		tree := jsontree.FromValue(w)
+		direct, err := jsl.Holds(tree, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !direct {
+			t.Fatalf("witness %s does not satisfy %s (in-memory)", w, jsl.String(f))
+		}
+		sv, err := stream.NewValidatorFormula(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := sv.Validate(strings.NewReader(w.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !streamed {
+			t.Fatalf("witness %s does not satisfy %s (stream)", w, jsl.String(f))
+		}
+	}
+	if found < 20 {
+		t.Fatalf("only %d satisfiable formulas found; generator too restrictive", found)
+	}
+}
+
+// TestMongoFilterAgreement: a find filter's verdict agrees between the
+// collection scan, the compiled JSL formula, and streaming validation.
+func TestMongoFilterAgreement(t *testing.T) {
+	filters := []string{
+		`{"a": 1}`,
+		`{"a": {"$gte": 1}}`,
+		`{"a.b": {"$exists": 1}}`,
+		`{"$or": [{"a": {"$lt": 2}}, {"b": "x"}]}`,
+		`{"$and": [{"a": {"$type": "number"}}, {"b": {"$ne": 5}}]}`,
+		`{"a": {"$in": [1, "x", 3]}}`,
+	}
+	r := rand.New(rand.NewSource(4))
+	docs := make([]*jsonval.Value, 0, 80)
+	for i := 0; i < 80; i++ {
+		d := randIntegrationDoc(r, 3)
+		if !d.IsObject() {
+			d = jsonval.MustObj(jsonval.Member{Key: "a", Value: d})
+		}
+		docs = append(docs, d)
+	}
+	for _, src := range filters {
+		filter := mongoq.MustParse(src)
+		sv, err := stream.NewValidatorFormula(filter.Formula())
+		if err != nil {
+			t.Fatalf("stream compile of filter %s: %v", src, err)
+		}
+		for _, d := range docs {
+			direct := filter.Matches(d)
+			streamed, err := sv.Validate(strings.NewReader(d.String()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct != streamed {
+				t.Fatalf("filter %s on %s: direct=%v stream=%v", src, d, direct, streamed)
+			}
+		}
+	}
+}
+
+// TestSchemaJSLSchemaRoundTrip: Schema → JSL → Schema preserves the
+// validation relation (Theorem 1 in both directions at once).
+func TestSchemaJSLSchemaRoundTrip(t *testing.T) {
+	schemas := []string{
+		`{"type":"string","pattern":"a+"}`,
+		`{"type":"number","minimum":2,"maximum":9,"multipleOf":3}`,
+		`{"type":"object","required":["a"],"properties":{"a":{"type":"number"}},"additionalProperties":{"type":"string"}}`,
+		`{"type":"array","items":[{"type":"string"}],"additionalItems":{"type":"number"}}`,
+		`{"anyOf":[{"type":"string"},{"type":"number","minimum":5}]}`,
+		`{"not":{"type":"object"}}`,
+		`{"enum":[{"a":1},"x",3]}`,
+	}
+	r := rand.New(rand.NewSource(11))
+	for _, src := range schemas {
+		s1 := schema.MustParse(src)
+		rec, err := s1.ToJSL()
+		if err != nil {
+			t.Fatalf("%s: ToJSL: %v", src, err)
+		}
+		s2, err := schema.FromJSL(rec)
+		if err != nil {
+			t.Fatalf("%s: FromJSL: %v", src, err)
+		}
+		for i := 0; i < 150; i++ {
+			d := randIntegrationDoc(r, 3)
+			v1, err := s1.Validate(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2, err := s2.Validate(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v1 != v2 {
+				t.Fatalf("%s on %s: original=%v roundtrip=%v", src, d, v1, v2)
+			}
+		}
+	}
+}

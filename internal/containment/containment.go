@@ -1,0 +1,157 @@
+// Package containment decides containment and equivalence of JSL
+// formulas and JSON Schemas — the static-analysis tasks the paper's
+// satisfiability results (Propositions 7 and 10) exist to enable,
+// e.g. checking that a revised API schema only widens the set of
+// accepted documents.
+//
+// Containment reduces to satisfiability in the classical way:
+// φ ⊑ ψ (every document satisfying φ satisfies ψ) iff φ ∧ ¬ψ is
+// unsatisfiable. The witness of a failed containment is a counter-
+// example document satisfying φ but not ψ. The same complexity
+// caveats as for satisfiability apply: the search is capped, and an
+// exhausted budget surfaces as jauto.ErrBudget rather than a guess.
+package containment
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jauto"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/schema"
+)
+
+// Result reports one containment check.
+type Result struct {
+	// Contained is true when every document of the left formula
+	// satisfies the right one.
+	Contained bool
+	// Counterexample is a document satisfying the left but not the
+	// right formula; nil when Contained.
+	Counterexample *jsonval.Value
+}
+
+// Formulas decides φ ⊑ ψ for non-recursive JSL formulas.
+func Formulas(phi, psi jsl.Formula) (Result, error) {
+	w, sat, err := jauto.SatisfiableJSLFormula(jsl.And{Left: phi, Right: jsl.Not{Inner: psi}})
+	if err != nil {
+		return Result{}, err
+	}
+	if sat {
+		return Result{Contained: false, Counterexample: w}, nil
+	}
+	return Result{Contained: true}, nil
+}
+
+// EquivalentFormulas decides φ ≡ ψ; the counterexample (if any)
+// satisfies exactly one of the two.
+func EquivalentFormulas(phi, psi jsl.Formula) (Result, error) {
+	lr, err := Formulas(phi, psi)
+	if err != nil || !lr.Contained {
+		return lr, err
+	}
+	return Formulas(psi, phi)
+}
+
+// Schemas decides containment of two JSON Schemas via their Theorem 1
+// translations. Recursive schemas (definitions/$ref) are supported
+// through the recursive-JSL automaton of Proposition 10.
+func Schemas(s1, s2 *schema.Schema) (Result, error) {
+	r1, err := s1.ToJSL()
+	if err != nil {
+		return Result{}, fmt.Errorf("containment: left schema: %w", err)
+	}
+	r2, err := s2.ToJSL()
+	if err != nil {
+		return Result{}, fmt.Errorf("containment: right schema: %w", err)
+	}
+	return Recursive(r1, r2)
+}
+
+// EquivalentSchemas decides equivalence of two JSON Schemas.
+func EquivalentSchemas(s1, s2 *schema.Schema) (Result, error) {
+	lr, err := Schemas(s1, s2)
+	if err != nil || !lr.Contained {
+		return lr, err
+	}
+	return Schemas(s2, s1)
+}
+
+// Recursive decides ∆1 ⊑ ∆2 for recursive JSL expressions by merging
+// the definition environments (renaming the right side apart) and
+// testing ∆1 ∧ ¬∆2.
+func Recursive(d1, d2 *jsl.Recursive) (Result, error) {
+	merged, phi, psi, err := merge(d1, d2)
+	if err != nil {
+		return Result{}, err
+	}
+	test := &jsl.Recursive{
+		Defs: merged,
+		Base: jsl.And{Left: phi, Right: jsl.Not{Inner: psi}},
+	}
+	w, sat, err := jauto.SatisfiableJSL(test)
+	if err != nil {
+		return Result{}, err
+	}
+	if sat {
+		return Result{Contained: false, Counterexample: w}, nil
+	}
+	return Result{Contained: true}, nil
+}
+
+// merge renames d2's definitions apart from d1's and returns the
+// union environment together with both base expressions.
+func merge(d1, d2 *jsl.Recursive) ([]jsl.Definition, jsl.Formula, jsl.Formula, error) {
+	taken := map[string]bool{}
+	for _, d := range d1.Defs {
+		if taken[d.Name] {
+			return nil, nil, nil, fmt.Errorf("containment: duplicate definition %q", d.Name)
+		}
+		taken[d.Name] = true
+	}
+	rename := map[string]string{}
+	for _, d := range d2.Defs {
+		name := d.Name
+		for taken[name] {
+			name += "'"
+		}
+		rename[d.Name] = name
+		taken[name] = true
+	}
+	merged := append([]jsl.Definition{}, d1.Defs...)
+	for _, d := range d2.Defs {
+		merged = append(merged, jsl.Definition{Name: rename[d.Name], Body: renameRefs(d.Body, rename)})
+	}
+	return merged, d1.Base, renameRefs(d2.Base, rename), nil
+}
+
+// renameRefs rewrites Ref names according to the map.
+func renameRefs(f jsl.Formula, m map[string]string) jsl.Formula {
+	switch t := f.(type) {
+	case jsl.Not:
+		return jsl.Not{Inner: renameRefs(t.Inner, m)}
+	case jsl.And:
+		return jsl.And{Left: renameRefs(t.Left, m), Right: renameRefs(t.Right, m)}
+	case jsl.Or:
+		return jsl.Or{Left: renameRefs(t.Left, m), Right: renameRefs(t.Right, m)}
+	case jsl.DiamondKey:
+		t.Inner = renameRefs(t.Inner, m)
+		return t
+	case jsl.BoxKey:
+		t.Inner = renameRefs(t.Inner, m)
+		return t
+	case jsl.DiamondIdx:
+		t.Inner = renameRefs(t.Inner, m)
+		return t
+	case jsl.BoxIdx:
+		t.Inner = renameRefs(t.Inner, m)
+		return t
+	case jsl.Ref:
+		if to, ok := m[t.Name]; ok {
+			return jsl.Ref{Name: to}
+		}
+		return t
+	default:
+		return f
+	}
+}

@@ -1,0 +1,328 @@
+package containment
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/relang"
+	"jsonlogic/internal/schema"
+)
+
+func TestFormulaContainment(t *testing.T) {
+	cases := []struct {
+		name string
+		phi  jsl.Formula
+		psi  jsl.Formula
+		want bool
+	}{
+		{"min-weakening", jsl.And{Left: jsl.IsInt{}, Right: jsl.Min{I: 10}},
+			jsl.And{Left: jsl.IsInt{}, Right: jsl.Min{I: 5}}, true},
+		{"min-strengthening", jsl.And{Left: jsl.IsInt{}, Right: jsl.Min{I: 5}},
+			jsl.And{Left: jsl.IsInt{}, Right: jsl.Min{I: 10}}, false},
+		{"kind", jsl.IsStr{}, jsl.Or{Left: jsl.IsStr{}, Right: jsl.IsInt{}}, true},
+		{"kind-reverse", jsl.Or{Left: jsl.IsStr{}, Right: jsl.IsInt{}}, jsl.IsStr{}, false},
+		{"pattern", jsl.And{Left: jsl.IsStr{}, Right: jsl.Pattern{Re: relang.MustCompile("ab")}},
+			jsl.And{Left: jsl.IsStr{}, Right: jsl.Pattern{Re: relang.MustCompile("a.*")}}, true},
+		{"required-subset",
+			jsl.And{Left: jsl.DiaWord("a", jsl.True{}), Right: jsl.DiaWord("b", jsl.True{})},
+			jsl.DiaWord("a", jsl.True{}), true},
+		{"required-superset",
+			jsl.DiaWord("a", jsl.True{}),
+			jsl.And{Left: jsl.DiaWord("a", jsl.True{}), Right: jsl.DiaWord("b", jsl.True{})}, false},
+		{"unsat-left", jsl.And{Left: jsl.IsStr{}, Right: jsl.IsInt{}}, jsl.Not{Inner: jsl.True{}}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Formulas(c.phi, c.psi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Contained != c.want {
+				t.Fatalf("Contained = %v, want %v (counterexample %v)", res.Contained, c.want, res.Counterexample)
+			}
+			if !res.Contained {
+				// The counterexample must satisfy φ and violate ψ.
+				tree := jsontree.FromValue(res.Counterexample)
+				inPhi, err := jsl.Holds(tree, c.phi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inPsi, err := jsl.Holds(tree, c.psi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !inPhi || inPsi {
+					t.Fatalf("counterexample %s: inPhi=%v inPsi=%v", res.Counterexample, inPhi, inPsi)
+				}
+			}
+		})
+	}
+}
+
+func TestEquivalentFormulas(t *testing.T) {
+	phi := jsl.Not{Inner: jsl.Or{Left: jsl.IsStr{}, Right: jsl.IsInt{}}}
+	psi := jsl.And{Left: jsl.Not{Inner: jsl.IsStr{}}, Right: jsl.Not{Inner: jsl.IsInt{}}}
+	res, err := EquivalentFormulas(phi, psi) // De Morgan
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Fatalf("De Morgan equivalence rejected, counterexample %v", res.Counterexample)
+	}
+	res, err = EquivalentFormulas(jsl.IsStr{}, jsl.True{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("IsStr ≡ True accepted")
+	}
+}
+
+func TestSchemaContainment(t *testing.T) {
+	cases := []struct {
+		name string
+		s1   string
+		s2   string
+		want bool
+	}{
+		{"number-range",
+			`{"type":"number","minimum":10,"maximum":20}`,
+			`{"type":"number","minimum":5}`,
+			true},
+		{"number-range-reverse",
+			`{"type":"number","minimum":5}`,
+			`{"type":"number","minimum":10,"maximum":20}`,
+			false},
+		{"required-subset",
+			`{"type":"object","required":["a","b"]}`,
+			`{"type":"object","required":["a"]}`,
+			true},
+		{"properties-narrowing",
+			`{"type":"object","required":["a"],"properties":{"a":{"type":"number","multipleOf":4}}}`,
+			`{"type":"object","required":["a"],"properties":{"a":{"type":"number","multipleOf":2}}}`,
+			true},
+		{"anyof-widening",
+			`{"type":"string"}`,
+			`{"anyOf":[{"type":"string"},{"type":"number"}]}`,
+			true},
+		{"enum",
+			`{"enum":[5]}`,
+			`{"type":"number","multipleOf":5}`,
+			true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s1 := schema.MustParse(c.s1)
+			s2 := schema.MustParse(c.s2)
+			res, err := Schemas(s1, s2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Contained != c.want {
+				t.Fatalf("Contained = %v, want %v (counterexample %v)", res.Contained, c.want, res.Counterexample)
+			}
+			if !res.Contained {
+				// Counterexample validates against s1, not s2.
+				ok1, err := s1.Validate(res.Counterexample)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ok2, err := s2.Validate(res.Counterexample)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok1 || ok2 {
+					t.Fatalf("counterexample %s: s1=%v s2=%v", res.Counterexample, ok1, ok2)
+				}
+			}
+		})
+	}
+}
+
+func TestRecursiveContainmentNameClash(t *testing.T) {
+	// Both sides define γ; the merge must rename them apart.
+	any := relang.MustCompile(".*")
+	left := &jsl.Recursive{
+		Defs: []jsl.Definition{{Name: "g", Body: jsl.And{
+			Left:  jsl.IsObj{},
+			Right: jsl.BoxRe(any, jsl.Ref{Name: "g"}),
+		}}},
+		Base: jsl.Ref{Name: "g"},
+	}
+	right := &jsl.Recursive{
+		Defs: []jsl.Definition{{Name: "g", Body: jsl.Or{
+			Left:  jsl.IsObj{},
+			Right: jsl.Or{Left: jsl.IsStr{}, Right: jsl.IsInt{}},
+		}}},
+		Base: jsl.And{Left: jsl.Ref{Name: "g"}, Right: jsl.BoxRe(any, jsl.Ref{Name: "g"})},
+	}
+	// left: trees of pure objects. right: nodes are objects/strings/ints
+	// at the top two levels. Pure-object trees satisfy that, so left ⊑
+	// right must hold.
+	res, err := Recursive(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Fatalf("expected containment, counterexample %v", res.Counterexample)
+	}
+	// And the reverse must fail (a string satisfies right, not left).
+	res, err = Recursive(right, left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("reverse containment must fail")
+	}
+}
+
+// TestContainmentReflexive: every formula is contained in itself.
+func TestContainmentReflexive(t *testing.T) {
+	f := func(c formulaCase) bool {
+		res, err := Formulas(c.f, c.f)
+		if err != nil {
+			return true // budget exhaustion is acceptable, not a wrong answer
+		}
+		return res.Contained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContainmentConjunctionWeakening: φ∧ψ ⊑ φ.
+func TestContainmentConjunctionWeakening(t *testing.T) {
+	f := func(c formulaCase, d formulaCase) bool {
+		res, err := Formulas(jsl.And{Left: c.f, Right: d.f}, c.f)
+		if err != nil {
+			return true
+		}
+		return res.Contained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type formulaCase struct{ f jsl.Formula }
+
+func (formulaCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(formulaCase{randFormula(r, 2)})
+}
+
+func randFormula(r *rand.Rand, depth int) jsl.Formula {
+	if depth == 0 {
+		switch r.Intn(6) {
+		case 0:
+			return jsl.IsObj{}
+		case 1:
+			return jsl.IsStr{}
+		case 2:
+			return jsl.IsInt{}
+		case 3:
+			return jsl.Min{I: uint64(r.Intn(10))}
+		case 4:
+			return jsl.MinCh{K: r.Intn(3)}
+		default:
+			return jsl.True{}
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return jsl.Not{Inner: randFormula(r, depth-1)}
+	case 1:
+		return jsl.And{Left: randFormula(r, depth-1), Right: randFormula(r, depth-1)}
+	case 2:
+		return jsl.Or{Left: randFormula(r, depth-1), Right: randFormula(r, depth-1)}
+	case 3:
+		return jsl.DiaWord([]string{"a", "b"}[r.Intn(2)], randFormula(r, depth-1))
+	default:
+		return jsl.BoxRe(relang.MustCompile("a|b"), randFormula(r, depth-1))
+	}
+}
+
+func TestEquivalentSchemas(t *testing.T) {
+	a := schema.MustParse(`{"type":"number","minimum":3,"maximum":3}`)
+	b := schema.MustParse(`{"enum":[3]}`)
+	res, err := EquivalentSchemas(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained {
+		t.Fatalf("min=max=3 should equal enum[3]; counterexample %v", res.Counterexample)
+	}
+	c := schema.MustParse(`{"type":"number","minimum":3}`)
+	res, err = EquivalentSchemas(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contained {
+		t.Fatal("unequal schemas reported equivalent")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("missing counterexample")
+	}
+}
+
+func TestRenameRefsIdxModalities(t *testing.T) {
+	// Exercise renaming through every formula constructor, including
+	// the index modalities.
+	body := jsl.And{
+		Left: jsl.DiamondIdx{Lo: 0, Hi: 1, Inner: jsl.Ref{Name: "g"}},
+		Right: jsl.Or{
+			Left:  jsl.BoxIdx{Lo: 0, Hi: jsl.Inf, Inner: jsl.Ref{Name: "g"}},
+			Right: jsl.Not{Inner: jsl.DiaWord("k", jsl.Ref{Name: "g"})},
+		},
+	}
+	renamed := renameRefs(body, map[string]string{"g": "g'"})
+	var count func(f jsl.Formula, name string) int
+	count = func(f jsl.Formula, name string) int {
+		switch t := f.(type) {
+		case jsl.Ref:
+			if t.Name == name {
+				return 1
+			}
+			return 0
+		case jsl.Not:
+			return count(t.Inner, name)
+		case jsl.And:
+			return count(t.Left, name) + count(t.Right, name)
+		case jsl.Or:
+			return count(t.Left, name) + count(t.Right, name)
+		case jsl.DiamondKey:
+			return count(t.Inner, name)
+		case jsl.BoxKey:
+			return count(t.Inner, name)
+		case jsl.DiamondIdx:
+			return count(t.Inner, name)
+		case jsl.BoxIdx:
+			return count(t.Inner, name)
+		default:
+			return 0
+		}
+	}
+	if got := count(renamed, "g'"); got != 3 {
+		t.Fatalf("renamed %d refs, want 3", got)
+	}
+	if got := count(renamed, "g"); got != 0 {
+		t.Fatalf("%d refs left unrenamed", got)
+	}
+}
+
+func TestContainmentBudgetPropagates(t *testing.T) {
+	// A formula pair engineered to exhaust the default budget is not
+	// easy to build reliably; instead check that error-free runs give a
+	// verdict and that the API surfaces errors rather than verdicts for
+	// ill-formed recursive inputs.
+	bad := &jsl.Recursive{
+		Defs: []jsl.Definition{{Name: "g", Body: jsl.Not{Inner: jsl.Ref{Name: "g"}}}},
+		Base: jsl.Ref{Name: "g"},
+	}
+	if _, err := Recursive(bad, jsl.NonRecursive(jsl.True{})); err == nil {
+		t.Fatal("ill-formed recursion must error")
+	}
+}

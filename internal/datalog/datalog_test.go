@@ -1,0 +1,370 @@
+package datalog
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+)
+
+func mustTree(t *testing.T, doc string) *jsontree.Tree {
+	t.Helper()
+	tree, err := jsontree.Parse(doc)
+	if err != nil {
+		t.Fatalf("parse %q: %v", doc, err)
+	}
+	return tree
+}
+
+func mustParseJNL(t *testing.T, src string) jnl.Unary {
+	t.Helper()
+	u, err := jnl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse JNL %q: %v", src, err)
+	}
+	return u
+}
+
+func goalAtRoot(t *testing.T, doc, formula string) bool {
+	t.Helper()
+	tree := mustTree(t, doc)
+	u := mustParseJNL(t, formula)
+	prog, err := FromJNL(u)
+	if err != nil {
+		t.Fatalf("FromJNL(%s): %v", formula, err)
+	}
+	res, err := Evaluate(prog, tree)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return res.Holds(prog.Goal(), tree.Root())
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	doc := `{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}`
+	cases := []struct {
+		formula string
+		want    bool
+	}{
+		{`true`, true},
+		{`[/name]`, true},
+		{`[/name/first]`, true},
+		{`[/name/middle]`, false},
+		{`[/hobbies/0]`, true},
+		{`[/hobbies/2]`, false},
+		{`eq(/age, 32)`, true},
+		{`eq(/age, 33)`, false},
+		{`eq(/name, {"first":"John","last":"Doe"})`, true},
+		{`eq(/name/first, "John") && eq(/hobbies/1, "yoga")`, true},
+		{`![/salary]`, true},
+		{`[/name] || [/salary]`, true},
+		{`eq(/hobbies/0, /hobbies/1)`, false},
+		{`eq(/name/first, /name/first)`, true},
+	}
+	for _, c := range cases {
+		if got := goalAtRoot(t, doc, c.formula); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.formula, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateTestsInPaths(t *testing.T) {
+	doc := `{"a":{"b":[1,2]},"c":0}`
+	cases := []struct {
+		formula string
+		want    bool
+	}{
+		{`[/a<[/b]>/b/0]`, true},
+		{`[/a<[/z]>/b]`, false},
+		{`eq(/a<[/b/1]>/b/0, 1)`, true},
+	}
+	for _, c := range cases {
+		if got := goalAtRoot(t, doc, c.formula); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.formula, got, c.want)
+		}
+	}
+}
+
+func TestFromJNLRejectsNonDeterministic(t *testing.T) {
+	for _, src := range []string{
+		`[/~"a|b"]`,
+		`[/[0:2]]`,
+		`[(/a)*]`,
+		`[/[1:]]`,
+	} {
+		u := mustParseJNL(t, src)
+		if _, err := FromJNL(u); err == nil {
+			t.Errorf("FromJNL(%s): expected error for non-deterministic formula", src)
+		}
+	}
+}
+
+func TestProgramSizeLinear(t *testing.T) {
+	// The program must stay linear in the formula size: build a chain of
+	// conjunctions and check Size grows linearly.
+	var u jnl.Unary = jnl.Exists{Path: jnl.Key("k0")}
+	prev := 0
+	for i := 1; i <= 32; i++ {
+		u = jnl.And{Left: u, Right: jnl.Exists{Path: jnl.Key("k")}}
+		prog, err := FromJNL(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sz := prog.Size()
+		if prev != 0 && sz-prev > 8 {
+			t.Fatalf("program size jumped from %d to %d at step %d", prev, sz, i)
+		}
+		prev = sz
+	}
+}
+
+func TestValidateRejectsBadBodies(t *testing.T) {
+	t.Run("disconnected", func(t *testing.T) {
+		p := NewProgram()
+		q := p.AddPred("q")
+		p.AddRule(Rule{Head: q, Body: Body{NumVars: 2}})
+		p.SetGoal(q)
+		if err := p.Validate(); err == nil {
+			t.Fatal("expected error for disconnected body variable")
+		}
+	})
+	t.Run("two incoming edges", func(t *testing.T) {
+		p := NewProgram()
+		q := p.AddPred("q")
+		p.AddRule(Rule{Head: q, Body: Body{
+			NumVars: 2,
+			Edges: []Edge{
+				{From: 0, To: 1, IsKey: true, Key: "a"},
+				{From: 0, To: 1, IsKey: true, Key: "b"},
+			},
+		}})
+		p.SetGoal(q)
+		if err := p.Validate(); err == nil {
+			t.Fatal("expected error for variable with two incoming edges")
+		}
+	})
+	t.Run("cyclic dependency", func(t *testing.T) {
+		p := NewProgram()
+		a := p.AddPred("a")
+		b := p.AddPred("b")
+		p.AddRule(Rule{Head: a, Body: Body{NumVars: 1, Tests: []Test{{Var: 0, HasPred: true, Pred: b}}}})
+		p.AddRule(Rule{Head: b, Body: Body{NumVars: 1, Tests: []Test{{Var: 0, HasPred: true, Pred: a}}}})
+		p.SetGoal(a)
+		if err := p.Validate(); err == nil {
+			t.Fatal("expected error for cyclic program")
+		}
+	})
+	t.Run("self dependency", func(t *testing.T) {
+		p := NewProgram()
+		a := p.AddPred("a")
+		p.AddRule(Rule{Head: a, Body: Body{NumVars: 1, Tests: []Test{{Var: 0, HasPred: true, Pred: a}}}})
+		p.SetGoal(a)
+		if err := p.Validate(); err == nil {
+			t.Fatal("expected error for self-dependent predicate")
+		}
+	})
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	// not [/a] and not (not [/b]) exercises two strata of negation.
+	doc := `{"b": 1}`
+	if !goalAtRoot(t, doc, `![/a] && !(![/b])`) {
+		t.Fatal("stratified negation gave the wrong answer")
+	}
+}
+
+func TestKindTests(t *testing.T) {
+	tree := mustTree(t, `{"o":{},"a":[],"s":"x","n":7}`)
+	p := NewProgram()
+	for _, c := range []struct {
+		kind KindTest
+		key  string
+	}{
+		{ObjKind, "o"}, {ArrKind, "a"}, {StrKind, "s"}, {IntKind, "n"},
+	} {
+		q := p.AddPred(c.kind.String())
+		p.AddRule(Rule{Head: q, Body: Body{
+			NumVars: 2,
+			Edges:   []Edge{{From: 0, To: 1, IsKey: true, Key: c.key}},
+			Tests:   []Test{{Var: 1, Kind: c.kind}},
+		}})
+		p.SetGoal(q)
+		res, err := Evaluate(p, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Holds(q, tree.Root()) {
+			t.Errorf("kind test %s on key %q failed", c.kind, c.key)
+		}
+	}
+	// Cross-check: string node is not an object.
+	q := p.AddPred("cross")
+	p.AddRule(Rule{Head: q, Body: Body{
+		NumVars: 2,
+		Edges:   []Edge{{From: 0, To: 1, IsKey: true, Key: "s"}},
+		Tests:   []Test{{Var: 1, Kind: ObjKind}},
+	}})
+	p.SetGoal(q)
+	res, err := Evaluate(p, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds(q, tree.Root()) {
+		t.Error("string node passed ObjKind test")
+	}
+}
+
+// --- differential testing against the direct JNL evaluator ---
+
+func randDoc(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 {
+		if r.Intn(2) == 0 {
+			return jsonval.Num(uint64(r.Intn(4)))
+		}
+		return jsonval.Str(string(rune('a' + r.Intn(3))))
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(3)
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = randDoc(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	keys := []string{"a", "b", "c"}
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	n := r.Intn(3)
+	members := make([]jsonval.Member, 0, n)
+	for i := 0; i < n; i++ {
+		members = append(members, jsonval.Member{Key: keys[i], Value: randDoc(r, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
+
+func randDetPath(r *rand.Rand, depth int) jnl.Binary {
+	switch r.Intn(6) {
+	case 0:
+		return jnl.Epsilon{}
+	case 1:
+		return jnl.Key(string(rune('a' + r.Intn(3))))
+	case 2:
+		return jnl.At(r.Intn(3) - 1) // exercises negative indices too
+	case 3:
+		if depth > 0 {
+			return jnl.Test{Inner: randDetUnary(r, depth-1)}
+		}
+		return jnl.Epsilon{}
+	default:
+		if depth > 0 {
+			return jnl.Concat{Left: randDetPath(r, depth-1), Right: randDetPath(r, depth-1)}
+		}
+		return jnl.Key("a")
+	}
+}
+
+func randDetUnary(r *rand.Rand, depth int) jnl.Unary {
+	if depth == 0 {
+		return jnl.True{}
+	}
+	switch r.Intn(7) {
+	case 0:
+		return jnl.True{}
+	case 1:
+		return jnl.Not{Inner: randDetUnary(r, depth-1)}
+	case 2:
+		return jnl.And{Left: randDetUnary(r, depth-1), Right: randDetUnary(r, depth-1)}
+	case 3:
+		return jnl.Or{Left: randDetUnary(r, depth-1), Right: randDetUnary(r, depth-1)}
+	case 4:
+		return jnl.Exists{Path: randDetPath(r, depth-1)}
+	case 5:
+		return jnl.EQDoc{Path: randDetPath(r, depth-1), Doc: randDoc(r, 1)}
+	default:
+		return jnl.EQPaths{Left: randDetPath(r, depth-1), Right: randDetPath(r, depth-1)}
+	}
+}
+
+type diffCase struct {
+	doc *jsonval.Value
+	u   jnl.Unary
+}
+
+func (diffCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(diffCase{randDoc(r, 2+r.Intn(2)), randDetUnary(r, 3)})
+}
+
+// TestDifferentialVsJNL checks that the datalog translation and engine
+// agree with the direct JNL evaluator on every node of random trees for
+// random deterministic formulas.
+func TestDifferentialVsJNL(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	f := func(c diffCase) bool {
+		tree := jsontree.FromValue(c.doc)
+		prog, err := FromJNL(c.u)
+		if err != nil {
+			t.Fatalf("FromJNL(%s): %v", jnl.String(c.u), err)
+		}
+		res, err := Evaluate(prog, tree)
+		if err != nil {
+			t.Fatalf("Evaluate: %v", err)
+		}
+		want := jnl.Eval(tree, c.u)
+		for _, n := range tree.Nodes() {
+			if res.Holds(prog.Goal(), n) != want.Contains(n) {
+				t.Logf("doc: %s", c.doc)
+				t.Logf("formula: %s", jnl.String(c.u))
+				t.Logf("node %d: datalog=%v direct=%v", n, res.Holds(prog.Goal(), n), want.Contains(n))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoalNodes(t *testing.T) {
+	tree := mustTree(t, `{"a":{"b":1},"c":{"b":2}}`)
+	u := mustParseJNL(t, `[/b]`)
+	prog, err := FromJNL(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(prog, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.GoalNodes()
+	want := jnl.Eval(tree, u).Slice()
+	if len(got) != len(want) {
+		t.Fatalf("GoalNodes: got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("GoalNodes: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	u := mustParseJNL(t, `eq(/a, 1) && ![/b]`)
+	prog, err := FromJNL(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.String()
+	if s == "" {
+		t.Fatal("empty program rendering")
+	}
+	for _, frag := range []string{"key[\"a\"]", "eq(", "not ", "goal:"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("program rendering missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Translation of deterministic JNL into monadic datalog programs, the
+// compilation step in the proof of Proposition 1.
+
+package datalog
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jnl"
+)
+
+// FromJNL compiles a deterministic JNL unary formula into an equivalent
+// non-recursive monadic datalog program with stratified negation. The
+// program has one intensional predicate per unary subformula and one
+// rule per disjunct, so its size is linear in |φ|; evaluating it with
+// Evaluate realises the O(|J|·|φ|) bound of Proposition 1.
+//
+// FromJNL reports an error when the formula uses the non-deterministic
+// or recursive extensions of §4.3 (regex axes, interval axes, union or
+// Kleene star of paths), which fall outside the deterministic logic the
+// datalog translation covers.
+func FromJNL(u jnl.Unary) (*Program, error) {
+	c := &compiler{prog: NewProgram()}
+	goal, err := c.unary(u)
+	if err != nil {
+		return nil, err
+	}
+	c.prog.SetGoal(goal)
+	if err := c.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("internal: generated invalid program: %w", err)
+	}
+	return c.prog, nil
+}
+
+type compiler struct {
+	prog *Program
+	next int // fresh-predicate counter
+}
+
+func (c *compiler) fresh(hint string) Pred {
+	c.next++
+	return c.prog.AddPred(fmt.Sprintf("p%d_%s", c.next, hint))
+}
+
+// unary compiles a unary formula and returns the predicate holding
+// exactly at the nodes satisfying it.
+func (c *compiler) unary(u jnl.Unary) (Pred, error) {
+	switch f := u.(type) {
+	case jnl.True:
+		p := c.fresh("true")
+		c.prog.AddRule(Rule{Head: p, Body: Body{NumVars: 1}})
+		return p, nil
+	case jnl.Not:
+		inner, err := c.unary(f.Inner)
+		if err != nil {
+			return 0, err
+		}
+		p := c.fresh("not")
+		c.prog.AddRule(Rule{Head: p, Body: Body{
+			NumVars: 1,
+			Tests:   []Test{{Var: 0, HasPred: true, Pred: inner, Negated: true}},
+		}})
+		return p, nil
+	case jnl.And:
+		l, err := c.unary(f.Left)
+		if err != nil {
+			return 0, err
+		}
+		r, err := c.unary(f.Right)
+		if err != nil {
+			return 0, err
+		}
+		p := c.fresh("and")
+		c.prog.AddRule(Rule{Head: p, Body: Body{
+			NumVars: 1,
+			Tests: []Test{
+				{Var: 0, HasPred: true, Pred: l},
+				{Var: 0, HasPred: true, Pred: r},
+			},
+		}})
+		return p, nil
+	case jnl.Or:
+		l, err := c.unary(f.Left)
+		if err != nil {
+			return 0, err
+		}
+		r, err := c.unary(f.Right)
+		if err != nil {
+			return 0, err
+		}
+		p := c.fresh("or")
+		c.prog.AddRule(Rule{Head: p, Body: Body{
+			NumVars: 1,
+			Tests:   []Test{{Var: 0, HasPred: true, Pred: l}},
+		}})
+		c.prog.AddRule(Rule{Head: p, Body: Body{
+			NumVars: 1,
+			Tests:   []Test{{Var: 0, HasPred: true, Pred: r}},
+		}})
+		return p, nil
+	case jnl.Exists:
+		body := Body{NumVars: 1}
+		if _, err := c.path(&body, 0, f.Path); err != nil {
+			return 0, err
+		}
+		p := c.fresh("exists")
+		c.prog.AddRule(Rule{Head: p, Body: body})
+		return p, nil
+	case jnl.EQDoc:
+		body := Body{NumVars: 1}
+		end, err := c.path(&body, 0, f.Path)
+		if err != nil {
+			return 0, err
+		}
+		body.Eqs = append(body.Eqs, EqAtom{A: end, Const: f.Doc})
+		p := c.fresh("eqdoc")
+		c.prog.AddRule(Rule{Head: p, Body: body})
+		return p, nil
+	case jnl.EQPaths:
+		body := Body{NumVars: 1}
+		endL, err := c.path(&body, 0, f.Left)
+		if err != nil {
+			return 0, err
+		}
+		endR, err := c.path(&body, 0, f.Right)
+		if err != nil {
+			return 0, err
+		}
+		body.Eqs = append(body.Eqs, EqAtom{A: endL, B: endR})
+		p := c.fresh("eqpaths")
+		c.prog.AddRule(Rule{Head: p, Body: body})
+		return p, nil
+	default:
+		return 0, fmt.Errorf("datalog: unary %T is not deterministic JNL", u)
+	}
+}
+
+// path extends body with the navigational atoms of the deterministic
+// binary formula b starting at variable from, and returns the variable
+// bound to the path's endpoint. Tests ⟨φ⟩ embedded in the path become
+// intensional literals on the variable at which they occur.
+func (c *compiler) path(body *Body, from Var, b jnl.Binary) (Var, error) {
+	switch f := b.(type) {
+	case jnl.Epsilon:
+		return from, nil
+	case jnl.KeyAxis:
+		to := Var(body.NumVars)
+		body.NumVars++
+		body.Edges = append(body.Edges, Edge{From: from, To: to, IsKey: true, Key: f.Word})
+		return to, nil
+	case jnl.IndexAxis:
+		to := Var(body.NumVars)
+		body.NumVars++
+		body.Edges = append(body.Edges, Edge{From: from, To: to, Index: f.Index})
+		return to, nil
+	case jnl.Test:
+		inner, err := c.unary(f.Inner)
+		if err != nil {
+			return 0, err
+		}
+		body.Tests = append(body.Tests, Test{Var: from, HasPred: true, Pred: inner})
+		return from, nil
+	case jnl.Concat:
+		mid, err := c.path(body, from, f.Left)
+		if err != nil {
+			return 0, err
+		}
+		return c.path(body, mid, f.Right)
+	default:
+		return 0, fmt.Errorf("datalog: path %T is not deterministic JNL", b)
+	}
+}

@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+func mustRe(pattern string) *relang.Regex { return relang.MustCompile(pattern) }
+
+func anyKey() *relang.Regex { return relang.Any() }
+
+// ---- Proposition 4: two-counter machines → recursive JNL with EQ ----
+//
+// Satisfiability of non-deterministic recursive JNL with EQ(α,β) is
+// undecidable; the proof reduces from the halting problem of two-counter
+// (Minsky) machines. An undecidable problem cannot be "run", so the
+// reproduction is evaluation-side: we build the formula of the proof and
+// the JSON encoding of a machine run, and check that the formula holds
+// exactly on encodings of accepting runs.
+
+// CounterOp is an operation of a two-counter machine transition.
+type CounterOp uint8
+
+// Counter machine operations on a designated counter.
+const (
+	// OpIncr increments the counter and moves to Next.
+	OpIncr CounterOp = iota
+	// OpDecr decrements the counter and moves to Next.
+	OpDecr
+	// OpIfZero moves to Next when the counter is zero and to Else
+	// otherwise (without changing the counters).
+	OpIfZero
+)
+
+// CounterTransition is the transition of one machine state.
+type CounterTransition struct {
+	Op      CounterOp
+	Counter int // 0 or 1
+	Next    string
+	Else    string // only for OpIfZero
+}
+
+// CounterMachine is a deterministic two-counter machine.
+type CounterMachine struct {
+	Start string
+	Final string
+	Delta map[string]CounterTransition
+}
+
+// Run executes the machine from (Start, 0, 0) for at most maxSteps and
+// returns the visited configurations (state, c0, c1) including the
+// initial one, plus whether the final state was reached.
+func (m CounterMachine) Run(maxSteps int) (states []string, c0s, c1s []int, halted bool) {
+	state, c0, c1 := m.Start, 0, 0
+	for step := 0; step <= maxSteps; step++ {
+		states = append(states, state)
+		c0s = append(c0s, c0)
+		c1s = append(c1s, c1)
+		if state == m.Final {
+			return states, c0s, c1s, true
+		}
+		tr, ok := m.Delta[state]
+		if !ok {
+			return states, c0s, c1s, false
+		}
+		c := &c0
+		if tr.Counter == 1 {
+			c = &c1
+		}
+		switch tr.Op {
+		case OpIncr:
+			*c++
+			state = tr.Next
+		case OpDecr:
+			if *c == 0 {
+				return states, c0s, c1s, false
+			}
+			*c--
+			state = tr.Next
+		case OpIfZero:
+			if *c == 0 {
+				state = tr.Next
+			} else {
+				state = tr.Else
+			}
+		}
+	}
+	return states, c0s, c1s, false
+}
+
+// EncodeRun encodes a run as the JSON chain of the proof: each
+// configuration is an object with keys "state" (a string), "c0" and "c1"
+// (unary-counter chains of key "a" ending in the string "0"), and "next"
+// (the following configuration; the final configuration omits it).
+func EncodeRun(states []string, c0s, c1s []int) *jsonval.Value {
+	encodeCounter := func(n int) *jsonval.Value {
+		v := jsonval.Str("0")
+		for i := 0; i < n; i++ {
+			v = jsonval.MustObj(jsonval.Member{Key: "a", Value: v})
+		}
+		return v
+	}
+	var doc *jsonval.Value
+	for i := len(states) - 1; i >= 0; i-- {
+		members := []jsonval.Member{
+			{Key: "state", Value: jsonval.Str(states[i])},
+			{Key: "c0", Value: encodeCounter(c0s[i])},
+			{Key: "c1", Value: encodeCounter(c1s[i])},
+		}
+		if doc != nil {
+			members = append(members, jsonval.Member{Key: "next", Value: doc})
+		}
+		doc = jsonval.MustObj(members...)
+	}
+	return doc
+}
+
+// HaltingFormula builds the Proposition 4 formula for the machine: the
+// composition Q_init ∘ Q_trans ∘ Q_final over the configuration chain.
+// It holds at the root of a document iff the document encodes an
+// accepting run of the machine (initial configuration with empty
+// counters, consecutive configurations related by δ, final state
+// reached). The counters are compared between configurations with
+// EQ(α,β), the feature responsible for undecidability.
+func (m CounterMachine) HaltingFormula() jnl.Unary {
+	counterKey := func(c int) string { return fmt.Sprintf("c%d", c) }
+	// eqCounter(path1, path2): the two counter subtrees are equal.
+	eqC := func(a, b jnl.Binary) jnl.Unary { return jnl.EQPaths{Left: a, Right: b} }
+	key := func(w string) jnl.Binary { return jnl.KeyAxis{Word: w} }
+	seq := jnl.Seq
+
+	// stateIs(path, q): the state under path is the string q.
+	stateIs := func(prefix jnl.Binary, q string) jnl.Unary {
+		return jnl.EQDoc{Path: seq(prefix, key("state")), Doc: jsonval.Str(q)}
+	}
+
+	// Q_init: the root configuration has empty counters and the start
+	// state.
+	qInit := jnl.AndAll(
+		jnl.EQDoc{Path: key("c0"), Doc: jsonval.Str("0")},
+		jnl.EQDoc{Path: key("c1"), Doc: jsonval.Str("0")},
+		stateIs(jnl.Epsilon{}, m.Start),
+	)
+
+	// Per-state transition condition, checked at a configuration node
+	// that has a successor.
+	var transParts []jnl.Unary
+	for q, tr := range m.Delta {
+		ck := counterKey(tr.Counter)
+		ok := counterKey(1 - tr.Counter)
+		var cond jnl.Unary
+		switch tr.Op {
+		case OpIncr:
+			// next.c = {"a": c}: the next counter with one "a" peeled
+			// equals the current counter.
+			cond = jnl.AndAll(
+				eqC(key(ck), seq(key("next"), key(ck), key("a"))),
+				stateIs(key("next"), tr.Next),
+			)
+		case OpDecr:
+			cond = jnl.AndAll(
+				eqC(seq(key(ck), key("a")), seq(key("next"), key(ck))),
+				stateIs(key("next"), tr.Next),
+			)
+		case OpIfZero:
+			zero := jnl.AndAll(
+				jnl.EQDoc{Path: key(ck), Doc: jsonval.Str("0")},
+				stateIs(key("next"), tr.Next),
+				eqC(key(ck), seq(key("next"), key(ck))),
+			)
+			nonzero := jnl.AndAll(
+				jnl.Exists{Path: seq(key(ck), key("a"))},
+				stateIs(key("next"), tr.Else),
+				eqC(key(ck), seq(key("next"), key(ck))),
+			)
+			cond = jnl.Or{Left: zero, Right: nonzero}
+		}
+		// The untouched counter is copied.
+		cond = jnl.And{Left: cond, Right: eqC(key(ok), seq(key("next"), key(ok)))}
+		transParts = append(transParts, jnl.And{Left: stateIs(jnl.Epsilon{}, q), Right: cond})
+	}
+	// Every configuration with a successor obeys some transition:
+	// along the whole chain, ¬∃ next ∨ (one of the transitions fires).
+	chainOK := jnl.Or{
+		Left:  jnl.Not{Inner: jnl.Exists{Path: key("next")}},
+		Right: jnl.OrAll(transParts...),
+	}
+	qTrans := jnl.Not{Inner: jnl.Exists{Path: seq(
+		jnl.Star{Inner: key("next")},
+		jnl.Test{Inner: jnl.Not{Inner: chainOK}},
+	)}}
+
+	// Q_final: some configuration reaches the final state.
+	qFinal := jnl.Exists{Path: seq(
+		jnl.Star{Inner: key("next")},
+		jnl.Test{Inner: stateIs(jnl.Epsilon{}, m.Final)},
+	)}
+
+	return jnl.AndAll(qInit, qTrans, qFinal)
+}

@@ -1,0 +1,122 @@
+// Package gen provides the workload generators behind the experiment
+// harness: parameterized random JSON documents, and the reductions used
+// in the paper's hardness proofs — 3SAT to deterministic JNL
+// (Proposition 2), QBF to JSL (Proposition 7), boolean circuits to
+// recursive JSL (Proposition 9) and two-counter machines to recursive
+// JNL with EQ(α,β) (Proposition 4). Each reduction ships with a
+// brute-force reference decision procedure so tests can confirm the
+// reduction preserves (un)satisfiability.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jsonlogic/internal/jsonval"
+)
+
+// DocOptions parameterize random document generation.
+type DocOptions struct {
+	// Fanout is the number of children per container node.
+	Fanout int
+	// Depth is the nesting depth.
+	Depth int
+	// Keys is the pool size for object keys (keys are k0, k1, …).
+	Keys int
+	// ArrayBias in [0,100]: percentage of containers that are arrays.
+	ArrayBias int
+	// ValueRange bounds the numbers stored at leaves.
+	ValueRange int
+}
+
+// DefaultDocOptions is a balanced mix of objects, arrays and scalars.
+func DefaultDocOptions() DocOptions {
+	return DocOptions{Fanout: 4, Depth: 5, Keys: 12, ArrayBias: 40, ValueRange: 100}
+}
+
+// Document generates a pseudorandom document with the given options.
+func Document(r *rand.Rand, o DocOptions) *jsonval.Value {
+	return docRec(r, o, o.Depth)
+}
+
+func docRec(r *rand.Rand, o DocOptions, depth int) *jsonval.Value {
+	if depth == 0 {
+		if r.Intn(2) == 0 {
+			return jsonval.Num(uint64(r.Intn(o.ValueRange)))
+		}
+		return jsonval.Str(fmt.Sprintf("s%d", r.Intn(o.ValueRange)))
+	}
+	if r.Intn(100) < o.ArrayBias {
+		elems := make([]*jsonval.Value, o.Fanout)
+		for i := range elems {
+			elems[i] = docRec(r, o, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	members := make([]jsonval.Member, 0, o.Fanout)
+	seen := map[string]bool{}
+	for i := 0; i < o.Fanout; i++ {
+		k := fmt.Sprintf("k%d", r.Intn(o.Keys))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		members = append(members, jsonval.Member{Key: k, Value: docRec(r, o, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
+
+// SizedDocument generates a document with approximately n nodes: a
+// balanced object tree with fanout 8, whose leaf layer mixes strings and
+// numbers deterministically from the seed.
+func SizedDocument(seed int64, n int) *jsonval.Value {
+	r := rand.New(rand.NewSource(seed))
+	const fanout = 8
+	depth := 1
+	total := 1
+	for total < n {
+		total = total*fanout + 1
+		depth++
+	}
+	o := DocOptions{Fanout: fanout, Depth: depth, Keys: fanout * 2, ArrayBias: 30, ValueRange: 64}
+	doc := Document(r, o)
+	for doc.Size() < n/2 {
+		o.Depth++
+		doc = Document(r, o)
+	}
+	return doc
+}
+
+// WideDocument generates an object with n members holding numbers; the
+// extreme-fanout shape used by evaluation benchmarks.
+func WideDocument(n int) *jsonval.Value {
+	members := make([]jsonval.Member, n)
+	for i := range members {
+		members[i] = jsonval.Member{Key: fmt.Sprintf("k%06d", i), Value: jsonval.Num(uint64(i))}
+	}
+	return jsonval.MustObj(members...)
+}
+
+// DeepDocument generates a chain of n nested objects (height n); the
+// extreme-depth shape used by evaluation and recursion benchmarks.
+func DeepDocument(n int) *jsonval.Value {
+	doc := jsonval.Num(0)
+	for i := 0; i < n; i++ {
+		doc = jsonval.MustObj(jsonval.Member{Key: "next", Value: doc})
+	}
+	return doc
+}
+
+// ArrayDocument generates an array of n elements drawn cyclically from
+// k distinct values; duplicates appear whenever n > k. Used by the
+// Unique benchmarks of Proposition 6.
+func ArrayDocument(n, k int) *jsonval.Value {
+	elems := make([]*jsonval.Value, n)
+	for i := range elems {
+		elems[i] = jsonval.MustObj(
+			jsonval.Member{Key: "id", Value: jsonval.Num(uint64(i % k))},
+			jsonval.Member{Key: "tag", Value: jsonval.Str(fmt.Sprintf("t%d", i%k))},
+		)
+	}
+	return jsonval.Arr(elems...)
+}

@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"jsonlogic/internal/jauto"
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+)
+
+func TestDocumentGenerators(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	doc := Document(r, DefaultDocOptions())
+	if doc.Size() < 2 {
+		t.Error("random document too small")
+	}
+	if w := WideDocument(100); w.Len() != 100 {
+		t.Errorf("WideDocument len = %d", w.Len())
+	}
+	if d := DeepDocument(50); d.Height() != 50 {
+		t.Errorf("DeepDocument height = %d", d.Height())
+	}
+	if s := SizedDocument(7, 5000); s.Size() < 2500 {
+		t.Errorf("SizedDocument too small: %d", s.Size())
+	}
+	arr := ArrayDocument(10, 5)
+	if arr.Len() != 10 {
+		t.Errorf("ArrayDocument len = %d", arr.Len())
+	}
+	tr := jsontree.FromValue(arr)
+	if tr.UniqueChildren(tr.Root()) {
+		t.Error("ArrayDocument(10,5) must contain duplicates")
+	}
+	arr2 := ArrayDocument(5, 5)
+	tr2 := jsontree.FromValue(arr2)
+	if !tr2.UniqueChildren(tr2.Root()) {
+		t.Error("ArrayDocument(5,5) must be duplicate-free")
+	}
+}
+
+// TestP2Reduction validates the Proposition 2 reduction: the JNL formula
+// is satisfiable iff the 3SAT instance is, across random instances.
+func TestP2Reduction(t *testing.T) {
+	// The reduction target is NP-hard (that is the point of Prop 2), and
+	// the generic non-emptiness search is exponential in the number of
+	// disjunctions, so the differential check sticks to instance sizes
+	// the solver finishes quickly; BenchmarkP2Sat3SAT sweeps larger ones.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		vars := 3 + r.Intn(2)
+		clauses := 2 + r.Intn(6)
+		inst := RandomThreeSAT(r, vars, clauses)
+		want := inst.BruteForceSatisfiable()
+		formula := inst.ToJNL()
+		c := jnl.Classify(formula)
+		if !c.Deterministic || c.HasNegation || c.HasEQPaths {
+			t.Fatalf("reduction must be positive deterministic JNL, got %+v", c)
+		}
+		w, got, err := jauto.SatisfiableJNL(formula)
+		if err != nil {
+			t.Fatalf("SatisfiableJNL: %v", err)
+		}
+		if got != want {
+			t.Errorf("instance %d: solver %v, brute force %v", trial, got, want)
+		}
+		if got {
+			tr := jsontree.FromValue(w)
+			if !jnl.Holds(tr, formula, tr.Root()) {
+				t.Errorf("witness does not satisfy the reduction formula")
+			}
+		}
+	}
+}
+
+// TestP7Reduction validates the Proposition 7 reduction: the JSL formula
+// is satisfiable iff the QBF is true, across random instances.
+func TestP7Reduction(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		vars := 2 + r.Intn(3)
+		clauses := 1 + r.Intn(4)
+		q := RandomQBF(r, vars, clauses)
+		want := q.BruteForceTrue()
+		formula := q.ToJSL()
+		w, got, err := jauto.SatisfiableJSLFormula(formula)
+		if err != nil {
+			t.Fatalf("SatisfiableJSLFormula: %v", err)
+		}
+		if got != want {
+			t.Errorf("QBF trial %d (exists=%v clauses=%v): solver %v, brute force %v",
+				trial, q.Exists, q.Clauses, got, want)
+		}
+		if got {
+			tr := jsontree.FromValue(w)
+			holds, err := jsl.Holds(tr, formula)
+			if err != nil || !holds {
+				t.Errorf("witness does not satisfy the QBF reduction")
+			}
+		}
+	}
+}
+
+// TestP9CircuitReduction validates the Proposition 9 reduction: the
+// recursive JSL expression evaluates the circuit.
+func TestP9CircuitReduction(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		inputs := 2 + r.Intn(4)
+		c := RandomCircuit(r, inputs, 3+r.Intn(8))
+		expr := c.ToRecursiveJSL()
+		if err := expr.WellFormed(); err != nil {
+			t.Fatalf("circuit expression ill-formed: %v", err)
+		}
+		assignment := make([]bool, inputs)
+		for mask := 0; mask < 1<<inputs; mask++ {
+			for i := range assignment {
+				assignment[i] = mask>>i&1 == 1
+			}
+			want := c.Eval(assignment)
+			tr := jsontree.MustParse(c.InputDocument(assignment))
+			got, err := jsl.HoldsRecursive(tr, expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("circuit %d on %0*b: JSL %v, direct %v", trial, inputs, mask, got, want)
+			}
+		}
+	}
+}
+
+// collatzLikeMachine halts after incrementing c0 n times and draining it.
+func drainMachine(n int) CounterMachine {
+	m := CounterMachine{Start: "q0", Final: "qf", Delta: map[string]CounterTransition{}}
+	// q0..q{n-1}: increment c0.
+	for i := 0; i < n; i++ {
+		next := "loop"
+		if i+1 < n {
+			next = nstate(i + 1)
+		}
+		m.Delta[nstate(i)] = CounterTransition{Op: OpIncr, Counter: 0, Next: next}
+	}
+	// loop: if c0 == 0 then qf else decrement.
+	m.Delta["loop"] = CounterTransition{Op: OpIfZero, Counter: 0, Next: "qf", Else: "dec"}
+	m.Delta["dec"] = CounterTransition{Op: OpDecr, Counter: 0, Next: "loop"}
+	return m
+}
+
+func nstate(i int) string {
+	if i == 0 {
+		return "q0"
+	}
+	return CounterStateName(i)
+}
+
+// CounterStateName names intermediate states; exported for the harness.
+func CounterStateName(i int) string { return "q" + string(rune('0'+i)) }
+
+// TestP4CounterMachineEncoding is the evaluation-side reproduction of
+// Proposition 4: the halting formula holds exactly on encodings of
+// accepting runs.
+func TestP4CounterMachineEncoding(t *testing.T) {
+	m := drainMachine(3)
+	states, c0s, c1s, halted := m.Run(100)
+	if !halted {
+		t.Fatal("drain machine must halt")
+	}
+	doc := EncodeRun(states, c0s, c1s)
+	formula := m.HaltingFormula()
+	tr := jsontree.FromValue(doc)
+	if !jnl.Holds(tr, formula, tr.Root()) {
+		t.Fatalf("halting formula must hold on the accepting run encoding:\n%s", doc.Indent("  "))
+	}
+	// Corrupt the run: swap a counter value mid-run.
+	c0s[2]++
+	bad := EncodeRun(states, c0s, c1s)
+	btr := jsontree.FromValue(bad)
+	if jnl.Holds(btr, formula, btr.Root()) {
+		t.Error("halting formula must reject corrupted runs")
+	}
+	// A run of a non-halting machine (missing final state) is rejected.
+	c0s[2]--
+	trunc := EncodeRun(states[:len(states)-1], c0s[:len(c0s)-1], c1s[:len(c1s)-1])
+	ttr := jsontree.FromValue(trunc)
+	if jnl.Holds(ttr, formula, ttr.Root()) {
+		t.Error("halting formula must reject truncated runs")
+	}
+	// The machine that never halts has no accepting run to encode; its
+	// formula rejects every candidate chain we build.
+	diverge := CounterMachine{Start: "q0", Final: "qf", Delta: map[string]CounterTransition{
+		"q0": {Op: OpIncr, Counter: 0, Next: "q0"},
+	}}
+	dstates, dc0, dc1, halted := diverge.Run(10)
+	if halted {
+		t.Fatal("diverging machine must not halt")
+	}
+	dTree := jsontree.FromValue(EncodeRun(dstates, dc0, dc1))
+	if jnl.Holds(dTree, diverge.HaltingFormula(), dTree.Root()) {
+		t.Error("diverging machine's formula must reject its partial runs")
+	}
+}

@@ -1,0 +1,351 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+)
+
+// ---- Proposition 2: 3SAT → deterministic JNL ----
+
+// Literal is a 3SAT literal: variable index (1-based) and sign.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// ThreeSAT is a 3CNF instance.
+type ThreeSAT struct {
+	Vars    int
+	Clauses [][3]Literal
+}
+
+// RandomThreeSAT draws a random 3CNF instance with the given
+// clause-to-variable ratio (the hardness peak is near ratio 4.3).
+func RandomThreeSAT(r *rand.Rand, vars int, clauses int) ThreeSAT {
+	inst := ThreeSAT{Vars: vars}
+	for c := 0; c < clauses; c++ {
+		var cl [3]Literal
+		for i := 0; i < 3; i++ {
+			cl[i] = Literal{Var: 1 + r.Intn(vars), Neg: r.Intn(2) == 0}
+		}
+		inst.Clauses = append(inst.Clauses, cl)
+	}
+	return inst
+}
+
+// BruteForceSatisfiable decides the instance by enumeration (reference
+// implementation for validating the reduction).
+func (t ThreeSAT) BruteForceSatisfiable() bool {
+	for mask := 0; mask < 1<<t.Vars; mask++ {
+		ok := true
+		for _, cl := range t.Clauses {
+			sat := false
+			for _, lit := range cl {
+				val := mask>>(lit.Var-1)&1 == 1
+				if val != lit.Neg {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ToJNL builds the Proposition 2 reduction: for each variable p the
+// formula θ_p = [X_p⟨[X_0]⟩] ∨ [X_p⟨[X_w]⟩] lets models choose the value
+// of p (an array under key p means true, an object with the fresh key w
+// means false), and each clause contributes the disjunction of its
+// literals' checks. The resulting positive, deterministic JNL formula is
+// satisfiable iff the instance is.
+func (t ThreeSAT) ToJNL() jnl.Unary {
+	const fresh = "w" // the fresh string of the proof
+	varKey := func(v int) string { return fmt.Sprintf("p%d", v) }
+	trueCheck := func(v int) jnl.Unary {
+		return jnl.Exists{Path: jnl.Concat{
+			Left:  jnl.KeyAxis{Word: varKey(v)},
+			Right: jnl.Test{Inner: jnl.Exists{Path: jnl.IndexAxis{Index: 0}}},
+		}}
+	}
+	falseCheck := func(v int) jnl.Unary {
+		return jnl.Exists{Path: jnl.Concat{
+			Left:  jnl.KeyAxis{Word: varKey(v)},
+			Right: jnl.Test{Inner: jnl.Exists{Path: jnl.KeyAxis{Word: fresh}}},
+		}}
+	}
+	var parts []jnl.Unary
+	for v := 1; v <= t.Vars; v++ {
+		parts = append(parts, jnl.Or{Left: trueCheck(v), Right: falseCheck(v)})
+	}
+	for _, cl := range t.Clauses {
+		var lits []jnl.Unary
+		for _, lit := range cl {
+			if lit.Neg {
+				lits = append(lits, falseCheck(lit.Var))
+			} else {
+				lits = append(lits, trueCheck(lit.Var))
+			}
+		}
+		parts = append(parts, jnl.OrAll(lits...))
+	}
+	return jnl.AndAll(parts...)
+}
+
+// ---- Proposition 7: QBF → JSL ----
+
+// QBF is a quantified boolean formula in prenex 3CNF:
+// Q1 x1 … Qn xn. clauses.
+type QBF struct {
+	// Exists[i] reports whether variable i+1 is existentially
+	// quantified; otherwise universal.
+	Exists  []bool
+	Clauses [][3]Literal
+}
+
+// RandomQBF draws a random QBF instance.
+func RandomQBF(r *rand.Rand, vars, clauses int) QBF {
+	q := QBF{Exists: make([]bool, vars)}
+	for i := range q.Exists {
+		q.Exists[i] = r.Intn(2) == 0
+	}
+	for c := 0; c < clauses; c++ {
+		var cl [3]Literal
+		for i := 0; i < 3; i++ {
+			cl[i] = Literal{Var: 1 + r.Intn(vars), Neg: r.Intn(2) == 0}
+		}
+		q.Clauses = append(q.Clauses, cl)
+	}
+	return q
+}
+
+// BruteForceTrue evaluates the QBF by recursive expansion.
+func (q QBF) BruteForceTrue() bool {
+	assignment := make([]bool, len(q.Exists))
+	var eval func(i int) bool
+	eval = func(i int) bool {
+		if i == len(q.Exists) {
+			for _, cl := range q.Clauses {
+				sat := false
+				for _, lit := range cl {
+					if assignment[lit.Var-1] != lit.Neg {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					return false
+				}
+			}
+			return true
+		}
+		assignment[i] = true
+		first := eval(i + 1)
+		assignment[i] = false
+		second := eval(i + 1)
+		if q.Exists[i] {
+			return first || second
+		}
+		return first && second
+	}
+	return eval(0)
+}
+
+// ToJSL builds the Proposition 7 reduction: models are trees of height
+// 2n alternating an X edge with a T/F edge per variable — existential
+// variables have exactly one of T/F, universal variables both — and for
+// each clause C, no root-to-leaf path may encode an assignment
+// falsifying C. The formula is satisfiable iff the QBF is true.
+func (q QBF) ToJSL() jsl.Formula {
+	n := len(q.Exists)
+	boxAll := func(f jsl.Formula) jsl.Formula { return jsl.BoxRe(anyKey(), f) }
+	boxDepth := func(d int, f jsl.Formula) jsl.Formula {
+		for i := 0; i < d; i++ {
+			f = boxAll(f)
+		}
+		return f
+	}
+	diaT := jsl.DiaWord("T", jsl.True{})
+	diaF := jsl.DiaWord("F", jsl.True{})
+	var parts []jsl.Formula
+	for k := 0; k < n; k++ {
+		// Depth 2k: an object with exactly the X child.
+		parts = append(parts, boxDepth(2*k, jsl.AndAll(
+			jsl.IsObj{},
+			jsl.DiaWord("X", jsl.True{}),
+			jsl.MaxCh{K: 1},
+		)))
+		// Depth 2k+1 (under X): T/F children per quantifier.
+		var valuation jsl.Formula
+		if q.Exists[k] {
+			valuation = jsl.Or{
+				Left:  jsl.And{Left: diaT, Right: jsl.Not{Inner: diaF}},
+				Right: jsl.And{Left: jsl.Not{Inner: diaT}, Right: diaF},
+			}
+		} else {
+			valuation = jsl.And{Left: diaT, Right: diaF}
+		}
+		parts = append(parts, boxDepth(2*k+1, jsl.AndAll(
+			jsl.IsObj{},
+			valuation,
+			jsl.MaxCh{K: 2},
+			jsl.BoxRe(mustRe("[^TF]|..+"), jsl.Not{Inner: jsl.True{}}),
+		)))
+	}
+	// Leaves at depth 2n are empty objects.
+	parts = append(parts, boxDepth(2*n, jsl.And{Left: jsl.IsObj{}, Right: jsl.MaxCh{K: 0}}))
+
+	// No falsifying path: for each clause, the path that picks the
+	// falsifying side of each clause variable must not exist.
+	for _, cl := range q.Clauses {
+		falsify := map[int]string{}
+		tautology := false
+		for _, lit := range cl {
+			// A literal fails when its variable takes the opposite value.
+			side := "F"
+			if lit.Neg {
+				side = "T"
+			}
+			if prev, ok := falsify[lit.Var]; ok && prev != side {
+				// The clause contains both x and ¬x: it can never be
+				// falsified and contributes no constraint.
+				tautology = true
+				break
+			}
+			falsify[lit.Var] = side
+		}
+		if tautology {
+			continue
+		}
+		path := jsl.Formula(jsl.True{})
+		for k := n; k >= 1; k-- {
+			if side, ok := falsify[k]; ok {
+				path = jsl.DiaWord(side, path)
+			} else {
+				path = jsl.DiaRe(mustRe("T|F"), path)
+			}
+			path = jsl.DiaWord("X", path)
+		}
+		parts = append(parts, jsl.Not{Inner: path})
+	}
+	return jsl.AndAll(parts...)
+}
+
+// ---- Proposition 9: boolean circuits → recursive JSL ----
+
+// GateKind is the operation of a circuit gate.
+type GateKind uint8
+
+// Gate kinds.
+const (
+	GateInput GateKind = iota
+	GateAnd
+	GateOr
+	GateNot
+)
+
+// Gate is one gate of a boolean circuit; inputs reference either
+// circuit inputs (for GateInput) or earlier gates.
+type Gate struct {
+	Kind GateKind
+	// Input is the input index for GateInput.
+	Input int
+	// Args are gate indices for AND/OR/NOT.
+	Args []int
+}
+
+// Circuit is a boolean circuit; the last gate is the output.
+type Circuit struct {
+	NumInputs int
+	Gates     []Gate
+}
+
+// RandomCircuit draws a random circuit with the given number of inputs
+// and internal gates.
+func RandomCircuit(r *rand.Rand, inputs, gates int) Circuit {
+	c := Circuit{NumInputs: inputs}
+	for i := 0; i < inputs; i++ {
+		c.Gates = append(c.Gates, Gate{Kind: GateInput, Input: i})
+	}
+	for g := 0; g < gates; g++ {
+		prev := len(c.Gates)
+		switch r.Intn(3) {
+		case 0:
+			c.Gates = append(c.Gates, Gate{Kind: GateAnd, Args: []int{r.Intn(prev), r.Intn(prev)}})
+		case 1:
+			c.Gates = append(c.Gates, Gate{Kind: GateOr, Args: []int{r.Intn(prev), r.Intn(prev)}})
+		default:
+			c.Gates = append(c.Gates, Gate{Kind: GateNot, Args: []int{r.Intn(prev)}})
+		}
+	}
+	return c
+}
+
+// Eval evaluates the circuit on an assignment (reference).
+func (c Circuit) Eval(inputs []bool) bool {
+	vals := make([]bool, len(c.Gates))
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case GateInput:
+			vals[i] = inputs[g.Input]
+		case GateAnd:
+			vals[i] = vals[g.Args[0]] && vals[g.Args[1]]
+		case GateOr:
+			vals[i] = vals[g.Args[0]] || vals[g.Args[1]]
+		case GateNot:
+			vals[i] = !vals[g.Args[0]]
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+// InputDocument encodes an assignment as the object
+// {"IN0": "T"/"F", …} of the Proposition 9 reduction.
+func (c Circuit) InputDocument(inputs []bool) string {
+	doc := "{"
+	for i, b := range inputs {
+		if i > 0 {
+			doc += ","
+		}
+		v := "F"
+		if b {
+			v = "T"
+		}
+		doc += fmt.Sprintf("%q:%q", fmt.Sprintf("IN%d", i), v)
+	}
+	return doc + "}"
+}
+
+// ToRecursiveJSL builds the Proposition 9 lower-bound construction: one
+// definition per gate, with input gates reading ◇_{INi} Pattern(T); the
+// base expression is the output gate's symbol. The expression holds on
+// InputDocument(x) iff the circuit evaluates to true on x.
+func (c Circuit) ToRecursiveJSL() *jsl.Recursive {
+	name := func(i int) string { return fmt.Sprintf("g%d", i) }
+	r := &jsl.Recursive{}
+	for i, g := range c.Gates {
+		var body jsl.Formula
+		switch g.Kind {
+		case GateInput:
+			body = jsl.DiaWord(fmt.Sprintf("IN%d", g.Input), jsl.Pattern{Re: mustRe("T")})
+		case GateAnd:
+			body = jsl.And{Left: jsl.Ref{Name: name(g.Args[0])}, Right: jsl.Ref{Name: name(g.Args[1])}}
+		case GateOr:
+			body = jsl.Or{Left: jsl.Ref{Name: name(g.Args[0])}, Right: jsl.Ref{Name: name(g.Args[1])}}
+		case GateNot:
+			body = jsl.Not{Inner: jsl.Ref{Name: name(g.Args[0])}}
+		}
+		r.Defs = append(r.Defs, jsl.Definition{Name: name(i), Body: body})
+	}
+	r.Base = jsl.Ref{Name: name(len(c.Gates) - 1)}
+	return r
+}

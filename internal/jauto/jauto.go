@@ -1,0 +1,131 @@
+package jauto
+
+import (
+	"errors"
+	"strings"
+
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+)
+
+// Automaton is a J-automaton compiled from a (recursive) JSL expression
+// per Lemmas 4 and 5: its states are the closure of the expression (each
+// NNF subformula in both polarities), its rules the formulas themselves.
+type Automaton struct {
+	rec     *jsl.Recursive
+	defs    map[string]jsl.Formula
+	closure map[string]bool
+	caps    Caps
+}
+
+// ErrBudget is returned when the non-emptiness search exhausts its step
+// budget without an exhaustive answer.
+var ErrBudget = errors.New("jauto: search budget exhausted; result unknown (raise Caps.MaxSteps)")
+
+// Compile builds the J-automaton for a recursive JSL expression,
+// checking well-formedness (§5.3) first.
+func Compile(r *jsl.Recursive) (*Automaton, error) {
+	if err := r.WellFormed(); err != nil {
+		return nil, err
+	}
+	a := &Automaton{
+		rec:     r,
+		defs:    map[string]jsl.Formula{},
+		closure: map[string]bool{},
+		caps:    DefaultCaps(),
+	}
+	for _, d := range r.Defs {
+		a.defs[d.Name] = d.Body
+	}
+	for _, pol := range []bool{false, true} {
+		a.collect(toNNF(r.Base, pol))
+		for _, d := range r.Defs {
+			a.collect(toNNF(d.Body, pol))
+		}
+	}
+	return a, nil
+}
+
+// CompileFormula compiles a plain JSL formula (no definitions).
+func CompileFormula(f jsl.Formula) (*Automaton, error) {
+	return Compile(jsl.NonRecursive(f))
+}
+
+// SetCaps overrides the search bounds.
+func (a *Automaton) SetCaps(c Caps) { a.caps = c }
+
+func (a *Automaton) collect(f nf) {
+	var sb strings.Builder
+	render(f, &sb)
+	key := sb.String()
+	if a.closure[key] {
+		return
+	}
+	a.closure[key] = true
+	switch t := f.(type) {
+	case nfAnd:
+		a.collect(t.left)
+		a.collect(t.right)
+	case nfOr:
+		a.collect(t.left)
+		a.collect(t.right)
+	case nfDia:
+		a.collect(t.inner)
+	case nfBox:
+		a.collect(t.inner)
+	}
+}
+
+// NumStates returns the number of states (closure formulas) of the
+// automaton.
+func (a *Automaton) NumStates() int { return len(a.closure) }
+
+// Accepts reports whether the automaton accepts the tree. Acceptance
+// coincides with J |= Δ; the run is computed bottom-up exactly as in the
+// stratified evaluation of Proposition 9 (the run of a J-automaton
+// augments each node with the states it satisfies, which is the same
+// table).
+func (a *Automaton) Accepts(t *jsontree.Tree) (bool, error) {
+	return jsl.HoldsRecursive(t, a.rec)
+}
+
+// Nonempty decides language non-emptiness (Proposition 10): whether some
+// JSON document is accepted. On success it returns a concrete witness
+// document, independently re-verified against the source expression, so
+// a true answer is always sound. A false answer is exhaustive within the
+// configured Caps; if the step budget was exhausted first, ErrBudget is
+// returned.
+func (a *Automaton) Nonempty() (*jsonval.Value, bool, error) {
+	s := newSolver(a.defs, a.caps)
+	w, ok, _ := s.sat([]nf{toNNF(a.rec.Base, false)})
+	if ok {
+		holds, err := jsl.HoldsRecursive(jsontree.FromValue(w), a.rec)
+		if err != nil {
+			return nil, false, err
+		}
+		if !holds {
+			return nil, false, errors.New("jauto: internal error: synthesized witness failed verification")
+		}
+		return w, true, nil
+	}
+	if s.exceeded {
+		return nil, false, ErrBudget
+	}
+	return nil, false, nil
+}
+
+// SatisfiableJSL is the Proposition 7 / Proposition 10 entry point:
+// satisfiability of a (recursive) JSL expression, with witness.
+func SatisfiableJSL(r *jsl.Recursive) (*jsonval.Value, bool, error) {
+	a, err := Compile(r)
+	if err != nil {
+		return nil, false, err
+	}
+	return a.Nonempty()
+}
+
+// SatisfiableJSLFormula decides satisfiability of a plain JSL formula.
+func SatisfiableJSLFormula(f jsl.Formula) (*jsonval.Value, bool, error) {
+	return SatisfiableJSL(jsl.NonRecursive(f))
+}

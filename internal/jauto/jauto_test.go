@@ -1,0 +1,346 @@
+package jauto
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+func satJSL(t *testing.T, src string) (*jsonval.Value, bool) {
+	t.Helper()
+	w, ok, err := SatisfiableJSL(jsl.MustParseRecursive(src))
+	if err != nil {
+		t.Fatalf("SatisfiableJSL(%s): %v", src, err)
+	}
+	return w, ok
+}
+
+func TestSatBasics(t *testing.T) {
+	satCases := []string{
+		`true`,
+		`string`,
+		`number && min(5) && max(10)`,
+		`number && min(5) && multOf(7)`,
+		`string && pattern("(01)+")`,
+		`string && pattern("a+") && !pattern("aa+")`, // exactly "a"
+		`object && minch(2)`,
+		`array && minch(3) && unique`,
+		`some("a", number) && some("b", string)`,
+		`some(~"x.*", number && min(3))`,
+		`all(~".*", number) && some("k", true)`,
+		`some([0:], string) && some([2:2], number)`,
+		`eq({"a":[1,2]})`,
+		`!eq(5) && number && min(5) && max(6)`, // must pick 6
+		`array && !unique && minch(2)`,
+		`object && maxch(0)`,
+		`some("a", some("a", some("a", number && min(7))))`,
+	}
+	for _, src := range satCases {
+		w, ok := satJSL(t, src)
+		if !ok {
+			t.Errorf("%s should be satisfiable", src)
+			continue
+		}
+		// The engine verifies witnesses internally; double-check here.
+		tr := jsontree.FromValue(w)
+		holds, err := jsl.HoldsRecursive(tr, jsl.MustParseRecursive(src))
+		if err != nil || !holds {
+			t.Errorf("witness %s does not satisfy %s (err=%v)", w, src, err)
+		}
+	}
+	unsatCases := []string{
+		`!true`,
+		`string && number`,
+		`string && pattern("a+") && pattern("b+")`,
+		`number && min(10) && max(5)`,
+		`number && max(10) && multOf(7) && min(8)`, // 7k in (8..10) impossible
+		`object && minch(2) && maxch(1)`,
+		`some("a", true) && string`,
+		`some("a", true) && some([0:], true)`, // object and array at once
+		`some("a", number && string)`,
+		`eq(5) && string`,
+		`eq(5) && !eq(5)`,
+		`all(~".*", !true) && some("k", true)`,
+		`array && unique && minch(2) && maxch(2) && all([0:], eq(1))`,
+	}
+	for _, src := range unsatCases {
+		if w, ok := satJSL(t, src); ok {
+			t.Errorf("%s should be unsatisfiable, got witness %s", src, w)
+		}
+	}
+}
+
+// TestProposition2Examples: the observation after Proposition 2 — the
+// positive formula X_a[X_1] ∧ X_a[X_b] is unsatisfiable because the
+// value under key a cannot be both an array and an object.
+func TestProposition2Examples(t *testing.T) {
+	u := jnl.MustParse(`[/a <[/1]>] && [/a <[/b]>]`)
+	if _, ok, err := SatisfiableJNL(u); err != nil || ok {
+		t.Errorf("key-uniqueness conflict must be UNSAT (ok=%v err=%v)", ok, err)
+	}
+	// Without the conflict each conjunct alone is satisfiable.
+	for _, src := range []string{`[/a <[/1]>]`, `[/a <[/b]>]`} {
+		w, ok, err := SatisfiableJNL(jnl.MustParse(src))
+		if err != nil || !ok {
+			t.Errorf("%s should be SAT (err=%v)", src, err)
+			continue
+		}
+		tr := jsontree.FromValue(w)
+		if !jnl.Holds(tr, jnl.MustParse(src), tr.Root()) {
+			t.Errorf("witness %s does not satisfy %s", w, src)
+		}
+	}
+}
+
+func TestSatJNLWithStar(t *testing.T) {
+	cases := []struct {
+		src string
+		sat bool
+	}{
+		{`[(/a)* <eq(eps, 5)>]`, true},
+		{`[/a (/a)* <eq(eps, 5)>]`, true},
+		{`[(/~".*")* <eq(eps, "x")>]`, true},
+		{`[(/a)*] && !true`, false},
+		{`[(/a /b)* /a <eq(eps, 1)>]`, true},
+	}
+	for _, tc := range cases {
+		w, ok, err := SatisfiableJNL(jnl.MustParse(tc.src))
+		if err != nil {
+			t.Errorf("SatisfiableJNL(%s): %v", tc.src, err)
+			continue
+		}
+		if ok != tc.sat {
+			t.Errorf("%s: sat=%v want %v", tc.src, ok, tc.sat)
+			continue
+		}
+		if ok {
+			tr := jsontree.FromValue(w)
+			if !jnl.Holds(tr, jnl.MustParse(tc.src), tr.Root()) {
+				t.Errorf("witness %s does not satisfy %s", w, tc.src)
+			}
+		}
+	}
+}
+
+func TestSatEQPathsRejected(t *testing.T) {
+	if _, _, err := SatisfiableJNL(jnl.MustParse(`eq(/a, /b)`)); err == nil {
+		t.Error("EQ(α,β) satisfiability must be rejected (Proposition 4)")
+	}
+}
+
+// TestInfiniteDescentUnsat: γ = ◇_a γ demands an infinite path, which no
+// finite tree provides; the cycle cut must report UNSAT.
+func TestInfiniteDescentUnsat(t *testing.T) {
+	if w, ok := satJSL(t, `def g = some("a", g) ; g`); ok {
+		t.Errorf("infinite-descent expression should be UNSAT, got %s", w)
+	}
+	// The companion with an escape hatch is satisfiable.
+	if _, ok := satJSL(t, `def g = number || some("a", g) ; g`); !ok {
+		t.Error("escape-hatch recursion should be SAT")
+	}
+}
+
+func TestSatRecursiveExamples(t *testing.T) {
+	// Example 2: even-length paths; {} is the smallest witness.
+	w, ok := satJSL(t, `
+		def g1 = all(~".*", g2) ;
+		def g2 = some(~".*", true) && all(~".*", g1) ;
+		g1`)
+	if !ok {
+		t.Fatal("Example 2 expression should be satisfiable")
+	}
+	tr := jsontree.FromValue(w)
+	if h := tr.Height(tr.Root()); h%2 != 0 {
+		t.Errorf("witness height %d is odd: %s", h, w)
+	}
+	// Example 5: complete binary trees with equal siblings.
+	w, ok = satJSL(t, `
+		def g = !some([0:], true) || (minch(2) && maxch(2) && !unique && all([0:1], g)) ;
+		array && g`)
+	if !ok {
+		t.Fatal("Example 5 expression should be satisfiable")
+	}
+	if !w.IsArray() {
+		t.Errorf("witness should be an array, got %s", w)
+	}
+	// Forcing at least one level: two equal children.
+	w, ok = satJSL(t, `
+		def g = !some([0:], true) || (minch(2) && maxch(2) && !unique && all([0:1], g)) ;
+		array && minch(2) && g`)
+	if !ok {
+		t.Fatal("deeper Example 5 expression should be satisfiable")
+	}
+	if w.Len() != 2 {
+		t.Errorf("witness should have exactly 2 children: %s", w)
+	}
+	e0, _ := w.Elem(0)
+	e1, _ := w.Elem(1)
+	if !jsonval.Equal(e0, e1) {
+		t.Errorf("¬Unique forces equal siblings, got %s", w)
+	}
+}
+
+func TestCompileAndAccepts(t *testing.T) {
+	r := jsl.MustParseRecursive(`
+		def g = number || some("a", g) ;
+		g`)
+	a, err := Compile(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() < 5 {
+		t.Errorf("closure unexpectedly small: %d states", a.NumStates())
+	}
+	for doc, want := range map[string]bool{
+		`5`:             true,
+		`{"a":5}`:       true,
+		`{"a":{"a":7}}`: true,
+		`"x"`:           false,
+		`{"b":5}`:       false,
+		`{"a":"x"}`:     false,
+	} {
+		tr := jsontree.MustParse(doc)
+		got, err := a.Accepts(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Accepts(%s) = %v, want %v", doc, got, want)
+		}
+	}
+}
+
+func TestIllFormedRejected(t *testing.T) {
+	bad := &jsl.Recursive{
+		Defs: []jsl.Definition{{Name: "g", Body: jsl.Not{Inner: jsl.Ref{Name: "g"}}}},
+		Base: jsl.Ref{Name: "g"},
+	}
+	if _, err := Compile(bad); err == nil {
+		t.Error("ill-formed recursion must be rejected")
+	}
+}
+
+// Random-formula generators for the completeness/soundness property
+// tests. Kept shallow so the reference check (random documents) has a
+// reasonable chance of hitting satisfying documents.
+func randSatFormula(r *rand.Rand, depth int) jsl.Formula {
+	if depth == 0 {
+		switch r.Intn(8) {
+		case 0:
+			return jsl.True{}
+		case 1:
+			return jsl.IsStr{}
+		case 2:
+			return jsl.IsInt{}
+		case 3:
+			return jsl.Min{I: uint64(r.Intn(4))}
+		case 4:
+			return jsl.Pattern{Re: relang.MustCompile("[ab]")}
+		case 5:
+			return jsl.MinCh{K: r.Intn(2)}
+		case 6:
+			return jsl.EqDoc{Doc: jsonval.Num(uint64(r.Intn(3)))}
+		default:
+			return jsl.MaxCh{K: r.Intn(3)}
+		}
+	}
+	switch r.Intn(7) {
+	case 0:
+		return jsl.Not{Inner: randSatFormula(r, depth-1)}
+	case 1:
+		return jsl.And{Left: randSatFormula(r, depth-1), Right: randSatFormula(r, depth-1)}
+	case 2:
+		return jsl.Or{Left: randSatFormula(r, depth-1), Right: randSatFormula(r, depth-1)}
+	case 3:
+		return jsl.DiaWord(string(rune('a'+r.Intn(2))), randSatFormula(r, depth-1))
+	case 4:
+		return jsl.BoxWord(string(rune('a'+r.Intn(2))), randSatFormula(r, depth-1))
+	case 5:
+		return jsl.DiamondIdx{Lo: 0, Hi: r.Intn(2), Inner: randSatFormula(r, depth-1)}
+	default:
+		return jsl.BoxIdx{Lo: 0, Hi: jsl.Inf, Inner: randSatFormula(r, depth-1)}
+	}
+}
+
+func randWitnessCandidate(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return jsonval.Num(uint64(r.Intn(4)))
+		}
+		return jsonval.Str(string(rune('a' + r.Intn(2))))
+	}
+	n := r.Intn(3)
+	if r.Intn(2) == 0 {
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = randWitnessCandidate(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	var members []jsonval.Member
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := string(rune('a' + r.Intn(2)))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		members = append(members, jsonval.Member{Key: k, Value: randWitnessCandidate(r, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
+
+type satCase struct {
+	f    jsl.Formula
+	docs []*jsonval.Value
+}
+
+func (satCase) Generate(r *rand.Rand, size int) reflect.Value {
+	docs := make([]*jsonval.Value, 12)
+	for i := range docs {
+		docs[i] = randWitnessCandidate(r, 2)
+	}
+	return reflect.ValueOf(satCase{randSatFormula(r, 2), docs})
+}
+
+// TestQuickSatSoundAndComplete: (soundness) a SAT answer's witness
+// satisfies the formula; (completeness spot check) if any of a batch of
+// random documents satisfies the formula, the solver must answer SAT.
+func TestQuickSatSoundAndComplete(t *testing.T) {
+	f := func(c satCase) bool {
+		w, ok, err := SatisfiableJSLFormula(c.f)
+		if err != nil {
+			t.Logf("solver error on %s: %v", jsl.String(c.f), err)
+			return false
+		}
+		if ok {
+			tr := jsontree.FromValue(w)
+			holds, err := jsl.Holds(tr, c.f)
+			if err != nil || !holds {
+				t.Logf("unsound witness %s for %s", w, jsl.String(c.f))
+				return false
+			}
+			return true
+		}
+		// UNSAT: no random document may satisfy the formula.
+		for _, doc := range c.docs {
+			tr := jsontree.FromValue(doc)
+			holds, err := jsl.Holds(tr, c.f)
+			if err == nil && holds {
+				t.Logf("solver said UNSAT for %s but %s satisfies it", jsl.String(c.f), doc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+package jauto
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonval"
+)
+
+// SatisfiableJNL decides satisfiability of a unary JNL formula,
+// realizing Propositions 2 and 5: the formula is translated into a
+// recursive JSL expression (Theorem 2 for the star-free part; star
+// subpaths become guarded definitions, one per state of the path's
+// Thompson program) and satisfiability is decided on the compiled
+// J-automaton.
+//
+// Formulas containing EQ(α,β) are rejected: their satisfiability is
+// undecidable (Proposition 4).
+func SatisfiableJNL(u jnl.Unary) (*jsonval.Value, bool, error) {
+	r, err := JNLToRecursiveJSL(u)
+	if err != nil {
+		return nil, false, err
+	}
+	return SatisfiableJSL(r)
+}
+
+// JNLToRecursiveJSL translates a unary JNL formula (possibly with Kleene
+// stars, but without EQ(α,β)) into an equivalent recursive JSL
+// expression. Star-free paths translate in continuation-passing style as
+// in Theorem 2; each star introduces definitions γ_q, one per program
+// state, with γ_q guarded by the modal step of each outgoing axis.
+func JNLToRecursiveJSL(u jnl.Unary) (*jsl.Recursive, error) {
+	c := &jnlConverter{}
+	base, err := c.unary(u)
+	if err != nil {
+		return nil, err
+	}
+	r := &jsl.Recursive{Defs: c.defs, Base: base}
+	if err := r.WellFormed(); err != nil {
+		// Star bodies whose loops cross only tests (no axis) produce
+		// unguarded definition cycles; simplifyStars removes the common
+		// cases, anything else is reported to the caller.
+		return nil, fmt.Errorf("jauto: path expression produced ill-formed recursion (%v); rewrite test-only loops", err)
+	}
+	return r, nil
+}
+
+type jnlConverter struct {
+	defs    []jsl.Definition
+	counter int
+}
+
+func (c *jnlConverter) unary(u jnl.Unary) (jsl.Formula, error) {
+	switch t := u.(type) {
+	case jnl.True:
+		return jsl.True{}, nil
+	case jnl.Not:
+		inner, err := c.unary(t.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return jsl.Not{Inner: inner}, nil
+	case jnl.And:
+		l, err := c.unary(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.unary(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return jsl.And{Left: l, Right: r}, nil
+	case jnl.Or:
+		l, err := c.unary(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.unary(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return jsl.Or{Left: l, Right: r}, nil
+	case jnl.Exists:
+		return c.path(simplifyStars(t.Path), jsl.True{})
+	case jnl.EQDoc:
+		return c.path(simplifyStars(t.Path), jsl.EqDoc{Doc: t.Doc})
+	case jnl.EQPaths:
+		return nil, fmt.Errorf("jauto: satisfiability with EQ(α,β) is undecidable (Proposition 4)")
+	default:
+		return nil, fmt.Errorf("jauto: unknown JNL unary %T", u)
+	}
+}
+
+// path translates binary b with continuation k.
+func (c *jnlConverter) path(b jnl.Binary, k jsl.Formula) (jsl.Formula, error) {
+	switch t := b.(type) {
+	case jnl.Epsilon:
+		return k, nil
+	case jnl.KeyAxis:
+		return jsl.DiaWord(t.Word, k), nil
+	case jnl.RegexAxis:
+		return jsl.DiaRe(t.Re, k), nil
+	case jnl.IndexAxis:
+		if t.Index < 0 {
+			return nil, fmt.Errorf("jauto: negative array index %d is not supported in satisfiability (no JSL counterpart)", t.Index)
+		}
+		return jsl.DiaAt(t.Index, k), nil
+	case jnl.RangeAxis:
+		hi := t.Hi
+		if hi == jnl.Inf {
+			hi = jsl.Inf
+		}
+		return jsl.DiamondIdx{Lo: t.Lo, Hi: hi, Inner: k}, nil
+	case jnl.Test:
+		inner, err := c.unary(t.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return jsl.And{Left: inner, Right: k}, nil
+	case jnl.Concat:
+		right, err := c.path(t.Right, k)
+		if err != nil {
+			return nil, err
+		}
+		return c.path(t.Left, right)
+	case jnl.Star:
+		return c.star(t, k)
+	case jnl.Alt:
+		l, err := c.path(t.Left, k)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.path(t.Right, k)
+		if err != nil {
+			return nil, err
+		}
+		return jsl.Or{Left: l, Right: r}, nil
+	default:
+		return nil, fmt.Errorf("jauto: unknown JNL binary %T", b)
+	}
+}
+
+// star translates (α)* with continuation k into a guarded definition:
+//
+//	γ = k ∨ ⟨one α step reaching γ⟩
+//
+// where "one α step" is the continuation-passing translation of α with
+// continuation γ. Every loop through γ crosses at least one modal
+// operator as long as α contains an axis; axis-free stars are removed by
+// simplifyStars before reaching here.
+func (c *jnlConverter) star(s jnl.Star, k jsl.Formula) (jsl.Formula, error) {
+	c.counter++
+	name := fmt.Sprintf("star_%d", c.counter)
+	step, err := c.path(s.Inner, jsl.Ref{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	c.defs = append(c.defs, jsl.Definition{
+		Name: name,
+		Body: jsl.Or{Left: k, Right: step},
+	})
+	return jsl.Ref{Name: name}, nil
+}
+
+// simplifyStars rewrites axis-free stars to ε (their relations are
+// sub-identities, so the reflexive-transitive closure is the identity)
+// and flattens directly nested stars ((α*)* = α*), recursively.
+func simplifyStars(b jnl.Binary) jnl.Binary {
+	switch t := b.(type) {
+	case jnl.Concat:
+		return jnl.Concat{Left: simplifyStars(t.Left), Right: simplifyStars(t.Right)}
+	case jnl.Alt:
+		return jnl.Alt{Left: simplifyStars(t.Left), Right: simplifyStars(t.Right)}
+	case jnl.Test:
+		return t
+	case jnl.Star:
+		inner := simplifyStars(t.Inner)
+		if !hasAxis(inner) {
+			return jnl.Epsilon{}
+		}
+		if is, ok := inner.(jnl.Star); ok {
+			return is
+		}
+		return jnl.Star{Inner: inner}
+	default:
+		return b
+	}
+}
+
+func hasAxis(b jnl.Binary) bool {
+	switch t := b.(type) {
+	case jnl.KeyAxis, jnl.IndexAxis, jnl.RegexAxis, jnl.RangeAxis:
+		return true
+	case jnl.Concat:
+		return hasAxis(t.Left) || hasAxis(t.Right)
+	case jnl.Alt:
+		return hasAxis(t.Left) || hasAxis(t.Right)
+	case jnl.Star:
+		return hasAxis(t.Inner)
+	default:
+		return false
+	}
+}

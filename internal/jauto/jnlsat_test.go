@@ -1,0 +1,255 @@
+package jauto
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+)
+
+func mustJNL(t *testing.T, src string) jnl.Unary {
+	t.Helper()
+	u, err := jnl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return u
+}
+
+// TestSatisfiableJNLTable covers the JNL→recursive-JSL conversion across
+// every binary constructor, with witnesses re-checked by the evaluator.
+func TestSatisfiableJNLTable(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`true`, true},
+		{`[/a]`, true},
+		{`[/a/0]`, true},
+		{`[/a/[1:3]]`, true},
+		{`[/~"x|y" /b]`, true},
+		{`[(/a)*]`, true},
+		{`[(/a)* <eq(eps, 7)>]`, true},
+		{`eq(/a, {"b": [1]})`, true},
+		{`eq(eps, "x") && eq(eps, "y")`, false},
+		{`[/a<[/0]>] && [/a<[/b]>]`, false}, // the paper's key-uniqueness conflict
+		{`[/a] && ![/a]`, false},
+		{`![/a] || [/a]`, true},
+		{`eq(/a, 1) && eq(/a, 2)`, false},
+		{`[<eq(eps,1)> /a]`, false}, // a number has no children
+		{`[(/a /b)*] && eq(/a/b/a/b, 5)`, true},
+	}
+	for _, c := range cases {
+		u := mustJNL(t, c.src)
+		w, got, err := SatisfiableJNL(u)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: satisfiable=%v, want %v", c.src, got, c.want)
+			continue
+		}
+		if got {
+			tree := jsontree.FromValue(w)
+			if !jnl.Holds(tree, u, tree.Root()) {
+				t.Errorf("%s: witness %s does not satisfy the formula", c.src, w)
+			}
+		}
+	}
+}
+
+// TestSatisfiableJNLAlt covers path unions, which have no concrete
+// syntax and are built on the AST.
+func TestSatisfiableJNLAlt(t *testing.T) {
+	u := jnl.Exists{Path: jnl.Alt{
+		Left:  jnl.Key("a"),
+		Right: jnl.Concat{Left: jnl.Key("b"), Right: jnl.At(0)},
+	}}
+	w, sat, err := SatisfiableJNL(u)
+	if err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+	tree := jsontree.FromValue(w)
+	if !jnl.Holds(tree, u, tree.Root()) {
+		t.Fatalf("witness %s does not satisfy the union formula", w)
+	}
+}
+
+func TestSatisfiableJNLRejectsEQPaths(t *testing.T) {
+	u := mustJNL(t, `eq(/a, /b)`)
+	if _, _, err := SatisfiableJNL(u); err == nil {
+		t.Fatal("EQ(α,β) satisfiability must be refused (undecidable, Prop 4)")
+	}
+}
+
+func TestSatisfiableJNLNegativeIndex(t *testing.T) {
+	u := jnl.Exists{Path: jnl.At(-1)}
+	if _, _, err := SatisfiableJNL(u); err == nil {
+		t.Fatal("negative index must be refused in satisfiability")
+	}
+}
+
+func TestSimplifyStars(t *testing.T) {
+	// Axis-free star becomes epsilon.
+	b := simplifyStars(jnl.Star{Inner: jnl.Test{Inner: jnl.True{}}})
+	if _, ok := b.(jnl.Epsilon); !ok {
+		t.Errorf("test-only star should simplify to eps, got %T", b)
+	}
+	// Nested stars flatten.
+	b = simplifyStars(jnl.Star{Inner: jnl.Star{Inner: jnl.Key("a")}})
+	if s, ok := b.(jnl.Star); !ok {
+		t.Errorf("(a*)* should stay a star, got %T", b)
+	} else if _, inner := s.Inner.(jnl.KeyAxis); !inner {
+		t.Errorf("(a*)* should flatten to a*, got inner %T", s.Inner)
+	}
+	// Stars under Alt and Concat are reached.
+	b = simplifyStars(jnl.Alt{
+		Left:  jnl.Concat{Left: jnl.Star{Inner: jnl.Test{Inner: jnl.True{}}}, Right: jnl.Key("a")},
+		Right: jnl.Key("b"),
+	})
+	if !hasAxis(b) {
+		t.Error("simplification lost the axes")
+	}
+	if hasAxis(jnl.Test{Inner: jnl.True{}}) || hasAxis(jnl.Epsilon{}) {
+		t.Error("tests and eps have no axis")
+	}
+}
+
+func TestCompileFormulaAndCaps(t *testing.T) {
+	a, err := CompileFormula(jsl.And{Left: jsl.IsObj{}, Right: jsl.MinCh{K: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() == 0 {
+		t.Error("compiled automaton has no states")
+	}
+	// Accepts: {"k":1} yes, {} no, "x" no.
+	for doc, want := range map[string]bool{
+		`{"k":1}`: true,
+		`{}`:      false,
+		`"x"`:     false,
+	} {
+		tree := jsontree.MustParse(doc)
+		got, err := a.Accepts(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Accepts(%s) = %v, want %v", doc, got, want)
+		}
+	}
+	// A tiny step budget must surface ErrBudget, not a guess.
+	big := jsl.Formula(jsl.True{})
+	for i := 0; i < 12; i++ {
+		big = jsl.Or{
+			Left:  jsl.And{Left: big, Right: jsl.DiaWord("a", jsl.True{})},
+			Right: jsl.And{Left: big, Right: jsl.DiaWord("b", jsl.MinCh{K: 2})},
+		}
+	}
+	hard, err := CompileFormula(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard.SetCaps(Caps{MaxKeysPerLanguage: 1, MaxNumberScan: 4, MaxArrayLen: 2, MaxSteps: 3})
+	if _, _, err := hard.Nonempty(); err != ErrBudget {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+}
+
+// TestWitnessSoundnessQuick: whenever the solver says SAT for a random
+// deterministic JNL formula, the witness satisfies it; whenever it says
+// UNSAT, a brute-force search over small documents finds no model.
+func TestWitnessSoundnessQuick(t *testing.T) {
+	f := func(c jnlSatCase) bool {
+		w, sat, err := SatisfiableJNL(c.u)
+		if err != nil {
+			return true // budget: no verdict
+		}
+		if sat {
+			tree := jsontree.FromValue(w)
+			if !jnl.Holds(tree, c.u, tree.Root()) {
+				t.Logf("formula %s: bad witness %s", jnl.String(c.u), w)
+				return false
+			}
+			return true
+		}
+		// UNSAT: exhaustively check small candidate documents.
+		for _, doc := range smallDocs() {
+			tree := jsontree.FromValue(doc)
+			if jnl.Holds(tree, c.u, tree.Root()) {
+				t.Logf("formula %s: solver said UNSAT but %s is a model", jnl.String(c.u), doc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type jnlSatCase struct{ u jnl.Unary }
+
+func (jnlSatCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(jnlSatCase{u: randJNLSatFormula(r, 3)})
+}
+
+func randJNLSatFormula(r *rand.Rand, depth int) jnl.Unary {
+	if depth == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return jnl.True{}
+		case 1:
+			return jnl.Exists{Path: jnl.Key([]string{"a", "b"}[r.Intn(2)])}
+		default:
+			return jnl.EQDoc{Path: jnl.Epsilon{}, Doc: jsonval.Num(uint64(r.Intn(2)))}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return jnl.Not{Inner: randJNLSatFormula(r, depth-1)}
+	case 1:
+		return jnl.And{Left: randJNLSatFormula(r, depth-1), Right: randJNLSatFormula(r, depth-1)}
+	case 2:
+		return jnl.Or{Left: randJNLSatFormula(r, depth-1), Right: randJNLSatFormula(r, depth-1)}
+	case 3:
+		return jnl.Exists{Path: jnl.Concat{
+			Left:  jnl.Key([]string{"a", "b"}[r.Intn(2)]),
+			Right: jnl.Test{Inner: randJNLSatFormula(r, depth-1)},
+		}}
+	case 4:
+		return jnl.EQDoc{Path: jnl.Key([]string{"a", "b"}[r.Intn(2)]), Doc: jsonval.Num(uint64(r.Intn(2)))}
+	default:
+		return jnl.Exists{Path: jnl.At(r.Intn(2))}
+	}
+}
+
+// smallDocs enumerates a family of small documents used to cross-check
+// UNSAT verdicts.
+func smallDocs() []*jsonval.Value {
+	leaves := []*jsonval.Value{
+		jsonval.Num(0), jsonval.Num(1), jsonval.Str("a"), jsonval.MustObj(), jsonval.Arr(),
+	}
+	var docs []*jsonval.Value
+	docs = append(docs, leaves...)
+	for _, a := range leaves {
+		for _, b := range leaves {
+			docs = append(docs,
+				jsonval.MustObj(jsonval.Member{Key: "a", Value: a}, jsonval.Member{Key: "b", Value: b}),
+				jsonval.Arr(a, b),
+			)
+		}
+	}
+	for _, inner := range docs[:len(leaves)] {
+		docs = append(docs, jsonval.MustObj(jsonval.Member{Key: "a", Value: jsonval.MustObj(
+			jsonval.Member{Key: "b", Value: inner},
+		)}))
+	}
+	return docs
+}

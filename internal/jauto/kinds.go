@@ -1,0 +1,339 @@
+package jauto
+
+import (
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+// solveString synthesizes a string witness: a member of the
+// intersection of the positive patterns and the complements of the
+// negative ones, distinct from every negated ~(A) string.
+func (s *solver) solveString(a *atoms) (*jsonval.Value, bool) {
+	if a.minCh > 0 || a.uniquePos {
+		return nil, false
+	}
+	if a.minB != nil || a.maxB != nil || len(a.multPos) > 0 {
+		return nil, false
+	}
+	lang := relang.Any()
+	for _, re := range a.patPos {
+		lang = lang.Intersect(re)
+	}
+	for _, re := range a.patNeg {
+		lang = lang.Intersect(re.Complement())
+	}
+	exclude := map[string]bool{}
+	for _, d := range a.eqNeg {
+		if d.IsString() {
+			exclude[d.Str()] = true
+		}
+	}
+	for _, cand := range lang.Enumerate(len(exclude) + 1) {
+		if !exclude[cand] {
+			return jsonval.Str(cand), true
+		}
+	}
+	return nil, false
+}
+
+// solveNumber synthesizes a numeric witness by scanning candidates from
+// the lower bound upward, bounded by Caps.MaxNumberScan. The scan is
+// exhaustive for the constraint system when it terminates within the
+// window: any solution is within lcm-range of the lower bound.
+func (s *solver) solveNumber(a *atoms) (*jsonval.Value, bool) {
+	if a.minCh > 0 || a.uniquePos || len(a.patPos) > 0 {
+		return nil, false
+	}
+	lo := uint64(0)
+	if a.minB != nil {
+		lo = *a.minB
+	}
+	// negMax entries i require n > i.
+	for _, i := range a.negMax {
+		if i+1 > lo {
+			lo = i + 1
+		}
+	}
+	hi := lo + s.caps.MaxNumberScan
+	if a.maxB != nil && *a.maxB < hi {
+		hi = *a.maxB
+	}
+	for _, i := range a.negMin {
+		// n < i required.
+		if i == 0 {
+			return nil, false
+		}
+		if i-1 < hi {
+			hi = i - 1
+		}
+	}
+	exclude := map[uint64]bool{}
+	for _, d := range a.eqNeg {
+		if d.IsNumber() {
+			exclude[d.Num()] = true
+		}
+	}
+	for n := lo; n <= hi; n++ {
+		ok := !exclude[n]
+		for _, m := range a.multPos {
+			if !isMultiple(n, m) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, m := range a.negMult {
+				if isMultiple(n, m) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return jsonval.Num(n), true
+		}
+		if n == ^uint64(0) {
+			break
+		}
+	}
+	return nil, false
+}
+
+// solveObject synthesizes an object witness: each key diamond is
+// assigned a key from its language, boxes constrain matching keys,
+// MinCh is met by padding with fresh keys.
+func (s *solver) solveObject(a *atoms) (*jsonval.Value, bool, bool) {
+	if a.uniquePos || len(a.diaIdx) > 0 {
+		return nil, false, false
+	}
+	if a.minB != nil || a.maxB != nil || len(a.multPos) > 0 || len(a.patPos) > 0 {
+		return nil, false, false
+	}
+	// assign maps chosen keys to the conjunction of inner obligations of
+	// the diamonds assigned to them.
+	return s.assignDiamonds(a, 0, map[string][]nf{})
+}
+
+// assignDiamonds backtracks over key choices for a.diaKey[i:].
+func (s *solver) assignDiamonds(a *atoms, i int, assign map[string][]nf) (*jsonval.Value, bool, bool) {
+	if i == len(a.diaKey) {
+		return s.buildObject(a, assign)
+	}
+	d := a.diaKey[i]
+	var candidates []string
+	if d.isWord {
+		candidates = []string{d.word}
+	} else {
+		candidates = d.re.Enumerate(s.caps.MaxKeysPerLanguage)
+	}
+	tainted := false
+	for _, key := range candidates {
+		prev, had := assign[key]
+		assign[key] = append(append([]nf{}, prev...), d.inner)
+		w, ok, t := s.assignDiamonds(a, i+1, assign)
+		tainted = tainted || t
+		if had {
+			assign[key] = prev
+		} else {
+			delete(assign, key)
+		}
+		if ok {
+			return w, true, false
+		}
+	}
+	return nil, false, tainted
+}
+
+// buildObject completes an object witness from a diamond assignment:
+// applies boxes, pads to MinCh, recursively solves children.
+func (s *solver) buildObject(a *atoms, assign map[string][]nf) (*jsonval.Value, bool, bool) {
+	keys := make([]string, 0, len(assign))
+	for k := range assign {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+
+	// Pad with fresh keys to reach MinCh. Prefer keys outside every box
+	// language (unconstrained children).
+	if len(keys) < a.minCh {
+		free := relang.Any()
+		for _, b := range a.boxKey {
+			free = free.Minus(b.re)
+		}
+		needed := a.minCh - len(keys)
+		for _, cand := range free.Enumerate(needed + len(keys)) {
+			if _, used := assign[cand]; !used {
+				assign[cand] = nil
+				keys = append(keys, cand)
+				if needed--; needed == 0 {
+					break
+				}
+			}
+		}
+		if needed > 0 {
+			// Fall back to keys inside box languages; their children
+			// must satisfy the boxes, which buildObject applies below.
+			for _, cand := range relang.Any().Enumerate(needed + len(keys) + 4) {
+				if _, used := assign[cand]; !used {
+					assign[cand] = nil
+					keys = append(keys, cand)
+					if needed--; needed == 0 {
+						break
+					}
+				}
+			}
+		}
+		if needed > 0 {
+			return nil, false, false
+		}
+	}
+	if len(keys) > a.maxCh {
+		return nil, false, false
+	}
+
+	tainted := false
+	var members []jsonval.Member
+	for _, key := range keys {
+		obls := append([]nf{}, assign[key]...)
+		for _, b := range a.boxKey {
+			if b.isWord {
+				if b.word == key {
+					obls = append(obls, b.inner)
+				}
+			} else if b.re.Match(key) {
+				obls = append(obls, b.inner)
+			}
+		}
+		if len(obls) == 0 {
+			obls = []nf{nfTrue{}}
+		}
+		child, ok, t := s.sat(obls)
+		tainted = tainted || t
+		if !ok {
+			return nil, false, tainted
+		}
+		members = append(members, jsonval.Member{Key: key, Value: child})
+	}
+	obj, err := jsonval.Obj(members...)
+	if err != nil {
+		return nil, false, tainted
+	}
+	for _, d := range a.eqNeg {
+		if jsonval.Equal(obj, d) {
+			// The synthesized object collides with a forbidden document;
+			// retry is handled by outer backtracking over key choices.
+			return nil, false, tainted
+		}
+	}
+	return obj, true, false
+}
+
+// solveArray synthesizes an array witness: index diamonds choose
+// positions, boxes constrain ranges, Unique forces pairwise-distinct
+// children (achieved by re-solving children with added ¬~(sibling)
+// obligations).
+func (s *solver) solveArray(a *atoms) (*jsonval.Value, bool, bool) {
+	if len(a.diaKey) > 0 {
+		return nil, false, false
+	}
+	if a.minB != nil || a.maxB != nil || len(a.multPos) > 0 || len(a.patPos) > 0 {
+		return nil, false, false
+	}
+	return s.assignPositions(a, 0, map[int][]nf{})
+}
+
+func (s *solver) assignPositions(a *atoms, i int, assign map[int][]nf) (*jsonval.Value, bool, bool) {
+	if i == len(a.diaIdx) {
+		return s.buildArray(a, assign)
+	}
+	d := a.diaIdx[i]
+	hi := d.hi
+	if hi == jsl.Inf || hi > s.caps.MaxArrayLen-1 {
+		hi = s.caps.MaxArrayLen - 1
+	}
+	tainted := false
+	for p := d.lo; p <= hi; p++ {
+		prev, had := assign[p]
+		assign[p] = append(append([]nf{}, prev...), d.inner)
+		w, ok, t := s.assignPositions(a, i+1, assign)
+		tainted = tainted || t
+		if had {
+			assign[p] = prev
+		} else {
+			delete(assign, p)
+		}
+		if ok {
+			return w, true, false
+		}
+	}
+	return nil, false, tainted
+}
+
+func (s *solver) buildArray(a *atoms, assign map[int][]nf) (*jsonval.Value, bool, bool) {
+	length := a.minCh
+	for p := range assign {
+		if p+1 > length {
+			length = p + 1
+		}
+	}
+	if a.uniqueNeg && length < 2 {
+		length = 2
+	}
+	if length > a.maxCh || length > s.caps.MaxArrayLen {
+		return nil, false, false
+	}
+
+	tainted := false
+	elems := make([]*jsonval.Value, length)
+	for p := 0; p < length; p++ {
+		obls := append([]nf{}, assign[p]...)
+		for _, b := range a.boxIdx {
+			if p >= b.lo && (b.hi == jsl.Inf || p <= b.hi) {
+				obls = append(obls, b.inner)
+			}
+		}
+		if a.uniquePos {
+			// Unique: exclude the values already chosen for earlier
+			// positions, so the child solver produces a distinct value.
+			for q := 0; q < p; q++ {
+				obls = append(obls, nfTest{test: jsl.EqDoc{Doc: elems[q]}, neg: true})
+			}
+		}
+		if a.uniqueNeg && p == 1 {
+			// ¬Unique needs a duplicate pair; force position 1 to equal
+			// position 0 (and still meet its own obligations).
+			obls = append(obls, nfTest{test: jsl.EqDoc{Doc: elems[0]}})
+		}
+		if len(obls) == 0 {
+			obls = []nf{nfTrue{}}
+		}
+		child, ok, t := s.sat(obls)
+		tainted = tainted || t
+		if !ok {
+			return nil, false, tainted
+		}
+		elems[p] = child
+	}
+	arr := jsonval.Arr(elems...)
+	for _, d := range a.eqNeg {
+		if jsonval.Equal(arr, d) {
+			return nil, false, tainted
+		}
+	}
+	if a.uniquePos && !elemsUnique(arr) {
+		return nil, false, tainted
+	}
+	if a.uniqueNeg && elemsUnique(arr) {
+		return nil, false, tainted
+	}
+	return arr, true, false
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

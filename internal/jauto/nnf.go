@@ -1,0 +1,221 @@
+// Package jauto implements the J-automata of the appendix of the paper
+// (proof of Proposition 10) and, on top of them, the satisfiability
+// procedures of Propositions 2, 5, 7 and 10.
+//
+// A J-automaton's states correspond to the closure (the set of
+// subformulas in negation normal form) of a recursive JSL expression;
+// its transition rules are the formulas themselves (Lemmas 4 and 5 build
+// exactly one state per connective). Non-emptiness is decided by a
+// goal-directed expansion of obligation sets — the formula-level view of
+// the appendix' reachable-subset construction — with memoization of
+// solved obligation sets and synthesis of a concrete witness document.
+// Every positive answer carries a witness that callers can (and our
+// tests do) re-verify with the JSL evaluator, so false positives are
+// impossible by construction; the search is exhaustive up to the
+// documented Caps, which bound key/number/array-width enumeration.
+package jauto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/relang"
+)
+
+// nf is a JSL formula in negation normal form: negation occurs only on
+// atoms (node tests and references).
+type nf interface{ nfNode() }
+
+type nfTrue struct{}
+
+type nfFalse struct{}
+
+// nfTest is a possibly negated node test. The test field holds one of
+// the jsl NodeTest types (IsObj, Pattern, Min, EqDoc, …).
+type nfTest struct {
+	test jsl.Formula
+	neg  bool
+}
+
+type nfAnd struct{ left, right nf }
+
+type nfOr struct{ left, right nf }
+
+// nfDia is ◇ over keys (re != nil) or indices.
+type nfDia struct {
+	re     *relang.Regex
+	word   string
+	isWord bool
+	lo, hi int // when re == nil; hi == jsl.Inf for +∞
+	inner  nf
+}
+
+// nfBox is ◻ over keys or indices.
+type nfBox struct {
+	re     *relang.Regex
+	word   string
+	isWord bool
+	lo, hi int
+	inner  nf
+}
+
+// nfRef is a possibly negated reference to a definition.
+type nfRef struct {
+	name string
+	neg  bool
+}
+
+func (nfTrue) nfNode()  {}
+func (nfFalse) nfNode() {}
+func (nfTest) nfNode()  {}
+func (nfAnd) nfNode()   {}
+func (nfOr) nfNode()    {}
+func (nfDia) nfNode()   {}
+func (nfBox) nfNode()   {}
+func (nfRef) nfNode()   {}
+
+// toNNF converts a JSL formula to negation normal form; neg requests the
+// negation of f. The dualities used are those of §5.2: ¬◇_e φ ≡ ◻_e ¬φ
+// and ¬◻_e φ ≡ ◇_e ¬φ (both directions hold including on nodes of the
+// wrong kind, where ◇ is false and ◻ vacuously true).
+func toNNF(f jsl.Formula, neg bool) nf {
+	switch t := f.(type) {
+	case jsl.True:
+		if neg {
+			return nfFalse{}
+		}
+		return nfTrue{}
+	case jsl.Not:
+		return toNNF(t.Inner, !neg)
+	case jsl.And:
+		if neg {
+			return nfOr{toNNF(t.Left, true), toNNF(t.Right, true)}
+		}
+		return nfAnd{toNNF(t.Left, false), toNNF(t.Right, false)}
+	case jsl.Or:
+		if neg {
+			return nfAnd{toNNF(t.Left, true), toNNF(t.Right, true)}
+		}
+		return nfOr{toNNF(t.Left, false), toNNF(t.Right, false)}
+	case jsl.DiamondKey:
+		inner := toNNF(t.Inner, neg)
+		if neg {
+			return nfBox{re: t.Re, word: t.Word, isWord: t.IsWord, inner: inner}
+		}
+		return nfDia{re: t.Re, word: t.Word, isWord: t.IsWord, inner: inner}
+	case jsl.BoxKey:
+		inner := toNNF(t.Inner, neg)
+		if neg {
+			return nfDia{re: t.Re, word: t.Word, isWord: t.IsWord, inner: inner}
+		}
+		return nfBox{re: t.Re, word: t.Word, isWord: t.IsWord, inner: inner}
+	case jsl.DiamondIdx:
+		inner := toNNF(t.Inner, neg)
+		if neg {
+			return nfBox{lo: t.Lo, hi: t.Hi, inner: inner}
+		}
+		return nfDia{lo: t.Lo, hi: t.Hi, inner: inner}
+	case jsl.BoxIdx:
+		inner := toNNF(t.Inner, neg)
+		if neg {
+			return nfDia{lo: t.Lo, hi: t.Hi, inner: inner}
+		}
+		return nfBox{lo: t.Lo, hi: t.Hi, inner: inner}
+	case jsl.Ref:
+		return nfRef{name: t.Name, neg: neg}
+	default:
+		// Node tests are atoms.
+		return nfTest{test: f, neg: neg}
+	}
+}
+
+// render produces a canonical string for an nf formula, used as a
+// memoization key for obligation sets.
+func render(f nf, sb *strings.Builder) {
+	switch t := f.(type) {
+	case nfTrue:
+		sb.WriteString("T")
+	case nfFalse:
+		sb.WriteString("F")
+	case nfTest:
+		if t.neg {
+			sb.WriteByte('!')
+		}
+		sb.WriteString(jsl.String(t.test))
+	case nfAnd:
+		sb.WriteString("(&")
+		render(t.left, sb)
+		sb.WriteByte(' ')
+		render(t.right, sb)
+		sb.WriteByte(')')
+	case nfOr:
+		sb.WriteString("(|")
+		render(t.left, sb)
+		sb.WriteByte(' ')
+		render(t.right, sb)
+		sb.WriteByte(')')
+	case nfDia:
+		sb.WriteString("(D")
+		renderModal(t.re, t.word, t.isWord, t.lo, t.hi, sb)
+		render(t.inner, sb)
+		sb.WriteByte(')')
+	case nfBox:
+		sb.WriteString("(B")
+		renderModal(t.re, t.word, t.isWord, t.lo, t.hi, sb)
+		render(t.inner, sb)
+		sb.WriteByte(')')
+	case nfRef:
+		if t.neg {
+			sb.WriteByte('!')
+		}
+		sb.WriteByte('@')
+		sb.WriteString(t.name)
+	}
+}
+
+func renderModal(re *relang.Regex, word string, isWord bool, lo, hi int, sb *strings.Builder) {
+	switch {
+	case isWord:
+		fmt.Fprintf(sb, "%q ", word)
+	case re != nil:
+		fmt.Fprintf(sb, "~%q ", re.String())
+	default:
+		fmt.Fprintf(sb, "[%d:%d] ", lo, hi)
+	}
+}
+
+func renderSet(obls []nf) string {
+	keys := make([]string, len(obls))
+	for i, o := range obls {
+		var sb strings.Builder
+		render(o, &sb)
+		keys[i] = sb.String()
+	}
+	sort.Strings(keys)
+	// Deduplicate identical obligations.
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			out = append(out, k)
+		}
+	}
+	return strings.Join(out, "\x00")
+}
+
+// sizeNF returns the number of nodes of an nf formula.
+func sizeNF(f nf) int {
+	switch t := f.(type) {
+	case nfAnd:
+		return 1 + sizeNF(t.left) + sizeNF(t.right)
+	case nfOr:
+		return 1 + sizeNF(t.left) + sizeNF(t.right)
+	case nfDia:
+		return 1 + sizeNF(t.inner)
+	case nfBox:
+		return 1 + sizeNF(t.inner)
+	default:
+		return 1
+	}
+}

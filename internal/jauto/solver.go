@@ -1,0 +1,579 @@
+package jauto
+
+import (
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+// Caps bound the enumeration performed by the non-emptiness search.
+// They realize the small-model arguments of the appendix (witness keys
+// per key language, number-range scans, array widths); a search that
+// exhausts a cap reports ErrBudget rather than guessing.
+type Caps struct {
+	// MaxKeysPerLanguage bounds how many distinct witness keys are drawn
+	// from one key regex when assigning object children.
+	MaxKeysPerLanguage int
+	// MaxNumberScan bounds the candidate scan for numeric constraints.
+	MaxNumberScan uint64
+	// MaxArrayLen bounds synthesized array widths.
+	MaxArrayLen int
+	// MaxSteps bounds the total number of sat() expansions.
+	MaxSteps int
+}
+
+// DefaultCaps are sufficient for every construction in the paper's
+// proofs at the sizes exercised by the benchmarks.
+func DefaultCaps() Caps {
+	return Caps{
+		MaxKeysPerLanguage: 4,
+		MaxNumberScan:      1 << 16,
+		MaxArrayLen:        12,
+		MaxSteps:           2_000_000,
+	}
+}
+
+type solver struct {
+	defs    map[string]jsl.Formula
+	nnfMemo map[string]nf // keyed by name + polarity
+	caps    Caps
+
+	memoSAT   map[string]*jsonval.Value
+	memoUNSAT map[string]bool
+	stack     map[string]bool
+
+	steps    int
+	exceeded bool
+}
+
+func newSolver(defs map[string]jsl.Formula, caps Caps) *solver {
+	return &solver{
+		defs:      defs,
+		nnfMemo:   map[string]nf{},
+		caps:      caps,
+		memoSAT:   map[string]*jsonval.Value{},
+		memoUNSAT: map[string]bool{},
+		stack:     map[string]bool{},
+	}
+}
+
+func (s *solver) defNNF(name string, neg bool) nf {
+	key := name
+	if neg {
+		key = "!" + name
+	}
+	if f, ok := s.nnfMemo[key]; ok {
+		return f
+	}
+	body, ok := s.defs[name]
+	if !ok {
+		return nfFalse{}
+	}
+	f := toNNF(body, neg)
+	s.nnfMemo[key] = f
+	return f
+}
+
+// sat decides satisfiability of a conjunction of obligations, returning
+// a witness value. tainted reports that the result relied on a cycle cut
+// or budget exhaustion somewhere beneath, making an UNSAT answer
+// non-cacheable.
+func (s *solver) sat(obls []nf) (w *jsonval.Value, ok, tainted bool) {
+	s.steps++
+	if s.steps > s.caps.MaxSteps {
+		s.exceeded = true
+		return nil, false, true
+	}
+	key := renderSet(obls)
+	if w, hit := s.memoSAT[key]; hit {
+		return w, true, false
+	}
+	if s.memoUNSAT[key] {
+		return nil, false, false
+	}
+	if s.stack[key] {
+		// The same obligation set reappeared strictly deeper in the
+		// candidate tree: under the least-fixpoint semantics of §5.3 an
+		// infinite regeneration cannot witness satisfiability.
+		return nil, false, true
+	}
+	s.stack[key] = true
+	defer delete(s.stack, key)
+
+	w, ok, tainted = s.saturate(obls, &atoms{maxCh: maxInt})
+	if ok {
+		s.memoSAT[key] = w
+		return w, true, false
+	}
+	if !tainted {
+		s.memoUNSAT[key] = true
+	}
+	return nil, false, tainted
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// atoms accumulates the atomic obligations of one saturation branch.
+type atoms struct {
+	posKinds []jsl.Formula // IsObj/IsArr/IsStr/IsInt occurrences
+	negKinds []jsl.Formula
+
+	patPos, patNeg []*relang.Regex
+
+	minB, maxB     *uint64
+	multPos        []uint64
+	negMin, negMax []uint64
+	negMult        []uint64
+
+	minCh, maxCh int
+
+	uniquePos, uniqueNeg bool
+
+	eqPos, eqNeg []*jsonval.Value
+
+	diaKey []nfDia
+	boxKey []nfBox
+	diaIdx []nfDia
+	boxIdx []nfBox
+}
+
+func (a *atoms) clone() *atoms {
+	b := *a
+	b.posKinds = clip(a.posKinds)
+	b.negKinds = clip(a.negKinds)
+	b.patPos = clip(a.patPos)
+	b.patNeg = clip(a.patNeg)
+	b.multPos = clip(a.multPos)
+	b.negMin = clip(a.negMin)
+	b.negMax = clip(a.negMax)
+	b.negMult = clip(a.negMult)
+	b.eqPos = clip(a.eqPos)
+	b.eqNeg = clip(a.eqNeg)
+	b.diaKey = clip(a.diaKey)
+	b.boxKey = clip(a.boxKey)
+	b.diaIdx = clip(a.diaIdx)
+	b.boxIdx = clip(a.boxIdx)
+	return &b
+}
+
+func clip[T any](xs []T) []T { return xs[:len(xs):len(xs)] }
+
+// saturate processes non-atomic obligations, branching on disjunctions,
+// then hands the collected atoms to the kind solvers.
+func (s *solver) saturate(pending []nf, a *atoms) (*jsonval.Value, bool, bool) {
+	s.steps++
+	if s.steps > s.caps.MaxSteps {
+		s.exceeded = true
+		return nil, false, true
+	}
+	// Disjunctions are deferred until every conjunctive obligation has
+	// been absorbed into the atom accumulator, so contradictions between
+	// units (e.g. MinCh/MaxCh bounds) prune a branch before it fans out.
+	var ors []nfOr
+	for len(pending) > 0 {
+		f := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		switch t := f.(type) {
+		case nfTrue:
+		case nfFalse:
+			return nil, false, false
+		case nfAnd:
+			pending = append(pending, t.left, t.right)
+		case nfOr:
+			ors = append(ors, t)
+		case nfRef:
+			pending = append(pending, s.defNNF(t.name, t.neg))
+		case nfDia:
+			if t.re != nil {
+				a.diaKey = append(a.diaKey, t)
+			} else {
+				a.diaIdx = append(a.diaIdx, t)
+			}
+		case nfBox:
+			if t.re != nil {
+				a.boxKey = append(a.boxKey, t)
+			} else {
+				a.boxIdx = append(a.boxIdx, t)
+			}
+		case nfTest:
+			if !s.addTest(a, t) {
+				return nil, false, false
+			}
+		}
+	}
+	if len(ors) > 0 {
+		// Branch on the last deferred disjunction: try the left
+		// disjunct, then the right, with the remaining disjunctions
+		// still pending.
+		t := ors[len(ors)-1]
+		rest := make([]nf, 0, len(ors))
+		for _, o := range ors[:len(ors)-1] {
+			rest = append(rest, o)
+		}
+		w, ok, taintL := s.saturate(append(append([]nf{}, rest...), t.left), a.clone())
+		if ok {
+			return w, true, false
+		}
+		w, ok, taintR := s.saturate(append(append([]nf{}, rest...), t.right), a.clone())
+		return w, ok, taintL || taintR
+	}
+	return s.solveAtoms(a)
+}
+
+// addTest folds a node-test atom into the accumulator; false means the
+// branch is already contradictory.
+func (s *solver) addTest(a *atoms, t nfTest) bool {
+	switch test := t.test.(type) {
+	case jsl.IsObj, jsl.IsArr, jsl.IsStr, jsl.IsInt:
+		if t.neg {
+			a.negKinds = append(a.negKinds, t.test)
+		} else {
+			a.posKinds = append(a.posKinds, t.test)
+		}
+	case jsl.Unique:
+		if t.neg {
+			a.uniqueNeg = true
+		} else {
+			a.uniquePos = true
+		}
+	case jsl.Pattern:
+		if t.neg {
+			a.patNeg = append(a.patNeg, test.Re)
+		} else {
+			a.patPos = append(a.patPos, test.Re)
+		}
+	case jsl.Min:
+		if t.neg {
+			a.negMin = append(a.negMin, test.I)
+		} else if a.minB == nil || *a.minB < test.I {
+			i := test.I
+			a.minB = &i
+		}
+	case jsl.Max:
+		if t.neg {
+			a.negMax = append(a.negMax, test.I)
+		} else if a.maxB == nil || *a.maxB > test.I {
+			i := test.I
+			a.maxB = &i
+		}
+	case jsl.MultOf:
+		if t.neg {
+			a.negMult = append(a.negMult, test.I)
+		} else {
+			a.multPos = append(a.multPos, test.I)
+		}
+	case jsl.MinCh:
+		if t.neg {
+			// ¬MinCh(k): fewer than k children.
+			if test.K == 0 {
+				return false
+			}
+			if test.K-1 < a.maxCh {
+				a.maxCh = test.K - 1
+			}
+		} else if test.K > a.minCh {
+			a.minCh = test.K
+		}
+	case jsl.MaxCh:
+		if t.neg {
+			// ¬MaxCh(k): more than k children.
+			if test.K+1 > a.minCh {
+				a.minCh = test.K + 1
+			}
+		} else if test.K < a.maxCh {
+			a.maxCh = test.K
+		}
+	case jsl.EqDoc:
+		if t.neg {
+			a.eqNeg = append(a.eqNeg, test.Doc)
+		} else {
+			a.eqPos = append(a.eqPos, test.Doc)
+		}
+	default:
+		return false
+	}
+	return a.minCh <= a.maxCh
+}
+
+// kindOf maps a kind test to the jsonval kind it asserts.
+func kindOf(f jsl.Formula) jsonval.Kind {
+	switch f.(type) {
+	case jsl.IsObj:
+		return jsonval.Object
+	case jsl.IsArr:
+		return jsonval.Array
+	case jsl.IsStr:
+		return jsonval.String
+	default:
+		return jsonval.Number
+	}
+}
+
+// solveAtoms picks a node kind consistent with the atoms and synthesizes
+// a witness of that kind.
+func (s *solver) solveAtoms(a *atoms) (*jsonval.Value, bool, bool) {
+	// A positive ~(A): the witness must be A itself; check the
+	// remaining obligations directly on A.
+	if len(a.eqPos) > 0 {
+		doc := a.eqPos[0]
+		for _, other := range a.eqPos[1:] {
+			if !jsonval.Equal(doc, other) {
+				return nil, false, false
+			}
+		}
+		if s.valueMeetsAtoms(doc, a) {
+			return doc, true, false
+		}
+		return nil, false, false
+	}
+
+	allowed := map[jsonval.Kind]bool{
+		jsonval.Object: true, jsonval.Array: true,
+		jsonval.String: true, jsonval.Number: true,
+	}
+	for _, k := range a.negKinds {
+		allowed[kindOf(k)] = false
+	}
+	if len(a.posKinds) > 0 {
+		want := kindOf(a.posKinds[0])
+		for _, k := range a.posKinds[1:] {
+			if kindOf(k) != want {
+				return nil, false, false
+			}
+		}
+		for k := range allowed {
+			if k != want {
+				allowed[k] = false
+			}
+		}
+	}
+	// Positive atoms narrow the kind further.
+	if len(a.patPos) > 0 {
+		restrict(allowed, jsonval.String)
+	}
+	if a.minB != nil || a.maxB != nil || len(a.multPos) > 0 {
+		restrict(allowed, jsonval.Number)
+	}
+	if a.uniquePos {
+		restrict(allowed, jsonval.Array)
+	}
+	if len(a.diaKey) > 0 {
+		restrict(allowed, jsonval.Object)
+	}
+	if len(a.diaIdx) > 0 {
+		restrict(allowed, jsonval.Array)
+	}
+	if a.minCh > 0 {
+		allowed[jsonval.String] = false
+		allowed[jsonval.Number] = false
+	}
+
+	tainted := false
+	// Prefer scalars (smallest witnesses) before containers.
+	if allowed[jsonval.Number] {
+		if w, ok := s.solveNumber(a); ok {
+			return w, true, false
+		}
+	}
+	if allowed[jsonval.String] {
+		if w, ok := s.solveString(a); ok {
+			return w, true, false
+		}
+	}
+	if allowed[jsonval.Object] {
+		w, ok, t := s.solveObject(a)
+		tainted = tainted || t
+		if ok {
+			return w, true, false
+		}
+	}
+	if allowed[jsonval.Array] {
+		w, ok, t := s.solveArray(a)
+		tainted = tainted || t
+		if ok {
+			return w, true, false
+		}
+	}
+	return nil, false, tainted
+}
+
+func restrict(allowed map[jsonval.Kind]bool, k jsonval.Kind) {
+	for kk := range allowed {
+		if kk != k {
+			allowed[kk] = false
+		}
+	}
+}
+
+// valueMeetsAtoms checks every accumulated atom against a concrete value
+// (used for positive ~(A) and as a final safety check).
+func (s *solver) valueMeetsAtoms(v *jsonval.Value, a *atoms) bool {
+	for _, k := range a.posKinds {
+		if v.Kind() != kindOf(k) {
+			return false
+		}
+	}
+	for _, k := range a.negKinds {
+		if v.Kind() == kindOf(k) {
+			return false
+		}
+	}
+	for _, re := range a.patPos {
+		if !v.IsString() || !re.Match(v.Str()) {
+			return false
+		}
+	}
+	for _, re := range a.patNeg {
+		if v.IsString() && re.Match(v.Str()) {
+			return false
+		}
+	}
+	if a.minB != nil && (!v.IsNumber() || v.Num() < *a.minB) {
+		return false
+	}
+	if a.maxB != nil && (!v.IsNumber() || v.Num() > *a.maxB) {
+		return false
+	}
+	for _, m := range a.multPos {
+		if !v.IsNumber() || !isMultiple(v.Num(), m) {
+			return false
+		}
+	}
+	for _, i := range a.negMin {
+		if v.IsNumber() && v.Num() >= i {
+			return false
+		}
+	}
+	for _, i := range a.negMax {
+		if v.IsNumber() && v.Num() <= i {
+			return false
+		}
+	}
+	for _, m := range a.negMult {
+		if v.IsNumber() && isMultiple(v.Num(), m) {
+			return false
+		}
+	}
+	// Len is 0 for scalars, matching "no children".
+	if v.Len() < a.minCh || v.Len() > a.maxCh {
+		return false
+	}
+	if a.uniquePos && !(v.IsArray() && elemsUnique(v)) {
+		return false
+	}
+	if a.uniqueNeg && v.IsArray() && elemsUnique(v) {
+		return false
+	}
+	for _, d := range a.eqNeg {
+		if jsonval.Equal(v, d) {
+			return false
+		}
+	}
+	for _, d := range a.diaKey {
+		if !s.evalNF(v, d) {
+			return false
+		}
+	}
+	for _, b := range a.boxKey {
+		if !s.evalNF(v, b) {
+			return false
+		}
+	}
+	for _, d := range a.diaIdx {
+		if !s.evalNF(v, d) {
+			return false
+		}
+	}
+	for _, b := range a.boxIdx {
+		if !s.evalNF(v, b) {
+			return false
+		}
+	}
+	return true
+}
+
+func isMultiple(n, m uint64) bool {
+	if m == 0 {
+		return n == 0
+	}
+	return n%m == 0
+}
+
+func elemsUnique(v *jsonval.Value) bool {
+	elems := v.Elems()
+	for i := 0; i < len(elems); i++ {
+		for j := i + 1; j < len(elems); j++ {
+			if jsonval.Equal(elems[i], elems[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// evalNF evaluates an NNF formula on a concrete value, expanding
+// references (used to re-check synthesized witnesses).
+func (s *solver) evalNF(v *jsonval.Value, f nf) bool {
+	switch t := f.(type) {
+	case nfTrue:
+		return true
+	case nfFalse:
+		return false
+	case nfAnd:
+		return s.evalNF(v, t.left) && s.evalNF(v, t.right)
+	case nfOr:
+		return s.evalNF(v, t.left) || s.evalNF(v, t.right)
+	case nfRef:
+		return s.evalNF(v, s.defNNF(t.name, t.neg))
+	case nfDia:
+		if t.re != nil {
+			if !v.IsObject() {
+				return false
+			}
+			for _, m := range v.Members() {
+				if t.re.Match(m.Key) && s.evalNF(m.Value, t.inner) {
+					return true
+				}
+			}
+			return false
+		}
+		if !v.IsArray() {
+			return false
+		}
+		for p, e := range v.Elems() {
+			if p >= t.lo && (t.hi == jsl.Inf || p <= t.hi) && s.evalNF(e, t.inner) {
+				return true
+			}
+		}
+		return false
+	case nfBox:
+		if t.re != nil {
+			if !v.IsObject() {
+				return true
+			}
+			for _, m := range v.Members() {
+				if t.re.Match(m.Key) && !s.evalNF(m.Value, t.inner) {
+					return false
+				}
+			}
+			return true
+		}
+		if !v.IsArray() {
+			return true
+		}
+		for p, e := range v.Elems() {
+			if p >= t.lo && (t.hi == jsl.Inf || p <= t.hi) && !s.evalNF(e, t.inner) {
+				return false
+			}
+		}
+		return true
+	case nfTest:
+		var a atoms
+		a.maxCh = maxInt
+		if !s.addTest(&a, t) {
+			return false
+		}
+		return s.valueMeetsAtoms(v, &a)
+	}
+	return false
+}

@@ -1,0 +1,451 @@
+// Package jnl implements the JSON Navigational Logic of §4 of the paper:
+// the deterministic core (Definition 1), its non-deterministic extension
+// (regular-expression key axes X_e and interval array axes X_{i:j}) and
+// its recursive extension (Kleene star over binary formulas), together
+// with the evaluation algorithms of Propositions 1 and 3.
+//
+// Binary formulas α denote binary relations ⟦α⟧_J over the nodes of a
+// JSON tree (they "move"); unary formulas φ denote node sets ⟦φ⟧_J (they
+// "test"). The concrete syntax accepted by Parse writes key axes as /w,
+// array axes as /3 (or /-1 for the last element), regex axes as /~"e",
+// interval axes as /[i:j], composition by juxtaposition, node tests in
+// angle brackets, and the equality predicates as eq(α, A) and eq(α, β).
+package jnl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+// Binary is a binary formula α: a relation over pairs of nodes.
+type Binary interface {
+	isBinary()
+	writeTo(sb *strings.Builder)
+}
+
+// Unary is a unary formula φ: a set of nodes.
+type Unary interface {
+	isUnary()
+	writeTo(sb *strings.Builder)
+}
+
+// ---- Binary formulas ----
+
+// Epsilon is ε, the identity relation.
+type Epsilon struct{}
+
+// KeyAxis is X_w: from an object node to the value of its key w.
+type KeyAxis struct{ Word string }
+
+// IndexAxis is X_i: from an array node to its i-th element (0-based).
+// Negative indices address from the end: -1 is the last element, -j the
+// j-th from the last, per the paper's remark on dual array access.
+type IndexAxis struct{ Index int }
+
+// RegexAxis is X_e: from an object node to the value of any key in L(e)
+// (non-deterministic JNL, §4.3).
+type RegexAxis struct{ Re *relang.Regex }
+
+// RangeAxis is X_{i:j}: from an array node to any element at position
+// i ≤ p ≤ j. Hi = Inf (-1 is not used; use the Inf constant) means +∞.
+type RangeAxis struct {
+	Lo, Hi int // Hi == Inf means +∞
+}
+
+// Inf is the upper bound +∞ for RangeAxis.
+const Inf = int(^uint(0) >> 1)
+
+// Test is ⟨φ⟩: the identity relation restricted to nodes satisfying φ.
+type Test struct{ Inner Unary }
+
+// Concat is α ∘ β, relation composition.
+type Concat struct{ Left, Right Binary }
+
+// Star is (α)*, reflexive-transitive closure (recursive JNL, §4.3).
+type Star struct{ Inner Binary }
+
+// Alt is α ∪ β, union of relations. It is not part of the paper's
+// grammar (Definition 1 composes binaries only by ∘); it is provided as
+// an extension for the JSONPath frontend, whose wildcard step must
+// traverse object and array edges alike. Alt is expressible in the
+// unary fragment ([α∪β] ≡ [α]∨[β]) but not as a binary, and the product
+// evaluator supports it natively at no extra cost.
+type Alt struct{ Left, Right Binary }
+
+func (Epsilon) isBinary()   {}
+func (KeyAxis) isBinary()   {}
+func (IndexAxis) isBinary() {}
+func (RegexAxis) isBinary() {}
+func (RangeAxis) isBinary() {}
+func (Test) isBinary()      {}
+func (Concat) isBinary()    {}
+func (Alt) isBinary()       {}
+func (Star) isBinary()      {}
+
+// ---- Unary formulas ----
+
+// True is ⊤, satisfied by every node.
+type True struct{}
+
+// Not is ¬φ.
+type Not struct{ Inner Unary }
+
+// And is φ ∧ ψ.
+type And struct{ Left, Right Unary }
+
+// Or is φ ∨ ψ.
+type Or struct{ Left, Right Unary }
+
+// Exists is [α]: nodes with at least one α-successor.
+type Exists struct{ Path Binary }
+
+// EQDoc is EQ(α, A): nodes with an α-successor n' with json(n') = A.
+type EQDoc struct {
+	Path Binary
+	Doc  *jsonval.Value
+}
+
+// EQPaths is EQ(α, β): nodes with an α-successor and a β-successor
+// rooting equal subtrees. Its presence drives the evaluation complexity
+// from linear to cubic (Proposition 3) and satisfiability to undecidable
+// (Proposition 4).
+type EQPaths struct{ Left, Right Binary }
+
+func (True) isUnary()    {}
+func (Not) isUnary()     {}
+func (And) isUnary()     {}
+func (Or) isUnary()      {}
+func (Exists) isUnary()  {}
+func (EQDoc) isUnary()   {}
+func (EQPaths) isUnary() {}
+
+// ---- Convenience constructors ----
+
+// Key returns the axis X_w.
+func Key(w string) Binary { return KeyAxis{w} }
+
+// At returns the axis X_i.
+func At(i int) Binary { return IndexAxis{i} }
+
+// Rx returns the axis X_e for a pattern; it panics on a bad pattern (use
+// relang.Compile plus RegexAxis for error handling).
+func Rx(pattern string) Binary { return RegexAxis{relang.MustCompile(pattern)} }
+
+// Range returns the axis X_{lo:hi}; pass Inf for an open upper bound.
+func Range(lo, hi int) Binary { return RangeAxis{lo, hi} }
+
+// Seq composes the given binaries left to right; Seq() is ε.
+func Seq(parts ...Binary) Binary {
+	if len(parts) == 0 {
+		return Epsilon{}
+	}
+	out := parts[len(parts)-1]
+	for i := len(parts) - 2; i >= 0; i-- {
+		out = Concat{parts[i], out}
+	}
+	return out
+}
+
+// AndAll conjoins the unaries; AndAll() is ⊤.
+func AndAll(parts ...Unary) Unary {
+	if len(parts) == 0 {
+		return True{}
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out = And{out, p}
+	}
+	return out
+}
+
+// OrAll disjoins the unaries; OrAll() is ¬⊤.
+func OrAll(parts ...Unary) Unary {
+	if len(parts) == 0 {
+		return Not{True{}}
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out = Or{out, p}
+	}
+	return out
+}
+
+// ---- Classification (§4.2 vs §4.3 fragments) ----
+
+// Class describes which JNL fragment a formula belongs to.
+type Class struct {
+	// Deterministic reports that only X_w and X_i axes occur (the core
+	// logic of Definition 1): no regex or interval axes and no star.
+	Deterministic bool
+	// Recursive reports that a Kleene star occurs.
+	Recursive bool
+	// HasEQPaths reports that the binary equality EQ(α,β) occurs; it is
+	// the feature that separates linear from cubic evaluation.
+	HasEQPaths bool
+	// HasEQDoc reports that EQ(α, A) occurs.
+	HasEQDoc bool
+	// HasNegation reports that ¬ occurs.
+	HasNegation bool
+}
+
+// Classify computes the fragment of a unary formula.
+func Classify(u Unary) Class {
+	var c Class
+	c.Deterministic = true
+	classifyUnary(u, &c)
+	return c
+}
+
+// ClassifyBinary computes the fragment of a binary formula.
+func ClassifyBinary(b Binary) Class {
+	var c Class
+	c.Deterministic = true
+	classifyBinary(b, &c)
+	return c
+}
+
+func classifyUnary(u Unary, c *Class) {
+	switch t := u.(type) {
+	case True:
+	case Not:
+		c.HasNegation = true
+		classifyUnary(t.Inner, c)
+	case And:
+		classifyUnary(t.Left, c)
+		classifyUnary(t.Right, c)
+	case Or:
+		classifyUnary(t.Left, c)
+		classifyUnary(t.Right, c)
+	case Exists:
+		classifyBinary(t.Path, c)
+	case EQDoc:
+		c.HasEQDoc = true
+		classifyBinary(t.Path, c)
+	case EQPaths:
+		c.HasEQPaths = true
+		classifyBinary(t.Left, c)
+		classifyBinary(t.Right, c)
+	default:
+		panic(fmt.Sprintf("jnl: unknown unary %T", u))
+	}
+}
+
+func classifyBinary(b Binary, c *Class) {
+	switch t := b.(type) {
+	case Epsilon, KeyAxis, IndexAxis:
+	case RegexAxis, RangeAxis:
+		c.Deterministic = false
+	case Test:
+		classifyUnary(t.Inner, c)
+	case Concat:
+		classifyBinary(t.Left, c)
+		classifyBinary(t.Right, c)
+	case Star:
+		c.Recursive = true
+		c.Deterministic = false
+		classifyBinary(t.Inner, c)
+	case Alt:
+		c.Deterministic = false
+		classifyBinary(t.Left, c)
+		classifyBinary(t.Right, c)
+	default:
+		panic(fmt.Sprintf("jnl: unknown binary %T", b))
+	}
+}
+
+// Size returns the number of AST nodes of the formula, the |φ| of the
+// complexity statements.
+func Size(u Unary) int {
+	n := 0
+	sizeUnary(u, &n)
+	return n
+}
+
+// SizeBinary is Size for binary formulas.
+func SizeBinary(b Binary) int {
+	n := 0
+	sizeBinary(b, &n)
+	return n
+}
+
+func sizeUnary(u Unary, n *int) {
+	*n++
+	switch t := u.(type) {
+	case Not:
+		sizeUnary(t.Inner, n)
+	case And:
+		sizeUnary(t.Left, n)
+		sizeUnary(t.Right, n)
+	case Or:
+		sizeUnary(t.Left, n)
+		sizeUnary(t.Right, n)
+	case Exists:
+		sizeBinary(t.Path, n)
+	case EQDoc:
+		sizeBinary(t.Path, n)
+	case EQPaths:
+		sizeBinary(t.Left, n)
+		sizeBinary(t.Right, n)
+	}
+}
+
+func sizeBinary(b Binary, n *int) {
+	*n++
+	switch t := b.(type) {
+	case Test:
+		sizeUnary(t.Inner, n)
+	case Concat:
+		sizeBinary(t.Left, n)
+		sizeBinary(t.Right, n)
+	case Star:
+		sizeBinary(t.Inner, n)
+	case Alt:
+		sizeBinary(t.Left, n)
+		sizeBinary(t.Right, n)
+	}
+}
+
+// ---- Rendering ----
+
+func (Epsilon) writeTo(sb *strings.Builder) { sb.WriteString("eps") }
+
+func (a KeyAxis) writeTo(sb *strings.Builder) {
+	sb.WriteByte('/')
+	writeKey(sb, a.Word)
+}
+
+func (a IndexAxis) writeTo(sb *strings.Builder) {
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(a.Index))
+}
+
+func (a RegexAxis) writeTo(sb *strings.Builder) {
+	sb.WriteString("/~")
+	sb.WriteString(strconv.Quote(a.Re.String()))
+}
+
+func (a RangeAxis) writeTo(sb *strings.Builder) {
+	fmt.Fprintf(sb, "/[%d:", a.Lo)
+	if a.Hi != Inf {
+		sb.WriteString(strconv.Itoa(a.Hi))
+	}
+	sb.WriteByte(']')
+}
+
+func (t Test) writeTo(sb *strings.Builder) {
+	sb.WriteByte('<')
+	t.Inner.writeTo(sb)
+	sb.WriteByte('>')
+}
+
+func (c Concat) writeTo(sb *strings.Builder) {
+	c.Left.writeTo(sb)
+	sb.WriteByte(' ')
+	c.Right.writeTo(sb)
+}
+
+func (s Star) writeTo(sb *strings.Builder) {
+	sb.WriteByte('(')
+	s.Inner.writeTo(sb)
+	sb.WriteString(")*")
+}
+
+func (a Alt) writeTo(sb *strings.Builder) {
+	sb.WriteByte('(')
+	a.Left.writeTo(sb)
+	sb.WriteString(" | ")
+	a.Right.writeTo(sb)
+	sb.WriteByte(')')
+}
+
+func (True) writeTo(sb *strings.Builder) { sb.WriteString("true") }
+
+func (n Not) writeTo(sb *strings.Builder) {
+	sb.WriteByte('!')
+	writeUnaryAtom(sb, n.Inner)
+}
+
+func (a And) writeTo(sb *strings.Builder) {
+	writeUnaryAtom(sb, a.Left)
+	sb.WriteString(" && ")
+	writeUnaryAtom(sb, a.Right)
+}
+
+func (o Or) writeTo(sb *strings.Builder) {
+	writeUnaryAtom(sb, o.Left)
+	sb.WriteString(" || ")
+	writeUnaryAtom(sb, o.Right)
+}
+
+func (e Exists) writeTo(sb *strings.Builder) {
+	sb.WriteByte('[')
+	e.Path.writeTo(sb)
+	sb.WriteByte(']')
+}
+
+func (e EQDoc) writeTo(sb *strings.Builder) {
+	sb.WriteString("eq(")
+	e.Path.writeTo(sb)
+	sb.WriteString(", ")
+	sb.WriteString(e.Doc.String())
+	sb.WriteByte(')')
+}
+
+func (e EQPaths) writeTo(sb *strings.Builder) {
+	sb.WriteString("eq(")
+	e.Left.writeTo(sb)
+	sb.WriteString(", ")
+	e.Right.writeTo(sb)
+	sb.WriteByte(')')
+}
+
+// writeUnaryAtom parenthesizes composite operands for readability.
+func writeUnaryAtom(sb *strings.Builder, u Unary) {
+	switch u.(type) {
+	case And, Or:
+		sb.WriteByte('(')
+		u.writeTo(sb)
+		sb.WriteByte(')')
+	default:
+		u.writeTo(sb)
+	}
+}
+
+func writeKey(sb *strings.Builder, w string) {
+	if isIdent(w) {
+		sb.WriteString(w)
+		return
+	}
+	sb.WriteString(strconv.Quote(w))
+}
+
+func isIdent(w string) bool {
+	if w == "" {
+		return false
+	}
+	for i, r := range w {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the unary formula in the concrete syntax of Parse.
+func String(u Unary) string {
+	var sb strings.Builder
+	u.writeTo(&sb)
+	return sb.String()
+}
+
+// StringBinary renders the binary formula in the concrete syntax.
+func StringBinary(b Binary) string {
+	var sb strings.Builder
+	b.writeTo(&sb)
+	return sb.String()
+}

@@ -1,0 +1,427 @@
+package jnl
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+)
+
+const figure1 = `{
+	"name": {"first": "John", "last": "Doe"},
+	"age": 32,
+	"hobbies": ["fishing","yoga"]
+}`
+
+func evalRoot(t *testing.T, doc, formula string) bool {
+	t.Helper()
+	tr := jsontree.MustParse(doc)
+	u, err := Parse(formula)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", formula, err)
+	}
+	return Holds(tr, u, tr.Root())
+}
+
+func TestEvalBasics(t *testing.T) {
+	tests := []struct {
+		formula string
+		want    bool
+	}{
+		{`true`, true},
+		{`!true`, false},
+		{`[/name]`, true},
+		{`[/name/first]`, true},
+		{`[/name/last]`, true},
+		{`[/name/middle]`, false},
+		{`[/age]`, true},
+		{`[/missing]`, false},
+		{`[/hobbies/0]`, true},
+		{`[/hobbies/1]`, true},
+		{`[/hobbies/2]`, false},
+		{`[/hobbies/-1]`, true},
+		{`eq(/age, 32)`, true},
+		{`eq(/age, 33)`, false},
+		{`eq(/name/first, "John")`, true},
+		{`eq(/name, {"first":"John","last":"Doe"})`, true},
+		{`eq(/name, {"last":"Doe","first":"John"})`, true}, // object order irrelevant
+		{`eq(/name, {"first":"John"})`, false},
+		{`eq(/hobbies, ["fishing","yoga"])`, true},
+		{`eq(/hobbies, ["yoga","fishing"])`, false}, // array order matters
+		{`eq(/hobbies/1, "yoga")`, true},
+		{`eq(/hobbies/-1, "yoga")`, true},
+		{`[/name] && [/age]`, true},
+		{`[/name] && [/missing]`, false},
+		{`[/missing] || [/age]`, true},
+		{`!([/missing])`, true},
+		{`[/name <eq(/first, "John")>]`, true},
+		{`[/name <eq(/first, "Jane")>]`, false},
+		{`[eps]`, true},
+		{`eq(eps, {"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]})`, true},
+		// Non-deterministic axes.
+		{`[/~"h.*"]`, true},
+		{`[/~"z.*"]`, false},
+		{`[/~"(name|age)" ]`, true},
+		{`[/hobbies /[0:1]]`, true},
+		{`[/hobbies /[2:]]`, false},
+		{`[/hobbies /[0:] <eq(eps, "yoga")>]`, true},
+		{`[/hobbies /[0:] <eq(eps, "tennis")>]`, false},
+		// Recursion: "Doe" is reachable through object edges alone
+		// (root -name-> object -last-> "Doe"), but "yoga" is not (it
+		// sits under an array edge).
+		{`[(/~".*")* <eq(eps, "Doe")>]`, true},
+		{`[(/~".*" )* /last <eq(eps, "Doe")>]`, true},
+		{`[(/~".*")* <eq(eps, "yoga")>]`, false},
+		// EQ over two paths.
+		{`eq(/name/first, /name/first)`, true},
+		{`eq(/name/first, /name/last)`, false},
+	}
+	for _, tc := range tests {
+		if got := evalRoot(t, figure1, tc.formula); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.formula, got, tc.want)
+		}
+	}
+}
+
+func TestRecursionDescendant(t *testing.T) {
+	// Descendant-or-self over both object and array edges: the union
+	// axis (X_Σ* ∪ X_{0:∞}) is expressed as (/~".*" | /[0:])* via two
+	// stars since the syntax has no union of binaries; use composition
+	// of stars: ((/~".*")* (/[0:])*)* covers interleavings.
+	tr := jsontree.MustParse(figure1)
+	u := MustParse(`[((/~".*")* (/[0:])*)* <eq(eps, "yoga")>]`)
+	if !Holds(tr, u, tr.Root()) {
+		t.Error("descendant search for \"yoga\" should succeed")
+	}
+	u2 := MustParse(`[((/~".*")* (/[0:])*)* <eq(eps, "Doe")>]`)
+	if !Holds(tr, u2, tr.Root()) {
+		t.Error("descendant search for \"Doe\" should succeed")
+	}
+	u3 := MustParse(`[((/~".*")* (/[0:])*)* <eq(eps, "nothere")>]`)
+	if Holds(tr, u3, tr.Root()) {
+		t.Error("descendant search for \"nothere\" should fail")
+	}
+}
+
+// TestExample1 reproduces Example 1 of the paper: the MongoDB query
+// db.collection.find({name: {$eq: "Sue"}}, {}) corresponds to the
+// navigation condition J[name] = "Sue".
+func TestExample1(t *testing.T) {
+	sue := jsontree.MustParse(`{"name":"Sue","age":28}`)
+	john := jsontree.MustParse(figure1)
+	cond := MustParse(`eq(/name, "Sue")`)
+	if !Holds(sue, cond, sue.Root()) {
+		t.Error("Sue's document should match")
+	}
+	if Holds(john, cond, john.Root()) {
+		t.Error("John's document should not match")
+	}
+}
+
+// TestKeyUniquenessUnsat reflects the observation after Proposition 2:
+// X_a[X_1] ∧ X_a[X_b] is unsatisfiable because the value under key a
+// cannot be both an array and an object. Evaluation-side check: no
+// document can satisfy it.
+func TestKeyUniquenessConflict(t *testing.T) {
+	u := MustParse(`[/a <[/1]>] && [/a <[/b]>]`)
+	for _, doc := range []string{
+		`{"a":[0,1]}`, `{"a":{"b":1}}`, `{"a":1}`, `{}`,
+		`{"a":[[],[]],"b":{"b":0}}`,
+	} {
+		tr := jsontree.MustParse(doc)
+		if Holds(tr, u, tr.Root()) {
+			t.Errorf("formula held on %s; key uniqueness should forbid it", doc)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tr := jsontree.MustParse(figure1)
+	ev := NewEvaluator(tr)
+	got := ev.Select(MustParseBinary(`/hobbies /[0:]`), tr.Root())
+	if len(got) != 2 {
+		t.Fatalf("Select returned %d nodes, want 2", len(got))
+	}
+	vals := []string{tr.StringVal(got[0]), tr.StringVal(got[1])}
+	if !reflect.DeepEqual(vals, []string{"fishing", "yoga"}) {
+		t.Errorf("Select values = %v", vals)
+	}
+	if n := ev.Select(MustParseBinary(`/name/first`), tr.Root()); len(n) != 1 || tr.StringVal(n[0]) != "John" {
+		t.Errorf("Select /name/first = %v", n)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		formula string
+		det     bool
+		rec     bool
+		eqp     bool
+	}{
+		{`[/a/b/0]`, true, false, false},
+		{`eq(/a, 1)`, true, false, false},
+		{`eq(/a, /b)`, true, false, true},
+		{`[/~"a.*"]`, false, false, false},
+		{`[/[0:2]]`, false, false, false},
+		{`[(/a)*]`, false, true, false},
+		{`[/a <[/~"x"]>]`, false, false, false},
+	}
+	for _, tc := range cases {
+		c := Classify(MustParse(tc.formula))
+		if c.Deterministic != tc.det || c.Recursive != tc.rec || c.HasEQPaths != tc.eqp {
+			t.Errorf("Classify(%s) = %+v", tc.formula, c)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	formulas := []string{
+		`true`,
+		`[/name/first]`,
+		`eq(/age, 32)`,
+		`eq(/a, /b/0)`,
+		`[/~"h.*" /[0:]]`,
+		`[(/a)* <true>]`,
+		`!([/a] && [/b]) || eq(eps, {})`,
+		`[/"quoted key!" /-1]`,
+		`[/[2:5]]`,
+	}
+	for _, f := range formulas {
+		u, err := Parse(f)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", f, err)
+			continue
+		}
+		rendered := String(u)
+		u2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("reparse of %q -> %q failed: %v", f, rendered, err)
+			continue
+		}
+		if String(u2) != rendered {
+			t.Errorf("print-parse-print not stable: %q vs %q", rendered, String(u2))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `[`, `[/a`, `[/]`, `eq(/a)`, `eq(/a,)`, `eq(/a, tru)`,
+		`[/a] &&`, `(true`, `</a>`, `[/~bad]`, `[/~"("]`, `[/[3:1]]`,
+		`[/[-1:2]]`, `true extra`, `!!`,
+	}
+	for _, f := range bad {
+		if _, err := Parse(f); err == nil {
+			t.Errorf("Parse(%q): expected error", f)
+		}
+	}
+}
+
+// randDoc generates a small random document for differential testing.
+func randDoc(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return jsonval.Num(uint64(r.Intn(3)))
+		}
+		return jsonval.Str(string(rune('u' + r.Intn(3))))
+	}
+	n := r.Intn(3) + 1
+	if r.Intn(2) == 0 {
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = randDoc(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	var members []jsonval.Member
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := string(rune('a' + r.Intn(4)))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		members = append(members, jsonval.Member{Key: k, Value: randDoc(r, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
+
+// randUnary generates random JNL formulas exercising every constructor.
+func randUnary(r *rand.Rand, depth int) Unary {
+	if depth == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return True{}
+		case 1:
+			return Exists{randBinary(r, 0)}
+		default:
+			return EQDoc{randBinary(r, 0), randDoc(r, 1)}
+		}
+	}
+	switch r.Intn(7) {
+	case 0:
+		return True{}
+	case 1:
+		return Not{randUnary(r, depth-1)}
+	case 2:
+		return And{randUnary(r, depth-1), randUnary(r, depth-1)}
+	case 3:
+		return Or{randUnary(r, depth-1), randUnary(r, depth-1)}
+	case 4:
+		return Exists{randBinary(r, depth-1)}
+	case 5:
+		return EQDoc{randBinary(r, depth-1), randDoc(r, 1)}
+	default:
+		return EQPaths{randBinary(r, depth-1), randBinary(r, depth-1)}
+	}
+}
+
+func randBinary(r *rand.Rand, depth int) Binary {
+	if depth == 0 {
+		switch r.Intn(5) {
+		case 0:
+			return Epsilon{}
+		case 1:
+			return KeyAxis{string(rune('a' + r.Intn(4)))}
+		case 2:
+			return IndexAxis{r.Intn(3) - 1}
+		case 3:
+			return Rx(string(rune('a'+r.Intn(3))) + ".*")
+		default:
+			return RangeAxis{r.Intn(2), r.Intn(2) + 1}
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Concat{randBinary(r, depth-1), randBinary(r, depth-1)}
+	case 1:
+		return Test{randUnary(r, depth-1)}
+	case 2:
+		return Star{randBinary(r, depth-1)}
+	default:
+		return randBinary(r, 0)
+	}
+}
+
+type diffCase struct {
+	doc     *jsonval.Value
+	formula Unary
+}
+
+func (diffCase) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(diffCase{randDoc(r, 2+r.Intn(2)), randUnary(r, 2)})
+}
+
+// TestQuickDifferential checks the production evaluator against the
+// brute-force reference evaluator on random documents and formulas, for
+// every combination of ablation options.
+func TestQuickDifferential(t *testing.T) {
+	optVariants := []Options{
+		{},
+		{NaivePairs: true},
+		{NaiveEquality: true},
+		{NaivePairs: true, NaiveEquality: true},
+	}
+	f := func(c diffCase) bool {
+		tr := jsontree.FromValue(c.doc)
+		want := refUnary(tr, c.formula)
+		for _, opts := range optVariants {
+			got := NewEvaluatorOptions(tr, opts).Eval(c.formula)
+			if got.Len() != len(want) {
+				t.Logf("doc=%s formula=%s opts=%+v: got %d nodes, want %d",
+					c.doc, String(c.formula), opts, got.Len(), len(want))
+				return false
+			}
+			for n := range want {
+				if !got.Contains(n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParserRoundTrip: rendering then reparsing preserves semantics
+// on random documents.
+func TestQuickParserRoundTrip(t *testing.T) {
+	f := func(c diffCase) bool {
+		rendered := String(c.formula)
+		parsed, err := Parse(rendered)
+		if err != nil {
+			t.Logf("render %q failed to parse: %v", rendered, err)
+			return false
+		}
+		tr := jsontree.FromValue(c.doc)
+		a := Eval(tr, c.formula)
+		b := Eval(tr, parsed)
+		if a.Len() != b.Len() {
+			return false
+		}
+		for _, n := range a.Slice() {
+			if !b.Contains(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeSet(t *testing.T) {
+	s := NewNodeSet(130)
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Len() != 3 || !s.Contains(64) || s.Contains(1) {
+		t.Error("basic set ops failed")
+	}
+	s.Negate()
+	if s.Len() != 127 || s.Contains(129) || !s.Contains(1) {
+		t.Errorf("negate failed: len=%d", s.Len())
+	}
+	full := FullNodeSet(130)
+	if full.Len() != 130 {
+		t.Errorf("FullNodeSet len = %d", full.Len())
+	}
+	s2 := s.Clone()
+	s2.IntersectWith(full)
+	if s2.Len() != s.Len() {
+		t.Error("intersect with full changed set")
+	}
+	s.Remove(1)
+	if s.Contains(1) {
+		t.Error("remove failed")
+	}
+	ids := s.Slice()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Error("Slice not sorted")
+		}
+	}
+	if s.IsEmpty() || !NewNodeSet(10).IsEmpty() {
+		t.Error("IsEmpty wrong")
+	}
+	if s.Universe() != 130 {
+		t.Error("Universe wrong")
+	}
+}
+
+func TestSizeFunctions(t *testing.T) {
+	u := MustParse(`[/a/b] && eq(/c, 1)`)
+	if Size(u) < 6 {
+		t.Errorf("Size = %d, expected at least 6", Size(u))
+	}
+	b := MustParseBinary(`/a (/b)* <true>`)
+	if SizeBinary(b) < 5 {
+		t.Errorf("SizeBinary = %d", SizeBinary(b))
+	}
+}

@@ -1,0 +1,106 @@
+package jnl
+
+import (
+	"math/bits"
+
+	"jsonlogic/internal/jsontree"
+)
+
+// NodeSet is a set of tree nodes, stored as a bitset over the dense node
+// ids of a jsontree.Tree.
+type NodeSet struct {
+	words []uint64
+	n     int // universe size
+}
+
+// NewNodeSet returns an empty set over a universe of n nodes.
+func NewNodeSet(n int) *NodeSet {
+	return &NodeSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FullNodeSet returns the set of all n nodes.
+func FullNodeSet(n int) *NodeSet {
+	s := NewNodeSet(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if r := n % 64; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (uint64(1) << r) - 1
+	}
+	return s
+}
+
+// Universe returns the universe size the set ranges over.
+func (s *NodeSet) Universe() int { return s.n }
+
+// Add inserts node id.
+func (s *NodeSet) Add(id jsontree.NodeID) { s.words[id/64] |= 1 << (uint(id) % 64) }
+
+// Remove deletes node id.
+func (s *NodeSet) Remove(id jsontree.NodeID) { s.words[id/64] &^= 1 << (uint(id) % 64) }
+
+// Contains reports membership.
+func (s *NodeSet) Contains(id jsontree.NodeID) bool {
+	return s.words[id/64]&(1<<(uint(id)%64)) != 0
+}
+
+// Len returns the cardinality.
+func (s *NodeSet) Len() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// IsEmpty reports whether the set is empty.
+func (s *NodeSet) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice returns the members in increasing order.
+func (s *NodeSet) Slice() []jsontree.NodeID {
+	out := make([]jsontree.NodeID, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			bit := w & -w
+			out = append(out, jsontree.NodeID(wi*64+bits.TrailingZeros64(w)))
+			w ^= bit
+		}
+	}
+	return out
+}
+
+// Clone returns a copy.
+func (s *NodeSet) Clone() *NodeSet {
+	return &NodeSet{words: append([]uint64(nil), s.words...), n: s.n}
+}
+
+// UnionWith adds all members of t.
+func (s *NodeSet) UnionWith(t *NodeSet) {
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// IntersectWith removes members not in t.
+func (s *NodeSet) IntersectWith(t *NodeSet) {
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// Negate complements the set within its universe.
+func (s *NodeSet) Negate() {
+	for i := range s.words {
+		s.words[i] = ^s.words[i]
+	}
+	if r := s.n % 64; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (uint64(1) << r) - 1
+	}
+}

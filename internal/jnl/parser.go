@@ -1,0 +1,420 @@
+package jnl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+// ParseError reports a malformed JNL formula.
+type ParseError struct {
+	Input  string
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("jnl: parse error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Parse parses a unary JNL formula in the concrete syntax:
+//
+//	unary  := or
+//	or     := and ('||' and)*
+//	and    := atom ('&&' atom)*
+//	atom   := 'true' | '!' atom | '(' unary ')' | '[' binary ']'
+//	        | 'eq' '(' binary ',' (binary | JSON) ')'
+//	binary := element+                          -- juxtaposition is ∘
+//	element:= axis | '<' unary '>' | '(' binary ')' ['*'] | 'eps'
+//	axis   := '/' (ident | string | int | '~' string | '[' int ':' int? ']')
+//
+// Examples: [/name/first], eq(/age, 32), [/~"hobb.*" /[0:]],
+// [(/~".*")* <eq(eps, "yoga")>].
+func Parse(input string) (Unary, error) {
+	p := &fparser{in: input}
+	p.skipSpace()
+	u, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, p.errf("unexpected trailing input %q", p.in[p.pos:])
+	}
+	return u, nil
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(input string) Unary {
+	u, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// ParseBinary parses a binary JNL formula (a path expression).
+func ParseBinary(input string) (Binary, error) {
+	p := &fparser{in: input}
+	p.skipSpace()
+	b, err := p.binary()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, p.errf("unexpected trailing input %q", p.in[p.pos:])
+	}
+	return b, nil
+}
+
+// MustParseBinary is ParseBinary but panics on error.
+func MustParseBinary(input string) Binary {
+	b, err := ParseBinary(input)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+type fparser struct {
+	in  string
+	pos int
+}
+
+func (p *fparser) errf(format string, args ...any) error {
+	return &ParseError{Input: p.in, Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *fparser) skipSpace() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *fparser) peek() byte {
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *fparser) hasKeyword(kw string) bool {
+	if !strings.HasPrefix(p.in[p.pos:], kw) {
+		return false
+	}
+	rest := p.in[p.pos+len(kw):]
+	if rest == "" {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(rest)
+	return !(r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9'))
+}
+
+func (p *fparser) unary() (Unary, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !strings.HasPrefix(p.in[p.pos:], "||") {
+			return left, nil
+		}
+		p.pos += 2
+		p.skipSpace()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{left, right}
+	}
+}
+
+func (p *fparser) andExpr() (Unary, error) {
+	left, err := p.unaryAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !strings.HasPrefix(p.in[p.pos:], "&&") {
+			return left, nil
+		}
+		p.pos += 2
+		p.skipSpace()
+		right, err := p.unaryAtom()
+		if err != nil {
+			return nil, err
+		}
+		left = And{left, right}
+	}
+}
+
+func (p *fparser) unaryAtom() (Unary, error) {
+	p.skipSpace()
+	switch {
+	case p.hasKeyword("true"):
+		p.pos += len("true")
+		return True{}, nil
+	case p.hasKeyword("eq"):
+		p.pos += len("eq")
+		return p.eqArgs()
+	case p.peek() == '!':
+		p.pos++
+		inner, err := p.unaryAtom()
+		if err != nil {
+			return nil, err
+		}
+		return Not{inner}, nil
+	case p.peek() == '(':
+		p.pos++
+		inner, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return inner, nil
+	case p.peek() == '[':
+		p.pos++
+		path, err := p.binary()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ']' {
+			return nil, p.errf("missing ']'")
+		}
+		p.pos++
+		return Exists{path}, nil
+	default:
+		return nil, p.errf("want a unary formula, got %q", rest(p.in, p.pos))
+	}
+}
+
+func (p *fparser) eqArgs() (Unary, error) {
+	p.skipSpace()
+	if p.peek() != '(' {
+		return nil, p.errf("want '(' after eq")
+	}
+	p.pos++
+	path, err := p.binary()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != ',' {
+		return nil, p.errf("want ',' in eq")
+	}
+	p.pos++
+	p.skipSpace()
+	var result Unary
+	if c := p.peek(); c == '/' || c == '<' || c == '(' || p.hasKeyword("eps") {
+		right, err := p.binary()
+		if err != nil {
+			return nil, err
+		}
+		result = EQPaths{path, right}
+	} else {
+		doc, n, err := jsonval.ParsePrefix(p.in[p.pos:])
+		if err != nil {
+			return nil, p.errf("bad JSON literal in eq: %v", err)
+		}
+		p.pos += n
+		result = EQDoc{path, doc}
+	}
+	p.skipSpace()
+	if p.peek() != ')' {
+		return nil, p.errf("missing ')' after eq arguments")
+	}
+	p.pos++
+	return result, nil
+}
+
+func (p *fparser) binary() (Binary, error) {
+	var parts []Binary
+	for {
+		p.skipSpace()
+		switch {
+		case p.peek() == '/':
+			axis, err := p.axis()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, axis)
+		case p.peek() == '<':
+			p.pos++
+			inner, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.peek() != '>' {
+				return nil, p.errf("missing '>'")
+			}
+			p.pos++
+			parts = append(parts, Test{inner})
+		case p.peek() == '(':
+			p.pos++
+			inner, err := p.binary()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			for p.peek() == '|' {
+				p.pos++
+				right, err := p.binary()
+				if err != nil {
+					return nil, err
+				}
+				inner = Alt{inner, right}
+				p.skipSpace()
+			}
+			if p.peek() != ')' {
+				return nil, p.errf("missing ')' in path group")
+			}
+			p.pos++
+			if p.peek() == '*' {
+				p.pos++
+				inner = Star{inner}
+			}
+			parts = append(parts, inner)
+		case p.hasKeyword("eps"):
+			p.pos += len("eps")
+			parts = append(parts, Epsilon{})
+		default:
+			if len(parts) == 0 {
+				return nil, p.errf("want a path expression, got %q", rest(p.in, p.pos))
+			}
+			return Seq(parts...), nil
+		}
+	}
+}
+
+func (p *fparser) axis() (Binary, error) {
+	p.pos++ // consume '/'
+	switch c := p.peek(); {
+	case c == '"':
+		w, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		return KeyAxis{w}, nil
+	case c == '~':
+		p.pos++
+		pat, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		re, err := relang.Compile(pat)
+		if err != nil {
+			return nil, p.errf("bad regex in axis: %v", err)
+		}
+		return RegexAxis{re}, nil
+	case c == '[':
+		p.pos++
+		lo, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ':' {
+			return nil, p.errf("want ':' in interval axis")
+		}
+		p.pos++
+		p.skipSpace()
+		hi := Inf
+		if p.peek() != ']' {
+			hi, err = p.integer()
+			if err != nil {
+				return nil, err
+			}
+			if hi < lo {
+				return nil, p.errf("interval axis with hi < lo")
+			}
+		}
+		if p.peek() != ']' {
+			return nil, p.errf("missing ']' in interval axis")
+		}
+		p.pos++
+		if lo < 0 {
+			return nil, p.errf("interval axis bounds must be non-negative")
+		}
+		return RangeAxis{lo, hi}, nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		i, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		return IndexAxis{i}, nil
+	default:
+		start := p.pos
+		for p.pos < len(p.in) {
+			r, size := utf8.DecodeRuneInString(p.in[p.pos:])
+			if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (p.pos > start && r >= '0' && r <= '9') {
+				p.pos += size
+			} else {
+				break
+			}
+		}
+		if p.pos == start {
+			return nil, p.errf("want a key, index, regex or interval after '/'")
+		}
+		return KeyAxis{p.in[start:p.pos]}, nil
+	}
+}
+
+func (p *fparser) quoted() (string, error) {
+	if p.peek() != '"' {
+		return "", p.errf("want a quoted string")
+	}
+	// Reuse the JSON string lexer for escape handling.
+	v, n, err := jsonval.ParsePrefix(p.in[p.pos:])
+	if err != nil {
+		return "", p.errf("bad string: %v", err)
+	}
+	if !v.IsString() {
+		return "", p.errf("want a quoted string")
+	}
+	p.pos += n
+	return v.Str(), nil
+}
+
+func (p *fparser) integer() (int, error) {
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || (p.pos == start+1 && p.in[start] == '-') {
+		return 0, p.errf("want an integer")
+	}
+	n, err := strconv.Atoi(p.in[start:p.pos])
+	if err != nil {
+		return 0, p.errf("integer out of range")
+	}
+	return n, nil
+}
+
+func rest(in string, pos int) string {
+	end := pos + 12
+	if end > len(in) {
+		end = len(in)
+	}
+	return in[pos:end]
+}

@@ -1,0 +1,433 @@
+package jnl
+
+import (
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/relang"
+)
+
+// A binary formula is compiled into a "program": a small ε-NFA over the
+// alphabet of axes and node tests, in the style of the PDL model
+// checking algorithms cited by Proposition 3. Evaluation is then
+// reachability over the product of the tree with the program, which
+// visits each (tree edge, program edge) pair at most once and therefore
+// runs in O(|J|·|α|).
+
+type edgeKind uint8
+
+const (
+	epsEdge edgeKind = iota
+	keyEdge
+	idxEdge
+	regexEdge
+	rangeEdge
+	testEdge
+)
+
+type progEdge struct {
+	kind edgeKind
+	from int
+	to   int
+	key  string        // keyEdge
+	idx  int           // idxEdge (may be negative: from the end)
+	lo   int           // rangeEdge
+	hi   int           // rangeEdge (Inf for +∞)
+	re   *relang.Regex // regexEdge
+	test *NodeSet      // testEdge: pre-evaluated node set of the test
+}
+
+type prog struct {
+	numStates int
+	start     int
+	accept    int
+	edges     []progEdge
+	// byTarget[q] lists indices of edges entering q; used by backward
+	// reachability. bySource[q] lists edges leaving q, used forward.
+	byTarget [][]int
+	bySource [][]int
+}
+
+func (p *prog) newState() int {
+	p.numStates++
+	return p.numStates - 1
+}
+
+func (p *prog) addEdge(e progEdge) {
+	p.edges = append(p.edges, e)
+}
+
+func (p *prog) index() {
+	p.byTarget = make([][]int, p.numStates)
+	p.bySource = make([][]int, p.numStates)
+	for i, e := range p.edges {
+		p.byTarget[e.to] = append(p.byTarget[e.to], i)
+		p.bySource[e.from] = append(p.bySource[e.from], i)
+	}
+}
+
+// compile builds the program for a binary formula. Nested unary tests
+// are evaluated eagerly (recursively through the Evaluator), so the
+// program's test edges carry finished node sets.
+func (ev *Evaluator) compile(b Binary) *prog {
+	p := &prog{}
+	start, accept := ev.compileInto(p, b)
+	p.start, p.accept = start, accept
+	p.index()
+	return p
+}
+
+func (ev *Evaluator) compileInto(p *prog, b Binary) (start, accept int) {
+	switch t := b.(type) {
+	case Epsilon:
+		s, f := p.newState(), p.newState()
+		p.addEdge(progEdge{kind: epsEdge, from: s, to: f})
+		return s, f
+	case KeyAxis:
+		s, f := p.newState(), p.newState()
+		p.addEdge(progEdge{kind: keyEdge, from: s, to: f, key: t.Word})
+		return s, f
+	case IndexAxis:
+		s, f := p.newState(), p.newState()
+		p.addEdge(progEdge{kind: idxEdge, from: s, to: f, idx: t.Index})
+		return s, f
+	case RegexAxis:
+		s, f := p.newState(), p.newState()
+		p.addEdge(progEdge{kind: regexEdge, from: s, to: f, re: t.Re})
+		return s, f
+	case RangeAxis:
+		s, f := p.newState(), p.newState()
+		p.addEdge(progEdge{kind: rangeEdge, from: s, to: f, lo: t.Lo, hi: t.Hi})
+		return s, f
+	case Test:
+		s, f := p.newState(), p.newState()
+		set := ev.evalUnary(t.Inner)
+		p.addEdge(progEdge{kind: testEdge, from: s, to: f, test: set})
+		return s, f
+	case Concat:
+		s1, f1 := ev.compileInto(p, t.Left)
+		s2, f2 := ev.compileInto(p, t.Right)
+		p.addEdge(progEdge{kind: epsEdge, from: f1, to: s2})
+		return s1, f2
+	case Star:
+		s, f := p.newState(), p.newState()
+		is, ifi := ev.compileInto(p, t.Inner)
+		p.addEdge(progEdge{kind: epsEdge, from: s, to: f})
+		p.addEdge(progEdge{kind: epsEdge, from: s, to: is})
+		p.addEdge(progEdge{kind: epsEdge, from: ifi, to: is})
+		p.addEdge(progEdge{kind: epsEdge, from: ifi, to: f})
+		return s, f
+	case Alt:
+		s, f := p.newState(), p.newState()
+		ls, lf := ev.compileInto(p, t.Left)
+		rs, rf := ev.compileInto(p, t.Right)
+		p.addEdge(progEdge{kind: epsEdge, from: s, to: ls})
+		p.addEdge(progEdge{kind: epsEdge, from: s, to: rs})
+		p.addEdge(progEdge{kind: epsEdge, from: lf, to: f})
+		p.addEdge(progEdge{kind: epsEdge, from: rf, to: f})
+		return s, f
+	}
+	panic("jnl: unknown binary formula")
+}
+
+// axisMatchesEdge reports whether the program edge e can traverse the
+// tree edge parent(child) → child.
+func (ev *Evaluator) axisMatchesEdge(e *progEdge, child jsontree.NodeID) bool {
+	t := ev.tree
+	parent := t.Parent(child)
+	if parent == jsontree.InvalidNode {
+		return false
+	}
+	switch e.kind {
+	case keyEdge:
+		return t.Kind(parent) == jsontree.ObjectNode && t.EdgeKey(child) == e.key
+	case regexEdge:
+		return t.Kind(parent) == jsontree.ObjectNode && ev.regexMark(e.re, child)
+	case idxEdge:
+		if t.Kind(parent) != jsontree.ArrayNode {
+			return false
+		}
+		want := e.idx
+		if want < 0 {
+			want += t.NumChildren(parent)
+		}
+		return t.EdgePos(child) == want
+	case rangeEdge:
+		if t.Kind(parent) != jsontree.ArrayNode {
+			return false
+		}
+		pos := t.EdgePos(child)
+		return pos >= e.lo && (e.hi == Inf || pos <= e.hi)
+	}
+	return false
+}
+
+// regexMark implements the per-edge regex preprocessing of Proposition
+// 3: the first time a regex is seen, every edge label of the tree is
+// classified against it once; subsequent lookups are O(1).
+func (ev *Evaluator) regexMark(re *relang.Regex, child jsontree.NodeID) bool {
+	marks, ok := ev.regexMarks[re]
+	if !ok {
+		t := ev.tree
+		marks = make([]bool, t.Len())
+		memo := make(map[string]bool)
+		t.Walk(func(n jsontree.NodeID) {
+			p := t.Parent(n)
+			if p == jsontree.InvalidNode || t.Kind(p) != jsontree.ObjectNode {
+				return
+			}
+			key := t.EdgeKey(n)
+			m, seen := memo[key]
+			if !seen {
+				m = re.Match(key)
+				memo[key] = m
+			}
+			marks[n] = m
+		})
+		ev.regexMarks[re] = marks
+	}
+	return marks[child]
+}
+
+// backwardReach computes {n | ∃n' ∈ target reachable from n via the
+// program}: backward reachability over the (tree × program) product.
+// Work is O(|J| · |edges|): each (tree node, program edge) pair enters
+// the worklist at most once.
+func (ev *Evaluator) backwardReach(p *prog, target *NodeSet) *NodeSet {
+	t := ev.tree
+	numNodes := t.Len()
+	good := make([]bool, numNodes*p.numStates)
+	type pair struct {
+		node  jsontree.NodeID
+		state int
+	}
+	var worklist []pair
+	mark := func(n jsontree.NodeID, q int) {
+		i := int(n)*p.numStates + q
+		if !good[i] {
+			good[i] = true
+			worklist = append(worklist, pair{n, q})
+		}
+	}
+	for _, n := range target.Slice() {
+		mark(n, p.accept)
+	}
+	for len(worklist) > 0 {
+		cur := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		for _, ei := range p.byTarget[cur.state] {
+			e := &p.edges[ei]
+			switch e.kind {
+			case epsEdge:
+				mark(cur.node, e.from)
+			case testEdge:
+				if e.test.Contains(cur.node) {
+					mark(cur.node, e.from)
+				}
+			default:
+				if ev.axisMatchesEdge(e, cur.node) {
+					mark(t.Parent(cur.node), e.from)
+				}
+			}
+		}
+	}
+	result := NewNodeSet(numNodes)
+	for i := 0; i < numNodes; i++ {
+		if good[i*p.numStates+p.start] {
+			result.Add(jsontree.NodeID(i))
+		}
+	}
+	return result
+}
+
+// forwardReach computes the nodes reachable from `from` via the program:
+// forward BFS over the (tree × program) product, collecting nodes paired
+// with the accept state.
+func (ev *Evaluator) forwardReach(p *prog, from jsontree.NodeID) []jsontree.NodeID {
+	t := ev.tree
+	seen := make(map[int64]bool)
+	key := func(n jsontree.NodeID, q int) int64 { return int64(n)*int64(p.numStates) + int64(q) }
+	type pair struct {
+		node  jsontree.NodeID
+		state int
+	}
+	var out []jsontree.NodeID
+	inResult := make(map[jsontree.NodeID]bool)
+	worklist := []pair{{from, p.start}}
+	seen[key(from, p.start)] = true
+	for len(worklist) > 0 {
+		cur := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		if cur.state == p.accept && !inResult[cur.node] {
+			inResult[cur.node] = true
+			out = append(out, cur.node)
+		}
+		for _, ei := range p.bySource[cur.state] {
+			e := &p.edges[ei]
+			push := func(n jsontree.NodeID, q int) {
+				if !seen[key(n, q)] {
+					seen[key(n, q)] = true
+					worklist = append(worklist, pair{n, q})
+				}
+			}
+			switch e.kind {
+			case epsEdge:
+				push(cur.node, e.to)
+			case testEdge:
+				if e.test.Contains(cur.node) {
+					push(cur.node, e.to)
+				}
+			case keyEdge:
+				if c := t.ChildByKey(cur.node, e.key); c != jsontree.InvalidNode {
+					push(c, e.to)
+				}
+			case idxEdge:
+				if c := t.ChildAt(cur.node, e.idx); c != jsontree.InvalidNode {
+					push(c, e.to)
+				}
+			case regexEdge:
+				if t.Kind(cur.node) == jsontree.ObjectNode {
+					for _, c := range t.Children(cur.node) {
+						if ev.regexMark(e.re, c) {
+							push(c, e.to)
+						}
+					}
+				}
+			case rangeEdge:
+				if t.Kind(cur.node) == jsontree.ArrayNode {
+					for _, c := range t.Children(cur.node) {
+						pos := t.EdgePos(c)
+						if pos >= e.lo && (e.hi == Inf || pos <= e.hi) {
+							push(c, e.to)
+						}
+					}
+				}
+			}
+		}
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+func sortNodeIDs(ids []jsontree.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// evalEQPaths evaluates EQ(α, β). When both paths are deterministic
+// (and NaivePairs is off) each node has at most one α- and one
+// β-successor, and the check is a single linear pass with online subtree
+// comparison (the refinement used to prove Proposition 1). Otherwise it
+// performs, for every node, a forward product search on both sides and
+// intersects the sets of subtree-equality classes reached — the
+// general-case bound of Proposition 3.
+func (ev *Evaluator) evalEQPaths(f EQPaths) *NodeSet {
+	t := ev.tree
+	result := NewNodeSet(t.Len())
+	lc := ClassifyBinary(f.Left)
+	rc := ClassifyBinary(f.Right)
+	if lc.Deterministic && rc.Deterministic && !ev.opts.NaivePairs {
+		lp := ev.compile(f.Left)
+		rp := ev.compile(f.Right)
+		for i := 0; i < t.Len(); i++ {
+			n := jsontree.NodeID(i)
+			ln, ok1 := ev.navigateDet(lp, n)
+			if !ok1 {
+				continue
+			}
+			rn, ok2 := ev.navigateDet(rp, n)
+			if !ok2 {
+				continue
+			}
+			if ev.sameSubtree(ln, rn) {
+				result.Add(n)
+			}
+		}
+		return result
+	}
+	lp := ev.compile(f.Left)
+	rp := ev.compile(f.Right)
+	classes := ev.subtreeClasses()
+	for i := 0; i < t.Len(); i++ {
+		n := jsontree.NodeID(i)
+		left := ev.forwardReach(lp, n)
+		if len(left) == 0 {
+			continue
+		}
+		right := ev.forwardReach(rp, n)
+		if len(right) == 0 {
+			continue
+		}
+		if ev.opts.NaiveEquality {
+			if anyPairEqualNaive(t, left, right) {
+				result.Add(n)
+			}
+			continue
+		}
+		lclasses := make(map[int32]bool, len(left))
+		for _, m := range left {
+			lclasses[classes[m]] = true
+		}
+		for _, m := range right {
+			if lclasses[classes[m]] {
+				result.Add(n)
+				break
+			}
+		}
+	}
+	return result
+}
+
+func anyPairEqualNaive(t *jsontree.Tree, left, right []jsontree.NodeID) bool {
+	for _, l := range left {
+		for _, r := range right {
+			if t.SubtreeEqualNaive(l, r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// navigateDet follows a deterministic program from node n, returning the
+// unique target if the whole path matches. Deterministic programs are
+// straight-line sequences of key/index/test/ε edges (no branching), so a
+// simple walk suffices.
+func (ev *Evaluator) navigateDet(p *prog, n jsontree.NodeID) (jsontree.NodeID, bool) {
+	t := ev.tree
+	state := p.start
+	cur := n
+	for state != p.accept {
+		outs := p.bySource[state]
+		if len(outs) != 1 {
+			// Deterministic formulas compile to straight-line programs;
+			// anything else is a caller error.
+			panic("jnl: navigateDet on branching program")
+		}
+		e := &p.edges[outs[0]]
+		switch e.kind {
+		case epsEdge:
+		case testEdge:
+			if !e.test.Contains(cur) {
+				return jsontree.InvalidNode, false
+			}
+		case keyEdge:
+			c := t.ChildByKey(cur, e.key)
+			if c == jsontree.InvalidNode {
+				return jsontree.InvalidNode, false
+			}
+			cur = c
+		case idxEdge:
+			c := t.ChildAt(cur, e.idx)
+			if c == jsontree.InvalidNode {
+				return jsontree.InvalidNode, false
+			}
+			cur = c
+		default:
+			panic("jnl: non-deterministic edge in navigateDet")
+		}
+		state = e.to
+	}
+	return cur, true
+}

@@ -1,0 +1,167 @@
+package jnl
+
+// This file implements a brute-force reference evaluator that follows
+// the semantic equations of §4.2 literally: binary formulas denote
+// explicit pair sets, unary formulas node sets, with no indexing or
+// hashing. It is deliberately slow (worst-case exponential through Star
+// is avoided by fixpoint iteration) and exists only to differentially
+// test the production evaluator.
+
+import (
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+)
+
+type pairSet map[[2]jsontree.NodeID]bool
+
+func refBinary(t *jsontree.Tree, b Binary) pairSet {
+	out := pairSet{}
+	switch f := b.(type) {
+	case Epsilon:
+		for _, n := range t.Nodes() {
+			out[[2]jsontree.NodeID{n, n}] = true
+		}
+	case Test:
+		inner := refUnary(t, f.Inner)
+		for n := range inner {
+			out[[2]jsontree.NodeID{n, n}] = true
+		}
+	case KeyAxis:
+		for _, n := range t.Nodes() {
+			if c := t.ChildByKey(n, f.Word); c != jsontree.InvalidNode {
+				out[[2]jsontree.NodeID{n, c}] = true
+			}
+		}
+	case IndexAxis:
+		for _, n := range t.Nodes() {
+			if t.Kind(n) != jsontree.ArrayNode {
+				continue
+			}
+			if c := t.ChildAt(n, f.Index); c != jsontree.InvalidNode {
+				out[[2]jsontree.NodeID{n, c}] = true
+			}
+		}
+	case RegexAxis:
+		for _, n := range t.Nodes() {
+			if t.Kind(n) != jsontree.ObjectNode {
+				continue
+			}
+			for _, c := range t.Children(n) {
+				if f.Re.Match(t.EdgeKey(c)) {
+					out[[2]jsontree.NodeID{n, c}] = true
+				}
+			}
+		}
+	case RangeAxis:
+		for _, n := range t.Nodes() {
+			if t.Kind(n) != jsontree.ArrayNode {
+				continue
+			}
+			for _, c := range t.Children(n) {
+				pos := t.EdgePos(c)
+				if pos >= f.Lo && (f.Hi == Inf || pos <= f.Hi) {
+					out[[2]jsontree.NodeID{n, c}] = true
+				}
+			}
+		}
+	case Concat:
+		left := refBinary(t, f.Left)
+		right := refBinary(t, f.Right)
+		for lp := range left {
+			for rp := range right {
+				if lp[1] == rp[0] {
+					out[[2]jsontree.NodeID{lp[0], rp[1]}] = true
+				}
+			}
+		}
+	case Alt:
+		for p := range refBinary(t, f.Left) {
+			out[p] = true
+		}
+		for p := range refBinary(t, f.Right) {
+			out[p] = true
+		}
+	case Star:
+		inner := refBinary(t, f.Inner)
+		for _, n := range t.Nodes() {
+			out[[2]jsontree.NodeID{n, n}] = true
+		}
+		for {
+			added := false
+			for op := range out {
+				for ip := range inner {
+					if op[1] == ip[0] {
+						np := [2]jsontree.NodeID{op[0], ip[1]}
+						if !out[np] {
+							out[np] = true
+							added = true
+						}
+					}
+				}
+			}
+			if !added {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+type refNodeSet map[jsontree.NodeID]bool
+
+func refUnary(t *jsontree.Tree, u Unary) refNodeSet {
+	out := refNodeSet{}
+	switch f := u.(type) {
+	case True:
+		for _, n := range t.Nodes() {
+			out[n] = true
+		}
+	case Not:
+		inner := refUnary(t, f.Inner)
+		for _, n := range t.Nodes() {
+			if !inner[n] {
+				out[n] = true
+			}
+		}
+	case And:
+		l, r := refUnary(t, f.Left), refUnary(t, f.Right)
+		for n := range l {
+			if r[n] {
+				out[n] = true
+			}
+		}
+	case Or:
+		l, r := refUnary(t, f.Left), refUnary(t, f.Right)
+		for n := range l {
+			out[n] = true
+		}
+		for n := range r {
+			out[n] = true
+		}
+	case Exists:
+		for p := range refBinary(t, f.Path) {
+			out[p[0]] = true
+		}
+	case EQDoc:
+		for p := range refBinary(t, f.Path) {
+			if jsonval.Equal(t.Value(p[1]), f.Doc) {
+				out[p[0]] = true
+			}
+		}
+	case EQPaths:
+		left := refBinary(t, f.Left)
+		right := refBinary(t, f.Right)
+		for lp := range left {
+			if out[lp[0]] {
+				continue
+			}
+			for rp := range right {
+				if lp[0] == rp[0] && jsonval.Equal(t.Value(lp[1]), t.Value(rp[1])) {
+					out[lp[0]] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+package jsl
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+// Options configure evaluation, mirroring the ablation switches listed
+// in DESIGN.md. The zero value is the default (fast) configuration.
+type Options struct {
+	// NaiveUnique forces the quadratic pairwise uniqueItems check that
+	// the O(|J|²·|φ|) bound of Proposition 6 assumes, instead of the
+	// hash-bucketed check.
+	NaiveUnique bool
+}
+
+// Evaluator evaluates (recursive) JSL expressions over one JSON tree.
+type Evaluator struct {
+	tree *jsontree.Tree
+	opts Options
+
+	regexMemo  map[*relang.Regex]map[string]bool
+	uniqueMemo map[jsontree.NodeID]bool
+}
+
+// NewEvaluator returns an Evaluator for the tree.
+func NewEvaluator(t *jsontree.Tree) *Evaluator { return NewEvaluatorOptions(t, Options{}) }
+
+// NewEvaluatorOptions returns an Evaluator with explicit options.
+func NewEvaluatorOptions(t *jsontree.Tree, opts Options) *Evaluator {
+	return &Evaluator{
+		tree:       t,
+		opts:       opts,
+		regexMemo:  make(map[*relang.Regex]map[string]bool),
+		uniqueMemo: make(map[jsontree.NodeID]bool),
+	}
+}
+
+// Eval computes the set of nodes of the tree satisfying the plain
+// (non-recursive) formula f, per the |= relation of §5.2. It runs in
+// O(|J|·|φ|) plus the cost of Unique tests (Proposition 6): quadratic
+// per array with NaiveUnique, near-linear with hash bucketing.
+// f must not contain Ref nodes; use EvalRecursive for those.
+func (ev *Evaluator) Eval(f Formula) ([]bool, error) {
+	var containsRef bool
+	walkRefs(f, func(string) { containsRef = true })
+	if containsRef {
+		return nil, fmt.Errorf("jsl: formula contains references; use EvalRecursive")
+	}
+	return ev.evalRecursive(NonRecursive(f))
+}
+
+// Holds reports whether the root satisfies f (the J |= ψ convention of
+// the paper: schema formulas are evaluated at the root).
+func (ev *Evaluator) Holds(f Formula) (bool, error) {
+	sets, err := ev.Eval(f)
+	if err != nil {
+		return false, err
+	}
+	return sets[ev.tree.Root()], nil
+}
+
+// EvalRecursive computes the set of nodes satisfying the recursive
+// expression Δ — node n is in the result iff (json(n), n) |= Δ, per
+// Lemma 3. The algorithm is the bottom-up stratified evaluation of
+// Proposition 9: nodes are processed in increasing height order; at each
+// node every subformula of every definition (in precedence-graph
+// topological order) and of the base expression is evaluated, with modal
+// subformulas consulting the already-complete tables of the strictly
+// lower heights. Total work is O(|J|·|Δ|) plus Unique costs.
+func (ev *Evaluator) EvalRecursive(r *Recursive) ([]bool, error) {
+	if err := r.WellFormed(); err != nil {
+		return nil, err
+	}
+	return ev.evalRecursive(r)
+}
+
+// HoldsRecursive reports J |= Δ (satisfaction at the root).
+func (ev *Evaluator) HoldsRecursive(r *Recursive) (bool, error) {
+	sets, err := ev.EvalRecursive(r)
+	if err != nil {
+		return false, err
+	}
+	return sets[ev.tree.Root()], nil
+}
+
+// Holds is a convenience: does the root of t satisfy f?
+func Holds(t *jsontree.Tree, f Formula) (bool, error) {
+	return NewEvaluator(t).Holds(f)
+}
+
+// HoldsRecursive is a convenience: does t satisfy Δ?
+func HoldsRecursive(t *jsontree.Tree, r *Recursive) (bool, error) {
+	return NewEvaluator(t).HoldsRecursive(r)
+}
+
+// subformula table construction: every distinct subformula occurrence
+// of every definition body and the base gets an id; ids are assigned in
+// post-order so children precede parents within one body.
+type subTable struct {
+	formulas []Formula
+	id       map[Formula]int // identity per occurrence via interface key
+	defRoot  []int           // root subformula id of each definition
+	baseRoot int
+	refDef   map[string]int // definition index by name
+}
+
+func buildSubTable(r *Recursive) *subTable {
+	st := &subTable{id: map[Formula]int{}, refDef: map[string]int{}}
+	for i, d := range r.Defs {
+		st.refDef[d.Name] = i
+	}
+	var add func(f Formula) int
+	add = func(f Formula) int {
+		// Each occurrence is added once; shared sub-values (possible via
+		// constructors) are fine to share since truth is positional only
+		// in the node, not the occurrence.
+		if id, ok := st.id[f]; ok {
+			return id
+		}
+		switch t := f.(type) {
+		case Not:
+			add(t.Inner)
+		case And:
+			add(t.Left)
+			add(t.Right)
+		case Or:
+			add(t.Left)
+			add(t.Right)
+		case DiamondKey:
+			add(t.Inner)
+		case BoxKey:
+			add(t.Inner)
+		case DiamondIdx:
+			add(t.Inner)
+		case BoxIdx:
+			add(t.Inner)
+		}
+		id := len(st.formulas)
+		st.formulas = append(st.formulas, f)
+		st.id[f] = id
+		return id
+	}
+	st.defRoot = make([]int, len(r.Defs))
+	for i, d := range r.Defs {
+		st.defRoot[i] = add(d.Body)
+	}
+	st.baseRoot = add(r.Base)
+	return st
+}
+
+func (ev *Evaluator) evalRecursive(r *Recursive) ([]bool, error) {
+	st := buildSubTable(r)
+	t := ev.tree
+	n := t.Len()
+
+	// truth[f][node]: whether subformula f holds at node.
+	truth := make([][]bool, len(st.formulas))
+	for i := range truth {
+		truth[i] = make([]bool, n)
+	}
+
+	// Bucket nodes by height, ascending.
+	maxH := 0
+	for i := 0; i < n; i++ {
+		if h := t.Height(jsontree.NodeID(i)); h > maxH {
+			maxH = h
+		}
+	}
+	byHeight := make([][]jsontree.NodeID, maxH+1)
+	for i := 0; i < n; i++ {
+		id := jsontree.NodeID(i)
+		byHeight[t.Height(id)] = append(byHeight[t.Height(id)], id)
+	}
+
+	// Subformula evaluation order per height level: definitions in
+	// precedence topological order (so unguarded refs are resolved),
+	// then the base. Within one body, ids are already post-ordered.
+	var evalOrder []int
+	inOrder := make([]bool, len(st.formulas))
+	appendBody := func(root int) {
+		// All subformulas with id ≤ root that belong to this body were
+		// appended contiguously by construction; just walk ids upward.
+		for id := 0; id <= root; id++ {
+			if !inOrder[id] {
+				evalOrder = append(evalOrder, id)
+				inOrder[id] = true
+			}
+		}
+	}
+	var topo []int
+	if len(r.Defs) > 0 {
+		topo = r.topoDefs()
+	}
+	for _, di := range topo {
+		appendBody(st.defRoot[di])
+	}
+	appendBody(st.baseRoot)
+
+	for h := 0; h <= maxH; h++ {
+		for _, node := range byHeight[h] {
+			for _, fid := range evalOrder {
+				truth[fid][node] = ev.evalAt(st, truth, fid, node)
+			}
+		}
+	}
+
+	return truth[st.resolve(st.baseRoot)], nil
+}
+
+// resolve maps a subformula id to the id whose truth column actually
+// carries its value: Ref occurrences alias the root subformula of their
+// definition. Reads must go through resolve because a guarded Ref's own
+// column may be written before its definition at the same node; the
+// definition's root column is always written in dependency order.
+func (st *subTable) resolve(fid int) int {
+	for {
+		ref, ok := st.formulas[fid].(Ref)
+		if !ok {
+			return fid
+		}
+		fid = st.defRoot[st.refDef[ref.Name]]
+	}
+}
+
+// evalAt evaluates one subformula at one node, assuming all subformulas
+// are already evaluated at every strictly lower node (children) and all
+// earlier subformulas of the evaluation order at this node.
+func (ev *Evaluator) evalAt(st *subTable, truth [][]bool, fid int, node jsontree.NodeID) bool {
+	t := ev.tree
+	switch f := st.formulas[fid].(type) {
+	case True:
+		return true
+	case Not:
+		return !truth[st.resolve(st.id[f.Inner])][node]
+	case And:
+		return truth[st.resolve(st.id[f.Left])][node] && truth[st.resolve(st.id[f.Right])][node]
+	case Or:
+		return truth[st.resolve(st.id[f.Left])][node] || truth[st.resolve(st.id[f.Right])][node]
+	case IsArr:
+		return t.Kind(node) == jsontree.ArrayNode
+	case IsObj:
+		return t.Kind(node) == jsontree.ObjectNode
+	case IsStr:
+		return t.Kind(node) == jsontree.StringNode
+	case IsInt:
+		return t.Kind(node) == jsontree.NumberNode
+	case Pattern:
+		return t.Kind(node) == jsontree.StringNode && ev.matchMemo(f.Re, t.StringVal(node))
+	case Min:
+		return t.Kind(node) == jsontree.NumberNode && t.NumberVal(node) >= f.I
+	case Max:
+		return t.Kind(node) == jsontree.NumberNode && t.NumberVal(node) <= f.I
+	case MultOf:
+		if t.Kind(node) != jsontree.NumberNode {
+			return false
+		}
+		if f.I == 0 {
+			return t.NumberVal(node) == 0
+		}
+		return t.NumberVal(node)%f.I == 0
+	case MinCh:
+		return t.NumChildren(node) >= f.K
+	case MaxCh:
+		return t.NumChildren(node) <= f.K
+	case Unique:
+		if t.Kind(node) != jsontree.ArrayNode {
+			return false
+		}
+		return ev.unique(node)
+	case EqDoc:
+		return t.SubtreeHash(node) == f.Doc.Hash() && treeEqualsValue(t, node, f.Doc)
+	case DiamondKey:
+		if t.Kind(node) != jsontree.ObjectNode {
+			return false
+		}
+		inner := truth[st.resolve(st.id[f.Inner])]
+		if f.IsWord {
+			c := t.ChildByKey(node, f.Word)
+			return c != jsontree.InvalidNode && inner[c]
+		}
+		for _, c := range t.Children(node) {
+			if ev.matchMemo(f.Re, t.EdgeKey(c)) && inner[c] {
+				return true
+			}
+		}
+		return false
+	case BoxKey:
+		if t.Kind(node) != jsontree.ObjectNode {
+			return true // vacuous: no O-edges
+		}
+		inner := truth[st.resolve(st.id[f.Inner])]
+		if f.IsWord {
+			c := t.ChildByKey(node, f.Word)
+			return c == jsontree.InvalidNode || inner[c]
+		}
+		for _, c := range t.Children(node) {
+			if ev.matchMemo(f.Re, t.EdgeKey(c)) && !inner[c] {
+				return false
+			}
+		}
+		return true
+	case DiamondIdx:
+		if t.Kind(node) != jsontree.ArrayNode {
+			return false
+		}
+		inner := truth[st.resolve(st.id[f.Inner])]
+		for _, c := range childrenInRange(t, node, f.Lo, f.Hi) {
+			if inner[c] {
+				return true
+			}
+		}
+		return false
+	case BoxIdx:
+		if t.Kind(node) != jsontree.ArrayNode {
+			return true
+		}
+		inner := truth[st.resolve(st.id[f.Inner])]
+		for _, c := range childrenInRange(t, node, f.Lo, f.Hi) {
+			if !inner[c] {
+				return false
+			}
+		}
+		return true
+	case Ref:
+		di, ok := st.refDef[f.Name]
+		if !ok {
+			panic("jsl: unresolved reference " + f.Name)
+		}
+		return truth[st.defRoot[di]][node]
+	}
+	panic(fmt.Sprintf("jsl: unknown formula %T", st.formulas[fid]))
+}
+
+func childrenInRange(t *jsontree.Tree, node jsontree.NodeID, lo, hi int) []jsontree.NodeID {
+	children := t.Children(node)
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= len(children) {
+		return nil
+	}
+	if hi == Inf || hi >= len(children)-1 {
+		return children[lo:]
+	}
+	return children[lo : hi+1]
+}
+
+func (ev *Evaluator) matchMemo(re *relang.Regex, s string) bool {
+	memo, ok := ev.regexMemo[re]
+	if !ok {
+		memo = make(map[string]bool)
+		ev.regexMemo[re] = memo
+	}
+	m, seen := memo[s]
+	if !seen {
+		m = re.Match(s)
+		memo[s] = m
+	}
+	return m
+}
+
+func (ev *Evaluator) unique(node jsontree.NodeID) bool {
+	u, seen := ev.uniqueMemo[node]
+	if seen {
+		return u
+	}
+	if ev.opts.NaiveUnique {
+		u = ev.tree.UniqueChildrenNaive(node)
+	} else {
+		u = ev.tree.UniqueChildren(node)
+	}
+	ev.uniqueMemo[node] = u
+	return u
+}
+
+// treeEqualsValue is duplicated from jnl to keep the packages
+// independent; both implement json(n) = A without materializing values.
+func treeEqualsValue(t *jsontree.Tree, id jsontree.NodeID, v *jsonval.Value) bool {
+	switch t.Kind(id) {
+	case jsontree.NumberNode:
+		return v.IsNumber() && v.Num() == t.NumberVal(id)
+	case jsontree.StringNode:
+		return v.IsString() && v.Str() == t.StringVal(id)
+	case jsontree.ArrayNode:
+		if !v.IsArray() || v.Len() != t.NumChildren(id) {
+			return false
+		}
+		for i, c := range t.Children(id) {
+			e, _ := v.Elem(i)
+			if !treeEqualsValue(t, c, e) {
+				return false
+			}
+		}
+		return true
+	case jsontree.ObjectNode:
+		if !v.IsObject() || v.Len() != t.NumChildren(id) {
+			return false
+		}
+		for _, c := range t.Children(id) {
+			m, ok := v.Member(t.EdgeKey(c))
+			if !ok || !treeEqualsValue(t, c, m) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

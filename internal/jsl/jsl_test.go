@@ -1,0 +1,585 @@
+package jsl
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+func holds(t *testing.T, doc, formula string) bool {
+	t.Helper()
+	tr := jsontree.MustParse(doc)
+	f, err := Parse(formula)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", formula, err)
+	}
+	got, err := Holds(tr, f)
+	if err != nil {
+		t.Fatalf("Holds(%q): %v", formula, err)
+	}
+	return got
+}
+
+func TestNodeTests(t *testing.T) {
+	tests := []struct {
+		doc     string
+		formula string
+		want    bool
+	}{
+		{`"abc"`, `string`, true},
+		{`"abc"`, `number`, false},
+		{`5`, `number`, true},
+		{`{}`, `object`, true},
+		{`[]`, `array`, true},
+		{`[]`, `object`, false},
+		{`"0101"`, `pattern("(01)+")`, true},
+		{`"011"`, `pattern("(01)+")`, false},
+		{`5`, `pattern(".*")`, false}, // Pattern only holds on strings
+		{`8`, `min(5)`, true},
+		{`5`, `min(5)`, true}, // inclusive per our Theorem 1 convention
+		{`4`, `min(5)`, false},
+		{`8`, `max(12)`, true},
+		{`13`, `max(12)`, false},
+		{`12`, `max(12)`, true},
+		{`8`, `multOf(4)`, true},
+		{`9`, `multOf(4)`, false},
+		{`0`, `multOf(4)`, true},
+		{`0`, `multOf(0)`, true},
+		{`3`, `multOf(0)`, false},
+		{`"8"`, `min(5)`, false}, // numeric tests only hold on numbers
+		{`{"a":1,"b":2}`, `minch(2)`, true},
+		{`{"a":1,"b":2}`, `minch(3)`, false},
+		{`{"a":1,"b":2}`, `maxch(2)`, true},
+		{`{"a":1,"b":2}`, `maxch(1)`, false},
+		{`[1,2,3]`, `minch(3) && maxch(3)`, true},
+		{`[1,2,3]`, `unique`, true},
+		{`[1,2,1]`, `unique`, false},
+		{`[]`, `unique`, true},
+		{`{"a":1}`, `unique`, false}, // Unique only holds on arrays
+		{`[{"x":1},{"x":2}]`, `unique`, true},
+		{`[{"x":1},{"x":1}]`, `unique`, false},
+		{`{"a":1}`, `eq({"a":1})`, true},
+		{`{"a":1}`, `eq({"a":2})`, false},
+		{`32`, `eq(32)`, true},
+	}
+	for _, tc := range tests {
+		if got := holds(t, tc.doc, tc.formula); got != tc.want {
+			t.Errorf("%s |= %s: got %v, want %v", tc.doc, tc.formula, got, tc.want)
+		}
+	}
+}
+
+func TestModalities(t *testing.T) {
+	doc := `{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}`
+	tests := []struct {
+		formula string
+		want    bool
+	}{
+		{`some("name", object)`, true},
+		{`some("name", string)`, false},
+		{`some("age", number && min(18))`, true},
+		{`some("missing", true)`, false},
+		{`all("age", number)`, true},
+		{`all("missing", !true)`, true}, // vacuous
+		{`some(~"h.*", array)`, true},
+		{`some(~"z.*", true)`, false},
+		{`all(~".*", object || number || array)`, true},
+		{`all(~"(name|hobbies)", object || array)`, true},
+		{`some("hobbies", some([0:], eq("yoga")))`, true},
+		{`some("hobbies", some([0:0], eq("yoga")))`, false},
+		{`some("hobbies", some([1:1], eq("yoga")))`, true},
+		{`some("hobbies", all([0:], string))`, true},
+		{`some("hobbies", all([0:], pattern("f.*")))`, false},
+		{`some("hobbies", all([5:], string))`, true}, // vacuous range
+		{`some("hobbies", some([5:], true))`, false},
+		// Modalities over the wrong kind.
+		{`some([0:], true)`, false}, // root is an object, not array
+		{`all([0:], !true)`, true},  // vacuous on non-arrays
+		{`some("name", all(~".*", string))`, true},
+	}
+	for _, tc := range tests {
+		if got := holds(t, doc, tc.formula); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.formula, got, tc.want)
+		}
+	}
+}
+
+// TestEmailSchemaExample reproduces the recursive-schema example of
+// §5.3: "not":{"$ref":"#/definitions/email"} where email is a string
+// with pattern [A-z]*@ciws.cl.
+func TestEmailSchemaExample(t *testing.T) {
+	r := MustParseRecursive(`
+		def email = string && pattern("[A-z]*@ciws\\.cl") ;
+		!email`)
+	if err := r.WellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]bool{
+		`"john@ciws.cl"`:   false,
+		`"jane@gmail.com"`: true,
+		`42`:               true,
+		`{"a":1}`:          true,
+	}
+	for doc, want := range cases {
+		tr := jsontree.MustParse(doc)
+		got, err := HoldsRecursive(tr, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s |= Δ: got %v, want %v", doc, got, want)
+		}
+	}
+}
+
+// evenPathExpr is Example 2 of the paper: Δ holds on trees where every
+// path from root to leaf has even length.
+const evenPathExpr = `
+	def g1 = all(~".*", g2) ;
+	def g2 = some(~".*", true) && all(~".*", g1) ;
+	g1`
+
+func TestExample2EvenPaths(t *testing.T) {
+	r := MustParseRecursive(evenPathExpr)
+	if err := r.WellFormed(); err != nil {
+		t.Fatalf("Example 2 must be well-formed: %v", err)
+	}
+	cases := map[string]bool{
+		`{}`:                          true,  // height 0: zero-length paths
+		`{"a":{}}`:                    false, // path of length 1
+		`{"a":{"b":{}}}`:              true,  // length 2
+		`{"a":{"b":{"c":{}}}}`:        false,
+		`{"a":{"b":{}},"x":{"y":{}}}`: true,
+		`{"a":{"b":{}},"x":{}}`:       false, // one odd path
+		`{"a":{"b":{"c":{"d":{}}}}}`:  true,  // length 4
+	}
+	for doc, want := range cases {
+		tr := jsontree.MustParse(doc)
+		got, err := HoldsRecursive(tr, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s even-paths: got %v, want %v", doc, got, want)
+		}
+		// Lemma 3: unfold agrees with bottom-up evaluation.
+		unfolded := r.Unfold(tr.Height(tr.Root()))
+		ug, err := Holds(tr, unfolded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ug != got {
+			t.Errorf("%s: unfold disagrees with bottom-up (%v vs %v)", doc, ug, got)
+		}
+	}
+}
+
+// TestExample4UnfoldShape checks the unfolding of Example 2 over a tree
+// of height 4 per Example 4: symbols are expanded until modal depth
+// exceeds the height and the remainder becomes ⊥.
+func TestExample4UnfoldShape(t *testing.T) {
+	r := MustParseRecursive(evenPathExpr)
+	u := r.Unfold(4)
+	var refs int
+	walkRefs(u, func(string) { refs++ })
+	if refs != 0 {
+		t.Errorf("unfolded formula still contains %d refs", refs)
+	}
+	if Size(u) <= Size(r.Base) {
+		t.Error("unfold should expand the base expression")
+	}
+}
+
+// TestExample5CompleteBinaryTrees reproduces Example 5: the recursive
+// expression with ¬Unique accepts exactly the JSON documents that are
+// complete binary trees with equal siblings (every array node has zero
+// or two children, and the two children are equal).
+func TestExample5CompleteBinaryTrees(t *testing.T) {
+	r := MustParseRecursive(`
+		def g = !some([0:], true) || (minch(2) && maxch(2) && !unique && all([0:1], g)) ;
+		array && g`)
+	if err := r.WellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]bool{
+		`[]`:                true,
+		`[[],[]]`:           true,
+		`[[[],[]],[[],[]]]`: true,
+		`[[]]`:              false, // one child
+		`[[],[],[]]`:        false, // three children
+		`[[],[[],[]]]`:      false, // children differ (not a complete tree of equal subtrees)
+		`5`:                 false,
+		`{}`:                false,
+	}
+	for doc, want := range cases {
+		tr := jsontree.MustParse(doc)
+		got, err := HoldsRecursive(tr, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s complete-binary: got %v, want %v", doc, got, want)
+		}
+	}
+}
+
+func TestWellFormedness(t *testing.T) {
+	// γ1 = ¬γ1 has a self-loop in the precedence graph (Example 3).
+	bad := &Recursive{
+		Defs: []Definition{{Name: "g1", Body: Not{Ref{"g1"}}}},
+		Base: Ref{"g1"},
+	}
+	if err := bad.WellFormed(); err == nil {
+		t.Error("γ1 = ¬γ1 must be ill-formed")
+	}
+	// Example 2 is well-formed despite the mutual recursion, because
+	// every reference is guarded by a modal operator.
+	good := MustParseRecursive(evenPathExpr)
+	if err := good.WellFormed(); err != nil {
+		t.Errorf("Example 2 must be well-formed: %v", err)
+	}
+	// Undefined reference.
+	undef := &Recursive{Base: Ref{"nope"}}
+	if err := undef.WellFormed(); err == nil {
+		t.Error("undefined reference must be rejected")
+	}
+	// Duplicate definition.
+	dup := &Recursive{
+		Defs: []Definition{{Name: "g", Body: True{}}, {Name: "g", Body: True{}}},
+		Base: Ref{"g"},
+	}
+	if err := dup.WellFormed(); err == nil {
+		t.Error("duplicate definition must be rejected")
+	}
+	// Unguarded but acyclic chains are fine.
+	chain := MustParseRecursive(`
+		def a = number ;
+		def b = a || string ;
+		b`)
+	if err := chain.WellFormed(); err != nil {
+		t.Errorf("acyclic unguarded chain must be well-formed: %v", err)
+	}
+	// Unguarded cycle through two symbols.
+	cyc := &Recursive{
+		Defs: []Definition{
+			{Name: "a", Body: Ref{"b"}},
+			{Name: "b", Body: Ref{"a"}},
+		},
+		Base: Ref{"a"},
+	}
+	if err := cyc.WellFormed(); err == nil {
+		t.Error("unguarded 2-cycle must be ill-formed")
+	}
+}
+
+func TestEvalRejectsBareRefs(t *testing.T) {
+	tr := jsontree.MustParse(`{}`)
+	if _, err := NewEvaluator(tr).Eval(Ref{"g"}); err == nil {
+		t.Error("Eval must reject formulas with references")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `!`, `(true`, `pattern(`, `pattern("(")`, `min()`, `min(x)`,
+		`some(true)`, `some("a" true)`, `some("a", )`, `all([3:1], true)`,
+		`all([-1:2], true)`, `eq(nope)`, `true extra`, `some(~"[", true)`,
+	}
+	for _, f := range bad {
+		if _, err := Parse(f); err == nil {
+			t.Errorf("Parse(%q): expected error", f)
+		}
+	}
+	badRec := []string{
+		`def = true ; true`, `def g true ; g`, `def g = true g`,
+	}
+	for _, f := range badRec {
+		if _, err := ParseRecursive(f); err == nil {
+			t.Errorf("ParseRecursive(%q): expected error", f)
+		}
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	formulas := []string{
+		`true`, `string && pattern("ab*")`, `!(number && min(3))`,
+		`some("k", all(~".*x", number))`, `some([0:], eq("yoga")) || all([2:5], string)`,
+		`minch(1) && maxch(9) && unique`, `multOf(4) || max(10)`,
+		`eq({"a":[1,2]})`,
+	}
+	for _, f := range formulas {
+		parsed := MustParse(f)
+		rendered := String(parsed)
+		again := MustParse(rendered)
+		if String(again) != rendered {
+			t.Errorf("print-parse-print unstable: %q -> %q -> %q", f, rendered, String(again))
+		}
+	}
+	rec := MustParseRecursive(evenPathExpr)
+	again := MustParseRecursive(rec.String())
+	if again.String() != rec.String() {
+		t.Error("recursive print-parse-print unstable")
+	}
+}
+
+// refHolds is a direct recursive implementation of the |= relation of
+// §5.2 (and the unfold semantics for references), used as a reference
+// for differential testing. It is exponential in the worst case.
+func refHolds(r *Recursive, t *jsontree.Tree, node jsontree.NodeID, f Formula) bool {
+	switch g := f.(type) {
+	case True:
+		return true
+	case Not:
+		return !refHolds(r, t, node, g.Inner)
+	case And:
+		return refHolds(r, t, node, g.Left) && refHolds(r, t, node, g.Right)
+	case Or:
+		return refHolds(r, t, node, g.Left) || refHolds(r, t, node, g.Right)
+	case IsArr:
+		return t.Kind(node) == jsontree.ArrayNode
+	case IsObj:
+		return t.Kind(node) == jsontree.ObjectNode
+	case IsStr:
+		return t.Kind(node) == jsontree.StringNode
+	case IsInt:
+		return t.Kind(node) == jsontree.NumberNode
+	case Pattern:
+		return t.Kind(node) == jsontree.StringNode && g.Re.Match(t.StringVal(node))
+	case Min:
+		return t.Kind(node) == jsontree.NumberNode && t.NumberVal(node) >= g.I
+	case Max:
+		return t.Kind(node) == jsontree.NumberNode && t.NumberVal(node) <= g.I
+	case MultOf:
+		if t.Kind(node) != jsontree.NumberNode {
+			return false
+		}
+		if g.I == 0 {
+			return t.NumberVal(node) == 0
+		}
+		return t.NumberVal(node)%g.I == 0
+	case MinCh:
+		return t.NumChildren(node) >= g.K
+	case MaxCh:
+		return t.NumChildren(node) <= g.K
+	case Unique:
+		return t.Kind(node) == jsontree.ArrayNode && t.UniqueChildrenNaive(node)
+	case EqDoc:
+		return jsonval.Equal(t.Value(node), g.Doc)
+	case DiamondKey:
+		if t.Kind(node) != jsontree.ObjectNode {
+			return false
+		}
+		for _, c := range t.Children(node) {
+			if g.Re.Match(t.EdgeKey(c)) && refHolds(r, t, c, g.Inner) {
+				return true
+			}
+		}
+		return false
+	case BoxKey:
+		if t.Kind(node) != jsontree.ObjectNode {
+			return true
+		}
+		for _, c := range t.Children(node) {
+			if g.Re.Match(t.EdgeKey(c)) && !refHolds(r, t, c, g.Inner) {
+				return false
+			}
+		}
+		return true
+	case DiamondIdx:
+		if t.Kind(node) != jsontree.ArrayNode {
+			return false
+		}
+		for _, c := range t.Children(node) {
+			p := t.EdgePos(c)
+			if p >= g.Lo && (g.Hi == Inf || p <= g.Hi) && refHolds(r, t, c, g.Inner) {
+				return true
+			}
+		}
+		return false
+	case BoxIdx:
+		if t.Kind(node) != jsontree.ArrayNode {
+			return true
+		}
+		for _, c := range t.Children(node) {
+			p := t.EdgePos(c)
+			if p >= g.Lo && (g.Hi == Inf || p <= g.Hi) && !refHolds(r, t, c, g.Inner) {
+				return false
+			}
+		}
+		return true
+	case Ref:
+		// Reference semantics via unfolding at the node's subtree height.
+		body, ok := r.Def(g.Name)
+		if !ok {
+			return false
+		}
+		unfolded := r.unfold(body, 0, t.Height(node))
+		return refHolds(r, t, node, unfolded)
+	}
+	panic("unknown formula")
+}
+
+func randDoc(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return jsonval.Num(uint64(r.Intn(10)))
+		}
+		return jsonval.Str(strings.Repeat(string(rune('a'+r.Intn(3))), 1+r.Intn(2)))
+	}
+	n := r.Intn(3) + 1
+	if r.Intn(2) == 0 {
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = randDoc(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	var members []jsonval.Member
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := string(rune('a' + r.Intn(4)))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		members = append(members, jsonval.Member{Key: k, Value: randDoc(r, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
+
+func randFormula(r *rand.Rand, depth int, refs []string) Formula {
+	if depth == 0 {
+		switch r.Intn(10) {
+		case 0:
+			return True{}
+		case 1:
+			return IsArr{}
+		case 2:
+			return IsObj{}
+		case 3:
+			return IsStr{}
+		case 4:
+			return IsInt{}
+		case 5:
+			return Min{uint64(r.Intn(8))}
+		case 6:
+			return MinCh{r.Intn(3)}
+		case 7:
+			return Unique{}
+		case 8:
+			if len(refs) > 0 {
+				return Ref{refs[r.Intn(len(refs))]}
+			}
+			return MaxCh{r.Intn(3)}
+		default:
+			return EqDoc{randDoc(r, 1)}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return Not{randFormula(r, depth-1, refs)}
+	case 1:
+		return And{randFormula(r, depth-1, refs), randFormula(r, depth-1, refs)}
+	case 2:
+		return Or{randFormula(r, depth-1, refs), randFormula(r, depth-1, refs)}
+	case 3:
+		return DiamondKey{Re: mustRe(string(rune('a'+r.Intn(3))) + ".*"), Inner: randFormula(r, depth-1, refs)}
+	case 4:
+		return BoxKey{Re: mustRe("." + "*"), Inner: randFormula(r, depth-1, refs)}
+	case 5:
+		return DiamondIdx{Lo: 0, Hi: Inf, Inner: randFormula(r, depth-1, refs)}
+	case 6:
+		return BoxIdx{Lo: r.Intn(2), Hi: r.Intn(2) + 1, Inner: randFormula(r, depth-1, refs)}
+	default:
+		return randFormula(r, 0, refs)
+	}
+}
+
+type recCase struct {
+	doc *jsonval.Value
+	rec *Recursive
+}
+
+func (recCase) Generate(r *rand.Rand, size int) reflect.Value {
+	doc := randDoc(r, 2+r.Intn(2))
+	// Two mutually recursive definitions, guarded (modal depth ≥ 1) to
+	// ensure well-formedness, plus a base possibly referring to both.
+	g1 := DiamondKey{Re: mustRe(".*"), Inner: randFormula(r, 1, []string{"g1", "g2"})}
+	g2 := BoxIdx{Lo: 0, Hi: Inf, Inner: randFormula(r, 1, []string{"g1", "g2"})}
+	rec := &Recursive{
+		Defs: []Definition{
+			{Name: "g1", Body: And{g1, randFormula(r, 1, nil)}},
+			{Name: "g2", Body: Or{g2, randFormula(r, 1, nil)}},
+		},
+		Base: randFormula(r, 2, []string{"g1", "g2"}),
+	}
+	return reflect.ValueOf(recCase{doc, rec})
+}
+
+func mustRe(p string) *relang.Regex { return relang.MustCompile(p) }
+
+// TestQuickDifferential checks the stratified bottom-up evaluator
+// against the direct reference implementation (which realizes reference
+// semantics by unfolding) on random documents and random well-formed
+// recursive expressions, under both Unique strategies.
+func TestQuickDifferential(t *testing.T) {
+	f := func(c recCase) bool {
+		if err := c.rec.WellFormed(); err != nil {
+			t.Logf("generated ill-formed expression: %v", err)
+			return false
+		}
+		tr := jsontree.FromValue(c.doc)
+		for _, opts := range []Options{{}, {NaiveUnique: true}} {
+			sets, err := NewEvaluatorOptions(tr, opts).EvalRecursive(c.rec)
+			if err != nil {
+				t.Logf("EvalRecursive: %v", err)
+				return false
+			}
+			for _, n := range tr.Nodes() {
+				// Reference semantics is defined on whole documents;
+				// per Lemma 3 node n's result matches evaluating Δ on
+				// json(n), which refHolds realizes directly.
+				want := refHolds(c.rec, tr, n, c.rec.Base)
+				if sets[n] != want {
+					t.Logf("doc=%s node=%d formula=%s: got %v want %v",
+						c.doc, n, c.rec.String(), sets[n], want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUnfoldAgrees is Lemma 3 as a property: J |= Δ iff
+// J |= unfold_J(ψ).
+func TestQuickUnfoldAgrees(t *testing.T) {
+	f := func(c recCase) bool {
+		if c.rec.WellFormed() != nil {
+			return false
+		}
+		tr := jsontree.FromValue(c.doc)
+		got, err := HoldsRecursive(tr, c.rec)
+		if err != nil {
+			return false
+		}
+		unfolded := c.rec.Unfold(tr.Height(tr.Root()))
+		want, err := Holds(tr, unfolded)
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

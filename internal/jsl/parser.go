@@ -1,0 +1,498 @@
+package jsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+// ParseError reports a malformed JSL expression.
+type ParseError struct {
+	Input  string
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("jsl: parse error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Parse parses a plain JSL formula:
+//
+//	formula := and ('||' and)*
+//	and     := atom ('&&' atom)*
+//	atom    := 'true' | '!' atom | '(' formula ')'
+//	         | 'object' | 'array' | 'string' | 'number' | 'unique'
+//	         | 'pattern(' string ')' | 'min(' int ')' | 'max(' int ')'
+//	         | 'multOf(' int ')' | 'minch(' int ')' | 'maxch(' int ')'
+//	         | 'eq(' JSON ')'
+//	         | ('some'|'all') '(' keyspec ',' formula ')'
+//	         | ident                                   -- a reference γ
+//	keyspec := string | '~' string | '[' int ':' int? ']'
+//
+// Examples: string && pattern("[0-9]+"); some("name", string);
+// all(~".*", number && min(1)); some([0:], eq("yoga"))
+func Parse(input string) (Formula, error) {
+	p := &parser{in: input}
+	p.skipSpace()
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, p.errf("unexpected trailing input %q", p.in[p.pos:])
+	}
+	return f, nil
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseRecursive parses a recursive JSL expression:
+//
+//	recursive := ('def' ident '=' formula ';')* formula
+//
+// Example (the even-path expression of Example 2 of the paper):
+//
+//	def g1 = all(~".*", g2) ;
+//	def g2 = some(~".*", true) && all(~".*", g1) ;
+//	g1
+func ParseRecursive(input string) (*Recursive, error) {
+	p := &parser{in: input}
+	r := &Recursive{}
+	for {
+		p.skipSpace()
+		if !p.hasKeyword("def") {
+			break
+		}
+		p.pos += len("def")
+		p.skipSpace()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != '=' {
+			return nil, p.errf("want '=' after def %s", name)
+		}
+		p.pos++
+		p.skipSpace()
+		body, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ';' {
+			return nil, p.errf("want ';' after definition of %s", name)
+		}
+		p.pos++
+		r.Defs = append(r.Defs, Definition{Name: name, Body: body})
+	}
+	base, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, p.errf("unexpected trailing input %q", p.in[p.pos:])
+	}
+	r.Base = base
+	return r, nil
+}
+
+// MustParseRecursive is ParseRecursive but panics on error.
+func MustParseRecursive(input string) *Recursive {
+	r, err := ParseRecursive(input)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Input: p.in, Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *parser) hasKeyword(kw string) bool {
+	if !strings.HasPrefix(p.in[p.pos:], kw) {
+		return false
+	}
+	rest := p.in[p.pos+len(kw):]
+	if rest == "" {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(rest)
+	return !isIdentRune(r, false)
+}
+
+func isIdentRune(r rune, first bool) bool {
+	if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+		return true
+	}
+	return !first && r >= '0' && r <= '9'
+}
+
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for p.pos < len(p.in) {
+		r, size := utf8.DecodeRuneInString(p.in[p.pos:])
+		if isIdentRune(r, p.pos == start) {
+			p.pos += size
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", p.errf("want an identifier")
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *parser) formula() (Formula, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !strings.HasPrefix(p.in[p.pos:], "||") {
+			return left, nil
+		}
+		p.pos += 2
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{left, right}
+	}
+}
+
+func (p *parser) andExpr() (Formula, error) {
+	left, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !strings.HasPrefix(p.in[p.pos:], "&&") {
+			return left, nil
+		}
+		p.pos += 2
+		right, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		left = And{left, right}
+	}
+}
+
+var simpleAtoms = map[string]Formula{
+	"true":   True{},
+	"object": IsObj{},
+	"array":  IsArr{},
+	"string": IsStr{},
+	"number": IsInt{},
+	"unique": Unique{},
+}
+
+func (p *parser) atom() (Formula, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '!':
+		p.pos++
+		inner, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return Not{inner}, nil
+	case p.peek() == '(':
+		p.pos++
+		inner, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return inner, nil
+	}
+	for kw, f := range simpleAtoms {
+		if p.hasKeyword(kw) {
+			p.pos += len(kw)
+			return f, nil
+		}
+	}
+	switch {
+	case p.hasKeyword("pattern"):
+		p.pos += len("pattern")
+		s, err := p.parenString()
+		if err != nil {
+			return nil, err
+		}
+		re, err := relang.Compile(s)
+		if err != nil {
+			return nil, p.errf("bad pattern: %v", err)
+		}
+		return Pattern{re}, nil
+	case p.hasKeyword("minch"):
+		p.pos += len("minch")
+		i, err := p.parenInt()
+		return MinCh{i}, err
+	case p.hasKeyword("maxch"):
+		p.pos += len("maxch")
+		i, err := p.parenInt()
+		return MaxCh{i}, err
+	case p.hasKeyword("min"):
+		p.pos += len("min")
+		i, err := p.parenInt()
+		return Min{uint64(i)}, err
+	case p.hasKeyword("max"):
+		p.pos += len("max")
+		i, err := p.parenInt()
+		return Max{uint64(i)}, err
+	case p.hasKeyword("multOf") || p.hasKeyword("multof"):
+		p.pos += len("multOf")
+		i, err := p.parenInt()
+		return MultOf{uint64(i)}, err
+	case p.hasKeyword("eq"):
+		p.pos += len("eq")
+		p.skipSpace()
+		if p.peek() != '(' {
+			return nil, p.errf("want '(' after eq")
+		}
+		p.pos++
+		p.skipSpace()
+		doc, n, err := jsonval.ParsePrefix(p.in[p.pos:])
+		if err != nil {
+			return nil, p.errf("bad JSON in eq: %v", err)
+		}
+		p.pos += n
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errf("missing ')' after eq")
+		}
+		p.pos++
+		return EqDoc{doc}, nil
+	case p.hasKeyword("some"):
+		p.pos += len("some")
+		return p.modal(true)
+	case p.hasKeyword("all"):
+		p.pos += len("all")
+		return p.modal(false)
+	}
+	// A bare identifier is a reference γ.
+	if isIdentRune(rune(p.peek()), true) {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return Ref{name}, nil
+	}
+	return nil, p.errf("want a formula, got %q", rest(p.in, p.pos))
+}
+
+func (p *parser) modal(diamond bool) (Formula, error) {
+	p.skipSpace()
+	if p.peek() != '(' {
+		return nil, p.errf("want '(' after modality")
+	}
+	p.pos++
+	p.skipSpace()
+	var (
+		re     *relang.Regex
+		word   string
+		isWord bool
+		lo     int
+		hi     int
+		isIdx  bool
+	)
+	switch {
+	case p.peek() == '"':
+		w, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		re = relang.Literal(w)
+		word, isWord = w, true
+	case p.peek() == '~':
+		p.pos++
+		pat, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		var cerr error
+		re, cerr = relang.Compile(pat)
+		if cerr != nil {
+			return nil, p.errf("bad regex in modality: %v", cerr)
+		}
+	case p.peek() == '[':
+		p.pos++
+		var err error
+		lo, err = p.integer()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ':' {
+			return nil, p.errf("want ':' in index modality")
+		}
+		p.pos++
+		p.skipSpace()
+		hi = Inf
+		if p.peek() != ']' {
+			hi, err = p.integer()
+			if err != nil {
+				return nil, err
+			}
+			if hi < lo {
+				return nil, p.errf("index modality with hi < lo")
+			}
+		}
+		if p.peek() != ']' {
+			return nil, p.errf("missing ']' in index modality")
+		}
+		p.pos++
+		if lo < 0 {
+			return nil, p.errf("index modality bounds must be non-negative")
+		}
+		isIdx = true
+	default:
+		return nil, p.errf("want a key, regex or index range in modality")
+	}
+	p.skipSpace()
+	if p.peek() != ',' {
+		return nil, p.errf("want ',' in modality")
+	}
+	p.pos++
+	inner, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != ')' {
+		return nil, p.errf("missing ')' in modality")
+	}
+	p.pos++
+	if isIdx {
+		if diamond {
+			return DiamondIdx{Lo: lo, Hi: hi, Inner: inner}, nil
+		}
+		return BoxIdx{Lo: lo, Hi: hi, Inner: inner}, nil
+	}
+	if diamond {
+		return DiamondKey{Re: re, Word: word, IsWord: isWord, Inner: inner}, nil
+	}
+	return BoxKey{Re: re, Word: word, IsWord: isWord, Inner: inner}, nil
+}
+
+func (p *parser) parenString() (string, error) {
+	p.skipSpace()
+	if p.peek() != '(' {
+		return "", p.errf("want '('")
+	}
+	p.pos++
+	p.skipSpace()
+	s, err := p.quoted()
+	if err != nil {
+		return "", err
+	}
+	p.skipSpace()
+	if p.peek() != ')' {
+		return "", p.errf("missing ')'")
+	}
+	p.pos++
+	return s, nil
+}
+
+func (p *parser) parenInt() (int, error) {
+	p.skipSpace()
+	if p.peek() != '(' {
+		return 0, p.errf("want '('")
+	}
+	p.pos++
+	p.skipSpace()
+	i, err := p.integer()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.peek() != ')' {
+		return 0, p.errf("missing ')'")
+	}
+	p.pos++
+	return i, nil
+}
+
+func (p *parser) quoted() (string, error) {
+	if p.peek() != '"' {
+		return "", p.errf("want a quoted string")
+	}
+	v, n, err := jsonval.ParsePrefix(p.in[p.pos:])
+	if err != nil || !v.IsString() {
+		return "", p.errf("bad string literal")
+	}
+	p.pos += n
+	return v.Str(), nil
+}
+
+func (p *parser) integer() (int, error) {
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || (p.pos == start+1 && p.in[start] == '-') {
+		return 0, p.errf("want an integer")
+	}
+	n, err := strconv.Atoi(p.in[start:p.pos])
+	if err != nil {
+		return 0, p.errf("integer out of range")
+	}
+	return n, nil
+}
+
+func rest(in string, pos int) string {
+	end := pos + 12
+	if end > len(in) {
+		end = len(in)
+	}
+	return in[pos:end]
+}

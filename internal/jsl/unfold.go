@@ -1,0 +1,47 @@
+package jsl
+
+// Unfold constructs the formula unfold_J(ψ) of §5.3 for a tree of the
+// given height: every reference γ at modal depth ≤ height is replaced by
+// its definition body (at the same depth), and every reference that ends
+// up under at least height+1 modal operators is replaced by ⊥. The
+// expression must be well-formed, otherwise expansion may not terminate;
+// callers should check WellFormed first.
+//
+// Unfold exists as the paper's reference semantics: Lemma 3 states that
+// bottom-up evaluation (EvalRecursive) agrees with evaluating the
+// unfolded formula, and the tests verify exactly that. The unfolded
+// formula can be exponentially larger than Δ — Proposition 9's
+// motivation — which BenchmarkP9Unfold measures.
+func (r *Recursive) Unfold(height int) Formula {
+	return r.unfold(r.Base, 0, height)
+}
+
+func (r *Recursive) unfold(f Formula, depth, height int) Formula {
+	switch t := f.(type) {
+	case Ref:
+		if depth > height {
+			return False()
+		}
+		body, ok := r.Def(t.Name)
+		if !ok {
+			return False()
+		}
+		return r.unfold(body, depth, height)
+	case Not:
+		return Not{r.unfold(t.Inner, depth, height)}
+	case And:
+		return And{r.unfold(t.Left, depth, height), r.unfold(t.Right, depth, height)}
+	case Or:
+		return Or{r.unfold(t.Left, depth, height), r.unfold(t.Right, depth, height)}
+	case DiamondKey:
+		return DiamondKey{Re: t.Re, Word: t.Word, IsWord: t.IsWord, Inner: r.unfold(t.Inner, depth+1, height)}
+	case BoxKey:
+		return BoxKey{Re: t.Re, Word: t.Word, IsWord: t.IsWord, Inner: r.unfold(t.Inner, depth+1, height)}
+	case DiamondIdx:
+		return DiamondIdx{Lo: t.Lo, Hi: t.Hi, Inner: r.unfold(t.Inner, depth+1, height)}
+	case BoxIdx:
+		return BoxIdx{Lo: t.Lo, Hi: t.Hi, Inner: r.unfold(t.Inner, depth+1, height)}
+	default:
+		return f
+	}
+}

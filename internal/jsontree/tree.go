@@ -1,0 +1,514 @@
+// Package jsontree implements the JSON tree data model of §3 of the
+// paper: a structure J = (D, Obj, Arr, Str, Int, A, O, val) over a tree
+// domain D ⊆ N*, where
+//
+//   - D is partitioned into object, array, string and number nodes,
+//   - O ⊆ Obj × Σ* × D is the object-child relation, labelled by keys
+//     that are unique per node (JSON trees are deterministic),
+//   - A ⊆ Arr × N × D is the array-child relation, labelled by positions,
+//   - val assigns string and number values to leaf Str/Int nodes.
+//
+// Trees are stored in a flat arena indexed by NodeID; every node carries
+// its subtree's structural hash, size and height, so the paper's
+// json(n) = json(n') subtree comparisons are cheap. The package validates
+// the five well-formedness conditions of §3.1 and converts between trees
+// and jsonval values.
+package jsontree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jsonlogic/internal/jsonval"
+)
+
+// NodeID identifies a node of a Tree. The root is always node 0 of a
+// non-empty tree. InvalidNode is the zero-length "no node" sentinel.
+type NodeID int32
+
+// InvalidNode is returned by lookups that find no node.
+const InvalidNode NodeID = -1
+
+// Kind is the type of a node: one of the four parts of the domain
+// partition of §3.1.
+type Kind uint8
+
+const (
+	// ObjectNode is a node in Obj.
+	ObjectNode Kind = iota
+	// ArrayNode is a node in Arr.
+	ArrayNode
+	// StringNode is a leaf node in Str carrying a string value.
+	StringNode
+	// NumberNode is a leaf node in Int carrying a natural number.
+	NumberNode
+)
+
+// String returns the JSON Schema type name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case ObjectNode:
+		return "object"
+	case ArrayNode:
+		return "array"
+	case StringNode:
+		return "string"
+	case NumberNode:
+		return "number"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+type node struct {
+	kind     Kind
+	parent   NodeID
+	key      string // label of the O-edge from parent (object parents)
+	pos      int32  // label of the A-edge from parent, and sibling index
+	children []NodeID
+	str      string // val for StringNode
+	num      uint64 // val for NumberNode
+	hash     uint64 // structural hash of the subtree json(n)
+	size     int32  // number of nodes in the subtree
+	height   int32  // height of the subtree
+}
+
+// Tree is an immutable JSON tree. Construct with FromValue or Parse.
+type Tree struct {
+	nodes []node
+}
+
+// FromValue builds the JSON tree representing the value v, per the
+// construction of §3.1: one node per nested JSON value, object edges
+// labelled by keys (sorted for O(log k) key lookup — objects are
+// unordered, so the order of object children is not meaningful), array
+// edges labelled by position.
+func FromValue(v *jsonval.Value) *Tree {
+	t := &Tree{nodes: make([]node, 0, v.Size())}
+	t.build(v, InvalidNode, "", 0)
+	return t
+}
+
+// Parse parses a JSON document and returns its tree. It is shorthand for
+// FromValue(jsonval.Parse(input)).
+func Parse(input string) (*Tree, error) {
+	v, err := jsonval.Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return FromValue(v), nil
+}
+
+// MustParse is Parse but panics on error; for tests and examples.
+func MustParse(input string) *Tree {
+	t, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tree) build(v *jsonval.Value, parent NodeID, key string, pos int32) NodeID {
+	id := NodeID(len(t.nodes))
+	t.nodes = append(t.nodes, node{parent: parent, key: key, pos: pos, hash: v.Hash()})
+	switch v.Kind() {
+	case jsonval.Number:
+		t.nodes[id].kind = NumberNode
+		t.nodes[id].num = v.Num()
+		t.nodes[id].size = 1
+	case jsonval.String:
+		t.nodes[id].kind = StringNode
+		t.nodes[id].str = v.Str()
+		t.nodes[id].size = 1
+	case jsonval.Array:
+		t.nodes[id].kind = ArrayNode
+		children := make([]NodeID, v.Len())
+		size, height := int32(1), int32(0)
+		for i, e := range v.Elems() {
+			c := t.build(e, id, "", int32(i))
+			children[i] = c
+			size += t.nodes[c].size
+			if h := t.nodes[c].height + 1; h > height {
+				height = h
+			}
+		}
+		t.nodes[id].children = children
+		t.nodes[id].size = size
+		t.nodes[id].height = height
+	case jsonval.Object:
+		t.nodes[id].kind = ObjectNode
+		members := append([]jsonval.Member(nil), v.Members()...)
+		sort.Slice(members, func(i, j int) bool { return members[i].Key < members[j].Key })
+		children := make([]NodeID, len(members))
+		size, height := int32(1), int32(0)
+		for i, m := range members {
+			c := t.build(m.Value, id, m.Key, int32(i))
+			children[i] = c
+			size += t.nodes[c].size
+			if h := t.nodes[c].height + 1; h > height {
+				height = h
+			}
+		}
+		t.nodes[id].children = children
+		t.nodes[id].size = size
+		t.nodes[id].height = height
+	}
+	return id
+}
+
+// Root returns the root node of the tree (the node with tree-domain
+// address ε).
+func (t *Tree) Root() NodeID { return 0 }
+
+// Len returns the number of nodes in the tree, |J|.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Kind returns the kind of node n.
+func (t *Tree) Kind(n NodeID) Kind { return t.nodes[n].kind }
+
+// Parent returns the parent of n, or InvalidNode for the root.
+func (t *Tree) Parent(n NodeID) NodeID { return t.nodes[n].parent }
+
+// NumChildren returns the number of children of n.
+func (t *Tree) NumChildren(n NodeID) int { return len(t.nodes[n].children) }
+
+// Children returns the children of n in sibling order (key-sorted for
+// objects, positional for arrays). The slice must not be modified.
+func (t *Tree) Children(n NodeID) []NodeID { return t.nodes[n].children }
+
+// ChildByKey returns the child of object node n reached by the O-edge
+// labelled key, or InvalidNode. Because JSON trees are deterministic
+// (condition 2 of §3.1: the first two components of O form a key) there
+// is at most one such child; lookup is O(log k).
+func (t *Tree) ChildByKey(n NodeID, key string) NodeID {
+	if t.nodes[n].kind != ObjectNode {
+		return InvalidNode
+	}
+	children := t.nodes[n].children
+	lo, hi := 0, len(children)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.nodes[children[mid]].key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(children) && t.nodes[children[lo]].key == key {
+		return children[lo]
+	}
+	return InvalidNode
+}
+
+// ChildAt returns the child of array node n reached by the A-edge
+// labelled i (the i-th element, 0-based), or InvalidNode. Negative i
+// counts from the end (-1 is the last element), per the paper's remark on
+// dual array access.
+func (t *Tree) ChildAt(n NodeID, i int) NodeID {
+	if t.nodes[n].kind != ArrayNode {
+		return InvalidNode
+	}
+	children := t.nodes[n].children
+	if i < 0 {
+		i += len(children)
+	}
+	if i < 0 || i >= len(children) {
+		return InvalidNode
+	}
+	return children[i]
+}
+
+// EdgeKey returns the key labelling the O-edge into n, valid when n's
+// parent is an object node.
+func (t *Tree) EdgeKey(n NodeID) string { return t.nodes[n].key }
+
+// EdgePos returns the position labelling the A-edge into n (also n's
+// sibling index under any parent).
+func (t *Tree) EdgePos(n NodeID) int { return int(t.nodes[n].pos) }
+
+// StringVal returns val(n) for a string node.
+func (t *Tree) StringVal(n NodeID) string {
+	if t.nodes[n].kind != StringNode {
+		panic("jsontree: StringVal on " + t.nodes[n].kind.String() + " node")
+	}
+	return t.nodes[n].str
+}
+
+// NumberVal returns val(n) for a number node.
+func (t *Tree) NumberVal(n NodeID) uint64 {
+	if t.nodes[n].kind != NumberNode {
+		panic("jsontree: NumberVal on " + t.nodes[n].kind.String() + " node")
+	}
+	return t.nodes[n].num
+}
+
+// SubtreeSize returns |json(n)|, the number of nodes under n inclusive.
+func (t *Tree) SubtreeSize(n NodeID) int { return int(t.nodes[n].size) }
+
+// Height returns the height of the subtree rooted at n.
+func (t *Tree) Height(n NodeID) int { return int(t.nodes[n].height) }
+
+// SubtreeHash returns the structural hash of json(n). Nodes with equal
+// subtrees have equal hashes.
+func (t *Tree) SubtreeHash(n NodeID) uint64 { return t.nodes[n].hash }
+
+// SubtreeEqual reports whether json(m) = json(n): the subtrees rooted at
+// m and n represent the same JSON value (objects unordered, arrays
+// ordered). It first compares hashes and sizes and then verifies
+// structurally, so a true result never relies on hashes alone.
+func (t *Tree) SubtreeEqual(m, n NodeID) bool {
+	if m == n {
+		return true
+	}
+	a, b := &t.nodes[m], &t.nodes[n]
+	if a.hash != b.hash || a.size != b.size || a.kind != b.kind {
+		return false
+	}
+	return t.subtreeEqualRec(m, n)
+}
+
+// SubtreeEqualNaive compares json(m) and json(n) without the hash
+// short-circuit, for the subtree-equality ablation benchmark.
+func (t *Tree) SubtreeEqualNaive(m, n NodeID) bool {
+	if m == n {
+		return true
+	}
+	return t.subtreeEqualRec(m, n)
+}
+
+func (t *Tree) subtreeEqualRec(m, n NodeID) bool {
+	a, b := &t.nodes[m], &t.nodes[n]
+	if a.kind != b.kind || len(a.children) != len(b.children) {
+		return false
+	}
+	switch a.kind {
+	case NumberNode:
+		return a.num == b.num
+	case StringNode:
+		return a.str == b.str
+	case ArrayNode:
+		for i := range a.children {
+			if !t.subtreeEqualRec(a.children[i], b.children[i]) {
+				return false
+			}
+		}
+		return true
+	case ObjectNode:
+		// Object children are key-sorted, so equality is positional.
+		for i := range a.children {
+			if t.nodes[a.children[i]].key != t.nodes[b.children[i]].key {
+				return false
+			}
+			if !t.subtreeEqualRec(a.children[i], b.children[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Value reconstructs the JSON value json(n) of the subtree rooted at n.
+func (t *Tree) Value(n NodeID) *jsonval.Value {
+	nd := &t.nodes[n]
+	switch nd.kind {
+	case NumberNode:
+		return jsonval.Num(nd.num)
+	case StringNode:
+		return jsonval.Str(nd.str)
+	case ArrayNode:
+		elems := make([]*jsonval.Value, len(nd.children))
+		for i, c := range nd.children {
+			elems[i] = t.Value(c)
+		}
+		return jsonval.Arr(elems...)
+	case ObjectNode:
+		members := make([]jsonval.Member, len(nd.children))
+		for i, c := range nd.children {
+			members[i] = jsonval.Member{Key: t.nodes[c].key, Value: t.Value(c)}
+		}
+		return jsonval.MustObj(members...)
+	}
+	panic("jsontree: unknown node kind")
+}
+
+// Path returns the tree-domain address of n as the sequence of sibling
+// indices from the root, i.e. the element of N* identifying n in D.
+func (t *Tree) Path(n NodeID) []int {
+	var rev []int
+	for n != 0 {
+		rev = append(rev, int(t.nodes[n].pos))
+		n = t.nodes[n].parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Navigate applies the JSON navigation instruction path, a sequence of
+// steps from the root. Each step is either a key (for objects) or an
+// index (for arrays). It returns InvalidNode if any step fails.
+func (t *Tree) Navigate(n NodeID, steps ...Step) NodeID {
+	for _, s := range steps {
+		if n == InvalidNode {
+			return InvalidNode
+		}
+		if s.IsKey {
+			n = t.ChildByKey(n, s.Key)
+		} else {
+			n = t.ChildAt(n, s.Index)
+		}
+	}
+	return n
+}
+
+// Step is one JSON navigation instruction: J[key] or J[i] (§2).
+type Step struct {
+	IsKey bool
+	Key   string
+	Index int
+}
+
+// Key returns the navigation step J[key].
+func Key(k string) Step { return Step{IsKey: true, Key: k} }
+
+// Index returns the navigation step J[i].
+func Index(i int) Step { return Step{Index: i} }
+
+// Walk calls fn for every node of the tree in depth-first preorder.
+func (t *Tree) Walk(fn func(NodeID)) {
+	for i := range t.nodes {
+		fn(NodeID(i))
+	}
+}
+
+// Nodes returns all node ids in preorder. Node ids are dense in
+// [0, Len()), assigned in preorder, so iteration by index is equivalent.
+func (t *Tree) Nodes() []NodeID {
+	ids := make([]NodeID, len(t.nodes))
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	return ids
+}
+
+// UniqueChildren reports whether all children of array node n are
+// pairwise distinct JSON values — the Unique node test of §5.2. The
+// general contract is quadratic pairwise comparison; this implementation
+// buckets by subtree hash first, comparing structurally only within
+// buckets, and is the default used by the JSL evaluator. See
+// UniqueChildrenNaive for the literal quadratic algorithm.
+func (t *Tree) UniqueChildren(n NodeID) bool {
+	children := t.nodes[n].children
+	if len(children) < 2 {
+		return true
+	}
+	buckets := make(map[uint64][]NodeID, len(children))
+	for _, c := range children {
+		h := t.nodes[c].hash
+		for _, prev := range buckets[h] {
+			if t.SubtreeEqual(prev, c) {
+				return false
+			}
+		}
+		buckets[h] = append(buckets[h], c)
+	}
+	return true
+}
+
+// UniqueChildrenNaive is the quadratic pairwise implementation of the
+// Unique test, kept for the ablation benchmark.
+func (t *Tree) UniqueChildrenNaive(n NodeID) bool {
+	children := t.nodes[n].children
+	for i := 0; i < len(children); i++ {
+		for j := i + 1; j < len(children); j++ {
+			if t.SubtreeEqualNaive(children[i], children[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the subtree at the root as compact JSON.
+func (t *Tree) String() string { return t.Value(t.Root()).String() }
+
+// Dump renders the tree structure with one line per node, useful in
+// tests and debugging: address, kind, edge label and value.
+func (t *Tree) Dump() string {
+	var sb strings.Builder
+	var rec func(n NodeID, depth int)
+	rec = func(n NodeID, depth int) {
+		nd := &t.nodes[n]
+		sb.WriteString(strings.Repeat("  ", depth))
+		if n != 0 {
+			if t.nodes[nd.parent].kind == ObjectNode {
+				fmt.Fprintf(&sb, "%q -> ", nd.key)
+			} else {
+				fmt.Fprintf(&sb, "%d -> ", nd.pos)
+			}
+		}
+		switch nd.kind {
+		case ObjectNode:
+			sb.WriteString("object")
+		case ArrayNode:
+			sb.WriteString("array")
+		case StringNode:
+			fmt.Fprintf(&sb, "string %q", nd.str)
+		case NumberNode:
+			fmt.Fprintf(&sb, "number %d", nd.num)
+		}
+		sb.WriteByte('\n')
+		for _, c := range nd.children {
+			rec(c, depth+1)
+		}
+	}
+	rec(0, 0)
+	return sb.String()
+}
+
+// Validate checks the five well-formedness conditions of §3.1 against the
+// internal representation and returns the first violation found, or nil.
+// FromValue always produces valid trees; Validate exists so tests can
+// assert the invariants and so hand-constructed trees can be vetted.
+func (t *Tree) Validate() error {
+	if len(t.nodes) == 0 {
+		return fmt.Errorf("jsontree: empty tree has no root")
+	}
+	for i := range t.nodes {
+		n := NodeID(i)
+		nd := &t.nodes[n]
+		switch nd.kind {
+		case StringNode, NumberNode:
+			// Condition 4: strings and numbers are leaves.
+			if len(nd.children) != 0 {
+				return fmt.Errorf("jsontree: node %d: %s node has children", n, nd.kind)
+			}
+		case ObjectNode:
+			// Conditions 1-2: object edges carry keys, keys unique.
+			seen := make(map[string]struct{}, len(nd.children))
+			for _, c := range nd.children {
+				k := t.nodes[c].key
+				if _, dup := seen[k]; dup {
+					return fmt.Errorf("jsontree: node %d: duplicate key %q", n, k)
+				}
+				seen[k] = struct{}{}
+				if t.nodes[c].parent != n {
+					return fmt.Errorf("jsontree: node %d: child %d has wrong parent", n, c)
+				}
+			}
+		case ArrayNode:
+			// Condition 3: array edge labels are the positions 0..k-1.
+			for i, c := range nd.children {
+				if int(t.nodes[c].pos) != i {
+					return fmt.Errorf("jsontree: node %d: child %d at position %d labelled %d", n, c, i, t.nodes[c].pos)
+				}
+				if t.nodes[c].parent != n {
+					return fmt.Errorf("jsontree: node %d: child %d has wrong parent", n, c)
+				}
+			}
+		}
+	}
+	return nil
+}

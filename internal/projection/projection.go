@@ -1,0 +1,246 @@
+// Package projection implements the second argument of MongoDB's find
+// function, the JSON-to-JSON transformation the paper's §6 leaves as
+// future work: given a projection document, selected subtrees of each
+// filtered input document are kept (inclusion mode) or removed
+// (exclusion mode).
+//
+// A projection document maps dotted field paths to 1 (include) or 0
+// (exclude). MongoDB forbids mixing the two modes in one projection;
+// this implementation enforces the same rule. Projections compose with
+// the mongoq filters to form the full find(filter, projection) surface
+// of §4.1.
+package projection
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/mongoq"
+)
+
+// Mode says whether a projection keeps only the named paths or keeps
+// everything but them.
+type Mode uint8
+
+// Projection modes.
+const (
+	// Include keeps only the named paths (plus their ancestors).
+	Include Mode = iota
+	// Exclude keeps everything except the named paths.
+	Exclude
+)
+
+func (m Mode) String() string {
+	if m == Include {
+		return "include"
+	}
+	return "exclude"
+}
+
+// Projection is a compiled projection document.
+type Projection struct {
+	source *jsonval.Value
+	mode   Mode
+	root   *pathTrie
+}
+
+// pathTrie is the trie of projected paths; a terminal node marks a
+// named path.
+type pathTrie struct {
+	terminal bool
+	children map[string]*pathTrie
+}
+
+func newTrie() *pathTrie { return &pathTrie{children: map[string]*pathTrie{}} }
+
+func (t *pathTrie) insert(segs []string) {
+	if len(segs) == 0 {
+		t.terminal = true
+		return
+	}
+	child, ok := t.children[segs[0]]
+	if !ok {
+		child = newTrie()
+		t.children[segs[0]] = child
+	}
+	child.insert(segs[1:])
+}
+
+// Parse parses a projection document from JSON text and compiles it.
+func Parse(input string) (*Projection, error) {
+	v, err := jsonval.Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return FromValue(v)
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(input string) *Projection {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FromValue compiles a projection document: an object mapping dotted
+// paths to 1 (include) or 0 (exclude), uniformly.
+func FromValue(v *jsonval.Value) (*Projection, error) {
+	if !v.IsObject() {
+		return nil, fmt.Errorf("projection: a projection must be an object, got %s", v.Kind())
+	}
+	p := &Projection{source: v, root: newTrie()}
+	modeSet := false
+	for _, m := range v.Members() {
+		if !m.Value.IsNumber() || m.Value.Num() > 1 {
+			return nil, fmt.Errorf("projection: field %q must map to 0 or 1, got %s", m.Key, m.Value)
+		}
+		mode := Exclude
+		if m.Value.Num() == 1 {
+			mode = Include
+		}
+		if modeSet && mode != p.mode {
+			return nil, fmt.Errorf("projection: cannot mix include and exclude fields (%q)", m.Key)
+		}
+		p.mode = mode
+		modeSet = true
+		segs := strings.Split(m.Key, ".")
+		for _, s := range segs {
+			if s == "" {
+				return nil, fmt.Errorf("projection: empty path segment in %q", m.Key)
+			}
+		}
+		p.root.insert(segs)
+	}
+	if !modeSet {
+		// The empty projection {} keeps the document unchanged.
+		p.mode = Exclude
+	}
+	return p, nil
+}
+
+// Mode returns the projection's mode.
+func (p *Projection) Mode() Mode { return p.mode }
+
+// String renders the source projection document.
+func (p *Projection) String() string { return p.source.String() }
+
+// Apply projects one document. The result shares value nodes with the
+// input (values are immutable) but never mutates it. Arrays reindex
+// after positional selection or removal: projecting "b.1" out of a
+// two-element array leaves a one-element array, so positional
+// projections are not idempotent (matching MongoDB's positional
+// caveats).
+func (p *Projection) Apply(doc *jsonval.Value) *jsonval.Value {
+	if p.mode == Include {
+		out := includeProject(doc, p.root)
+		if out == nil {
+			// Nothing selected: MongoDB returns the empty document.
+			return jsonval.MustObj()
+		}
+		return out
+	}
+	return excludeProject(doc, p.root)
+}
+
+// includeProject returns the part of doc selected by the trie, or nil
+// when nothing below matches.
+func includeProject(doc *jsonval.Value, t *pathTrie) *jsonval.Value {
+	if t.terminal {
+		return doc
+	}
+	switch {
+	case doc.IsObject():
+		var members []jsonval.Member
+		for _, m := range doc.Members() {
+			child, ok := t.children[m.Key]
+			if !ok {
+				continue
+			}
+			if sub := includeProject(m.Value, child); sub != nil {
+				members = append(members, jsonval.Member{Key: m.Key, Value: sub})
+			}
+		}
+		if len(members) == 0 {
+			return nil
+		}
+		return jsonval.MustObj(members...)
+	case doc.IsArray():
+		// Numeric trie segments address array positions; MongoDB's
+		// positional projection is approximated by index selection.
+		var elems []*jsonval.Value
+		for i, e := range doc.Elems() {
+			child, ok := t.children[strconv.Itoa(i)]
+			if !ok {
+				continue
+			}
+			if sub := includeProject(e, child); sub != nil {
+				elems = append(elems, sub)
+			}
+		}
+		if len(elems) == 0 {
+			return nil
+		}
+		return jsonval.Arr(elems...)
+	default:
+		return nil
+	}
+}
+
+// excludeProject returns doc with the trie's terminal paths removed.
+func excludeProject(doc *jsonval.Value, t *pathTrie) *jsonval.Value {
+	if t.terminal {
+		return nil
+	}
+	if len(t.children) == 0 {
+		return doc
+	}
+	switch {
+	case doc.IsObject():
+		var members []jsonval.Member
+		for _, m := range doc.Members() {
+			child, ok := t.children[m.Key]
+			if !ok {
+				members = append(members, m)
+				continue
+			}
+			if sub := excludeProject(m.Value, child); sub != nil {
+				members = append(members, jsonval.Member{Key: m.Key, Value: sub})
+			}
+		}
+		return jsonval.MustObj(members...)
+	case doc.IsArray():
+		var elems []*jsonval.Value
+		for i, e := range doc.Elems() {
+			child, ok := t.children[strconv.Itoa(i)]
+			if !ok {
+				elems = append(elems, e)
+				continue
+			}
+			if sub := excludeProject(e, child); sub != nil {
+				elems = append(elems, sub)
+			}
+		}
+		return jsonval.Arr(elems...)
+	default:
+		return doc
+	}
+}
+
+// Find runs the full two-argument find of §4.1 over a collection:
+// filter then project, in input order. A nil projection keeps the
+// filtered documents whole.
+func Find(c *mongoq.Collection, filter *mongoq.Filter, proj *Projection) []*jsonval.Value {
+	matched := c.Find(filter)
+	if proj == nil {
+		return matched
+	}
+	out := make([]*jsonval.Value, len(matched))
+	for i, d := range matched {
+		out[i] = proj.Apply(d)
+	}
+	return out
+}

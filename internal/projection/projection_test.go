@@ -1,0 +1,308 @@
+package projection
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/mongoq"
+)
+
+func apply(t *testing.T, proj, doc string) string {
+	t.Helper()
+	p, err := Parse(proj)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", proj, err)
+	}
+	return p.Apply(jsonval.MustParse(doc)).Canonical()
+}
+
+func TestIncludeProjection(t *testing.T) {
+	doc := `{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}`
+	cases := []struct {
+		proj string
+		want string
+	}{
+		{`{"age":1}`, `{"age":32}`},
+		{`{"name":1}`, `{"name":{"first":"John","last":"Doe"}}`},
+		{`{"name.first":1}`, `{"name":{"first":"John"}}`},
+		{`{"name.first":1,"age":1}`, `{"age":32,"name":{"first":"John"}}`},
+		{`{"hobbies.1":1}`, `{"hobbies":["yoga"]}`},
+		{`{"missing":1}`, `{}`},
+		{`{"name.middle":1}`, `{}`},
+	}
+	for _, c := range cases {
+		if got := apply(t, c.proj, doc); got != jsonval.MustParse(c.want).Canonical() {
+			t.Errorf("%s: got %s, want %s", c.proj, got, c.want)
+		}
+	}
+}
+
+func TestExcludeProjection(t *testing.T) {
+	doc := `{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}`
+	cases := []struct {
+		proj string
+		want string
+	}{
+		{`{"age":0}`, `{"name":{"first":"John","last":"Doe"},"hobbies":["fishing","yoga"]}`},
+		{`{"name.last":0}`, `{"name":{"first":"John"},"age":32,"hobbies":["fishing","yoga"]}`},
+		{`{"hobbies.0":0}`, `{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["yoga"]}`},
+		{`{"missing":0}`, doc},
+		{`{}`, doc},
+	}
+	for _, c := range cases {
+		if got := apply(t, c.proj, doc); got != jsonval.MustParse(c.want).Canonical() {
+			t.Errorf("%s: got %s, want %s", c.proj, got, c.want)
+		}
+	}
+}
+
+func TestProjectionErrors(t *testing.T) {
+	for _, proj := range []string{
+		`5`,             // not an object
+		`{"a":2}`,       // not 0/1
+		`{"a":"x"}`,     // not a number
+		`{"a":1,"b":0}`, // mixed modes
+		`{"a..b":1}`,    // empty segment
+	} {
+		if _, err := Parse(proj); err == nil {
+			t.Errorf("%s: expected error", proj)
+		}
+	}
+}
+
+func TestProjectionMode(t *testing.T) {
+	if MustParse(`{"a":1}`).Mode() != Include {
+		t.Error("expected include mode")
+	}
+	if MustParse(`{"a":0}`).Mode() != Exclude {
+		t.Error("expected exclude mode")
+	}
+	if Include.String() != "include" || Exclude.String() != "exclude" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestProjectionDoesNotMutate(t *testing.T) {
+	doc := jsonval.MustParse(`{"a":{"b":1,"c":2},"d":3}`)
+	before := doc.Canonical()
+	MustParse(`{"a.b":1}`).Apply(doc)
+	MustParse(`{"a.b":0}`).Apply(doc)
+	if doc.Canonical() != before {
+		t.Fatal("projection mutated its input")
+	}
+}
+
+func TestFindWithProjection(t *testing.T) {
+	c := mongoq.NewCollection(
+		jsonval.MustParse(`{"name":"Sue","age":25,"secret":"s1"}`),
+		jsonval.MustParse(`{"name":"Bob","age":17,"secret":"s2"}`),
+		jsonval.MustParse(`{"name":"Ann","age":32,"secret":"s3"}`),
+	)
+	filter := mongoq.MustParse(`{"age":{"$gte":18}}`)
+	proj := MustParse(`{"secret":0}`)
+	got := Find(c, filter, proj)
+	if len(got) != 2 {
+		t.Fatalf("got %d documents, want 2", len(got))
+	}
+	for _, d := range got {
+		if _, leaked := d.Member("secret"); leaked {
+			t.Errorf("projection leaked the secret field: %s", d)
+		}
+		if _, ok := d.Member("name"); !ok {
+			t.Errorf("projection dropped an unprojected field: %s", d)
+		}
+	}
+	// nil projection returns whole documents.
+	whole := Find(c, filter, nil)
+	if len(whole) != 2 {
+		t.Fatalf("got %d documents, want 2", len(whole))
+	}
+	if _, ok := whole[0].Member("secret"); !ok {
+		t.Error("nil projection must keep documents whole")
+	}
+}
+
+// --- properties ---
+
+type projCase struct {
+	doc   *jsonval.Value
+	paths []string
+}
+
+var pathPool = []string{"a", "b", "a.b", "a.c", "b.0", "b.1", "a.b.c", "d"}
+
+func (projCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 1 + r.Intn(3)
+	paths := make([]string, 0, n)
+	seen := map[string]bool{}
+	for len(paths) < n {
+		p := pathPool[r.Intn(len(pathPool))]
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	return reflect.ValueOf(projCase{doc: randDoc(r, 3), paths: paths})
+}
+
+func randDoc(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 {
+		return jsonval.Num(uint64(r.Intn(10)))
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := r.Intn(3)
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = randDoc(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	case 1:
+		keys := []string{"a", "b", "c", "d"}
+		r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		n := r.Intn(4)
+		members := make([]jsonval.Member, 0, n)
+		for i := 0; i < n; i++ {
+			members = append(members, jsonval.Member{Key: keys[i], Value: randDoc(r, depth-1)})
+		}
+		return jsonval.MustObj(members...)
+	default:
+		return jsonval.Str("s")
+	}
+}
+
+func buildProj(paths []string, include bool) *Projection {
+	members := make([]jsonval.Member, len(paths))
+	v := uint64(0)
+	if include {
+		v = 1
+	}
+	for i, p := range paths {
+		members[i] = jsonval.Member{Key: p, Value: jsonval.Num(v)}
+	}
+	p, err := FromValue(jsonval.MustObj(members...))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestProjectionPartition: for object documents, every top-level key of
+// the input appears in the include result or the exclude result of the
+// same paths (arrays reindex, so the property is checked on objects).
+func TestProjectionPartition(t *testing.T) {
+	f := func(c projCase) bool {
+		if !c.doc.IsObject() {
+			return true
+		}
+		inc := buildProj(c.paths, true).Apply(c.doc)
+		exc := buildProj(c.paths, false).Apply(c.doc)
+		for _, m := range c.doc.Members() {
+			_, inInc := inc.Member(m.Key)
+			_, inExc := exc.Member(m.Key)
+			if !inInc && !inExc {
+				t.Logf("doc %s paths %v: key %q lost by both projections", c.doc, c.paths, m.Key)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProjectionIdempotent: applying the same projection twice equals
+// applying it once. Positional (numeric) paths are excluded: arrays
+// reindex after projection, so "b.1" addresses a different element on
+// the second pass — the same caveat MongoDB documents for positional
+// operators.
+func TestProjectionIdempotent(t *testing.T) {
+	hasDigit := func(paths []string) bool {
+		for _, p := range paths {
+			for _, r := range p {
+				if r >= '0' && r <= '9' {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	f := func(c projCase) bool {
+		if hasDigit(c.paths) {
+			return true
+		}
+		for _, include := range []bool{true, false} {
+			p := buildProj(c.paths, include)
+			once := p.Apply(c.doc)
+			twice := p.Apply(once)
+			if !jsonval.Equal(once, twice) {
+				t.Logf("doc %s paths %v include=%v: once %s twice %s", c.doc, c.paths, include, once, twice)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncludeIsSubtree: the include projection of a document validates
+// as a sub-document: every leaf of the result appears at the same path
+// in the input.
+func TestIncludeIsSubtree(t *testing.T) {
+	var checkLeaves func(orig, proj *jsonval.Value) bool
+	checkLeaves = func(orig, proj *jsonval.Value) bool {
+		if proj.IsObject() {
+			if !orig.IsObject() {
+				return false
+			}
+			for _, m := range proj.Members() {
+				sub, ok := orig.Member(m.Key)
+				if !ok || !checkLeaves(sub, m.Value) {
+					return false
+				}
+			}
+			return true
+		}
+		if proj.IsArray() {
+			if !orig.IsArray() {
+				return false
+			}
+			// Arrays reindex: every projected element must equal some
+			// original element (order preserved, subset).
+			j := 0
+			for _, e := range proj.Elems() {
+				found := false
+				for ; j < orig.Len(); j++ {
+					o, _ := orig.Elem(j)
+					if checkLeaves(o, e) {
+						found = true
+						j++
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			return true
+		}
+		return jsonval.Equal(orig, proj)
+	}
+	f := func(c projCase) bool {
+		inc := buildProj(c.paths, true).Apply(c.doc)
+		if c.doc.IsObject() && !checkLeaves(c.doc, inc) {
+			t.Logf("doc %s paths %v: include result %s is not a sub-document", c.doc, c.paths, inc)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,532 @@
+package relang
+
+import "sort"
+
+// nfa is a Thompson ε-NFA with a single start and single accept state.
+// Transitions are labelled by rune sets; ε-transitions have a nil set.
+type nfa struct {
+	numStates int
+	start     int
+	accept    int
+	// edges[s] lists (set, target); eps[s] lists ε-targets.
+	edges [][]nfaEdge
+	eps   [][]int
+}
+
+type nfaEdge struct {
+	set runeSet
+	to  int
+}
+
+func (a *nfa) newState() int {
+	a.edges = append(a.edges, nil)
+	a.eps = append(a.eps, nil)
+	a.numStates++
+	return a.numStates - 1
+}
+
+func (a *nfa) addEdge(from int, set runeSet, to int) {
+	a.edges[from] = append(a.edges[from], nfaEdge{set, to})
+}
+
+func (a *nfa) addEps(from, to int) {
+	a.eps[from] = append(a.eps[from], to)
+}
+
+// buildNFA compiles an AST into a Thompson NFA.
+func buildNFA(n node) *nfa {
+	a := &nfa{}
+	start, accept := a.compile(n)
+	a.start, a.accept = start, accept
+	return a
+}
+
+func (a *nfa) compile(n node) (start, accept int) {
+	switch t := n.(type) {
+	case emptyNode:
+		s, f := a.newState(), a.newState()
+		return s, f // no connection: empty language
+	case epsNode:
+		s, f := a.newState(), a.newState()
+		a.addEps(s, f)
+		return s, f
+	case classNode:
+		s, f := a.newState(), a.newState()
+		if !t.set.isEmpty() {
+			a.addEdge(s, t.set, f)
+		}
+		return s, f
+	case concatNode:
+		s, f := a.compile(t.parts[0])
+		for _, part := range t.parts[1:] {
+			s2, f2 := a.compile(part)
+			a.addEps(f, s2)
+			f = f2
+		}
+		return s, f
+	case unionNode:
+		s, f := a.newState(), a.newState()
+		for _, part := range t.parts {
+			ps, pf := a.compile(part)
+			a.addEps(s, ps)
+			a.addEps(pf, f)
+		}
+		return s, f
+	case starNode:
+		s, f := a.newState(), a.newState()
+		ps, pf := a.compile(t.sub)
+		a.addEps(s, f)
+		a.addEps(s, ps)
+		a.addEps(pf, ps)
+		a.addEps(pf, f)
+		return s, f
+	}
+	panic("relang: unknown AST node")
+}
+
+// epsClosure expands a state set through ε-transitions in place and
+// returns it sorted and deduplicated.
+func (a *nfa) epsClosure(states []int) []int {
+	seen := make(map[int]bool, len(states))
+	stack := append([]int(nil), states...)
+	for _, s := range states {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// match runs the NFA over the input string (full match).
+func (a *nfa) match(s string) bool {
+	cur := a.epsClosure([]int{a.start})
+	for _, r := range s {
+		var next []int
+		seen := map[int]bool{}
+		for _, st := range cur {
+			for _, e := range a.edges[st] {
+				if e.set.contains(r) && !seen[e.to] {
+					seen[e.to] = true
+					next = append(next, e.to)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = a.epsClosure(next)
+	}
+	for _, st := range cur {
+		if st == a.accept {
+			return true
+		}
+	}
+	return false
+}
+
+// dfa is a complete deterministic automaton over a partition of Σ into
+// intervals. symbols[i] holds the i-th alphabet class; trans[s*k+i] is
+// the successor of state s on class i. State 0 is the start state.
+// A complete DFA always has at least one state; a dead (non-accepting,
+// self-looping) state is materialized as needed.
+type dfa struct {
+	numStates int
+	symbols   []runeSet // disjoint classes covering Σ
+	trans     []int     // numStates × len(symbols)
+	accepting []bool
+}
+
+// classOf returns the alphabet-class index containing r.
+func (d *dfa) classOf(r rune) int {
+	for i, s := range d.symbols {
+		if s.contains(r) {
+			return i
+		}
+	}
+	return -1 // unreachable: classes cover Σ
+}
+
+func (d *dfa) match(s string) bool {
+	st := 0
+	k := len(d.symbols)
+	for _, r := range s {
+		st = d.trans[st*k+d.classOf(r)]
+	}
+	return d.accepting[st]
+}
+
+// alphabetPartition computes the coarsest partition of Σ into intervals
+// that refines every transition label of the NFA: it collects all
+// interval boundaries and splits Σ at them.
+func alphabetPartition(edgeSets []runeSet) []runeSet {
+	boundaries := map[rune]bool{0: true}
+	for _, set := range edgeSets {
+		for _, r := range set {
+			boundaries[r.lo] = true
+			if r.hi < maxRune {
+				boundaries[r.hi+1] = true
+			}
+		}
+	}
+	points := make([]rune, 0, len(boundaries))
+	for b := range boundaries {
+		points = append(points, b)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	classes := make([]runeSet, 0, len(points))
+	for i, lo := range points {
+		hi := maxRune
+		if i+1 < len(points) {
+			hi = points[i+1] - 1
+		}
+		classes = append(classes, runeSet{{lo, hi}})
+	}
+	return classes
+}
+
+// determinize performs subset construction, producing a complete DFA.
+func determinize(a *nfa) *dfa {
+	var labels []runeSet
+	for _, es := range a.edges {
+		for _, e := range es {
+			labels = append(labels, e.set)
+		}
+	}
+	symbols := alphabetPartition(labels)
+	k := len(symbols)
+
+	d := &dfa{symbols: symbols}
+	index := map[string]int{}
+	keyOf := func(states []int) string {
+		buf := make([]byte, 0, len(states)*3)
+		for _, s := range states {
+			buf = append(buf, byte(s), byte(s>>8), byte(s>>16))
+		}
+		return string(buf)
+	}
+	isAccepting := func(states []int) bool {
+		for _, s := range states {
+			if s == a.accept {
+				return true
+			}
+		}
+		return false
+	}
+
+	startSet := a.epsClosure([]int{a.start})
+	index[keyOf(startSet)] = 0
+	d.numStates = 1
+	d.accepting = append(d.accepting, isAccepting(startSet))
+	d.trans = append(d.trans, make([]int, k)...)
+	queue := [][]int{startSet}
+	order := [][]int{startSet}
+
+	for qi := 0; qi < len(queue); qi++ {
+		states := queue[qi]
+		from := index[keyOf(states)]
+		for ci, class := range symbols {
+			// A class is an interval; membership is decided by any
+			// representative rune since classes refine all labels.
+			rep := class[0].lo
+			var next []int
+			seen := map[int]bool{}
+			for _, s := range states {
+				for _, e := range a.edges[s] {
+					if e.set.contains(rep) && !seen[e.to] {
+						seen[e.to] = true
+						next = append(next, e.to)
+					}
+				}
+			}
+			next = a.epsClosure(next)
+			nk := keyOf(next)
+			to, ok := index[nk]
+			if !ok {
+				to = d.numStates
+				index[nk] = to
+				d.numStates++
+				d.accepting = append(d.accepting, isAccepting(next))
+				d.trans = append(d.trans, make([]int, k)...)
+				queue = append(queue, next)
+				order = append(order, next)
+			}
+			d.trans[from*k+ci] = to
+		}
+	}
+	_ = order
+	return d
+}
+
+// minimize performs Moore partition-refinement minimization, returning a
+// canonical minimal complete DFA.
+func (d *dfa) minimize() *dfa {
+	k := len(d.symbols)
+	// Initial partition: accepting vs non-accepting.
+	part := make([]int, d.numStates)
+	for s := range part {
+		if d.accepting[s] {
+			part[s] = 1
+		}
+	}
+	numBlocks := 2
+	if allSame(d.accepting) {
+		numBlocks = 1
+		for s := range part {
+			part[s] = 0
+		}
+	}
+	for {
+		// Signature of a state: its block plus blocks of successors.
+		sig := make(map[string]int)
+		next := make([]int, d.numStates)
+		changed := false
+		nb := 0
+		for s := 0; s < d.numStates; s++ {
+			buf := make([]byte, 0, (k+1)*4)
+			buf = appendInt(buf, part[s])
+			for c := 0; c < k; c++ {
+				buf = appendInt(buf, part[d.trans[s*k+c]])
+			}
+			key := string(buf)
+			b, ok := sig[key]
+			if !ok {
+				b = nb
+				nb++
+				sig[key] = b
+			}
+			next[s] = b
+		}
+		if nb == numBlocks {
+			// Stable: build the quotient.
+			break
+		}
+		part = next
+		numBlocks = nb
+		changed = true
+		_ = changed
+	}
+	out := &dfa{numStates: numBlocks, symbols: d.symbols}
+	out.trans = make([]int, numBlocks*k)
+	out.accepting = make([]bool, numBlocks)
+	// Renumber blocks so the start state's block is 0.
+	ren := make([]int, numBlocks)
+	for i := range ren {
+		ren[i] = -1
+	}
+	nextID := 0
+	var assign func(b int) int
+	assign = func(b int) int {
+		if ren[b] == -1 {
+			ren[b] = nextID
+			nextID++
+		}
+		return ren[b]
+	}
+	assign(part[0])
+	for s := 0; s < d.numStates; s++ {
+		b := assign(part[s])
+		out.accepting[b] = d.accepting[s]
+		for c := 0; c < k; c++ {
+			out.trans[b*k+c] = assign(part[d.trans[s*k+c]])
+		}
+	}
+	return out
+}
+
+func allSame(bs []bool) bool {
+	for _, b := range bs {
+		if b != bs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func appendInt(buf []byte, v int) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// complement flips acceptance; the DFA is complete so this is exact.
+func (d *dfa) complement() *dfa {
+	out := &dfa{
+		numStates: d.numStates,
+		symbols:   d.symbols,
+		trans:     append([]int(nil), d.trans...),
+		accepting: make([]bool, d.numStates),
+	}
+	for s, acc := range d.accepting {
+		out.accepting[s] = !acc
+	}
+	return out
+}
+
+// refine re-expresses the DFA over a finer alphabet partition. classes
+// must refine d.symbols (every class is contained in one of d's classes).
+func (d *dfa) refine(classes []runeSet) *dfa {
+	k := len(classes)
+	out := &dfa{
+		numStates: d.numStates,
+		symbols:   classes,
+		trans:     make([]int, d.numStates*k),
+		accepting: append([]bool(nil), d.accepting...),
+	}
+	for ci, class := range classes {
+		orig := d.classOf(class[0].lo)
+		for s := 0; s < d.numStates; s++ {
+			out.trans[s*k+ci] = d.trans[s*len(d.symbols)+orig]
+		}
+	}
+	return out
+}
+
+// commonPartition computes a partition of Σ refining the partitions of
+// both DFAs.
+func commonPartition(a, b *dfa) []runeSet {
+	var labels []runeSet
+	labels = append(labels, a.symbols...)
+	labels = append(labels, b.symbols...)
+	return alphabetPartition(labels)
+}
+
+// product builds the synchronous product of two DFAs with the given
+// acceptance combiner (AND for intersection, OR for union, etc.).
+func product(a, b *dfa, combine func(x, y bool) bool) *dfa {
+	classes := commonPartition(a, b)
+	ra := a.refine(classes)
+	rb := b.refine(classes)
+	k := len(classes)
+	type pair struct{ x, y int }
+	index := map[pair]int{{0, 0}: 0}
+	queue := []pair{{0, 0}}
+	out := &dfa{symbols: classes}
+	out.numStates = 1
+	out.accepting = []bool{combine(ra.accepting[0], rb.accepting[0])}
+	out.trans = make([]int, k)
+	for qi := 0; qi < len(queue); qi++ {
+		p := queue[qi]
+		from := index[p]
+		for c := 0; c < k; c++ {
+			np := pair{ra.trans[p.x*k+c], rb.trans[p.y*k+c]}
+			to, ok := index[np]
+			if !ok {
+				to = out.numStates
+				index[np] = to
+				out.numStates++
+				out.accepting = append(out.accepting, combine(ra.accepting[np.x], rb.accepting[np.y]))
+				out.trans = append(out.trans, make([]int, k)...)
+				queue = append(queue, np)
+			}
+			out.trans[from*k+c] = to
+		}
+	}
+	return out
+}
+
+// isEmpty reports whether the DFA accepts no string (BFS from start).
+func (d *dfa) isEmpty() bool {
+	_, ok := d.witness()
+	return !ok
+}
+
+// witness returns a shortest accepted string, preferring readable runes.
+func (d *dfa) witness() (string, bool) {
+	k := len(d.symbols)
+	type entry struct {
+		state int
+		via   int // class index taken to reach it, -1 for start
+		prev  int // index into the visit list
+	}
+	visited := make([]bool, d.numStates)
+	list := []entry{{0, -1, -1}}
+	visited[0] = true
+	for i := 0; i < len(list); i++ {
+		e := list[i]
+		if d.accepting[e.state] {
+			// Reconstruct.
+			var runes []rune
+			for j := i; list[j].via != -1; j = list[j].prev {
+				r, _ := d.symbols[list[j].via].sample()
+				runes = append(runes, r)
+			}
+			for x, y := 0, len(runes)-1; x < y; x, y = x+1, y-1 {
+				runes[x], runes[y] = runes[y], runes[x]
+			}
+			return string(runes), true
+		}
+		for c := 0; c < k; c++ {
+			to := d.trans[e.state*k+c]
+			if !visited[to] {
+				visited[to] = true
+				list = append(list, entry{to, c, i})
+			}
+		}
+	}
+	return "", false
+}
+
+// enumerate returns up to max accepted strings in length-lexicographic
+// (shortlex) order over class representatives. Used by satisfiability
+// witnesses that need several distinct keys from one language.
+func (d *dfa) enumerate(max int) []string {
+	k := len(d.symbols)
+	type entry struct {
+		state int
+		str   string
+	}
+	var out []string
+	queue := []entry{{0, ""}}
+	const lengthCap = 64
+	for qi := 0; qi < len(queue) && len(out) < max; qi++ {
+		e := queue[qi]
+		if d.accepting[e.state] {
+			out = append(out, e.str)
+		}
+		if len(e.str) >= lengthCap || len(queue) > 4096 {
+			continue
+		}
+		for c := 0; c < k; c++ {
+			to := d.trans[e.state*k+c]
+			if stateCanAccept(d, to) {
+				r, _ := d.symbols[c].sample()
+				queue = append(queue, entry{to, e.str + string(r)})
+			}
+		}
+	}
+	return out
+}
+
+// stateCanAccept reports whether any accepting state is reachable from s.
+func stateCanAccept(d *dfa, s int) bool {
+	k := len(d.symbols)
+	visited := make([]bool, d.numStates)
+	stack := []int{s}
+	visited[s] = true
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.accepting[st] {
+			return true
+		}
+		for c := 0; c < k; c++ {
+			to := d.trans[st*k+c]
+			if !visited[to] {
+				visited[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+// Package relang is a self-contained regular-language engine over Σ*,
+// where Σ is the set of unicode characters (§2 of the paper). It is the
+// substrate behind every regular-expression feature of the paper: the
+// "pattern" and "patternProperties" keywords of JSON Schema (Table 1),
+// the non-deterministic key axes X_e of JNL (§4.3) and the modalities
+// ◇_e/◻_e of JSL (§5.2), and the language-theoretic operations
+// (complement, intersection, emptiness, witness extraction) required by
+// the satisfiability procedures of Propositions 5, 7 and 10.
+//
+// The pipeline is classical: a hand-written parser produces an AST, a
+// Thompson construction produces an ε-NFA with transitions labelled by
+// rune-interval sets, a subset construction produces a complete DFA over
+// a partition of Σ into intervals, and Moore minimization canonicalizes
+// it. All language operations are implemented on DFAs. Matching is
+// full-string (language membership), as in the paper's formalization.
+package relang
+
+import "sort"
+
+// maxRune is the largest unicode code point.
+const maxRune rune = 0x10FFFF
+
+// runeRange is a closed interval of runes.
+type runeRange struct {
+	lo, hi rune
+}
+
+// runeSet is a set of runes stored as sorted, disjoint, non-adjacent
+// closed intervals. The zero value is the empty set.
+type runeSet []runeRange
+
+// anyRune is the full alphabet Σ.
+var anyRune = runeSet{{0, maxRune}}
+
+func singleRune(r rune) runeSet { return runeSet{{r, r}} }
+
+func (s runeSet) isEmpty() bool { return len(s) == 0 }
+
+func (s runeSet) contains(r rune) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid].hi < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo].lo <= r
+}
+
+// normalize sorts and merges overlapping or adjacent intervals.
+func normalize(rs []runeRange) runeSet {
+	if len(rs) == 0 {
+		return nil
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].lo < rs[j].lo })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.lo <= last.hi+1 {
+			if r.hi > last.hi {
+				last.hi = r.hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return runeSet(out)
+}
+
+func (s runeSet) union(t runeSet) runeSet {
+	merged := make([]runeRange, 0, len(s)+len(t))
+	merged = append(merged, s...)
+	merged = append(merged, t...)
+	return normalize(merged)
+}
+
+func (s runeSet) negate() runeSet {
+	var out []runeRange
+	next := rune(0)
+	for _, r := range s {
+		if r.lo > next {
+			out = append(out, runeRange{next, r.lo - 1})
+		}
+		next = r.hi + 1
+		if r.hi == maxRune {
+			return runeSet(out)
+		}
+	}
+	out = append(out, runeRange{next, maxRune})
+	return runeSet(out)
+}
+
+func (s runeSet) intersect(t runeSet) runeSet {
+	var out []runeRange
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		lo := s[i].lo
+		if t[j].lo > lo {
+			lo = t[j].lo
+		}
+		hi := s[i].hi
+		if t[j].hi < hi {
+			hi = t[j].hi
+		}
+		if lo <= hi {
+			out = append(out, runeRange{lo, hi})
+		}
+		if s[i].hi < t[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return runeSet(out)
+}
+
+// sample returns an arbitrary rune in the set, preferring printable
+// ASCII so that witness strings are readable.
+func (s runeSet) sample() (rune, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	// Prefer a lowercase letter, then any printable ASCII.
+	for _, pref := range []runeRange{{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {0x20, 0x7e}} {
+		if in := s.intersect(runeSet{pref}); len(in) > 0 {
+			return in[0].lo, true
+		}
+	}
+	return s[0].lo, true
+}

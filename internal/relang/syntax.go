@@ -1,0 +1,492 @@
+package relang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// node is a regular-expression AST node.
+type node interface{ isNode() }
+
+type (
+	// emptyNode denotes the empty language ∅.
+	emptyNode struct{}
+	// epsNode denotes the language {ε}.
+	epsNode struct{}
+	// classNode matches one rune in the set.
+	classNode struct{ set runeSet }
+	// concatNode is sequential composition.
+	concatNode struct{ parts []node }
+	// unionNode is alternation.
+	unionNode struct{ parts []node }
+	// starNode is Kleene closure; plus/opt/{m,n} are desugared onto it
+	// and concat during parsing.
+	starNode struct{ sub node }
+)
+
+func (emptyNode) isNode()  {}
+func (epsNode) isNode()    {}
+func (classNode) isNode()  {}
+func (concatNode) isNode() {}
+func (unionNode) isNode()  {}
+func (starNode) isNode()   {}
+
+// ParseError reports a malformed regular expression.
+type ParseError struct {
+	Pattern string
+	Offset  int
+	Msg     string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("relang: parse %q at %d: %s", e.Pattern, e.Offset, e.Msg)
+}
+
+// parseAST parses the pattern into an AST. Supported syntax: literals,
+// escapes (\\, \., \n, \t, \d, \w, \s and their complements, \uXXXX),
+// '.', character classes [a-z], negated classes [^...], grouping (...),
+// alternation |, the quantifiers *, +, ?, and bounded repetition {m},
+// {m,}, {m,n} (n bounded to keep expansion small).
+func parseAST(pattern string) (node, error) {
+	p := &reParser{pattern: []rune(pattern), src: pattern}
+	n, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.pattern) {
+		return nil, p.errf("unexpected %q", p.pattern[p.pos])
+	}
+	return n, nil
+}
+
+type reParser struct {
+	pattern []rune
+	src     string
+	pos     int
+}
+
+func (p *reParser) errf(format string, args ...any) error {
+	return &ParseError{Pattern: p.src, Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *reParser) peek() (rune, bool) {
+	if p.pos >= len(p.pattern) {
+		return 0, false
+	}
+	return p.pattern[p.pos], true
+}
+
+func (p *reParser) alternation() (node, error) {
+	first, err := p.sequence()
+	if err != nil {
+		return nil, err
+	}
+	parts := []node{first}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.sequence()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return unionNode{parts}, nil
+}
+
+func (p *reParser) sequence() (node, error) {
+	var parts []node
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			break
+		}
+		atom, err := p.quantified()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, atom)
+	}
+	switch len(parts) {
+	case 0:
+		return epsNode{}, nil
+	case 1:
+		return parts[0], nil
+	}
+	return concatNode{parts}, nil
+}
+
+// maxBoundedRepeat caps {m,n} expansion; patterns in schemas are small.
+const maxBoundedRepeat = 256
+
+func (p *reParser) quantified() (node, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return atom, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			atom = starNode{atom}
+		case '+':
+			p.pos++
+			atom = concatNode{[]node{atom, starNode{atom}}}
+		case '?':
+			p.pos++
+			atom = unionNode{[]node{epsNode{}, atom}}
+		case '{':
+			save := p.pos
+			rep, ok, err := p.tryRepeat(atom)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				p.pos = save
+				return atom, nil
+			}
+			atom = rep
+		default:
+			return atom, nil
+		}
+	}
+}
+
+// tryRepeat parses {m}, {m,}, {m,n} after an atom. A '{' that does not
+// start a well-formed repetition is treated as a literal by the caller.
+func (p *reParser) tryRepeat(atom node) (node, bool, error) {
+	p.pos++ // consume '{'
+	m, ok := p.integer()
+	if !ok {
+		return nil, false, nil
+	}
+	n := m
+	unbounded := false
+	if c, _ := p.peek(); c == ',' {
+		p.pos++
+		if c2, _ := p.peek(); c2 == '}' {
+			unbounded = true
+		} else {
+			n, ok = p.integer()
+			if !ok {
+				return nil, false, nil
+			}
+		}
+	}
+	if c, _ := p.peek(); c != '}' {
+		return nil, false, nil
+	}
+	p.pos++
+	if n < m {
+		return nil, false, p.errf("repetition {%d,%d} has max < min", m, n)
+	}
+	if n > maxBoundedRepeat {
+		return nil, false, p.errf("repetition bound %d exceeds limit %d", n, maxBoundedRepeat)
+	}
+	var parts []node
+	for i := 0; i < m; i++ {
+		parts = append(parts, atom)
+	}
+	if unbounded {
+		parts = append(parts, starNode{atom})
+	} else {
+		opt := unionNode{[]node{epsNode{}, atom}}
+		for i := m; i < n; i++ {
+			parts = append(parts, opt)
+		}
+	}
+	switch len(parts) {
+	case 0:
+		return epsNode{}, true, nil
+	case 1:
+		return parts[0], true, nil
+	}
+	return concatNode{parts}, true, nil
+}
+
+func (p *reParser) integer() (int, bool) {
+	start := p.pos
+	n := 0
+	for p.pos < len(p.pattern) && p.pattern[p.pos] >= '0' && p.pattern[p.pos] <= '9' {
+		n = n*10 + int(p.pattern[p.pos]-'0')
+		if n > 1<<20 {
+			return 0, false
+		}
+		p.pos++
+	}
+	return n, p.pos > start
+}
+
+func (p *reParser) atom() (node, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, p.errf("unexpected end of pattern")
+	}
+	switch c {
+	case '(':
+		p.pos++
+		inner, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if c, _ := p.peek(); c != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return inner, nil
+	case '.':
+		p.pos++
+		return classNode{anyRune}, nil
+	case '[':
+		return p.charClass()
+	case '\\':
+		p.pos++
+		return p.escape()
+	case '*', '+', '?':
+		return nil, p.errf("quantifier %q with nothing to repeat", c)
+	case ')':
+		return nil, p.errf("unmatched ')'")
+	default:
+		p.pos++
+		return classNode{singleRune(c)}, nil
+	}
+}
+
+var (
+	digitSet = runeSet{{'0', '9'}}
+	wordSet  = normalize([]runeRange{{'0', '9'}, {'A', 'Z'}, {'_', '_'}, {'a', 'z'}})
+	spaceSet = normalize([]runeRange{{'\t', '\n'}, {'\f', '\r'}, {' ', ' '}})
+)
+
+func (p *reParser) escape() (node, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, p.errf("trailing backslash")
+	}
+	p.pos++
+	switch c {
+	case 'd':
+		return classNode{digitSet}, nil
+	case 'D':
+		return classNode{digitSet.negate()}, nil
+	case 'w':
+		return classNode{wordSet}, nil
+	case 'W':
+		return classNode{wordSet.negate()}, nil
+	case 's':
+		return classNode{spaceSet}, nil
+	case 'S':
+		return classNode{spaceSet.negate()}, nil
+	case 'n':
+		return classNode{singleRune('\n')}, nil
+	case 't':
+		return classNode{singleRune('\t')}, nil
+	case 'r':
+		return classNode{singleRune('\r')}, nil
+	case 'u':
+		r := rune(0)
+		for i := 0; i < 4; i++ {
+			h, ok := p.peek()
+			if !ok {
+				return nil, p.errf("truncated \\u escape")
+			}
+			p.pos++
+			r <<= 4
+			switch {
+			case h >= '0' && h <= '9':
+				r |= h - '0'
+			case h >= 'a' && h <= 'f':
+				r |= h - 'a' + 10
+			case h >= 'A' && h <= 'F':
+				r |= h - 'A' + 10
+			default:
+				return nil, p.errf("bad hex digit %q", h)
+			}
+		}
+		return classNode{singleRune(r)}, nil
+	case '\\', '.', '[', ']', '(', ')', '{', '}', '|', '*', '+', '?', '^', '$', '-', '/', '"':
+		return classNode{singleRune(c)}, nil
+	default:
+		return nil, p.errf("unsupported escape \\%c", c)
+	}
+}
+
+func (p *reParser) charClass() (node, error) {
+	p.pos++ // consume '['
+	negated := false
+	if c, _ := p.peek(); c == '^' {
+		negated = true
+		p.pos++
+	}
+	var ranges []runeRange
+	first := true
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return nil, p.errf("unterminated character class")
+		}
+		if c == ']' && !first {
+			p.pos++
+			set := normalize(ranges)
+			if negated {
+				set = set.negate()
+			}
+			return classNode{set}, nil
+		}
+		first = false
+		lo, err := p.classChar()
+		if err != nil {
+			return nil, err
+		}
+		hi := lo
+		if c, _ := p.peek(); c == '-' {
+			if c2 := p.lookahead(1); c2 != ']' && c2 != 0 {
+				p.pos++ // consume '-'
+				hi, err = p.classChar()
+				if err != nil {
+					return nil, err
+				}
+				if hi < lo {
+					return nil, p.errf("inverted range %c-%c", lo, hi)
+				}
+			}
+		}
+		ranges = append(ranges, runeRange{lo, hi})
+	}
+}
+
+func (p *reParser) lookahead(k int) rune {
+	if p.pos+k >= len(p.pattern) {
+		return 0
+	}
+	return p.pattern[p.pos+k]
+}
+
+// classChar reads a single character inside a class, handling escapes.
+func (p *reParser) classChar() (rune, error) {
+	c, ok := p.peek()
+	if !ok {
+		return 0, p.errf("unterminated character class")
+	}
+	p.pos++
+	if c != '\\' {
+		return c, nil
+	}
+	e, ok := p.peek()
+	if !ok {
+		return 0, p.errf("trailing backslash in class")
+	}
+	p.pos++
+	switch e {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '\\', ']', '[', '-', '^', '.', '*', '+', '?', '(', ')', '{', '}', '|', '/', '"':
+		return e, nil
+	default:
+		return 0, p.errf("unsupported escape \\%c in class", e)
+	}
+}
+
+// astString renders the AST back to a normalized pattern, used by
+// Regex.String for diagnostics.
+func astString(n node) string {
+	var sb strings.Builder
+	writeAST(&sb, n, 0)
+	return sb.String()
+}
+
+// precedence levels: 0 union, 1 concat, 2 star/atom.
+func writeAST(sb *strings.Builder, n node, prec int) {
+	switch t := n.(type) {
+	case emptyNode:
+		sb.WriteString("[^\\u0000-\\U0010FFFF]") // unmatchable marker
+	case epsNode:
+		if prec >= 1 {
+			sb.WriteString("()")
+		}
+	case classNode:
+		writeClass(sb, t.set)
+	case concatNode:
+		if prec > 1 {
+			sb.WriteByte('(')
+		}
+		for _, part := range t.parts {
+			writeAST(sb, part, 1)
+		}
+		if prec > 1 {
+			sb.WriteByte(')')
+		}
+	case unionNode:
+		if prec > 0 {
+			sb.WriteByte('(')
+		}
+		for i, part := range t.parts {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			writeAST(sb, part, 0)
+		}
+		if prec > 0 {
+			sb.WriteByte(')')
+		}
+	case starNode:
+		writeAST(sb, t.sub, 2)
+		sb.WriteByte('*')
+	}
+}
+
+func writeClass(sb *strings.Builder, set runeSet) {
+	if len(set) == 1 && set[0].lo == set[0].hi {
+		writeClassRune(sb, set[0].lo, false)
+		return
+	}
+	if len(set) == 1 && set[0] == (runeRange{0, maxRune}) {
+		sb.WriteByte('.')
+		return
+	}
+	sb.WriteByte('[')
+	for _, r := range set {
+		writeClassRune(sb, r.lo, true)
+		if r.hi != r.lo {
+			sb.WriteByte('-')
+			writeClassRune(sb, r.hi, true)
+		}
+	}
+	sb.WriteByte(']')
+}
+
+func writeClassRune(sb *strings.Builder, r rune, inClass bool) {
+	special := `\.[](){}|*+?^$-`
+	if !inClass {
+		special = `\.[](){}|*+?^$`
+	}
+	if strings.ContainsRune(special, r) {
+		sb.WriteByte('\\')
+		sb.WriteRune(r)
+		return
+	}
+	switch {
+	case r == '\n':
+		sb.WriteString(`\n`)
+	case r == '\t':
+		sb.WriteString(`\t`)
+	case r < 0x20 || r > 0x10000:
+		fmt.Fprintf(sb, `\u%04x`, r)
+	default:
+		sb.WriteRune(r)
+	}
+}

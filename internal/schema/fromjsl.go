@@ -1,0 +1,288 @@
+package schema
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonval"
+)
+
+// maxIndexSpan bounds the finite-interval expansion of index modalities
+// when translating JSL to JSON Schema: ◇_{i:j} becomes one disjunct per
+// position, so enormous intervals would produce enormous schemas.
+const maxIndexSpan = 1024
+
+// FromJSL translates a recursive JSL expression into a JSON Schema,
+// following the constructive proof of Theorem 1 (second item) extended
+// with definitions per Theorem 3. The result satisfies: tree(doc) |= r
+// iff doc validates against FromJSL(r).
+//
+// The translation requires every key modality to carry a source pattern
+// (formulas built from parsed syntax always do); regexes produced by
+// language operations (complement/intersection) have no concrete
+// pattern syntax and are rejected.
+func FromJSL(r *jsl.Recursive) (*Schema, error) {
+	if err := r.WellFormed(); err != nil {
+		return nil, err
+	}
+	root, err := fromFormula(r.Base)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range r.Defs {
+		ds, err := fromFormula(d.Body)
+		if err != nil {
+			return nil, err
+		}
+		root.Definitions = append(root.Definitions, Definition{Name: d.Name, Schema: ds})
+	}
+	return root, nil
+}
+
+// FromJSLFormula translates a plain JSL formula.
+func FromJSLFormula(f jsl.Formula) (*Schema, error) {
+	return fromFormula(f)
+}
+
+// Schema building blocks used by the translation.
+
+func emptySchema() *Schema { return &Schema{} }
+
+// unsatSchema validates nothing: {"not": {}}.
+func unsatSchema() *Schema { return &Schema{Not: emptySchema()} }
+
+func notSchema(s *Schema) *Schema { return &Schema{Not: s} }
+
+func typeSchema(t string) *Schema { return &Schema{Type: t} }
+
+// exactLen validates arrays with exactly k elements, any content.
+func exactLen(k int) *Schema {
+	if k == 0 {
+		// additionalItems without items constrains every element; ⊥
+		// forbids all, leaving only the empty array.
+		return &Schema{Type: "array", AdditionalItems: unsatSchema()}
+	}
+	s := &Schema{Type: "array"}
+	for i := 0; i < k; i++ {
+		s.Items = append(s.Items, emptySchema())
+	}
+	// No additionalItems: Theorem 1 semantics forbids further elements.
+	return s
+}
+
+// prefixThen validates arrays with ≥ prefix elements whose elements from
+// position prefix on validate tail.
+func prefixThen(prefix int, tail *Schema) *Schema {
+	s := &Schema{Type: "array", AdditionalItems: tail}
+	for i := 0; i < prefix; i++ {
+		s.Items = append(s.Items, emptySchema())
+	}
+	return s
+}
+
+func anyOf(subs ...*Schema) *Schema {
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return &Schema{AnyOf: subs}
+}
+
+func allOf(subs ...*Schema) *Schema {
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return &Schema{AllOf: subs}
+}
+
+func fromFormula(f jsl.Formula) (*Schema, error) {
+	switch t := f.(type) {
+	case jsl.True:
+		return emptySchema(), nil
+	case jsl.Not:
+		inner, err := fromFormula(t.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return notSchema(inner), nil
+	case jsl.And:
+		l, err := fromFormula(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fromFormula(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return allOf(l, r), nil
+	case jsl.Or:
+		l, err := fromFormula(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fromFormula(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return anyOf(l, r), nil
+	case jsl.IsObj:
+		return typeSchema("object"), nil
+	case jsl.IsArr:
+		return typeSchema("array"), nil
+	case jsl.IsStr:
+		return typeSchema("string"), nil
+	case jsl.IsInt:
+		return typeSchema("number"), nil
+	case jsl.Unique:
+		return &Schema{Type: "array", UniqueItems: true}, nil
+	case jsl.Pattern:
+		return &Schema{Type: "string", Pattern: t.Re}, nil
+	case jsl.Min:
+		i := t.I
+		return &Schema{Type: "number", Minimum: &i}, nil
+	case jsl.Max:
+		i := t.I
+		return &Schema{Type: "number", Maximum: &i}, nil
+	case jsl.MultOf:
+		i := t.I
+		return &Schema{Type: "number", MultipleOf: &i}, nil
+	case jsl.MinCh:
+		return fromMinCh(t.K), nil
+	case jsl.MaxCh:
+		return fromMaxCh(t.K), nil
+	case jsl.EqDoc:
+		return &Schema{Enum: []*jsonval.Value{t.Doc}}, nil
+	case jsl.DiamondKey:
+		return fromDiamondKey(t)
+	case jsl.BoxKey:
+		return fromBoxKey(t)
+	case jsl.DiamondIdx:
+		return fromDiamondIdx(t.Lo, t.Hi, t.Inner)
+	case jsl.BoxIdx:
+		return fromBoxIdx(t.Lo, t.Hi, t.Inner)
+	case jsl.Ref:
+		return &Schema{Ref: t.Name}, nil
+	}
+	return nil, fmt.Errorf("schema: cannot translate %T to JSON Schema", f)
+}
+
+// fromMinCh: MinCh(0) is ⊤; for k ≥ 1 only objects and arrays have
+// children, so the schema is the union of an object with ≥ k properties
+// and an array with ≥ k elements.
+func fromMinCh(k int) *Schema {
+	if k <= 0 {
+		return emptySchema()
+	}
+	kk := k
+	obj := &Schema{Type: "object", MinProperties: &kk}
+	arr := prefixThen(k, emptySchema())
+	return anyOf(obj, arr)
+}
+
+// fromMaxCh: scalars always satisfy MaxCh; objects via maxProperties;
+// arrays via a union of exact lengths 0…k.
+func fromMaxCh(k int) *Schema {
+	kk := k
+	scalar := notSchema(anyOf(typeSchema("object"), typeSchema("array")))
+	obj := &Schema{Type: "object", MaxProperties: &kk}
+	subs := []*Schema{scalar, obj}
+	for i := 0; i <= k; i++ {
+		subs = append(subs, exactLen(i))
+	}
+	return anyOf(subs...)
+}
+
+func fromDiamondKey(t jsl.DiamondKey) (*Schema, error) {
+	inner, err := fromFormula(t.Inner)
+	if err != nil {
+		return nil, err
+	}
+	if t.IsWord {
+		return &Schema{
+			Type:       "object",
+			Required:   []string{t.Word},
+			Properties: []Property{{Key: t.Word, Schema: inner}},
+		}, nil
+	}
+	// ◇_e ψ ≡ Obj ∧ ¬◻_e ¬ψ: an object for which it is not the case
+	// that all keys matching e lead to ¬ψ.
+	notInner, err := fromFormula(jsl.Not{Inner: t.Inner})
+	if err != nil {
+		return nil, err
+	}
+	boxNeg := &Schema{
+		Type:              "object",
+		PatternProperties: []PatternProperty{{Pattern: t.Re, Schema: notInner}},
+	}
+	return allOf(typeSchema("object"), notSchema(boxNeg)), nil
+}
+
+func fromBoxKey(t jsl.BoxKey) (*Schema, error) {
+	inner, err := fromFormula(t.Inner)
+	if err != nil {
+		return nil, err
+	}
+	notObject := notSchema(typeSchema("object"))
+	if t.IsWord {
+		obj := &Schema{Type: "object", Properties: []Property{{Key: t.Word, Schema: inner}}}
+		return anyOf(notObject, obj), nil
+	}
+	obj := &Schema{
+		Type:              "object",
+		PatternProperties: []PatternProperty{{Pattern: t.Re, Schema: inner}},
+	}
+	return anyOf(notObject, obj), nil
+}
+
+func fromDiamondIdx(lo, hi int, innerF jsl.Formula) (*Schema, error) {
+	inner, err := fromFormula(innerF)
+	if err != nil {
+		return nil, err
+	}
+	if hi == jsl.Inf {
+		// ◇_{i:∞} ψ ≡ Arr ∧ ¬◻_{i:∞} ¬ψ.
+		boxNeg, err := fromBoxIdx(lo, jsl.Inf, jsl.Not{Inner: innerF})
+		if err != nil {
+			return nil, err
+		}
+		return allOf(typeSchema("array"), notSchema(boxNeg)), nil
+	}
+	if hi-lo > maxIndexSpan {
+		return nil, fmt.Errorf("schema: index interval %d:%d too wide to expand", lo, hi)
+	}
+	// One disjunct per position p: an array of ≥ p+1 elements whose p-th
+	// element validates inner.
+	var subs []*Schema
+	for p := lo; p <= hi; p++ {
+		s := &Schema{Type: "array", AdditionalItems: emptySchema()}
+		for i := 0; i < p; i++ {
+			s.Items = append(s.Items, emptySchema())
+		}
+		s.Items = append(s.Items, inner)
+		subs = append(subs, s)
+	}
+	return anyOf(subs...), nil
+}
+
+func fromBoxIdx(lo, hi int, innerF jsl.Formula) (*Schema, error) {
+	notArray := notSchema(typeSchema("array"))
+	if hi == jsl.Inf {
+		inner, err := fromFormula(innerF)
+		if err != nil {
+			return nil, err
+		}
+		// Arrays shorter than lo satisfy the box vacuously; longer ones
+		// must have a ψ-tail from position lo on.
+		subs := []*Schema{notArray}
+		for k := 0; k < lo; k++ {
+			subs = append(subs, exactLen(k))
+		}
+		subs = append(subs, prefixThen(lo, inner))
+		return anyOf(subs...), nil
+	}
+	// ◻_{i:j} ψ ≡ ¬Arr ∨ ¬◇_{i:j} ¬ψ.
+	diaNeg, err := fromDiamondIdx(lo, hi, jsl.Not{Inner: innerF})
+	if err != nil {
+		return nil, err
+	}
+	return anyOf(notArray, allOf(typeSchema("array"), notSchema(diaNeg))), nil
+}

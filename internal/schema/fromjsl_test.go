@@ -1,0 +1,174 @@
+package schema
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+// randomFormula generates JSL formulas covering every constructor that
+// FromJSL translates.
+func randomFormula(r *rand.Rand, depth int) jsl.Formula {
+	if depth == 0 {
+		switch r.Intn(12) {
+		case 0:
+			return jsl.True{}
+		case 1:
+			return jsl.IsObj{}
+		case 2:
+			return jsl.IsArr{}
+		case 3:
+			return jsl.IsStr{}
+		case 4:
+			return jsl.IsInt{}
+		case 5:
+			return jsl.Unique{}
+		case 6:
+			return jsl.Pattern{Re: relang.MustCompile("[ab]+")}
+		case 7:
+			return jsl.Min{I: uint64(r.Intn(5))}
+		case 8:
+			return jsl.Max{I: uint64(r.Intn(5))}
+		case 9:
+			return jsl.MinCh{K: r.Intn(3)}
+		case 10:
+			return jsl.MaxCh{K: r.Intn(3)}
+		default:
+			return jsl.EqDoc{Doc: randomDoc(r, 1)}
+		}
+	}
+	switch r.Intn(9) {
+	case 0:
+		return jsl.Not{Inner: randomFormula(r, depth-1)}
+	case 1:
+		return jsl.And{Left: randomFormula(r, depth-1), Right: randomFormula(r, depth-1)}
+	case 2:
+		return jsl.Or{Left: randomFormula(r, depth-1), Right: randomFormula(r, depth-1)}
+	case 3:
+		return jsl.DiaWord(key(r), randomFormula(r, depth-1))
+	case 4:
+		return jsl.BoxWord(key(r), randomFormula(r, depth-1))
+	case 5:
+		return jsl.DiaRe(relang.MustCompile(key(r)+".*"), randomFormula(r, depth-1))
+	case 6:
+		return jsl.BoxRe(relang.MustCompile(".*"+key(r)), randomFormula(r, depth-1))
+	case 7:
+		lo := r.Intn(3)
+		hi := jsl.Inf
+		if r.Intn(2) == 0 {
+			hi = lo + r.Intn(3)
+		}
+		if r.Intn(2) == 0 {
+			return jsl.DiamondIdx{Lo: lo, Hi: hi, Inner: randomFormula(r, depth-1)}
+		}
+		return jsl.BoxIdx{Lo: lo, Hi: hi, Inner: randomFormula(r, depth-1)}
+	default:
+		return randomFormula(r, 0)
+	}
+}
+
+func key(r *rand.Rand) string { return string(rune('a' + r.Intn(3))) }
+
+func randomDoc(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return jsonval.Num(uint64(r.Intn(6)))
+		}
+		return jsonval.Str(key(r))
+	}
+	n := r.Intn(3)
+	if r.Intn(2) == 0 {
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = randomDoc(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	var members []jsonval.Member
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := key(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		members = append(members, jsonval.Member{Key: k, Value: randomDoc(r, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
+
+type theorem1Case struct {
+	formula jsl.Formula
+	doc     *jsonval.Value
+}
+
+func (theorem1Case) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(theorem1Case{randomFormula(r, 2), randomDoc(r, 3)})
+}
+
+// TestQuickTheorem1FromJSL: tree(doc) |= φ iff doc validates against
+// FromJSL(φ), on random formulas and documents.
+func TestQuickTheorem1FromJSL(t *testing.T) {
+	f := func(c theorem1Case) bool {
+		s, err := FromJSLFormula(c.formula)
+		if err != nil {
+			t.Logf("FromJSLFormula(%s): %v", jsl.String(c.formula), err)
+			return false
+		}
+		tr := jsontree.FromValue(c.doc)
+		want, err := jsl.Holds(tr, c.formula)
+		if err != nil {
+			return false
+		}
+		got, err := s.Validate(c.doc)
+		if err != nil {
+			t.Logf("Validate: %v", err)
+			return false
+		}
+		if got != want {
+			t.Logf("formula=%s doc=%s schema=%s: schema %v, JSL %v",
+				jsl.String(c.formula), c.doc, s, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem1Equivalence composes the two translations: a random
+// schema-translatable formula φ, translated to a schema and back through
+// ToJSL, still agrees with φ on random documents.
+func TestTheorem1Equivalence(t *testing.T) {
+	f := func(c theorem1Case) bool {
+		s, err := FromJSLFormula(c.formula)
+		if err != nil {
+			return false
+		}
+		back, err := s.ToJSL()
+		if err != nil {
+			t.Logf("ToJSL: %v", err)
+			return false
+		}
+		tr := jsontree.FromValue(c.doc)
+		orig, err := jsl.Holds(tr, c.formula)
+		if err != nil {
+			return false
+		}
+		round, err := jsl.HoldsRecursive(tr, back)
+		if err != nil {
+			t.Logf("round eval: %v", err)
+			return false
+		}
+		return orig == round
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

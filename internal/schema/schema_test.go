@@ -1,0 +1,316 @@
+package schema
+
+import (
+	"testing"
+
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+)
+
+func mustValidate(t *testing.T, schemaSrc, doc string) bool {
+	t.Helper()
+	s := MustParse(schemaSrc)
+	ok, err := s.Validate(jsonval.MustParse(doc))
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return ok
+}
+
+// TestTable1Conformance exercises every keyword of Table 1 of the paper
+// with accepting and rejecting documents.
+func TestTable1Conformance(t *testing.T) {
+	cases := []struct {
+		name   string
+		schema string
+		accept []string
+		reject []string
+	}{
+		{
+			name:   "type-string",
+			schema: `{"type":"string"}`,
+			accept: []string{`"x"`, `""`},
+			reject: []string{`1`, `{}`, `[]`},
+		},
+		{
+			name:   "pattern",
+			schema: `{"type":"string","pattern":"(01)+"}`,
+			accept: []string{`"01"`, `"0101"`},
+			reject: []string{`"0"`, `""`, `"012"`, `1`},
+		},
+		{
+			name:   "type-number",
+			schema: `{"type":"number"}`,
+			accept: []string{`0`, `42`},
+			reject: []string{`"42"`, `{}`},
+		},
+		{
+			// §5.1: {"type":"number","maximum":12,"multipleOf":4}
+			// describes numbers 0, 4, 8 and 12.
+			name:   "number-max-multipleOf",
+			schema: `{"type":"number","maximum":12,"multipleOf":4}`,
+			accept: []string{`0`, `4`, `8`, `12`},
+			reject: []string{`2`, `16`, `13`},
+		},
+		{
+			name:   "minimum-inclusive",
+			schema: `{"type":"number","minimum":5}`,
+			accept: []string{`5`, `6`},
+			reject: []string{`4`, `0`},
+		},
+		{
+			name:   "type-object",
+			schema: `{"type":"object"}`,
+			accept: []string{`{}`, `{"a":1}`},
+			reject: []string{`[]`, `1`},
+		},
+		{
+			name:   "min-max-properties",
+			schema: `{"type":"object","minProperties":1,"maxProperties":2}`,
+			accept: []string{`{"a":1}`, `{"a":1,"b":2}`},
+			reject: []string{`{}`, `{"a":1,"b":2,"c":3}`},
+		},
+		{
+			name:   "required",
+			schema: `{"type":"object","required":["name","age"]}`,
+			accept: []string{`{"name":"x","age":1}`, `{"age":1,"name":"x","z":0}`},
+			reject: []string{`{"name":"x"}`, `{}`},
+		},
+		{
+			name:   "properties",
+			schema: `{"type":"object","properties":{"age":{"type":"number"}}}`,
+			accept: []string{`{"age":3}`, `{}`, `{"other":"x"}`},
+			reject: []string{`{"age":"three"}`},
+		},
+		{
+			name:   "patternProperties",
+			schema: `{"type":"object","patternProperties":{"a(b|c)a":{"type":"number","multipleOf":2}}}`,
+			accept: []string{`{"aba":4}`, `{"aca":0,"x":"y"}`, `{}`},
+			reject: []string{`{"aba":3}`, `{"aca":"even"}`},
+		},
+		{
+			// The full example of §5.1 combining properties,
+			// patternProperties and additionalProperties.
+			name: "additionalProperties-example",
+			schema: `{
+				"type": "object",
+				"properties": {"name": {"type":"string"}},
+				"patternProperties": {"a(b|c)a": {"type":"number","multipleOf":2}},
+				"additionalProperties": {"type":"number","minimum":1,"maximum":1}
+			}`,
+			accept: []string{
+				`{"name":"x","aba":4,"other":1}`,
+				`{}`,
+				`{"other":1}`,
+			},
+			reject: []string{
+				`{"name":3}`,
+				`{"aba":3}`,
+				`{"other":2}`,
+				`{"other":"one"}`,
+			},
+		},
+		{
+			// The array example of §5.1: at least 2 elements, first two
+			// strings, remaining numbers, all distinct.
+			name: "array-example",
+			schema: `{
+				"type": "array",
+				"items": [{"type":"string"},{"type":"string"}],
+				"additionalItems": {"type":"number"},
+				"uniqueItems": 1
+			}`,
+			accept: []string{`["a","b"]`, `["a","b",1,2]`},
+			reject: []string{`["a"]`, `["a","b","c"]`, `["a","a"]`, `["a","b",1,1]`, `[1,2]`},
+		},
+		{
+			name:   "items-without-additionalItems-forbids-extra",
+			schema: `{"type":"array","items":[{"type":"number"}]}`,
+			accept: []string{`[1]`},
+			reject: []string{`[]`, `[1,2]`, `["x"]`},
+		},
+		{
+			name:   "uniqueItems-deep",
+			schema: `{"type":"array","uniqueItems":1}`,
+			accept: []string{`[]`, `[1,2]`, `[{"a":1},{"a":2}]`, `[[1],[1,1]]`},
+			reject: []string{`[1,1]`, `[{"a":1},{"a":1}]`, `[[],[]]`},
+		},
+		{
+			name:   "allOf",
+			schema: `{"allOf":[{"type":"number","minimum":2},{"type":"number","maximum":5}]}`,
+			accept: []string{`2`, `5`},
+			reject: []string{`1`, `6`, `"3"`},
+		},
+		{
+			name:   "anyOf",
+			schema: `{"anyOf":[{"type":"string"},{"type":"number"}]}`,
+			accept: []string{`"x"`, `3`},
+			reject: []string{`{}`, `[]`},
+		},
+		{
+			// §5.1: "not":{"type":"number","multipleOf":2} validates any
+			// odd number or any non-number.
+			name:   "not",
+			schema: `{"not":{"type":"number","multipleOf":2}}`,
+			accept: []string{`1`, `3`, `"x"`, `{}`},
+			reject: []string{`0`, `2`, `4`},
+		},
+		{
+			name:   "enum",
+			schema: `{"enum":[1,"a",{"k":[2]}]}`,
+			accept: []string{`1`, `"a"`, `{"k":[2]}`},
+			reject: []string{`2`, `"b"`, `{"k":[3]}`, `{}`},
+		},
+		{
+			// The recursive email example of §5.3.
+			name: "definitions-ref",
+			schema: `{
+				"definitions": {
+					"email": {"type":"string","pattern":"[A-z]*@ciws\\.cl"}
+				},
+				"not": {"$ref": "#/definitions/email"}
+			}`,
+			accept: []string{`"x@gmail.com"`, `42`, `{}`},
+			reject: []string{`"john@ciws.cl"`},
+		},
+		{
+			name:   "empty-schema",
+			schema: `{}`,
+			accept: []string{`1`, `"x"`, `{}`, `[]`, `{"a":[1,"b"]}`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := MustParse(tc.schema)
+			// Direct validation.
+			for _, doc := range tc.accept {
+				if !s.MustValidate(jsonval.MustParse(doc)) {
+					t.Errorf("direct: %s should validate against %s", doc, tc.name)
+				}
+			}
+			for _, doc := range tc.reject {
+				if s.MustValidate(jsonval.MustParse(doc)) {
+					t.Errorf("direct: %s should NOT validate against %s", doc, tc.name)
+				}
+			}
+			// Theorem 1: validation through the JSL translation agrees.
+			r, err := s.ToJSL()
+			if err != nil {
+				t.Fatalf("ToJSL: %v", err)
+			}
+			for _, doc := range append(append([]string{}, tc.accept...), tc.reject...) {
+				tr := jsontree.MustParse(doc)
+				got, err := jsl.HoldsRecursive(tr, r)
+				if err != nil {
+					t.Fatalf("JSL eval: %v", err)
+				}
+				want := s.MustValidate(jsonval.MustParse(doc))
+				if got != want {
+					t.Errorf("Theorem 1 violated on %s: JSL %v, direct %v (formula %s)",
+						doc, got, want, r.String())
+				}
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`[]`,
+		`{"type":"boolean"}`,
+		`{"type":1}`,
+		`{"pattern":"a"}`,                 // pattern without type string
+		`{"type":"number","pattern":"a"}`, // pattern on number schema
+		`{"minimum":-1}`,
+		`{"type":"object","required":"name"}`,
+		`{"type":"object","required":[1]}`,
+		`{"type":"array","items":{"type":"string"}}`, // non-array items (outside fragment)
+		`{"type":"array","uniqueItems":2}`,
+		`{"typo":"string"}`,
+		`{"allOf":[]}`,
+		`{"enum":[]}`,
+		`{"$ref":"http://elsewhere"}`,
+		`{"type":"string","pattern":"("}`,
+		`{"type":"object","patternProperties":{"(":{}}}`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%s): expected error", src)
+		}
+	}
+}
+
+func TestWellFormedness(t *testing.T) {
+	// Unguarded self-reference is ill-formed.
+	bad := MustParse(`{"definitions":{"x":{"not":{"$ref":"#/definitions/x"}}},"$ref":"#/definitions/x"}`)
+	if err := bad.WellFormed(); err == nil {
+		t.Error("unguarded $ref cycle must be ill-formed")
+	}
+	// Guarded recursion is fine: a list of numbers of any depth.
+	good := MustParse(`{
+		"definitions": {
+			"tree": {"anyOf":[
+				{"type":"number"},
+				{"type":"array","additionalItems":{"$ref":"#/definitions/tree"}}
+			]}
+		},
+		"$ref": "#/definitions/tree"
+	}`)
+	if err := good.WellFormed(); err != nil {
+		t.Errorf("guarded recursion must be well-formed: %v", err)
+	}
+	for doc, want := range map[string]bool{
+		`3`:            true,
+		`[]`:           true,
+		`[1,[2,[3]]]`:  true,
+		`"x"`:          false,
+		`[1,"x"]`:      false,
+		`[[["deep"]]]`: false,
+	} {
+		if got := good.MustValidate(jsonval.MustParse(doc)); got != want {
+			t.Errorf("recursive tree schema on %s: got %v want %v", doc, got, want)
+		}
+	}
+	// Unresolved reference.
+	if _, err := MustParse(`{"$ref":"#/definitions/nope"}`).Validate(jsonval.Num(1)); err == nil {
+		t.Error("unresolved $ref must error")
+	}
+	// Theorem 3: the recursive schema and its JSL translation agree.
+	r, err := good.ToJSL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{`3`, `[]`, `[1,[2,[3]]]`, `"x"`, `[1,"x"]`} {
+		tr := jsontree.MustParse(doc)
+		got, err := jsl.HoldsRecursive(tr, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != good.MustValidate(jsonval.MustParse(doc)) {
+			t.Errorf("Theorem 3 violated on %s", doc)
+		}
+	}
+}
+
+func TestToValueRoundTrip(t *testing.T) {
+	srcs := []string{
+		`{"type":"string","pattern":"ab*"}`,
+		`{"type":"number","minimum":1,"maximum":9,"multipleOf":3}`,
+		`{"type":"object","minProperties":1,"required":["a"],"properties":{"a":{"type":"number"}},"patternProperties":{"x.*":{}},"additionalProperties":{"type":"string"}}`,
+		`{"type":"array","items":[{},{}],"additionalItems":{"type":"number"},"uniqueItems":1}`,
+		`{"allOf":[{"type":"number"}],"anyOf":[{},{}],"not":{"type":"string"},"enum":[1,2]}`,
+		`{"definitions":{"d":{"type":"number"}},"$ref":"#/definitions/d"}`,
+	}
+	for _, src := range srcs {
+		s := MustParse(src)
+		round, err := FromValue(s.ToValue())
+		if err != nil {
+			t.Errorf("round-trip parse of %s: %v", src, err)
+			continue
+		}
+		if round.String() != s.String() {
+			t.Errorf("round trip unstable:\n  %s\n  %s", s, round)
+		}
+	}
+}

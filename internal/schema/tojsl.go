@@ -1,0 +1,174 @@
+package schema
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/relang"
+)
+
+// ToJSL translates the schema into a recursive JSL expression, following
+// the constructive proof of Theorem 1 (and Theorem 3 for definitions):
+// every keyword of Table 1 maps to a NodeTest or modality. The resulting
+// expression satisfies: doc validates against s iff tree(doc) |= ToJSL(s).
+func (s *Schema) ToJSL() (*jsl.Recursive, error) {
+	if err := s.WellFormed(); err != nil {
+		return nil, err
+	}
+	base, err := s.formulaJSL()
+	if err != nil {
+		return nil, err
+	}
+	r := &jsl.Recursive{Base: base}
+	for _, d := range s.Definitions {
+		body, err := d.Schema.formulaJSL()
+		if err != nil {
+			return nil, err
+		}
+		r.Defs = append(r.Defs, jsl.Definition{Name: d.Name, Body: body})
+	}
+	return r, nil
+}
+
+func (s *Schema) formulaJSL() (jsl.Formula, error) {
+	var parts []jsl.Formula
+
+	if s.Ref != "" {
+		parts = append(parts, jsl.Ref{Name: s.Ref})
+	}
+	for _, sub := range s.AllOf {
+		f, err := sub.formulaJSL()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	if len(s.AnyOf) > 0 {
+		var alts []jsl.Formula
+		for _, sub := range s.AnyOf {
+			f, err := sub.formulaJSL()
+			if err != nil {
+				return nil, err
+			}
+			alts = append(alts, f)
+		}
+		parts = append(parts, jsl.OrAll(alts...))
+	}
+	if s.Not != nil {
+		f, err := s.Not.formulaJSL()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, jsl.Not{Inner: f})
+	}
+	if len(s.Enum) > 0 {
+		var alts []jsl.Formula
+		for _, e := range s.Enum {
+			alts = append(alts, jsl.EqDoc{Doc: e})
+		}
+		parts = append(parts, jsl.OrAll(alts...))
+	}
+
+	switch s.Type {
+	case "":
+		// No typed part.
+	case "string":
+		parts = append(parts, jsl.IsStr{})
+		if s.Pattern != nil {
+			parts = append(parts, jsl.Pattern{Re: s.Pattern})
+		}
+	case "number":
+		parts = append(parts, jsl.IsInt{})
+		if s.Minimum != nil {
+			parts = append(parts, jsl.Min{I: *s.Minimum})
+		}
+		if s.Maximum != nil {
+			parts = append(parts, jsl.Max{I: *s.Maximum})
+		}
+		if s.MultipleOf != nil {
+			parts = append(parts, jsl.MultOf{I: *s.MultipleOf})
+		}
+	case "object":
+		obj, err := s.objectJSL()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, obj)
+	case "array":
+		arr, err := s.arrayJSL()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, arr)
+	default:
+		return nil, fmt.Errorf("schema: unknown type %q", s.Type)
+	}
+	return jsl.AndAll(parts...), nil
+}
+
+func (s *Schema) objectJSL() (jsl.Formula, error) {
+	parts := []jsl.Formula{jsl.IsObj{}}
+	if s.MinProperties != nil {
+		parts = append(parts, jsl.MinCh{K: *s.MinProperties})
+	}
+	if s.MaxProperties != nil {
+		parts = append(parts, jsl.MaxCh{K: *s.MaxProperties})
+	}
+	for _, k := range s.Required {
+		parts = append(parts, jsl.DiaWord(k, jsl.True{}))
+	}
+	// covered accumulates the key language claimed by properties and
+	// patternProperties; additionalProperties constrains its complement.
+	covered := relang.None()
+	for _, p := range s.Properties {
+		f, err := p.Schema.formulaJSL()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, jsl.BoxWord(p.Key, f))
+		covered = covered.Union(relang.Literal(p.Key))
+	}
+	for _, pp := range s.PatternProperties {
+		f, err := pp.Schema.formulaJSL()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, jsl.BoxRe(pp.Pattern, f))
+		covered = covered.Union(pp.Pattern)
+	}
+	if s.AdditionalProperties != nil {
+		f, err := s.AdditionalProperties.formulaJSL()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, jsl.BoxRe(covered.Complement(), f))
+	}
+	return jsl.AndAll(parts...), nil
+}
+
+func (s *Schema) arrayJSL() (jsl.Formula, error) {
+	parts := []jsl.Formula{jsl.IsArr{}}
+	if s.UniqueItems {
+		parts = append(parts, jsl.Unique{})
+	}
+	for i, it := range s.Items {
+		f, err := it.formulaJSL()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, jsl.DiaAt(i, f))
+	}
+	switch {
+	case s.AdditionalItems != nil:
+		f, err := s.AdditionalItems.formulaJSL()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, jsl.BoxIdx{Lo: len(s.Items), Hi: jsl.Inf, Inner: f})
+	case len(s.Items) > 0:
+		// Theorem 1: without additionalItems, positions past items are
+		// forbidden (◻_{n:∞}⊥).
+		parts = append(parts, jsl.BoxIdx{Lo: len(s.Items), Hi: jsl.Inf, Inner: jsl.False()})
+	}
+	return jsl.AndAll(parts...), nil
+}

@@ -1,0 +1,330 @@
+package schema
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jsonval"
+)
+
+// Validate reports whether doc validates against the schema, evaluating
+// the keyword semantics of §5.1 directly on the value. For recursive
+// schemas, references are resolved against the root schema's
+// definitions section; well-formedness (§5.3) must hold, which Validate
+// checks up front via the precedence analysis of WellFormed.
+//
+// Validate is the "specification" implementation: the Theorem 1 tests
+// compare it against validation through the JSL translation.
+func (s *Schema) Validate(doc *jsonval.Value) (bool, error) {
+	if err := s.WellFormed(); err != nil {
+		return false, err
+	}
+	return s.validate(s, doc), nil
+}
+
+// MustValidate is Validate but panics on ill-formed schemas.
+func (s *Schema) MustValidate(doc *jsonval.Value) bool {
+	ok, err := s.Validate(doc)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// WellFormed checks that every $ref resolves to a definition of the root
+// schema and that the reference structure is well-formed per §5.3: the
+// precedence graph, whose edges connect a definition to the references
+// that occur in it outside the scope of any navigation keyword, must be
+// acyclic.
+func (s *Schema) WellFormed() error {
+	// Collect definition names.
+	names := map[string]bool{}
+	for _, d := range s.Definitions {
+		if names[d.Name] {
+			return fmt.Errorf("schema: duplicate definition %q", d.Name)
+		}
+		names[d.Name] = true
+	}
+	// Every reference must resolve (definitions may only sit at root).
+	var check func(sub *Schema) error
+	check = func(sub *Schema) error {
+		if sub.Ref != "" && !names[sub.Ref] {
+			return fmt.Errorf("schema: $ref to undefined definition %q", sub.Ref)
+		}
+		if sub != s && len(sub.Definitions) > 0 {
+			return fmt.Errorf("schema: definitions are only supported at the schema root")
+		}
+		for _, child := range sub.subschemas(true) {
+			if err := check(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(s); err != nil {
+		return err
+	}
+	// Precedence graph over definitions: unguarded references are those
+	// reachable without crossing a navigation keyword.
+	graph := map[string][]string{}
+	for _, d := range s.Definitions {
+		seen := map[string]bool{}
+		collectUnguardedRefs(d.Schema, seen)
+		for name := range seen {
+			graph[d.Name] = append(graph[d.Name], name)
+		}
+	}
+	state := map[string]int{}
+	var visit func(string) error
+	visit = func(n string) error {
+		switch state[n] {
+		case 1:
+			return fmt.Errorf("schema: ill-formed recursion: unguarded $ref cycle through %q", n)
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		for _, m := range graph[n] {
+			if err := visit(m); err != nil {
+				return err
+			}
+		}
+		state[n] = 2
+		return nil
+	}
+	for _, d := range s.Definitions {
+		if err := visit(d.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// subschemas returns the directly nested schemas. If guardedToo is true
+// the navigation keywords' subschemas (properties, patternProperties,
+// additionalProperties, items, additionalItems) are included; otherwise
+// only the unguarded positions (boolean combinators) are returned.
+func (s *Schema) subschemas(guardedToo bool) []*Schema {
+	var out []*Schema
+	out = append(out, s.AllOf...)
+	out = append(out, s.AnyOf...)
+	if s.Not != nil {
+		out = append(out, s.Not)
+	}
+	for _, d := range s.Definitions {
+		out = append(out, d.Schema)
+	}
+	if guardedToo {
+		for _, p := range s.Properties {
+			out = append(out, p.Schema)
+		}
+		for _, p := range s.PatternProperties {
+			out = append(out, p.Schema)
+		}
+		if s.AdditionalProperties != nil {
+			out = append(out, s.AdditionalProperties)
+		}
+		out = append(out, s.Items...)
+		if s.AdditionalItems != nil {
+			out = append(out, s.AdditionalItems)
+		}
+	}
+	return out
+}
+
+func collectUnguardedRefs(s *Schema, out map[string]bool) {
+	if s.Ref != "" {
+		out[s.Ref] = true
+	}
+	for _, sub := range s.subschemas(false) {
+		collectUnguardedRefs(sub, out)
+	}
+}
+
+// validate evaluates the schema against doc; root carries the
+// definitions for $ref resolution. Well-formedness guarantees
+// termination: every reference cycle crosses a navigation keyword, which
+// strictly descends into the document.
+func (s *Schema) validate(root *Schema, doc *jsonval.Value) bool {
+	if s.Ref != "" {
+		def, ok := root.definition(s.Ref)
+		if !ok || !def.validate(root, doc) {
+			return false
+		}
+	}
+	for _, sub := range s.AllOf {
+		if !sub.validate(root, doc) {
+			return false
+		}
+	}
+	if len(s.AnyOf) > 0 {
+		any := false
+		for _, sub := range s.AnyOf {
+			if sub.validate(root, doc) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	if s.Not != nil && s.Not.validate(root, doc) {
+		return false
+	}
+	if len(s.Enum) > 0 {
+		found := false
+		for _, e := range s.Enum {
+			if jsonval.Equal(e, doc) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	switch s.Type {
+	case "string":
+		if !doc.IsString() {
+			return false
+		}
+		if s.Pattern != nil && !s.Pattern.Match(doc.Str()) {
+			return false
+		}
+	case "number":
+		if !doc.IsNumber() {
+			return false
+		}
+		n := doc.Num()
+		if s.Minimum != nil && n < *s.Minimum {
+			return false
+		}
+		if s.Maximum != nil && n > *s.Maximum {
+			return false
+		}
+		if s.MultipleOf != nil {
+			m := *s.MultipleOf
+			if m == 0 {
+				if n != 0 {
+					return false
+				}
+			} else if n%m != 0 {
+				return false
+			}
+		}
+	case "object":
+		if !doc.IsObject() {
+			return false
+		}
+		if !s.validateObject(root, doc) {
+			return false
+		}
+	case "array":
+		if !doc.IsArray() {
+			return false
+		}
+		if !s.validateArray(root, doc) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Schema) validateObject(root *Schema, doc *jsonval.Value) bool {
+	if s.MinProperties != nil && doc.Len() < *s.MinProperties {
+		return false
+	}
+	if s.MaxProperties != nil && doc.Len() > *s.MaxProperties {
+		return false
+	}
+	for _, k := range s.Required {
+		if _, ok := doc.Member(k); !ok {
+			return false
+		}
+	}
+	for _, p := range s.Properties {
+		if v, ok := doc.Member(p.Key); ok {
+			if !p.Schema.validate(root, v) {
+				return false
+			}
+		}
+	}
+	for _, pp := range s.PatternProperties {
+		for _, m := range doc.Members() {
+			if pp.Pattern.Match(m.Key) && !pp.Schema.validate(root, m.Value) {
+				return false
+			}
+		}
+	}
+	if s.AdditionalProperties != nil {
+		for _, m := range doc.Members() {
+			if s.coveredKey(m.Key) {
+				continue
+			}
+			if !s.AdditionalProperties.validate(root, m.Value) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// coveredKey reports whether a key appears in properties or matches some
+// patternProperties expression; additionalProperties applies to the rest.
+func (s *Schema) coveredKey(key string) bool {
+	for _, p := range s.Properties {
+		if p.Key == key {
+			return true
+		}
+	}
+	for _, pp := range s.PatternProperties {
+		if pp.Pattern.Match(key) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Schema) validateArray(root *Schema, doc *jsonval.Value) bool {
+	elems := doc.Elems()
+	if len(s.Items) > 0 {
+		// Paper semantics: items pins down the first n positions, which
+		// must all be present.
+		if len(elems) < len(s.Items) {
+			return false
+		}
+		for i, it := range s.Items {
+			if !it.validate(root, elems[i]) {
+				return false
+			}
+		}
+		rest := elems[len(s.Items):]
+		if s.AdditionalItems != nil {
+			for _, e := range rest {
+				if !s.AdditionalItems.validate(root, e) {
+					return false
+				}
+			}
+		} else if len(rest) > 0 {
+			// Theorem 1's construction: absent additionalItems forbids
+			// further elements.
+			return false
+		}
+	} else if s.AdditionalItems != nil {
+		for _, e := range elems {
+			if !s.AdditionalItems.validate(root, e) {
+				return false
+			}
+		}
+	}
+	if s.UniqueItems {
+		for i := 0; i < len(elems); i++ {
+			for j := i + 1; j < len(elems); j++ {
+				if elems[i].Hash() == elems[j].Hash() && jsonval.Equal(elems[i], elems[j]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

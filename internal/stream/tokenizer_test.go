@@ -1,0 +1,324 @@
+package stream
+
+import (
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jsonval"
+)
+
+// drain reads all tokens, returning them and the terminal error.
+func drain(input string) ([]Token, error) {
+	tok := NewTokenizer(strings.NewReader(input))
+	var out []Token
+	for {
+		t, err := tok.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+func kinds(ts []Token) []TokenKind {
+	out := make([]TokenKind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizerBasics(t *testing.T) {
+	cases := []struct {
+		input string
+		want  []TokenKind
+	}{
+		{`5`, []TokenKind{NumberTok}},
+		{`"x"`, []TokenKind{StringTok}},
+		{`{}`, []TokenKind{BeginObject, EndObject}},
+		{`[]`, []TokenKind{BeginArray, EndArray}},
+		{`{"a":1}`, []TokenKind{BeginObject, KeyTok, NumberTok, EndObject}},
+		{`{"a":1,"b":"x"}`, []TokenKind{BeginObject, KeyTok, NumberTok, KeyTok, StringTok, EndObject}},
+		{`[1,2]`, []TokenKind{BeginArray, NumberTok, NumberTok, EndArray}},
+		{`[[],{}]`, []TokenKind{BeginArray, BeginArray, EndArray, BeginObject, EndObject, EndArray}},
+		{` { "a" : [ 1 , { } ] } `, []TokenKind{BeginObject, KeyTok, BeginArray, NumberTok, BeginObject, EndObject, EndArray, EndObject}},
+	}
+	for _, c := range cases {
+		got, err := drain(c.input)
+		if err != nil {
+			t.Errorf("%q: %v", c.input, err)
+			continue
+		}
+		if !reflect.DeepEqual(kinds(got), c.want) {
+			t.Errorf("%q: got %v, want %v", c.input, kinds(got), c.want)
+		}
+	}
+}
+
+func TestTokenizerValues(t *testing.T) {
+	ts, err := drain(`{"k":"a\"b\\c\ndAé😀", "n": 1234567890}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[1].Str != "k" {
+		t.Errorf("key = %q", ts[1].Str)
+	}
+	if want := "a\"b\\c\nd" + "A" + "é" + "😀"; ts[2].Str != want {
+		t.Errorf("string = %q, want %q", ts[2].Str, want)
+	}
+	if ts[4].Num != 1234567890 {
+		t.Errorf("number = %d", ts[4].Num)
+	}
+}
+
+func TestTokenizerUTF8Passthrough(t *testing.T) {
+	ts, err := drain(`"héllo wörld ∀x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Str != "héllo wörld ∀x" {
+		t.Errorf("got %q", ts[0].Str)
+	}
+}
+
+func TestTokenizerErrors(t *testing.T) {
+	cases := []string{
+		``,                     // empty
+		`{`,                    // unterminated
+		`[1,`,                  // dangling comma
+		`[1,]`,                 // trailing comma
+		`{,}`,                  // comma before first member
+		`{"a"}`,                // missing colon
+		`{"a":}`,               // missing value
+		`{"a":1,}`,             // trailing comma in object
+		`{"a":1 "b":2}`,        // missing comma
+		`[1 2]`,                // missing comma
+		`1 2`,                  // trailing input
+		`{} {}`,                // trailing input
+		`"unterminated`,        // unterminated string
+		`"bad \q escape"`,      // invalid escape
+		`"\u12g4"`,             // invalid hex
+		`"\ud800"`,             // unpaired high surrogate
+		`"\udc00"`,             // unpaired low surrogate
+		`01`,                   // leading zero
+		`-1`,                   // negatives outside the model
+		`1.5`,                  // fractions outside the model
+		`true`,                 // booleans outside the model
+		`null`,                 // null outside the model
+		`{"a":1,"a":2}`,        // duplicate key
+		"\"raw\tcontrol\"",     // raw control char
+		`18446744073709551616`, // overflow
+	}
+	for _, input := range cases {
+		if _, err := drain(input); err == nil {
+			t.Errorf("%q: expected error", input)
+		}
+	}
+}
+
+func TestTokenizerDuplicateKeysOption(t *testing.T) {
+	tok := NewTokenizerOptions(strings.NewReader(`{"a":1,"a":2}`), TokenizerOptions{AllowDuplicateKeys: true})
+	for {
+		_, err := tok.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			t.Fatalf("duplicate keys should be allowed: %v", err)
+		}
+	}
+}
+
+func TestTokenizerMaxDepth(t *testing.T) {
+	input := strings.Repeat("[", 40) + strings.Repeat("]", 40)
+	tok := NewTokenizerOptions(strings.NewReader(input), TokenizerOptions{MaxDepth: 32})
+	var err error
+	for err == nil {
+		_, err = tok.Next()
+	}
+	if err == io.EOF {
+		t.Fatal("depth cap not enforced")
+	}
+	if !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestTokenizerOffsets(t *testing.T) {
+	input := `{"ab": 17}`
+	ts, err := drain(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOffsets := []int64{0, 1, 7, 9}
+	for i, w := range wantOffsets {
+		if ts[i].Offset != w {
+			t.Errorf("token %d (%v): offset %d, want %d", i, ts[i].Kind, ts[i].Offset, w)
+		}
+	}
+}
+
+func TestTokenizerSyntaxErrorType(t *testing.T) {
+	_, err := drain(`[1,]`)
+	var se *SyntaxError
+	if !errorsAs(err, &se) {
+		t.Fatalf("want *SyntaxError, got %T: %v", err, err)
+	}
+	if se.Offset <= 0 {
+		t.Errorf("offset = %d", se.Offset)
+	}
+}
+
+func errorsAs(err error, target **SyntaxError) bool {
+	se, ok := err.(*SyntaxError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+func TestTokenKindString(t *testing.T) {
+	for k := BeginObject; k <= NumberTok; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "TokenKind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if TokenKind(99).String() != "TokenKind(99)" {
+		t.Error("fallback name wrong")
+	}
+}
+
+// TestTokenizerRoundTrip checks against the jsonval parser: any value
+// serialized and re-tokenized rebuilds the same value.
+func TestTokenizerRoundTrip(t *testing.T) {
+	f := func(c docCase) bool {
+		rebuilt, err := rebuild(NewTokenizer(strings.NewReader(c.doc.String())))
+		if err != nil {
+			t.Logf("doc %s: %v", c.doc, err)
+			return false
+		}
+		return jsonval.Equal(c.doc, rebuilt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rebuild reconstructs a value from the token stream (test helper; the
+// whole point of the package is not having to do this).
+func rebuild(tok *Tokenizer) (*jsonval.Value, error) {
+	type frame struct {
+		isObject bool
+		members  []jsonval.Member
+		elems    []*jsonval.Value
+		key      string
+	}
+	var stack []*frame
+	var result *jsonval.Value
+	attach := func(v *jsonval.Value) error {
+		if len(stack) == 0 {
+			result = v
+			return nil
+		}
+		top := stack[len(stack)-1]
+		if top.isObject {
+			top.members = append(top.members, jsonval.Member{Key: top.key, Value: v})
+		} else {
+			top.elems = append(top.elems, v)
+		}
+		return nil
+	}
+	for {
+		t, err := tok.Next()
+		if err == io.EOF {
+			return result, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case KeyTok:
+			stack[len(stack)-1].key = t.Str
+		case BeginObject:
+			stack = append(stack, &frame{isObject: true})
+		case BeginArray:
+			stack = append(stack, &frame{})
+		case EndObject:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			v, err := jsonval.Obj(top.members...)
+			if err != nil {
+				return nil, err
+			}
+			if err := attach(v); err != nil {
+				return nil, err
+			}
+		case EndArray:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if err := attach(jsonval.Arr(top.elems...)); err != nil {
+				return nil, err
+			}
+		case StringTok:
+			if err := attach(jsonval.Str(t.Str)); err != nil {
+				return nil, err
+			}
+		case NumberTok:
+			if err := attach(jsonval.Num(t.Num)); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+type docCase struct{ doc *jsonval.Value }
+
+func (docCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(docCase{randValue(r, 1+r.Intn(3))})
+}
+
+func randValue(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return jsonval.Num(uint64(r.Intn(1000)))
+		case 1:
+			return jsonval.Str(randString(r))
+		default:
+			return jsonval.MustObj()
+		}
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(4)
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = randValue(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	keys := []string{"a", "b", "c", "déjà", "x y", `q"z`}
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	n := r.Intn(4)
+	members := make([]jsonval.Member, 0, n)
+	for i := 0; i < n && i < len(keys); i++ {
+		members = append(members, jsonval.Member{Key: keys[i], Value: randValue(r, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
+
+func randString(r *rand.Rand) string {
+	alphabet := []rune{'a', 'b', '"', '\\', '\n', 'é', '😀', ' '}
+	n := r.Intn(6)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(out)
+}

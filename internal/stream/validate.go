@@ -1,0 +1,636 @@
+// Streaming evaluation of recursive JSL without Unique: the §6
+// conjecture, realised as a single pass over the token stream with
+// memory proportional to nesting depth × formula size.
+
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+	"jsonlogic/internal/translate"
+)
+
+// ErrUnique reports that the expression uses the Unique predicate,
+// which cannot be decided in a streaming pass: it compares entire
+// sibling subtrees, exactly the tree equality the §6 conjecture
+// excludes.
+var ErrUnique = errors.New("stream: Unique (uniqueItems) cannot be validated in a streaming pass")
+
+// Validator decides one recursive JSL expression over document streams.
+// A Validator is immutable after construction and safe for concurrent
+// use by multiple goroutines (each Validate call keeps its own state).
+type Validator struct {
+	// subformula table: every subformula of every definition body and
+	// of the base expression, in an order where boolean structure and
+	// unguarded references point to earlier entries.
+	forms []jsl.Formula
+	// id of each definition's body, by name.
+	defID map[string]int
+	// baseID is the entry for the base expression.
+	baseID int
+	// child[fid] are the immediate same-node sub-entries.
+	child map[int][]int
+	// modal entries in forms, used to size per-frame modal state.
+	modalSlot map[int]int // fid of DiamondKey/BoxKey/DiamondIdx/BoxIdx -> slot
+	numModal  int
+	// eqdoc entries, used to size per-frame equality-match state.
+	eqSlot map[int]int // fid of EqDoc -> slot
+	eqDocs []*jsonval.Value
+	// evaluation order for a node-close: every fid in an order where
+	// all same-node dependencies come first.
+	order []int
+}
+
+// NewValidator compiles a recursive JSL expression for streaming
+// validation. It reports ErrUnique if the expression uses Unique and an
+// error if it is not well formed.
+func NewValidator(r *jsl.Recursive) (*Validator, error) {
+	if err := r.WellFormed(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	v := &Validator{
+		defID:     map[string]int{},
+		child:     map[int][]int{},
+		modalSlot: map[int]int{},
+		eqSlot:    map[int]int{},
+	}
+	// First pass: allocate ids for definition bodies so Ref can point
+	// at them regardless of definition order.
+	for _, d := range r.Defs {
+		if _, dup := v.defID[d.Name]; dup {
+			return nil, fmt.Errorf("stream: duplicate definition %q", d.Name)
+		}
+		v.defID[d.Name] = -1 // reserved
+	}
+	for _, d := range r.Defs {
+		id, err := v.compile(d.Body)
+		if err != nil {
+			return nil, err
+		}
+		v.defID[d.Name] = id
+	}
+	base, err := v.compile(r.Base)
+	if err != nil {
+		return nil, err
+	}
+	v.baseID = base
+	if err := v.buildOrder(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// NewValidatorFormula compiles a non-recursive JSL formula.
+func NewValidatorFormula(f jsl.Formula) (*Validator, error) {
+	return NewValidator(jsl.NonRecursive(f))
+}
+
+// compile interns the subformula tree of f and returns its id.
+func (v *Validator) compile(f jsl.Formula) (int, error) {
+	id := len(v.forms)
+	v.forms = append(v.forms, f)
+	addChild := func(sub jsl.Formula) error {
+		cid, err := v.compile(sub)
+		if err != nil {
+			return err
+		}
+		v.child[id] = append(v.child[id], cid)
+		return nil
+	}
+	switch t := f.(type) {
+	case jsl.Unique:
+		return 0, ErrUnique
+	case jsl.Not:
+		if err := addChild(t.Inner); err != nil {
+			return 0, err
+		}
+	case jsl.And:
+		if err := addChild(t.Left); err != nil {
+			return 0, err
+		}
+		if err := addChild(t.Right); err != nil {
+			return 0, err
+		}
+	case jsl.Or:
+		if err := addChild(t.Left); err != nil {
+			return 0, err
+		}
+		if err := addChild(t.Right); err != nil {
+			return 0, err
+		}
+	case jsl.DiamondKey:
+		if err := addChild(t.Inner); err != nil {
+			return 0, err
+		}
+		v.modalSlot[id] = v.numModal
+		v.numModal++
+	case jsl.BoxKey:
+		if err := addChild(t.Inner); err != nil {
+			return 0, err
+		}
+		v.modalSlot[id] = v.numModal
+		v.numModal++
+	case jsl.DiamondIdx:
+		if err := addChild(t.Inner); err != nil {
+			return 0, err
+		}
+		v.modalSlot[id] = v.numModal
+		v.numModal++
+	case jsl.BoxIdx:
+		if err := addChild(t.Inner); err != nil {
+			return 0, err
+		}
+		v.modalSlot[id] = v.numModal
+		v.numModal++
+	case jsl.EqDoc:
+		v.eqSlot[id] = len(v.eqDocs)
+		v.eqDocs = append(v.eqDocs, t.Doc)
+	case jsl.Ref:
+		if _, ok := v.defID[t.Name]; !ok {
+			return 0, fmt.Errorf("stream: undefined reference %q", t.Name)
+		}
+	}
+	return id, nil
+}
+
+// buildOrder computes the node-close evaluation order: subformula
+// children before parents and definition bodies before (unguarded)
+// references to them. Well-formedness makes this a DAG.
+func (v *Validator) buildOrder() error {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]byte, len(v.forms))
+	v.order = v.order[:0]
+	var visit func(fid int) error
+	visit = func(fid int) error {
+		switch state[fid] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("stream: cyclic unguarded dependency through %s", jsl.String(v.forms[fid]))
+		}
+		state[fid] = visiting
+		if t, isRef := v.forms[fid].(jsl.Ref); isRef {
+			if err := visit(v.defID[t.Name]); err != nil {
+				return err
+			}
+		}
+		if _, modal := v.modalSlot[fid]; !modal {
+			// Modal operators are excluded: they read *child-node*
+			// results aggregated into the frame, not same-node truths,
+			// which is exactly how guarded recursion avoids a cycle.
+			// Their inner formulas are ordered independently by the
+			// outer loop.
+			for _, cid := range v.child[fid] {
+				if err := visit(cid); err != nil {
+					return err
+				}
+			}
+		}
+		state[fid] = done
+		v.order = append(v.order, fid)
+		return nil
+	}
+	// Every subformula must appear in the order — including modal
+	// inner formulas, which the dependency walk above skips.
+	for fid := range v.forms {
+		if err := visit(fid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumSubformulas returns the size of the compiled subformula table.
+func (v *Validator) NumSubformulas() int { return len(v.forms) }
+
+// Stats reports the memory high-water marks of one Validate run; used
+// by the streaming experiments to demonstrate width-independence.
+type Stats struct {
+	// MaxFrames is the maximum number of simultaneously open nodes
+	// (nesting depth + 1).
+	MaxFrames int
+	// MaxEqEntries is the maximum number of live constant-match
+	// entries across all frames.
+	MaxEqEntries int
+	// Tokens is the total number of tokens processed.
+	Tokens int
+}
+
+// vframe is the per-open-node state of a validation run.
+type vframe struct {
+	isObject bool
+	count    int
+	// edge into this node (valid when the parent frame exists).
+	key string
+	pos int
+	// dia[slot]/box[slot] aggregate child results per modal operator.
+	dia []bool
+	box []bool
+	// eq holds the live constant-match entries for this node.
+	eq []matchEntry
+}
+
+// matchEntry tracks the comparison of the current node's subtree with
+// one constant document (or a descendant of one).
+type matchEntry struct {
+	// target is the constant subvalue this node must equal.
+	target *jsonval.Value
+	// slot is the eqdoc slot when this entry was seeded at this node,
+	// or -1 for an entry derived from a parent entry.
+	slot int
+	// parentIdx is the index of the parent frame's entry this one was
+	// derived from (meaningful when slot == -1).
+	parentIdx int
+	failed    bool
+	matched   int // children that matched so far
+}
+
+// runState is the mutable state of one Validate call. The truth and
+// eqTruth buffers are reused across node closes — a truth vector is
+// consumed by the parent's modal aggregates before the next node
+// completes, so per-node allocation is unnecessary and the validator
+// allocates only when the frame stack grows.
+type runState struct {
+	v       *Validator
+	frames  []vframe
+	stats   Stats
+	truth   []bool
+	eqTruth []bool
+}
+
+// Validate reads one JSON document from rd and reports whether it
+// satisfies the compiled expression at its root. The document is never
+// materialised: memory use is bounded by nesting depth × formula size
+// (plus constant-match state), independent of document width.
+func (v *Validator) Validate(rd io.Reader) (bool, error) {
+	ok, _, err := v.ValidateStats(rd)
+	return ok, err
+}
+
+// ValidateStats is Validate, additionally reporting memory statistics.
+func (v *Validator) ValidateStats(rd io.Reader) (bool, Stats, error) {
+	tok := NewTokenizer(rd)
+	return v.validateTokens(tok)
+}
+
+func (v *Validator) validateTokens(tok *Tokenizer) (bool, Stats, error) {
+	rs := &runState{
+		v:       v,
+		truth:   make([]bool, len(v.forms)),
+		eqTruth: make([]bool, len(v.eqDocs)),
+	}
+	rootResult := false
+	sawRoot := false
+	pendingKey := ""
+	for {
+		t, err := tok.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return false, rs.stats, err
+		}
+		rs.stats.Tokens++
+		switch t.Kind {
+		case KeyTok:
+			pendingKey = t.Str
+		case BeginObject, BeginArray:
+			rs.open(t.Kind == BeginObject, pendingKey)
+		case EndObject, EndArray:
+			truth := rs.closeTop()
+			if len(rs.frames) == 0 {
+				rootResult, sawRoot = truth[v.baseID], true
+			}
+		case StringTok, NumberTok:
+			truth := rs.leaf(t, pendingKey)
+			if len(rs.frames) == 0 {
+				rootResult, sawRoot = truth[v.baseID], true
+			}
+		}
+	}
+	if !sawRoot {
+		return false, rs.stats, fmt.Errorf("stream: empty document stream")
+	}
+	return rootResult, rs.stats, nil
+}
+
+// open pushes a frame for a container node entered via the given key
+// (or the next array position of the parent).
+func (rs *runState) open(isObject bool, key string) {
+	f := vframe{
+		isObject: isObject,
+		dia:      make([]bool, rs.v.numModal),
+		box:      make([]bool, rs.v.numModal),
+	}
+	for i := range f.box {
+		f.box[i] = true // boxes are vacuously true
+	}
+	f.key, f.pos = rs.edgeOfNewChild(key)
+	// Seed one match entry per eqdoc constant, plus entries derived
+	// from the parent's live entries.
+	for slot, doc := range rs.v.eqDocs {
+		f.eq = append(f.eq, matchEntry{target: doc, slot: slot})
+	}
+	if len(rs.frames) > 0 {
+		parent := &rs.frames[len(rs.frames)-1]
+		for idx := range parent.eq {
+			pe := &parent.eq[idx]
+			if pe.failed {
+				continue
+			}
+			sub, ok := lookupEdge(pe.target, f.key, f.pos, parent.isObject)
+			if !ok {
+				pe.failed = true
+				continue
+			}
+			f.eq = append(f.eq, matchEntry{target: sub, slot: -1, parentIdx: idx})
+		}
+		parent.count++
+	}
+	rs.frames = append(rs.frames, f)
+	if len(rs.frames) > rs.stats.MaxFrames {
+		rs.stats.MaxFrames = len(rs.frames)
+	}
+	live := 0
+	for i := range rs.frames {
+		live += len(rs.frames[i].eq)
+	}
+	if live > rs.stats.MaxEqEntries {
+		rs.stats.MaxEqEntries = live
+	}
+}
+
+// edgeOfNewChild returns the edge (key or position) of the child being
+// opened under the current top frame.
+func (rs *runState) edgeOfNewChild(key string) (string, int) {
+	if len(rs.frames) == 0 {
+		return "", -1
+	}
+	parent := &rs.frames[len(rs.frames)-1]
+	if parent.isObject {
+		return key, -1
+	}
+	return "", parent.count
+}
+
+// lookupEdge descends from a constant target along the child edge.
+func lookupEdge(target *jsonval.Value, key string, pos int, parentIsObject bool) (*jsonval.Value, bool) {
+	if parentIsObject {
+		if !target.IsObject() {
+			return nil, false
+		}
+		return target.Member(key)
+	}
+	if !target.IsArray() {
+		return nil, false
+	}
+	return target.Elem(pos)
+}
+
+// leaf processes a string or number token as a complete child node and
+// returns its truth vector.
+func (rs *runState) leaf(t Token, key string) []bool {
+	edgeKey, edgePos := rs.edgeOfNewChild(key)
+	if len(rs.frames) > 0 {
+		rs.frames[len(rs.frames)-1].count++
+	}
+	// Constant-equality truths first: dependent boolean structure in
+	// the ordered pass below reads them.
+	eqTruth := rs.eqTruth
+	for slot, doc := range rs.v.eqDocs {
+		eqTruth[slot] = leafEquals(t, doc)
+	}
+	truth := rs.truth
+	for _, fid := range rs.v.order {
+		truth[fid] = rs.v.evalLeaf(fid, t, truth, eqTruth)
+	}
+	if len(rs.frames) > 0 {
+		parent := &rs.frames[len(rs.frames)-1]
+		for idx := range parent.eq {
+			pe := &parent.eq[idx]
+			if pe.failed {
+				continue
+			}
+			sub, ok := lookupEdge(pe.target, edgeKey, edgePos, parent.isObject)
+			if !ok || !leafEquals(t, sub) {
+				pe.failed = true
+				continue
+			}
+			pe.matched++
+		}
+		rs.deliverToParent(truth, edgeKey, edgePos)
+	}
+	return truth
+}
+
+// leafEquals compares a leaf token to a constant value.
+func leafEquals(t Token, target *jsonval.Value) bool {
+	switch t.Kind {
+	case StringTok:
+		return target.IsString() && target.Str() == t.Str
+	case NumberTok:
+		return target.IsNumber() && target.Num() == t.Num
+	default:
+		return false
+	}
+}
+
+// closeTop finalises the top frame, computes its truth vector, reports
+// it to the parent, and returns it.
+func (rs *runState) closeTop() []bool {
+	f := rs.frames[len(rs.frames)-1]
+	rs.frames = rs.frames[:len(rs.frames)-1]
+
+	// Resolve this node's own constant-equality entries first, then
+	// compute the truth vector (boolean structure reads the eq truths),
+	// then report derived entries and modal results to the parent.
+	var parent *vframe
+	if len(rs.frames) > 0 {
+		parent = &rs.frames[len(rs.frames)-1]
+	}
+	eqTruth := rs.eqTruth
+	for slot := range eqTruth {
+		eqTruth[slot] = false
+	}
+	for i := range f.eq {
+		e := &f.eq[i]
+		success := !e.failed && containerMatches(&f, e.target)
+		if e.slot >= 0 {
+			eqTruth[e.slot] = success
+			continue
+		}
+		if parent == nil {
+			continue
+		}
+		pe := &parent.eq[e.parentIdx]
+		if pe.failed {
+			continue
+		}
+		if success {
+			pe.matched++
+		} else {
+			pe.failed = true
+		}
+	}
+	truth := rs.truth
+	for _, fid := range rs.v.order {
+		truth[fid] = rs.v.evalContainer(fid, &f, truth, eqTruth)
+	}
+	if parent != nil {
+		rs.deliverToParent(truth, f.key, f.pos)
+	}
+	return truth
+}
+
+// containerMatches checks the structural close conditions of a
+// container node against a constant: right kind and exactly the
+// constant's child count (per-child matches were checked on the way).
+func containerMatches(f *vframe, target *jsonval.Value) bool {
+	if f.isObject {
+		return target.IsObject() && target.Len() == f.count
+	}
+	return target.IsArray() && target.Len() == f.count
+}
+
+// deliverToParent merges a closed child's truth vector into the
+// parent's modal aggregates.
+func (rs *runState) deliverToParent(truth []bool, key string, pos int) {
+	parent := &rs.frames[len(rs.frames)-1]
+	for fid, slot := range rs.v.modalSlot {
+		innerID := rs.v.child[fid][0]
+		switch m := rs.v.forms[fid].(type) {
+		case jsl.DiamondKey:
+			if parent.isObject && matchKey(m.Re, m.Word, m.IsWord, key) && truth[innerID] {
+				parent.dia[slot] = true
+			}
+		case jsl.BoxKey:
+			if parent.isObject && matchKey(m.Re, m.Word, m.IsWord, key) && !truth[innerID] {
+				parent.box[slot] = false
+			}
+		case jsl.DiamondIdx:
+			if !parent.isObject && pos >= m.Lo && pos <= m.Hi && truth[innerID] {
+				parent.dia[slot] = true
+			}
+		case jsl.BoxIdx:
+			if !parent.isObject && pos >= m.Lo && pos <= m.Hi && !truth[innerID] {
+				parent.box[slot] = false
+			}
+		}
+	}
+}
+
+func matchKey(re *relang.Regex, word string, isWord bool, key string) bool {
+	if isWord {
+		return key == word
+	}
+	return re.Match(key)
+}
+
+// evalLeaf computes the truth of subformula fid at a leaf node.
+func (v *Validator) evalLeaf(fid int, t Token, truth, eqTruth []bool) bool {
+	kids := v.child[fid]
+	switch tf := v.forms[fid].(type) {
+	case jsl.True:
+		return true
+	case jsl.Not:
+		return !truth[kids[0]]
+	case jsl.And:
+		return truth[kids[0]] && truth[kids[1]]
+	case jsl.Or:
+		return truth[kids[0]] || truth[kids[1]]
+	case jsl.IsObj, jsl.IsArr:
+		return false
+	case jsl.IsStr:
+		return t.Kind == StringTok
+	case jsl.IsInt:
+		return t.Kind == NumberTok
+	case jsl.Pattern:
+		return t.Kind == StringTok && tf.Re.Match(t.Str)
+	case jsl.Min:
+		return t.Kind == NumberTok && t.Num >= tf.I
+	case jsl.Max:
+		return t.Kind == NumberTok && t.Num <= tf.I
+	case jsl.MultOf:
+		return t.Kind == NumberTok && isMultiple(t.Num, tf.I)
+	case jsl.MinCh:
+		return tf.K == 0
+	case jsl.MaxCh:
+		return true
+	case jsl.EqDoc:
+		return eqTruth[v.eqSlot[fid]]
+	case jsl.DiamondKey, jsl.DiamondIdx:
+		return false // leaves have no children
+	case jsl.BoxKey, jsl.BoxIdx:
+		return true // vacuously
+	case jsl.Ref:
+		return truth[v.defID[tf.Name]]
+	default:
+		return false
+	}
+}
+
+// evalContainer computes the truth of subformula fid at a closing
+// container node.
+func (v *Validator) evalContainer(fid int, fr *vframe, truth, eqTruth []bool) bool {
+	kids := v.child[fid]
+	switch tf := v.forms[fid].(type) {
+	case jsl.True:
+		return true
+	case jsl.Not:
+		return !truth[kids[0]]
+	case jsl.And:
+		return truth[kids[0]] && truth[kids[1]]
+	case jsl.Or:
+		return truth[kids[0]] || truth[kids[1]]
+	case jsl.IsObj:
+		return fr.isObject
+	case jsl.IsArr:
+		return !fr.isObject
+	case jsl.IsStr, jsl.IsInt, jsl.Pattern, jsl.Min, jsl.Max, jsl.MultOf:
+		return false
+	case jsl.MinCh:
+		return fr.count >= tf.K
+	case jsl.MaxCh:
+		return fr.count <= tf.K
+	case jsl.EqDoc:
+		return eqTruth[v.eqSlot[fid]]
+	case jsl.DiamondKey, jsl.DiamondIdx:
+		return fr.dia[v.modalSlot[fid]]
+	case jsl.BoxKey, jsl.BoxIdx:
+		return fr.box[v.modalSlot[fid]]
+	case jsl.Ref:
+		return truth[v.defID[tf.Name]]
+	default:
+		return false
+	}
+}
+
+func isMultiple(n, m uint64) bool {
+	if m == 0 {
+		return n == 0
+	}
+	return n%m == 0
+}
+
+// NewValidatorJNL compiles a deterministic JNL unary formula for
+// streaming validation, through the Theorem 2 translation into JSL.
+// Formulas outside the common fragment (EQ(α,β), Kleene star) are
+// rejected by the translation; note the translation can be exponential
+// for formulas with unions of paths (the Theorem 2 remark).
+func NewValidatorJNL(u jnl.Unary) (*Validator, error) {
+	f, err := translate.JNLToJSL(u)
+	if err != nil {
+		return nil, err
+	}
+	return NewValidatorFormula(f)
+}

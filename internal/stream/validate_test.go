@@ -1,0 +1,474 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+func mustValidate(t *testing.T, f jsl.Formula, doc string) bool {
+	t.Helper()
+	v, err := NewValidatorFormula(f)
+	if err != nil {
+		t.Fatalf("NewValidatorFormula: %v", err)
+	}
+	ok, err := v.Validate(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Validate(%s): %v", doc, err)
+	}
+	return ok
+}
+
+func TestValidateNodeTests(t *testing.T) {
+	cases := []struct {
+		f    jsl.Formula
+		doc  string
+		want bool
+	}{
+		{jsl.IsObj{}, `{}`, true},
+		{jsl.IsObj{}, `[]`, false},
+		{jsl.IsArr{}, `[]`, true},
+		{jsl.IsStr{}, `"x"`, true},
+		{jsl.IsInt{}, `7`, true},
+		{jsl.IsInt{}, `"7"`, false},
+		{jsl.Pattern{Re: relang.MustCompile("a+")}, `"aaa"`, true},
+		{jsl.Pattern{Re: relang.MustCompile("a+")}, `"ab"`, false},
+		{jsl.Min{I: 5}, `7`, true},
+		{jsl.Min{I: 5}, `3`, false},
+		{jsl.Max{I: 5}, `3`, true},
+		{jsl.MultOf{I: 4}, `12`, true},
+		{jsl.MultOf{I: 4}, `13`, false},
+		{jsl.MinCh{K: 2}, `{"a":1,"b":2}`, true},
+		{jsl.MinCh{K: 3}, `{"a":1,"b":2}`, false},
+		{jsl.MaxCh{K: 1}, `[1]`, true},
+		{jsl.MaxCh{K: 1}, `[1,2]`, false},
+		{jsl.MinCh{K: 0}, `5`, true},
+		{jsl.Not{Inner: jsl.IsObj{}}, `[]`, true},
+		{jsl.And{Left: jsl.IsInt{}, Right: jsl.Min{I: 1}}, `3`, true},
+		{jsl.Or{Left: jsl.IsStr{}, Right: jsl.IsInt{}}, `3`, true},
+	}
+	for _, c := range cases {
+		if got := mustValidate(t, c.f, c.doc); got != c.want {
+			t.Errorf("%s over %s: got %v, want %v", jsl.String(c.f), c.doc, got, c.want)
+		}
+	}
+}
+
+func TestValidateModalities(t *testing.T) {
+	doc := `{"name":{"first":"John"},"hobbies":["fishing","yoga"],"age":32}`
+	cases := []struct {
+		f    jsl.Formula
+		want bool
+	}{
+		{jsl.DiaWord("name", jsl.IsObj{}), true},
+		{jsl.DiaWord("name", jsl.IsStr{}), false},
+		{jsl.DiaWord("missing", jsl.True{}), false},
+		{jsl.BoxWord("age", jsl.IsInt{}), true},
+		{jsl.BoxWord("missing", jsl.Not{Inner: jsl.True{}}), true}, // vacuous
+		{jsl.DiaRe(relang.MustCompile("n.*"), jsl.DiaWord("first", jsl.Pattern{Re: relang.MustCompile("J.*")})), true},
+		{jsl.DiaWord("hobbies", jsl.DiamondIdx{Lo: 0, Hi: 1, Inner: jsl.EqDoc{Doc: jsonval.Str("yoga")}}), true},
+		{jsl.DiaWord("hobbies", jsl.DiamondIdx{Lo: 0, Hi: 0, Inner: jsl.EqDoc{Doc: jsonval.Str("yoga")}}), false},
+		{jsl.DiaWord("hobbies", jsl.BoxIdx{Lo: 0, Hi: jsl.Inf, Inner: jsl.IsStr{}}), true},
+		{jsl.BoxRe(relang.MustCompile(".*"), jsl.Or{Left: jsl.IsObj{}, Right: jsl.Or{Left: jsl.IsArr{}, Right: jsl.IsInt{}}}), true},
+	}
+	for i, c := range cases {
+		if got := mustValidate(t, c.f, doc); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, jsl.String(c.f), got, c.want)
+		}
+	}
+}
+
+func TestValidateEqDoc(t *testing.T) {
+	cases := []struct {
+		f    jsl.Formula
+		doc  string
+		want bool
+	}{
+		{jsl.EqDoc{Doc: jsonval.Num(5)}, `5`, true},
+		{jsl.EqDoc{Doc: jsonval.Num(5)}, `6`, false},
+		{jsl.EqDoc{Doc: jsonval.MustParse(`{"a":1,"b":[2,"x"]}`)}, `{"b":[2,"x"],"a":1}`, true},
+		{jsl.EqDoc{Doc: jsonval.MustParse(`{"a":1,"b":[2,"x"]}`)}, `{"b":[2,"y"],"a":1}`, false},
+		{jsl.EqDoc{Doc: jsonval.MustParse(`{"a":1}`)}, `{"a":1,"b":2}`, false},
+		{jsl.EqDoc{Doc: jsonval.MustParse(`{"a":1,"b":2}`)}, `{"a":1}`, false},
+		{jsl.EqDoc{Doc: jsonval.MustParse(`[]`)}, `[]`, true},
+		{jsl.EqDoc{Doc: jsonval.MustParse(`{}`)}, `[]`, false},
+		// Nested occurrence: some child equals a constant.
+		{jsl.DiaRe(relang.MustCompile(".*"), jsl.EqDoc{Doc: jsonval.MustParse(`[1,2]`)}), `{"a":[1,2]}`, true},
+		{jsl.DiaRe(relang.MustCompile(".*"), jsl.EqDoc{Doc: jsonval.MustParse(`[1,2]`)}), `{"a":[2,1]}`, false},
+	}
+	for i, c := range cases {
+		if got := mustValidate(t, c.f, c.doc); got != c.want {
+			t.Errorf("case %d (%s over %s): got %v, want %v", i, jsl.String(c.f), c.doc, got, c.want)
+		}
+	}
+}
+
+func TestValidateRejectsUnique(t *testing.T) {
+	if _, err := NewValidatorFormula(jsl.Unique{}); err != ErrUnique {
+		t.Fatalf("got %v, want ErrUnique", err)
+	}
+	if _, err := NewValidatorFormula(jsl.Not{Inner: jsl.And{Left: jsl.True{}, Right: jsl.Unique{}}}); err != ErrUnique {
+		t.Fatalf("nested Unique: got %v, want ErrUnique", err)
+	}
+}
+
+func TestValidateRecursive(t *testing.T) {
+	// Example 2: every root-to-leaf path has even length.
+	any := relang.MustCompile(".*")
+	evenDepth := &jsl.Recursive{
+		Defs: []jsl.Definition{
+			{Name: "g1", Body: jsl.BoxRe(any, jsl.Ref{Name: "g2"})},
+			{Name: "g2", Body: jsl.And{
+				Left:  jsl.DiaRe(any, jsl.True{}),
+				Right: jsl.BoxRe(any, jsl.Ref{Name: "g1"}),
+			}},
+		},
+		Base: jsl.Ref{Name: "g1"},
+	}
+	v, err := NewValidator(evenDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		doc  string
+		want bool
+	}{
+		{`{}`, true},
+		{`{"a":{}}`, false},
+		{`{"a":{"b":{}}}`, true},
+		{`{"a":{"b":{}},"c":{"d":{}}}`, true},
+		{`{"a":{"b":{}},"c":{}}`, false},
+		{`{"a":{"b":{"c":{"d":{}}}}}`, true},
+	}
+	for _, c := range cases {
+		got, err := v.Validate(strings.NewReader(c.doc))
+		if err != nil {
+			t.Fatalf("%s: %v", c.doc, err)
+		}
+		if got != c.want {
+			t.Errorf("evenDepth over %s: got %v, want %v", c.doc, got, c.want)
+		}
+		// Cross-check against the in-memory recursive evaluator.
+		tree := jsontree.MustParse(c.doc)
+		want, err := jsl.HoldsRecursive(tree, evenDepth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("stream %v disagrees with in-memory %v on %s", got, want, c.doc)
+		}
+	}
+}
+
+func TestValidateUnguardedRefs(t *testing.T) {
+	// Well-formed acyclic unguarded refs: g2 used directly by g1.
+	r := &jsl.Recursive{
+		Defs: []jsl.Definition{
+			{Name: "g2", Body: jsl.IsObj{}},
+			{Name: "g1", Body: jsl.And{Left: jsl.Ref{Name: "g2"}, Right: jsl.MinCh{K: 1}}},
+		},
+		Base: jsl.Ref{Name: "g1"},
+	}
+	v, err := NewValidator(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for doc, want := range map[string]bool{
+		`{"a":1}`: true,
+		`{}`:      false,
+		`[1]`:     false,
+	} {
+		got, err := v.Validate(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: got %v, want %v", doc, got, want)
+		}
+	}
+}
+
+func TestValidateUndefinedRef(t *testing.T) {
+	if _, err := NewValidatorFormula(jsl.Ref{Name: "nope"}); err == nil {
+		t.Fatal("expected error for undefined reference")
+	}
+}
+
+func TestValidateEmptyInput(t *testing.T) {
+	v, err := NewValidatorFormula(jsl.True{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Validate(strings.NewReader(``)); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+	if _, err := v.Validate(strings.NewReader(`{"broken"`)); err == nil {
+		t.Fatal("expected syntax error to propagate")
+	}
+}
+
+// TestValidateWidthIndependentMemory is the §6 experiment: the frame
+// high-water mark must track nesting depth, not document width.
+func TestValidateWidthIndependentMemory(t *testing.T) {
+	f := jsl.BoxRe(relang.MustCompile(".*"), jsl.IsInt{})
+	v, err := NewValidatorFormula(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{10, 10000} {
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for i := 0; i < width; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%q:%d", fmt.Sprintf("k%d", i), i)
+		}
+		sb.WriteByte('}')
+		ok, stats, err := v.ValidateStats(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("width %d: expected valid", width)
+		}
+		if stats.MaxFrames != 1 {
+			t.Errorf("width %d: MaxFrames = %d, want 1 (width-independent)", width, stats.MaxFrames)
+		}
+	}
+}
+
+func TestValidateDepthMemory(t *testing.T) {
+	v, err := NewValidatorFormula(jsl.True{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := 50
+	doc := strings.Repeat(`{"n":`, depth) + "0" + strings.Repeat("}", depth)
+	_, stats, err := v.ValidateStats(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxFrames != depth {
+		t.Errorf("MaxFrames = %d, want %d", stats.MaxFrames, depth)
+	}
+}
+
+// --- differential testing against the in-memory JSL evaluator ---
+
+func randStreamFormula(r *rand.Rand, depth int) jsl.Formula {
+	if depth == 0 {
+		switch r.Intn(8) {
+		case 0:
+			return jsl.True{}
+		case 1:
+			return jsl.IsObj{}
+		case 2:
+			return jsl.IsArr{}
+		case 3:
+			return jsl.IsStr{}
+		case 4:
+			return jsl.IsInt{}
+		case 5:
+			return jsl.Min{I: uint64(r.Intn(4))}
+		case 6:
+			return jsl.MinCh{K: r.Intn(3)}
+		default:
+			return jsl.EqDoc{Doc: randValue(r, 1)}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return jsl.Not{Inner: randStreamFormula(r, depth-1)}
+	case 1:
+		return jsl.And{Left: randStreamFormula(r, depth-1), Right: randStreamFormula(r, depth-1)}
+	case 2:
+		return jsl.Or{Left: randStreamFormula(r, depth-1), Right: randStreamFormula(r, depth-1)}
+	case 3:
+		return jsl.DiaWord([]string{"a", "b", "c"}[r.Intn(3)], randStreamFormula(r, depth-1))
+	case 4:
+		return jsl.BoxRe(relang.MustCompile("a|b"), randStreamFormula(r, depth-1))
+	case 5:
+		return jsl.DiamondIdx{Lo: r.Intn(2), Hi: r.Intn(2) + 1, Inner: randStreamFormula(r, depth-1)}
+	case 6:
+		return jsl.BoxIdx{Lo: 0, Hi: jsl.Inf, Inner: randStreamFormula(r, depth-1)}
+	default:
+		return jsl.MaxCh{K: r.Intn(4)}
+	}
+}
+
+type streamDiffCase struct {
+	doc *jsonval.Value
+	f   jsl.Formula
+}
+
+func (streamDiffCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	// Restrict docs to ASCII-safe keys matched by the formulas.
+	return reflect.ValueOf(streamDiffCase{randPlainDoc(r, 2+r.Intn(2)), randStreamFormula(r, 3)})
+}
+
+func randPlainDoc(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 {
+		if r.Intn(2) == 0 {
+			return jsonval.Num(uint64(r.Intn(5)))
+		}
+		return jsonval.Str([]string{"a", "b", "x"}[r.Intn(3)])
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(4)
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = randPlainDoc(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	keys := []string{"a", "b", "c"}
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	n := r.Intn(4)
+	members := make([]jsonval.Member, 0, n)
+	for i := 0; i < n && i < len(keys); i++ {
+		members = append(members, jsonval.Member{Key: keys[i], Value: randPlainDoc(r, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
+
+// TestDifferentialVsInMemory checks that streaming validation agrees
+// with the tree evaluator of Proposition 6 on random formulas and docs.
+func TestDifferentialVsInMemory(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	check := func(c streamDiffCase) bool {
+		v, err := NewValidatorFormula(c.f)
+		if err != nil {
+			t.Fatalf("compile %s: %v", jsl.String(c.f), err)
+		}
+		got, err := v.Validate(strings.NewReader(c.doc.String()))
+		if err != nil {
+			t.Logf("doc %s: %v", c.doc, err)
+			return false
+		}
+		tree := jsontree.FromValue(c.doc)
+		want, err := jsl.Holds(tree, c.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Logf("formula: %s", jsl.String(c.f))
+			t.Logf("doc: %s", c.doc)
+			t.Logf("stream=%v inmemory=%v", got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidatorReuse checks a Validator can be reused across documents
+// and goroutines.
+func TestValidatorReuse(t *testing.T) {
+	v, err := NewValidatorFormula(jsl.DiaWord("a", jsl.IsInt{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func() {
+			ok := true
+			for i := 0; i < 50; i++ {
+				got, err := v.Validate(strings.NewReader(`{"a":1}`))
+				if err != nil || !got {
+					ok = false
+				}
+				got, err = v.Validate(strings.NewReader(`{"a":"s"}`))
+				if err != nil || got {
+					ok = false
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if !<-done {
+			t.Fatal("concurrent reuse gave wrong answers")
+		}
+	}
+}
+
+func TestValidatorJNL(t *testing.T) {
+	u, err := jnl.Parse(`eq(/name/first, "John") && ![/salary]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewValidatorJNL(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := v.Validate(strings.NewReader(`{"name":{"first":"John"},"age":32}`))
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	ok, err = v.Validate(strings.NewReader(`{"name":{"first":"Jane"}}`))
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// Outside the fragment: EQ(α,β) has no JSL counterpart.
+	bad, err := jnl.Parse(`eq(/a, /b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewValidatorJNL(bad); err == nil {
+		t.Fatal("EQ(α,β) must be rejected")
+	}
+}
+
+// errReader emits data up to failAt bytes, then fails with a non-EOF
+// error, simulating a dropped connection mid-document.
+type errReader struct {
+	data   []byte
+	failAt int
+	pos    int
+}
+
+var errDropped = fmt.Errorf("connection dropped")
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.pos >= r.failAt {
+		return 0, errDropped
+	}
+	limit := r.failAt
+	if limit > len(r.data) {
+		limit = len(r.data)
+	}
+	if r.pos >= limit {
+		return 0, errDropped
+	}
+	n := copy(p, r.data[r.pos:limit])
+	r.pos += n
+	return n, nil
+}
+
+func TestValidateReaderFailure(t *testing.T) {
+	v, err := NewValidatorFormula(jsl.IsObj{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `{"a":[1,2,3],"b":{"c":"x"}}`
+	// Drop the connection at every prefix length: the validator must
+	// surface an error, never a verdict, for truncated input.
+	for cut := 0; cut < len(doc); cut++ {
+		_, err := v.Validate(&errReader{data: []byte(doc), failAt: cut})
+		if err == nil {
+			t.Fatalf("cut at %d: expected an error", cut)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package translate implements the Theorem 2 translations between the
+// JSON navigational logic (JNL) and the JSON schema logic (JSL): the two
+// logics are equivalent on the common fragment — non-deterministic,
+// non-recursive JNL without the binary equality EQ(α,β) on one side, and
+// JSL whose only node test is ~(A) on the other.
+//
+// JSLToJNL is the polynomial direction of the theorem. JNLToJSL is
+// implemented in continuation-passing style: a binary formula α is
+// translated relative to a continuation K as "some α-successor satisfies
+// K", which replaces the paper's explicit top-symbol (⊤_φ, ⊤*)
+// substitution machinery and keeps this direction linear as well
+// (binary JNL formulas have no union operator, so every top symbol
+// occurs exactly once and substitution never duplicates).
+package translate
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+)
+
+// JSLToJNL translates a JSL formula into an equivalent unary JNL
+// formula. Only the Theorem 2 fragment is accepted: boolean structure,
+// ⊤, the ~(A) node test, and the four modalities. Other node tests
+// (kinds, Pattern, Min, …) have no JNL counterpart and yield an error,
+// as do references.
+func JSLToJNL(f jsl.Formula) (jnl.Unary, error) {
+	switch t := f.(type) {
+	case jsl.True:
+		return jnl.True{}, nil
+	case jsl.Not:
+		inner, err := JSLToJNL(t.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return jnl.Not{Inner: inner}, nil
+	case jsl.And:
+		l, err := JSLToJNL(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := JSLToJNL(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return jnl.And{Left: l, Right: r}, nil
+	case jsl.Or:
+		l, err := JSLToJNL(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := JSLToJNL(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return jnl.Or{Left: l, Right: r}, nil
+	case jsl.EqDoc:
+		// ~(A) becomes EQ(ε, A).
+		return jnl.EQDoc{Path: jnl.Epsilon{}, Doc: t.Doc}, nil
+	case jsl.DiamondKey:
+		inner, err := JSLToJNL(t.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return jnl.Exists{Path: jnl.Concat{Left: axisForKey(t), Right: jnl.Test{Inner: inner}}}, nil
+	case jsl.DiamondIdx:
+		inner, err := JSLToJNL(t.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return jnl.Exists{Path: jnl.Concat{Left: axisForIdx(t.Lo, t.Hi), Right: jnl.Test{Inner: inner}}}, nil
+	case jsl.BoxKey:
+		// ◻_e φ ≡ ¬◇_e ¬φ.
+		return JSLToJNL(jsl.Not{Inner: jsl.DiamondKey{Re: t.Re, Word: t.Word, IsWord: t.IsWord, Inner: jsl.Not{Inner: t.Inner}}})
+	case jsl.BoxIdx:
+		return JSLToJNL(jsl.Not{Inner: jsl.DiamondIdx{Lo: t.Lo, Hi: t.Hi, Inner: jsl.Not{Inner: t.Inner}}})
+	default:
+		return nil, fmt.Errorf("translate: %T is outside the Theorem 2 fragment (JSL node tests other than ~(A) have no JNL counterpart)", f)
+	}
+}
+
+func axisForKey(t jsl.DiamondKey) jnl.Binary {
+	if t.IsWord {
+		return jnl.KeyAxis{Word: t.Word}
+	}
+	return jnl.RegexAxis{Re: t.Re}
+}
+
+func axisForIdx(lo, hi int) jnl.Binary {
+	if lo == hi {
+		return jnl.IndexAxis{Index: lo}
+	}
+	j := hi
+	if hi == jsl.Inf {
+		j = jnl.Inf
+	}
+	return jnl.RangeAxis{Lo: lo, Hi: j}
+}
+
+// JNLToJSL translates a unary JNL formula into an equivalent JSL
+// formula. Only the Theorem 2 fragment is accepted: EQ(α,β) and the
+// Kleene star (recursive JNL) are rejected — JSL cannot express
+// subtree-to-subtree comparison, and non-recursive JSL cannot express
+// unbounded navigation.
+func JNLToJSL(u jnl.Unary) (jsl.Formula, error) {
+	switch t := u.(type) {
+	case jnl.True:
+		return jsl.True{}, nil
+	case jnl.Not:
+		inner, err := JNLToJSL(t.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return jsl.Not{Inner: inner}, nil
+	case jnl.And:
+		l, err := JNLToJSL(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := JNLToJSL(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return jsl.And{Left: l, Right: r}, nil
+	case jnl.Or:
+		l, err := JNLToJSL(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := JNLToJSL(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return jsl.Or{Left: l, Right: r}, nil
+	case jnl.Exists:
+		return pathToJSL(t.Path, jsl.True{})
+	case jnl.EQDoc:
+		return pathToJSL(t.Path, jsl.EqDoc{Doc: t.Doc})
+	case jnl.EQPaths:
+		return nil, fmt.Errorf("translate: EQ(α,β) is outside the Theorem 2 fragment (JSL cannot compare two subtrees)")
+	default:
+		return nil, fmt.Errorf("translate: unknown JNL unary %T", u)
+	}
+}
+
+// pathToJSL translates binary α with continuation K: the result holds at
+// node n iff some α-successor of n satisfies K.
+func pathToJSL(b jnl.Binary, k jsl.Formula) (jsl.Formula, error) {
+	switch t := b.(type) {
+	case jnl.Epsilon:
+		return k, nil
+	case jnl.KeyAxis:
+		return jsl.DiaWord(t.Word, k), nil
+	case jnl.RegexAxis:
+		return jsl.DiaRe(t.Re, k), nil
+	case jnl.IndexAxis:
+		if t.Index < 0 {
+			return nil, fmt.Errorf("translate: negative array index %d has no JSL counterpart (JSL indices are absolute)", t.Index)
+		}
+		return jsl.DiaAt(t.Index, k), nil
+	case jnl.RangeAxis:
+		hi := t.Hi
+		if hi == jnl.Inf {
+			hi = jsl.Inf
+		}
+		return jsl.DiamondIdx{Lo: t.Lo, Hi: hi, Inner: k}, nil
+	case jnl.Test:
+		inner, err := JNLToJSL(t.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return jsl.And{Left: inner, Right: k}, nil
+	case jnl.Concat:
+		right, err := pathToJSL(t.Right, k)
+		if err != nil {
+			return nil, err
+		}
+		return pathToJSL(t.Left, right)
+	case jnl.Alt:
+		// A union of paths duplicates the continuation — this is the
+		// source of the exponential blowup noted after Theorem 2.
+		l, err := pathToJSL(t.Left, k)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pathToJSL(t.Right, k)
+		if err != nil {
+			return nil, err
+		}
+		return jsl.Or{Left: l, Right: r}, nil
+	case jnl.Star:
+		return nil, fmt.Errorf("translate: Kleene star is outside the Theorem 2 fragment (non-recursive JSL)")
+	default:
+		return nil, fmt.Errorf("translate: unknown JNL binary %T", b)
+	}
+}

@@ -1,0 +1,331 @@
+package translate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+func TestJSLToJNLExamples(t *testing.T) {
+	cases := []struct {
+		jslSrc string
+		doc    string
+		want   bool
+	}{
+		{`some("name", eq("Sue"))`, `{"name":"Sue"}`, true},
+		{`some("name", eq("Sue"))`, `{"name":"Bob"}`, false},
+		{`all(~".*", eq(1))`, `{"a":1,"b":1}`, true},
+		{`all(~".*", eq(1))`, `{"a":1,"b":2}`, false},
+		{`some([0:], eq("yoga"))`, `["fishing","yoga"]`, true},
+		{`some([0:], eq("yoga"))`, `["fishing"]`, false},
+		{`eq({"x":[1]})`, `{"x":[1]}`, true},
+		{`!some("a", true) || some("a", eq(2))`, `{"a":2}`, true},
+	}
+	for _, tc := range cases {
+		f := jsl.MustParse(tc.jslSrc)
+		u, err := JSLToJNL(f)
+		if err != nil {
+			t.Errorf("JSLToJNL(%s): %v", tc.jslSrc, err)
+			continue
+		}
+		tr := jsontree.MustParse(tc.doc)
+		if got := jnl.Holds(tr, u, tr.Root()); got != tc.want {
+			t.Errorf("%s on %s via JNL: got %v want %v (JNL: %s)", tc.jslSrc, tc.doc, got, tc.want, jnl.String(u))
+		}
+	}
+}
+
+func TestJNLToJSLExamples(t *testing.T) {
+	cases := []struct {
+		jnlSrc string
+		doc    string
+		want   bool
+	}{
+		{`[/name/first]`, `{"name":{"first":"x"}}`, true},
+		{`[/name/first]`, `{"name":{}}`, false},
+		{`eq(/age, 32)`, `{"age":32}`, true},
+		{`eq(/age, 32)`, `{"age":33}`, false},
+		{`[/~"h.*" /[0:] <eq(eps, "yoga")>]`, `{"hobbies":["yoga"]}`, true},
+		{`[/~"h.*" /[0:] <eq(eps, "golf")>]`, `{"hobbies":["yoga"]}`, false},
+		{`[/a <[/b]> /c]`, `{"a":{"b":1,"c":2}}`, true},
+		{`[/a <[/b]> /c]`, `{"a":{"c":2}}`, false},
+	}
+	for _, tc := range cases {
+		u := jnl.MustParse(tc.jnlSrc)
+		f, err := JNLToJSL(u)
+		if err != nil {
+			t.Errorf("JNLToJSL(%s): %v", tc.jnlSrc, err)
+			continue
+		}
+		tr := jsontree.MustParse(tc.doc)
+		got, err := jsl.Holds(tr, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s on %s via JSL: got %v want %v (JSL: %s)", tc.jnlSrc, tc.doc, got, tc.want, jsl.String(f))
+		}
+	}
+}
+
+func TestOutsideFragmentRejected(t *testing.T) {
+	if _, err := JNLToJSL(jnl.MustParse(`eq(/a, /b)`)); err == nil {
+		t.Error("EQ(α,β) must be rejected")
+	}
+	if _, err := JNLToJSL(jnl.MustParse(`[(/a)*]`)); err == nil {
+		t.Error("Kleene star must be rejected")
+	}
+	if _, err := JSLToJNL(jsl.MustParse(`string`)); err == nil {
+		t.Error("kind node tests must be rejected")
+	}
+	if _, err := JSLToJNL(jsl.MustParse(`unique`)); err == nil {
+		t.Error("Unique must be rejected")
+	}
+	if _, err := JSLToJNL(jsl.MustParse(`min(3)`)); err == nil {
+		t.Error("Min must be rejected")
+	}
+}
+
+// Generators restricted to the Theorem 2 fragment.
+
+func fragmentJSL(r *rand.Rand, depth int) jsl.Formula {
+	if depth == 0 {
+		if r.Intn(2) == 0 {
+			return jsl.True{}
+		}
+		return jsl.EqDoc{Doc: fragmentDoc(r, 1)}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return jsl.Not{Inner: fragmentJSL(r, depth-1)}
+	case 1:
+		return jsl.And{Left: fragmentJSL(r, depth-1), Right: fragmentJSL(r, depth-1)}
+	case 2:
+		return jsl.Or{Left: fragmentJSL(r, depth-1), Right: fragmentJSL(r, depth-1)}
+	case 3:
+		return jsl.DiaWord(fkey(r), fragmentJSL(r, depth-1))
+	case 4:
+		return jsl.BoxRe(relang.MustCompile(fkey(r)+".*"), fragmentJSL(r, depth-1))
+	case 5:
+		return jsl.DiamondIdx{Lo: r.Intn(2), Hi: jsl.Inf, Inner: fragmentJSL(r, depth-1)}
+	case 6:
+		return jsl.BoxIdx{Lo: 0, Hi: r.Intn(3), Inner: fragmentJSL(r, depth-1)}
+	default:
+		return fragmentJSL(r, 0)
+	}
+}
+
+func fragmentJNL(r *rand.Rand, depth int) jnl.Unary {
+	if depth == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return jnl.True{}
+		case 1:
+			return jnl.Exists{Path: fragmentPath(r, 1)}
+		default:
+			return jnl.EQDoc{Path: fragmentPath(r, 1), Doc: fragmentDoc(r, 1)}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return jnl.Not{Inner: fragmentJNL(r, depth-1)}
+	case 1:
+		return jnl.And{Left: fragmentJNL(r, depth-1), Right: fragmentJNL(r, depth-1)}
+	case 2:
+		return jnl.Or{Left: fragmentJNL(r, depth-1), Right: fragmentJNL(r, depth-1)}
+	case 3:
+		return jnl.Exists{Path: fragmentPath(r, depth)}
+	case 4:
+		return jnl.EQDoc{Path: fragmentPath(r, depth), Doc: fragmentDoc(r, 1)}
+	default:
+		return fragmentJNL(r, 0)
+	}
+}
+
+func fragmentPath(r *rand.Rand, depth int) jnl.Binary {
+	if depth == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return jnl.Epsilon{}
+		case 1:
+			return jnl.KeyAxis{Word: fkey(r)}
+		case 2:
+			return jnl.RegexAxis{Re: relang.MustCompile(fkey(r) + ".*")}
+		default:
+			return jnl.IndexAxis{Index: r.Intn(3)}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return jnl.Concat{Left: fragmentPath(r, depth-1), Right: fragmentPath(r, depth-1)}
+	case 1:
+		return jnl.Test{Inner: fragmentJNL(r, depth-1)}
+	default:
+		return jnl.RangeAxis{Lo: r.Intn(2), Hi: jnl.Inf}
+	}
+}
+
+func fkey(r *rand.Rand) string { return string(rune('a' + r.Intn(3))) }
+
+func fragmentDoc(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return jsonval.Num(uint64(r.Intn(4)))
+		}
+		return jsonval.Str(fkey(r))
+	}
+	n := r.Intn(3)
+	if r.Intn(2) == 0 {
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = fragmentDoc(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	var members []jsonval.Member
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := fkey(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		members = append(members, jsonval.Member{Key: k, Value: fragmentDoc(r, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
+
+type t2Case struct {
+	jslF jsl.Formula
+	jnlF jnl.Unary
+	doc  *jsonval.Value
+}
+
+func (t2Case) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(t2Case{fragmentJSL(r, 2), fragmentJNL(r, 2), fragmentDoc(r, 3)})
+}
+
+// TestTheorem2Equivalence checks both translation directions preserve
+// semantics on random fragment formulas and documents.
+func TestTheorem2Equivalence(t *testing.T) {
+	f := func(c t2Case) bool {
+		tr := jsontree.FromValue(c.doc)
+		// JSL → JNL.
+		u, err := JSLToJNL(c.jslF)
+		if err != nil {
+			t.Logf("JSLToJNL: %v", err)
+			return false
+		}
+		wantJSL, err := jsl.Holds(tr, c.jslF)
+		if err != nil {
+			return false
+		}
+		if jnl.Holds(tr, u, tr.Root()) != wantJSL {
+			t.Logf("JSL→JNL mismatch on %s / doc %s", jsl.String(c.jslF), c.doc)
+			return false
+		}
+		// JNL → JSL.
+		g, err := JNLToJSL(c.jnlF)
+		if err != nil {
+			t.Logf("JNLToJSL: %v", err)
+			return false
+		}
+		wantJNL := jnl.Holds(tr, c.jnlF, tr.Root())
+		gotJSL, err := jsl.Holds(tr, g)
+		if err != nil {
+			return false
+		}
+		if gotJSL != wantJNL {
+			t.Logf("JNL→JSL mismatch on %s / doc %s (JSL: %s)", jnl.String(c.jnlF), c.doc, jsl.String(g))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTranslationSizeLinear documents that the continuation-passing
+// implementation of Theorem 2's JNL→JSL direction stays linear on
+// composition chains (the paper's substitution-based procedure is
+// exponential in the worst case; with no binary union in JNL the
+// continuation is never duplicated).
+func TestTranslationSizeLinear(t *testing.T) {
+	path := jnl.Binary(jnl.Epsilon{})
+	for i := 0; i < 40; i++ {
+		path = jnl.Concat{Left: jnl.Test{Inner: jnl.Or{
+			Left:  jnl.Exists{Path: jnl.KeyAxis{Word: "a"}},
+			Right: jnl.Exists{Path: jnl.KeyAxis{Word: "b"}},
+		}}, Right: path}
+	}
+	u := jnl.Exists{Path: path}
+	f, err := JNLToJSL(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSize := jnl.Size(u)
+	outSize := jsl.Size(f)
+	if outSize > 4*inSize {
+		t.Errorf("translation blew up: |JNL|=%d |JSL|=%d", inSize, outSize)
+	}
+}
+
+// TestJNLToJSLPathConstructors covers every binary constructor of the
+// Theorem 2 fragment, checked semantically over sample documents.
+func TestJNLToJSLPathConstructors(t *testing.T) {
+	docs := []string{
+		`{"a":{"b":1},"cd":[5,6,7]}`,
+		`{"cd":[{"x":1}]}`,
+		`[]`, `7`, `{"a":1}`,
+	}
+	paths := []jnl.Binary{
+		jnl.Epsilon{},
+		jnl.Key("a"),
+		jnl.Rx("c."),
+		jnl.At(1),
+		jnl.Range(0, 2),
+		jnl.RangeAxis{Lo: 1, Hi: jnl.Inf},
+		jnl.Concat{Left: jnl.Key("a"), Right: jnl.Key("b")},
+		jnl.Alt{Left: jnl.Key("a"), Right: jnl.Rx("c.*")},
+		jnl.Concat{Left: jnl.Test{Inner: jnl.Exists{Path: jnl.Key("a")}}, Right: jnl.Key("a")},
+	}
+	for _, p := range paths {
+		u := jnl.Exists{Path: p}
+		f, err := JNLToJSL(u)
+		if err != nil {
+			t.Errorf("%s: %v", jnl.StringBinary(p), err)
+			continue
+		}
+		for _, d := range docs {
+			tree := jsontree.MustParse(d)
+			want := jnl.Holds(tree, u, tree.Root())
+			got, err := jsl.Holds(tree, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("path %s over %s: JSL %v, JNL %v", jnl.StringBinary(p), d, got, want)
+			}
+		}
+	}
+}
+
+func TestJNLToJSLRejections(t *testing.T) {
+	for _, u := range []jnl.Unary{
+		jnl.EQPaths{Left: jnl.Key("a"), Right: jnl.Key("b")},
+		jnl.Exists{Path: jnl.Star{Inner: jnl.Key("a")}},
+		jnl.Exists{Path: jnl.At(-1)},
+	} {
+		if _, err := JNLToJSL(u); err == nil {
+			t.Errorf("%s: expected rejection", jnl.String(u))
+		}
+	}
+}

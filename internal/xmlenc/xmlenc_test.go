@@ -1,0 +1,215 @@
+package xmlenc
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jsonlogic/internal/jsonval"
+)
+
+func TestEncodeShape(t *testing.T) {
+	doc := jsonval.MustParse(`{"name":{"first":"John"},"hobbies":["fishing","yoga"],"age":32}`)
+	root := Encode(doc)
+	if root.Label != LabelRoot {
+		t.Errorf("root label = %q", root.Label)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("root has %d children", len(root.Children))
+	}
+	name := root.ChildByKeyScan("name")
+	if name == nil || len(name.Children) != 1 {
+		t.Fatal("name member not encoded")
+	}
+	first := name.ChildByKeyScan("first")
+	if first == nil || !first.IsText || first.Text != "John" {
+		t.Fatalf("first = %+v", first)
+	}
+	hobbies := root.ChildByKeyScan("hobbies")
+	if hobbies == nil || len(hobbies.Children) != 2 {
+		t.Fatal("hobbies not encoded as two items")
+	}
+	for _, c := range hobbies.Children {
+		if c.Label != LabelItem {
+			t.Errorf("array child labelled %q", c.Label)
+		}
+	}
+	if hobbies.ChildAt(1).Text != "yoga" {
+		t.Errorf("hobbies[1] = %+v", hobbies.ChildAt(1))
+	}
+	if hobbies.ChildAt(2) != nil || hobbies.ChildAt(-1) != nil {
+		t.Error("out-of-range ChildAt must return nil")
+	}
+}
+
+func TestSiblingTraversal(t *testing.T) {
+	// The XML encoding exposes sibling order; JSON trees do not.
+	doc := jsonval.MustParse(`[10,20,30]`)
+	root := Encode(doc)
+	first := root.ChildAt(0)
+	second := first.NextSibling()
+	third := second.NextSibling()
+	if second.Num != 20 || third.Num != 30 {
+		t.Fatalf("sibling traversal broken: %v %v", second, third)
+	}
+	if third.NextSibling() != nil {
+		t.Error("last sibling must have no next")
+	}
+	if third.PrevSibling() != second || first.PrevSibling() != nil {
+		t.Error("PrevSibling broken")
+	}
+	if second.Parent() != root {
+		t.Error("Parent broken")
+	}
+	if root.Parent() != nil {
+		t.Error("root must have no parent")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(c docCase) bool {
+		enc := Encode(c.doc)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Logf("decode(%s): %v", c.doc, err)
+			return false
+		}
+		// Empty arrays decode as empty objects — the documented
+		// lossiness of the encoding. Normalise before comparing.
+		return jsonval.Equal(normaliseEmpty(c.doc), normaliseEmpty(dec))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normaliseEmpty replaces empty arrays by empty objects everywhere.
+func normaliseEmpty(v *jsonval.Value) *jsonval.Value {
+	switch v.Kind() {
+	case jsonval.Array:
+		if v.Len() == 0 {
+			return jsonval.MustObj()
+		}
+		elems := make([]*jsonval.Value, v.Len())
+		for i, e := range v.Elems() {
+			elems[i] = normaliseEmpty(e)
+		}
+		return jsonval.Arr(elems...)
+	case jsonval.Object:
+		members := make([]jsonval.Member, 0, v.Len())
+		for _, m := range v.Members() {
+			members = append(members, jsonval.Member{Key: m.Key, Value: normaliseEmpty(m.Value)})
+		}
+		return jsonval.MustObj(members...)
+	default:
+		return v
+	}
+}
+
+func TestDecodeRejectsMixedChildren(t *testing.T) {
+	n := &Node{Label: LabelRoot}
+	k := &Node{Label: KeyPrefix + "a", IsNum: true, Num: 1}
+	it := &Node{Label: LabelItem, IsNum: true, Num: 2}
+	n.Children = []*Node{k, it}
+	if _, err := Decode(n); err == nil {
+		t.Fatal("expected error for mixed key/item children")
+	}
+	n.Children = []*Node{it, k}
+	if _, err := Decode(n); err == nil {
+		t.Fatal("expected error for mixed item/key children")
+	}
+}
+
+func TestDecodeRejectsDuplicateKeys(t *testing.T) {
+	n := &Node{Label: LabelRoot}
+	n.Children = []*Node{
+		{Label: KeyPrefix + "a", IsNum: true, Num: 1},
+		{Label: KeyPrefix + "a", IsNum: true, Num: 2},
+	}
+	if _, err := Decode(n); err == nil {
+		t.Fatal("expected error for duplicate keys")
+	}
+}
+
+func TestSize(t *testing.T) {
+	doc := jsonval.MustParse(`{"a":[1,2],"b":"x"}`)
+	// root + k:a + two items + k:b = 5 (the key element is the value
+	// node in this encoding).
+	if got := Encode(doc).Size(); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+}
+
+func TestXMLRendering(t *testing.T) {
+	doc := jsonval.MustParse(`{"a<b":["x&y"],"n":7}`)
+	xml := Encode(doc).XML()
+	for _, want := range []string{"<json>", "</json>", "key-", "item", "&amp;"} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("XML output missing %q:\n%s", want, xml)
+		}
+	}
+	if strings.Contains(xml, "x&y") {
+		t.Error("unescaped text leaked into XML")
+	}
+}
+
+func TestKeyLookupAgreement(t *testing.T) {
+	// XML scan lookup and JSON tree lookup return the same member
+	// values for every key present.
+	f := func(c docCase) bool {
+		if !c.doc.IsObject() {
+			return true
+		}
+		enc := Encode(c.doc)
+		for _, m := range c.doc.Members() {
+			found := enc.ChildByKeyScan(m.Key)
+			if found == nil {
+				return false
+			}
+			dec, err := Decode(found)
+			if err != nil {
+				return false
+			}
+			if !jsonval.Equal(normaliseEmpty(m.Value), normaliseEmpty(dec)) {
+				return false
+			}
+		}
+		return enc.ChildByKeyScan("absent-key") == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type docCase struct{ doc *jsonval.Value }
+
+func (docCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(docCase{randDoc(r, 1+r.Intn(3))})
+}
+
+func randDoc(r *rand.Rand, depth int) *jsonval.Value {
+	if depth == 0 {
+		if r.Intn(2) == 0 {
+			return jsonval.Num(uint64(r.Intn(100)))
+		}
+		return jsonval.Str([]string{"x", "y&z", "<tag>"}[r.Intn(3)])
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(4)
+		elems := make([]*jsonval.Value, n)
+		for i := range elems {
+			elems[i] = randDoc(r, depth-1)
+		}
+		return jsonval.Arr(elems...)
+	}
+	keys := []string{"a", "b", "c d", "é"}
+	r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	n := r.Intn(4)
+	members := make([]jsonval.Member, 0, n)
+	for i := 0; i < n; i++ {
+		members = append(members, jsonval.Member{Key: keys[i], Value: randDoc(r, depth-1)})
+	}
+	return jsonval.MustObj(members...)
+}
