@@ -1,0 +1,31 @@
+# Development targets mirroring .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench bench-engine
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short native-fuzz pass over the engine's plan-cache key path.
+fuzz:
+	$(GO) test ./internal/engine/ -run FuzzPlanCache -fuzz FuzzPlanCache -fuzztime 20s
+
+# The full complexity-reproduction benchmark suite (slow).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 2x ./...
+
+# Just the engine layer: plan-cache hit/miss and batch parallelism.
+bench-engine:
+	$(GO) test -run xxx -bench 'BenchmarkEngine' ./...

@@ -12,10 +12,12 @@ package jsonlogic
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
 	"jsonlogic/internal/datalog"
+	"jsonlogic/internal/engine"
 	"jsonlogic/internal/gen"
 	"jsonlogic/internal/jauto"
 	"jsonlogic/internal/jnl"
@@ -580,6 +582,117 @@ func BenchmarkAblationXMLKeyLookup(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if enc.ChildByKeyScan(probe) == nil {
 					b.Fatal("missing key")
+				}
+			}
+		})
+	}
+}
+
+// --- Engine benchmarks (plan caching and batch parallelism) ---
+
+// BenchmarkEnginePlanCache measures what the plan cache saves: a cache
+// hit versus a full parse + translate + normalize per request, for each
+// front-end language. The "miss" series is the per-request cost every
+// front end paid before the engine layer existed.
+func BenchmarkEnginePlanCache(b *testing.B) {
+	queries := []struct {
+		lang engine.Language
+		src  string
+	}{
+		{engine.LangJNL, `[(/~"k.*")* <eq(/k1, 7)>] && !eq(/k2, "s1")`},
+		{engine.LangJSL, `object && some(~"k.*", (number && min(1)) || string)`},
+		{engine.LangJSONPath, `$..k1[?(@.k2 >= 3)]`},
+		{engine.LangMongoFind, `{"k1": {"$gte": 3}, "$or": [{"k2": "s1"}, {"k3.k4": {"$exists": 1}}]}`},
+	}
+	for _, q := range queries {
+		b.Run(fmt.Sprintf("%s/miss", q.lang), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Compile(q.lang, q.src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/hit", q.lang), func(b *testing.B) {
+			e := engine.New(engine.Options{})
+			if _, err := e.Compile(q.lang, q.src); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Compile(q.lang, q.src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// engineBatchTrees builds the document corpus shared by the batch
+// benchmarks: many mid-size random documents.
+func engineBatchTrees(count, size int) []*jsontree.Tree {
+	trees := make([]*jsontree.Tree, count)
+	for i := range trees {
+		trees[i] = jsontree.FromValue(gen.SizedDocument(int64(i+1), size))
+	}
+	return trees
+}
+
+// BenchmarkEngineEvalBatch compares a sequential evaluation loop
+// against the engine's worker-pool EvalBatch over the same shared plan.
+// On a multi-core host the parallel series divides by the worker count;
+// ns/op is per batch.
+func BenchmarkEngineEvalBatch(b *testing.B) {
+	plan := engine.MustCompile(engine.LangJNL, `[/~"k.*" /~"k.*"] || eq(/k1, 7)`)
+	trees := engineBatchTrees(64, 4000)
+	seq := engine.New(engine.Options{Workers: 1})
+	par := engine.New(engine.Options{}) // GOMAXPROCS workers
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := seq.EvalBatch(plan, trees); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("parallel/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := par.EvalBatch(plan, trees); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineValidateNDJSON measures the end-to-end NDJSON path —
+// tokenize, build trees through the pooled builders, validate — at one
+// and at GOMAXPROCS workers. B/op covers parsing and evaluation for the
+// whole batch.
+func BenchmarkEngineValidateNDJSON(b *testing.B) {
+	plan := engine.MustCompile(engine.LangMongoFind, `{"value": {"$lte": 4096}, "sensor": {"$type": "string"}}`)
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, `{"sensor":"s%d","value":%d,"status":"ok","seq":%d}`+"\n", i%32, i%4000, i)
+	}
+	input := sb.String()
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		e := engine.New(engine.Options{Workers: workers})
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(input)))
+			for i := 0; i < b.N; i++ {
+				results, err := e.ValidateReader(plan, strings.NewReader(input))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 2000 {
+					b.Fatalf("got %d results", len(results))
 				}
 			}
 		})

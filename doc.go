@@ -9,6 +9,17 @@
 // translations, J-automata with satisfiability procedures, and MongoDB
 // find-filter and JSONPath frontends compiled into the logics.
 //
+// On top of the formal core sits internal/engine, the production
+// evaluation layer: query sources in any front end (JNL, JSL, JSONPath,
+// MongoDB find) compile once into immutable plans held in a bounded LRU
+// cache, and a goroutine-safe API evaluates one plan over many
+// documents concurrently — per-call evaluator state keeps the
+// O(|J|·|φ|) bounds of Propositions 1 and 3 while letting trees and
+// plans be shared freely. Batch entry points fan a plan out over tree
+// slices and NDJSON streams with a worker pool; a differential test
+// harness pins the engine's results node-for-node to the reference
+// evaluators.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-versus-measured record of every reproduced result. The

@@ -4,13 +4,21 @@
 // statistics demonstrate the conjecture the paper closes with — for
 // deterministic schemas without uniqueItems, memory depends on nesting
 // depth, not on document size.
+//
+// The second half shows the complementary production shape: when the
+// stream is many small documents (NDJSON telemetry) rather than one
+// huge one, the engine layer compiles the schema once into a shared
+// plan and fans validation out over a worker pool.
 package main
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"time"
 
+	"jsonlogic/internal/engine"
 	"jsonlogic/internal/schema"
 	"jsonlogic/internal/stream"
 )
@@ -87,6 +95,52 @@ func main() {
 		fmt.Printf("%-24s readings=%-7d valid=%-5v tokens=%-8d max open frames=%d\n",
 			batch.name, batch.readings, ok, stats.Tokens, stats.MaxFrames)
 	}
+
+	// NDJSON batch validation: each reading arrives as its own
+	// document. The reading schema is compiled once into an engine
+	// plan; ValidateReader tokenizes and validates the lines in
+	// parallel, one pooled tree builder per worker.
+	readingSchema := schema.MustParse(`{
+		"type": "object",
+		"required": ["sensor", "value"],
+		"properties": {
+			"sensor": {"type": "string"},
+			"value": {"type": "number", "maximum": 4096},
+			"status": {"type": "string", "pattern": "ok|warn|fail"}
+		}
+	}`)
+	readingJSL, err := readingSchema.ToJSL()
+	if err != nil {
+		panic(err)
+	}
+	plan, err := engine.FromJSL("reading-schema", readingJSL)
+	if err != nil {
+		panic(err)
+	}
+	eng := engine.New(engine.Options{})
+
+	const readings = 50000
+	var sb strings.Builder
+	for i := 0; i < readings; i++ {
+		value := i % 4000
+		if i%9999 == 0 && i > 0 {
+			value = 100000 // violates the schema's maximum
+		}
+		fmt.Fprintf(&sb, `{"sensor":"s%d","value":%d,"status":"ok"}`+"\n", i%32, value)
+	}
+	start := time.Now()
+	results, err := eng.ValidateReader(plan, strings.NewReader(sb.String()))
+	if err != nil {
+		panic(err)
+	}
+	invalid := 0
+	for _, res := range results {
+		if res.Err != nil || !res.Valid {
+			invalid++
+		}
+	}
+	fmt.Printf("\nNDJSON batch: %d readings validated in %v on %d workers, %d invalid\n",
+		len(results), time.Since(start).Round(time.Millisecond), runtime.GOMAXPROCS(0), invalid)
 
 	// The tokenizer also works standalone, e.g. to count structure
 	// without validating.

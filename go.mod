@@ -1,0 +1,3 @@
+module jsonlogic
+
+go 1.24

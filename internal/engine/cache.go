@@ -1,0 +1,131 @@
+package engine
+
+import "sync"
+
+// planKey identifies a cached plan: the pair the issue of repeated
+// parsing is keyed on. Two queries with the same source text in
+// different languages are distinct plans.
+type planKey struct {
+	lang Language
+	src  string
+}
+
+// CacheStats is a point-in-time snapshot of plan-cache effectiveness.
+type CacheStats struct {
+	// Hits counts Compile calls served from the cache.
+	Hits uint64
+	// Misses counts Compile calls that had to compile.
+	Misses uint64
+	// Evictions counts plans dropped to respect the capacity bound.
+	Evictions uint64
+	// Entries is the number of plans currently cached.
+	Entries int
+	// Capacity is the configured bound.
+	Capacity int
+}
+
+// planCache is a bounded LRU of compiled plans, safe for concurrent
+// use. Recency is tracked with an intrusive doubly-linked list so both
+// lookup and insert are O(1); compilation itself runs outside the lock,
+// so a slow parse never blocks unrelated lookups.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[planKey]*cacheEntry
+	head    *cacheEntry // most recently used
+	tail    *cacheEntry // least recently used
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key        planKey
+	plan       *Plan
+	prev, next *cacheEntry
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, entries: make(map[planKey]*cacheEntry, capacity)}
+}
+
+// get returns the cached plan for key, marking it most recently used.
+func (c *planCache) get(key planKey) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.plan, true
+}
+
+// add inserts a freshly compiled plan. If another goroutine raced the
+// compile and inserted first, the incumbent wins (so all callers share
+// one plan) and is returned.
+func (c *planCache) add(key planKey, p *Plan) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.moveToFront(e)
+		return e.plan
+	}
+	e := &cacheEntry{key: key, plan: p}
+	c.entries[key] = e
+	c.pushFront(e)
+	for len(c.entries) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+		c.evictions++
+	}
+	return p
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Capacity:  c.cap,
+	}
+}
+
+func (c *planCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *planCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *planCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"jsonlogic/internal/jsontree"
+)
+
+// Options configure an Engine. The zero value selects sensible
+// defaults: a 256-plan cache and one worker per CPU.
+type Options struct {
+	// PlanCacheSize bounds the LRU plan cache (default 256).
+	PlanCacheSize int
+	// Workers bounds batch parallelism (default runtime.GOMAXPROCS(0)).
+	Workers int
+}
+
+// DefaultPlanCacheSize is the plan-cache bound used when Options leaves
+// PlanCacheSize zero.
+const DefaultPlanCacheSize = 256
+
+// Engine is the shared, goroutine-safe query service: it owns the plan
+// cache and the batch worker configuration. One Engine is intended to
+// be shared process-wide; all methods may be called concurrently.
+type Engine struct {
+	opts  Options
+	cache *planCache
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	if opts.PlanCacheSize <= 0 {
+		opts.PlanCacheSize = DefaultPlanCacheSize
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{opts: opts, cache: newPlanCache(opts.PlanCacheSize)}
+}
+
+// Compile returns the plan for (lang, src), compiling at most once per
+// cache residency. Concurrent compiles of the same source are
+// deduplicated at insert: every caller receives the same *Plan.
+// Compilation errors are not cached.
+func (e *Engine) Compile(lang Language, src string) (*Plan, error) {
+	key := planKey{lang: lang, src: src}
+	if p, ok := e.cache.get(key); ok {
+		return p, nil
+	}
+	p, err := Compile(lang, src)
+	if err != nil {
+		return nil, err
+	}
+	return e.cache.add(key, p), nil
+}
+
+// CacheStats returns a snapshot of the plan cache's counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// Eval runs the plan's node-selection semantics over one tree. The
+// plan may be shared; all mutable evaluation state is call-local.
+func (e *Engine) Eval(p *Plan, t *jsontree.Tree) ([]jsontree.NodeID, error) {
+	return p.eval(t)
+}
+
+// Validate runs the plan's boolean semantics over one tree.
+func (e *Engine) Validate(p *Plan, t *jsontree.Tree) (bool, error) {
+	return p.validate(t)
+}
+
+// EvalBatch evaluates one plan over many trees with a worker pool,
+// returning per-tree node selections in input order. The first
+// evaluation error (if any) is returned alongside the partial results.
+func (e *Engine) EvalBatch(p *Plan, trees []*jsontree.Tree) ([][]jsontree.NodeID, error) {
+	out := make([][]jsontree.NodeID, len(trees))
+	err := e.forEach(len(trees), func(i int) error {
+		nodes, err := p.eval(trees[i])
+		out[i] = nodes
+		return err
+	})
+	return out, err
+}
+
+// ValidateBatch validates many trees against one plan with a worker
+// pool, returning per-tree verdicts in input order.
+func (e *Engine) ValidateBatch(p *Plan, trees []*jsontree.Tree) ([]bool, error) {
+	out := make([]bool, len(trees))
+	err := e.forEach(len(trees), func(i int) error {
+		ok, err := p.validate(trees[i])
+		out[i] = ok
+		return err
+	})
+	return out, err
+}
+
+// forEach runs fn(0..n-1) over the engine's worker pool. Work is
+// distributed by an atomic counter so long and short items interleave
+// without static partitioning skew. The first error is kept.
+func (e *Engine) forEach(n int, fn func(i int) error) error {
+	workers := e.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonpath"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/mongoq"
+)
+
+// Language selects the front end a source text is compiled with.
+type Language uint8
+
+const (
+	// LangJNL is a unary JNL formula in the concrete syntax of
+	// jnl.Parse, e.g. "[/name/first]".
+	LangJNL Language = iota
+	// LangJSL is a (possibly recursive) JSL expression in the syntax of
+	// jsl.ParseRecursive, e.g. "object && some(\"name\", string)".
+	LangJSL
+	// LangJSONPath is a JSONPath expression, e.g. "$.store.book[*]".
+	LangJSONPath
+	// LangMongoFind is a MongoDB find-filter document, e.g.
+	// `{"age": {"$gt": 30}}`.
+	LangMongoFind
+)
+
+// String returns the canonical name of the language.
+func (l Language) String() string {
+	switch l {
+	case LangJNL:
+		return "jnl"
+	case LangJSL:
+		return "jsl"
+	case LangJSONPath:
+		return "jsonpath"
+	case LangMongoFind:
+		return "mongo"
+	}
+	return fmt.Sprintf("Language(%d)", uint8(l))
+}
+
+// ParseLanguage maps a language name ("jnl", "jsl", "jsonpath",
+// "mongo") to its Language, for command-line front ends.
+func ParseLanguage(name string) (Language, error) {
+	switch name {
+	case "jnl":
+		return LangJNL, nil
+	case "jsl":
+		return LangJSL, nil
+	case "jsonpath":
+		return LangJSONPath, nil
+	case "mongo", "mongofind":
+		return LangMongoFind, nil
+	}
+	return 0, fmt.Errorf("engine: unknown language %q", name)
+}
+
+// Plan is a compiled, immutable query: source parsed, translated into
+// the core logics, and validated once. A Plan never changes after
+// Compile and may be evaluated from any number of goroutines
+// concurrently; all per-evaluation mutable state lives in the
+// Engine.Eval/Validate call that uses it.
+type Plan struct {
+	lang   Language
+	source string
+
+	unary jnl.Unary      // LangJNL
+	rec   *jsl.Recursive // LangJSL and LangMongoFind
+	path  jnl.Binary     // LangJSONPath
+}
+
+// Language returns the plan's front-end language.
+func (p *Plan) Language() Language { return p.lang }
+
+// Source returns the source text the plan was compiled from.
+func (p *Plan) Source() string { return p.source }
+
+// Compile parses and compiles src under the given language without
+// consulting any cache. Engine.Compile is the cached entry point.
+func Compile(lang Language, src string) (*Plan, error) {
+	p := &Plan{lang: lang, source: src}
+	switch lang {
+	case LangJNL:
+		u, err := jnl.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		p.unary = u
+	case LangJSL:
+		r, err := jsl.ParseRecursive(src)
+		if err != nil {
+			return nil, err
+		}
+		// Well-formedness (guardedness, no dangling refs) is a property
+		// of the expression, so it is checked once here rather than on
+		// every evaluation.
+		if err := r.WellFormed(); err != nil {
+			return nil, err
+		}
+		p.rec = r
+	case LangJSONPath:
+		jp, err := jsonpath.Compile(src)
+		if err != nil {
+			return nil, err
+		}
+		p.path = jp.Binary()
+	case LangMongoFind:
+		f, err := mongoq.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		p.rec = jsl.NonRecursive(f.Formula())
+	default:
+		return nil, fmt.Errorf("engine: unknown language %d", lang)
+	}
+	return p, nil
+}
+
+// FromJSL wraps an already-built recursive JSL expression in a Plan,
+// for pipelines that translate into JSL rather than parse it — notably
+// the Theorem 1 JSON Schema translation. The label stands in for the
+// source text (such plans are not cache-keyed by the engine; callers
+// hold and share the *Plan themselves). The expression must not be
+// mutated afterwards.
+func FromJSL(label string, r *jsl.Recursive) (*Plan, error) {
+	if err := r.WellFormed(); err != nil {
+		return nil, err
+	}
+	return &Plan{lang: LangJSL, source: label, rec: r}, nil
+}
+
+// MustCompile is Compile but panics on error; for statically known
+// queries in tests and examples.
+func MustCompile(lang Language, src string) *Plan {
+	p, err := Compile(lang, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// eval computes the plan's node-selection semantics over one tree,
+// creating all mutable evaluator state locally so concurrent calls on a
+// shared plan never interfere:
+//
+//   - JNL: the nodes satisfying the unary formula (jnl.Evaluator.Eval).
+//   - JSONPath: the nodes selected from the root (jnl.Evaluator.Select).
+//   - JSL: the nodes whose subtree satisfies the expression, per the
+//     (json(n), n) |= Δ relation of Lemma 3.
+//   - Mongo find: the nodes whose subtree matches the filter (the root
+//     node's membership is the find() answer for the document).
+func (p *Plan) eval(t *jsontree.Tree) ([]jsontree.NodeID, error) {
+	switch p.lang {
+	case LangJNL:
+		return jnl.NewEvaluator(t).Eval(p.unary).Slice(), nil
+	case LangJSONPath:
+		return jnl.NewEvaluator(t).Select(p.path, t.Root()), nil
+	case LangJSL, LangMongoFind:
+		// Well-formedness was checked at compile time, so the per-call
+		// re-check is skipped.
+		sets, err := jsl.NewEvaluator(t).EvalRecursivePrechecked(p.rec)
+		if err != nil {
+			return nil, err
+		}
+		var out []jsontree.NodeID
+		for i, ok := range sets {
+			if ok {
+				out = append(out, jsontree.NodeID(i))
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("engine: unknown language %d", p.lang)
+}
+
+// validate computes the plan's boolean semantics over one tree:
+//
+//   - JNL: does the root satisfy the formula (J |= φ at ε).
+//   - JSONPath: does the path select at least one node.
+//   - JSL: does the document satisfy the expression (J |= Δ).
+//   - Mongo find: does the document match the filter.
+func (p *Plan) validate(t *jsontree.Tree) (bool, error) {
+	switch p.lang {
+	case LangJNL:
+		return jnl.NewEvaluator(t).Holds(p.unary, t.Root()), nil
+	case LangJSONPath:
+		return len(jnl.NewEvaluator(t).Select(p.path, t.Root())) > 0, nil
+	case LangJSL, LangMongoFind:
+		sets, err := jsl.NewEvaluator(t).EvalRecursivePrechecked(p.rec)
+		if err != nil {
+			return false, err
+		}
+		return sets[t.Root()], nil
+	}
+	return false, fmt.Errorf("engine: unknown language %d", p.lang)
+}

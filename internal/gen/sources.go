@@ -1,0 +1,333 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Random query-source generators for the differential test harness:
+// each returns a source string guaranteed to be accepted by its front
+// end's parser (jnl.Parse, jsl.ParseRecursive, jsonpath.Compile,
+// mongoq.Parse). Sources probe the keys k0..k{Keys-1}, string leaves
+// s0..s{ValueRange-1} and number leaves 0..ValueRange-1 emitted by
+// Document, so queries regularly hit the generated trees instead of
+// vacuously selecting nothing.
+//
+// Generating concrete syntax rather than ASTs is deliberate: the
+// engine's plan cache is keyed by source text, so these generators
+// exercise the full parse → plan → cache → evaluate pipeline, and
+// repeated draws of the same source exercise cache hits.
+
+func randKey(r *rand.Rand) string { return fmt.Sprintf("k%d", r.Intn(12)) }
+func randStr(r *rand.Rand) string { return fmt.Sprintf("s%d", r.Intn(20)) }
+func randNum(r *rand.Rand) uint64 { return uint64(r.Intn(20)) }
+func randRegex(r *rand.Rand) string {
+	switch r.Intn(4) {
+	case 0:
+		return ".*"
+	case 1:
+		return "k.*"
+	case 2:
+		return fmt.Sprintf("k%d|k%d", r.Intn(12), r.Intn(12))
+	default:
+		return "k(0|1|2|3).*"
+	}
+}
+
+// randJSONLiteral emits a small JSON constant in the paper's value
+// model (naturals, strings, arrays, objects).
+func randJSONLiteral(r *rand.Rand, depth int) string {
+	if depth == 0 || r.Intn(3) > 0 {
+		if r.Intn(2) == 0 {
+			return fmt.Sprintf("%d", randNum(r))
+		}
+		return fmt.Sprintf("%q", randStr(r))
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(3)
+		elems := make([]string, n)
+		for i := range elems {
+			elems[i] = randJSONLiteral(r, depth-1)
+		}
+		return "[" + strings.Join(elems, ",") + "]"
+	}
+	n := r.Intn(3)
+	members := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := randKey(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		members = append(members, fmt.Sprintf("%q:%s", k, randJSONLiteral(r, depth-1)))
+	}
+	return "{" + strings.Join(members, ",") + "}"
+}
+
+// RandomJNLPathSource emits a binary JNL formula (a path expression) in
+// the concrete syntax of jnl.ParseBinary.
+func RandomJNLPathSource(r *rand.Rand, depth int) string {
+	n := 1 + r.Intn(3)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = randJNLElement(r, depth)
+	}
+	return strings.Join(parts, " ")
+}
+
+func randJNLElement(r *rand.Rand, depth int) string {
+	top := 5
+	if depth > 0 {
+		top = 8
+	}
+	switch r.Intn(top) {
+	case 0:
+		return "/" + randKey(r)
+	case 1:
+		return fmt.Sprintf("/%d", r.Intn(4))
+	case 2:
+		return fmt.Sprintf("/~%q", randRegex(r))
+	case 3:
+		if r.Intn(2) == 0 {
+			return fmt.Sprintf("/[%d:%d]", r.Intn(2), 1+r.Intn(4))
+		}
+		return fmt.Sprintf("/[%d:]", r.Intn(3))
+	case 4:
+		return "eps"
+	case 5:
+		return "<" + RandomJNLSource(r, depth-1) + ">"
+	case 6:
+		// Union of two short paths.
+		return "(" + RandomJNLPathSource(r, 0) + " | " + RandomJNLPathSource(r, 0) + ")"
+	default:
+		// Kleene star over a single axis keeps the product automaton
+		// small while still exercising recursion (Proposition 3).
+		return "(" + randJNLElement(r, 0) + ")*"
+	}
+}
+
+// RandomJNLSource emits a unary JNL formula in the concrete syntax of
+// jnl.Parse.
+func RandomJNLSource(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return "true"
+		case 1:
+			return "[" + RandomJNLPathSource(r, 0) + "]"
+		case 2:
+			return fmt.Sprintf("eq(%s, %s)", RandomJNLPathSource(r, 0), randJSONLiteral(r, 1))
+		default:
+			return fmt.Sprintf("eq(%s, %s)", RandomJNLPathSource(r, 0), RandomJNLPathSource(r, 0))
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return "!" + RandomJNLSource(r, 0)
+	case 1:
+		return "(" + RandomJNLSource(r, depth-1) + " && " + RandomJNLSource(r, depth-1) + ")"
+	case 2:
+		return "(" + RandomJNLSource(r, depth-1) + " || " + RandomJNLSource(r, depth-1) + ")"
+	case 3:
+		return "[" + RandomJNLPathSource(r, depth) + "]"
+	case 4:
+		return fmt.Sprintf("eq(%s, %s)", RandomJNLPathSource(r, depth-1), randJSONLiteral(r, 2))
+	default:
+		return RandomJNLSource(r, 0)
+	}
+}
+
+// randJSLKeyspec emits a keyspec: a key word, a key regex or an array
+// interval.
+func randJSLKeyspec(r *rand.Rand) string {
+	switch r.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%q", randKey(r))
+	case 1:
+		return fmt.Sprintf("~%q", randRegex(r))
+	default:
+		if r.Intn(2) == 0 {
+			return fmt.Sprintf("[%d:%d]", r.Intn(2), 1+r.Intn(4))
+		}
+		return fmt.Sprintf("[%d:]", r.Intn(3))
+	}
+}
+
+// RandomJSLSource emits a plain JSL formula in the concrete syntax of
+// jsl.Parse.
+func RandomJSLSource(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(10) {
+		case 0:
+			return "true"
+		case 1:
+			return "object"
+		case 2:
+			return "array"
+		case 3:
+			return "string"
+		case 4:
+			return "number"
+		case 5:
+			return "unique"
+		case 6:
+			return fmt.Sprintf("pattern(%q)", []string{"s.*", "s1|s2", "a.*b"}[r.Intn(3)])
+		case 7:
+			return fmt.Sprintf("%s(%d)", []string{"min", "max", "multOf", "minch", "maxch"}[r.Intn(5)], 1+r.Intn(6))
+		default:
+			return fmt.Sprintf("eq(%s)", randJSONLiteral(r, 1))
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return "!" + RandomJSLSource(r, 0)
+	case 1:
+		return "(" + RandomJSLSource(r, depth-1) + " && " + RandomJSLSource(r, depth-1) + ")"
+	case 2:
+		return "(" + RandomJSLSource(r, depth-1) + " || " + RandomJSLSource(r, depth-1) + ")"
+	case 3:
+		return fmt.Sprintf("some(%s, %s)", randJSLKeyspec(r), RandomJSLSource(r, depth-1))
+	case 4:
+		return fmt.Sprintf("all(%s, %s)", randJSLKeyspec(r), RandomJSLSource(r, depth-1))
+	default:
+		return RandomJSLSource(r, 0)
+	}
+}
+
+// RandomRecursiveJSLSource emits a well-formed recursive JSL expression
+// in the concrete syntax of jsl.ParseRecursive: every reference occurs
+// guarded under a modality, so the expression passes WellFormed. The
+// shapes are parameterized variants of the paper's Example 2 family.
+func RandomRecursiveJSLSource(r *rand.Rand, depth int) string {
+	inner := RandomJSLSource(r, depth)
+	switch r.Intn(3) {
+	case 0:
+		// Mutual recursion over all edges (even/odd path lengths).
+		return fmt.Sprintf(
+			"def g1 = all(~\".*\", g2) ; def g2 = (%s && all(~\".*\", g1)) ; g1",
+			inner)
+	case 1:
+		// Single guarded definition with a local condition.
+		return fmt.Sprintf(
+			"def reach = (%s || some(~%q, reach)) ; reach",
+			inner, randRegex(r))
+	default:
+		// Recursion through array intervals.
+		return fmt.Sprintf(
+			"def g = (!some([0:], true) || (%s && all([0:], g))) ; g",
+			inner)
+	}
+}
+
+// RandomJSONPathSource emits a JSONPath expression in the syntax of
+// jsonpath.Compile.
+func RandomJSONPathSource(r *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteByte('$')
+	steps := 1 + r.Intn(3)
+	for i := 0; i < steps; i++ {
+		switch r.Intn(9) {
+		case 0:
+			sb.WriteString("." + randKey(r))
+		case 1:
+			fmt.Fprintf(&sb, "['%s']", randKey(r))
+		case 2:
+			fmt.Fprintf(&sb, "[%d]", r.Intn(4))
+		case 3:
+			fmt.Fprintf(&sb, "[%d:%d]", r.Intn(2), 2+r.Intn(3))
+		case 4:
+			sb.WriteString(".*")
+		case 5:
+			sb.WriteString("[*]")
+		case 6:
+			sb.WriteString(".." + randKey(r))
+		case 7:
+			fmt.Fprintf(&sb, "[?(@.%s)]", randKey(r))
+		default:
+			op := []string{"==", "!=", ">", ">=", "<", "<="}[r.Intn(6)]
+			if op == "==" || op == "!=" {
+				if r.Intn(2) == 0 {
+					fmt.Fprintf(&sb, "[?(@.%s %s '%s')]", randKey(r), op, randStr(r))
+					continue
+				}
+			}
+			fmt.Fprintf(&sb, "[?(@.%s %s %d)]", randKey(r), op, randNum(r))
+		}
+	}
+	return sb.String()
+}
+
+// RandomMongoSource emits a MongoDB find filter in the subset supported
+// by mongoq.Parse. Paths use dot notation over the generator's key pool
+// (numeric segments address array elements).
+func RandomMongoSource(r *rand.Rand, depth int) string {
+	n := 1 + r.Intn(2)
+	members := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k, cond := randMongoCondition(r, depth)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		members = append(members, fmt.Sprintf("%q:%s", k, cond))
+	}
+	return "{" + strings.Join(members, ",") + "}"
+}
+
+func randMongoPath(r *rand.Rand) string {
+	segs := 1 + r.Intn(2)
+	parts := make([]string, segs)
+	for i := range parts {
+		if r.Intn(5) == 0 {
+			parts[i] = fmt.Sprintf("%d", r.Intn(3))
+		} else {
+			parts[i] = randKey(r)
+		}
+	}
+	return strings.Join(parts, ".")
+}
+
+func randMongoCondition(r *rand.Rand, depth int) (key, cond string) {
+	if depth > 0 && r.Intn(5) == 0 {
+		op := []string{"$and", "$or", "$nor"}[r.Intn(3)]
+		n := 1 + r.Intn(2)
+		subs := make([]string, n)
+		for i := range subs {
+			subs[i] = RandomMongoSource(r, depth-1)
+		}
+		return op, "[" + strings.Join(subs, ",") + "]"
+	}
+	path := randMongoPath(r)
+	switch r.Intn(10) {
+	case 0:
+		return path, fmt.Sprintf("%d", randNum(r))
+	case 1:
+		return path, fmt.Sprintf("%q", randStr(r))
+	case 2:
+		op := []string{"$gt", "$gte", "$lt", "$lte"}[r.Intn(4)]
+		return path, fmt.Sprintf(`{%q:%d}`, op, randNum(r))
+	case 3:
+		return path, fmt.Sprintf(`{"$ne":%s}`, randJSONLiteral(r, 1))
+	case 4:
+		return path, fmt.Sprintf(`{"$eq":%s}`, randJSONLiteral(r, 1))
+	case 5:
+		elems := make([]string, 1+r.Intn(3))
+		for i := range elems {
+			elems[i] = randJSONLiteral(r, 0)
+		}
+		op := []string{"$in", "$nin"}[r.Intn(2)]
+		return path, fmt.Sprintf(`{%q:[%s]}`, op, strings.Join(elems, ","))
+	case 6:
+		return path, fmt.Sprintf(`{"$exists":%d}`, r.Intn(2))
+	case 7:
+		return path, fmt.Sprintf(`{"$size":%d}`, r.Intn(4))
+	case 8:
+		kind := []string{"object", "array", "string", "number"}[r.Intn(4)]
+		return path, fmt.Sprintf(`{"$type":%q}`, kind)
+	default:
+		return path, fmt.Sprintf(`{"$not":{"$gte":%d}}`, randNum(r))
+	}
+}

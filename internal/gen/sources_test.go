@@ -1,0 +1,49 @@
+package gen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"jsonlogic/internal/gen"
+	"jsonlogic/internal/jnl"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsonpath"
+	"jsonlogic/internal/mongoq"
+)
+
+// Every random source must be accepted by its front end's parser — the
+// differential harness in internal/engine treats a parse failure as a
+// generator bug, so the contract is pinned here close to the generators.
+func TestRandomSourcesParse(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		usrc := gen.RandomJNLSource(r, 3)
+		if _, err := jnl.Parse(usrc); err != nil {
+			t.Fatalf("JNL generator emitted invalid source %q: %v", usrc, err)
+		}
+		bsrc := gen.RandomJNLPathSource(r, 2)
+		if _, err := jnl.ParseBinary(bsrc); err != nil {
+			t.Fatalf("JNL path generator emitted invalid source %q: %v", bsrc, err)
+		}
+		src := gen.RandomJSLSource(r, 3)
+		if _, err := jsl.Parse(src); err != nil {
+			t.Fatalf("JSL generator emitted invalid source %q: %v", src, err)
+		}
+		rsrc := gen.RandomRecursiveJSLSource(r, 2)
+		rec, err := jsl.ParseRecursive(rsrc)
+		if err != nil {
+			t.Fatalf("recursive JSL generator emitted invalid source %q: %v", rsrc, err)
+		}
+		if err := rec.WellFormed(); err != nil {
+			t.Fatalf("recursive JSL generator emitted ill-formed source %q: %v", rsrc, err)
+		}
+		psrc := gen.RandomJSONPathSource(r)
+		if _, err := jsonpath.Compile(psrc); err != nil {
+			t.Fatalf("JSONPath generator emitted invalid source %q: %v", psrc, err)
+		}
+		msrc := gen.RandomMongoSource(r, 2)
+		if _, err := mongoq.Parse(msrc); err != nil {
+			t.Fatalf("mongo generator emitted invalid source %q: %v", msrc, err)
+		}
+	}
+}

@@ -323,33 +323,6 @@ func (r *Recursive) WellFormed() error {
 	return nil
 }
 
-// topoDefs returns definition indices in an order where every unguarded
-// reference points to an earlier definition. WellFormed must hold.
-func (r *Recursive) topoDefs() []int {
-	g := r.PrecedenceGraph()
-	index := map[string]int{}
-	for i, d := range r.Defs {
-		index[d.Name] = i
-	}
-	var order []int
-	state := map[string]int{}
-	var visit func(string)
-	visit = func(n string) {
-		if state[n] != 0 {
-			return
-		}
-		state[n] = 1
-		for _, m := range g[n] {
-			visit(m)
-		}
-		order = append(order, index[n])
-	}
-	for _, d := range r.Defs {
-		visit(d.Name)
-	}
-	return order
-}
-
 // walkRefs calls fn for every Ref in the formula, guarded or not.
 func walkRefs(f Formula, fn func(string)) {
 	switch t := f.(type) {

@@ -78,6 +78,17 @@ func (ev *Evaluator) EvalRecursive(r *Recursive) ([]bool, error) {
 	return ev.evalRecursive(r)
 }
 
+// EvalRecursivePrechecked is EvalRecursive without the per-call
+// WellFormed re-check, for callers that validated the expression once
+// when it was built — the engine's plan layer compiles an expression
+// once and then evaluates it per document, where re-deriving the
+// precedence graph on every document is pure overhead. Behaviour on an
+// expression that was never checked is undefined (evaluation may panic
+// on an unguarded cycle).
+func (ev *Evaluator) EvalRecursivePrechecked(r *Recursive) ([]bool, error) {
+	return ev.evalRecursive(r)
+}
+
 // HoldsRecursive reports J |= Δ (satisfaction at the root).
 func (ev *Evaluator) HoldsRecursive(r *Recursive) (bool, error) {
 	sets, err := ev.EvalRecursive(r)
@@ -176,29 +187,18 @@ func (ev *Evaluator) evalRecursive(r *Recursive) ([]bool, error) {
 		byHeight[t.Height(id)] = append(byHeight[t.Height(id)], id)
 	}
 
-	// Subformula evaluation order per height level: definitions in
-	// precedence topological order (so unguarded refs are resolved),
-	// then the base. Within one body, ids are already post-ordered.
-	var evalOrder []int
-	inOrder := make([]bool, len(st.formulas))
-	appendBody := func(root int) {
-		// All subformulas with id ≤ root that belong to this body were
-		// appended contiguously by construction; just walk ids upward.
-		for id := 0; id <= root; id++ {
-			if !inOrder[id] {
-				evalOrder = append(evalOrder, id)
-				inOrder[id] = true
-			}
-		}
-	}
-	var topo []int
-	if len(r.Defs) > 0 {
-		topo = r.topoDefs()
-	}
-	for _, di := range topo {
-		appendBody(st.defRoot[di])
-	}
-	appendBody(st.baseRoot)
+	// Subformula evaluation order per height level: a topological sort
+	// over the *within-node* read dependencies. At one node, a
+	// connective reads its operands' columns at the same node and a Ref
+	// reads its definition root's column at the same node; modal
+	// operators read only the children's tables, which the ascending
+	// height sweep has already completed. Ordering whole bodies by the
+	// definition precedence graph is not enough: a body evaluated early
+	// may cache, under a modality, a connective over a Ref to a later
+	// definition, and that stale column is what the guarding modality
+	// reads from the parent height. Well-formedness (guarded cycles
+	// only) makes this dependency graph acyclic.
+	evalOrder := st.topoOrder()
 
 	for h := 0; h <= maxH; h++ {
 		for _, node := range byHeight[h] {
@@ -209,6 +209,54 @@ func (ev *Evaluator) evalRecursive(r *Recursive) ([]bool, error) {
 	}
 
 	return truth[st.resolve(st.baseRoot)], nil
+}
+
+// topoOrder returns all subformula ids sorted so that every id comes
+// after the same-node columns its evaluation reads: connectives after
+// their (resolved) operands, Refs after their definition roots. Modal
+// operators contribute no same-node edges. The sort is a DFS; a cycle
+// would require an unguarded reference cycle, which WellFormed rejects
+// before evaluation starts.
+func (st *subTable) topoOrder() []int {
+	deps := func(fid int) []int {
+		switch f := st.formulas[fid].(type) {
+		case Not:
+			return []int{st.resolve(st.id[f.Inner])}
+		case And:
+			return []int{st.resolve(st.id[f.Left]), st.resolve(st.id[f.Right])}
+		case Or:
+			return []int{st.resolve(st.id[f.Left]), st.resolve(st.id[f.Right])}
+		case Ref:
+			return []int{st.resolve(fid)}
+		}
+		return nil
+	}
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]uint8, len(st.formulas))
+	order := make([]int, 0, len(st.formulas))
+	var visit func(fid int)
+	visit = func(fid int) {
+		switch state[fid] {
+		case done:
+			return
+		case visiting:
+			panic("jsl: unguarded reference cycle survived WellFormed")
+		}
+		state[fid] = visiting
+		for _, d := range deps(fid) {
+			visit(d)
+		}
+		state[fid] = done
+		order = append(order, fid)
+	}
+	for fid := range st.formulas {
+		visit(fid)
+	}
+	return order
 }
 
 // resolve maps a subformula id to the id whose truth column actually

@@ -524,6 +524,41 @@ func (recCase) Generate(r *rand.Rand, size int) reflect.Value {
 
 func mustRe(p string) *relang.Regex { return relang.MustCompile(p) }
 
+// TestStaleRefColumnRegression pins the bug behind the per-subformula
+// evaluation order: a connective over a Ref (here !g2) sitting under a
+// modality in a body (or the base) evaluated before g2's definition
+// used to cache a stale column — the Ref's definition root at the same
+// node had not been written yet that pass — and the guarding modality
+// then read the stale value from the parent height. The counterexample
+// is the smallest shape the quick test used to find intermittently.
+func TestStaleRefColumnRegression(t *testing.T) {
+	src := `
+		def g1 = some(~".*", !g2) && all(~".*", unique) ;
+		def g2 = all([0:], min(0)) || some(~"a.*", string) ;
+		some(~"c.*", !g2)`
+	rec, err := ParseRecursive(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := jsontree.FromValue(jsonval.MustParse(`[{"b":{"c":8}},"a","c"]`))
+	sets, err := NewEvaluator(tr).EvalRecursive(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tr.Nodes() {
+		want := refHolds(rec, tr, n, rec.Base)
+		if sets[n] != want {
+			t.Errorf("node %d: bottom-up %v, reference %v", n, sets[n], want)
+		}
+	}
+	// The node the original failure reported: {"c":8}. Its only
+	// c-matching child is the number 8, where g2 holds vacuously via
+	// all([0:], …), so !g2 fails and the base must be false.
+	if sets[2] {
+		t.Error("stale Ref column resurfaced: base holds at {\"c\":8}")
+	}
+}
+
 // TestQuickDifferential checks the stratified bottom-up evaluator
 // against the direct reference implementation (which realizes reference
 // semantics by unfolding) on random documents and random well-formed

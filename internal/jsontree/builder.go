@@ -1,0 +1,258 @@
+package jsontree
+
+import (
+	"fmt"
+	"sort"
+
+	"jsonlogic/internal/jsonval"
+)
+
+// Builder constructs a Tree incrementally from a stream of structural
+// events, without materializing an intermediate jsonval.Value. It is the
+// bridge between the §6 streaming tokenizer and the in-memory evaluators:
+// the engine's NDJSON batch path feeds one Builder per worker, calling
+// Reset between documents so node arenas are reused.
+//
+// Events mirror JSON structure: BeginObject/EndObject, BeginArray/
+// EndArray, Key (before each object member's value), and the leaf events
+// String and Number. Trees produced by a Builder are indistinguishable
+// from FromValue construction: children of objects are key-sorted,
+// subtree hashes agree with jsonval.Value.Hash, and Tree.Validate holds.
+//
+// A Builder is not safe for concurrent use; pool one per goroutine.
+type Builder struct {
+	nodes []node
+	// stack holds the node ids of the open containers.
+	stack []NodeID
+	// pendingKey is the key of the next object member, set by Key.
+	pendingKey string
+	hasKey     bool
+	done       bool
+	err        error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Reset discards all state so the Builder can build another tree. The
+// node arena's capacity is retained across documents.
+func (b *Builder) Reset() {
+	b.nodes = b.nodes[:0]
+	b.stack = b.stack[:0]
+	b.pendingKey = ""
+	b.hasKey = false
+	b.done = false
+	b.err = nil
+}
+
+func (b *Builder) fail(format string, args ...any) error {
+	if b.err == nil {
+		b.err = fmt.Errorf("jsontree: builder: "+format, args...)
+	}
+	return b.err
+}
+
+// begin allocates a node for a value that starts now and attaches it to
+// the open container, returning its id.
+func (b *Builder) begin(kind Kind) (NodeID, error) {
+	if b.err != nil {
+		return InvalidNode, b.err
+	}
+	if b.done {
+		return InvalidNode, b.fail("value after the top-level value completed")
+	}
+	parent := InvalidNode
+	key := ""
+	pos := int32(0)
+	if len(b.stack) > 0 {
+		parent = b.stack[len(b.stack)-1]
+		p := &b.nodes[parent]
+		if p.kind == ObjectNode {
+			if !b.hasKey {
+				return InvalidNode, b.fail("object member without a key")
+			}
+			key = b.pendingKey
+			b.hasKey = false
+		} else {
+			if b.hasKey {
+				return InvalidNode, b.fail("key inside an array")
+			}
+		}
+		pos = int32(len(p.children))
+	} else if b.hasKey {
+		return InvalidNode, b.fail("key at top level")
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, node{kind: kind, parent: parent, key: key, pos: pos})
+	if parent != InvalidNode {
+		b.nodes[parent].children = append(b.nodes[parent].children, id)
+	}
+	return id, nil
+}
+
+// finish seals a completed value: leaves seal immediately, containers on
+// End. It computes the node's subtree hash/size/height and marks the
+// tree done when the root value completes.
+func (b *Builder) finish(id NodeID) {
+	if b.nodes[id].parent == InvalidNode {
+		b.done = true
+	}
+}
+
+// BeginObject opens an object value.
+func (b *Builder) BeginObject() error {
+	_, err := b.begin(ObjectNode)
+	if err == nil {
+		b.stack = append(b.stack, NodeID(len(b.nodes)-1))
+	}
+	return err
+}
+
+// BeginArray opens an array value.
+func (b *Builder) BeginArray() error {
+	_, err := b.begin(ArrayNode)
+	if err == nil {
+		b.stack = append(b.stack, NodeID(len(b.nodes)-1))
+	}
+	return err
+}
+
+// Key supplies the key of the next member of the open object.
+func (b *Builder) Key(k string) error {
+	if b.err != nil {
+		return b.err
+	}
+	if len(b.stack) == 0 || b.nodes[b.stack[len(b.stack)-1]].kind != ObjectNode {
+		return b.fail("key %q outside an object", k)
+	}
+	if b.hasKey {
+		return b.fail("two keys in a row (%q, %q)", b.pendingKey, k)
+	}
+	b.pendingKey = k
+	b.hasKey = true
+	return nil
+}
+
+// String appends a string leaf.
+func (b *Builder) String(s string) error {
+	id, err := b.begin(StringNode)
+	if err != nil {
+		return err
+	}
+	n := &b.nodes[id]
+	n.str = s
+	n.hash = jsonval.HashString(s)
+	n.size = 1
+	b.finish(id)
+	return nil
+}
+
+// Number appends a natural-number leaf.
+func (b *Builder) Number(v uint64) error {
+	id, err := b.begin(NumberNode)
+	if err != nil {
+		return err
+	}
+	n := &b.nodes[id]
+	n.num = v
+	n.hash = jsonval.HashNumber(v)
+	n.size = 1
+	b.finish(id)
+	return nil
+}
+
+// EndObject closes the open object: children are key-sorted (condition 2
+// of §3.1 — object edges form a key, so order is canonicalized the same
+// way FromValue does), positions re-labelled, and the subtree hash, size
+// and height computed.
+func (b *Builder) EndObject() error {
+	if b.err != nil {
+		return b.err
+	}
+	if len(b.stack) == 0 {
+		return b.fail("EndObject with no open container")
+	}
+	id := b.stack[len(b.stack)-1]
+	if b.nodes[id].kind != ObjectNode {
+		return b.fail("EndObject closing an array")
+	}
+	if b.hasKey {
+		return b.fail("object ends after key %q with no value", b.pendingKey)
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+
+	children := b.nodes[id].children
+	sort.Slice(children, func(i, j int) bool {
+		return b.nodes[children[i]].key < b.nodes[children[j]].key
+	})
+	var oh jsonval.ObjectHasher
+	size, height := int32(1), int32(0)
+	for i, c := range children {
+		cn := &b.nodes[c]
+		if i > 0 && b.nodes[children[i-1]].key == cn.key {
+			return b.fail("duplicate object key %q", cn.key)
+		}
+		cn.pos = int32(i)
+		oh.Add(cn.key, cn.hash)
+		size += cn.size
+		if h := cn.height + 1; h > height {
+			height = h
+		}
+	}
+	n := &b.nodes[id]
+	n.hash = oh.Sum()
+	n.size = size
+	n.height = height
+	b.finish(id)
+	return nil
+}
+
+// EndArray closes the open array.
+func (b *Builder) EndArray() error {
+	if b.err != nil {
+		return b.err
+	}
+	if len(b.stack) == 0 {
+		return b.fail("EndArray with no open container")
+	}
+	id := b.stack[len(b.stack)-1]
+	if b.nodes[id].kind != ArrayNode {
+		return b.fail("EndArray closing an object")
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+
+	var ah jsonval.ArrayHasher
+	size, height := int32(1), int32(0)
+	for _, c := range b.nodes[id].children {
+		cn := &b.nodes[c]
+		ah.Add(cn.hash)
+		size += cn.size
+		if h := cn.height + 1; h > height {
+			height = h
+		}
+	}
+	n := &b.nodes[id]
+	n.hash = ah.Sum()
+	n.size = size
+	n.height = height
+	b.finish(id)
+	return nil
+}
+
+// Tree returns the completed tree. It fails if no value was built, a
+// container is still open, or any event errored. The returned tree owns
+// its nodes: calling Reset and building again does not disturb it.
+func (b *Builder) Tree() (*Tree, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if !b.done {
+		if len(b.stack) > 0 {
+			return nil, b.fail("%d containers still open", len(b.stack))
+		}
+		return nil, b.fail("no value built")
+	}
+	nodes := make([]node, len(b.nodes))
+	copy(nodes, b.nodes)
+	return &Tree{nodes: nodes}, nil
+}

@@ -254,32 +254,27 @@ func fnvString(h uint64, s string) uint64 {
 }
 
 func (v *Value) computeHash() uint64 {
-	h := uint64(fnvOffset)
-	h = fnvMix(h, uint64(v.kind)+0x9e37)
 	switch v.kind {
 	case Number:
-		h = fnvMix(h, v.num)
+		return HashNumber(v.num)
 	case String:
-		h = fnvString(h, v.str)
+		return HashString(v.str)
 	case Array:
+		var ah ArrayHasher
 		for _, e := range v.elems {
-			h = fnvMix(h, e.hash)
+			ah.Add(e.hash)
 		}
+		return ah.Sum()
 	case Object:
 		// Objects are unordered: combine per-member hashes with a
 		// commutative fold so member order is irrelevant.
-		var sum, xor uint64
+		var oh ObjectHasher
 		for _, m := range v.members {
-			mh := fnvString(fnvOffset, m.Key)
-			mh = fnvMix(mh, m.Value.hash)
-			sum += mh
-			xor ^= mh*fnvPrime + 1
+			oh.Add(m.Key, m.Value.hash)
 		}
-		h = fnvMix(h, sum)
-		h = fnvMix(h, xor)
-		h = fnvMix(h, uint64(len(v.members)))
+		return oh.Sum()
 	}
-	return h
+	return kindSeed(v.kind)
 }
 
 // Equal reports deep structural equality of two values. Objects compare as
