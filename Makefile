@@ -2,15 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-engine
+# The committed benchmark snapshot for this PR sequence; bump per PR.
+BENCH_JSON ?= BENCH_2.json
 
-all: vet build test
+.PHONY: all build vet fmt-check test race fuzz bench bench-engine bench-store bench-json
+
+all: vet fmt-check build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any file is not gofmt-clean (CI runs the same check).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -29,3 +36,21 @@ bench:
 # Just the engine layer: plan-cache hit/miss and batch parallelism.
 bench-engine:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' ./...
+
+# The storage tier: indexed query vs full scan at 10k/100k documents,
+# and bulk-ingest throughput.
+bench-store:
+	$(GO) test -run xxx -bench 'BenchmarkStore' ./...
+
+# Benchmarks as data: run the suite and record (name, ns/op, B/op,
+# allocs/op) in $(BENCH_JSON), committed per PR so the performance
+# trajectory is tracked in review diffs. -benchtime 3x trades some
+# noise for a runnable-everywhere suite; shapes, not absolute numbers,
+# are the signal.
+# Staged through a temp file (not a pipe) so a failing benchmark run
+# aborts the target instead of silently writing a truncated snapshot;
+# the trap removes the temp file on failure too.
+bench-json:
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -run xxx -bench . -benchtime 3x -benchmem ./... > "$$tmp"; \
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < "$$tmp"

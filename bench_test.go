@@ -26,6 +26,7 @@ import (
 	"jsonlogic/internal/jsonval"
 	"jsonlogic/internal/relang"
 	"jsonlogic/internal/schema"
+	"jsonlogic/internal/store"
 	"jsonlogic/internal/stream"
 	"jsonlogic/internal/translate"
 	"jsonlogic/internal/xmlenc"
@@ -729,5 +730,123 @@ func BenchmarkStreamValidate(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---- Storage tier (internal/store): indexed queries vs full scans ----
+
+// storeBenchCache holds one populated store per size so the expensive
+// build is shared by all store benchmarks of a run.
+var storeBenchCache = map[int]*store.Store{}
+
+// storeBenchSizes are the collection sizes the acceptance criterion
+// names: the indexed path must beat the scan at the largest size.
+var storeBenchSizes = []int{10000, 100000}
+
+// benchStore builds (once per size) a collection of small mixed
+// documents: a deterministic "meta" header the queries probe — tenant
+// t0..t63 cycling, a sequence number — a random payload subtree, and a
+// "rare" marker on every 128th document for the presence-index
+// benchmark.
+func benchStore(n int) *store.Store {
+	if s, ok := storeBenchCache[n]; ok {
+		return s
+	}
+	r := rand.New(rand.NewSource(42))
+	s := store.New(store.Options{Shards: 16})
+	payload := gen.DocOptions{Fanout: 2, Depth: 2, Keys: 10, ArrayBias: 40, ValueRange: 30}
+	for i := 0; i < n; i++ {
+		members := []jsonval.Member{
+			{Key: "meta", Value: jsonval.MustObj(
+				jsonval.Member{Key: "tenant", Value: jsonval.Str(fmt.Sprintf("t%d", i%64))},
+				jsonval.Member{Key: "seq", Value: jsonval.Num(uint64(i))},
+			)},
+			{Key: "payload", Value: gen.Document(r, payload)},
+		}
+		if i%128 == 0 {
+			members = append(members, jsonval.Member{Key: "rare", Value: jsonval.Num(uint64(i))})
+		}
+		s.PutTree(fmt.Sprintf("doc%07d", i), jsontree.FromValue(jsonval.MustObj(members...)))
+	}
+	storeBenchCache[n] = s
+	return s
+}
+
+// BenchmarkStoreFindMongo compares the indexed document-matching path
+// (value-term posting intersection → candidate eval) against the full
+// scan for a selective mongo filter (1/64 of the collection matches).
+// The gap must widen with collection size: the indexed series grows
+// with the result set, the scan series with the collection.
+func BenchmarkStoreFindMongo(b *testing.B) {
+	plan := engine.MustCompile(engine.LangMongoFind, `{"meta.tenant":"t7"}`)
+	for _, n := range storeBenchSizes {
+		s := benchStore(n)
+		want := (n + 56) / 64 // i%64==7 matches: i = 7, 71, …
+		b.Run(fmt.Sprintf("indexed/docs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ids, _, err := s.Find(plan)
+				if err != nil || len(ids) != want {
+					b.Fatalf("got %d docs (err %v), want %d", len(ids), err, want)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scan/docs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ids, err := s.FindScan(plan)
+				if err != nil || len(ids) != want {
+					b.Fatalf("got %d docs (err %v), want %d", len(ids), err, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreSelectJSONPath measures node selection through the
+// presence index: $.rare anchors at a key only 1/128 of the documents
+// carry, so the posting list is the candidate set.
+func BenchmarkStoreSelectJSONPath(b *testing.B) {
+	plan := engine.MustCompile(engine.LangJSONPath, `$.rare`)
+	for _, n := range storeBenchSizes {
+		s := benchStore(n)
+		want := (n + 127) / 128
+		b.Run(fmt.Sprintf("indexed/docs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sels, _, err := s.Select(plan)
+				if err != nil || len(sels) != want {
+					b.Fatalf("got %d docs (err %v), want %d", len(sels), err, want)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scan/docs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sels, err := s.SelectScan(plan)
+				if err != nil || len(sels) != want {
+					b.Fatalf("got %d docs (err %v), want %d", len(sels), err, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreIngestNDJSON measures bulk ingest throughput including
+// incremental index maintenance.
+func BenchmarkStoreIngestNDJSON(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, `{"sensor":"s%d","value":%d,"nested":{"a":[%d,"x"]}}`+"\n", i%32, i, i%100)
+	}
+	input := sb.String()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(input)))
+	for i := 0; i < b.N; i++ {
+		s := store.New(store.Options{Shards: 16})
+		res, err := s.BulkNDJSON(strings.NewReader(input))
+		if err != nil || len(res.IDs) != 2000 {
+			b.Fatalf("ingested %d (err %v)", len(res.IDs), err)
+		}
 	}
 }

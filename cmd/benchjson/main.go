@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON record of the performance trajectory: one entry per
+// benchmark with ns/op, B/op and allocs/op. The Makefile's bench-json
+// target pipes the suite through it to produce BENCH_<n>.json files
+// committed per PR, so regressions show up in review as diffs.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson -out BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is the file layout: tool metadata plus the entries in input
+// order. No timestamp — the file must be byte-stable across reruns of
+// identical measurements so diffs show only real movement.
+type Report struct {
+	GoVersion string  `json:"go_version"`
+	GoOS      string  `json:"goos"`
+	GoArch    string  `json:"goarch"`
+	Entries   []Entry `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkX/part-8  100  12345 ns/op  8.21 MB/s  120 B/op  3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Entries), *out)
+}
+
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		Entries:   []Entry{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q", sc.Text())
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q", sc.Text())
+		}
+		e := Entry{Name: m[1], Iterations: iters, NsPerOp: ns}
+		for _, field := range []string{"MB/s", "B/op", "allocs/op"} {
+			val, ok := extractMetric(m[4], field)
+			if !ok {
+				continue
+			}
+			switch field {
+			case "MB/s":
+				e.MBPerSec = val
+			case "B/op":
+				v := int64(val)
+				e.BytesPerOp = &v
+			case "allocs/op":
+				v := int64(val)
+				e.AllocsPerOp = &v
+			}
+		}
+		report.Entries = append(report.Entries, e)
+	}
+	return report, sc.Err()
+}
+
+// extractMetric pulls "<number> <unit>" out of the tail of a bench
+// line.
+func extractMetric(tail, unit string) (float64, bool) {
+	idx := strings.Index(tail, " "+unit)
+	if idx < 0 {
+		return 0, false
+	}
+	head := strings.TrimRight(tail[:idx], " \t")
+	fields := strings.Fields(head)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: jsonlogic
+BenchmarkStoreFindMongo/indexed/docs=10000         	       2	    541768 ns/op	  144736 B/op	    3330 allocs/op
+BenchmarkStoreIngestNDJSON                         	       2	  18094887 ns/op	   5.86 MB/s	17177932 B/op	   70269 allocs/op
+BenchmarkBare-8	1000000	102.5 ns/op
+PASS
+ok  	jsonlogic	13.252s
+`
+	report, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(report.Entries))
+	}
+	e := report.Entries[0]
+	if e.Name != "BenchmarkStoreFindMongo/indexed/docs=10000" || e.NsPerOp != 541768 ||
+		e.BytesPerOp == nil || *e.BytesPerOp != 144736 || e.AllocsPerOp == nil || *e.AllocsPerOp != 3330 {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	if e := report.Entries[1]; e.MBPerSec != 5.86 || *e.AllocsPerOp != 70269 {
+		t.Fatalf("entry 1 = %+v", e)
+	}
+	if e := report.Entries[2]; e.NsPerOp != 102.5 || e.BytesPerOp != nil || e.Iterations != 1000000 {
+		t.Fatalf("entry 2 = %+v", e)
+	}
+}

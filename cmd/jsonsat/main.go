@@ -8,15 +8,23 @@
 //	jsonsat -jsl 'def g = number || some("a", g) ; g'
 //	jsonsat -schema schema.json
 //	jsonsat -schema a.json -implies b.json    # schema containment
+//	jsonsat -schema a.json -equiv b.json      # schema equivalence
 //
 // With -implies, the tool decides whether every document valid under
 // the first schema is valid under the second, by testing S₁ ∧ ¬S₂ for
-// unsatisfiability — the static-analysis use case §5.2 motivates.
+// unsatisfiability — the static-analysis use case §5.2 motivates. With
+// -equiv it decides equivalence as mutual implication (S₁ ⊑ S₂ and
+// S₂ ⊑ S₁), printing a separating document when the schemas differ.
+//
+// Exit status: 0 for satisfiable / contained / equivalent, 1 for the
+// negative answer, 2 for usage or processing errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"jsonlogic/internal/jauto"
@@ -27,11 +35,39 @@ import (
 )
 
 func main() {
-	jnlSrc := flag.String("jnl", "", "unary JNL formula")
-	jslSrc := flag.String("jsl", "", "recursive JSL expression")
-	schemaPath := flag.String("schema", "", "JSON Schema file")
-	impliesPath := flag.String("implies", "", "second schema: decide containment schema ⊑ implies")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with injectable streams and arguments so the CLI
+// behaviour is testable in-process.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jsonsat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jnlSrc := fs.String("jnl", "", "unary JNL formula")
+	jslSrc := fs.String("jsl", "", "recursive JSL expression")
+	schemaPath := fs.String("schema", "", "JSON Schema file")
+	impliesPath := fs.String("implies", "", "second schema: decide containment schema ⊑ implies")
+	equivPath := fs.String("equiv", "", "second schema: decide equivalence (mutual implication)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "jsonsat:", err)
+		return 2
+	}
+	if *impliesPath != "" && *equivPath != "" {
+		return fail(fmt.Errorf("-implies and -equiv are mutually exclusive"))
+	}
+	if (*impliesPath != "" || *equivPath != "") && (*jnlSrc != "" || *jslSrc != "") {
+		return fail(fmt.Errorf("-implies/-equiv apply to schemas, not -jnl/-jsl formulas"))
+	}
+	if (*impliesPath != "" || *equivPath != "") && *schemaPath == "" {
+		return fail(fmt.Errorf("-implies/-equiv compare against -schema; give both"))
+	}
 
 	var (
 		witness *jsonval.Value
@@ -40,56 +76,96 @@ func main() {
 	)
 	switch {
 	case *jnlSrc != "":
-		witness, sat, err = jauto.SatisfiableJNL(mustJNL(*jnlSrc))
+		u, perr := jnl.Parse(*jnlSrc)
+		if perr != nil {
+			return fail(perr)
+		}
+		witness, sat, err = jauto.SatisfiableJNL(u)
 	case *jslSrc != "":
 		r, perr := jsl.ParseRecursive(*jslSrc)
 		if perr != nil {
-			fatal(perr)
+			return fail(perr)
 		}
 		witness, sat, err = jauto.SatisfiableJSL(r)
+	case *schemaPath != "" && *equivPath != "":
+		r1, r2, lerr := loadSchemaPair(*schemaPath, *equivPath)
+		if lerr != nil {
+			return fail(lerr)
+		}
+		// Equivalence is mutual implication; each direction reuses the
+		// containment machinery.
+		sep, forward, cerr := containmentJSL(r1, r2)
+		if cerr != nil {
+			return fail(cerr)
+		}
+		if !forward {
+			fmt.Fprintf(stdout, "NOT EQUIVALENT: document valid under the first schema only:\n%s\n", sep.Indent("  "))
+			return 1
+		}
+		sep, backward, cerr := containmentJSL(r2, r1)
+		if cerr != nil {
+			return fail(cerr)
+		}
+		if !backward {
+			fmt.Fprintf(stdout, "NOT EQUIVALENT: document valid under the second schema only:\n%s\n", sep.Indent("  "))
+			return 1
+		}
+		fmt.Fprintln(stdout, "equivalent: the two schemas validate exactly the same documents")
+		return 0
 	case *schemaPath != "" && *impliesPath != "":
-		s1, s2 := mustSchema(*schemaPath), mustSchema(*impliesPath)
-		r1, e1 := s1.ToJSL()
-		r2, e2 := s2.ToJSL()
-		if e1 != nil || e2 != nil {
-			fatal(fmt.Errorf("translation failed: %v %v", e1, e2))
+		r1, r2, lerr := loadSchemaPair(*schemaPath, *impliesPath)
+		if lerr != nil {
+			return fail(lerr)
 		}
-		// S₁ ⊑ S₂ iff S₁ ∧ ¬S₂ is unsatisfiable. Merge the definition
-		// sections (renaming the second to avoid clashes).
-		merged := &jsl.Recursive{Base: jsl.And{Left: r1.Base, Right: jsl.Not{Inner: renameRefs(r2.Base)}}}
-		merged.Defs = append(merged.Defs, r1.Defs...)
-		for _, d := range r2.Defs {
-			merged.Defs = append(merged.Defs, jsl.Definition{Name: "rhs_" + d.Name, Body: renameRefs(d.Body)})
+		counter, contained, cerr := containmentJSL(r1, r2)
+		if cerr != nil {
+			return fail(cerr)
 		}
-		witness, sat, err = jauto.SatisfiableJSL(merged)
-		if err != nil {
-			fatal(err)
+		if !contained {
+			fmt.Fprintf(stdout, "NOT CONTAINED: counterexample document:\n%s\n", counter.Indent("  "))
+			return 1
 		}
-		if sat {
-			fmt.Printf("NOT CONTAINED: counterexample document:\n%s\n", witness.Indent("  "))
-			os.Exit(1)
-		}
-		fmt.Println("contained: every document valid under the first schema is valid under the second")
-		return
+		fmt.Fprintln(stdout, "contained: every document valid under the first schema is valid under the second")
+		return 0
 	case *schemaPath != "":
-		s := mustSchema(*schemaPath)
+		s, lerr := loadSchema(*schemaPath)
+		if lerr != nil {
+			return fail(lerr)
+		}
 		r, terr := s.ToJSL()
 		if terr != nil {
-			fatal(terr)
+			return fail(terr)
 		}
 		witness, sat, err = jauto.SatisfiableJSL(r)
 	default:
-		fatal(fmt.Errorf("one of -jnl, -jsl, -schema is required"))
+		return fail(fmt.Errorf("one of -jnl, -jsl, -schema is required"))
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if sat {
-		fmt.Printf("SATISFIABLE; witness:\n%s\n", witness.Indent("  "))
-	} else {
-		fmt.Println("UNSATISFIABLE")
-		os.Exit(1)
+		fmt.Fprintf(stdout, "SATISFIABLE; witness:\n%s\n", witness.Indent("  "))
+		return 0
 	}
+	fmt.Fprintln(stdout, "UNSATISFIABLE")
+	return 1
+}
+
+// containmentJSL decides r1 ⊑ r2 by testing r1 ∧ ¬r2 for
+// unsatisfiability, merging the definition sections under distinct
+// namespaces. When not contained, the witness document is valid under
+// r1 but not r2.
+func containmentJSL(r1, r2 *jsl.Recursive) (witness *jsonval.Value, contained bool, err error) {
+	merged := &jsl.Recursive{Base: jsl.And{Left: r1.Base, Right: jsl.Not{Inner: renameRefs(r2.Base)}}}
+	merged.Defs = append(merged.Defs, r1.Defs...)
+	for _, d := range r2.Defs {
+		merged.Defs = append(merged.Defs, jsl.Definition{Name: "rhs_" + d.Name, Body: renameRefs(d.Body)})
+	}
+	witness, sat, err := jauto.SatisfiableJSL(merged)
+	if err != nil {
+		return nil, false, err
+	}
+	return witness, !sat, nil
 }
 
 // renameRefs prefixes every reference with rhs_ so two definition
@@ -121,27 +197,28 @@ func renameRefs(f jsl.Formula) jsl.Formula {
 	}
 }
 
-func mustJNL(src string) jnl.Unary {
-	u, err := jnl.Parse(src)
-	if err != nil {
-		fatal(err)
-	}
-	return u
-}
-
-func mustSchema(path string) *schema.Schema {
+func loadSchema(path string) (*schema.Schema, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	s, err := schema.Parse(string(data))
-	if err != nil {
-		fatal(err)
-	}
-	return s
+	return schema.Parse(string(data))
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "jsonsat:", err)
-	os.Exit(2)
+// loadSchemaPair reads two schemas and translates both to JSL.
+func loadSchemaPair(path1, path2 string) (*jsl.Recursive, *jsl.Recursive, error) {
+	s1, err := loadSchema(path1)
+	if err != nil {
+		return nil, nil, err
+	}
+	s2, err := loadSchema(path2)
+	if err != nil {
+		return nil, nil, err
+	}
+	r1, e1 := s1.ToJSL()
+	r2, e2 := s2.ToJSL()
+	if e1 != nil || e2 != nil {
+		return nil, nil, fmt.Errorf("translation failed: %v %v", e1, e2)
+	}
+	return r1, r2, nil
 }

@@ -1,0 +1,300 @@
+// Command jsonstored serves a sharded, path-indexed document store
+// (internal/store) over HTTP, with query evaluation through the shared
+// plan-caching engine (internal/engine).
+//
+// Endpoints:
+//
+//	PUT    /docs/{id}   store the JSON document in the request body
+//	GET    /docs/{id}   fetch a document
+//	DELETE /docs/{id}   delete a document
+//	POST   /bulk        NDJSON bulk ingest (one document per line)
+//	POST   /query       {"lang","query","mode":"find"|"select","values":bool}
+//	POST   /validate    {"lang","query","id"} or {"lang","query","doc"}
+//	GET    /stats       shard sizes, index cardinalities, query counters,
+//	                    plan-cache hit rates
+//
+// Documents use the paper's value model: objects, arrays, strings and
+// natural numbers. See examples/storequery for a curl walkthrough.
+//
+// Usage:
+//
+//	jsonstored [-addr :8080] [-shards 16] [-cache 256] [-index-depth 16]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"jsonlogic/internal/engine"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 16, "shard count (rounded up to a power of two)")
+	cache := flag.Int("cache", 256, "plan cache capacity")
+	indexDepth := flag.Int("index-depth", 16, "maximum indexed path depth")
+	flag.Parse()
+
+	eng := engine.New(engine.Options{PlanCacheSize: *cache})
+	st := store.New(store.Options{Shards: *shards, MaxIndexDepth: *indexDepth, Engine: eng})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(st),
+		// Bound slow/stalled peers; no ReadTimeout so large legitimate
+		// bulk uploads are not cut off mid-body.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("jsonstored: listening on %s (%d shards, plan cache %d)", *addr, st.NumShards(), *cache)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// maxBody bounds one request body (64 MiB; covers bulk uploads).
+const maxBody = 64 << 20
+
+// server routes the HTTP API onto one Store and its Engine.
+type server struct {
+	store *store.Store
+	eng   *engine.Engine
+}
+
+// newServer returns the daemon's handler; split from main so tests can
+// drive it through httptest.
+func newServer(st *store.Store) http.Handler {
+	s := &server{store: st, eng: st.Engine()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /docs/{id}", s.putDoc)
+	mux.HandleFunc("GET /docs/{id}", s.getDoc)
+	mux.HandleFunc("DELETE /docs/{id}", s.deleteDoc)
+	mux.HandleFunc("POST /bulk", s.bulk)
+	mux.HandleFunc("POST /query", s.query)
+	mux.HandleFunc("POST /validate", s.validate)
+	mux.HandleFunc("GET /stats", s.stats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) putDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Stream the body straight into a tree — the same tokenizer path as
+	// /bulk — instead of buffering and re-materializing through jsonval.
+	t, err := engine.BuildTree(http.MaxBytesReader(w, r.Body, maxBody), jsontree.NewBuilder())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.store.PutTree(id, t)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "nodes": t.Len()})
+}
+
+func (s *server) getDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no document %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, t.String())
+}
+
+func (s *server) deleteDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.store.Delete(id) {
+		writeError(w, http.StatusNotFound, "no document %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+}
+
+func (s *server) bulk(w http.ResponseWriter, r *http.Request) {
+	// MaxBytesReader (not LimitReader) so an oversized upload surfaces
+	// as an ingest error instead of a silent truncation reported as
+	// success.
+	res, err := s.store.BulkNDJSON(http.MaxBytesReader(w, r.Body, maxBody))
+	type lineError struct {
+		Line  int    `json:"line"`
+		Error string `json:"error"`
+	}
+	errs := make([]lineError, len(res.Errors))
+	for i, e := range res.Errors {
+		errs[i] = lineError{Line: e.Line, Error: e.Err.Error()}
+	}
+	body := map[string]any{
+		"inserted": len(res.IDs),
+		"ids":      res.IDs,
+		"errors":   errs,
+	}
+	if err != nil {
+		// Lines before the failure are already stored; report them so
+		// the client can reconcile instead of blindly re-uploading.
+		body["error"] = fmt.Sprintf("bulk ingest aborted: %v", err)
+		writeJSON(w, http.StatusBadRequest, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// queryRequest is the body of POST /query and POST /validate.
+type queryRequest struct {
+	// Lang is the front end: "jnl", "jsl", "jsonpath" or "mongo".
+	Lang string `json:"lang"`
+	// Query is the source text in that language.
+	Query string `json:"query"`
+	// Mode selects document matching ("find", default) or node
+	// selection ("select") for /query.
+	Mode string `json:"mode"`
+	// Values asks "select" results to include the rendered JSON of
+	// each selected node.
+	Values bool `json:"values"`
+	// ID and Doc select the validation subject for /validate: a stored
+	// document or an inline one.
+	ID  string `json:"id"`
+	Doc string `json:"doc"`
+}
+
+func (s *server) compile(w http.ResponseWriter, r *http.Request) (*engine.Plan, *queryRequest, bool) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, nil, false
+	}
+	lang, err := engine.ParseLanguage(req.Lang)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, nil, false
+	}
+	p, err := s.eng.Compile(lang, req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "compile: %v", err)
+		return nil, nil, false
+	}
+	return p, &req, true
+}
+
+func (s *server) query(w http.ResponseWriter, r *http.Request) {
+	p, req, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	switch req.Mode {
+	case "", "find":
+		ids, indexed, err := s.store.Find(p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"count":   len(ids),
+			"ids":     ids,
+			"indexed": indexed,
+		})
+	case "select":
+		sels, indexed, err := s.store.Select(p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		type docSelection struct {
+			ID     string   `json:"id"`
+			Nodes  []int    `json:"nodes"`
+			Values []string `json:"values,omitempty"`
+		}
+		out := make([]docSelection, len(sels))
+		for i, sel := range sels {
+			ds := docSelection{ID: sel.ID, Nodes: make([]int, len(sel.Nodes))}
+			for j, n := range sel.Nodes {
+				ds.Nodes[j] = int(n)
+			}
+			if req.Values {
+				// Render from the selection's snapshot tree: the node IDs
+				// are only meaningful there, and the stored document may
+				// have been replaced concurrently.
+				ds.Values = make([]string, len(sel.Nodes))
+				for j, n := range sel.Nodes {
+					ds.Values[j] = sel.Tree.Value(n).String()
+				}
+			}
+			out[i] = ds
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"count":   len(out),
+			"results": out,
+			"indexed": indexed,
+		})
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
+	}
+}
+
+func (s *server) validate(w http.ResponseWriter, r *http.Request) {
+	p, req, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	var t *jsontree.Tree
+	switch {
+	case req.ID != "" && req.Doc != "":
+		writeError(w, http.StatusBadRequest, "give id or doc, not both")
+		return
+	case req.ID != "":
+		var found bool
+		t, found = s.store.Get(req.ID)
+		if !found {
+			writeError(w, http.StatusNotFound, "no document %q", req.ID)
+			return
+		}
+	case req.Doc != "":
+		var err error
+		t, err = jsontree.Parse(req.Doc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "doc: %v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "give id or doc")
+		return
+	}
+	valid, err := s.eng.Validate(p, t)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"valid": valid})
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	cs := s.eng.CacheStats()
+	var hitRate float64
+	if cs.Hits+cs.Misses > 0 {
+		hitRate = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"store": s.store.Stats(),
+		"plan_cache": map[string]any{
+			"hits":      cs.Hits,
+			"misses":    cs.Misses,
+			"evictions": cs.Evictions,
+			"entries":   cs.Entries,
+			"capacity":  cs.Capacity,
+			"hit_rate":  hitRate,
+		},
+	})
+}

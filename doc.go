@@ -20,10 +20,24 @@
 // harness pins the engine's results node-for-node to the reference
 // evaluators.
 //
+// internal/store adds the storage tier: a sharded, goroutine-safe
+// document collection with an inverted path index (presence, kind and
+// exact-value terms per root-anchored path, maintained incrementally
+// on insert and delete). At compile time each plan derives the path
+// facts a matching document must satisfy (internal/engine/hints.go,
+// built on jnl.RequiredPrefix and jsl.RequiredFacts); the store
+// intersects the facts' posting lists into a candidate set and runs
+// the reference evaluation over candidates only, falling back to a
+// full scan for plans the index cannot support — results are provably
+// and differentially-tested identical either way. cmd/jsonstored
+// serves the store over HTTP with bulk NDJSON ingest and a /stats
+// endpoint covering shards, index cardinalities and plan-cache hit
+// rates.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-versus-measured record of every reproduced result. The
 // functional packages live under internal/; the cmd/ directory provides
-// the jsonq, jsonvalidate, jsonsat and jsonrepro executables, and
-// examples/ holds eight runnable walkthroughs.
+// the jsonq, jsonvalidate, jsonsat, jsonrepro, jsonstored and benchjson
+// executables, and examples/ holds nine runnable walkthroughs.
 package jsonlogic

@@ -33,8 +33,10 @@ type DocResult struct {
 	Err error
 }
 
-// maxNDJSONLine bounds one line of NDJSON input (16 MiB).
-const maxNDJSONLine = 16 << 20
+// MaxNDJSONLine bounds one line of NDJSON input (16 MiB), shared by
+// the engine's readers and the store's bulk ingest so the two NDJSON
+// surfaces accept exactly the same documents.
+const MaxNDJSONLine = 16 << 20
 
 // EvalReader runs the plan's node-selection semantics over every
 // document of an NDJSON stream (one JSON document per line; blank
@@ -67,7 +69,7 @@ func (e *Engine) runNDJSON(p *Plan, r io.Reader, validate bool) ([]DocResult, er
 	go func() {
 		defer close(items)
 		sc := bufio.NewScanner(r)
-		sc.Buffer(make([]byte, 64*1024), maxNDJSONLine)
+		sc.Buffer(make([]byte, 64*1024), MaxNDJSONLine)
 		index, lineNo := 0, 0
 		for sc.Scan() {
 			lineNo++
@@ -94,7 +96,7 @@ func (e *Engine) runNDJSON(p *Plan, r io.Reader, validate bool) ([]DocResult, er
 			b := jsontree.NewBuilder()
 			for it := range items {
 				res := DocResult{Index: it.index, Line: it.line}
-				tree, err := buildTreeFromLine(b, it.text)
+				tree, err := BuildTree(strings.NewReader(it.text), b)
 				switch {
 				case err != nil:
 					res.Err = err
@@ -115,11 +117,14 @@ func (e *Engine) runNDJSON(p *Plan, r io.Reader, validate bool) ([]DocResult, er
 	return results, <-scanErr
 }
 
-// buildTreeFromLine tokenizes one NDJSON line and replays the token
-// stream into the (reused) builder.
-func buildTreeFromLine(b *jsontree.Builder, line string) (*jsontree.Tree, error) {
+// BuildTree tokenizes one JSON document from r (via the §6 streaming
+// tokenizer) and replays the token stream into the reused builder,
+// materializing a tree without going through the jsonval layer. It is
+// the shared line-to-tree path of the engine's NDJSON readers and the
+// store's bulk ingest.
+func BuildTree(r io.Reader, b *jsontree.Builder) (*jsontree.Tree, error) {
 	b.Reset()
-	tok := stream.NewTokenizer(strings.NewReader(line))
+	tok := stream.NewTokenizer(r)
 	for {
 		t, err := tok.Next()
 		if err == io.EOF {

@@ -70,6 +70,12 @@ type Plan struct {
 	unary jnl.Unary      // LangJNL
 	rec   *jsl.Recursive // LangJSL and LangMongoFind
 	path  jnl.Binary     // LangJSONPath
+
+	// Index planner output (hints.go), derived once at compile time:
+	// path facts necessary for Validate (findFacts) and for a non-empty
+	// Eval (selectFacts). Empty slices mean "not index-supported".
+	findFacts   []jsontree.PathFact
+	selectFacts []jsontree.PathFact
 }
 
 // Language returns the plan's front-end language.
@@ -107,15 +113,23 @@ func Compile(lang Language, src string) (*Plan, error) {
 			return nil, err
 		}
 		p.path = jp.Binary()
+		// Selection is anchored at the root, so the path's required
+		// prefix serves both the find and select semantics.
+		if steps, _ := jp.RequiredPrefix(); len(steps) > 0 {
+			facts := []jsontree.PathFact{{Steps: steps}}
+			p.findFacts, p.selectFacts = facts, facts
+		}
 	case LangMongoFind:
 		f, err := mongoq.Parse(src)
 		if err != nil {
 			return nil, err
 		}
 		p.rec = jsl.NonRecursive(f.Formula())
+		p.findFacts = f.RequiredFacts()
 	default:
 		return nil, fmt.Errorf("engine: unknown language %d", lang)
 	}
+	p.computeFacts()
 	return p, nil
 }
 
@@ -129,7 +143,9 @@ func FromJSL(label string, r *jsl.Recursive) (*Plan, error) {
 	if err := r.WellFormed(); err != nil {
 		return nil, err
 	}
-	return &Plan{lang: LangJSL, source: label, rec: r}, nil
+	p := &Plan{lang: LangJSL, source: label, rec: r}
+	p.computeFacts()
+	return p, nil
 }
 
 // MustCompile is Compile but panics on error; for statically known

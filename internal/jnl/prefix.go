@@ -1,0 +1,106 @@
+package jnl
+
+import "jsonlogic/internal/jsontree"
+
+// This file implements the index-planner side of JNL: extracting, from
+// a formula, path facts that every satisfying document must obey. The
+// extraction is deliberately conservative — it only descends where
+// satisfaction *requires* a condition (conjunctions, existentials,
+// exact navigation steps) and stops at anything non-deterministic,
+// recursive or negated, where a sound anchored fact cannot be named.
+// The store uses the facts to prune candidates; correctness never
+// depends on extraction being tight, only on every fact being
+// necessary.
+
+// RequiredPrefix returns the longest chain of exact navigation steps
+// that every α-successor of a node must pass through, and whether the
+// chain is complete — complete means the relation can only connect a
+// node to the node at exactly those steps (possibly filtered further by
+// tests), so a value equality over α pins down the value at the prefix.
+//
+// Key and non-negative index axes extend the prefix; ε and tests are
+// skipped (tests restrict, they do not move); an interval axis X_{lo:hi}
+// with lo ≥ 0 contributes the step lo — array positions are dense, so an
+// element at any position in [lo,hi] implies one at lo — but ends the
+// prefix incomplete. Regex axes, unions, Kleene stars and negative
+// indices end the prefix immediately.
+func RequiredPrefix(b Binary) (steps []jsontree.Step, complete bool) {
+	complete = appendPrefix(b, &steps)
+	return steps, complete
+}
+
+func appendPrefix(b Binary, steps *[]jsontree.Step) bool {
+	switch t := b.(type) {
+	case Epsilon:
+		return true
+	case KeyAxis:
+		*steps = append(*steps, jsontree.Key(t.Word))
+		return true
+	case IndexAxis:
+		if t.Index < 0 {
+			// Negative indices address from the end; without the array
+			// length they name no fixed path.
+			return false
+		}
+		*steps = append(*steps, jsontree.Index(t.Index))
+		return true
+	case Test:
+		// ⟨φ⟩ is a subset of the identity: it filters successors without
+		// moving, so the prefix continues through it unchanged.
+		return true
+	case Concat:
+		if !appendPrefix(t.Left, steps) {
+			return false
+		}
+		return appendPrefix(t.Right, steps)
+	case RangeAxis:
+		// X_{lo:hi} requires an array child at some position ≥ lo;
+		// positions are dense (§3.1 condition 3), so position lo exists.
+		if t.Lo >= 0 {
+			*steps = append(*steps, jsontree.Index(t.Lo))
+		}
+		return false
+	}
+	// RegexAxis, Star, Alt: no single exact step is required.
+	return false
+}
+
+// RequiredFacts returns path facts every tree whose *root* satisfies
+// the unary formula must obey. An empty result means no anchored fact
+// could be extracted (e.g. the formula is ⊤, a disjunction, or sits
+// under negation) and callers must fall back to scanning.
+func RequiredFacts(u Unary) []jsontree.PathFact {
+	var facts []jsontree.PathFact
+	appendUnaryFacts(u, &facts)
+	return facts
+}
+
+func appendUnaryFacts(u Unary, facts *[]jsontree.PathFact) {
+	switch t := u.(type) {
+	case And:
+		appendUnaryFacts(t.Left, facts)
+		appendUnaryFacts(t.Right, facts)
+	case Exists:
+		if steps, _ := RequiredPrefix(t.Path); len(steps) > 0 {
+			*facts = append(*facts, jsontree.PathFact{Steps: steps})
+		}
+	case EQDoc:
+		steps, complete := RequiredPrefix(t.Path)
+		if complete {
+			// The only possible α-successor is the node at steps, so it
+			// must exist and equal the document.
+			*facts = append(*facts, jsontree.ValueFacts(steps, t.Doc)...)
+		} else if len(steps) > 0 {
+			*facts = append(*facts, jsontree.PathFact{Steps: steps})
+		}
+	case EQPaths:
+		// EQ(α, β) requires both sides to have a successor.
+		for _, p := range []Binary{t.Left, t.Right} {
+			if steps, _ := RequiredPrefix(p); len(steps) > 0 {
+				*facts = append(*facts, jsontree.PathFact{Steps: steps})
+			}
+		}
+	}
+	// True: trivial. Not, Or: satisfaction does not force any single
+	// branch, so no fact is necessary.
+}

@@ -1,0 +1,72 @@
+package jnl
+
+import (
+	"testing"
+
+	"jsonlogic/internal/jsontree"
+)
+
+func steps(b Binary) (string, bool) {
+	ss, complete := RequiredPrefix(b)
+	f := jsontree.PathFact{Steps: ss}
+	return f.String(), complete
+}
+
+func TestRequiredPrefix(t *testing.T) {
+	cases := []struct {
+		src      string
+		want     string
+		complete bool
+	}{
+		{`/a /b`, "/a/b", true},
+		{`/a /2 /b`, "/a/2/b", true},
+		{`eps /a eps`, "/a", true},
+		{`/a <true> /b`, "/a/b", true},
+		{`/a /[1:3] /b`, "/a/1", false},
+		{`/a /~"k.*" /b`, "/a", false},
+		{`/a (/b)* /c`, "/a", false},
+		{`/a (/b | /c)`, "/a", false},
+		{`/-1`, "$", false},
+		{`eps`, "$", true},
+	}
+	for _, c := range cases {
+		b, err := ParseBinary(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		got, complete := steps(b)
+		if got != c.want || complete != c.complete {
+			t.Errorf("RequiredPrefix(%q) = %s, %v; want %s, %v", c.src, got, complete, c.want, c.complete)
+		}
+	}
+}
+
+// TestRequiredFactsNecessity spot-checks that extracted facts hold on a
+// document satisfying the formula and correctly reject one that lacks
+// the paths.
+func TestRequiredFactsNecessity(t *testing.T) {
+	u := MustParse(`(eq(/a/b, 7) && [/c /0])`)
+	facts := RequiredFacts(u)
+	if len(facts) != 2 {
+		t.Fatalf("facts = %v", facts)
+	}
+	match := jsontree.MustParse(`{"a":{"b":7},"c":["x"]}`)
+	if !NewEvaluator(match).Holds(u, match.Root()) {
+		t.Fatal("fixture does not match")
+	}
+	for _, f := range facts {
+		if !f.Holds(match) {
+			t.Errorf("fact %s must hold on a matching tree", f)
+		}
+	}
+	miss := jsontree.MustParse(`{"a":{"b":8}}`)
+	holdsAll := true
+	for _, f := range facts {
+		if !f.Holds(miss) {
+			holdsAll = false
+		}
+	}
+	if holdsAll {
+		t.Error("facts should prune the non-matching tree")
+	}
+}

@@ -1,0 +1,81 @@
+package jsl
+
+import "jsonlogic/internal/jsontree"
+
+// This file implements the index-planner side of JSL: extracting path
+// facts that are necessary for a tree's root to satisfy a formula, for
+// the store's inverted path index. The extraction mirrors the strict
+// kind semantics of the evaluator (eval.go): diamonds fail on the wrong
+// node kind, so every ◇ on the spine contributes a fact, while boxes
+// are vacuous on absence and contribute nothing. Negation and
+// disjunction force no single branch, so extraction stops there —
+// conservative by design; the store re-verifies all candidates.
+
+// RequiredFacts returns path facts every tree whose root satisfies the
+// formula must obey. An empty result means nothing anchored could be
+// extracted and callers must fall back to scanning. Formulas containing
+// Ref are handled soundly (the reference contributes no facts), but
+// callers typically skip extraction for recursive expressions entirely.
+func RequiredFacts(f Formula) []jsontree.PathFact {
+	var facts []jsontree.PathFact
+	appendFacts(f, nil, &facts)
+	return facts
+}
+
+// appendFacts accumulates facts for "the node at prefix satisfies f".
+// prefix is never mutated; extensions copy.
+func appendFacts(f Formula, prefix []jsontree.Step, facts *[]jsontree.PathFact) {
+	classFact := func(k jsontree.Kind) {
+		*facts = append(*facts, jsontree.PathFact{Steps: prefix, HasClass: true, Class: k})
+	}
+	switch t := f.(type) {
+	case And:
+		appendFacts(t.Left, prefix, facts)
+		appendFacts(t.Right, prefix, facts)
+	case DiamondKey:
+		// ◇ requires an object (eval.go returns false otherwise).
+		if t.IsWord {
+			p := jsontree.ExtendSteps(prefix, jsontree.Key(t.Word))
+			*facts = append(*facts, jsontree.PathFact{Steps: p})
+			appendFacts(t.Inner, p, facts)
+		} else {
+			classFact(jsontree.ObjectNode)
+		}
+	case DiamondIdx:
+		classFact(jsontree.ArrayNode)
+		lo := t.Lo
+		if lo < 0 {
+			lo = 0 // the evaluator clamps negative bounds to 0
+		}
+		p := jsontree.ExtendSteps(prefix, jsontree.Index(lo))
+		*facts = append(*facts, jsontree.PathFact{Steps: p})
+		if t.Lo == t.Hi && t.Lo >= 0 {
+			// A point interval names exactly one child.
+			appendFacts(t.Inner, p, facts)
+		}
+	case IsObj:
+		classFact(jsontree.ObjectNode)
+	case IsArr:
+		classFact(jsontree.ArrayNode)
+	case IsStr:
+		classFact(jsontree.StringNode)
+	case IsInt:
+		classFact(jsontree.NumberNode)
+	case Pattern:
+		classFact(jsontree.StringNode)
+	case Min:
+		classFact(jsontree.NumberNode)
+	case Max:
+		classFact(jsontree.NumberNode)
+	case MultOf:
+		classFact(jsontree.NumberNode)
+	case Unique:
+		// Unique is false on non-arrays (eval.go).
+		classFact(jsontree.ArrayNode)
+	case EqDoc:
+		*facts = append(*facts, jsontree.ValueFacts(prefix, t.Doc)...)
+	}
+	// True, MinCh, MaxCh: no kind restriction. Not, Or: no branch is
+	// forced. BoxKey, BoxIdx: vacuously true on absence. Ref: the
+	// definition body may be recursive; contribute nothing.
+}

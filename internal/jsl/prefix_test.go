@@ -1,0 +1,51 @@
+package jsl
+
+import (
+	"testing"
+
+	"jsonlogic/internal/jsontree"
+)
+
+func factStrings(facts []jsontree.PathFact) []string {
+	out := make([]string, len(facts))
+	for i, f := range facts {
+		out[i] = f.String()
+	}
+	return out
+}
+
+func TestRequiredFacts(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{`some("a", some("b", number))`, []string{"/a", "/a/b", "/a/b kind=number"}},
+		{`some("a", eq(5))`, []string{"/a", "/a value=5"}},
+		{`some(~"k.*", true)`, []string{"$ kind=object"}},
+		{`some([0:], string)`, []string{"$ kind=array", "/0"}},
+		{`some([2:2], string)`, []string{"$ kind=array", "/2", "/2 kind=string"}},
+		{`(string && pattern("s.*"))`, []string{"$ kind=string", "$ kind=string"}},
+		{`all("a", number)`, nil},
+		{`!some("a", true)`, nil},
+		{`(some("a", true) || some("b", true))`, nil},
+		{`(min(3) && max(9))`, []string{"$ kind=number", "$ kind=number"}},
+		{`unique`, []string{"$ kind=array"}},
+		{`eq({"a":[1,"x"]})`, []string{"$ kind=object", "/a kind=array", "/a/0 value=1", "/a/1 value=\"x\""}},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		got := factStrings(RequiredFacts(f))
+		if len(got) != len(c.want) {
+			t.Errorf("RequiredFacts(%q) = %v, want %v", c.src, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("RequiredFacts(%q)[%d] = %q, want %q", c.src, i, got[i], c.want[i])
+			}
+		}
+	}
+}

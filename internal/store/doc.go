@@ -1,0 +1,52 @@
+// Package store implements the storage tier of the query service: a
+// sharded, goroutine-safe in-memory collection of JSON documents with
+// an inverted path index, queried through the compiled plans of
+// internal/engine.
+//
+// # Architecture
+//
+// A Store holds N shards (N a power of two, chosen at construction).
+// A document ID is hashed (FNV-1a) and the low bits pick the shard;
+// each shard owns a map from ID to its immutable jsontree.Tree and a
+// pathIndex, both guarded by one RWMutex. Writers (Put, Delete, bulk
+// NDJSON ingest) lock only their document's shard, so unrelated writes
+// proceed in parallel; readers take the shard read lock just long
+// enough to snapshot candidate (id, tree) pairs and evaluate outside
+// the lock — trees are immutable, so evaluation never races with
+// writers.
+//
+// # The inverted path index
+//
+// The pathIndex maps structural terms to posting lists of document
+// IDs, maintained incrementally on every insert and delete:
+//
+//   - a presence term for every root-to-node key/index path,
+//   - a class term for every path plus the node's kind
+//     (object/array/string/number — the paper's value model has no
+//     booleans or nulls),
+//   - a value term for every leaf path plus its exact string or number
+//     value.
+//
+// Terms are 64-bit FNV hashes of the path (and class/value tag), so
+// the index stores no path strings; hash collisions can only merge
+// posting lists, which adds false candidates but never loses one.
+//
+// # Query planning: shards → path index → candidate set → reference eval
+//
+// A query arrives as an engine.Plan. The plan's compile-time index
+// facts (Plan.FindFacts for document matching, Plan.SelectFacts for
+// node selection — see internal/engine/hints.go) are turned into index
+// terms; per shard, the posting lists of all terms are intersected into
+// a candidate set, and the ordinary reference evaluation runs over the
+// candidates only. Every fact is a necessary condition of matching, so
+// a document outside the candidate set provably cannot match and the
+// indexed result equals the full scan result node-for-node — the
+// differential tests in this package enforce exactly that, including
+// for plans that yield no facts (negation, disjunction, recursion,
+// non-deterministic axes), which transparently fall back to scanning.
+// Facts deeper than the index bound degrade to the presence of their
+// in-bound prefix rather than disabling the index.
+//
+// Package cmd/jsonstored serves a Store over HTTP; see
+// examples/storequery for a walkthrough.
+package store

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"jsonlogic/internal/jsontree"
+)
+
+// 64-bit FNV-1a, the same construction jsonval uses for value hashes.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func fnvUint64(h uint64, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(x>>(8*i)))
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// stepHash folds one navigation step into a path hash. Key bytes are
+// valid UTF-8 and therefore never 0xFF, so the terminator keeps
+// adjacent keys from aliasing ("ab"+"c" vs "a"+"bc"); even a collision
+// would only add false candidates, never drop a true one.
+func stepHash(h uint64, s jsontree.Step) uint64 {
+	if s.IsKey {
+		h = fnvByte(h, 'k')
+		h = fnvString(h, s.Key)
+		return fnvByte(h, 0xFF)
+	}
+	h = fnvByte(h, 'i')
+	return fnvUint64(h, uint64(s.Index))
+}
+
+// pathHash hashes a whole step path from the root.
+func pathHash(steps []jsontree.Step) uint64 {
+	h := fnvOffset
+	for _, s := range steps {
+		h = stepHash(h, s)
+	}
+	return h
+}
+
+// Term constructors. A presence term is the bare path hash; class and
+// value terms mix in a tag plus the kind or the subtree's structural
+// hash (jsonval.Value.Hash, which jsontree precomputes per node).
+func presenceTerm(path uint64) uint64               { return path }
+func classTerm(path uint64, k jsontree.Kind) uint64 { return fnvByte(fnvByte(path, 'C'), byte(k)) }
+func valueTerm(path uint64, valHash uint64) uint64  { return fnvUint64(fnvByte(path, 'V'), valHash) }
+
+// factTerm converts one planner fact into its index term. A fact
+// deeper than the index bound degrades to the presence of its
+// in-bound prefix — sound, because a node existing at the deep path
+// implies every prefix path exists. ok is false only for the trivial
+// root-presence fact, which prunes nothing.
+func factTerm(f jsontree.PathFact, maxDepth int) (term uint64, ok bool) {
+	if len(f.Steps) > maxDepth {
+		return presenceTerm(pathHash(f.Steps[:maxDepth])), true
+	}
+	p := pathHash(f.Steps)
+	switch {
+	case f.Value != nil:
+		return valueTerm(p, f.Value.Hash()), true
+	case f.HasClass:
+		return classTerm(p, f.Class), true
+	default:
+		if len(f.Steps) == 0 {
+			// Presence of the root is trivially true of every document;
+			// planners do not emit it, but guard anyway.
+			return 0, false
+		}
+		return presenceTerm(p), true
+	}
+}
+
+// pathIndex is one shard's inverted index: term hash → posting list of
+// document IDs. It is not internally synchronized; the owning shard's
+// lock covers it.
+type pathIndex struct {
+	maxDepth int
+	postings map[uint64]map[string]struct{}
+	entries  int // total posting-list entries, for stats
+}
+
+func newPathIndex(maxDepth int) *pathIndex {
+	return &pathIndex{maxDepth: maxDepth, postings: make(map[uint64]map[string]struct{})}
+}
+
+// docTerms enumerates the index terms of a document by walking the
+// tree depth-first, folding each edge into the running path hash.
+// Nodes deeper than maxDepth are not indexed (the query side refuses
+// facts deeper than the bound, so no candidate is ever lost). The walk
+// is deterministic, so add and remove see identical term sets.
+func (ix *pathIndex) docTerms(t *jsontree.Tree) []uint64 {
+	terms := make([]uint64, 0, 3*t.Len())
+	var walk func(n jsontree.NodeID, h uint64, depth int)
+	walk = func(n jsontree.NodeID, h uint64, depth int) {
+		if depth > 0 {
+			terms = append(terms, presenceTerm(h))
+		}
+		kind := t.Kind(n)
+		terms = append(terms, classTerm(h, kind))
+		switch kind {
+		case jsontree.StringNode, jsontree.NumberNode:
+			terms = append(terms, valueTerm(h, t.SubtreeHash(n)))
+		default:
+			if depth == ix.maxDepth {
+				return
+			}
+			for _, c := range t.Children(n) {
+				var s jsontree.Step
+				if kind == jsontree.ObjectNode {
+					s = jsontree.Key(t.EdgeKey(c))
+				} else {
+					s = jsontree.Index(t.EdgePos(c))
+				}
+				walk(c, stepHash(h, s), depth+1)
+			}
+		}
+	}
+	walk(t.Root(), fnvOffset, 0)
+	return terms
+}
+
+// add indexes a document under the given ID.
+func (ix *pathIndex) add(id string, t *jsontree.Tree) {
+	for _, term := range ix.docTerms(t) {
+		post := ix.postings[term]
+		if post == nil {
+			post = make(map[string]struct{})
+			ix.postings[term] = post
+		}
+		if _, dup := post[id]; !dup {
+			post[id] = struct{}{}
+			ix.entries++
+		}
+	}
+}
+
+// remove un-indexes a document; t must be the exact tree that was
+// added (the shard keeps it until removal, so this holds by
+// construction).
+func (ix *pathIndex) remove(id string, t *jsontree.Tree) {
+	for _, term := range ix.docTerms(t) {
+		post, ok := ix.postings[term]
+		if !ok {
+			continue
+		}
+		if _, present := post[id]; present {
+			delete(post, id)
+			ix.entries--
+			if len(post) == 0 {
+				delete(ix.postings, term)
+			}
+		}
+	}
+}
+
+// probe intersects the posting lists of the given terms, iterating the
+// smallest list and testing membership in the rest. A missing term
+// short-circuits to the empty set.
+func (ix *pathIndex) probe(terms []uint64) []string {
+	if len(terms) == 0 {
+		return nil
+	}
+	lists := make([]map[string]struct{}, len(terms))
+	smallest := 0
+	for i, term := range terms {
+		post, ok := ix.postings[term]
+		if !ok {
+			return nil
+		}
+		lists[i] = post
+		if len(post) < len(lists[smallest]) {
+			smallest = i
+		}
+	}
+	out := make([]string, 0, len(lists[smallest]))
+	for id := range lists[smallest] {
+		in := true
+		for i, post := range lists {
+			if i == smallest {
+				continue
+			}
+			if _, ok := post[id]; !ok {
+				in = false
+				break
+			}
+		}
+		if in {
+			out = append(out, id)
+		}
+	}
+	return out
+}

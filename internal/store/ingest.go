@@ -1,0 +1,71 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"jsonlogic/internal/engine"
+	"jsonlogic/internal/jsontree"
+)
+
+// BulkError records one failed line of a bulk ingest.
+type BulkError struct {
+	// Line is the 1-based input line number.
+	Line int
+	// Err is the parse failure. The line is skipped; the rest of the
+	// batch proceeds.
+	Err error
+}
+
+// BulkResult reports a bulk NDJSON ingest.
+type BulkResult struct {
+	// IDs are the assigned document IDs, in input order, for the lines
+	// that parsed.
+	IDs []string
+	// Errors lists the lines that failed to parse.
+	Errors []BulkError
+}
+
+// BulkNDJSON ingests one JSON document per non-blank line, assigning
+// each a fresh sequential ID ("d00000000", …). A malformed line fails
+// alone and is reported in the result; the returned error reports a
+// failure of the reader itself (an I/O error or an oversized line),
+// after which the stream cannot be resynchronized — documents ingested
+// before the failure remain stored.
+//
+// Lines are tokenized with the §6 streaming tokenizer and materialized
+// through a reused jsontree.Builder, bypassing the jsonval layer like
+// the engine's NDJSON paths.
+func (s *Store) BulkNDJSON(r io.Reader) (BulkResult, error) {
+	var res BulkResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), engine.MaxNDJSONLine)
+	b := jsontree.NewBuilder()
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		t, err := engine.BuildTree(strings.NewReader(text), b)
+		if err != nil {
+			res.Errors = append(res.Errors, BulkError{Line: lineNo, Err: err})
+			continue
+		}
+		// Draw sequence IDs until one inserts: taken IDs (user-chosen
+		// names, or a concurrent Put racing the sequence) are skipped
+		// atomically, never overwritten.
+		var id string
+		for {
+			id = fmt.Sprintf("d%08d", s.seq.Add(1)-1)
+			if s.putTreeIfAbsent(id, t) {
+				break
+			}
+		}
+		res.IDs = append(res.IDs, id)
+	}
+	return res, sc.Err()
+}

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"sort"
+
+	"jsonlogic/internal/engine"
+	"jsonlogic/internal/jsontree"
+)
+
+// Selection is the node-selection result for one document.
+type Selection struct {
+	ID string
+	// Tree is the snapshot the node IDs refer to. Callers resolving
+	// Nodes must use it rather than re-fetching by ID — a concurrent
+	// replacement of the document would make the IDs meaningless.
+	Tree  *jsontree.Tree
+	Nodes []jsontree.NodeID
+}
+
+// docPair is a snapshot of one stored document.
+type docPair struct {
+	id   string
+	tree *jsontree.Tree
+}
+
+// queryTerms converts a plan's facts into index terms (factTerm
+// degrades over-deep facts to in-bound prefix presence). supported is
+// false only when no fact yields a term, in which case the caller must
+// scan.
+func (s *Store) queryTerms(facts []jsontree.PathFact) (terms []uint64, supported bool) {
+	// Planners may emit the same fact twice (e.g. $gt's IsInt∧Min both
+	// demand a number); probing a posting list twice is pure waste.
+	seen := make(map[uint64]struct{}, len(facts))
+	for _, f := range facts {
+		term, ok := factTerm(f, s.opts.MaxIndexDepth)
+		if !ok {
+			continue
+		}
+		if _, dup := seen[term]; dup {
+			continue
+		}
+		seen[term] = struct{}{}
+		terms = append(terms, term)
+	}
+	return terms, len(terms) > 0
+}
+
+// candidates snapshots the documents a query must evaluate: the
+// index-probe intersection when terms are given, the whole shard
+// otherwise. Trees are immutable, so evaluation happens after the read
+// lock is released; each query sees a consistent per-shard snapshot.
+func (s *Store) candidates(terms []uint64, indexed bool) []docPair {
+	var out []docPair
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if indexed {
+			for _, id := range sh.ix.probe(terms) {
+				out = append(out, docPair{id: id, tree: sh.docs[id]})
+			}
+		} else {
+			for id, t := range sh.docs {
+				out = append(out, docPair{id: id, tree: t})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Find returns the IDs of all documents matching the plan's boolean
+// semantics (engine.Validate), sorted. When the plan's find facts are
+// index-supported, candidates come from posting-list intersection;
+// otherwise every document is evaluated. Results are identical either
+// way — the facts are necessary conditions of matching. The returned
+// indexed flag reports which path answered the query.
+func (s *Store) Find(p *engine.Plan) (ids []string, indexed bool, err error) {
+	terms, indexed := s.queryTerms(p.FindFacts())
+	if indexed {
+		s.findIndexed.Add(1)
+	} else {
+		s.findScan.Add(1)
+	}
+	ids, err = s.find(p, terms, indexed)
+	return ids, indexed, err
+}
+
+// FindScan is Find with the index disabled: the reference full scan
+// the differential tests compare against.
+func (s *Store) FindScan(p *engine.Plan) ([]string, error) {
+	s.findScan.Add(1)
+	return s.find(p, nil, false)
+}
+
+func (s *Store) find(p *engine.Plan, terms []uint64, indexed bool) ([]string, error) {
+	pairs := s.candidates(terms, indexed)
+	s.noteEvaluated(len(pairs), indexed)
+	verdicts, err := s.eng.ValidateBatch(p, candidateTrees(pairs))
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(pairs))
+	for i, ok := range verdicts {
+		if ok {
+			ids = append(ids, pairs[i].id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Select runs the plan's node-selection semantics (engine.Eval) over
+// the collection and returns, per document with at least one selected
+// node, the selected node IDs in evaluation order. Results are sorted
+// by document ID. Indexing applies when the plan's select facts are
+// supported (currently JSONPath plans, whose selection is anchored at
+// the root); all other plans scan. The returned indexed flag reports
+// which path answered the query.
+func (s *Store) Select(p *engine.Plan) (sels []Selection, indexed bool, err error) {
+	terms, indexed := s.queryTerms(p.SelectFacts())
+	if indexed {
+		s.selectIndexed.Add(1)
+	} else {
+		s.selectScan.Add(1)
+	}
+	sels, err = s.sel(p, terms, indexed)
+	return sels, indexed, err
+}
+
+// SelectScan is Select with the index disabled.
+func (s *Store) SelectScan(p *engine.Plan) ([]Selection, error) {
+	s.selectScan.Add(1)
+	return s.sel(p, nil, false)
+}
+
+func (s *Store) sel(p *engine.Plan, terms []uint64, indexed bool) ([]Selection, error) {
+	pairs := s.candidates(terms, indexed)
+	s.noteEvaluated(len(pairs), indexed)
+	selections, err := s.eng.EvalBatch(p, candidateTrees(pairs))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Selection, 0, len(pairs))
+	for i, nodes := range selections {
+		if len(nodes) > 0 {
+			out = append(out, Selection{ID: pairs[i].id, Tree: pairs[i].tree, Nodes: nodes})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// candidateTrees projects a candidate snapshot onto the tree slice the
+// engine's batch entry points take — evaluation runs on the engine's
+// worker pool, so scans and large candidate sets parallelize across
+// cores.
+func candidateTrees(pairs []docPair) []*jsontree.Tree {
+	trees := make([]*jsontree.Tree, len(pairs))
+	for i, pair := range pairs {
+		trees[i] = pair.tree
+	}
+	return trees
+}
+
+func (s *Store) noteEvaluated(n int, indexed bool) {
+	if indexed {
+		s.candidateDocs.Add(uint64(n))
+	} else {
+		s.scannedDocs.Add(uint64(n))
+	}
+}

@@ -1,0 +1,236 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"jsonlogic/internal/engine"
+	"jsonlogic/internal/jsontree"
+)
+
+// Options configure a Store. The zero value selects 16 shards, an
+// index depth bound of 16 and a fresh default Engine.
+type Options struct {
+	// Shards is the shard count, rounded up to a power of two
+	// (default 16).
+	Shards int
+	// MaxIndexDepth bounds the indexed path depth; facts deeper than
+	// the bound fall back to scanning (default 16).
+	MaxIndexDepth int
+	// Engine is the plan compiler/evaluator the store queries with. If
+	// nil a default engine.New(engine.Options{}) is created; servers
+	// share one engine between the store and their own endpoints so
+	// plan-cache statistics cover all traffic.
+	Engine *engine.Engine
+}
+
+const (
+	defaultShards        = 16
+	defaultMaxIndexDepth = 16
+)
+
+// Store is a sharded, goroutine-safe document collection with an
+// inverted path index. All methods may be called concurrently. See the
+// package documentation for the architecture.
+type Store struct {
+	shards []*shard
+	mask   uint64
+	eng    *engine.Engine
+	opts   Options
+
+	seq atomic.Uint64 // auto-ID counter for bulk ingest
+
+	// Query counters (Stats).
+	findIndexed   atomic.Uint64
+	findScan      atomic.Uint64
+	selectIndexed atomic.Uint64
+	selectScan    atomic.Uint64
+	candidateDocs atomic.Uint64
+	scannedDocs   atomic.Uint64
+}
+
+// shard owns a partition of the documents and its slice of the index.
+// One RWMutex guards both, so index and docs can never disagree.
+type shard struct {
+	mu   sync.RWMutex
+	docs map[string]*jsontree.Tree
+	ix   *pathIndex
+}
+
+// New returns an empty Store.
+func New(opts Options) *Store {
+	if opts.Shards <= 0 {
+		opts.Shards = defaultShards
+	}
+	n := 1
+	for n < opts.Shards {
+		n <<= 1
+	}
+	opts.Shards = n
+	if opts.MaxIndexDepth <= 0 {
+		opts.MaxIndexDepth = defaultMaxIndexDepth
+	}
+	if opts.Engine == nil {
+		opts.Engine = engine.New(engine.Options{})
+	}
+	s := &Store{
+		shards: make([]*shard, n),
+		mask:   uint64(n - 1),
+		eng:    opts.Engine,
+		opts:   opts,
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			docs: make(map[string]*jsontree.Tree),
+			ix:   newPathIndex(opts.MaxIndexDepth),
+		}
+	}
+	return s
+}
+
+// Engine returns the engine the store compiles and evaluates with.
+func (s *Store) Engine() *engine.Engine { return s.eng }
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+func (s *Store) shardFor(id string) *shard {
+	return s.shards[fnvString(fnvOffset, id)&s.mask]
+}
+
+// Put parses a JSON document and stores it under id, replacing any
+// previous document with that ID.
+func (s *Store) Put(id, doc string) error {
+	t, err := jsontree.Parse(doc)
+	if err != nil {
+		return fmt.Errorf("store: put %q: %w", id, err)
+	}
+	s.PutTree(id, t)
+	return nil
+}
+
+// PutTree stores an already-built tree under id, replacing any previous
+// document. The tree must not be mutated afterwards (jsontree.Tree is
+// immutable by construction, so this holds for all library-built
+// trees).
+func (s *Store) PutTree(id string, t *jsontree.Tree) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if old, ok := sh.docs[id]; ok {
+		sh.ix.remove(id, old)
+	}
+	sh.docs[id] = t
+	sh.ix.add(id, t)
+	sh.mu.Unlock()
+}
+
+// putTreeIfAbsent stores t under id only when the ID is free, with the
+// existence check and the insert under one shard lock — the atomicity
+// bulk ingest's auto-ID assignment relies on to never clobber a
+// concurrently stored document.
+func (s *Store) putTreeIfAbsent(id string, t *jsontree.Tree) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, taken := sh.docs[id]; taken {
+		return false
+	}
+	sh.docs[id] = t
+	sh.ix.add(id, t)
+	return true
+}
+
+// Get returns the document stored under id.
+func (s *Store) Get(id string) (*jsontree.Tree, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	t, ok := sh.docs[id]
+	sh.mu.RUnlock()
+	return t, ok
+}
+
+// Delete removes the document stored under id, unwinding its index
+// entries, and reports whether it existed.
+func (s *Store) Delete(id string) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	t, ok := sh.docs[id]
+	if ok {
+		sh.ix.remove(id, t)
+		delete(sh.docs, id)
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of stored documents.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardStats describes one shard for Stats.
+type ShardStats struct {
+	Docs     int `json:"docs"`
+	Terms    int `json:"terms"`
+	Postings int `json:"postings"`
+}
+
+// QueryStats aggregates the store's query counters.
+type QueryStats struct {
+	// FindIndexed / FindScan count Find calls answered via the index
+	// versus by full scan; SelectIndexed / SelectScan likewise for
+	// Select.
+	FindIndexed   uint64 `json:"find_indexed"`
+	FindScan      uint64 `json:"find_scan"`
+	SelectIndexed uint64 `json:"select_indexed"`
+	SelectScan    uint64 `json:"select_scan"`
+	// CandidateDocs counts documents evaluated on indexed queries;
+	// ScannedDocs counts documents evaluated on scans. Their ratio is
+	// the index's pruning power.
+	CandidateDocs uint64 `json:"candidate_docs"`
+	ScannedDocs   uint64 `json:"scanned_docs"`
+}
+
+// Stats is a point-in-time snapshot of the store.
+type Stats struct {
+	Docs    int          `json:"docs"`
+	Shards  []ShardStats `json:"shards"`
+	Terms   int          `json:"index_terms"`
+	Entries int          `json:"index_postings"`
+	Queries QueryStats   `json:"queries"`
+}
+
+// Stats returns a snapshot of shard sizes, index cardinalities and
+// query counters.
+func (s *Store) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, len(s.shards))}
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		ss := ShardStats{
+			Docs:     len(sh.docs),
+			Terms:    len(sh.ix.postings),
+			Postings: sh.ix.entries,
+		}
+		sh.mu.RUnlock()
+		st.Shards[i] = ss
+		st.Docs += ss.Docs
+		st.Terms += ss.Terms
+		st.Entries += ss.Postings
+	}
+	st.Queries = QueryStats{
+		FindIndexed:   s.findIndexed.Load(),
+		FindScan:      s.findScan.Load(),
+		SelectIndexed: s.selectIndexed.Load(),
+		SelectScan:    s.selectScan.Load(),
+		CandidateDocs: s.candidateDocs.Load(),
+		ScannedDocs:   s.scannedDocs.Load(),
+	}
+	return st
+}
