@@ -3,11 +3,11 @@
 GO ?= go
 
 # The committed benchmark snapshot for this PR sequence; bump per PR.
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_3.json
 
-.PHONY: all build vet fmt-check test race fuzz bench bench-engine bench-store bench-json
+.PHONY: all build vet fmt-check test race fuzz bench bench-engine bench-store bench-json docs-check run-daemon
 
-all: vet fmt-check build test
+all: vet fmt-check build test docs-check
 
 build:
 	$(GO) build ./...
@@ -38,9 +38,23 @@ bench-engine:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' ./...
 
 # The storage tier: indexed query vs full scan at 10k/100k documents,
-# and bulk-ingest throughput.
+# bulk-ingest throughput (in-memory baseline and per-fsync-policy WAL
+# overhead), and startup recovery.
 bench-store:
 	$(GO) test -run xxx -bench 'BenchmarkStore' ./...
+
+# Documentation checks: required docs exist, relative markdown links
+# resolve, and every package (including examples/) compiles via vet.
+docs-check:
+	sh scripts/docs-check.sh
+
+# Run the daemon durably against a throwaway data directory — the
+# quickest way to poke the HTTP API (and kill-and-recover: rerun with
+# the printed directory to recover it).
+run-daemon:
+	@dir=$$(mktemp -d /tmp/jsonstored-data.XXXXXX); \
+	echo "data dir: $$dir"; \
+	$(GO) run ./cmd/jsonstored -addr :8080 -data-dir "$$dir" -fsync interval
 
 # Benchmarks as data: run the suite and record (name, ns/op, B/op,
 # allocs/op) in $(BENCH_JSON), committed per PR so the performance

@@ -832,14 +832,21 @@ func BenchmarkStoreSelectJSONPath(b *testing.B) {
 	}
 }
 
-// BenchmarkStoreIngestNDJSON measures bulk ingest throughput including
-// incremental index maintenance.
-func BenchmarkStoreIngestNDJSON(b *testing.B) {
+// ingestCorpus builds the shared 2000-document NDJSON batch the
+// ingest benchmarks feed.
+func ingestCorpus() string {
 	var sb strings.Builder
 	for i := 0; i < 2000; i++ {
 		fmt.Fprintf(&sb, `{"sensor":"s%d","value":%d,"nested":{"a":[%d,"x"]}}`+"\n", i%32, i, i%100)
 	}
-	input := sb.String()
+	return sb.String()
+}
+
+// BenchmarkStoreIngestNDJSON measures bulk ingest throughput including
+// incremental index maintenance — the in-memory baseline the durable
+// variants below are read against.
+func BenchmarkStoreIngestNDJSON(b *testing.B) {
+	input := ingestCorpus()
 	b.ReportAllocs()
 	b.SetBytes(int64(len(input)))
 	for i := 0; i < b.N; i++ {
@@ -848,5 +855,106 @@ func BenchmarkStoreIngestNDJSON(b *testing.B) {
 		if err != nil || len(res.IDs) != 2000 {
 			b.Fatalf("ingested %d (err %v)", len(res.IDs), err)
 		}
+	}
+}
+
+// BenchmarkStoreIngestDurable quantifies the write-ahead-log overhead
+// of bulk ingest under each fsync policy. Bulk batches WAL appends and
+// forces them durable once per touched shard at the end of the
+// stream, so fsync=always pays ~16 fsyncs per 2000-document batch,
+// not 2000; fsync=interval and fsync=off defer to the background
+// flusher and should sit near the in-memory baseline plus the
+// sequential write cost.
+func BenchmarkStoreIngestDurable(b *testing.B) {
+	input := ingestCorpus()
+	for _, policy := range []store.FsyncPolicy{store.FsyncAlways, store.FsyncInterval, store.FsyncOff} {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(input)))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				b.StartTimer()
+				s, err := store.Open(store.Options{Shards: 16, DataDir: dir, Fsync: policy, SnapshotEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.BulkNDJSON(strings.NewReader(input))
+				if err != nil || len(res.IDs) != 2000 {
+					b.Fatalf("ingested %d (err %v)", len(res.IDs), err)
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStorePutDurable is the single-writer worst case: one
+// document per acknowledgement, so fsync=always pays one fsync per
+// put (nothing to group), while interval and off ride the buffer.
+func BenchmarkStorePutDurable(b *testing.B) {
+	for _, policy := range []store.FsyncPolicy{store.FsyncAlways, store.FsyncInterval, store.FsyncOff} {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			s, err := store.Open(store.Options{Shards: 16, DataDir: b.TempDir(), Fsync: policy, SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := fmt.Sprintf("doc%07d", i)
+				if err := s.Put(id, `{"sensor":"s1","value":42,"nested":{"a":[7,"x"]}}`); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreRecover measures startup recovery: replaying a
+// 2000-document WAL versus loading the equivalent snapshot.
+func BenchmarkStoreRecover(b *testing.B) {
+	input := ingestCorpus()
+	for _, snapshotted := range []bool{false, true} {
+		name := "wal-replay"
+		if snapshotted {
+			name = "snapshot-load"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			opts := store.Options{Shards: 16, DataDir: dir, Fsync: store.FsyncOff, SnapshotEvery: -1}
+			s, err := store.Open(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.BulkNDJSON(strings.NewReader(input)); err != nil {
+				b.Fatal(err)
+			}
+			if snapshotted {
+				if err := s.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := store.Open(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Len() != 2000 {
+					b.Fatalf("recovered %d docs", s.Len())
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

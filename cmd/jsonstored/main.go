@@ -1,8 +1,13 @@
 // Command jsonstored serves a sharded, path-indexed document store
 // (internal/store) over HTTP, with query evaluation through the shared
-// plan-caching engine (internal/engine).
+// plan-caching engine (internal/engine) and optional durability: with
+// -data-dir every put and delete is written ahead to a per-shard log
+// before it is acknowledged, shards are snapshotted in the background,
+// and a restart recovers the collection (snapshot + WAL tail replay,
+// torn tails truncated, index rebuilt).
 //
-// Endpoints:
+// Endpoints (see README.md in this directory for the full API
+// reference):
 //
 //	PUT    /docs/{id}   store the JSON document in the request body
 //	GET    /docs/{id}   fetch a document
@@ -11,7 +16,7 @@
 //	POST   /query       {"lang","query","mode":"find"|"select","values":bool}
 //	POST   /validate    {"lang","query","id"} or {"lang","query","doc"}
 //	GET    /stats       shard sizes, index cardinalities, query counters,
-//	                    plan-cache hit rates
+//	                    plan-cache hit rates, WAL/snapshot/recovery stats
 //
 // Documents use the paper's value model: objects, arrays, strings and
 // natural numbers. See examples/storequery for a curl walkthrough.
@@ -19,14 +24,25 @@
 // Usage:
 //
 //	jsonstored [-addr :8080] [-shards 16] [-cache 256] [-index-depth 16]
+//	           [-data-dir DIR] [-fsync always|interval|off]
+//	           [-fsync-interval 100ms] [-snapshot-every 10000]
+//
+// Without -data-dir the store is in-memory and dies with the process.
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests, flushes and fsyncs the WAL, and exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"jsonlogic/internal/engine"
@@ -36,13 +52,48 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	shards := flag.Int("shards", 16, "shard count (rounded up to a power of two)")
+	shards := flag.Int("shards", 16, "shard count (rounded up to a power of two; pinned by the manifest of an existing -data-dir)")
 	cache := flag.Int("cache", 256, "plan cache capacity")
 	indexDepth := flag.Int("index-depth", 16, "maximum indexed path depth")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty: in-memory only)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval or off")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "sync period under -fsync interval")
+	snapshotEvery := flag.Int("snapshot-every", 10000, "snapshot a shard once its WAL segment holds this many records (negative: manual snapshots only)")
 	flag.Parse()
 
+	policy, err := store.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		log.Fatalf("jsonstored: %v", err)
+	}
+	if *snapshotEvery == 0 {
+		// 0 is the library's "use the default" zero value; an operator
+		// typing it almost certainly meant "never" — make them say so.
+		log.Fatalf("jsonstored: -snapshot-every 0 is ambiguous: use a negative value to disable automatic snapshots")
+	}
 	eng := engine.New(engine.Options{PlanCacheSize: *cache})
-	st := store.New(store.Options{Shards: *shards, MaxIndexDepth: *indexDepth, Engine: eng})
+	opts := store.Options{
+		Shards:        *shards,
+		MaxIndexDepth: *indexDepth,
+		Engine:        eng,
+		DataDir:       *dataDir,
+		Fsync:         policy,
+		FsyncInterval: *fsyncInterval,
+		SnapshotEvery: *snapshotEvery,
+	}
+	var st *store.Store
+	if *dataDir == "" {
+		st = store.New(opts)
+		log.Printf("jsonstored: in-memory store (no -data-dir; documents die with the process)")
+	} else {
+		st, err = store.Open(opts)
+		if err != nil {
+			log.Fatalf("jsonstored: %v", err)
+		}
+		rec := st.Stats().Durability.Recovery
+		log.Printf("jsonstored: recovered %s: %d docs (%d from snapshots, %d WAL records replayed, %d torn tails truncated), fsync=%s",
+			*dataDir, st.Len(), rec.SnapshotDocs, rec.WALRecordsReplayed, rec.TornTails, policy)
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: newServer(st),
@@ -51,8 +102,36 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// flush + fsync the WAL so a clean stop loses nothing even under
+	// -fsync off.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("jsonstored: listening on %s (%d shards, plan cache %d)", *addr, st.NumShards(), *cache)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		st.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("jsonstored: shutting down")
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer shutdownCancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("jsonstored: shutdown: drain timed out after 15s; remaining connections were cut off")
+		} else {
+			log.Printf("jsonstored: shutdown: %v", err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		log.Fatalf("jsonstored: close store: %v", err)
+	}
+	log.Printf("jsonstored: store flushed; bye")
 }
 
 // maxBody bounds one request body (64 MiB; covers bulk uploads).
@@ -100,7 +179,12 @@ func (s *server) putDoc(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.store.PutTree(id, t)
+	if err := s.store.PutTree(id, t); err != nil {
+		// A WAL failure: the write is not durable (a failed append was
+		// additionally never applied).
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "nodes": t.Len()})
 }
 
@@ -117,7 +201,12 @@ func (s *server) getDoc(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) deleteDoc(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.store.Delete(id) {
+	ok, err := s.store.Delete(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, "no document %q", id)
 		return
 	}
@@ -145,8 +234,15 @@ func (s *server) bulk(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Lines before the failure are already stored; report them so
 		// the client can reconcile instead of blindly re-uploading.
+		// A WAL/disk failure is the server's fault, 500 — matching the
+		// put/delete handlers; every other abort (oversized body or
+		// line, client disconnect mid-upload) is the stream's, 400.
+		status := http.StatusBadRequest
+		if errors.Is(err, store.ErrWAL) {
+			status = http.StatusInternalServerError
+		}
 		body["error"] = fmt.Sprintf("bulk ingest aborted: %v", err)
-		writeJSON(w, http.StatusBadRequest, body)
+		writeJSON(w, status, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, body)

@@ -233,6 +233,70 @@ func TestConcurrentMixedHTTPLoad(t *testing.T) {
 	}
 }
 
+// TestDurableDaemonRestart drives the handler over a durable store,
+// simulates a restart by closing and reopening the data directory,
+// and requires the new handler to serve exactly the acknowledged
+// state — including the durability section of /stats.
+func TestDurableDaemonRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := store.Options{Shards: 4, DataDir: dir, Fsync: store.FsyncAlways, SnapshotEvery: -1}
+	st, err := store.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(st))
+	if code, _ := do(t, "PUT", ts.URL+"/docs/u1", `{"name":"sue","age":34}`); code != 200 {
+		t.Fatal("put u1")
+	}
+	if code, _ := do(t, "PUT", ts.URL+"/docs/u2", `{"name":"bob","age":17}`); code != 200 {
+		t.Fatal("put u2")
+	}
+	if code, _ := do(t, "POST", ts.URL+"/bulk", "{\"k\":1}\n{\"k\":2}\n"); code != 200 {
+		t.Fatal("bulk")
+	}
+	if code, _ := do(t, "DELETE", ts.URL+"/docs/u2", ""); code != 200 {
+		t.Fatal("delete u2")
+	}
+	code, body := do(t, "GET", ts.URL+"/stats", "")
+	if code != 200 {
+		t.Fatal("stats")
+	}
+	dur := body["store"].(map[string]any)["durability"].(map[string]any)
+	if dur["fsync"] != "always" || dur["wal_appends"].(float64) != 5 {
+		t.Fatalf("durability stats = %v", dur)
+	}
+	ts.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ts2 := httptest.NewServer(newServer(st2))
+	t.Cleanup(ts2.Close)
+	if code, body := do(t, "GET", ts2.URL+"/docs/u1", ""); code != 200 || body["name"] != "sue" {
+		t.Fatalf("u1 after restart: %d %v", code, body)
+	}
+	if code, _ := do(t, "GET", ts2.URL+"/docs/u2", ""); code != 404 {
+		t.Fatal("deleted u2 resurrected by restart")
+	}
+	code, body = do(t, "POST", ts2.URL+"/query", `{"lang":"mongo","query":"{\"k\":{\"$gte\":1}}"}`)
+	if code != 200 || body["count"].(float64) != 2 {
+		t.Fatalf("bulk docs after restart: %d %v", code, body)
+	}
+	code, body = do(t, "GET", ts2.URL+"/stats", "")
+	if code != 200 {
+		t.Fatal("stats after restart")
+	}
+	rec := body["store"].(map[string]any)["durability"].(map[string]any)["recovery"].(map[string]any)
+	if rec["wal_records_replayed"].(float64) != 5 {
+		t.Fatalf("recovery stats after restart = %v", rec)
+	}
+}
+
 // TestIndexedFlagTruthful pins the /query "indexed" field to the
 // store's actual decision: a deep JSONPath plan on a shallow index
 // bound degrades to prefix-presence pruning (still indexed, results

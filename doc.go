@@ -29,15 +29,26 @@
 // intersects the facts' posting lists into a candidate set and runs
 // the reference evaluation over candidates only, falling back to a
 // full scan for plans the index cannot support — results are provably
-// and differentially-tested identical either way. cmd/jsonstored
-// serves the store over HTTP with bulk NDJSON ingest and a /stats
-// endpoint covering shards, index cardinalities and plan-cache hit
-// rates.
+// and differentially-tested identical either way.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for the
-// paper-versus-measured record of every reproduced result. The
-// functional packages live under internal/; the cmd/ directory provides
-// the jsonq, jsonvalidate, jsonsat, jsonrepro, jsonstored and benchjson
-// executables, and examples/ holds nine runnable walkthroughs.
+// The store is durable when opened with a data directory: every put
+// and delete is appended to a per-shard write-ahead log
+// (length-prefixed, CRC-protected records; group-commit fsync under a
+// configurable policy) before it is applied, shards are snapshotted
+// in the background with atomic write-temp-then-rename, and reopening
+// recovers the latest valid snapshot plus the replayed WAL tail,
+// truncating torn tails and rebuilding the index. Crash-recovery
+// tests pin the reopened store node-for-node to an in-memory
+// reference. cmd/jsonstored serves the store over HTTP with bulk
+// NDJSON ingest, graceful-shutdown flush and a /stats endpoint
+// covering shards, index cardinalities, plan-cache hit rates and
+// WAL/snapshot/recovery counters.
+//
+// See README.md for install and quickstart, docs/ARCHITECTURE.md for
+// the system overview (front ends → engine → store → durability →
+// daemon), and docs/QUERY_LANGUAGES.md for every front end's grammar
+// mapped back to the paper. The functional packages live under
+// internal/; the cmd/ directory provides the jsonq, jsonvalidate,
+// jsonsat, jsonrepro, jsonstored and benchjson executables, and
+// examples/ holds nine runnable walkthroughs.
 package jsonlogic

@@ -47,6 +47,25 @@
 // Facts deeper than the index bound degrade to the presence of their
 // in-bound prefix rather than disabling the index.
 //
+// # Durability: write-ahead log and snapshot recovery
+//
+// New builds an in-memory store; Open adds durability under
+// Options.DataDir. Every put and delete is framed (length-prefixed,
+// CRC-protected) and appended to its shard's log while the shard lock
+// is held — so log order equals apply order — and acknowledged only
+// once the configured FsyncPolicy holds: always (group-commit fsync
+// per acknowledgement), interval (background timer), or off (OS
+// write-back; Close still flushes and syncs). Background snapshotting
+// rotates a shard's WAL and writes its contents with
+// write-temp-then-rename atomicity; recovery loads the newest
+// snapshot that validates end-to-end, replays the WAL generations
+// after it, truncates torn tails, and rebuilds the inverted index by
+// re-inserting through the ordinary in-memory path. Stats exposes the
+// WAL, snapshot and recovery counters; crash-recovery tests in this
+// package pin a reopened store node-for-node to an in-memory
+// reference driven through the same mutations.
+//
 // Package cmd/jsonstored serves a Store over HTTP; see
-// examples/storequery for a walkthrough.
+// examples/storequery for a walkthrough and docs/ARCHITECTURE.md for
+// the whole pipeline.
 package store

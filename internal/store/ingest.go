@@ -2,9 +2,11 @@ package store
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"jsonlogic/internal/engine"
 	"jsonlogic/internal/jsontree"
@@ -38,6 +40,13 @@ type BulkResult struct {
 // Lines are tokenized with the §6 streaming tokenizer and materialized
 // through a reused jsontree.Builder, bypassing the jsonval layer like
 // the engine's NDJSON paths.
+//
+// On a durable store, WAL appends are batched: per-line records are
+// buffered as they are applied and forced durable once at the end of
+// the stream, so fsync=always pays one sync per touched shard per
+// batch instead of one per document. The result is acknowledged only
+// after that final force; a WAL failure aborts the batch with the
+// documents ingested so far reported in the result.
 func (s *Store) BulkNDJSON(r io.Reader) (BulkResult, error) {
 	var res BulkResult
 	sc := bufio.NewScanner(r)
@@ -61,11 +70,68 @@ func (s *Store) BulkNDJSON(r io.Reader) (BulkResult, error) {
 		var id string
 		for {
 			id = fmt.Sprintf("d%08d", s.seq.Add(1)-1)
-			if s.putTreeIfAbsent(id, t) {
+			ok, err := s.putTreeIfAbsent(id, t)
+			if err != nil {
+				// Force the other shards' buffered records durable
+				// before reporting: the result's IDs are promised to
+				// be "already stored", which must survive a crash. A
+				// failure of that force matters just as much, so it
+				// travels with the original error.
+				if cerr := s.commitBulk(); cerr != nil {
+					err = errors.Join(err, cerr)
+				}
+				return res, err
+			}
+			if ok {
 				break
 			}
 		}
 		res.IDs = append(res.IDs, id)
 	}
-	return res, sc.Err()
+	if err := sc.Err(); err != nil {
+		// Keep what was applied durable; a failed force travels with
+		// the reader error.
+		if cerr := s.commitBulk(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return res, err
+	}
+	return res, s.commitBulk()
+}
+
+// commitBulk forces every shard's buffered WAL tail durable per the
+// fsync policy — the group commit that ends a bulk batch. The
+// per-shard fsyncs are independent, so they run concurrently: the
+// batch waits roughly one fsync latency, not shard-count of them.
+// Untouched shards are free (syncNow returns without syncing when
+// nothing is pending).
+func (s *Store) commitBulk() error {
+	if s.dur == nil {
+		return nil
+	}
+	if s.dur.policy != FsyncAlways {
+		var first error
+		for _, w := range s.dur.wals {
+			if err := w.commit(0); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, len(s.dur.wals))
+	var wg sync.WaitGroup
+	wg.Add(len(s.dur.wals))
+	for i, w := range s.dur.wals {
+		go func(i int, w *shardWAL) {
+			defer wg.Done()
+			errs[i] = w.syncNow()
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

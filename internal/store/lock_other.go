@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// On platforms without flock(2) and directory fsync (Windows), both
+// primitives degrade to no-ops: the module builds and the durable
+// store runs, but the single-owner guard on a data directory and the
+// directory-entry half of the machine-crash guarantee are Unix-only —
+// documented in cmd/jsonstored/README.md.
+
+func flockExclusive(*os.File) error { return nil }
+
+func syncDir(string) error { return nil }

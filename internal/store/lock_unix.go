@@ -1,0 +1,27 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f.
+// The lock is tied to the open file description: it dies with the
+// process (a crash never wedges a restart) and is released by
+// f.Close().
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives a machine crash.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	return df.Sync()
+}

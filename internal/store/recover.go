@@ -1,0 +1,590 @@
+package store
+
+// recover.go: opening a durable store. Open loads, per shard, the
+// newest snapshot that validates end-to-end, replays every WAL
+// generation at or after it in order, truncates a torn tail off the
+// active segment, and rebuilds the inverted path index as a side
+// effect of re-inserting each document through the ordinary in-memory
+// path. The layout under Options.DataDir:
+//
+//	MANIFEST.json            format version + shard count (authoritative)
+//	shard-0000/
+//	  snap-0000000003.snap   state at the instant wal-3 started
+//	  wal-0000000003.log     mutations since that instant (active tail)
+//
+// Generation g's snapshot pairs with generation g's WAL: snap-g is the
+// state at the moment wal-g began, so recovery is load(snap-G) then
+// replay wal-G, wal-G+1, … for the greatest valid G. Failed snapshot
+// attempts leave extra WAL generations behind (a rotation happens
+// before the snapshot is written); they replay in order like any
+// other.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jsonlogic/internal/jsontree"
+)
+
+// manifest pins the on-disk format and the shard count. The shard
+// count is authoritative: document IDs are routed to shard files by
+// hash, so reopening with a different count would scatter replay
+// across the wrong directories.
+type manifest struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+const manifestVersion = 1
+
+// durability is the durable half of a Store: one WAL per shard plus
+// the snapshotter/flusher state. Nil on in-memory stores.
+type durability struct {
+	dir           string
+	policy        FsyncPolicy
+	interval      time.Duration
+	snapshotEvery int
+
+	wals     []*shardWAL
+	recovery RecoveryStats
+	lock     *os.File // flock'd LOCK file; held until Close
+
+	snapMu         sync.Mutex // serializes snapshots (manual and background)
+	snapshots      atomic.Uint64
+	snapshotErrors atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+
+	// closeOnce runs the shutdown sequence exactly once (Close or
+	// crashForTest); closedCh is closed after closeErr is final, so
+	// concurrent Close calls block until the result exists instead of
+	// racing the first closer's writes.
+	closeOnce sync.Once
+	closedCh  chan struct{}
+	closeErr  error
+}
+
+func (d *durability) shardDir(i int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("shard-%04d", i))
+}
+
+// RecoveryStats reports what Open found and repaired.
+type RecoveryStats struct {
+	// SnapshotsLoaded counts shards restored from a snapshot;
+	// SnapshotDocs the documents those snapshots held.
+	SnapshotsLoaded int `json:"snapshots_loaded"`
+	SnapshotDocs    int `json:"snapshot_docs"`
+	// InvalidSnapshots counts snapshot files that failed validation and
+	// were skipped in favor of an older generation (or a pure replay).
+	InvalidSnapshots int `json:"invalid_snapshots"`
+	// WALSegments and WALRecordsReplayed cover the replayed log tail.
+	WALSegments        int `json:"wal_segments"`
+	WALRecordsReplayed int `json:"wal_records_replayed"`
+	// TornTails counts active segments that ended mid-record and were
+	// truncated back to the last whole record; TruncatedBytes is the
+	// total amount cut.
+	TornTails      int   `json:"torn_tails"`
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// StaleTempFiles counts leftover snapshot temp files removed.
+	StaleTempFiles int `json:"stale_temp_files"`
+}
+
+// Open opens (creating if necessary) a durable Store rooted at
+// opts.DataDir, recovering whatever a previous process made durable:
+// the latest valid snapshot per shard plus the replayed WAL tail. A
+// torn write at the end of an active segment — the fingerprint of a
+// crash mid-append — is truncated away; corruption anywhere else is an
+// error, never a silent gap. The recovered store's inverted path index
+// is rebuilt en route, and RecoveryStats (via Stats) reports what was
+// found. See New for the in-memory variant.
+func Open(opts Options) (*Store, error) {
+	if opts.DataDir == "" {
+		return nil, errors.New("store: Open requires Options.DataDir; use New for an in-memory store")
+	}
+	opts = normalizeOptions(opts)
+	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	// One owner per data directory: concurrent processes would
+	// interleave independent buffered flushes into the same O_APPEND
+	// segments and truncate each other's tails during recovery. The
+	// flock dies with the process, so a crash never wedges a restart.
+	lock, err := lockDataDir(opts.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	locked := true
+	defer func() {
+		if locked {
+			lock.Close()
+		}
+	}()
+	// Sweep manifest temp files orphaned by a crash inside
+	// writeFileAtomic (the shard-directory sweep below only covers
+	// snap-*.tmp leftovers).
+	if ents, err := os.ReadDir(opts.DataDir); err == nil {
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") {
+				os.Remove(filepath.Join(opts.DataDir, e.Name()))
+			}
+		}
+	}
+	mPath := filepath.Join(opts.DataDir, "MANIFEST.json")
+	if raw, err := os.ReadFile(mPath); err == nil {
+		var m manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("store: open: %s: %w", mPath, err)
+		}
+		if m.Version != manifestVersion {
+			return nil, fmt.Errorf("store: open: %s: format version %d, this build reads %d", mPath, m.Version, manifestVersion)
+		}
+		if m.Shards < 1 || m.Shards&(m.Shards-1) != 0 {
+			// The shard mask arithmetic requires a power of two (New
+			// rounds up; a manifest that disagrees is corrupt).
+			return nil, fmt.Errorf("store: open: %s: invalid shard count %d (must be a power of two)", mPath, m.Shards)
+		}
+		// The manifest wins: the files on disk are laid out for its
+		// shard count.
+		opts.Shards = m.Shards
+	} else if os.IsNotExist(err) {
+		raw, _ := json.Marshal(manifest{Version: manifestVersion, Shards: opts.Shards})
+		if err := writeFileAtomic(mPath, append(raw, '\n')); err != nil {
+			return nil, fmt.Errorf("store: open: write manifest: %w", err)
+		}
+	} else {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+
+	s := newStore(opts)
+	d := &durability{
+		dir:           opts.DataDir,
+		policy:        opts.Fsync,
+		interval:      opts.FsyncInterval,
+		snapshotEvery: opts.SnapshotEvery,
+		wals:          make([]*shardWAL, len(s.shards)),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+		closedCh:      make(chan struct{}),
+	}
+	s.dur = d
+
+	var rs RecoveryStats
+	var maxSeq uint64
+	for i := range s.shards {
+		if err := s.recoverShard(i, &rs, &maxSeq); err != nil {
+			// Close whatever WALs are already open; the store is not
+			// returned.
+			for _, w := range d.wals {
+				if w != nil {
+					w.close()
+				}
+			}
+			return nil, err
+		}
+	}
+	d.recovery = rs
+
+	// Make the shard-directory entries themselves durable (the files
+	// inside were synced as they were created).
+	if err := syncDir(opts.DataDir); err != nil {
+		for _, w := range d.wals {
+			w.close()
+		}
+		return nil, fmt.Errorf("store: open: sync data dir: %w", err)
+	}
+
+	// Seed the bulk-ingest ID sequence past every auto-assigned ID a
+	// previous process handed out — snapshot footers carry the counter
+	// (covering IDs deleted before the snapshot), replayed puts cover
+	// the WAL tail — so a restart never recycles an ID a client may
+	// have observed.
+	s.seq.Store(maxSeq)
+
+	d.lock = lock
+	locked = false // ownership passes to the store; released in Close
+
+	if d.policy == FsyncInterval || d.policy == FsyncOff || d.snapshotEvery > 0 {
+		go d.maintain(s)
+	} else {
+		close(d.done)
+	}
+	return s, nil
+}
+
+// lockDataDir takes the exclusive advisory lock on dir's LOCK file,
+// failing fast when another live process holds it. The locking
+// primitive lives in lock_unix.go / lock_other.go.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	if err := flockExclusive(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: open: %s is in use by another process (%v)", dir, err)
+	}
+	return f, nil
+}
+
+// noteAutoID raises *maxSeq past id when id is a bulk auto-assigned
+// ID ("d<number>").
+func noteAutoID(id string, maxSeq *uint64) {
+	if len(id) < 2 || id[0] != 'd' {
+		return
+	}
+	if n, err := strconv.ParseUint(id[1:], 10, 64); err == nil && n+1 > *maxSeq {
+		*maxSeq = n + 1
+	}
+}
+
+// recoverShard restores shard i from its directory, creating it on
+// first open, and leaves d.wals[i] open for appending. maxSeq is
+// raised past every auto-assigned ID seen in snapshots (their footers
+// persist the counter) and replayed WAL puts.
+func (s *Store) recoverShard(i int, rs *RecoveryStats, maxSeq *uint64) error {
+	d := s.dur
+	dir := d.shardDir(i)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: recover shard %d: %w", i, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: recover shard %d: %w", i, err)
+	}
+	var snapGens, walGens []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch gen, kind := parseGenName(name); kind {
+		case "wal":
+			walGens = append(walGens, gen)
+		case "snap":
+			snapGens = append(snapGens, gen)
+		}
+		if filepath.Ext(name) == ".tmp" {
+			// A snapshot attempt that never reached its rename; the
+			// WAL covering it is still intact.
+			os.Remove(filepath.Join(dir, name))
+			rs.StaleTempFiles++
+		}
+	}
+	sort.Slice(snapGens, func(a, b int) bool { return snapGens[a] > snapGens[b] }) // descending
+	sort.Slice(walGens, func(a, b int) bool { return walGens[a] < walGens[b] })    // ascending
+
+	// Latest snapshot that validates end-to-end wins; invalid ones are
+	// skipped (never partially applied) in favor of older generations.
+	baseGen := uint64(0)
+	var baseDocs map[string]*jsontree.Tree
+	for _, g := range snapGens {
+		docs, snapSeq, err := loadSnapshot(snapFilePath(dir, g))
+		if err != nil {
+			rs.InvalidSnapshots++
+			continue
+		}
+		baseGen, baseDocs = g, docs
+		if snapSeq > *maxSeq {
+			*maxSeq = snapSeq
+		}
+		rs.SnapshotsLoaded++
+		rs.SnapshotDocs += len(docs)
+		break
+	}
+	for id, t := range baseDocs {
+		s.memPut(id, t)
+		noteAutoID(id, maxSeq)
+	}
+
+	// Replay every WAL generation from the base on, in order. The set
+	// must be contiguous — a missing middle segment would silently drop
+	// a window of mutations, so it is an error, not a skip.
+	replay := walGens[:0]
+	for _, g := range walGens {
+		if g >= baseGen {
+			replay = append(replay, g)
+		}
+	}
+	// The first replayed generation must be the base itself: snapshots
+	// obsolete (and delete) everything before their generation, so a
+	// later start means the covering snapshot failed to validate and
+	// the records bridging the gap are gone. Refuse to resurrect a
+	// partial history.
+	if len(replay) > 0 && replay[0] != baseGen {
+		return fmt.Errorf("store: recover shard %d: no usable snapshot for generation %d (WAL starts there, base is %d): unrecoverable gap", i, replay[0], baseGen)
+	}
+	activeGen := baseGen
+	activeSegRecords := uint64(0)
+	for k, g := range replay {
+		if k > 0 && g != replay[k-1]+1 {
+			return fmt.Errorf("store: recover shard %d: WAL generation gap: %d then %d", i, replay[k-1], g)
+		}
+		last := k == len(replay)-1
+		records, torn, cut, err := s.replayWAL(walPath(dir, g), last, maxSeq)
+		if err != nil {
+			return fmt.Errorf("store: recover shard %d: %w", i, err)
+		}
+		if torn && !last {
+			// Rotation seals (flushes + fsyncs) a segment before its
+			// successor exists, so a torn non-final segment means the
+			// disk lost synced data: refuse to guess. replayWAL left
+			// the file untouched in this case, so the refusal holds
+			// across restarts instead of destroying its own evidence.
+			return fmt.Errorf("store: recover shard %d: %s is torn but newer generations exist", i, walPath(dir, g))
+		}
+		if torn {
+			rs.TornTails++
+			rs.TruncatedBytes += cut
+		}
+		rs.WALSegments++
+		rs.WALRecordsReplayed += records
+		activeGen = g
+		activeSegRecords = uint64(records)
+	}
+
+	w, err := openShardWAL(i, dir, activeGen, d.policy, activeSegRecords)
+	if err != nil {
+		return err
+	}
+	d.wals[i] = w
+	return nil
+}
+
+// parseGenName classifies a shard-directory entry as a WAL segment
+// ("wal"), a snapshot ("snap") or neither (""), returning its
+// generation number.
+func parseGenName(name string) (gen uint64, kind string) {
+	cut := func(prefix, suffix string) (string, bool) {
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) && len(name) > len(prefix)+len(suffix) {
+			return name[len(prefix) : len(name)-len(suffix)], true
+		}
+		return "", false
+	}
+	if mid, ok := cut("wal-", ".log"); ok {
+		if g, err := strconv.ParseUint(mid, 10, 64); err == nil {
+			return g, "wal"
+		}
+	}
+	if mid, ok := cut("snap-", ".snap"); ok {
+		if g, err := strconv.ParseUint(mid, 10, 64); err == nil {
+			return g, "snap"
+		}
+	}
+	return 0, ""
+}
+
+// replayWAL applies one segment's records to the in-memory store,
+// raising *maxSeq past replayed auto-assigned IDs (puts of since-
+// deleted documents included). A torn tail of the active (last)
+// segment is truncated off the file so it can be appended to again;
+// a torn non-last segment is reported but left untouched — the caller
+// refuses recovery, and the evidence must survive for the next
+// attempt to refuse too. records is the count applied, cut the bytes
+// past the last whole record.
+func (s *Store) replayWAL(path string, last bool, maxSeq *uint64) (records int, torn bool, cut int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return 0, false, 0, err
+	}
+	size := st.Size()
+	br := bufio.NewReaderSize(f, walBufSize)
+
+	truncateAt := func(off int64) error {
+		f.Close()
+		if !last {
+			return nil // leave the evidence; the caller refuses recovery
+		}
+		if err := os.Truncate(path, off); err != nil {
+			return fmt.Errorf("%s: truncate torn tail: %w", path, err)
+		}
+		return nil
+	}
+
+	magic := make([]byte, len(walMagic))
+	if n, rerr := io.ReadFull(br, magic); rerr != nil || string(magic) != walMagic {
+		if n == 0 && rerr == io.EOF {
+			// Empty file: a segment created but never flushed.
+			f.Close()
+			return 0, false, 0, nil
+		}
+		// A torn header: nothing in the file is trustworthy.
+		return 0, true, size, truncateAt(0)
+	}
+	offset := int64(len(walMagic))
+	for {
+		rec, n, rerr := readRecord(br)
+		if rerr == io.EOF {
+			f.Close()
+			return records, false, 0, nil
+		}
+		if errors.Is(rerr, errTorn) {
+			return records, true, size - offset, truncateAt(offset)
+		}
+		if rerr != nil {
+			f.Close()
+			return records, false, 0, fmt.Errorf("%s: %w", path, rerr)
+		}
+		switch rec.op {
+		case opPut:
+			t, perr := jsontree.Parse(rec.doc)
+			if perr != nil {
+				// The CRC passed but the payload is not a document we
+				// ever wrote: format corruption, not a torn write.
+				f.Close()
+				return records, false, 0, fmt.Errorf("%s: record %d: %w", path, records, perr)
+			}
+			s.memPut(rec.id, t)
+			noteAutoID(rec.id, maxSeq)
+		case opDelete:
+			s.memDelete(rec.id)
+		default:
+			f.Close()
+			return records, false, 0, fmt.Errorf("%s: record %d: unknown op %d", path, records, rec.op)
+		}
+		records++
+		offset += n
+	}
+}
+
+// maintain is the background loop of a durable store: the periodic
+// flush that implements FsyncInterval (and bounds the buffered tail
+// under FsyncOff), and the snapshot trigger that rolls a shard's WAL
+// into a snapshot once it accumulates SnapshotEvery records.
+func (d *durability) maintain(s *Store) {
+	defer close(d.done)
+	// Under FsyncAlways every commit already syncs; don't wake 10×/s
+	// for a no-op. A nil channel blocks forever in select.
+	var flushC <-chan time.Time
+	if d.policy == FsyncInterval || d.policy == FsyncOff {
+		flush := time.NewTicker(d.interval)
+		defer flush.Stop()
+		flushC = flush.C
+	}
+	snap := time.NewTicker(snapshotPoll)
+	defer snap.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-flushC:
+			switch d.policy {
+			case FsyncInterval:
+				for _, w := range d.wals {
+					w.syncNow() // sticky errors surface via Stats/Close
+				}
+			case FsyncOff:
+				for _, w := range d.wals {
+					w.flushOnly()
+				}
+			}
+		case <-snap.C:
+			if d.snapshotEvery <= 0 {
+				continue
+			}
+			d.snapMu.Lock()
+			for i, w := range d.wals {
+				if w.segmentRecords() >= uint64(d.snapshotEvery) {
+					s.snapshotShard(i) // errors counted in snapshotErrors
+				}
+			}
+			d.snapMu.Unlock()
+		}
+	}
+}
+
+// snapshotPoll is how often the background snapshotter checks segment
+// sizes against Options.SnapshotEvery.
+const snapshotPoll = 500 * time.Millisecond
+
+// Close flushes and fsyncs every shard's WAL (whatever the fsync
+// policy — a clean shutdown loses nothing), stops the background
+// flusher and snapshotter, and closes the log files. Further writes
+// fail. Close is idempotent and safe to call concurrently — every
+// caller returns the one true result after the shutdown finished; on
+// an in-memory store it is a no-op.
+func (s *Store) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	d := s.dur
+	d.closeOnce.Do(func() {
+		defer close(d.closedCh)
+		close(d.stop)
+		<-d.done
+		for _, w := range d.wals {
+			if err := w.close(); err != nil && d.closeErr == nil {
+				d.closeErr = err
+			}
+		}
+		d.lock.Close() // releases the flock
+	})
+	<-d.closedCh
+	return d.closeErr
+}
+
+// crashForTest simulates an unclean process death: background loops
+// stop and every WAL descriptor is closed with its user-space buffer
+// discarded and no final fsync. What the store looks like after this
+// is exactly what the fsync policy promised — tests reopen the
+// directory and check.
+func (s *Store) crashForTest() {
+	d := s.dur
+	if d == nil {
+		return
+	}
+	d.closeOnce.Do(func() {
+		defer close(d.closedCh)
+		close(d.stop)
+		<-d.done
+		for _, w := range d.wals {
+			w.crashForTest()
+		}
+		// A real process death releases the flock with the process;
+		// closing the fd is the in-process equivalent.
+		d.lock.Close()
+		d.closeErr = errWALClosed
+	})
+	<-d.closedCh
+}
+
+// writeFileAtomic writes data via a temp file and rename, fsyncing
+// both the file and its directory.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return syncDir(dir)
+}

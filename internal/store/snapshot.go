@@ -1,0 +1,192 @@
+package store
+
+// snapshot.go: background snapshotting. A snapshot of shard i at
+// generation g is the file shard-NNNN/snap-g.snap holding every
+// document the shard owned at the instant wal-g.log started: the
+// snapshotter rotates the WAL and copies the shard's map under the
+// shard lock (pointer copies — trees are immutable), then renders and
+// writes the snapshot in the background with no lock held. The file is
+// written to a temp name, fsynced and renamed into place, so a *.snap
+// file is complete by construction; a CRC-checked footer record makes
+// completeness verifiable independently of the rename. Once the
+// snapshot is durable, all earlier generations' files are obsolete and
+// removed.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"jsonlogic/internal/jsontree"
+)
+
+// Snapshot forces a snapshot of every shard and removes the WAL
+// generations it obsoletes. It runs concurrently with reads and
+// writes; the per-shard pause is only the WAL rotation and a pointer
+// copy of the shard's map. On an in-memory store it is a no-op.
+func (s *Store) Snapshot() error {
+	if s.dur == nil {
+		return nil
+	}
+	s.dur.snapMu.Lock()
+	defer s.dur.snapMu.Unlock()
+	for i := range s.shards {
+		if err := s.snapshotShard(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotShard snapshots one shard. The caller holds dur.snapMu.
+func (s *Store) snapshotShard(i int) error {
+	d := s.dur
+	sh := s.shards[i]
+	w := d.wals[i]
+
+	sh.mu.Lock()
+	gen, err := w.rotate()
+	if err != nil {
+		sh.mu.Unlock()
+		d.snapshotErrors.Add(1)
+		return err
+	}
+	docs := make(map[string]*jsontree.Tree, len(sh.docs))
+	for id, t := range sh.docs {
+		docs[id] = t
+	}
+	sh.mu.Unlock()
+
+	// Persist the bulk auto-ID high-water mark alongside the shard:
+	// IDs of documents deleted before this snapshot disappear from
+	// both the snapshot and the GC'd WAL generations, and must still
+	// never be recycled after a restart. Any value ≥ every ID
+	// assigned so far is correct; the current counter is exactly that.
+	if err := writeSnapshot(d.shardDir(i), gen, docs, s.seq.Load()); err != nil {
+		d.snapshotErrors.Add(1)
+		return fmt.Errorf("store: snapshot shard %d: %w", i, err)
+	}
+	d.snapshots.Add(1)
+	removeObsolete(d.shardDir(i), gen)
+	return nil
+}
+
+// writeSnapshot writes docs as snap-<gen> in dir: temp file, fsync,
+// rename, fsync the directory. The footer carries the record count
+// (validation) and the bulk auto-ID sequence at snapshot time.
+func writeSnapshot(dir string, gen uint64, docs map[string]*jsontree.Tree, seq uint64) error {
+	tmp := snapTempPath(dir, gen)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	bw.WriteString(snapMagic)
+	var buf []byte
+	for id, t := range docs {
+		buf = encodeRecord(buf[:0], walRecord{op: opPut, id: id, doc: t.String()})
+		if _, err := bw.Write(buf); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	buf = encodeRecord(buf[:0], walRecord{op: opFooter, id: strconv.Itoa(len(docs)), doc: strconv.FormatUint(seq, 10)})
+	if _, err := bw.Write(buf); err == nil {
+		err = bw.Flush()
+	} else {
+		bw.Flush()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, snapFilePath(dir, gen)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot reads and fully validates snap file at path, returning
+// the documents and the persisted bulk auto-ID sequence. Every
+// record's CRC is checked and the footer's count must match; any
+// defect invalidates the whole snapshot (nil map, error) so recovery
+// can fall back to an older generation — nothing is applied from a
+// partially valid file.
+func loadSnapshot(path string) (map[string]*jsontree.Tree, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapMagic {
+		return nil, 0, fmt.Errorf("%s: bad snapshot magic", path)
+	}
+	docs := make(map[string]*jsontree.Tree)
+	for {
+		rec, _, err := readRecord(br)
+		if err == io.EOF {
+			return nil, 0, fmt.Errorf("%s: snapshot has no footer", path)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", path, err)
+		}
+		switch rec.op {
+		case opFooter:
+			want, aerr := strconv.Atoi(rec.id)
+			if aerr != nil || want != len(docs) {
+				return nil, 0, fmt.Errorf("%s: footer count %q does not match %d records", path, rec.id, len(docs))
+			}
+			seq, serr := strconv.ParseUint(rec.doc, 10, 64)
+			if serr != nil {
+				return nil, 0, fmt.Errorf("%s: footer sequence %q: %v", path, rec.doc, serr)
+			}
+			if _, err := br.ReadByte(); err != io.EOF {
+				return nil, 0, fmt.Errorf("%s: trailing data after snapshot footer", path)
+			}
+			return docs, seq, nil
+		case opPut:
+			t, perr := jsontree.Parse(rec.doc)
+			if perr != nil {
+				return nil, 0, fmt.Errorf("%s: document %q: %w", path, rec.id, perr)
+			}
+			docs[rec.id] = t
+		default:
+			return nil, 0, fmt.Errorf("%s: unexpected record op %d in snapshot", path, rec.op)
+		}
+	}
+}
+
+// removeObsolete deletes snapshots and WAL segments of generations
+// before keep. Best-effort: a leftover file is re-deleted by the next
+// snapshot and skipped by recovery.
+func removeObsolete(dir string, keep uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		// parseGenName matches prefix and suffix exactly, so only the
+		// files this package owns are ever deleted.
+		if gen, kind := parseGenName(name); kind != "" && gen < keep {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

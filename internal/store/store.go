@@ -4,16 +4,19 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"jsonlogic/internal/engine"
 	"jsonlogic/internal/jsontree"
 )
 
 // Options configure a Store. The zero value selects 16 shards, an
-// index depth bound of 16 and a fresh default Engine.
+// index depth bound of 16 and a fresh default Engine; the durability
+// fields matter only to Open.
 type Options struct {
 	// Shards is the shard count, rounded up to a power of two
-	// (default 16).
+	// (default 16). For a durable store the count is pinned by the
+	// data directory's manifest on reopen.
 	Shards int
 	// MaxIndexDepth bounds the indexed path depth; facts deeper than
 	// the bound fall back to scanning (default 16).
@@ -23,11 +26,27 @@ type Options struct {
 	// share one engine between the store and their own endpoints so
 	// plan-cache statistics cover all traffic.
 	Engine *engine.Engine
+
+	// DataDir roots the write-ahead logs and snapshots of a durable
+	// store. Open requires it; New ignores it.
+	DataDir string
+	// Fsync selects the WAL durability guarantee (default FsyncAlways;
+	// see FsyncPolicy).
+	Fsync FsyncPolicy
+	// FsyncInterval is the background sync period under FsyncInterval
+	// (and the flush period under FsyncOff); default 100ms.
+	FsyncInterval time.Duration
+	// SnapshotEvery triggers a background snapshot of a shard once its
+	// active WAL segment holds that many records (default 10000).
+	// Negative disables automatic snapshots; Snapshot still works.
+	SnapshotEvery int
 }
 
 const (
 	defaultShards        = 16
 	defaultMaxIndexDepth = 16
+	defaultFsyncInterval = 100 * time.Millisecond
+	defaultSnapshotEvery = 10000
 )
 
 // Store is a sharded, goroutine-safe document collection with an
@@ -38,6 +57,7 @@ type Store struct {
 	mask   uint64
 	eng    *engine.Engine
 	opts   Options
+	dur    *durability // nil for in-memory stores
 
 	seq atomic.Uint64 // auto-ID counter for bulk ingest
 
@@ -58,8 +78,15 @@ type shard struct {
 	ix   *pathIndex
 }
 
-// New returns an empty Store.
+// New returns an empty in-memory Store. See Open for the durable
+// variant backed by a write-ahead log and snapshots.
 func New(opts Options) *Store {
+	return newStore(normalizeOptions(opts))
+}
+
+// normalizeOptions fills defaults and rounds the shard count up to a
+// power of two.
+func normalizeOptions(opts Options) Options {
 	if opts.Shards <= 0 {
 		opts.Shards = defaultShards
 	}
@@ -74,9 +101,20 @@ func New(opts Options) *Store {
 	if opts.Engine == nil {
 		opts.Engine = engine.New(engine.Options{})
 	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = defaultFsyncInterval
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	return opts
+}
+
+// newStore builds the in-memory skeleton from normalized options.
+func newStore(opts Options) *Store {
 	s := &Store{
-		shards: make([]*shard, n),
-		mask:   uint64(n - 1),
+		shards: make([]*shard, opts.Shards),
+		mask:   uint64(opts.Shards - 1),
 		eng:    opts.Engine,
 		opts:   opts,
 	}
@@ -95,8 +133,39 @@ func (s *Store) Engine() *engine.Engine { return s.eng }
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
+func (s *Store) shardIndex(id string) uint64 {
+	return fnvString(fnvOffset, id) & s.mask
+}
+
 func (s *Store) shardFor(id string) *shard {
-	return s.shards[fnvString(fnvOffset, id)&s.mask]
+	return s.shards[s.shardIndex(id)]
+}
+
+// memPut applies a put to the in-memory maps and index only (no WAL):
+// the shared tail of PutTree and recovery replay. Callers either hold
+// the shard lock's equivalent (Open is single-threaded) or lock here.
+func (s *Store) memPut(id string, t *jsontree.Tree) {
+	sh := s.shardFor(id)
+	sh.put(id, t)
+}
+
+// memDelete is memPut's delete counterpart.
+func (s *Store) memDelete(id string) {
+	sh := s.shardFor(id)
+	if old, ok := sh.docs[id]; ok {
+		sh.ix.remove(id, old)
+		delete(sh.docs, id)
+	}
+}
+
+// put applies an insert/replace to one shard; the caller holds the
+// shard lock (or is the single-threaded recovery path).
+func (sh *shard) put(id string, t *jsontree.Tree) {
+	if old, ok := sh.docs[id]; ok {
+		sh.ix.remove(id, old)
+	}
+	sh.docs[id] = t
+	sh.ix.add(id, t)
 }
 
 // Put parses a JSON document and stores it under id, replacing any
@@ -106,39 +175,81 @@ func (s *Store) Put(id, doc string) error {
 	if err != nil {
 		return fmt.Errorf("store: put %q: %w", id, err)
 	}
-	s.PutTree(id, t)
-	return nil
+	return s.PutTree(id, t)
 }
 
 // PutTree stores an already-built tree under id, replacing any previous
 // document. The tree must not be mutated afterwards (jsontree.Tree is
 // immutable by construction, so this holds for all library-built
-// trees).
-func (s *Store) PutTree(id string, t *jsontree.Tree) {
+// trees). On a durable store the mutation is WAL-logged before it is
+// applied; in-memory stores always return nil. A returned error means
+// the write is not durable: if the log append itself failed the write
+// was not applied at all, while a failed commit fsync leaves the write
+// applied in memory with unknown on-disk fate — the WAL's sticky error
+// then refuses every further write, so memory cannot silently diverge
+// further.
+func (s *Store) PutTree(id string, t *jsontree.Tree) error {
+	var (
+		w   *shardWAL
+		seq uint64
+		rec walRecord
+	)
+	if s.dur != nil {
+		w = s.dur.wals[s.shardIndex(id)]
+		// Render outside the lock; trees are immutable.
+		rec = walRecord{op: opPut, id: id, doc: t.String()}
+	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	if old, ok := sh.docs[id]; ok {
-		sh.ix.remove(id, old)
+	if w != nil {
+		var err error
+		if seq, err = w.append(rec); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
 	}
-	sh.docs[id] = t
-	sh.ix.add(id, t)
+	sh.put(id, t)
 	sh.mu.Unlock()
+	if w != nil {
+		return w.commit(seq)
+	}
+	return nil
 }
 
 // putTreeIfAbsent stores t under id only when the ID is free, with the
 // existence check and the insert under one shard lock — the atomicity
 // bulk ingest's auto-ID assignment relies on to never clobber a
-// concurrently stored document.
-func (s *Store) putTreeIfAbsent(id string, t *jsontree.Tree) bool {
+// concurrently stored document. The WAL record is buffered but not
+// forced durable: the only caller, bulk ingest, batches the force
+// (commitBulk) at the end of the stream.
+func (s *Store) putTreeIfAbsent(id string, t *jsontree.Tree) (bool, error) {
+	var (
+		w   *shardWAL
+		rec walRecord
+	)
+	if s.dur != nil {
+		w = s.dur.wals[s.shardIndex(id)]
+		// Render outside the lock (as PutTree does); on the rare
+		// ID-collision retry the render is wasted, which is cheaper
+		// than serializing it against the shard's readers.
+		rec = walRecord{op: opPut, id: id, doc: t.String()}
+	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, taken := sh.docs[id]; taken {
-		return false
+		sh.mu.Unlock()
+		return false, nil
+	}
+	if w != nil {
+		if _, err := w.append(rec); err != nil {
+			sh.mu.Unlock()
+			return false, err
+		}
 	}
 	sh.docs[id] = t
 	sh.ix.add(id, t)
-	return true
+	sh.mu.Unlock()
+	return true, nil
 }
 
 // Get returns the document stored under id.
@@ -151,17 +262,40 @@ func (s *Store) Get(id string) (*jsontree.Tree, bool) {
 }
 
 // Delete removes the document stored under id, unwinding its index
-// entries, and reports whether it existed.
-func (s *Store) Delete(id string) bool {
+// entries, and reports whether it existed. On a durable store the
+// delete is WAL-logged before it is applied; a failed log append
+// leaves the document in place, while a failed commit fsync returns
+// (true, err) with the delete applied in memory but not provably
+// durable (further writes are then refused, as with PutTree).
+func (s *Store) Delete(id string) (bool, error) {
+	var (
+		w   *shardWAL
+		seq uint64
+	)
+	if s.dur != nil {
+		w = s.dur.wals[s.shardIndex(id)]
+	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	t, ok := sh.docs[id]
-	if ok {
-		sh.ix.remove(id, t)
-		delete(sh.docs, id)
+	if !ok {
+		sh.mu.Unlock()
+		return false, nil
 	}
+	if w != nil {
+		var err error
+		if seq, err = w.append(walRecord{op: opDelete, id: id}); err != nil {
+			sh.mu.Unlock()
+			return false, err
+		}
+	}
+	sh.ix.remove(id, t)
+	delete(sh.docs, id)
 	sh.mu.Unlock()
-	return ok
+	if w != nil {
+		return true, w.commit(seq)
+	}
+	return true, nil
 }
 
 // Len returns the number of stored documents.
@@ -198,6 +332,32 @@ type QueryStats struct {
 	ScannedDocs   uint64 `json:"scanned_docs"`
 }
 
+// DurabilityStats aggregates the WAL and snapshot counters of a
+// durable store.
+type DurabilityStats struct {
+	// Fsync is the active policy ("always", "interval", "off").
+	Fsync string `json:"fsync"`
+	// WALAppends / WALBytes / WALSyncs count records appended, bytes
+	// framed and fsyncs issued since open, summed over shards. With
+	// group commit WALSyncs ≪ WALAppends under concurrent or bulk
+	// writes.
+	WALAppends uint64 `json:"wal_appends"`
+	WALBytes   uint64 `json:"wal_bytes"`
+	WALSyncs   uint64 `json:"wal_syncs"`
+	// WALSegmentRecords is the record count across the active
+	// segments — the replay debt a crash right now would incur.
+	WALSegmentRecords uint64 `json:"wal_segment_records"`
+	// Snapshots / SnapshotErrors count background and manual snapshot
+	// attempts since open.
+	Snapshots      uint64 `json:"snapshots"`
+	SnapshotErrors uint64 `json:"snapshot_errors"`
+	// LastError is the first sticky WAL failure, if any; once set the
+	// affected shard refuses writes.
+	LastError string `json:"last_error,omitempty"`
+	// Recovery reports what Open found and repaired.
+	Recovery RecoveryStats `json:"recovery"`
+}
+
 // Stats is a point-in-time snapshot of the store.
 type Stats struct {
 	Docs    int          `json:"docs"`
@@ -205,6 +365,8 @@ type Stats struct {
 	Terms   int          `json:"index_terms"`
 	Entries int          `json:"index_postings"`
 	Queries QueryStats   `json:"queries"`
+	// Durability is nil on in-memory stores.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // Stats returns a snapshot of shard sizes, index cardinalities and
@@ -232,5 +394,29 @@ func (s *Store) Stats() Stats {
 		CandidateDocs: s.candidateDocs.Load(),
 		ScannedDocs:   s.scannedDocs.Load(),
 	}
+	if s.dur != nil {
+		st.Durability = s.dur.stats()
+	}
 	return st
+}
+
+// stats assembles the durable half of Stats.
+func (d *durability) stats() *DurabilityStats {
+	ds := &DurabilityStats{
+		Fsync:          d.policy.String(),
+		Snapshots:      d.snapshots.Load(),
+		SnapshotErrors: d.snapshotErrors.Load(),
+		Recovery:       d.recovery,
+	}
+	for _, w := range d.wals {
+		appends, bytes, syncs, seg, err := w.counters()
+		ds.WALAppends += appends
+		ds.WALBytes += bytes
+		ds.WALSyncs += syncs
+		ds.WALSegmentRecords += seg
+		if err != nil && ds.LastError == "" {
+			ds.LastError = err.Error()
+		}
+	}
+	return ds
 }

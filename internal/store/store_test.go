@@ -41,7 +41,15 @@ func TestPutGetDelete(t *testing.T) {
 	if s.Len() != 1 {
 		t.Fatalf("len = %d", s.Len())
 	}
-	if !s.Delete("a") || s.Delete("a") {
+	first, err := s.Delete("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Delete("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first || second {
 		t.Fatal("delete a should succeed exactly once")
 	}
 	if s.Len() != 0 {
