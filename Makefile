@@ -3,9 +3,9 @@
 GO ?= go
 
 # The committed benchmark snapshot for this PR sequence; bump per PR.
-BENCH_JSON ?= BENCH_3.json
+BENCH_JSON ?= BENCH_4.json
 
-.PHONY: all build vet fmt-check test race fuzz bench bench-engine bench-store bench-json docs-check run-daemon
+.PHONY: all build vet fmt-check test race race-core fuzz bench bench-engine bench-store bench-smoke bench-json docs-check run-daemon
 
 all: vet fmt-check build test docs-check
 
@@ -25,6 +25,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Just the concurrency-hot tiers (shared plans, sharded store, WAL
+# group commit) — the fast-failing prefix of the full race run.
+race-core:
+	$(GO) test -race ./internal/engine ./internal/store
+
 # Short native-fuzz pass over the engine's plan-cache key path.
 fuzz:
 	$(GO) test ./internal/engine/ -run FuzzPlanCache -fuzz FuzzPlanCache -fuzztime 20s
@@ -42,6 +47,12 @@ bench-engine:
 # overhead), and startup recovery.
 bench-store:
 	$(GO) test -run xxx -bench 'BenchmarkStore' ./...
+
+# One iteration of a representative benchmark per tier (evaluator,
+# engine, store, planner) — catches bit-rot, not regressions; CI runs
+# this on every push.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkP1EvalDeterministic|BenchmarkStoreFindMongo|BenchmarkStorePlanner' -benchtime 1x ./...
 
 # Documentation checks: required docs exist, relative markdown links
 # resolve, and every package (including examples/) compiles via vet.

@@ -14,9 +14,14 @@
 //	DELETE /docs/{id}   delete a document
 //	POST   /bulk        NDJSON bulk ingest (one document per line)
 //	POST   /query       {"lang","query","mode":"find"|"select","values":bool}
+//	POST   /explain     like /query, but returns the logical and
+//	                    physical plan trees, the chosen access path and
+//	                    estimated vs actual cardinalities
 //	POST   /validate    {"lang","query","id"} or {"lang","query","doc"}
 //	GET    /stats       shard sizes, index cardinalities, query counters,
-//	                    plan-cache hit rates, WAL/snapshot/recovery stats
+//	                    planner decisions and candidates-per-query
+//	                    histograms, plan-cache hit rates,
+//	                    WAL/snapshot/recovery stats
 //
 // Documents use the paper's value model: objects, arrays, strings and
 // natural numbers. See examples/storequery for a curl walkthrough.
@@ -153,6 +158,7 @@ func newServer(st *store.Store) http.Handler {
 	mux.HandleFunc("DELETE /docs/{id}", s.deleteDoc)
 	mux.HandleFunc("POST /bulk", s.bulk)
 	mux.HandleFunc("POST /query", s.query)
+	mux.HandleFunc("POST /explain", s.explain)
 	mux.HandleFunc("POST /validate", s.validate)
 	mux.HandleFunc("GET /stats", s.stats)
 	return mux
@@ -338,6 +344,31 @@ func (s *server) query(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
 	}
+}
+
+// explain runs the query like /query but reports how instead of what:
+// the lowered logical tree, the physical operator program, the
+// planner's access decision with per-term statistics, and estimated
+// versus actual cardinalities.
+func (s *server) explain(w http.ResponseWriter, r *http.Request) {
+	p, req, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	switch req.Mode {
+	case "", "find", "select":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
+		return
+	}
+	ex, err := s.store.Explain(p, req.Mode)
+	if err != nil {
+		// The mode was validated above, so any error here is an
+		// evaluation failure — the server's fault, like /query.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
 }
 
 func (s *server) validate(w http.ResponseWriter, r *http.Request) {

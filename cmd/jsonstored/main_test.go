@@ -54,6 +54,11 @@ func TestCRUDAndQuery(t *testing.T) {
 	if code, _ := do(t, "PUT", ts.URL+"/docs/u2", `{"name":"bob","age":17}`); code != 200 {
 		t.Fatal("put u2")
 	}
+	// An ageless document keeps the age terms selective, so the
+	// cost-based planner picks the index for the find below.
+	if code, _ := do(t, "PUT", ts.URL+"/docs/g1", `{"group":"admins"}`); code != 200 {
+		t.Fatal("put g1")
+	}
 	if code, body := do(t, "PUT", ts.URL+"/docs/bad", `{oops`); code != 400 || body["error"] == "" {
 		t.Fatalf("bad put accepted: %d %v", code, body)
 	}
@@ -308,16 +313,86 @@ func TestIndexedFlagTruthful(t *testing.T) {
 	if code, _ := do(t, "PUT", ts.URL+"/docs/x", `{"a":{"b":{"c":{"d":1}}}}`); code != 200 {
 		t.Fatal("put")
 	}
+	// A second document without the path keeps the prefix term
+	// selective; on a one-document store the planner would rightly
+	// scan everything.
+	if code, _ := do(t, "PUT", ts.URL+"/docs/y", `{"z":1}`); code != 200 {
+		t.Fatal("put y")
+	}
 	code, body := do(t, "POST", ts.URL+"/query", `{"lang":"jsonpath","query":"$.a.b.c.d","mode":"select"}`)
 	if code != 200 || body["indexed"] != true || body["count"].(float64) != 1 {
 		t.Fatalf("deep select: %d %v", code, body)
 	}
 	code, body = do(t, "POST", ts.URL+"/query", `{"lang":"mongo","query":"{\"a\":{\"$exists\":0}}"}`)
-	if code != 200 || body["indexed"] != false || body["count"].(float64) != 0 {
+	if code != 200 || body["indexed"] != false || body["count"].(float64) != 1 {
 		t.Fatalf("factless find must report the scan: %d %v", code, body)
 	}
 	code, body = do(t, "POST", ts.URL+"/query", `{"lang":"jsonpath","query":"$.a.b"}`)
 	if code != 200 || body["indexed"] != true || body["count"].(float64) != 1 {
 		t.Fatalf("shallow find: %d %v", code, body)
+	}
+}
+
+// TestExplain drives POST /explain end to end: the response must carry
+// the logical and physical plan trees, the planner's access decision
+// with per-term statistics, and an estimated cardinality that bounds
+// the measured one.
+func TestExplain(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 8; i++ {
+		doc := fmt.Sprintf(`{"kind":"widget","n":%d}`, i)
+		if i%4 == 0 {
+			doc = fmt.Sprintf(`{"kind":"gadget","n":%d}`, i)
+		}
+		if code, _ := do(t, "PUT", fmt.Sprintf("%s/docs/d%d", ts.URL, i), doc); code != 200 {
+			t.Fatalf("put d%d", i)
+		}
+	}
+
+	code, body := do(t, "POST", ts.URL+"/explain", `{"lang":"mongo","query":"{\"kind\":\"gadget\"}"}`)
+	if code != 200 {
+		t.Fatalf("explain: %d %v", code, body)
+	}
+	if body["access"] != "index" {
+		t.Fatalf("selective equality should be indexed: %v", body)
+	}
+	plan := body["plan"].(map[string]any)
+	for _, key := range []string{"logical", "physical"} {
+		if s, _ := plan[key].(string); s == "" {
+			t.Fatalf("explain plan missing %s tree: %v", key, plan)
+		}
+	}
+	est := body["est_candidates"].(float64)
+	actual := body["actual_candidates"].(float64)
+	if est < actual {
+		t.Fatalf("estimated candidates %v below actual %v", est, actual)
+	}
+	if body["actual_results"].(float64) != 2 {
+		t.Fatalf("explain results: %v", body)
+	}
+	if terms := body["terms"].([]any); len(terms) == 0 {
+		t.Fatalf("explain must list index terms: %v", body)
+	}
+
+	// A factless plan explains the scan.
+	code, body = do(t, "POST", ts.URL+"/explain", `{"lang":"mongo","query":"{\"kind\":{\"$ne\":1}}"}`)
+	if code != 200 || body["access"] != "scan" {
+		t.Fatalf("negation should explain a scan: %d %v", code, body)
+	}
+	if body["actual_candidates"].(float64) != 8 {
+		t.Fatalf("scan candidates: %v", body)
+	}
+
+	// Select mode goes through the select facts.
+	code, body = do(t, "POST", ts.URL+"/explain", `{"lang":"jsonpath","query":"$.kind","mode":"select"}`)
+	if code != 200 || body["mode"] != "select" {
+		t.Fatalf("select explain: %d %v", code, body)
+	}
+
+	if code, _ = do(t, "POST", ts.URL+"/explain", `{"lang":"mongo","query":"{}","mode":"weird"}`); code != 400 {
+		t.Fatal("unknown explain mode should 400")
+	}
+	if code, _ = do(t, "POST", ts.URL+"/explain", `{"lang":"mongo","query":"{oops"}`); code != 400 {
+		t.Fatal("bad explain query should 400")
 	}
 }

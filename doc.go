@@ -9,27 +9,30 @@
 // translations, J-automata with satisfiability procedures, and MongoDB
 // find-filter and JSONPath frontends compiled into the logics.
 //
-// On top of the formal core sits internal/engine, the production
-// evaluation layer: query sources in any front end (JNL, JSL, JSONPath,
-// MongoDB find) compile once into immutable plans held in a bounded LRU
-// cache, and a goroutine-safe API evaluates one plan over many
-// documents concurrently — per-call evaluator state keeps the
-// O(|J|·|φ|) bounds of Propositions 1 and 3 while letting trees and
-// plans be shared freely. Batch entry points fan a plan out over tree
-// slices and NDJSON streams with a worker pool; a differential test
-// harness pins the engine's results node-for-node to the reference
-// evaluators.
+// On top of the formal core sits the unified query pipeline: every
+// front end (JNL, JSL, JSONPath, MongoDB find) lowers into one logical
+// algebra (internal/qir — the paper's common navigational core made
+// operational), which compiles into a physical program of
+// short-circuiting iterator operators with memoized closure and
+// recursion. internal/engine wraps that in immutable plans held in a
+// bounded LRU cache and a goroutine-safe API that evaluates one plan
+// over many documents concurrently; the per-language evaluators are
+// retained as differential-test oracles, and a harness pins the
+// executor's results node-for-node to them. Batch entry points fan a
+// plan out over tree slices and NDJSON streams with a worker pool.
 //
 // internal/store adds the storage tier: a sharded, goroutine-safe
 // document collection with an inverted path index (presence, kind and
 // exact-value terms per root-anchored path, maintained incrementally
-// on insert and delete). At compile time each plan derives the path
-// facts a matching document must satisfy (internal/engine/hints.go,
-// built on jnl.RequiredPrefix and jsl.RequiredFacts); the store
-// intersects the facts' posting lists into a candidate set and runs
-// the reference evaluation over candidates only, falling back to a
-// full scan for plans the index cannot support — results are provably
-// and differentially-tested identical either way.
+// on insert and delete). At compile time each plan derives, from its
+// QIR lowering, the path facts a matching document must satisfy; a
+// cost-based planner consults per-term statistics to choose index
+// versus scan per query, orders posting-list intersection by ascending
+// selectivity and skips near-useless terms, and the executor runs over
+// the candidates only — results are provably and differentially-tested
+// identical to the full scan either way, and Plan.Explain plus the
+// store's Explain surface the logical/physical trees with estimated
+// versus actual cardinalities.
 //
 // The store is durable when opened with a data directory: every put
 // and delete is appended to a per-shard write-ahead log

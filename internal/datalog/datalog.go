@@ -402,39 +402,7 @@ func subtreeEqualsValue(t *jsontree.Tree, n jsontree.NodeID, v *jsonval.Value) b
 	if t.SubtreeHash(n) != v.Hash() || t.SubtreeSize(n) != v.Size() {
 		return false
 	}
-	return treeEqualsValueRec(t, n, v)
-}
-
-func treeEqualsValueRec(t *jsontree.Tree, n jsontree.NodeID, v *jsonval.Value) bool {
-	switch v.Kind() {
-	case jsonval.Number:
-		return t.Kind(n) == jsontree.NumberNode && t.NumberVal(n) == v.Num()
-	case jsonval.String:
-		return t.Kind(n) == jsontree.StringNode && t.StringVal(n) == v.Str()
-	case jsonval.Object:
-		if t.Kind(n) != jsontree.ObjectNode || t.NumChildren(n) != v.Len() {
-			return false
-		}
-		for _, m := range v.Members() {
-			c := t.ChildByKey(n, m.Key)
-			if c == jsontree.InvalidNode || !treeEqualsValueRec(t, c, m.Value) {
-				return false
-			}
-		}
-		return true
-	case jsonval.Array:
-		if t.Kind(n) != jsontree.ArrayNode || t.NumChildren(n) != v.Len() {
-			return false
-		}
-		for i, e := range v.Elems() {
-			if !treeEqualsValueRec(t, t.ChildAt(n, i), e) {
-				return false
-			}
-		}
-		return true
-	default:
-		return false
-	}
+	return t.EqualsValue(n, v)
 }
 
 // String renders the program in a readable datalog-like syntax.

@@ -335,3 +335,62 @@ func FuzzPlanCache(f *testing.F) {
 		}
 	})
 }
+
+// TestReferenceOracles pins the oracle API itself: for random queries
+// across all four front ends, Plan.EvalReference/ValidateReference
+// (the retained front-end evaluators) must agree node-for-node with
+// the QIR executor behind Engine.Eval/Validate. The per-language
+// differential tests above construct their references by hand; this
+// one exercises the methods the store harness and benchmarks use.
+func TestReferenceOracles(t *testing.T) {
+	r := rand.New(rand.NewSource(606))
+	e := New(Options{PlanCacheSize: 128})
+	type frontEnd struct {
+		lang Language
+		gen  func() string
+	}
+	fronts := []frontEnd{
+		{LangJNL, func() string { return gen.RandomJNLSource(r, 3) }},
+		{LangJSL, func() string {
+			if r.Intn(4) == 0 {
+				return gen.RandomRecursiveJSLSource(r, 2)
+			}
+			return gen.RandomJSLSource(r, 3)
+		}},
+		{LangJSONPath, func() string { return gen.RandomJSONPathSource(r) }},
+		{LangMongoFind, func() string { return gen.RandomMongoSource(r, 2) }},
+	}
+	trees := &diffTrees{r: r, perTree: 5}
+	for i := 0; i < 1200; i++ {
+		tr := trees.next()
+		fe := fronts[i%len(fronts)]
+		src := fe.gen()
+		p, err := e.Compile(fe.lang, src)
+		if err != nil {
+			t.Fatalf("generator bug: (%v, %q): %v", fe.lang, src, err)
+		}
+		got, err := e.Eval(p, tr)
+		if err != nil {
+			t.Fatalf("eval (%v, %q): %v", fe.lang, src, err)
+		}
+		want, err := p.EvalReference(tr)
+		if err != nil {
+			t.Fatalf("reference eval (%v, %q): %v", fe.lang, src, err)
+		}
+		if !sameNodes(got, want) {
+			t.Fatalf("pair %d: QIR disagrees with oracle on (%v, %q)\ntree: %s\nqir:    %v\noracle: %v",
+				i, fe.lang, src, tr, got, want)
+		}
+		gotV, err := e.Validate(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantV, err := p.ValidateReference(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotV != wantV {
+			t.Fatalf("pair %d: Validate %v, oracle %v on (%v, %q)", i, gotV, wantV, fe.lang, src)
+		}
+	}
+}

@@ -7,27 +7,27 @@
 //
 // Three layers separate what is immutable from what is per-evaluation:
 //
-//   - Plan: a compiled query — language tag, source text, and the parsed
-//     and normalized artifact (a jnl.Unary for JNL, a *jsl.Recursive for
-//     JSL, a jnl.Binary path for JSONPath, a jsl.Formula for MongoDB
-//     find filters). Plans are deeply immutable after Compile: the ASTs
-//     are never mutated by evaluation and the embedded relang.Regex
-//     values are safe for concurrent use, so one Plan may be shared by
-//     any number of goroutines.
+//   - Plan: a compiled query — language tag, source text, the parsed
+//     front-end AST, and the query lowered into the unified algebra of
+//     internal/qir with its compiled physical operator program. All
+//     four languages evaluate through that one program; the front-end
+//     ASTs are retained as differential-test oracles
+//     (Plan.EvalReference, Plan.ValidateReference). Plans are deeply
+//     immutable after Compile: nothing is mutated by evaluation and the
+//     embedded relang.Regex values are safe for concurrent use, so one
+//     Plan may be shared by any number of goroutines.
 //
 //   - Plan cache: a bounded LRU keyed by (language, source text) with
 //     hit/miss/eviction statistics, so front ends that receive the same
 //     query repeatedly (the "heavy traffic" scenario of the roadmap) pay
 //     parse + translate + normalize once, not per request.
 //
-//   - Evaluation: Engine.Eval and Engine.Validate instantiate the
-//     per-(plan, tree) mutable state fresh on every call — the
-//     jnl.Evaluator with its subtree-equality classes and per-edge regex
-//     marks (the Proposition 3 preprocessing), or the jsl.Evaluator with
-//     its regex and uniqueness memos. Those evaluators are documented as
-//     not safe for concurrent use; the engine's contract is that they
-//     never outlive a call and are never shared, which makes the public
-//     API goroutine-safe without locks on the hot path.
+//   - Evaluation: Engine.Eval and Engine.Validate run the plan's QIR
+//     program, which instantiates its per-(plan, tree) mutable state —
+//     closure and definition memo tables, regex and uniqueness memos —
+//     fresh on every call. That state never outlives a call and is
+//     never shared, which makes the public API goroutine-safe without
+//     locks on the hot path.
 //
 // This mirrors the split the paper itself makes: the formula (compiled
 // once; Propositions 1 and 3 measure evaluation per formula size |φ|)
@@ -48,7 +48,10 @@
 //
 // The engine adds no semantics of its own: results are defined to be
 // node-for-node identical to a fresh jnl.Evaluator / jsl.Evaluator run
-// on the same tree. diff_test.go enforces that contract over thousands
-// of randomized (tree, query) pairs per front end, and race_test.go
-// pins the plan-sharing design under the race detector.
+// on the same tree, reachable per plan through EvalReference and
+// ValidateReference. diff_test.go enforces that contract over
+// thousands of randomized (tree, query) pairs per front end, and
+// race_test.go pins the plan-sharing design under the race detector.
+// Plan.Explain renders the lowered logical tree and the physical
+// operator program; the store's Explain adds the run-time access plan.
 package engine

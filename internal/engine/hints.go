@@ -1,55 +1,39 @@
 package engine
 
 import (
-	"jsonlogic/internal/jnl"
-	"jsonlogic/internal/jsl"
 	"jsonlogic/internal/jsontree"
 )
 
-// The index-aware planner step. At compile time every plan derives two
-// sets of path facts (jsontree.PathFact) from its AST:
+// The index-planner step. At compile time every plan derives two sets
+// of path facts (jsontree.PathFact) from its lowered QIR query:
 //
 //   - find facts: necessary for Validate (document-level matching) to
 //     return true;
 //   - select facts: necessary for Eval (node selection) to return a
 //     non-empty set.
 //
-// The store intersects the posting lists of these facts in its inverted
-// path index to obtain a candidate set, then runs the ordinary
-// reference evaluation over the candidates only — a document missing a
-// fact provably cannot match, so skipping it never changes results.
-// Extraction is conservative per front end:
+// The store's cost-based planner turns the facts into index terms,
+// consults its statistics, and chooses a probe order — or a full scan
+// when the intersection would not be selective. A document missing a
+// fact provably cannot match, so pruning by facts never changes
+// results. Derivation lives in qir.Query.FindFacts/SelectFacts: one
+// code path for all four front ends, replacing the per-language
+// extractors (jnl.RequiredFacts, jsl.RequiredFacts,
+// jsonpath.Path.RequiredPrefix, mongoq.Filter.RequiredFacts), which
+// remain only as test oracles for the prefix logic.
 //
-//   - JNL: facts of root satisfaction (jnl.RequiredFacts). Node
-//     selection is unanchored — any node may satisfy the formula — so
-//     no select facts are derivable.
-//   - JSONPath: selection starts at the root, so both semantics share
-//     the path's required prefix (jnl.RequiredPrefix over the compiled
-//     binary).
-//   - JSL and mongo find: facts of root satisfaction for non-recursive
-//     expressions (jsl.RequiredFacts); recursive expressions fall back
-//     to scanning. Like JNL, node selection is unanchored.
-//
-// Queries under negation, disjunction, recursion or non-deterministic
-// axes simply yield no facts and scan — the fallback the differential
-// store tests exercise alongside the indexed path.
+// Extraction is conservative: queries under negation, disjunction,
+// recursion or non-deterministic axes simply yield no facts and scan —
+// the fallback the differential store tests exercise alongside the
+// indexed path. Node selection is root-anchored only for JSONPath
+// (selection starts at the root); JNL/JSL/mongo selection may pick any
+// node, so those plans carry no select facts.
 
-// computeFacts derives find and select facts for the languages whose
-// plans are built from bare logic ASTs; called once from Compile and
-// FromJSL so Plans stay immutable afterwards. The JSONPath and mongo
-// cases are handled in Compile itself through the front ends' own
-// extraction helpers (jsonpath.Path.RequiredPrefix,
-// mongoq.Filter.RequiredFacts) while the front-end objects are still
-// in hand; computeFacts leaves their facts untouched.
+// computeFacts derives find and select facts from the lowered query;
+// called once from Plan.finish so Plans stay immutable afterwards.
 func (p *Plan) computeFacts() {
-	switch p.lang {
-	case LangJNL:
-		p.findFacts = jnl.RequiredFacts(p.unary)
-	case LangJSL:
-		if len(p.rec.Defs) == 0 {
-			p.findFacts = jsl.RequiredFacts(p.rec.Base)
-		}
-	}
+	p.findFacts = p.query.FindFacts()
+	p.selectFacts = p.query.SelectFacts()
 }
 
 // FindFacts returns path facts necessary for Validate to hold on a

@@ -23,27 +23,32 @@ func TestIndexFactExtraction(t *testing.T) {
 		src  string
 		find []string // expected FindFacts, rendered; nil = scan
 	}{
-		{LangMongoFind, `{"user.name":"sue"}`, []string{"/user", "/user/name", "/user/name value=\"sue\""}},
-		{LangMongoFind, `{"a.b":{"$gt":3}}`, []string{"/a", "/a/b", "/a/b kind=number", "/a/b kind=number"}},
-		{LangMongoFind, `{"a":{"$type":"array"}}`, []string{"/a", "/a kind=array"}},
+		// The QIR derivation anchors navigation: a keyed (positional)
+		// first step forces the source to be an object (array), and a
+		// class or value fact at a path subsumes its presence fact.
+		{LangMongoFind, `{"user.name":"sue"}`, []string{"$ kind=object", "/user kind=object", "/user/name value=\"sue\""}},
+		{LangMongoFind, `{"a.b":{"$gt":3}}`, []string{"$ kind=object", "/a kind=object", "/a/b kind=number"}},
+		{LangMongoFind, `{"a":{"$type":"array"}}`, []string{"$ kind=object", "/a kind=array"}},
 		{LangMongoFind, `{"a":{"$ne":1}}`, nil},
 		{LangMongoFind, `{"a":{"$exists":0}}`, nil},
 		{LangMongoFind, `{"$or":[{"a":1},{"b":2}]}`, nil},
-		{LangMongoFind, `{"tags.0":"x"}`, []string{"/tags", "/tags kind=array", "/tags/0", "/tags/0 value=\"x\""}},
-		{LangMongoFind, `{"a":{"x":1}}`, []string{"/a", "/a kind=object", "/a/x value=1"}},
-		{LangJSONPath, `$.store.book[0].title`, []string{"/store/book/0/title"}},
-		{LangJSONPath, `$.store..price`, []string{"/store"}},
-		{LangJSONPath, `$[2].a`, []string{"/2/a"}},
+		{LangMongoFind, `{"tags.0":"x"}`, []string{"$ kind=object", "/tags kind=array", "/tags/0 value=\"x\""}},
+		{LangMongoFind, `{"a":{"x":1}}`, []string{"$ kind=object", "/a kind=object", "/a/x value=1"}},
+		{LangJSONPath, `$.store.book[0].title`, []string{
+			"$ kind=object", "/store kind=object", "/store/book kind=array",
+			"/store/book/0 kind=object", "/store/book/0/title"}},
+		{LangJSONPath, `$.store..price`, []string{"$ kind=object", "/store"}},
+		{LangJSONPath, `$[2].a`, []string{"$ kind=array", "/2 kind=object", "/2/a"}},
 		{LangJSONPath, `$.*`, nil},
-		{LangJNL, `[/a/b]`, []string{"/a/b"}},
-		{LangJNL, `eq(/a, 7)`, []string{"/a value=7"}},
-		{LangJNL, `eq(/a, {"k":1})`, []string{"/a kind=object", "/a/k value=1"}},
-		{LangJNL, `(eq(/a, 1) && [/b])`, []string{"/a value=1", "/b"}},
+		{LangJNL, `[/a/b]`, []string{"$ kind=object", "/a kind=object", "/a/b"}},
+		{LangJNL, `eq(/a, 7)`, []string{"$ kind=object", "/a value=7"}},
+		{LangJNL, `eq(/a, {"k":1})`, []string{"$ kind=object", "/a kind=object", "/a/k value=1"}},
+		{LangJNL, `(eq(/a, 1) && [/b])`, []string{"$ kind=object", "/a value=1", "/b"}},
 		{LangJNL, `!eq(/a, 1)`, nil},
-		{LangJNL, `eq(/a, /b)`, []string{"/a", "/b"}},
-		{LangJNL, `[/a /[1:3]]`, []string{"/a/1"}},
+		{LangJNL, `eq(/a, /b)`, []string{"$ kind=object", "/a", "/b"}},
+		{LangJNL, `[/a /[1:3]]`, []string{"$ kind=object", "/a kind=array", "/a/1"}},
 		{LangJNL, `[(/a)*]`, nil},
-		{LangJSL, `some("a", number)`, []string{"/a", "/a kind=number"}},
+		{LangJSL, `some("a", number)`, []string{"$ kind=object", "/a kind=number"}},
 		{LangJSL, `all("a", number)`, nil},
 		{LangJSL, `def g = number || some("a", g) ; g`, nil},
 	}
@@ -69,8 +74,16 @@ func TestIndexFactExtraction(t *testing.T) {
 // is root-anchored so its facts serve both modes; JNL/JSL/mongo node
 // selection is unanchored and must not claim select support.
 func TestSelectFactsAnchoring(t *testing.T) {
-	if facts := MustCompile(LangJSONPath, `$.a.b[*]`).SelectFacts(); len(facts) != 1 || facts[0].String() != "/a/b" {
-		t.Errorf("JSONPath select facts = %v", factStrings(facts))
+	got := factStrings(MustCompile(LangJSONPath, `$.a.b[*]`).SelectFacts())
+	want := []string{"$ kind=object", "/a kind=object", "/a/b"}
+	if len(got) != len(want) {
+		t.Errorf("JSONPath select facts = %v, want %v", got, want)
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("JSONPath select facts[%d] = %q, want %q", i, got[i], want[i])
+			}
+		}
 	}
 	for _, p := range []*Plan{
 		MustCompile(LangJNL, `[/a]`),

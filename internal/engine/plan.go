@@ -8,6 +8,7 @@ import (
 	"jsonlogic/internal/jsonpath"
 	"jsonlogic/internal/jsontree"
 	"jsonlogic/internal/mongoq"
+	"jsonlogic/internal/qir"
 )
 
 // Language selects the front end a source text is compiled with.
@@ -58,22 +59,35 @@ func ParseLanguage(name string) (Language, error) {
 	return 0, fmt.Errorf("engine: unknown language %q", name)
 }
 
-// Plan is a compiled, immutable query: source parsed, translated into
-// the core logics, and validated once. A Plan never changes after
-// Compile and may be evaluated from any number of goroutines
-// concurrently; all per-evaluation mutable state lives in the
-// Engine.Eval/Validate call that uses it.
+// Plan is a compiled, immutable query. Compilation parses the source
+// under its front end, lowers the result into the unified query
+// algebra (internal/qir), compiles the algebra into a physical
+// operator program, and derives the index facts the store's planner
+// consumes — all once. A Plan never changes after Compile and may be
+// evaluated from any number of goroutines concurrently; all
+// per-evaluation mutable state lives inside each Eval/Validate call.
+//
+// The original front-end ASTs are retained alongside the lowered query
+// so the per-language evaluators can serve as differential-test
+// oracles (EvalReference, ValidateReference); production evaluation
+// runs exclusively through the QIR program.
 type Plan struct {
 	lang   Language
 	source string
 
+	// Reference ASTs for the oracle evaluators.
 	unary jnl.Unary      // LangJNL
 	rec   *jsl.Recursive // LangJSL and LangMongoFind
 	path  jnl.Binary     // LangJSONPath
 
-	// Index planner output (hints.go), derived once at compile time:
-	// path facts necessary for Validate (findFacts) and for a non-empty
-	// Eval (selectFacts). Empty slices mean "not index-supported".
+	// The unified algebra: lowered logical query and compiled physical
+	// program.
+	query *qir.Query
+	prog  *qir.Program
+
+	// Index facts derived from the lowered query (hints.go): necessary
+	// conditions for Validate (findFacts) and for a non-empty Eval
+	// (selectFacts). Empty slices mean "not index-supported".
 	findFacts   []jsontree.PathFact
 	selectFacts []jsontree.PathFact
 }
@@ -83,6 +97,10 @@ func (p *Plan) Language() Language { return p.lang }
 
 // Source returns the source text the plan was compiled from.
 func (p *Plan) Source() string { return p.source }
+
+// Query returns the plan's lowered logical query. The query is shared
+// and must not be modified.
+func (p *Plan) Query() *qir.Query { return p.query }
 
 // Compile parses and compiles src under the given language without
 // consulting any cache. Engine.Compile is the cached entry point.
@@ -95,6 +113,7 @@ func Compile(lang Language, src string) (*Plan, error) {
 			return nil, err
 		}
 		p.unary = u
+		p.query = &qir.Query{Pred: jnl.Lower(u)}
 	case LangJSL:
 		r, err := jsl.ParseRecursive(src)
 		if err != nil {
@@ -107,28 +126,35 @@ func Compile(lang Language, src string) (*Plan, error) {
 			return nil, err
 		}
 		p.rec = r
+		p.query = r.Lower()
 	case LangJSONPath:
 		jp, err := jsonpath.Compile(src)
 		if err != nil {
 			return nil, err
 		}
 		p.path = jp.Binary()
-		// Selection is anchored at the root, so the path's required
-		// prefix serves both the find and select semantics.
-		if steps, _ := jp.RequiredPrefix(); len(steps) > 0 {
-			facts := []jsontree.PathFact{{Steps: steps}}
-			p.findFacts, p.selectFacts = facts, facts
-		}
+		p.query = jp.Lower()
 	case LangMongoFind:
 		f, err := mongoq.Parse(src)
 		if err != nil {
 			return nil, err
 		}
 		p.rec = jsl.NonRecursive(f.Formula())
-		p.findFacts = f.RequiredFacts()
+		p.query = f.Lower()
 	default:
 		return nil, fmt.Errorf("engine: unknown language %d", lang)
 	}
+	return p.finish()
+}
+
+// finish compiles the lowered query into its physical program and
+// derives the plan's index facts; shared by Compile and FromJSL.
+func (p *Plan) finish() (*Plan, error) {
+	prog, err := qir.Compile(p.query)
+	if err != nil {
+		return nil, err
+	}
+	p.prog = prog
 	p.computeFacts()
 	return p, nil
 }
@@ -143,9 +169,8 @@ func FromJSL(label string, r *jsl.Recursive) (*Plan, error) {
 	if err := r.WellFormed(); err != nil {
 		return nil, err
 	}
-	p := &Plan{lang: LangJSL, source: label, rec: r}
-	p.computeFacts()
-	return p, nil
+	p := &Plan{lang: LangJSL, source: label, rec: r, query: r.Lower()}
+	return p.finish()
 }
 
 // MustCompile is Compile but panics on error; for statically known
@@ -158,25 +183,43 @@ func MustCompile(lang Language, src string) *Plan {
 	return p
 }
 
-// eval computes the plan's node-selection semantics over one tree,
-// creating all mutable evaluator state locally so concurrent calls on a
-// shared plan never interfere:
+// eval computes the plan's node-selection semantics over one tree via
+// the QIR program; all mutable executor state is call-local, so
+// concurrent calls on a shared plan never interfere:
 //
-//   - JNL: the nodes satisfying the unary formula (jnl.Evaluator.Eval).
-//   - JSONPath: the nodes selected from the root (jnl.Evaluator.Select).
+//   - JNL: the nodes satisfying the unary formula.
+//   - JSONPath: the nodes selected from the root.
 //   - JSL: the nodes whose subtree satisfies the expression, per the
 //     (json(n), n) |= Δ relation of Lemma 3.
 //   - Mongo find: the nodes whose subtree matches the filter (the root
 //     node's membership is the find() answer for the document).
 func (p *Plan) eval(t *jsontree.Tree) ([]jsontree.NodeID, error) {
+	return p.prog.Eval(t), nil
+}
+
+// validate computes the plan's boolean semantics over one tree via the
+// QIR program:
+//
+//   - JNL: does the root satisfy the formula (J |= φ at ε).
+//   - JSONPath: does the path select at least one node.
+//   - JSL: does the document satisfy the expression (J |= Δ).
+//   - Mongo find: does the document match the filter.
+func (p *Plan) validate(t *jsontree.Tree) (bool, error) {
+	return p.prog.Match(t), nil
+}
+
+// EvalReference computes the node-selection semantics with the
+// original front-end evaluator instead of the QIR program. It exists
+// for the differential test harness and the benchmarks that compare
+// the unified executor against its oracles; production callers use
+// Engine.Eval.
+func (p *Plan) EvalReference(t *jsontree.Tree) ([]jsontree.NodeID, error) {
 	switch p.lang {
 	case LangJNL:
 		return jnl.NewEvaluator(t).Eval(p.unary).Slice(), nil
 	case LangJSONPath:
 		return jnl.NewEvaluator(t).Select(p.path, t.Root()), nil
 	case LangJSL, LangMongoFind:
-		// Well-formedness was checked at compile time, so the per-call
-		// re-check is skipped.
 		sets, err := jsl.NewEvaluator(t).EvalRecursivePrechecked(p.rec)
 		if err != nil {
 			return nil, err
@@ -192,13 +235,9 @@ func (p *Plan) eval(t *jsontree.Tree) ([]jsontree.NodeID, error) {
 	return nil, fmt.Errorf("engine: unknown language %d", p.lang)
 }
 
-// validate computes the plan's boolean semantics over one tree:
-//
-//   - JNL: does the root satisfy the formula (J |= φ at ε).
-//   - JSONPath: does the path select at least one node.
-//   - JSL: does the document satisfy the expression (J |= Δ).
-//   - Mongo find: does the document match the filter.
-func (p *Plan) validate(t *jsontree.Tree) (bool, error) {
+// ValidateReference computes the boolean semantics with the original
+// front-end evaluator; EvalReference's counterpart.
+func (p *Plan) ValidateReference(t *jsontree.Tree) (bool, error) {
 	switch p.lang {
 	case LangJNL:
 		return jnl.NewEvaluator(t).Holds(p.unary, t.Root()), nil
@@ -212,4 +251,35 @@ func (p *Plan) validate(t *jsontree.Tree) (bool, error) {
 		return sets[t.Root()], nil
 	}
 	return false, fmt.Errorf("engine: unknown language %d", p.lang)
+}
+
+// PlanExplain is the compile-time half of a query explanation: the
+// lowered logical tree, the physical operator program, and the index
+// facts the store's cost-based planner will consult. Store.Explain
+// adds the run-time half (chosen access path, estimated versus actual
+// cardinalities).
+type PlanExplain struct {
+	Language    string   `json:"language"`
+	Source      string   `json:"source"`
+	Logical     string   `json:"logical"`
+	Physical    string   `json:"physical"`
+	FindFacts   []string `json:"find_facts,omitempty"`
+	SelectFacts []string `json:"select_facts,omitempty"`
+}
+
+// Explain renders the plan's logical and physical trees.
+func (p *Plan) Explain() PlanExplain {
+	ex := PlanExplain{
+		Language: p.lang.String(),
+		Source:   p.source,
+		Logical:  p.query.String(),
+		Physical: p.prog.Describe(),
+	}
+	for _, f := range p.findFacts {
+		ex.FindFacts = append(ex.FindFacts, f.String())
+	}
+	for _, f := range p.selectFacts {
+		ex.SelectFacts = append(ex.SelectFacts, f.String())
+	}
+	return ex
 }

@@ -2,7 +2,6 @@ package jnl
 
 import (
 	"jsonlogic/internal/jsontree"
-	"jsonlogic/internal/jsonval"
 	"jsonlogic/internal/relang"
 )
 
@@ -111,12 +110,12 @@ func (ev *Evaluator) evalUnary(u Unary) *NodeSet {
 		sz := t.Doc.Size()
 		ev.tree.Walk(func(id jsontree.NodeID) {
 			if ev.opts.NaiveEquality {
-				if ev.tree.SubtreeSize(id) == sz && treeEqualsValue(ev.tree, id, t.Doc) {
+				if ev.tree.SubtreeSize(id) == sz && ev.tree.EqualsValue(id, t.Doc) {
 					target.Add(id)
 				}
 				return
 			}
-			if ev.tree.SubtreeHash(id) == h && ev.tree.SubtreeSize(id) == sz && treeEqualsValue(ev.tree, id, t.Doc) {
+			if ev.tree.SubtreeHash(id) == h && ev.tree.SubtreeSize(id) == sz && ev.tree.EqualsValue(id, t.Doc) {
 				target.Add(id)
 			}
 		})
@@ -126,40 +125,6 @@ func (ev *Evaluator) evalUnary(u Unary) *NodeSet {
 		return ev.evalEQPaths(t)
 	}
 	panic("jnl: unknown unary formula")
-}
-
-// treeEqualsValue compares json(id) against a jsonval document without
-// materializing the subtree as a value.
-func treeEqualsValue(t *jsontree.Tree, id jsontree.NodeID, v *jsonval.Value) bool {
-	switch t.Kind(id) {
-	case jsontree.NumberNode:
-		return v.IsNumber() && v.Num() == t.NumberVal(id)
-	case jsontree.StringNode:
-		return v.IsString() && v.Str() == t.StringVal(id)
-	case jsontree.ArrayNode:
-		if !v.IsArray() || v.Len() != t.NumChildren(id) {
-			return false
-		}
-		for i, c := range t.Children(id) {
-			e, _ := v.Elem(i)
-			if !treeEqualsValue(t, c, e) {
-				return false
-			}
-		}
-		return true
-	case jsontree.ObjectNode:
-		if !v.IsObject() || v.Len() != t.NumChildren(id) {
-			return false
-		}
-		for _, c := range t.Children(id) {
-			m, ok := v.Member(t.EdgeKey(c))
-			if !ok || !treeEqualsValue(t, c, m) {
-				return false
-			}
-		}
-		return true
-	}
-	return false
 }
 
 // subtreeClasses lazily computes the subtree-equality classes of all

@@ -1,0 +1,55 @@
+package jnl
+
+import "jsonlogic/internal/qir"
+
+// Lowering into the unified query algebra (internal/qir). JNL is the
+// paper's common core, so the translation is a direct transliteration:
+// unary formulas become predicates, binary formulas become paths, and
+// the engine evaluates the result with the shared QIR executor. The
+// evaluator in this package remains the differential-test oracle.
+
+// Lower translates a unary formula into a QIR predicate.
+func Lower(u Unary) qir.Node {
+	switch t := u.(type) {
+	case True:
+		return qir.True{}
+	case Not:
+		return qir.Not{Inner: Lower(t.Inner)}
+	case And:
+		return qir.And{Left: Lower(t.Left), Right: Lower(t.Right)}
+	case Or:
+		return qir.Or{Left: Lower(t.Left), Right: Lower(t.Right)}
+	case Exists:
+		return qir.Exists{Path: LowerBinary(t.Path), Inner: qir.True{}}
+	case EQDoc:
+		return qir.Exists{Path: LowerBinary(t.Path), Inner: qir.ValEq{Doc: t.Doc}}
+	case EQPaths:
+		return qir.EqPaths{Left: LowerBinary(t.Left), Right: LowerBinary(t.Right)}
+	}
+	panic("jnl: unknown unary formula")
+}
+
+// LowerBinary translates a binary formula into a QIR path.
+func LowerBinary(b Binary) qir.Path {
+	switch t := b.(type) {
+	case Epsilon:
+		return qir.Here{}
+	case KeyAxis:
+		return qir.Key{Word: t.Word}
+	case IndexAxis:
+		return qir.At{Index: t.Index}
+	case RegexAxis:
+		return qir.KeyRe{Re: t.Re}
+	case RangeAxis:
+		return qir.Slice{Lo: t.Lo, Hi: t.Hi}
+	case Test:
+		return qir.Filter{Cond: Lower(t.Inner)}
+	case Concat:
+		return qir.SeqOf(LowerBinary(t.Left), LowerBinary(t.Right))
+	case Star:
+		return qir.Closure{Inner: LowerBinary(t.Inner)}
+	case Alt:
+		return qir.Union{Alts: []qir.Path{LowerBinary(t.Left), LowerBinary(t.Right)}}
+	}
+	panic("jnl: unknown binary formula")
+}

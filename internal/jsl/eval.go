@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"jsonlogic/internal/jsontree"
-	"jsonlogic/internal/jsonval"
 	"jsonlogic/internal/relang"
 )
 
@@ -320,7 +319,7 @@ func (ev *Evaluator) evalAt(st *subTable, truth [][]bool, fid int, node jsontree
 		}
 		return ev.unique(node)
 	case EqDoc:
-		return t.SubtreeHash(node) == f.Doc.Hash() && treeEqualsValue(t, node, f.Doc)
+		return t.SubtreeHash(node) == f.Doc.Hash() && t.EqualsValue(node, f.Doc)
 	case DiamondKey:
 		if t.Kind(node) != jsontree.ObjectNode {
 			return false
@@ -356,7 +355,7 @@ func (ev *Evaluator) evalAt(st *subTable, truth [][]bool, fid int, node jsontree
 			return false
 		}
 		inner := truth[st.resolve(st.id[f.Inner])]
-		for _, c := range childrenInRange(t, node, f.Lo, f.Hi) {
+		for _, c := range t.ChildrenInRange(node, f.Lo, f.Hi) {
 			if inner[c] {
 				return true
 			}
@@ -367,7 +366,7 @@ func (ev *Evaluator) evalAt(st *subTable, truth [][]bool, fid int, node jsontree
 			return true
 		}
 		inner := truth[st.resolve(st.id[f.Inner])]
-		for _, c := range childrenInRange(t, node, f.Lo, f.Hi) {
+		for _, c := range t.ChildrenInRange(node, f.Lo, f.Hi) {
 			if !inner[c] {
 				return false
 			}
@@ -381,20 +380,6 @@ func (ev *Evaluator) evalAt(st *subTable, truth [][]bool, fid int, node jsontree
 		return truth[st.defRoot[di]][node]
 	}
 	panic(fmt.Sprintf("jsl: unknown formula %T", st.formulas[fid]))
-}
-
-func childrenInRange(t *jsontree.Tree, node jsontree.NodeID, lo, hi int) []jsontree.NodeID {
-	children := t.Children(node)
-	if lo < 0 {
-		lo = 0
-	}
-	if lo >= len(children) {
-		return nil
-	}
-	if hi == Inf || hi >= len(children)-1 {
-		return children[lo:]
-	}
-	return children[lo : hi+1]
 }
 
 func (ev *Evaluator) matchMemo(re *relang.Regex, s string) bool {
@@ -423,38 +408,4 @@ func (ev *Evaluator) unique(node jsontree.NodeID) bool {
 	}
 	ev.uniqueMemo[node] = u
 	return u
-}
-
-// treeEqualsValue is duplicated from jnl to keep the packages
-// independent; both implement json(n) = A without materializing values.
-func treeEqualsValue(t *jsontree.Tree, id jsontree.NodeID, v *jsonval.Value) bool {
-	switch t.Kind(id) {
-	case jsontree.NumberNode:
-		return v.IsNumber() && v.Num() == t.NumberVal(id)
-	case jsontree.StringNode:
-		return v.IsString() && v.Str() == t.StringVal(id)
-	case jsontree.ArrayNode:
-		if !v.IsArray() || v.Len() != t.NumChildren(id) {
-			return false
-		}
-		for i, c := range t.Children(id) {
-			e, _ := v.Elem(i)
-			if !treeEqualsValue(t, c, e) {
-				return false
-			}
-		}
-		return true
-	case jsontree.ObjectNode:
-		if !v.IsObject() || v.Len() != t.NumChildren(id) {
-			return false
-		}
-		for _, c := range t.Children(id) {
-			m, ok := v.Member(t.EdgeKey(c))
-			if !ok || !treeEqualsValue(t, c, m) {
-				return false
-			}
-		}
-		return true
-	}
-	return false
 }

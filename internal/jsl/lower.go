@@ -1,0 +1,84 @@
+package jsl
+
+import (
+	"jsonlogic/internal/qir"
+	"jsonlogic/internal/relang"
+)
+
+// Lowering into the unified query algebra (internal/qir): JSL's node
+// tests become QIR leaf predicates, its ◇/◻ modalities become
+// Exists/ForAll over single-step paths, and recursive definitions
+// carry over as named Defs. The bottom-up evaluator in this package
+// remains the differential-test oracle; the engine executes lowered
+// queries through the shared QIR executor, whose memoized definition
+// operators give the same O(|J|·|Δ|) behaviour node-at-a-time.
+
+// Lower translates a formula into a QIR predicate. Ref nodes lower to
+// qir.Ref and resolve against the Defs of the enclosing query; use
+// Recursive.Lower for complete expressions.
+func Lower(f Formula) qir.Node {
+	switch t := f.(type) {
+	case True:
+		return qir.True{}
+	case Not:
+		return qir.Not{Inner: Lower(t.Inner)}
+	case And:
+		return qir.And{Left: Lower(t.Left), Right: Lower(t.Right)}
+	case Or:
+		return qir.Or{Left: Lower(t.Left), Right: Lower(t.Right)}
+	case IsObj:
+		return qir.KindIs{Kind: qir.KindObject}
+	case IsArr:
+		return qir.KindIs{Kind: qir.KindArray}
+	case IsStr:
+		return qir.KindIs{Kind: qir.KindString}
+	case IsInt:
+		return qir.KindIs{Kind: qir.KindNumber}
+	case Unique:
+		return qir.Unique{}
+	case Pattern:
+		return qir.StrMatch{Re: t.Re}
+	case Min:
+		return qir.NumGE{N: t.I}
+	case Max:
+		return qir.NumLE{N: t.I}
+	case MultOf:
+		return qir.NumMultOf{N: t.I}
+	case MinCh:
+		return qir.ChMin{K: t.K}
+	case MaxCh:
+		return qir.ChMax{K: t.K}
+	case EqDoc:
+		return qir.ValEq{Doc: t.Doc}
+	case DiamondKey:
+		return qir.Exists{Path: keyPath(t.Re, t.Word, t.IsWord), Inner: Lower(t.Inner)}
+	case BoxKey:
+		return qir.ForAll{Path: keyPath(t.Re, t.Word, t.IsWord), Inner: Lower(t.Inner)}
+	case DiamondIdx:
+		return qir.Exists{Path: qir.Slice{Lo: t.Lo, Hi: t.Hi}, Inner: Lower(t.Inner)}
+	case BoxIdx:
+		return qir.ForAll{Path: qir.Slice{Lo: t.Lo, Hi: t.Hi}, Inner: Lower(t.Inner)}
+	case Ref:
+		return qir.Ref{Name: t.Name}
+	}
+	panic("jsl: unknown formula")
+}
+
+// keyPath maps a key modality's edge selector: ◇_w/◻_w navigate one
+// exact key, ◇_e/◻_e any key in L(e).
+func keyPath(re *relang.Regex, word string, isWord bool) qir.Path {
+	if isWord {
+		return qir.Key{Word: word}
+	}
+	return qir.KeyRe{Re: re}
+}
+
+// Lower translates the recursive expression into a complete QIR query
+// (definitions plus match predicate).
+func (r *Recursive) Lower() *qir.Query {
+	q := &qir.Query{Pred: Lower(r.Base)}
+	for _, d := range r.Defs {
+		q.Defs = append(q.Defs, qir.Def{Name: d.Name, Body: Lower(d.Body)})
+	}
+	return q
+}

@@ -22,6 +22,7 @@ import (
 	"jsonlogic/internal/jnl"
 	"jsonlogic/internal/jsontree"
 	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/qir"
 	"jsonlogic/internal/relang"
 )
 
@@ -461,4 +462,14 @@ func (p *pparser) literal() (*jsonval.Value, error) {
 // empty prefix means the path is not index-supported.
 func (p *Path) RequiredPrefix() ([]jsontree.Step, bool) {
 	return jnl.RequiredPrefix(p.binary)
+}
+
+// Lower translates the path into the unified query algebra: selection
+// enumerates the compiled JNL path from the root, and matching ("does
+// the path select anything") is its existential closure, so both
+// semantics flow from one lowered structure. The JNL product evaluator
+// remains the differential-test oracle.
+func (p *Path) Lower() *qir.Query {
+	sel := jnl.LowerBinary(p.binary)
+	return &qir.Query{Pred: qir.Exists{Path: sel, Inner: qir.True{}}, Sel: sel}
 }

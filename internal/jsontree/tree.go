@@ -332,6 +332,68 @@ func (t *Tree) Value(n NodeID) *jsonval.Value {
 	panic("jsontree: unknown node kind")
 }
 
+// ChildrenInRange returns the positional children of n with sibling
+// index in [lo, hi], clamping lo below zero and treating any hi at or
+// beyond the last index (including "infinity" sentinels) as open; an
+// empty interval (hi < lo) yields nil. It is the one shared
+// implementation of the interval-modality semantics the evaluators
+// (jsl, qir) previously each duplicated. The returned slice aliases
+// the node's child array and must not be modified.
+func (t *Tree) ChildrenInRange(n NodeID, lo, hi int) []NodeID {
+	children := t.nodes[n].children
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= len(children) {
+		return nil
+	}
+	if hi >= len(children)-1 {
+		return children[lo:]
+	}
+	if hi < lo {
+		return nil
+	}
+	return children[lo : hi+1]
+}
+
+// EqualsValue reports whether json(n) equals the value v, comparing
+// structurally without materializing the subtree. It performs no hash
+// or size short-circuit of its own; callers on hot paths precede it
+// with SubtreeHash/SubtreeSize checks. It is the one shared
+// implementation of the comparison the evaluators (jnl, jsl, qir,
+// datalog) previously each duplicated.
+func (t *Tree) EqualsValue(n NodeID, v *jsonval.Value) bool {
+	switch t.Kind(n) {
+	case NumberNode:
+		return v.IsNumber() && v.Num() == t.NumberVal(n)
+	case StringNode:
+		return v.IsString() && v.Str() == t.StringVal(n)
+	case ArrayNode:
+		if !v.IsArray() || v.Len() != t.NumChildren(n) {
+			return false
+		}
+		for i, c := range t.Children(n) {
+			e, _ := v.Elem(i)
+			if !t.EqualsValue(c, e) {
+				return false
+			}
+		}
+		return true
+	case ObjectNode:
+		if !v.IsObject() || v.Len() != t.NumChildren(n) {
+			return false
+		}
+		for _, c := range t.Children(n) {
+			m, ok := v.Member(t.EdgeKey(c))
+			if !ok || !t.EqualsValue(c, m) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // Path returns the tree-domain address of n as the sequence of sibling
 // indices from the root, i.e. the element of N* identifying n in D.
 func (t *Tree) Path(n NodeID) []int {

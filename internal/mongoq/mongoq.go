@@ -20,6 +20,7 @@ import (
 	"jsonlogic/internal/jsl"
 	"jsonlogic/internal/jsontree"
 	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/qir"
 )
 
 // Filter is a compiled find filter.
@@ -356,6 +357,14 @@ func splitPath(path string) ([]pathSeg, error) {
 		}
 	}
 	return segs, nil
+}
+
+// Lower translates the filter into the unified query algebra by
+// lowering its JSL compilation — Theorem 2's observation that mongo
+// navigation lives in the common core, made operational. The JSL
+// evaluator remains the differential-test oracle.
+func (f *Filter) Lower() *qir.Query {
+	return &qir.Query{Pred: jsl.Lower(f.formula)}
 }
 
 // RequiredFacts returns path facts every matching document must obey,

@@ -1,0 +1,461 @@
+// Package qir defines the unified query intermediate representation —
+// a logical algebra over JSON trees that all four front ends (JNL, JSL,
+// JSONPath and MongoDB find filters) lower into, realizing the paper's
+// central observation that their navigational cores coincide. One
+// executor (exec.go) evaluates the algebra with composable,
+// short-circuiting iterator operators, and one fact extractor
+// (facts.go) derives the index conditions the store's cost-based
+// planner consumes — so every front end gets index support and new
+// optimisations from a single code path, with the original per-language
+// evaluators retained only as differential-test oracles.
+//
+// The algebra has two sorts, mirroring JNL's unary/binary split (§4 of
+// the paper): a Node denotes a predicate on tree nodes (a node set), a
+// Path denotes a binary navigation relation. Modal operators connect
+// them: Exists(π, φ) holds at n when some π-successor of n satisfies φ
+// (JNL's [α], JSL's ◇), ForAll(π, φ) when every π-successor does
+// (JSL's ◻), and EqPaths(π₁, π₂) when the two paths reach equal
+// subtrees (JNL's EQ(α,β)). Recursive JSL definitions become named
+// Defs referenced by Ref; JNL's Kleene star becomes Closure.
+package qir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jsonlogic/internal/jsonval"
+	"jsonlogic/internal/relang"
+)
+
+// Inf is the open upper bound +∞ for Slice paths.
+const Inf = int(^uint(0) >> 1)
+
+// Node is a logical predicate on JSON tree nodes. Nodes are immutable
+// after construction.
+type Node interface {
+	isNode()
+	writeTo(sb *strings.Builder)
+}
+
+// Path is a binary navigation relation between JSON tree nodes. All
+// moving steps descend (parent to child); Here and Filter stay put.
+type Path interface {
+	isPath()
+	writePathTo(sb *strings.Builder)
+}
+
+// ---- Boolean structure ----
+
+// True is ⊤, satisfied by every node.
+type True struct{}
+
+// Not is ¬φ.
+type Not struct{ Inner Node }
+
+// And is φ ∧ ψ.
+type And struct{ Left, Right Node }
+
+// Or is φ ∨ ψ.
+type Or struct{ Left, Right Node }
+
+// ---- Leaf predicates (label/value tests) ----
+
+// KindIs tests the node's kind (object, array, string, number) — the
+// domain partition of §3.1. Kind values are qir's own so the package
+// stays independent of jsontree's internals at the API surface.
+type KindIs struct{ Kind Kind }
+
+// Kind is a node kind, aligned with jsontree.Kind by value.
+type Kind uint8
+
+// The four node kinds of the JSON tree model.
+const (
+	KindObject Kind = iota
+	KindArray
+	KindString
+	KindNumber
+)
+
+// String returns the JSON Schema type name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindObject:
+		return "object"
+	case KindArray:
+		return "array"
+	case KindString:
+		return "string"
+	case KindNumber:
+		return "number"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ValEq tests json(n) = Doc (JNL's EQ(ε, A), JSL's ~(A)).
+type ValEq struct{ Doc *jsonval.Value }
+
+// StrMatch tests that n is a string node whose value matches Re
+// (JSL's Pattern).
+type StrMatch struct{ Re *relang.Regex }
+
+// NumGE tests that n is a number node with val(n) ≥ N (JSL's Min,
+// inclusive per the repo's Theorem 1 convention).
+type NumGE struct{ N uint64 }
+
+// NumLE tests that n is a number node with val(n) ≤ N (JSL's Max).
+type NumLE struct{ N uint64 }
+
+// NumMultOf tests that n is a number node whose value is a multiple of
+// N (JSL's MultOf; N = 0 admits only 0).
+type NumMultOf struct{ N uint64 }
+
+// ChMin tests that n has at least K children (JSL's MinCh; no kind
+// restriction — leaves have zero children).
+type ChMin struct{ K int }
+
+// ChMax tests that n has at most K children (JSL's MaxCh).
+type ChMax struct{ K int }
+
+// Unique tests that n is an array whose elements are pairwise distinct
+// JSON values (JSL's Unique; false on non-arrays).
+type Unique struct{}
+
+// ---- Modal structure ----
+
+// Exists is ∃π.φ: some π-successor satisfies φ. It subsumes JNL's [α]
+// (φ = True), EQ(α, A) (φ = ValEq) and JSL's ◇ modalities.
+type Exists struct {
+	Path  Path
+	Inner Node
+}
+
+// ForAll is ∀π.φ: every π-successor satisfies φ, vacuously true when
+// there are none (JSL's ◻ modalities).
+type ForAll struct {
+	Path  Path
+	Inner Node
+}
+
+// EqPaths is EQ(π₁, π₂): some π₁-successor and some π₂-successor root
+// equal subtrees — the predicate that drives JNL evaluation from linear
+// to cubic (Proposition 3).
+type EqPaths struct{ Left, Right Path }
+
+// Ref is a reference to a named definition of the enclosing Query
+// (recursive JSL, §5.3).
+type Ref struct{ Name string }
+
+func (True) isNode()      {}
+func (Not) isNode()       {}
+func (And) isNode()       {}
+func (Or) isNode()        {}
+func (KindIs) isNode()    {}
+func (ValEq) isNode()     {}
+func (StrMatch) isNode()  {}
+func (NumGE) isNode()     {}
+func (NumLE) isNode()     {}
+func (NumMultOf) isNode() {}
+func (ChMin) isNode()     {}
+func (ChMax) isNode()     {}
+func (Unique) isNode()    {}
+func (Exists) isNode()    {}
+func (ForAll) isNode()    {}
+func (EqPaths) isNode()   {}
+func (Ref) isNode()       {}
+
+// ---- Paths ----
+
+// Here is ε, the identity relation.
+type Here struct{}
+
+// Key moves from an object node to the value of key Word (X_w).
+type Key struct{ Word string }
+
+// KeyRe moves from an object node to the value of any key matching Re
+// (X_e, non-deterministic JNL).
+type KeyRe struct{ Re *relang.Regex }
+
+// At moves from an array node to its Index-th element; negative
+// indices count from the end (X_i with the paper's dual access).
+type At struct{ Index int }
+
+// Slice moves from an array node to any element at position
+// Lo ≤ p ≤ Hi (X_{i:j}; Hi = Inf means +∞).
+type Slice struct{ Lo, Hi int }
+
+// Seq is composition π₁ ∘ π₂ ∘ …; an empty Seq is ε.
+type Seq struct{ Parts []Path }
+
+// Union is π₁ ∪ π₂ ∪ … (JSONPath wildcards, JNL's Alt).
+type Union struct{ Alts []Path }
+
+// Closure is (π)*, reflexive-transitive closure (recursive JNL,
+// JSONPath's descendant step).
+type Closure struct{ Inner Path }
+
+// Filter is ⟨φ⟩: the identity restricted to nodes satisfying φ (JNL
+// tests, JSONPath filters).
+type Filter struct{ Cond Node }
+
+func (Here) isPath()    {}
+func (Key) isPath()     {}
+func (KeyRe) isPath()   {}
+func (At) isPath()      {}
+func (Slice) isPath()   {}
+func (Seq) isPath()     {}
+func (Union) isPath()   {}
+func (Closure) isPath() {}
+func (Filter) isPath()  {}
+
+// ---- Query ----
+
+// Def is one named definition of a recursive query.
+type Def struct {
+	Name string
+	Body Node
+}
+
+// Query is a complete lowered query: definitions, a match predicate,
+// and an optional selection path.
+//
+// Matching semantics (engine.Validate): the root satisfies Pred.
+// Selection semantics (engine.Eval): when Sel is non-nil, the nodes
+// reachable from the root via Sel (JSONPath — selection is
+// root-anchored); otherwise all nodes satisfying Pred (JNL/JSL/mongo —
+// every node is a potential evaluation point). Front ends with a
+// selection path set Pred = Exists{Sel, True} so both semantics flow
+// from one structure.
+type Query struct {
+	Defs []Def
+	Pred Node
+	Sel  Path // nil for predicate queries
+}
+
+// Def looks up a definition body by name.
+func (q *Query) Def(name string) (Node, bool) {
+	for _, d := range q.Defs {
+		if d.Name == name {
+			return d.Body, true
+		}
+	}
+	return nil, false
+}
+
+// ---- Inline rendering ----
+
+func (True) writeTo(sb *strings.Builder) { sb.WriteString("true") }
+
+func (n Not) writeTo(sb *strings.Builder) {
+	sb.WriteString("not(")
+	n.Inner.writeTo(sb)
+	sb.WriteByte(')')
+}
+
+func (a And) writeTo(sb *strings.Builder) {
+	sb.WriteString("and(")
+	a.Left.writeTo(sb)
+	sb.WriteString(", ")
+	a.Right.writeTo(sb)
+	sb.WriteByte(')')
+}
+
+func (o Or) writeTo(sb *strings.Builder) {
+	sb.WriteString("or(")
+	o.Left.writeTo(sb)
+	sb.WriteString(", ")
+	o.Right.writeTo(sb)
+	sb.WriteByte(')')
+}
+
+func (k KindIs) writeTo(sb *strings.Builder)   { sb.WriteString("kind=" + k.Kind.String()) }
+func (v ValEq) writeTo(sb *strings.Builder)    { sb.WriteString("eq " + v.Doc.String()) }
+func (p StrMatch) writeTo(sb *strings.Builder) { fmt.Fprintf(sb, "match %q", p.Re.String()) }
+func (m NumGE) writeTo(sb *strings.Builder)    { fmt.Fprintf(sb, "num>=%d", m.N) }
+func (m NumLE) writeTo(sb *strings.Builder)    { fmt.Fprintf(sb, "num<=%d", m.N) }
+func (m NumMultOf) writeTo(sb *strings.Builder) {
+	fmt.Fprintf(sb, "num%%%d=0", m.N)
+}
+func (m ChMin) writeTo(sb *strings.Builder) { fmt.Fprintf(sb, "children>=%d", m.K) }
+func (m ChMax) writeTo(sb *strings.Builder) { fmt.Fprintf(sb, "children<=%d", m.K) }
+func (Unique) writeTo(sb *strings.Builder)  { sb.WriteString("unique") }
+func (r Ref) writeTo(sb *strings.Builder)   { sb.WriteString("ref " + r.Name) }
+
+func (e Exists) writeTo(sb *strings.Builder) {
+	sb.WriteString("exists(")
+	e.Path.writePathTo(sb)
+	sb.WriteString(", ")
+	e.Inner.writeTo(sb)
+	sb.WriteByte(')')
+}
+
+func (f ForAll) writeTo(sb *strings.Builder) {
+	sb.WriteString("forall(")
+	f.Path.writePathTo(sb)
+	sb.WriteString(", ")
+	f.Inner.writeTo(sb)
+	sb.WriteByte(')')
+}
+
+func (e EqPaths) writeTo(sb *strings.Builder) {
+	sb.WriteString("eqpaths(")
+	e.Left.writePathTo(sb)
+	sb.WriteString(", ")
+	e.Right.writePathTo(sb)
+	sb.WriteByte(')')
+}
+
+func (Here) writePathTo(sb *strings.Builder)    { sb.WriteString("ε") }
+func (k Key) writePathTo(sb *strings.Builder)   { sb.WriteString("/" + k.Word) }
+func (k KeyRe) writePathTo(sb *strings.Builder) { fmt.Fprintf(sb, "/~%q", k.Re.String()) }
+func (a At) writePathTo(sb *strings.Builder)    { sb.WriteString("/" + strconv.Itoa(a.Index)) }
+
+func (s Slice) writePathTo(sb *strings.Builder) {
+	fmt.Fprintf(sb, "/[%d:", s.Lo)
+	if s.Hi != Inf {
+		sb.WriteString(strconv.Itoa(s.Hi))
+	}
+	sb.WriteByte(']')
+}
+
+func (s Seq) writePathTo(sb *strings.Builder) {
+	if len(s.Parts) == 0 {
+		sb.WriteString("ε")
+		return
+	}
+	for i, p := range s.Parts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		p.writePathTo(sb)
+	}
+}
+
+func (u Union) writePathTo(sb *strings.Builder) {
+	sb.WriteByte('(')
+	for i, p := range u.Alts {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		p.writePathTo(sb)
+	}
+	sb.WriteByte(')')
+}
+
+func (c Closure) writePathTo(sb *strings.Builder) {
+	sb.WriteByte('(')
+	c.Inner.writePathTo(sb)
+	sb.WriteString(")*")
+}
+
+func (f Filter) writePathTo(sb *strings.Builder) {
+	sb.WriteByte('<')
+	f.Cond.writeTo(sb)
+	sb.WriteByte('>')
+}
+
+// String renders the node inline.
+func String(n Node) string {
+	var sb strings.Builder
+	n.writeTo(&sb)
+	return sb.String()
+}
+
+// PathString renders the path inline.
+func PathString(p Path) string {
+	var sb strings.Builder
+	p.writePathTo(&sb)
+	return sb.String()
+}
+
+// ---- Logical tree rendering (Explain) ----
+
+// String renders the query as an indented logical operator tree, the
+// "logical plan" half of Plan.Explain.
+func (q *Query) String() string {
+	var sb strings.Builder
+	for _, d := range q.Defs {
+		sb.WriteString("def " + d.Name + "\n")
+		writeNodeTree(&sb, d.Body, 1)
+	}
+	if q.Sel != nil {
+		sb.WriteString("select " + PathString(q.Sel) + "\n")
+	}
+	sb.WriteString("match\n")
+	writeNodeTree(&sb, q.Pred, 1)
+	return sb.String()
+}
+
+func writeNodeTree(sb *strings.Builder, n Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch t := n.(type) {
+	case Not:
+		sb.WriteString(indent + "not\n")
+		writeNodeTree(sb, t.Inner, depth+1)
+	case And:
+		sb.WriteString(indent + "and\n")
+		writeNodeTree(sb, t.Left, depth+1)
+		writeNodeTree(sb, t.Right, depth+1)
+	case Or:
+		sb.WriteString(indent + "or\n")
+		writeNodeTree(sb, t.Left, depth+1)
+		writeNodeTree(sb, t.Right, depth+1)
+	case Exists:
+		sb.WriteString(indent + "exists " + PathString(t.Path) + "\n")
+		writeNodeTree(sb, t.Inner, depth+1)
+	case ForAll:
+		sb.WriteString(indent + "forall " + PathString(t.Path) + "\n")
+		writeNodeTree(sb, t.Inner, depth+1)
+	default:
+		sb.WriteString(indent + String(n) + "\n")
+	}
+}
+
+// ---- Convenience constructors ----
+
+// AndAll conjoins nodes; AndAll() is True.
+func AndAll(parts ...Node) Node {
+	if len(parts) == 0 {
+		return True{}
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out = And{out, p}
+	}
+	return out
+}
+
+// OrAll disjoins nodes; OrAll() is not(true).
+func OrAll(parts ...Node) Node {
+	if len(parts) == 0 {
+		return Not{True{}}
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out = Or{out, p}
+	}
+	return out
+}
+
+// SeqOf composes paths left to right, flattening nested Seqs; SeqOf()
+// is ε.
+func SeqOf(parts ...Path) Path {
+	flat := make([]Path, 0, len(parts))
+	for _, p := range parts {
+		switch t := p.(type) {
+		case Here:
+			// ε is the composition identity.
+		case Seq:
+			flat = append(flat, t.Parts...)
+		default:
+			flat = append(flat, p)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Here{}
+	case 1:
+		return flat[0]
+	}
+	return Seq{Parts: flat}
+}

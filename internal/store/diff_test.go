@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"jsonlogic/internal/engine"
@@ -106,7 +107,48 @@ func sameSelections(a, b []Selection) bool {
 	return true
 }
 
-// runStoreDifferential drives one front end through the harness.
+// referenceFind computes Find's answer with the retired front-end
+// evaluators (Plan.ValidateReference) over every stored document — the
+// old-evaluator oracle the QIR executor must match node-for-node.
+func referenceFind(t *testing.T, s *Store, p *engine.Plan, src string) []string {
+	t.Helper()
+	var ids []string
+	for _, pair := range s.candidates(nil, false) {
+		ok, err := p.ValidateReference(pair.tree)
+		if err != nil {
+			t.Fatalf("reference validate(%q): %v", src, err)
+		}
+		if ok {
+			ids = append(ids, pair.id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// referenceSelect is referenceFind's node-selection counterpart, built
+// on Plan.EvalReference.
+func referenceSelect(t *testing.T, s *Store, p *engine.Plan, src string) []Selection {
+	t.Helper()
+	var out []Selection
+	for _, pair := range s.candidates(nil, false) {
+		nodes, err := p.EvalReference(pair.tree)
+		if err != nil {
+			t.Fatalf("reference eval(%q): %v", src, err)
+		}
+		if len(nodes) > 0 {
+			out = append(out, Selection{ID: pair.id, Tree: pair.tree, Nodes: nodes})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// runStoreDifferential drives one front end through the harness: for
+// every random (collection, query) pair the planner-driven Find/Select
+// must agree with the forced full scan AND with the retired front-end
+// evaluators (the old-vs-QIR oracle check), and Explain's estimated
+// cardinality must bound the measured one.
 func runStoreDifferential(t *testing.T, seed int64, lang engine.Language, source func(r *rand.Rand) string) {
 	t.Helper()
 	r := rand.New(rand.NewSource(seed))
@@ -131,6 +173,10 @@ func runStoreDifferential(t *testing.T, seed int64, lang engine.Language, source
 			t.Fatalf("pair %d: indexed Find disagrees with scan on %q\nindexed: %v\nscan:    %v",
 				i, src, gotF, wantF)
 		}
+		if oracleF := referenceFind(t, s, p, src); !sameIDs(gotF, oracleF) {
+			t.Fatalf("pair %d: QIR Find disagrees with the old evaluator on %q\nqir:    %v\noracle: %v",
+				i, src, gotF, oracleF)
+		}
 		gotS, _, err := s.Select(p)
 		if err != nil {
 			t.Fatalf("Select(%q): %v", src, err)
@@ -142,6 +188,33 @@ func runStoreDifferential(t *testing.T, seed int64, lang engine.Language, source
 		if !sameSelections(gotS, wantS) {
 			t.Fatalf("pair %d: indexed Select disagrees with scan on %q\nindexed: %+v\nscan:    %+v",
 				i, src, gotS, wantS)
+		}
+		if oracleS := referenceSelect(t, s, p, src); !sameSelections(gotS, oracleS) {
+			t.Fatalf("pair %d: QIR Select disagrees with the old evaluator on %q\nqir:    %+v\noracle: %+v",
+				i, src, gotS, oracleS)
+		}
+		// Every fifth pair, assert the Explain cardinality contract:
+		// the estimate is an upper bound on what the access path
+		// actually produced, and results never exceed candidates.
+		if i%5 == 0 {
+			for _, mode := range []string{"find", "select"} {
+				ex, err := s.Explain(p, mode)
+				if err != nil {
+					t.Fatalf("Explain(%q, %s): %v", src, mode, err)
+				}
+				if ex.EstCandidates < ex.ActualCandidates {
+					t.Fatalf("pair %d: Explain(%q, %s) estimate %d below actual %d",
+						i, src, mode, ex.EstCandidates, ex.ActualCandidates)
+				}
+				if ex.ActualResults > ex.ActualCandidates {
+					t.Fatalf("pair %d: Explain(%q, %s) results %d exceed candidates %d",
+						i, src, mode, ex.ActualResults, ex.ActualCandidates)
+				}
+				if ex.Access == "scan" && ex.ActualCandidates != ex.DocCount {
+					t.Fatalf("pair %d: Explain(%q, %s) scan candidates %d != doc count %d",
+						i, src, mode, ex.ActualCandidates, ex.DocCount)
+				}
+			}
 		}
 	}
 	cols.retire()

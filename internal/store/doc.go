@@ -31,21 +31,31 @@
 // the index stores no path strings; hash collisions can only merge
 // posting lists, which adds false candidates but never loses one.
 //
-// # Query planning: shards → path index → candidate set → reference eval
+// # Query planning: statistics → cost-based access plan → candidates
 //
-// A query arrives as an engine.Plan. The plan's compile-time index
-// facts (Plan.FindFacts for document matching, Plan.SelectFacts for
-// node selection — see internal/engine/hints.go) are turned into index
-// terms; per shard, the posting lists of all terms are intersected into
-// a candidate set, and the ordinary reference evaluation runs over the
-// candidates only. Every fact is a necessary condition of matching, so
-// a document outside the candidate set provably cannot match and the
-// indexed result equals the full scan result node-for-node — the
-// differential tests in this package enforce exactly that, including
-// for plans that yield no facts (negation, disjunction, recursion,
-// non-deterministic axes), which transparently fall back to scanning.
-// Facts deeper than the index bound degrade to the presence of their
-// in-bound prefix rather than disabling the index.
+// A query arrives as an engine.Plan carrying compile-time index facts
+// (Plan.FindFacts for document matching, Plan.SelectFacts for node
+// selection — derived once from the plan's QIR lowering). The
+// cost-based planner (planner.go) turns the facts into index terms,
+// consults the Statistics interface (document count, per-term
+// posting-list cardinalities, per-path class histograms) and chooses
+// per query: index or scan (scan when even the best term matches most
+// of the collection), which terms to intersect (near-useless terms are
+// skipped), and in what order (ascending cardinality, so the smallest
+// posting list drives the intersection and the likeliest-to-fail
+// membership probes run first). Candidates are then evaluated by the
+// shared QIR executor. Every fact is a necessary condition of
+// matching, so a document outside the candidate set provably cannot
+// match and the indexed result equals the full scan result
+// node-for-node — the differential tests in this package enforce
+// exactly that against both the forced scan and the retired front-end
+// evaluators, including for plans that yield no facts (negation,
+// disjunction, recursion, non-deterministic axes), which transparently
+// fall back to scanning. Facts deeper than the index bound degrade to
+// the presence of their in-bound prefix rather than disabling the
+// index. Store.Explain reports the chosen plan with estimated versus
+// actual cardinalities; the estimate provably bounds the candidate
+// count.
 //
 // # Durability: write-ahead log and snapshot recovery
 //

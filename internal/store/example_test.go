@@ -19,10 +19,15 @@ import (
 // intersection) rather than a full scan.
 func ExampleStore_Find() {
 	s := store.New(store.Options{Shards: 4})
+	// The two ageless documents matter: they keep the "/age kind=number"
+	// posting list selective enough that the cost-based planner picks
+	// the index over a scan.
 	for id, doc := range map[string]string{
 		"u1": `{"name":"sue","age":34}`,
 		"u2": `{"name":"bob","age":17}`,
 		"u3": `{"name":"ann","age":41}`,
+		"g1": `{"group":"admins"}`,
+		"g2": `{"group":"users"}`,
 	} {
 		if err := s.Put(id, doc); err != nil {
 			panic(err)

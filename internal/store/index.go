@@ -1,6 +1,8 @@
 package store
 
 import (
+	"sort"
+
 	"jsonlogic/internal/jsontree"
 )
 
@@ -58,15 +60,24 @@ func presenceTerm(path uint64) uint64               { return path }
 func classTerm(path uint64, k jsontree.Kind) uint64 { return fnvByte(fnvByte(path, 'C'), byte(k)) }
 func valueTerm(path uint64, valHash uint64) uint64  { return fnvUint64(fnvByte(path, 'V'), valHash) }
 
-// factTerm converts one planner fact into its index term. A fact
-// deeper than the index bound degrades to the presence of its
+// effectiveFact returns the fact the index can actually answer: a
+// fact deeper than the index bound degrades to the presence of its
 // in-bound prefix — sound, because a node existing at the deep path
-// implies every prefix path exists. ok is false only for the trivial
-// root-presence fact, which prunes nothing.
-func factTerm(f jsontree.PathFact, maxDepth int) (term uint64, ok bool) {
+// implies every prefix path exists. The planner reports statistics
+// against the effective fact, not the original.
+func effectiveFact(f jsontree.PathFact, maxDepth int) jsontree.PathFact {
 	if len(f.Steps) > maxDepth {
-		return presenceTerm(pathHash(f.Steps[:maxDepth])), true
+		return jsontree.PathFact{Steps: f.Steps[:maxDepth]}
 	}
+	return f
+}
+
+// factTerm converts one planner fact into its index term (degrading
+// over-deep facts via effectiveFact, so the rule lives in one place).
+// ok is false only for the trivial root-presence fact, which prunes
+// nothing.
+func factTerm(f jsontree.PathFact, maxDepth int) (term uint64, ok bool) {
+	f = effectiveFact(f, maxDepth)
 	p := pathHash(f.Steps)
 	switch {
 	case f.Value != nil:
@@ -166,10 +177,55 @@ func (ix *pathIndex) remove(id string, t *jsontree.Tree) {
 	}
 }
 
-// probe intersects the posting lists of the given terms, iterating the
-// smallest list and testing membership in the rest. A missing term
-// short-circuits to the empty set.
+// probe intersects the posting lists of the given terms in ascending
+// length order: the smallest list drives the iteration and membership
+// is tested against the remaining lists smallest-first, so the probes
+// most likely to fail run first and non-members are rejected cheaply.
+// A missing term short-circuits to the empty set.
 func (ix *pathIndex) probe(terms []uint64) []string {
+	lists, ok := ix.sortedLists(terms)
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(lists[0]))
+	for id := range lists[0] {
+		in := true
+		for _, post := range lists[1:] {
+			if _, ok := post[id]; !ok {
+				in = false
+				break
+			}
+		}
+		if in {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// sortedLists resolves the terms' posting lists sorted by ascending
+// length; ok is false when a term is absent (empty intersection) or no
+// terms were given.
+func (ix *pathIndex) sortedLists(terms []uint64) ([]map[string]struct{}, bool) {
+	if len(terms) == 0 {
+		return nil, false
+	}
+	lists := make([]map[string]struct{}, len(terms))
+	for i, term := range terms {
+		post, ok := ix.postings[term]
+		if !ok {
+			return nil, false
+		}
+		lists[i] = post
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	return lists, true
+}
+
+// probeUnordered is the pre-planner intersection: it iterates the
+// smallest list but tests membership in declaration order. Retained as
+// the baseline for the ordered-intersection ablation benchmark.
+func (ix *pathIndex) probeUnordered(terms []uint64) []string {
 	if len(terms) == 0 {
 		return nil
 	}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"jsonlogic/internal/engine"
+)
+
+// Planner benchmarks (committed to BENCH_4.json): indexed versus scan
+// versus forced-index access on selective and unselective queries at
+// 10k/100k documents, plus the ordered-intersection ablation. They
+// live in the store package (unlike the root suite) because the
+// forced-index and intersection variants need the unexported probe
+// machinery the planner normally guards.
+
+var plannerBenchSizes = []int{10000, 100000}
+
+var plannerBenchStores = map[int]*Store{}
+
+// plannerBenchStore builds (once per size) a collection where
+// "group" splits the documents 64 ways, "tags.color" 5 ways, and
+// "flag" is carried by everyone — a selective, a medium and a useless
+// index term.
+func plannerBenchStore(b *testing.B, n int) *Store {
+	b.Helper()
+	if s, ok := plannerBenchStores[n]; ok {
+		return s
+	}
+	s := New(Options{Shards: 16})
+	for i := 0; i < n; i++ {
+		doc := fmt.Sprintf(`{"group":"g%d","flag":"on","tags":{"color":"c%d"},"n":%d}`,
+			i%64, i%5, i)
+		if err := s.Put(fmt.Sprintf("doc%07d", i), doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	plannerBenchStores[n] = s
+	return s
+}
+
+// BenchmarkStorePlannerSelective: a two-term conjunctive filter where
+// the planner intersects selectivity-ordered posting lists (1/64 then
+// 1/5 of the collection; ~1/320 matches) against the full scan.
+func BenchmarkStorePlannerSelective(b *testing.B) {
+	plan := engine.MustCompile(engine.LangMongoFind, `{"group":"g7","tags.color":"c3"}`)
+	for _, n := range plannerBenchSizes {
+		s := plannerBenchStore(b, n)
+		want := 0
+		for i := 0; i < n; i++ {
+			if i%64 == 7 && i%5 == 3 {
+				want++
+			}
+		}
+		b.Run(fmt.Sprintf("indexed/docs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ids, indexed, err := s.Find(plan)
+				if err != nil || !indexed || len(ids) != want {
+					b.Fatalf("got %d docs (indexed=%v err=%v), want %d", len(ids), indexed, err, want)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scan/docs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ids, err := s.FindScan(plan)
+				if err != nil || len(ids) != want {
+					b.Fatalf("got %d docs (err %v), want %d", len(ids), err, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStorePlannerUnselective: a filter every document matches.
+// The cost-based planner routes it to the scan; the forced-index
+// variant shows what the old all-or-nothing heuristic would have paid
+// for probing a full-collection posting list first.
+func BenchmarkStorePlannerUnselective(b *testing.B) {
+	plan := engine.MustCompile(engine.LangMongoFind, `{"flag":"on"}`)
+	for _, n := range plannerBenchSizes {
+		s := plannerBenchStore(b, n)
+		b.Run(fmt.Sprintf("planner-scan/docs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ids, indexed, err := s.Find(plan)
+				if err != nil || indexed || len(ids) != n {
+					b.Fatalf("got %d docs (indexed=%v err=%v), want scan of %d", len(ids), indexed, err, n)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("forced-index/docs=%d", n), func(b *testing.B) {
+			// Bypass the planner: probe every fact term like the old
+			// all-or-nothing path did.
+			var terms []uint64
+			for _, f := range plan.FindFacts() {
+				if term, ok := factTerm(f, s.opts.MaxIndexDepth); ok {
+					terms = append(terms, term)
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pairs := s.candidates(terms, true)
+				ids, err := s.findOver(plan, pairs)
+				if err != nil || len(ids) != n {
+					b.Fatalf("got %d docs (err %v), want %d", len(ids), err, n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreIntersectionOrder isolates the satellite win: probing
+// posting lists in ascending length order versus the declaration-order
+// baseline, on a worst-first term list (useless term leads).
+func BenchmarkStoreIntersectionOrder(b *testing.B) {
+	for _, n := range plannerBenchSizes {
+		s := plannerBenchStore(b, n)
+		facts := engine.MustCompile(engine.LangMongoFind,
+			`{"flag":"on","tags.color":"c3","group":"g7"}`).FindFacts()
+		var terms []uint64
+		for _, f := range facts {
+			if term, ok := factTerm(f, s.opts.MaxIndexDepth); ok {
+				terms = append(terms, term)
+			}
+		}
+		run := func(name string, probe func(ix *pathIndex, terms []uint64) []string) {
+			b.Run(fmt.Sprintf("%s/docs=%d", name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					got := 0
+					for _, sh := range s.shards {
+						sh.mu.RLock()
+						got += len(probe(sh.ix, terms))
+						sh.mu.RUnlock()
+					}
+					if got == 0 {
+						b.Fatal("intersection came up empty")
+					}
+				}
+			})
+		}
+		run("ordered", func(ix *pathIndex, terms []uint64) []string { return ix.probe(terms) })
+		run("unordered", func(ix *pathIndex, terms []uint64) []string { return ix.probeUnordered(terms) })
+	}
+}

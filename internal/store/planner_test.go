@@ -1,0 +1,191 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"jsonlogic/internal/jsontree"
+)
+
+// fakeStats drives the planner with a synthetic distribution, keyed by
+// fact rendering so tests read naturally.
+type fakeStats struct {
+	docs  int
+	cards map[string]int // fact string → cardinality
+	facts []jsontree.PathFact
+}
+
+func (f *fakeStats) DocCount() int { return f.docs }
+
+func (f *fakeStats) TermCardinality(term uint64) int {
+	for _, fact := range f.facts {
+		t, ok := factTerm(fact, defaultMaxIndexDepth)
+		if ok && t == term {
+			return f.cards[fact.String()]
+		}
+	}
+	return 0
+}
+
+func (f *fakeStats) ClassHistogram([]jsontree.Step) ClassCounts { return ClassCounts{} }
+
+func fact(steps ...jsontree.Step) jsontree.PathFact { return jsontree.PathFact{Steps: steps} }
+
+func TestPlannerNoFactsScans(t *testing.T) {
+	stats := &fakeStats{docs: 100}
+	plan := planQuery(stats, nil, defaultMaxIndexDepth)
+	if plan.Access != AccessScan || plan.EstCandidates != 100 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if !strings.Contains(plan.Reason, "no index-supported facts") {
+		t.Fatalf("reason = %q", plan.Reason)
+	}
+}
+
+func TestPlannerUnselectiveIntersectionScans(t *testing.T) {
+	f1 := fact(jsontree.Key("a"))
+	f2 := fact(jsontree.Key("b"))
+	stats := &fakeStats{
+		docs:  1000,
+		facts: []jsontree.PathFact{f1, f2},
+		cards: map[string]int{f1.String(): 990, f2.String(): 1000},
+	}
+	plan := planQuery(stats, []jsontree.PathFact{f1, f2}, defaultMaxIndexDepth)
+	if plan.Access != AccessScan {
+		t.Fatalf("unselective intersection must scan: %+v", plan)
+	}
+	if plan.EstCandidates != 1000 {
+		t.Fatalf("scan estimate = %d, want the collection size", plan.EstCandidates)
+	}
+	if !strings.Contains(plan.Reason, "unselective") {
+		t.Fatalf("reason = %q", plan.Reason)
+	}
+}
+
+func TestPlannerOrdersAndSkipsTerms(t *testing.T) {
+	selective := fact(jsontree.Key("rare"))
+	medium := fact(jsontree.Key("medium"))
+	useless := fact(jsontree.Key("everywhere"))
+	stats := &fakeStats{
+		docs:  1000,
+		facts: []jsontree.PathFact{selective, medium, useless},
+		cards: map[string]int{
+			selective.String(): 10,
+			medium.String():    300,
+			useless.String():   900,
+		},
+	}
+	// Deliberately pass the facts worst-first; the plan must reorder.
+	plan := planQuery(stats, []jsontree.PathFact{useless, medium, selective}, defaultMaxIndexDepth)
+	if plan.Access != AccessIndex {
+		t.Fatalf("selective plan must index: %+v", plan)
+	}
+	if plan.EstCandidates != 10 {
+		t.Fatalf("estimate = %d, want min cardinality 10", plan.EstCandidates)
+	}
+	if len(plan.Terms) != 3 || plan.Terms[0].Fact != selective.String() ||
+		plan.Terms[1].Fact != medium.String() || plan.Terms[2].Fact != useless.String() {
+		t.Fatalf("terms not selectivity-ordered: %+v", plan.Terms)
+	}
+	if plan.Terms[0].Skipped || plan.Terms[1].Skipped {
+		t.Fatalf("selective terms must be kept: %+v", plan.Terms)
+	}
+	if !plan.Terms[2].Skipped {
+		t.Fatalf("a 90%%-selectivity term must be skipped: %+v", plan.Terms[2])
+	}
+	if len(plan.probeTerms) != 2 {
+		t.Fatalf("probe terms = %d, want 2", len(plan.probeTerms))
+	}
+	if plan.TermsSkipped() != 1 {
+		t.Fatalf("TermsSkipped = %d", plan.TermsSkipped())
+	}
+}
+
+func TestPlannerTermCap(t *testing.T) {
+	var facts []jsontree.PathFact
+	cards := map[string]int{}
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		f := fact(jsontree.Key(k))
+		facts = append(facts, f)
+		cards[f.String()] = 10
+	}
+	stats := &fakeStats{docs: 1000, facts: facts, cards: cards}
+	plan := planQuery(stats, facts, defaultMaxIndexDepth)
+	if plan.Access != AccessIndex {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if len(plan.probeTerms) != maxPlanTerms {
+		t.Fatalf("probe terms = %d, want cap %d", len(plan.probeTerms), maxPlanTerms)
+	}
+	if plan.TermsSkipped() != len(facts)-maxPlanTerms {
+		t.Fatalf("skipped = %d", plan.TermsSkipped())
+	}
+}
+
+// TestPlannerEmptyTermShortCircuits pins the zero-cardinality case: a
+// term nothing carries makes the intersection provably empty, and the
+// planner must still index (candidates: none).
+func TestPlannerEmptyTermShortCircuits(t *testing.T) {
+	absent := fact(jsontree.Key("nosuch"))
+	stats := &fakeStats{docs: 50, facts: []jsontree.PathFact{absent},
+		cards: map[string]int{absent.String(): 0}}
+	plan := planQuery(stats, []jsontree.PathFact{absent}, defaultMaxIndexDepth)
+	if plan.Access != AccessIndex || plan.EstCandidates != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+// TestPlannerDegradedFactLabel pins the Explain contract for facts
+// deeper than the index bound: the reported term must be the degraded
+// in-bound prefix presence the statistics actually describe, not the
+// original deep fact.
+func TestPlannerDegradedFactLabel(t *testing.T) {
+	deep := fact(jsontree.Key("a"), jsontree.Key("b"), jsontree.Key("c"), jsontree.Key("d"))
+	prefix := fact(jsontree.Key("a"), jsontree.Key("b"))
+	stats := &fakeStats{docs: 100, facts: []jsontree.PathFact{prefix},
+		cards: map[string]int{prefix.String(): 5}}
+	plan := planQuery(stats, []jsontree.PathFact{deep}, 2)
+	if plan.Access != AccessIndex || len(plan.Terms) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Terms[0].Fact != "/a/b" || plan.Terms[0].Cardinality != 5 {
+		t.Fatalf("degraded term = %+v, want /a/b with the prefix's cardinality", plan.Terms[0])
+	}
+}
+
+// TestOrderedProbeMatchesUnordered pins the satellite refactor: the
+// ascending-length intersection must return the same set as the
+// unordered baseline it replaced.
+func TestOrderedProbeMatchesUnordered(t *testing.T) {
+	s := New(Options{Shards: 1})
+	for _, put := range []struct{ id, doc string }{
+		{"a", `{"x":1,"y":1}`},
+		{"b", `{"x":1}`},
+		{"c", `{"x":1,"y":2,"z":3}`},
+		{"d", `{"y":1}`},
+	} {
+		if err := s.Put(put.id, put.doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	terms := []uint64{
+		presenceTerm(pathHash([]jsontree.Step{jsontree.Key("x")})),
+		presenceTerm(pathHash([]jsontree.Step{jsontree.Key("y")})),
+	}
+	sh := s.shards[0]
+	got := append([]string(nil), sh.ix.probe(terms)...)
+	want := append([]string(nil), sh.ix.probeUnordered(terms)...)
+	sortStrings(got)
+	sortStrings(want)
+	if len(got) != 2 || !sameIDs(got, want) {
+		t.Fatalf("ordered probe = %v, unordered = %v", got, want)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

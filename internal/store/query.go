@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"sort"
 
 	"jsonlogic/internal/engine"
@@ -21,28 +22,6 @@ type Selection struct {
 type docPair struct {
 	id   string
 	tree *jsontree.Tree
-}
-
-// queryTerms converts a plan's facts into index terms (factTerm
-// degrades over-deep facts to in-bound prefix presence). supported is
-// false only when no fact yields a term, in which case the caller must
-// scan.
-func (s *Store) queryTerms(facts []jsontree.PathFact) (terms []uint64, supported bool) {
-	// Planners may emit the same fact twice (e.g. $gt's IsInt∧Min both
-	// demand a number); probing a posting list twice is pure waste.
-	seen := make(map[uint64]struct{}, len(facts))
-	for _, f := range facts {
-		term, ok := factTerm(f, s.opts.MaxIndexDepth)
-		if !ok {
-			continue
-		}
-		if _, dup := seen[term]; dup {
-			continue
-		}
-		seen[term] = struct{}{}
-		terms = append(terms, term)
-	}
-	return terms, len(terms) > 0
 }
 
 // candidates snapshots the documents a query must evaluate: the
@@ -68,32 +47,36 @@ func (s *Store) candidates(terms []uint64, indexed bool) []docPair {
 }
 
 // Find returns the IDs of all documents matching the plan's boolean
-// semantics (engine.Validate), sorted. When the plan's find facts are
-// index-supported, candidates come from posting-list intersection;
-// otherwise every document is evaluated. Results are identical either
-// way — the facts are necessary conditions of matching. The returned
-// indexed flag reports which path answered the query.
+// semantics (engine.Validate), sorted. The cost-based planner decides
+// per query between posting-list intersection and a full scan; results
+// are identical either way — the plan's facts are necessary conditions
+// of matching. The returned indexed flag reports which access path
+// answered the query.
 func (s *Store) Find(p *engine.Plan) (ids []string, indexed bool, err error) {
-	terms, indexed := s.queryTerms(p.FindFacts())
+	plan := s.planFacts(p.FindFacts())
+	s.notePlan(&plan)
+	indexed = plan.Access == AccessIndex
 	if indexed {
 		s.findIndexed.Add(1)
 	} else {
 		s.findScan.Add(1)
 	}
-	ids, err = s.find(p, terms, indexed)
+	pairs := s.candidates(plan.probeTerms, indexed)
+	s.noteCandidates(false, indexed, len(pairs))
+	ids, err = s.findOver(p, pairs)
 	return ids, indexed, err
 }
 
-// FindScan is Find with the index disabled: the reference full scan
-// the differential tests compare against.
+// FindScan is Find with the planner and index disabled: the reference
+// full scan the differential tests compare against.
 func (s *Store) FindScan(p *engine.Plan) ([]string, error) {
 	s.findScan.Add(1)
-	return s.find(p, nil, false)
+	pairs := s.candidates(nil, false)
+	s.noteCandidates(false, false, len(pairs))
+	return s.findOver(p, pairs)
 }
 
-func (s *Store) find(p *engine.Plan, terms []uint64, indexed bool) ([]string, error) {
-	pairs := s.candidates(terms, indexed)
-	s.noteEvaluated(len(pairs), indexed)
+func (s *Store) findOver(p *engine.Plan, pairs []docPair) ([]string, error) {
 	verdicts, err := s.eng.ValidateBatch(p, candidateTrees(pairs))
 	if err != nil {
 		return nil, err
@@ -111,30 +94,33 @@ func (s *Store) find(p *engine.Plan, terms []uint64, indexed bool) ([]string, er
 // Select runs the plan's node-selection semantics (engine.Eval) over
 // the collection and returns, per document with at least one selected
 // node, the selected node IDs in evaluation order. Results are sorted
-// by document ID. Indexing applies when the plan's select facts are
-// supported (currently JSONPath plans, whose selection is anchored at
-// the root); all other plans scan. The returned indexed flag reports
-// which path answered the query.
+// by document ID. The planner consults the plan's select facts, which
+// exist only for root-anchored selection (JSONPath); all other plans
+// scan. The returned indexed flag reports the chosen access path.
 func (s *Store) Select(p *engine.Plan) (sels []Selection, indexed bool, err error) {
-	terms, indexed := s.queryTerms(p.SelectFacts())
+	plan := s.planFacts(p.SelectFacts())
+	s.notePlan(&plan)
+	indexed = plan.Access == AccessIndex
 	if indexed {
 		s.selectIndexed.Add(1)
 	} else {
 		s.selectScan.Add(1)
 	}
-	sels, err = s.sel(p, terms, indexed)
+	pairs := s.candidates(plan.probeTerms, indexed)
+	s.noteCandidates(true, indexed, len(pairs))
+	sels, err = s.selOver(p, pairs)
 	return sels, indexed, err
 }
 
-// SelectScan is Select with the index disabled.
+// SelectScan is Select with the planner and index disabled.
 func (s *Store) SelectScan(p *engine.Plan) ([]Selection, error) {
 	s.selectScan.Add(1)
-	return s.sel(p, nil, false)
+	pairs := s.candidates(nil, false)
+	s.noteCandidates(true, false, len(pairs))
+	return s.selOver(p, pairs)
 }
 
-func (s *Store) sel(p *engine.Plan, terms []uint64, indexed bool) ([]Selection, error) {
-	pairs := s.candidates(terms, indexed)
-	s.noteEvaluated(len(pairs), indexed)
+func (s *Store) selOver(p *engine.Plan, pairs []docPair) ([]Selection, error) {
 	selections, err := s.eng.EvalBatch(p, candidateTrees(pairs))
 	if err != nil {
 		return nil, err
@@ -161,10 +147,103 @@ func candidateTrees(pairs []docPair) []*jsontree.Tree {
 	return trees
 }
 
-func (s *Store) noteEvaluated(n int, indexed bool) {
-	if indexed {
-		s.candidateDocs.Add(uint64(n))
-	} else {
-		s.scannedDocs.Add(uint64(n))
+// notePlan records the planner's verdict in the query counters.
+func (s *Store) notePlan(plan *QueryPlan) {
+	if plan.Access == AccessScan && len(plan.Terms) > 0 {
+		s.plannerScan.Add(1)
 	}
+	if skipped := plan.TermsSkipped(); skipped > 0 {
+		s.termsSkipped.Add(uint64(skipped))
+	}
+}
+
+// noteCandidates records one query's candidate-set size: totals per
+// access path, plus a per-query histogram for indexed queries (a
+// scan's candidate count is just the collection size).
+func (s *Store) noteCandidates(sel, indexed bool, n int) {
+	if !indexed {
+		s.scannedDocs.Add(uint64(n))
+		return
+	}
+	s.candidateDocs.Add(uint64(n))
+	if sel {
+		s.selectCandidates.observe(n)
+	} else {
+		s.findCandidates.observe(n)
+	}
+}
+
+// Explanation is the full story of one query against this store: the
+// compile-time plan (lowered logical tree, physical operator program,
+// index facts) and the run-time access decision with estimated versus
+// actual cardinalities. Explain executes the query, so the actual
+// numbers are measured, not modelled.
+type Explanation struct {
+	Plan engine.PlanExplain `json:"plan"`
+	// Mode is "find" or "select".
+	Mode string `json:"mode"`
+	// Access is the chosen access path ("index" or "scan"), Reason the
+	// planner's justification.
+	Access string `json:"access"`
+	Reason string `json:"reason"`
+	// DocCount is the collection size at planning time.
+	DocCount int `json:"doc_count"`
+	// Terms are the index-supported facts with their statistics and
+	// class histograms, ordered by ascending cardinality.
+	Terms []TermPlan `json:"terms,omitempty"`
+	// EstCandidates is the planner's upper bound on the candidate
+	// count; ActualCandidates is what the access path produced. With no
+	// concurrent writes, EstCandidates ≥ ActualCandidates always.
+	EstCandidates    int `json:"est_candidates"`
+	ActualCandidates int `json:"actual_candidates"`
+	// ActualResults counts matching documents (find) or documents with
+	// at least one selected node (select).
+	ActualResults int `json:"actual_results"`
+}
+
+// Explain plans and executes the query in the given mode ("find" or
+// "select"), reporting the logical and physical trees alongside
+// estimated and actual cardinalities. It runs the real access path but
+// does not disturb the store's query counters.
+func (s *Store) Explain(p *engine.Plan, mode string) (Explanation, error) {
+	var facts []jsontree.PathFact
+	switch mode {
+	case "", "find":
+		mode = "find"
+		facts = p.FindFacts()
+	case "select":
+		facts = p.SelectFacts()
+	default:
+		return Explanation{}, fmt.Errorf("store: explain: unknown mode %q", mode)
+	}
+	plan := s.planFacts(facts)
+	for i := range plan.Terms {
+		plan.Terms[i].Classes = s.ClassHistogram(plan.Terms[i].steps).Map()
+	}
+	indexed := plan.Access == AccessIndex
+	pairs := s.candidates(plan.probeTerms, indexed)
+	ex := Explanation{
+		Plan:             p.Explain(),
+		Mode:             mode,
+		Access:           plan.Access.String(),
+		Reason:           plan.Reason,
+		DocCount:         plan.DocCount,
+		Terms:            plan.Terms,
+		EstCandidates:    plan.EstCandidates,
+		ActualCandidates: len(pairs),
+	}
+	if mode == "find" {
+		ids, err := s.findOver(p, pairs)
+		if err != nil {
+			return Explanation{}, err
+		}
+		ex.ActualResults = len(ids)
+	} else {
+		sels, err := s.selOver(p, pairs)
+		if err != nil {
+			return Explanation{}, err
+		}
+		ex.ActualResults = len(sels)
+	}
+	return ex, nil
 }

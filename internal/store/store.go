@@ -68,6 +68,12 @@ type Store struct {
 	selectScan    atomic.Uint64
 	candidateDocs atomic.Uint64
 	scannedDocs   atomic.Uint64
+
+	// Planner counters and per-query candidate histograms.
+	plannerScan      atomic.Uint64
+	termsSkipped     atomic.Uint64
+	findCandidates   histogram
+	selectCandidates histogram
 }
 
 // shard owns a partition of the documents and its slice of the index.
@@ -330,6 +336,17 @@ type QueryStats struct {
 	// the index's pruning power.
 	CandidateDocs uint64 `json:"candidate_docs"`
 	ScannedDocs   uint64 `json:"scanned_docs"`
+	// PlannerScan counts queries with index-supported facts that the
+	// cost-based planner nevertheless sent to a scan (unselective
+	// intersection); TermsSkipped counts near-useless terms it dropped
+	// from intersections.
+	PlannerScan  uint64 `json:"planner_scan"`
+	TermsSkipped uint64 `json:"terms_skipped"`
+	// FindCandidates / SelectCandidates are per-query histograms of
+	// candidate-set sizes on indexed queries, replacing the old single
+	// running counter as the pruning-power signal.
+	FindCandidates   []HistogramBucket `json:"find_candidates,omitempty"`
+	SelectCandidates []HistogramBucket `json:"select_candidates,omitempty"`
 }
 
 // DurabilityStats aggregates the WAL and snapshot counters of a
@@ -387,12 +404,16 @@ func (s *Store) Stats() Stats {
 		st.Entries += ss.Postings
 	}
 	st.Queries = QueryStats{
-		FindIndexed:   s.findIndexed.Load(),
-		FindScan:      s.findScan.Load(),
-		SelectIndexed: s.selectIndexed.Load(),
-		SelectScan:    s.selectScan.Load(),
-		CandidateDocs: s.candidateDocs.Load(),
-		ScannedDocs:   s.scannedDocs.Load(),
+		FindIndexed:      s.findIndexed.Load(),
+		FindScan:         s.findScan.Load(),
+		SelectIndexed:    s.selectIndexed.Load(),
+		SelectScan:       s.selectScan.Load(),
+		CandidateDocs:    s.candidateDocs.Load(),
+		ScannedDocs:      s.scannedDocs.Load(),
+		PlannerScan:      s.plannerScan.Load(),
+		TermsSkipped:     s.termsSkipped.Load(),
+		FindCandidates:   s.findCandidates.snapshot(),
+		SelectCandidates: s.selectCandidates.snapshot(),
 	}
 	if s.dur != nil {
 		st.Durability = s.dur.stats()

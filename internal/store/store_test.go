@@ -137,12 +137,19 @@ func TestIndexedVsScanCounters(t *testing.T) {
 	if sels, indexed, err := s.Select(deep); err != nil || !indexed || len(sels) != 0 {
 		t.Fatalf("deep select: sels=%v indexed=%v err=%v, want indexed and empty", sels, indexed, err)
 	}
+	// An in-bound prefix every document carries is index-supported but
+	// unselective: the cost-based planner must choose the scan and say
+	// so in the counters.
 	shallow, err := s.Engine().Compile(engine.LangJSONPath, `$.a.b`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, indexed, err := s.Find(shallow); err != nil || !indexed {
-		t.Fatalf("in-bound JSONPath plan must claim index use (err %v)", err)
+	before := s.Stats().Queries.PlannerScan
+	if _, indexed, err := s.Find(shallow); err != nil || indexed {
+		t.Fatalf("unselective in-bound plan must scan (indexed=%v err=%v)", indexed, err)
+	}
+	if after := s.Stats().Queries.PlannerScan; after != before+1 {
+		t.Fatalf("PlannerScan = %d, want %d", after, before+1)
 	}
 }
 
