@@ -3,9 +3,12 @@
 GO ?= go
 
 # The committed benchmark snapshot for this PR sequence; bump per PR.
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_5.json
+# bench-diff compares the previous PR's snapshot against this one.
+BENCH_OLD ?= BENCH_4.json
+BENCH_NEW ?= $(BENCH_JSON)
 
-.PHONY: all build vet fmt-check test race race-core fuzz bench bench-engine bench-store bench-smoke bench-json docs-check run-daemon
+.PHONY: all build vet fmt-check test race race-core alloc-check fuzz bench bench-engine bench-store bench-smoke bench-json bench-diff docs-check run-daemon
 
 all: vet fmt-check build test docs-check
 
@@ -25,10 +28,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Just the concurrency-hot tiers (shared plans, sharded store, WAL
-# group commit) — the fast-failing prefix of the full race run.
+# Just the concurrency-hot tiers (shared plans, pooled executor
+# states, sharded store with parallel query fan-out, WAL group
+# commit) — the fast-failing prefix of the full race run.
 race-core:
-	$(GO) test -race ./internal/engine ./internal/store
+	$(GO) test -race ./internal/qir ./internal/engine ./internal/store
+
+# Allocation-regression gate: the AllocsPerRun tests pinning the
+# pooled executor's steady state (plan-cache-hit Match/Eval at zero
+# allocations). -count=1 defeats the test cache so the numbers are
+# measured, not replayed.
+alloc-check:
+	$(GO) test -run 'ZeroAllocs|AllocsBounded' -count=1 ./internal/qir
 
 # Short native-fuzz pass over the engine's plan-cache key path.
 fuzz:
@@ -69,13 +80,24 @@ run-daemon:
 
 # Benchmarks as data: run the suite and record (name, ns/op, B/op,
 # allocs/op) in $(BENCH_JSON), committed per PR so the performance
-# trajectory is tracked in review diffs. -benchtime 3x trades some
-# noise for a runnable-everywhere suite; shapes, not absolute numbers,
-# are the signal.
+# trajectory is tracked in review diffs. BENCH_TIME trades noise for
+# wall-clock: 3x keeps the suite runnable everywhere, but snapshots
+# that feed the bench-diff gate should use 10x+ — on a small host a
+# single GC pause inside a 3-sample mean reads as a 2× swing on the
+# sub-millisecond benchmarks. Shapes, not absolute numbers, are the
+# signal either way.
 # Staged through a temp file (not a pipe) so a failing benchmark run
 # aborts the target instead of silently writing a truncated snapshot;
 # the trap removes the temp file on failure too.
+BENCH_TIME ?= 3x
 bench-json:
 	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -run xxx -bench . -benchtime 3x -benchmem ./... > "$$tmp"; \
+	$(GO) test -run xxx -bench . -benchtime $(BENCH_TIME) -benchmem ./... > "$$tmp"; \
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < "$$tmp"
+
+# Diff two committed benchmark snapshots: per-benchmark ns/op and
+# allocs/op deltas, failing on >25% regressions in the hot-path
+# allowlist (see cmd/benchjson's defaultHotPath). Numbers only compare
+# within one machine — run bench-json for both files on the same host.
+bench-diff:
+	$(GO) run ./cmd/benchjson -compare $(BENCH_OLD) $(BENCH_NEW)

@@ -667,6 +667,48 @@ func BenchmarkEngineEvalBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineEvalZeroAlloc pins the pooled-executor acceptance
+// criterion: with the plan cached and the result buffer reused, a
+// steady-state Validate and a predicate-path Eval perform zero
+// allocations per evaluated document — the executor's memo tables,
+// regex memo and scratch sets all come from the pool on the compiled
+// program. (JSONPath-style selection enumerators still allocate
+// O(visited) closure cells; see internal/qir's bounded-allocs test.)
+func BenchmarkEngineEvalZeroAlloc(b *testing.B) {
+	e := engine.New(engine.Options{})
+	src := `{"meta.tenant": "t7", "meta.seq": {"$gte": 100}}`
+	plan, err := e.Compile(engine.LangMongoFind, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := jsontree.MustParse(`{"meta":{"tenant":"t7","seq":4096},"payload":{"a":[1,2,3],"b":"x"}}`)
+	b.Run("validate", func(b *testing.B) {
+		if _, err := e.Validate(plan, tree); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ok, err := e.Validate(plan, tree)
+			if err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("eval-append", func(b *testing.B) {
+		buf := make([]jsontree.NodeID, 0, tree.Len())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = e.EvalAppend(plan, tree, buf[:0])
+			if err != nil || len(buf) != 1 {
+				b.Fatalf("selected %d nodes, err %v", len(buf), err)
+			}
+		}
+	})
+}
+
 // BenchmarkEngineValidateNDJSON measures the end-to-end NDJSON path —
 // tokenize, build trees through the pooled builders, validate — at one
 // and at GOMAXPROCS workers. B/op covers parsing and evaluation for the

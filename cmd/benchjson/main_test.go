@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -32,5 +36,92 @@ ok  	jsonlogic	13.252s
 	}
 	if e := report.Entries[2]; e.NsPerOp != 102.5 || e.BytesPerOp != nil || e.Iterations != 1000000 {
 		t.Fatalf("entry 2 = %+v", e)
+	}
+}
+
+// writeBenchFile marshals a report to a temp file for compare tests.
+func writeBenchFile(t *testing.T, path string, entries []Entry) {
+	t.Helper()
+	data, err := json.MarshalIndent(&Report{Entries: entries}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func allocs(n int64) *int64 { return &n }
+
+func TestCompareFlagsHotPathRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeBenchFile(t, oldPath, []Entry{
+		{Name: "BenchmarkHot/indexed", NsPerOp: 100, AllocsPerOp: allocs(10)},
+		{Name: "BenchmarkCold/scan", NsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 1},
+	})
+	writeBenchFile(t, newPath, []Entry{
+		{Name: "BenchmarkHot/indexed", NsPerOp: 140, AllocsPerOp: allocs(10)}, // +40% ns/op
+		{Name: "BenchmarkCold/scan", NsPerOp: 900},                            // cold: reported, not gated
+		{Name: "BenchmarkNew", NsPerOp: 5},
+	})
+	var sb strings.Builder
+	failed, err := compareFiles(&sb, oldPath, newPath, []string{"BenchmarkHot"}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("a +40%% hot-path ns/op regression must fail the gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "+ BenchmarkNew", "- BenchmarkGone", "(+40.0%)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Within threshold — and cold regressions alone — must pass.
+	writeBenchFile(t, newPath, []Entry{
+		{Name: "BenchmarkHot/indexed", NsPerOp: 120, AllocsPerOp: allocs(10)}, // +20%
+		{Name: "BenchmarkCold/scan", NsPerOp: 900},
+	})
+	failed, err = compareFiles(io.Discard, oldPath, newPath, []string{"BenchmarkHot"}, 25)
+	if err != nil || failed {
+		t.Fatalf("within-threshold compare must pass (failed=%v err=%v)", failed, err)
+	}
+}
+
+// TestCompareUnmatchedHotPrefixFails pins the rename guard: a gate
+// prefix matching nothing in the new snapshot (renamed benchmark,
+// allowlist typo) must fail the compare rather than silently un-gate.
+func TestCompareUnmatchedHotPrefixFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeBenchFile(t, oldPath, []Entry{{Name: "BenchmarkHot/x", NsPerOp: 100}})
+	writeBenchFile(t, newPath, []Entry{{Name: "BenchmarkRenamed/x", NsPerOp: 100}})
+	var sb strings.Builder
+	failed, err := compareFiles(&sb, oldPath, newPath, []string{"BenchmarkHot"}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed || !strings.Contains(sb.String(), "? BenchmarkHot") {
+		t.Fatalf("unmatched gate prefix must fail with a pointer to it:\n%s", sb.String())
+	}
+}
+
+// TestCompareAllocRegression pins the allocs/op half of the gate,
+// including the 0 → nonzero case that percentages cannot express.
+func TestCompareAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeBenchFile(t, oldPath, []Entry{{Name: "BenchmarkHot/x", NsPerOp: 100, AllocsPerOp: allocs(0)}})
+	writeBenchFile(t, newPath, []Entry{{Name: "BenchmarkHot/x", NsPerOp: 100, AllocsPerOp: allocs(3)}})
+	failed, err := compareFiles(io.Discard, oldPath, newPath, []string{"BenchmarkHot"}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("0 → 3 allocs/op on a hot path must fail the gate")
 	}
 }

@@ -19,8 +19,9 @@
 //	                    estimated vs actual cardinalities
 //	POST   /validate    {"lang","query","id"} or {"lang","query","doc"}
 //	GET    /stats       shard sizes, index cardinalities, query counters,
-//	                    planner decisions and candidates-per-query
-//	                    histograms, plan-cache hit rates,
+//	                    planner decisions, candidates-per-query and
+//	                    fan-out-parallelism histograms, intersection-step
+//	                    totals, plan-cache hit rates,
 //	                    WAL/snapshot/recovery stats
 //
 // Documents use the paper's value model: objects, arrays, strings and
@@ -29,8 +30,9 @@
 // Usage:
 //
 //	jsonstored [-addr :8080] [-shards 16] [-cache 256] [-index-depth 16]
-//	           [-data-dir DIR] [-fsync always|interval|off]
-//	           [-fsync-interval 100ms] [-snapshot-every 10000]
+//	           [-query-workers N] [-data-dir DIR]
+//	           [-fsync always|interval|off] [-fsync-interval 100ms]
+//	           [-snapshot-every 10000]
 //
 // Without -data-dir the store is in-memory and dies with the process.
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
@@ -60,6 +62,7 @@ func main() {
 	shards := flag.Int("shards", 16, "shard count (rounded up to a power of two; pinned by the manifest of an existing -data-dir)")
 	cache := flag.Int("cache", 256, "plan cache capacity")
 	indexDepth := flag.Int("index-depth", 16, "maximum indexed path depth")
+	queryWorkers := flag.Int("query-workers", 0, "shards probed and evaluated concurrently per query (0: GOMAXPROCS)")
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty: in-memory only)")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval or off")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "sync period under -fsync interval")
@@ -80,6 +83,7 @@ func main() {
 		Shards:        *shards,
 		MaxIndexDepth: *indexDepth,
 		Engine:        eng,
+		QueryWorkers:  *queryWorkers,
 		DataDir:       *dataDir,
 		Fsync:         policy,
 		FsyncInterval: *fsyncInterval,

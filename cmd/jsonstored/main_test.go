@@ -142,6 +142,16 @@ func TestBulkAndStats(t *testing.T) {
 	if q["find_indexed"].(float64) != 3 || q["find_scan"].(float64) != 3 {
 		t.Fatalf("query counters = %v", q)
 	}
+	// Fan-out accounting: every query ran either serially or in
+	// parallel, and the indexed ones did real intersection work.
+	if q["serial_queries"].(float64)+q["parallel_queries"].(float64) != 6 {
+		t.Fatalf("fan-out counters do not cover all queries: %v", q)
+	}
+	// With a single kept term there is no merge, so the step counter is
+	// legitimately zero here — assert only that it is exposed.
+	if _, ok := q["intersection_steps"]; !ok {
+		t.Fatalf("stats missing intersection_steps: %v", q)
+	}
 	pc := body["plan_cache"].(map[string]any)
 	if pc["hits"].(float64) != 4 || pc["misses"].(float64) != 2 {
 		t.Fatalf("plan cache = %v", pc)

@@ -59,23 +59,47 @@ func (e *Engine) Compile(lang Language, src string) (*Plan, error) {
 // CacheStats returns a snapshot of the plan cache's counters.
 func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
 
+// Workers returns the batch worker-pool bound (Options.Workers after
+// defaulting). The store consults it to decide between shard-level
+// fan-out and the engine's per-document batch parallelism.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
 // Eval runs the plan's node-selection semantics over one tree. The
 // plan may be shared; all mutable evaluation state is call-local.
 func (e *Engine) Eval(p *Plan, t *jsontree.Tree) ([]jsontree.NodeID, error) {
 	return p.eval(t)
 }
 
-// Validate runs the plan's boolean semantics over one tree.
+// Validate runs the plan's boolean semantics over one tree. A
+// plan-cache-hit Validate is allocation-free: the executor's mutable
+// state is pooled on the compiled program.
 func (e *Engine) Validate(p *Plan, t *jsontree.Tree) (bool, error) {
 	return p.validate(t)
+}
+
+// EvalAppend is Eval appending the selected nodes to out (which may be
+// nil), returning the extended slice. Callers that reuse the buffer
+// across trees (out, _ = e.EvalAppend(p, t, out[:0])) evaluate without
+// allocating once the buffer has grown to the working-set size — the
+// store's per-shard query workers are the intended users.
+func (e *Engine) EvalAppend(p *Plan, t *jsontree.Tree, out []jsontree.NodeID) ([]jsontree.NodeID, error) {
+	return p.evalAppend(t, out)
 }
 
 // EvalBatch evaluates one plan over many trees with a worker pool,
 // returning per-tree node selections in input order. The first
 // evaluation error (if any) is returned alongside the partial results.
 func (e *Engine) EvalBatch(p *Plan, trees []*jsontree.Tree) ([][]jsontree.NodeID, error) {
+	return e.EvalBatchBounded(p, trees, 0)
+}
+
+// EvalBatchBounded is EvalBatch with the worker pool additionally
+// capped at maxWorkers (0 or negative: no extra cap). Callers with
+// their own parallelism budget — the store's query fan-out — use it to
+// keep a batch within that budget.
+func (e *Engine) EvalBatchBounded(p *Plan, trees []*jsontree.Tree, maxWorkers int) ([][]jsontree.NodeID, error) {
 	out := make([][]jsontree.NodeID, len(trees))
-	err := e.forEach(len(trees), func(i int) error {
+	err := e.forEach(len(trees), maxWorkers, func(i int) error {
 		nodes, err := p.eval(trees[i])
 		out[i] = nodes
 		return err
@@ -86,8 +110,14 @@ func (e *Engine) EvalBatch(p *Plan, trees []*jsontree.Tree) ([][]jsontree.NodeID
 // ValidateBatch validates many trees against one plan with a worker
 // pool, returning per-tree verdicts in input order.
 func (e *Engine) ValidateBatch(p *Plan, trees []*jsontree.Tree) ([]bool, error) {
+	return e.ValidateBatchBounded(p, trees, 0)
+}
+
+// ValidateBatchBounded is ValidateBatch with the worker pool
+// additionally capped at maxWorkers (0 or negative: no extra cap).
+func (e *Engine) ValidateBatchBounded(p *Plan, trees []*jsontree.Tree, maxWorkers int) ([]bool, error) {
 	out := make([]bool, len(trees))
-	err := e.forEach(len(trees), func(i int) error {
+	err := e.forEach(len(trees), maxWorkers, func(i int) error {
 		ok, err := p.validate(trees[i])
 		out[i] = ok
 		return err
@@ -95,11 +125,15 @@ func (e *Engine) ValidateBatch(p *Plan, trees []*jsontree.Tree) ([]bool, error) 
 	return out, err
 }
 
-// forEach runs fn(0..n-1) over the engine's worker pool. Work is
-// distributed by an atomic counter so long and short items interleave
-// without static partitioning skew. The first error is kept.
-func (e *Engine) forEach(n int, fn func(i int) error) error {
+// forEach runs fn(0..n-1) over the engine's worker pool, optionally
+// capped below the configured pool size. Work is distributed by an
+// atomic counter so long and short items interleave without static
+// partitioning skew. The first error is kept.
+func (e *Engine) forEach(n, maxWorkers int, fn func(i int) error) error {
 	workers := e.opts.Workers
+	if maxWorkers > 0 && workers > maxWorkers {
+		workers = maxWorkers
+	}
 	if workers > n {
 		workers = n
 	}

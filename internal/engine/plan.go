@@ -197,6 +197,12 @@ func (p *Plan) eval(t *jsontree.Tree) ([]jsontree.NodeID, error) {
 	return p.prog.Eval(t), nil
 }
 
+// evalAppend is eval appending into a caller-reused buffer; see
+// Engine.EvalAppend.
+func (p *Plan) evalAppend(t *jsontree.Tree, out []jsontree.NodeID) ([]jsontree.NodeID, error) {
+	return p.prog.EvalAppend(t, out), nil
+}
+
 // validate computes the plan's boolean semantics over one tree via the
 // QIR program:
 //

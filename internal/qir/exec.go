@@ -2,7 +2,9 @@ package qir
 
 import (
 	"fmt"
+	"slices"
 	"strings"
+	"sync"
 
 	"jsonlogic/internal/jsontree"
 	"jsonlogic/internal/jsonval"
@@ -43,12 +45,18 @@ const (
 
 // Program is a compiled, immutable physical plan. It is safe for
 // concurrent use; all mutable evaluation state lives in the per-call
-// state.
+// state, drawn from a pool on the program so steady-state evaluation
+// allocates nothing (see state).
 type Program struct {
 	query *Query
 	pred  predOp
 	sel   enumOp // non-nil iff query.Sel != nil
 	memos int    // number of memo tables a state must hold
+
+	// pool recycles evaluation states across Match/Eval calls. States
+	// are program-specific (the memo table count is fixed at compile
+	// time), so the pool lives on the Program rather than the package.
+	pool sync.Pool
 }
 
 // Compile builds the physical plan for a query. It verifies that every
@@ -81,10 +89,14 @@ func Compile(q *Query) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Program{query: q, pred: pred, memos: c.memos}
+	p := &Program{query: q, pred: pred}
 	if q.Sel != nil {
 		p.sel = c.compileEnum(q.Sel)
 	}
+	// Record the memo count only after every operator — including
+	// closure operators reached through selection-path filter
+	// conditions, which also draw memo IDs — has been compiled.
+	p.memos = c.memos
 	return p, nil
 }
 
@@ -102,31 +114,49 @@ func MustCompile(q *Query) *Program {
 func (p *Program) Query() *Query { return p.query }
 
 // Match reports whether the tree's root satisfies the query's match
-// predicate (the engine's Validate semantics).
+// predicate (the engine's Validate semantics). Steady-state Match
+// performs no allocations: all evaluation state comes from the
+// program's pool.
 func (p *Program) Match(t *jsontree.Tree) bool {
-	st := newState(t, p.memos)
-	return p.pred.eval(st, t.Root())
+	st := p.acquire(t)
+	v := p.pred.eval(st, t.Root())
+	p.release(st)
+	return v
 }
 
 // Eval computes the query's node-selection semantics: the nodes
 // reachable via the selection path when one is set, otherwise all
 // nodes satisfying the match predicate. Results are in ascending node
-// order, matching the reference evaluators.
+// order, matching the reference evaluators. The returned slice is
+// freshly allocated; EvalAppend is the allocation-free variant for
+// callers that reuse a buffer.
 func (p *Program) Eval(t *jsontree.Tree) []jsontree.NodeID {
-	st := newState(t, p.memos)
+	return p.EvalAppend(t, nil)
+}
+
+// EvalAppend is Eval appending into out (which may be nil), returning
+// the extended slice — the strconv.AppendInt convention. A caller
+// reusing its buffer across calls (out = prog.EvalAppend(t, out[:0]))
+// evaluates without allocating once the buffer has grown to the
+// working-set size.
+func (p *Program) EvalAppend(t *jsontree.Tree, out []jsontree.NodeID) []jsontree.NodeID {
+	st := p.acquire(t)
 	n := t.Len()
-	var out []jsontree.NodeID
 	if p.sel != nil {
-		seen := make([]bool, n)
+		// Enumerate into a pooled mark set, then emit in ascending node
+		// order, matching the reference evaluators.
+		seen := st.acquireVisited()
 		p.sel.each(st, t.Root(), func(m jsontree.NodeID) bool {
-			seen[m] = true
+			seen.mark(m)
 			return true
 		})
 		for i := 0; i < n; i++ {
-			if seen[i] {
+			if seen.marks[i] {
 				out = append(out, jsontree.NodeID(i))
 			}
 		}
+		st.releaseVisited(seen)
+		p.release(st)
 		return out
 	}
 	for i := 0; i < n; i++ {
@@ -134,6 +164,7 @@ func (p *Program) Eval(t *jsontree.Tree) []jsontree.NodeID {
 			out = append(out, jsontree.NodeID(i))
 		}
 	}
+	p.release(st)
 	return out
 }
 
@@ -585,15 +616,70 @@ const (
 	memoTrue
 )
 
+// regexMemoCap bounds the cross-tree regex memo: once the total entry
+// count passes the cap, the whole memo is dropped on the next acquire.
+// The bound keeps a pooled state from pinning every string of every
+// tree it ever evaluated.
+const regexMemoCap = 1 << 12
+
+// state is the mutable evaluation state of one Match/Eval call. States
+// are pooled on the Program and reused: memo slices keep their backing
+// arrays between evaluations (re-zeroed per tree), the regex memo is a
+// genuine cross-tree cache (a regex verdict depends only on the regex
+// and the string, not the tree), and visited scratch sets recycle
+// through a freelist. After warm-up an evaluation allocates nothing.
 type state struct {
 	t          *jsontree.Tree
 	memos      [][]int8
+	uniqueMemo []int8 // memo codes per node for UniqueChildren (no in-progress state)
 	regexMemo  map[*relang.Regex]map[string]bool
-	uniqueMemo map[jsontree.NodeID]bool
+	regexLen   int // total entries across the inner maps, against regexMemoCap
+
+	// scratch is the freelist of visited sets for closure enumeration
+	// (and Eval's selection marks). A freelist rather than a single set
+	// because enumerations nest: a closure inside a filter inside
+	// another closure needs its own marks.
+	scratch []*visitSet
+
+	// nodeBuf is the sort buffer of the uniqueness check.
+	nodeBuf []jsontree.NodeID
 }
 
-func newState(t *jsontree.Tree, memos int) *state {
-	return &state{t: t, memos: make([][]int8, memos)}
+// acquire returns a ready state for evaluating t: pooled if available,
+// fresh otherwise, with every per-tree memo cleared.
+func (p *Program) acquire(t *jsontree.Tree) *state {
+	st, _ := p.pool.Get().(*state)
+	if st == nil {
+		st = &state{memos: make([][]int8, p.memos)}
+	}
+	st.t = t
+	n := t.Len()
+	for i, m := range st.memos {
+		if cap(m) >= n {
+			m = m[:n]
+			clear(m)
+			st.memos[i] = m
+		} else {
+			st.memos[i] = nil // re-sized lazily on first use
+		}
+	}
+	if cap(st.uniqueMemo) >= n {
+		st.uniqueMemo = st.uniqueMemo[:n]
+		clear(st.uniqueMemo)
+	} else {
+		st.uniqueMemo = nil
+	}
+	if st.regexLen > regexMemoCap {
+		st.regexMemo, st.regexLen = nil, 0
+	}
+	return st
+}
+
+// release returns the state to the program's pool. The tree reference
+// is dropped so a pooled state never keeps a tree alive.
+func (p *Program) release(st *state) {
+	st.t = nil
+	p.pool.Put(st)
 }
 
 func (st *state) memo(id int) []int8 {
@@ -618,20 +704,111 @@ func (st *state) matchRe(re *relang.Regex, s string) bool {
 	if !seen {
 		m = re.Match(s)
 		memo[s] = m
+		st.regexLen++
 	}
 	return m
 }
 
 func (st *state) unique(n jsontree.NodeID) bool {
 	if st.uniqueMemo == nil {
-		st.uniqueMemo = make(map[jsontree.NodeID]bool)
+		st.uniqueMemo = make([]int8, st.t.Len())
 	}
-	u, seen := st.uniqueMemo[n]
-	if !seen {
-		u = st.t.UniqueChildren(n)
-		st.uniqueMemo[n] = u
+	switch st.uniqueMemo[n] {
+	case memoTrue:
+		return true
+	case memoFalse:
+		return false
+	}
+	u := st.uniqueCheck(n)
+	if u {
+		st.uniqueMemo[n] = memoTrue
+	} else {
+		st.uniqueMemo[n] = memoFalse
 	}
 	return u
+}
+
+// uniqueCheck is jsontree.UniqueChildren re-done over pooled scratch:
+// children are sorted by subtree hash into the state's node buffer and
+// compared structurally only within equal-hash runs, so hash
+// collisions cannot produce a false "unique" and the steady state
+// allocates nothing (the tree method buckets through a fresh map).
+func (st *state) uniqueCheck(n jsontree.NodeID) bool {
+	t := st.t
+	kids := t.Children(n)
+	if len(kids) < 2 {
+		return true
+	}
+	buf := append(st.nodeBuf[:0], kids...)
+	st.nodeBuf = buf
+	slices.SortFunc(buf, func(a, b jsontree.NodeID) int {
+		ha, hb := t.SubtreeHash(a), t.SubtreeHash(b)
+		switch {
+		case ha < hb:
+			return -1
+		case ha > hb:
+			return 1
+		}
+		return 0
+	})
+	for i := 0; i < len(buf); {
+		j := i + 1
+		for j < len(buf) && t.SubtreeHash(buf[j]) == t.SubtreeHash(buf[i]) {
+			j++
+		}
+		for a := i; a < j; a++ {
+			for b := a + 1; b < j; b++ {
+				if t.SubtreeEqual(buf[a], buf[b]) {
+					return false
+				}
+			}
+		}
+		i = j
+	}
+	return true
+}
+
+// visitSet is a reusable node mark set: marks is sized to the tree,
+// touched records which marks were set so release can undo them in
+// O(set size) instead of O(tree size).
+type visitSet struct {
+	marks   []bool
+	touched []jsontree.NodeID
+}
+
+// mark marks n, recording it for cleanup; it reports nothing — use
+// marks[n] to test membership first where the answer matters.
+func (v *visitSet) mark(n jsontree.NodeID) {
+	if !v.marks[n] {
+		v.marks[n] = true
+		v.touched = append(v.touched, n)
+	}
+}
+
+// acquireVisited returns a clear visit set sized to the current tree,
+// reusing a freelisted one when available.
+func (st *state) acquireVisited() *visitSet {
+	n := st.t.Len()
+	if k := len(st.scratch); k > 0 {
+		v := st.scratch[k-1]
+		st.scratch = st.scratch[:k-1]
+		if cap(v.marks) >= n {
+			v.marks = v.marks[:n]
+			return v
+		}
+		v.marks = make([]bool, n)
+		return v
+	}
+	return &visitSet{marks: make([]bool, n)}
+}
+
+// releaseVisited unmarks everything the set touched and freelists it.
+func (st *state) releaseVisited(v *visitSet) {
+	for _, n := range v.touched {
+		v.marks[n] = false
+	}
+	v.touched = v.touched[:0]
+	st.scratch = append(st.scratch, v)
 }
 
 // ---- predicate operators ----
@@ -1025,6 +1202,9 @@ type eqPathsOp struct {
 
 func (o *eqPathsOp) eval(st *state, n jsontree.NodeID) bool {
 	t := st.t
+	// The bucket map is per-call: EqPaths is the one operator off the
+	// zero-allocation path (it is also the one with cubic worst-case
+	// cost, so the allocation is never what dominates).
 	buckets := make(map[uint64][]jsontree.NodeID)
 	o.left.each(st, n, func(m jsontree.NodeID) bool {
 		buckets[t.SubtreeHash(m)] = append(buckets[t.SubtreeHash(m)], m)
@@ -1141,22 +1321,26 @@ func (e unionEnum) each(st *state, n jsontree.NodeID, yield func(jsontree.NodeID
 }
 
 // closureEnum enumerates reflexive-transitive reachability with a
-// per-call visited set, so each node is yielded (and expanded) once
-// per enumeration.
+// pooled visited set, so each node is yielded (and expanded) once per
+// enumeration. Enumerations nest (a filter inside the closure body may
+// enumerate another closure), which is why the visited set comes from
+// the state's freelist rather than being a singleton.
 type closureEnum struct{ inner enumOp }
 
 func (e closureEnum) each(st *state, n jsontree.NodeID, yield func(jsontree.NodeID) bool) bool {
-	visited := make(map[jsontree.NodeID]struct{})
+	visited := st.acquireVisited()
 	var walk func(m jsontree.NodeID) bool
 	walk = func(m jsontree.NodeID) bool {
-		if _, ok := visited[m]; ok {
+		if visited.marks[m] {
 			return true
 		}
-		visited[m] = struct{}{}
+		visited.mark(m)
 		if !yield(m) {
 			return false
 		}
 		return e.inner.each(st, m, walk)
 	}
-	return walk(n)
+	v := walk(n)
+	st.releaseVisited(visited)
+	return v
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package qir
+
+// raceEnabled mirrors the -race flag: allocation-count assertions are
+// skipped under the race detector, whose instrumentation allocates on
+// paths that are allocation-free in normal builds.
+const raceEnabled = true

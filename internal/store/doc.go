@@ -7,18 +7,25 @@
 //
 // A Store holds N shards (N a power of two, chosen at construction).
 // A document ID is hashed (FNV-1a) and the low bits pick the shard;
-// each shard owns a map from ID to its immutable jsontree.Tree and a
-// pathIndex, both guarded by one RWMutex. Writers (Put, Delete, bulk
-// NDJSON ingest) lock only their document's shard, so unrelated writes
-// proceed in parallel; readers take the shard read lock just long
-// enough to snapshot candidate (id, tree) pairs and evaluate outside
-// the lock — trees are immutable, so evaluation never races with
-// writers.
+// each shard owns one pathIndex — whose dictionary is also the shard's
+// document storage — guarded by one RWMutex. Writers (Put, Delete,
+// bulk NDJSON ingest) lock only their document's shard, so unrelated
+// writes proceed in parallel; queries fan out across shards on a
+// bounded worker pool (Options.QueryWorkers), each worker taking the
+// shard read lock just long enough to snapshot candidate (id, tree)
+// pairs and evaluating outside the lock — trees are immutable, so
+// evaluation never races with writers — before the per-shard results
+// merge into one deterministically sorted answer.
 //
 // # The inverted path index
 //
-// The pathIndex maps structural terms to posting lists of document
-// IDs, maintained incrementally on every insert and delete:
+// Documents are dictionary-encoded per shard: each insert assigns the
+// next dense uint32 ordinal, deletes tombstone the ordinal in O(1),
+// and compaction renumbers the shard once tombstones reach the live
+// count (and on every snapshot). The pathIndex maps structural terms
+// to posting lists of sorted ordinals — intersected with a galloping/
+// two-pointer merge, never map iteration — maintained incrementally on
+// every insert and delete:
 //
 //   - a presence term for every root-to-node key/index path,
 //   - a class term for every path plus the node's kind

@@ -1,7 +1,8 @@
 package store
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"jsonlogic/internal/jsontree"
 )
@@ -94,24 +95,79 @@ func factTerm(f jsontree.PathFact, maxDepth int) (term uint64, ok bool) {
 	}
 }
 
-// pathIndex is one shard's inverted index: term hash → posting list of
-// document IDs. It is not internally synchronized; the owning shard's
-// lock covers it.
+// ordinal is a dense per-shard document number. The dictionary hands
+// ordinals out monotonically and never recycles one until compaction
+// renumbers the whole shard, which is what keeps posting-list appends
+// sorted by construction.
+type ordinal = uint32
+
+// pathIndex is one shard's inverted index plus the shard's document
+// dictionary. Documents are dictionary-encoded: each insert assigns
+// the next dense uint32 ordinal, and posting lists store sorted
+// ordinals instead of string IDs, so intersection is a merge over
+// machine words rather than hash-map iteration. Deletes tombstone the
+// ordinal (O(1) — no posting list is touched); probe filters dead
+// ordinals out and compaction rewrites the lists once tombstones reach
+// half the dictionary (and on every snapshot). The structure is not
+// internally synchronized; the owning shard's lock covers it.
 type pathIndex struct {
 	maxDepth int
-	postings map[uint64]map[string]struct{}
-	entries  int // total posting-list entries, for stats
+
+	// The dictionary: ordinal → (ID, tree, index-term count), with
+	// ids[ord] == "" (and a nil tree) marking a tombstone, plus the
+	// reverse map for the by-ID document operations. len(ords) is the
+	// live count; termCounts lets remove adjust the live-entry counter
+	// without re-walking the document.
+	ids        []string
+	trees      []*jsontree.Tree
+	termCounts []uint32
+	ords       map[string]ordinal
+	dead       int
+
+	// postings maps term hash → sorted ordinals of the documents that
+	// carried the term when they were indexed; tombstoned ordinals
+	// linger until compaction. entries counts live entries only.
+	postings map[uint64][]ordinal
+	entries  int
 }
 
 func newPathIndex(maxDepth int) *pathIndex {
-	return &pathIndex{maxDepth: maxDepth, postings: make(map[uint64]map[string]struct{})}
+	return &pathIndex{
+		maxDepth: maxDepth,
+		ords:     make(map[string]ordinal),
+		postings: make(map[uint64][]ordinal),
+	}
+}
+
+// live returns the number of live documents.
+func (ix *pathIndex) live() int { return len(ix.ords) }
+
+// get returns the live document stored under id.
+func (ix *pathIndex) get(id string) (*jsontree.Tree, bool) {
+	ord, ok := ix.ords[id]
+	if !ok {
+		return nil, false
+	}
+	return ix.trees[ord], true
+}
+
+// each calls fn for every live document.
+func (ix *pathIndex) each(fn func(id string, t *jsontree.Tree)) {
+	for ord, id := range ix.ids {
+		if id != "" {
+			fn(id, ix.trees[ord])
+		}
+	}
 }
 
 // docTerms enumerates the index terms of a document by walking the
 // tree depth-first, folding each edge into the running path hash.
 // Nodes deeper than maxDepth are not indexed (the query side refuses
-// facts deeper than the bound, so no candidate is ever lost). The walk
-// is deterministic, so add and remove see identical term sets.
+// facts deeper than the bound, so no candidate is ever lost). The
+// result is sorted and duplicate-free — distinct paths hash to
+// distinct terms short of a 64-bit collision, but posting lists and
+// the entries counter must stay exact even across one — so add and
+// accounting-only removal see the identical term set.
 func (ix *pathIndex) docTerms(t *jsontree.Tree) []uint64 {
 	terms := make([]uint64, 0, 3*t.Len())
 	var walk func(n jsontree.NodeID, h uint64, depth int)
@@ -140,122 +196,244 @@ func (ix *pathIndex) docTerms(t *jsontree.Tree) []uint64 {
 		}
 	}
 	walk(t.Root(), fnvOffset, 0)
-	return terms
+	slices.Sort(terms)
+	return slices.Compact(terms)
 }
 
-// add indexes a document under the given ID.
+// add assigns id the next ordinal and indexes the document under it.
+// The caller must have removed any previous document with the same ID
+// (put does).
 func (ix *pathIndex) add(id string, t *jsontree.Tree) {
-	for _, term := range ix.docTerms(t) {
-		post := ix.postings[term]
-		if post == nil {
-			post = make(map[string]struct{})
-			ix.postings[term] = post
-		}
-		if _, dup := post[id]; !dup {
-			post[id] = struct{}{}
-			ix.entries++
-		}
+	ord := ordinal(len(ix.ids))
+	terms := ix.docTerms(t)
+	ix.ids = append(ix.ids, id)
+	ix.trees = append(ix.trees, t)
+	ix.termCounts = append(ix.termCounts, uint32(len(terms)))
+	ix.ords[id] = ord
+	for _, term := range terms {
+		// Ordinals are handed out monotonically, so appending keeps
+		// every posting list sorted and duplicate-free.
+		ix.postings[term] = append(ix.postings[term], ord)
 	}
+	ix.entries += len(terms)
 }
 
-// remove un-indexes a document; t must be the exact tree that was
-// added (the shard keeps it until removal, so this holds by
-// construction).
-func (ix *pathIndex) remove(id string, t *jsontree.Tree) {
-	for _, term := range ix.docTerms(t) {
-		post, ok := ix.postings[term]
-		if !ok {
-			continue
-		}
-		if _, present := post[id]; present {
-			delete(post, id)
-			ix.entries--
-			if len(post) == 0 {
-				delete(ix.postings, term)
-			}
-		}
-	}
-}
-
-// probe intersects the posting lists of the given terms in ascending
-// length order: the smallest list drives the iteration and membership
-// is tested against the remaining lists smallest-first, so the probes
-// most likely to fail run first and non-members are rejected cheaply.
-// A missing term short-circuits to the empty set.
-func (ix *pathIndex) probe(terms []uint64) []string {
-	lists, ok := ix.sortedLists(terms)
+// remove tombstones the document stored under id in O(1): the
+// dictionary slot is cleared and the live-entry count adjusted from
+// the term count recorded at add time (no re-walk of the document),
+// while posting lists keep the dead ordinal until compaction. Reports
+// whether id was live, and returns the removed tree.
+func (ix *pathIndex) remove(id string) (*jsontree.Tree, bool) {
+	ord, ok := ix.ords[id]
 	if !ok {
-		return nil
-	}
-	out := make([]string, 0, len(lists[0]))
-	for id := range lists[0] {
-		in := true
-		for _, post := range lists[1:] {
-			if _, ok := post[id]; !ok {
-				in = false
-				break
-			}
-		}
-		if in {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
-// sortedLists resolves the terms' posting lists sorted by ascending
-// length; ok is false when a term is absent (empty intersection) or no
-// terms were given.
-func (ix *pathIndex) sortedLists(terms []uint64) ([]map[string]struct{}, bool) {
-	if len(terms) == 0 {
 		return nil, false
 	}
-	lists := make([]map[string]struct{}, len(terms))
-	for i, term := range terms {
-		post, ok := ix.postings[term]
-		if !ok {
-			return nil, false
-		}
-		lists[i] = post
-	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	return lists, true
+	t := ix.trees[ord]
+	ix.ids[ord] = ""
+	ix.trees[ord] = nil
+	delete(ix.ords, id)
+	ix.dead++
+	ix.entries -= int(ix.termCounts[ord])
+	ix.maybeCompact()
+	return t, true
 }
 
-// probeUnordered is the pre-planner intersection: it iterates the
-// smallest list but tests membership in declaration order. Retained as
-// the baseline for the ordered-intersection ablation benchmark.
-func (ix *pathIndex) probeUnordered(terms []uint64) []string {
-	if len(terms) == 0 {
-		return nil
+// put inserts or replaces the document stored under id.
+func (ix *pathIndex) put(id string, t *jsontree.Tree) {
+	ix.remove(id)
+	ix.add(id, t)
+}
+
+// maybeCompact compacts once tombstones reach the live count, so the
+// amortized compaction cost per delete is O(1) index entries and
+// posting lists never carry more than half garbage for long.
+func (ix *pathIndex) maybeCompact() {
+	if ix.dead > 0 && ix.dead >= len(ix.ords) {
+		ix.compact()
 	}
-	lists := make([]map[string]struct{}, len(terms))
-	smallest := 0
-	for i, term := range terms {
-		post, ok := ix.postings[term]
-		if !ok {
-			return nil
-		}
-		lists[i] = post
-		if len(post) < len(lists[smallest]) {
-			smallest = i
-		}
+}
+
+// compact renumbers the live documents densely (preserving ordinal
+// order, so rebuilt posting lists stay sorted) and drops tombstoned
+// ordinals from every posting list. Snapshots also call it, so a
+// freshly snapshotted shard starts its next WAL generation garbage-
+// free.
+func (ix *pathIndex) compact() {
+	if ix.dead == 0 {
+		return
 	}
-	out := make([]string, 0, len(lists[smallest]))
-	for id := range lists[smallest] {
-		in := true
-		for i, post := range lists {
-			if i == smallest {
+	const deadOrd = ^ordinal(0)
+	remap := make([]ordinal, len(ix.ids))
+	next := ordinal(0)
+	for ord, id := range ix.ids {
+		if id == "" {
+			remap[ord] = deadOrd
+			continue
+		}
+		remap[ord] = next
+		ix.ids[next] = id
+		ix.trees[next] = ix.trees[ord]
+		ix.termCounts[next] = ix.termCounts[ord]
+		ix.ords[id] = next
+		next++
+	}
+	// Clear the trailing slots so the shared backing array stops
+	// keeping dead trees alive.
+	for i := int(next); i < len(ix.trees); i++ {
+		ix.ids[i] = ""
+		ix.trees[i] = nil
+	}
+	ix.ids = ix.ids[:next]
+	ix.trees = ix.trees[:next]
+	ix.termCounts = ix.termCounts[:next]
+	for term, post := range ix.postings {
+		w := 0
+		for _, ord := range post {
+			if remap[ord] == deadOrd {
 				continue
 			}
-			if _, ok := post[id]; !ok {
-				in = false
+			post[w] = remap[ord]
+			w++
+		}
+		if w == 0 {
+			delete(ix.postings, term)
+		} else {
+			ix.postings[term] = post[:w]
+		}
+	}
+	ix.dead = 0
+}
+
+// probeScratch holds the reusable buffers of one probe: the resolved
+// posting lists and the ping-pong intersection buffers. Scratches are
+// pooled package-wide; a probe's result aliases either a posting list
+// or a scratch buffer, so callers must consume it before releasing the
+// scratch (and, because posting lists are shared, before releasing the
+// shard lock).
+type probeScratch struct {
+	lists      [][]ordinal
+	bufA, bufB []ordinal
+}
+
+var probePool = sync.Pool{New: func() any { return new(probeScratch) }}
+
+func acquireProbeScratch() *probeScratch  { return probePool.Get().(*probeScratch) }
+func releaseProbeScratch(s *probeScratch) { probePool.Put(s) }
+
+// probe intersects the posting lists of the given terms, smallest
+// first, and returns the resulting sorted duplicate-free ordinals
+// (tombstoned ordinals included — the caller filters while resolving
+// against the dictionary) plus the number of merge steps taken, the
+// intersection-cost counter /stats reports. A missing term
+// short-circuits to the empty set without touching the other lists.
+// Apart from scratch growth on first use, probe does not allocate.
+func (ix *pathIndex) probe(terms []uint64, scr *probeScratch) ([]ordinal, int) {
+	if len(terms) == 0 {
+		return nil, 0
+	}
+	lists := scr.lists[:0]
+	defer func() { scr.lists = lists }()
+	for _, term := range terms {
+		post, ok := ix.postings[term]
+		if !ok {
+			return nil, 0
+		}
+		lists = append(lists, post)
+	}
+	// Ascending length order: the smallest pair first bounds every
+	// later merge by the running intersection size. Insertion sort — the
+	// planner caps intersections at maxPlanTerms lists.
+	for i := 1; i < len(lists); i++ {
+		for j := i; j > 0 && len(lists[j]) < len(lists[j-1]); j-- {
+			lists[j], lists[j-1] = lists[j-1], lists[j]
+		}
+	}
+	cur := lists[0]
+	steps := 0
+	for i := 1; i < len(lists) && len(cur) > 0; i++ {
+		// Ping-pong between the two scratch buffers, so cur (the
+		// previous round's output) never aliases the buffer written.
+		var dst []ordinal
+		odd := i%2 == 1
+		if odd {
+			dst = scr.bufA[:0]
+		} else {
+			dst = scr.bufB[:0]
+		}
+		var s int
+		dst, s = intersectInto(dst, cur, lists[i])
+		steps += s
+		if odd {
+			scr.bufA = dst
+		} else {
+			scr.bufB = dst
+		}
+		cur = dst
+	}
+	return cur, steps
+}
+
+// gallopRatio is the list-length ratio past which the intersection
+// gallops (exponential probe + binary search) through the longer list
+// instead of merging linearly. At lower ratios the linear merge's
+// branch predictability wins.
+const gallopRatio = 8
+
+// intersectInto appends the intersection of a and b (both sorted,
+// duplicate-free, len(a) ≤ len(b)) to dst and returns it with the
+// number of comparison steps — the work metric QueryStats aggregates.
+func intersectInto(dst, a, b []ordinal) ([]ordinal, int) {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	steps := 0
+	if len(b) >= gallopRatio*len(a) {
+		// Galloping (small-vs-large): for each element of a, advance in b
+		// by doubling probes from the last match position, then binary
+		// search the bracketed window. O(len(a) · log(len(b)/len(a))).
+		lo := 0
+		for _, x := range a {
+			span := 1
+			for lo+span < len(b) && b[lo+span] < x {
+				span <<= 1
+				steps++
+			}
+			hi := lo + span
+			if hi > len(b) {
+				hi = len(b)
+			}
+			for lo < hi { // binary search for the first b[i] >= x
+				mid := (lo + hi) / 2
+				steps++
+				if b[mid] < x {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(b) && b[lo] == x {
+				dst = append(dst, x)
+				lo++
+			} else if lo >= len(b) {
 				break
 			}
 		}
-		if in {
-			out = append(out, id)
+		return dst, steps
+	}
+	// Small-vs-small: plain two-pointer merge.
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		steps++
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
 		}
 	}
-	return out
+	return dst, steps
 }

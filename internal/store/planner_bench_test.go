@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"jsonlogic/internal/engine"
@@ -111,10 +112,12 @@ func BenchmarkStorePlannerUnselective(b *testing.B) {
 	}
 }
 
-// BenchmarkStoreIntersectionOrder isolates the satellite win: probing
-// posting lists in ascending length order versus the declaration-order
-// baseline, on a worst-first term list (useless term leads).
-func BenchmarkStoreIntersectionOrder(b *testing.B) {
+// BenchmarkStoreIntersection isolates the tentpole win at the index
+// layer: intersecting dictionary-encoded sorted posting lists with the
+// galloping/small-vs-small merge versus the retired map-set
+// intersection (rebuilt here from the same lists, hashing included in
+// setup only), on a worst-first term list (useless term leads).
+func BenchmarkStoreIntersection(b *testing.B) {
 	for _, n := range plannerBenchSizes {
 		s := plannerBenchStore(b, n)
 		facts := engine.MustCompile(engine.LangMongoFind,
@@ -125,23 +128,104 @@ func BenchmarkStoreIntersectionOrder(b *testing.B) {
 				terms = append(terms, term)
 			}
 		}
-		run := func(name string, probe func(ix *pathIndex, terms []uint64) []string) {
-			b.Run(fmt.Sprintf("%s/docs=%d", name, n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("galloping/docs=%d", n), func(b *testing.B) {
+			scr := acquireProbeScratch()
+			defer releaseProbeScratch(scr)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got := 0
+				for _, sh := range s.shards {
+					sh.mu.RLock()
+					ords, _ := sh.ix.probe(terms, scr)
+					got += len(ords)
+					sh.mu.RUnlock()
+				}
+				if got == 0 {
+					b.Fatal("intersection came up empty")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("map/docs=%d", n), func(b *testing.B) {
+			// The pre-dictionary representation: one hash set per term per
+			// shard, intersected by iterating the smallest set and probing
+			// the rest — exactly the shape of the old probe.
+			shardSets := make([][]map[ordinal]struct{}, len(s.shards))
+			for si, sh := range s.shards {
+				sets := make([]map[ordinal]struct{}, len(terms))
+				for ti, term := range terms {
+					set := make(map[ordinal]struct{}, len(sh.ix.postings[term]))
+					for _, ord := range sh.ix.postings[term] {
+						set[ord] = struct{}{}
+					}
+					sets[ti] = set
+				}
+				shardSets[si] = sets
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got := 0
+				for _, sets := range shardSets {
+					smallest := 0
+					for ti := range sets {
+						if len(sets[ti]) < len(sets[smallest]) {
+							smallest = ti
+						}
+					}
+					for ord := range sets[smallest] {
+						in := true
+						for ti := range sets {
+							if ti == smallest {
+								continue
+							}
+							if _, ok := sets[ti][ord]; !ok {
+								in = false
+								break
+							}
+						}
+						if in {
+							got++
+						}
+					}
+				}
+				if got == 0 {
+					b.Fatal("intersection came up empty")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreFanout compares the parallel shard fan-out against the
+// same query forced serial (QueryWorkers=1) on the selective two-term
+// find. On a single-core container GOMAXPROCS is 1 and the two series
+// coincide (the fan-out runs inline); at GOMAXPROCS ≥ 2 the parallel
+// series divides by the worker count.
+func BenchmarkStoreFanout(b *testing.B) {
+	plan := engine.MustCompile(engine.LangMongoFind, `{"group":"g7","tags.color":"c3"}`)
+	for _, n := range plannerBenchSizes {
+		s := plannerBenchStore(b, n)
+		for _, workers := range fanoutBenchWorkers() {
+			b.Run(fmt.Sprintf("workers=%d/docs=%d", workers, n), func(b *testing.B) {
+				defer s.setQueryWorkers(s.setQueryWorkers(workers))
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					got := 0
-					for _, sh := range s.shards {
-						sh.mu.RLock()
-						got += len(probe(sh.ix, terms))
-						sh.mu.RUnlock()
-					}
-					if got == 0 {
-						b.Fatal("intersection came up empty")
+					ids, _, err := s.Find(plan)
+					if err != nil || len(ids) == 0 {
+						b.Fatalf("find: %d ids, err %v", len(ids), err)
 					}
 				}
 			})
 		}
-		run("ordered", func(ix *pathIndex, terms []uint64) []string { return ix.probe(terms) })
-		run("unordered", func(ix *pathIndex, terms []uint64) []string { return ix.probeUnordered(terms) })
 	}
+}
+
+// fanoutBenchWorkers is 1 (serial baseline) plus GOMAXPROCS when the
+// host actually has parallelism to show.
+func fanoutBenchWorkers() []int {
+	out := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		out = append(out, n)
+	}
+	return out
 }

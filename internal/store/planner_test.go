@@ -153,10 +153,25 @@ func TestPlannerDegradedFactLabel(t *testing.T) {
 	}
 }
 
-// TestOrderedProbeMatchesUnordered pins the satellite refactor: the
-// ascending-length intersection must return the same set as the
-// unordered baseline it replaced.
-func TestOrderedProbeMatchesUnordered(t *testing.T) {
+// probeIDs resolves a probe's ordinals against the shard dictionary,
+// dropping tombstones — the ID-level view tests compare against.
+func probeIDs(ix *pathIndex, terms []uint64) []string {
+	scr := acquireProbeScratch()
+	defer releaseProbeScratch(scr)
+	ords, _ := ix.probe(terms, scr)
+	var out []string
+	for _, ord := range ords {
+		if id := ix.ids[ord]; id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestProbeMatchesNaiveIntersection pins the galloping merge: the
+// dictionary-encoded intersection must return exactly the documents a
+// naive per-document membership check finds.
+func TestProbeMatchesNaiveIntersection(t *testing.T) {
 	s := New(Options{Shards: 1})
 	for _, put := range []struct{ id, doc string }{
 		{"a", `{"x":1,"y":1}`},
@@ -173,13 +188,33 @@ func TestOrderedProbeMatchesUnordered(t *testing.T) {
 		presenceTerm(pathHash([]jsontree.Step{jsontree.Key("y")})),
 	}
 	sh := s.shards[0]
-	got := append([]string(nil), sh.ix.probe(terms)...)
-	want := append([]string(nil), sh.ix.probeUnordered(terms)...)
+	got := probeIDs(sh.ix, terms)
+	// Naive reference: a document is in the intersection iff it is in
+	// every term's posting list.
+	var want []string
+	sh.ix.each(func(id string, _ *jsontree.Tree) {
+		ord := sh.ix.ords[id]
+		for _, term := range terms {
+			if !containsOrd(sh.ix.postings[term], ord) {
+				return
+			}
+		}
+		want = append(want, id)
+	})
 	sortStrings(got)
 	sortStrings(want)
 	if len(got) != 2 || !sameIDs(got, want) {
-		t.Fatalf("ordered probe = %v, unordered = %v", got, want)
+		t.Fatalf("probe = %v, naive intersection = %v", got, want)
 	}
+}
+
+func containsOrd(post []ordinal, ord ordinal) bool {
+	for _, o := range post {
+		if o == ord {
+			return true
+		}
+	}
+	return false
 }
 
 func sortStrings(s []string) {

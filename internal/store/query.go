@@ -3,6 +3,8 @@ package store
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"jsonlogic/internal/engine"
 	"jsonlogic/internal/jsontree"
@@ -24,34 +26,114 @@ type docPair struct {
 	tree *jsontree.Tree
 }
 
-// candidates snapshots the documents a query must evaluate: the
-// index-probe intersection when terms are given, the whole shard
-// otherwise. Trees are immutable, so evaluation happens after the read
-// lock is released; each query sees a consistent per-shard snapshot.
+// collectCandidates appends the shard's candidates for one query to
+// dst under the shard's read lock: the live documents of the posting
+// intersection when indexed, the whole shard otherwise. Trees are
+// immutable, so evaluation happens after the lock is released; each
+// query sees a consistent per-shard snapshot. steps reports the
+// intersection's merge work.
+func (sh *shard) collectCandidates(terms []uint64, indexed bool, dst []docPair) (_ []docPair, steps int) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if !indexed {
+		sh.ix.each(func(id string, t *jsontree.Tree) {
+			dst = append(dst, docPair{id: id, tree: t})
+		})
+		return dst, 0
+	}
+	scr := acquireProbeScratch()
+	ords, steps := sh.ix.probe(terms, scr)
+	for _, ord := range ords {
+		// The probe result may carry tombstoned ordinals; the dictionary
+		// filters them here, while the lock still pins it.
+		if id := sh.ix.ids[ord]; id != "" {
+			dst = append(dst, docPair{id: id, tree: sh.ix.trees[ord]})
+		}
+	}
+	releaseProbeScratch(scr)
+	return dst, steps
+}
+
+// candidates snapshots, serially, the documents a query must evaluate
+// across all shards. The fan-out paths below collect per shard on the
+// worker pool instead; this entry point remains for Explain and the
+// differential tests' reference scans.
 func (s *Store) candidates(terms []uint64, indexed bool) []docPair {
 	var out []docPair
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		if indexed {
-			for _, id := range sh.ix.probe(terms) {
-				out = append(out, docPair{id: id, tree: sh.docs[id]})
-			}
-		} else {
-			for id, t := range sh.docs {
-				out = append(out, docPair{id: id, tree: t})
-			}
-		}
-		sh.mu.RUnlock()
+		out, _ = sh.collectCandidates(terms, indexed, out)
 	}
 	return out
+}
+
+// fanOut runs task(0 … shards-1) over at most Options.QueryWorkers
+// goroutines (work-stealing by atomic counter, like the engine's batch
+// pool) and returns how many workers ran plus the first task error.
+// With one worker — or one shard — the tasks run inline on the calling
+// goroutine: no goroutine is spawned for a query that cannot
+// parallelize.
+func (s *Store) fanOut(task func(shardIdx int) error) (int, error) {
+	n := len(s.shards)
+	workers := s.opts.QueryWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return 1, err
+			}
+		}
+		return 1, nil
+	}
+	var (
+		next     atomic.Int64
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := task(i); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return workers, *ep
+	}
+	return workers, nil
+}
+
+// noteFanout records one query's parallelism and intersection work.
+func (s *Store) noteFanout(workers int, steps uint64) {
+	if workers > 1 {
+		s.parallelQueries.Add(1)
+	} else {
+		s.serialQueries.Add(1)
+	}
+	s.fanoutWorkers.observe(workers)
+	if steps > 0 {
+		s.intersectionSteps.Add(steps)
+	}
 }
 
 // Find returns the IDs of all documents matching the plan's boolean
 // semantics (engine.Validate), sorted. The cost-based planner decides
 // per query between posting-list intersection and a full scan; results
 // are identical either way — the plan's facts are necessary conditions
-// of matching. The returned indexed flag reports which access path
-// answered the query.
+// of matching. Probing and evaluation fan out across shards on the
+// bounded worker pool; the per-shard matches merge into one sorted ID
+// list, so the result is deterministic whatever the interleaving. The
+// returned indexed flag reports which access path answered the query.
 func (s *Store) Find(p *engine.Plan) (ids []string, indexed bool, err error) {
 	plan := s.planFacts(p.FindFacts())
 	s.notePlan(&plan)
@@ -61,21 +143,188 @@ func (s *Store) Find(p *engine.Plan) (ids []string, indexed bool, err error) {
 	} else {
 		s.findScan.Add(1)
 	}
-	pairs := s.candidates(plan.probeTerms, indexed)
-	s.noteCandidates(false, indexed, len(pairs))
-	ids, err = s.findOver(p, pairs)
+	ids, candidates, err := s.findFanout(p, plan.probeTerms, indexed)
+	s.noteCandidates(false, indexed, candidates)
 	return ids, indexed, err
 }
 
 // FindScan is Find with the planner and index disabled: the reference
-// full scan the differential tests compare against.
+// full scan the differential tests compare against. It fans out like
+// Find — the scan's unit of parallelism is the shard.
 func (s *Store) FindScan(p *engine.Plan) ([]string, error) {
 	s.findScan.Add(1)
-	pairs := s.candidates(nil, false)
-	s.noteCandidates(false, false, len(pairs))
-	return s.findOver(p, pairs)
+	ids, candidates, err := s.findFanout(p, nil, false)
+	s.noteCandidates(false, false, candidates)
+	return ids, err
 }
 
+// lowShardBatch handles the configuration where the shard count is
+// below the worker budget (a 1-shard store on a many-core host, say):
+// shard-level fan-out could not use the budget, so the candidates are
+// collected serially — the cheap phase — and evaluated on the engine's
+// per-document batch pool instead, capped at Options.QueryWorkers so
+// the configured per-query parallelism bound holds on this path too.
+// ok is false when the normal per-shard fan-out should run.
+func (s *Store) lowShardBatch(terms []uint64, indexed bool) (pairs []docPair, workers int, ok bool) {
+	if s.opts.QueryWorkers <= len(s.shards) {
+		return nil, 0, false
+	}
+	steps := 0
+	for _, sh := range s.shards {
+		var st int
+		pairs, st = sh.collectCandidates(terms, indexed, pairs)
+		steps += st
+	}
+	workers = min(s.eng.Workers(), s.opts.QueryWorkers, max(len(pairs), 1))
+	s.noteFanout(workers, uint64(steps))
+	return pairs, workers, true
+}
+
+// findFanout runs the find pipeline — probe, snapshot, validate —
+// per shard on the worker pool and merges the matches.
+func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool) ([]string, int, error) {
+	if pairs, workers, ok := s.lowShardBatch(terms, indexed); ok {
+		verdicts, err := s.eng.ValidateBatchBounded(p, candidateTrees(pairs), workers)
+		if err != nil {
+			return nil, len(pairs), err
+		}
+		ids := make([]string, 0, len(pairs))
+		for i, match := range verdicts {
+			if match {
+				ids = append(ids, pairs[i].id)
+			}
+		}
+		sort.Strings(ids)
+		return ids, len(pairs), nil
+	}
+	perShard := make([][]string, len(s.shards))
+	var candidates, steps atomic.Int64
+	workers, err := s.fanOut(func(i int) error {
+		pairs, st := s.shards[i].collectCandidates(terms, indexed, nil)
+		candidates.Add(int64(len(pairs)))
+		steps.Add(int64(st))
+		var ids []string
+		for _, pair := range pairs {
+			ok, verr := s.eng.Validate(p, pair.tree)
+			if verr != nil {
+				return verr
+			}
+			if ok {
+				ids = append(ids, pair.id)
+			}
+		}
+		perShard[i] = ids
+		return nil
+	})
+	s.noteFanout(workers, uint64(steps.Load()))
+	if err != nil {
+		return nil, int(candidates.Load()), err
+	}
+	total := 0
+	for _, ids := range perShard {
+		total += len(ids)
+	}
+	out := make([]string, 0, total)
+	for _, ids := range perShard {
+		out = append(out, ids...)
+	}
+	sort.Strings(out)
+	return out, int(candidates.Load()), nil
+}
+
+// Select runs the plan's node-selection semantics (engine.Eval) over
+// the collection and returns, per document with at least one selected
+// node, the selected node IDs in evaluation order. Results are sorted
+// by document ID; like Find, evaluation fans out per shard and the
+// merge is deterministic. The planner consults the plan's select
+// facts, which exist only for root-anchored selection (JSONPath); all
+// other plans scan. The returned indexed flag reports the chosen
+// access path.
+func (s *Store) Select(p *engine.Plan) (sels []Selection, indexed bool, err error) {
+	plan := s.planFacts(p.SelectFacts())
+	s.notePlan(&plan)
+	indexed = plan.Access == AccessIndex
+	if indexed {
+		s.selectIndexed.Add(1)
+	} else {
+		s.selectScan.Add(1)
+	}
+	sels, candidates, err := s.selectFanout(p, plan.probeTerms, indexed)
+	s.noteCandidates(true, indexed, candidates)
+	return sels, indexed, err
+}
+
+// SelectScan is Select with the planner and index disabled.
+func (s *Store) SelectScan(p *engine.Plan) ([]Selection, error) {
+	s.selectScan.Add(1)
+	sels, candidates, err := s.selectFanout(p, nil, false)
+	s.noteCandidates(true, false, candidates)
+	return sels, err
+}
+
+// selectFanout is findFanout's node-selection counterpart. Each worker
+// evaluates through a reused node buffer (engine.EvalAppend), copying
+// only the per-document selections that are actually returned.
+func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool) ([]Selection, int, error) {
+	if pairs, workers, ok := s.lowShardBatch(terms, indexed); ok {
+		selections, err := s.eng.EvalBatchBounded(p, candidateTrees(pairs), workers)
+		if err != nil {
+			return nil, len(pairs), err
+		}
+		out := make([]Selection, 0, len(pairs))
+		for i, nodes := range selections {
+			if len(nodes) > 0 {
+				out = append(out, Selection{ID: pairs[i].id, Tree: pairs[i].tree, Nodes: nodes})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return out, len(pairs), nil
+	}
+	perShard := make([][]Selection, len(s.shards))
+	var candidates, steps atomic.Int64
+	workers, err := s.fanOut(func(i int) error {
+		pairs, st := s.shards[i].collectCandidates(terms, indexed, nil)
+		candidates.Add(int64(len(pairs)))
+		steps.Add(int64(st))
+		var (
+			sels []Selection
+			buf  []jsontree.NodeID
+		)
+		for _, pair := range pairs {
+			var verr error
+			buf, verr = s.eng.EvalAppend(p, pair.tree, buf[:0])
+			if verr != nil {
+				return verr
+			}
+			if len(buf) > 0 {
+				nodes := make([]jsontree.NodeID, len(buf))
+				copy(nodes, buf)
+				sels = append(sels, Selection{ID: pair.id, Tree: pair.tree, Nodes: nodes})
+			}
+		}
+		perShard[i] = sels
+		return nil
+	})
+	s.noteFanout(workers, uint64(steps.Load()))
+	if err != nil {
+		return nil, int(candidates.Load()), err
+	}
+	total := 0
+	for _, sels := range perShard {
+		total += len(sels)
+	}
+	out := make([]Selection, 0, total)
+	for _, sels := range perShard {
+		out = append(out, sels...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, int(candidates.Load()), nil
+}
+
+// findOver evaluates the plan's boolean semantics over an
+// already-collected candidate snapshot — the serial tail Explain and
+// the forced-access benchmarks use (the production path is
+// findFanout).
 func (s *Store) findOver(p *engine.Plan, pairs []docPair) ([]string, error) {
 	verdicts, err := s.eng.ValidateBatch(p, candidateTrees(pairs))
 	if err != nil {
@@ -91,35 +340,7 @@ func (s *Store) findOver(p *engine.Plan, pairs []docPair) ([]string, error) {
 	return ids, nil
 }
 
-// Select runs the plan's node-selection semantics (engine.Eval) over
-// the collection and returns, per document with at least one selected
-// node, the selected node IDs in evaluation order. Results are sorted
-// by document ID. The planner consults the plan's select facts, which
-// exist only for root-anchored selection (JSONPath); all other plans
-// scan. The returned indexed flag reports the chosen access path.
-func (s *Store) Select(p *engine.Plan) (sels []Selection, indexed bool, err error) {
-	plan := s.planFacts(p.SelectFacts())
-	s.notePlan(&plan)
-	indexed = plan.Access == AccessIndex
-	if indexed {
-		s.selectIndexed.Add(1)
-	} else {
-		s.selectScan.Add(1)
-	}
-	pairs := s.candidates(plan.probeTerms, indexed)
-	s.noteCandidates(true, indexed, len(pairs))
-	sels, err = s.selOver(p, pairs)
-	return sels, indexed, err
-}
-
-// SelectScan is Select with the planner and index disabled.
-func (s *Store) SelectScan(p *engine.Plan) ([]Selection, error) {
-	s.selectScan.Add(1)
-	pairs := s.candidates(nil, false)
-	s.noteCandidates(true, false, len(pairs))
-	return s.selOver(p, pairs)
-}
-
+// selOver is findOver's node-selection counterpart.
 func (s *Store) selOver(p *engine.Plan, pairs []docPair) ([]Selection, error) {
 	selections, err := s.eng.EvalBatch(p, candidateTrees(pairs))
 	if err != nil {
@@ -136,9 +357,7 @@ func (s *Store) selOver(p *engine.Plan, pairs []docPair) ([]Selection, error) {
 }
 
 // candidateTrees projects a candidate snapshot onto the tree slice the
-// engine's batch entry points take — evaluation runs on the engine's
-// worker pool, so scans and large candidate sets parallelize across
-// cores.
+// engine's batch entry points take.
 func candidateTrees(pairs []docPair) []*jsontree.Tree {
 	trees := make([]*jsontree.Tree, len(pairs))
 	for i, pair := range pairs {

@@ -12,6 +12,100 @@ import (
 	"jsonlogic/internal/jsontree"
 )
 
+// TestConcurrentWritesDuringParallelFind races the parallel query
+// fan-out against writers: Put/Delete churn keeps tombstoning and
+// compacting the dictionary while multi-worker Find/Select queries
+// probe it. Run under -race this is the locking check for the
+// dictionary encoding; without -race it still verifies the fan-out's
+// merge invariants — results sorted, duplicate-free, and every
+// returned ID routed to the shard that produced it.
+func TestConcurrentWritesDuringParallelFind(t *testing.T) {
+	s := New(Options{Shards: 8, QueryWorkers: 4})
+	plans := []*engine.Plan{
+		engine.MustCompile(engine.LangMongoFind, `{"kind":"blue"}`),
+		engine.MustCompile(engine.LangMongoFind, `{"kind":"blue","n":{"$lte":100}}`),
+		engine.MustCompile(engine.LangJSONPath, `$.tags[*]`),
+	}
+	for i := 0; i < 200; i++ {
+		if err := s.Put(fmt.Sprintf("seed%03d", i),
+			fmt.Sprintf(`{"kind":"%s","n":%d,"tags":["a","b"]}`, []string{"blue", "red"}[i%2], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("seed%03d", r.Intn(200))
+				if i%3 == 0 {
+					s.Delete(id) // tombstone + occasional compaction
+				} else {
+					s.Put(id, fmt.Sprintf(`{"kind":"blue","n":%d,"tags":["c"]}`, i))
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for i := 0; i < 150; i++ {
+				p := plans[(g+i)%len(plans)]
+				ids, _, err := s.Find(p)
+				if err != nil {
+					t.Errorf("find: %v", err)
+					return
+				}
+				for j := 1; j < len(ids); j++ {
+					if ids[j-1] >= ids[j] {
+						t.Errorf("find results unsorted or duplicated: %q then %q", ids[j-1], ids[j])
+						return
+					}
+				}
+				sels, _, err := s.Select(p)
+				if err != nil {
+					t.Errorf("select: %v", err)
+					return
+				}
+				for j := 1; j < len(sels); j++ {
+					if sels[j-1].ID >= sels[j].ID {
+						t.Errorf("select results unsorted or duplicated: %q then %q", sels[j-1].ID, sels[j].ID)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Writers churn for the readers' whole lifetime, then stop.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+
+	q := s.Stats().Queries
+	if q.ParallelQueries == 0 {
+		t.Error("no query fanned out in parallel; QueryWorkers was not honored")
+	}
+	// Every surviving document must still be exactly findable: index
+	// agrees with the dictionary after all the churn.
+	p := engine.MustCompile(engine.LangMongoFind, `{"kind":{"$exists":1}}`)
+	ids, err := s.FindScan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != s.Len() {
+		t.Fatalf("scan found %d docs, store holds %d", len(ids), s.Len())
+	}
+}
+
 // TestConcurrentMixedLoad hammers one store from 12 goroutines with
 // writes, deletes, bulk ingest and both query paths. Run under -race
 // it checks the locking discipline; the final verification checks for

@@ -25,8 +25,9 @@ import (
 
 // Snapshot forces a snapshot of every shard and removes the WAL
 // generations it obsoletes. It runs concurrently with reads and
-// writes; the per-shard pause is only the WAL rotation and a pointer
-// copy of the shard's map. On an in-memory store it is a no-op.
+// writes; the per-shard pause is the WAL rotation, a dictionary
+// compaction and a pointer copy of the shard's documents. On an
+// in-memory store it is a no-op.
 func (s *Store) Snapshot() error {
 	if s.dur == nil {
 		return nil
@@ -54,10 +55,14 @@ func (s *Store) snapshotShard(i int) error {
 		d.snapshotErrors.Add(1)
 		return err
 	}
-	docs := make(map[string]*jsontree.Tree, len(sh.docs))
-	for id, t := range sh.docs {
-		docs[id] = t
-	}
+	// Compact the dictionary while the lock is held anyway: tombstoned
+	// ordinals die with the WAL generation the snapshot obsoletes, so a
+	// freshly snapshotted shard restarts garbage-free. Amortized this
+	// is cheap — compaction is linear in the shard and snapshots are
+	// rare — and it keeps posting-list cardinality estimates honest.
+	sh.ix.compact()
+	docs := make(map[string]*jsontree.Tree, sh.ix.live())
+	sh.ix.each(func(id string, t *jsontree.Tree) { docs[id] = t })
 	sh.mu.Unlock()
 
 	// Persist the bulk auto-ID high-water mark alongside the shard:

@@ -13,8 +13,12 @@ type Statistics interface {
 	// DocCount returns the number of stored documents.
 	DocCount() int
 	// TermCardinality returns the total posting-list length of an index
-	// term across all shards: the number of documents carrying the
-	// term. Zero for unknown terms.
+	// term across all shards — an O(1) slice length per shard under the
+	// dictionary encoding. Tombstoned (deleted but not yet compacted)
+	// documents still count, so the cardinality is an upper bound on
+	// the live documents carrying the term, never an undercount: the
+	// planner's estimates stay provable upper bounds. Zero for unknown
+	// terms.
 	TermCardinality(term uint64) int
 	// ClassHistogram returns, per node kind, how many documents have a
 	// node of that kind at the exact path. The histogram is derived

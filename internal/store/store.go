@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,10 @@ type Options struct {
 	// share one engine between the store and their own endpoints so
 	// plan-cache statistics cover all traffic.
 	Engine *engine.Engine
+	// QueryWorkers bounds how many shards one query probes and
+	// evaluates concurrently (default runtime.GOMAXPROCS(0)). 1 runs
+	// every query serially.
+	QueryWorkers int
 
 	// DataDir roots the write-ahead logs and snapshots of a durable
 	// store. Open requires it; New ignores it.
@@ -74,14 +79,22 @@ type Store struct {
 	termsSkipped     atomic.Uint64
 	findCandidates   histogram
 	selectCandidates histogram
+
+	// Fan-out and intersection counters: how queries parallelize and
+	// how much merge work posting intersections perform.
+	parallelQueries   atomic.Uint64
+	serialQueries     atomic.Uint64
+	fanoutWorkers     histogram
+	intersectionSteps atomic.Uint64
 }
 
 // shard owns a partition of the documents and its slice of the index.
-// One RWMutex guards both, so index and docs can never disagree.
+// The documents live inside the index's dictionary (ordinal → ID,
+// tree), so one RWMutex guards one structure and index and documents
+// can never disagree.
 type shard struct {
-	mu   sync.RWMutex
-	docs map[string]*jsontree.Tree
-	ix   *pathIndex
+	mu sync.RWMutex
+	ix *pathIndex
 }
 
 // New returns an empty in-memory Store. See Open for the durable
@@ -107,6 +120,9 @@ func normalizeOptions(opts Options) Options {
 	if opts.Engine == nil {
 		opts.Engine = engine.New(engine.Options{})
 	}
+	if opts.QueryWorkers <= 0 {
+		opts.QueryWorkers = runtime.GOMAXPROCS(0)
+	}
 	if opts.FsyncInterval <= 0 {
 		opts.FsyncInterval = defaultFsyncInterval
 	}
@@ -125,16 +141,25 @@ func newStore(opts Options) *Store {
 		opts:   opts,
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{
-			docs: make(map[string]*jsontree.Tree),
-			ix:   newPathIndex(opts.MaxIndexDepth),
-		}
+		s.shards[i] = &shard{ix: newPathIndex(opts.MaxIndexDepth)}
 	}
 	return s
 }
 
 // Engine returns the engine the store compiles and evaluates with.
 func (s *Store) Engine() *engine.Engine { return s.eng }
+
+// setQueryWorkers overrides the per-query fan-out bound, returning the
+// previous value; the fan-out benchmarks use it to compare serial and
+// parallel execution on one populated store. Not safe to call
+// concurrently with queries.
+func (s *Store) setQueryWorkers(n int) int {
+	prev := s.opts.QueryWorkers
+	if n > 0 {
+		s.opts.QueryWorkers = n
+	}
+	return prev
+}
 
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
@@ -157,21 +182,13 @@ func (s *Store) memPut(id string, t *jsontree.Tree) {
 
 // memDelete is memPut's delete counterpart.
 func (s *Store) memDelete(id string) {
-	sh := s.shardFor(id)
-	if old, ok := sh.docs[id]; ok {
-		sh.ix.remove(id, old)
-		delete(sh.docs, id)
-	}
+	s.shardFor(id).ix.remove(id)
 }
 
 // put applies an insert/replace to one shard; the caller holds the
 // shard lock (or is the single-threaded recovery path).
 func (sh *shard) put(id string, t *jsontree.Tree) {
-	if old, ok := sh.docs[id]; ok {
-		sh.ix.remove(id, old)
-	}
-	sh.docs[id] = t
-	sh.ix.add(id, t)
+	sh.ix.put(id, t)
 }
 
 // Put parses a JSON document and stores it under id, replacing any
@@ -242,7 +259,7 @@ func (s *Store) putTreeIfAbsent(id string, t *jsontree.Tree) (bool, error) {
 	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	if _, taken := sh.docs[id]; taken {
+	if _, taken := sh.ix.get(id); taken {
 		sh.mu.Unlock()
 		return false, nil
 	}
@@ -252,7 +269,6 @@ func (s *Store) putTreeIfAbsent(id string, t *jsontree.Tree) (bool, error) {
 			return false, err
 		}
 	}
-	sh.docs[id] = t
 	sh.ix.add(id, t)
 	sh.mu.Unlock()
 	return true, nil
@@ -262,7 +278,7 @@ func (s *Store) putTreeIfAbsent(id string, t *jsontree.Tree) (bool, error) {
 func (s *Store) Get(id string) (*jsontree.Tree, bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	t, ok := sh.docs[id]
+	t, ok := sh.ix.get(id)
 	sh.mu.RUnlock()
 	return t, ok
 }
@@ -283,8 +299,7 @@ func (s *Store) Delete(id string) (bool, error) {
 	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	t, ok := sh.docs[id]
-	if !ok {
+	if _, ok := sh.ix.get(id); !ok {
 		sh.mu.Unlock()
 		return false, nil
 	}
@@ -295,8 +310,7 @@ func (s *Store) Delete(id string) (bool, error) {
 			return false, err
 		}
 	}
-	sh.ix.remove(id, t)
-	delete(sh.docs, id)
+	sh.ix.remove(id)
 	sh.mu.Unlock()
 	if w != nil {
 		return true, w.commit(seq)
@@ -309,7 +323,7 @@ func (s *Store) Len() int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		n += len(sh.docs)
+		n += sh.ix.live()
 		sh.mu.RUnlock()
 	}
 	return n
@@ -347,6 +361,18 @@ type QueryStats struct {
 	// running counter as the pruning-power signal.
 	FindCandidates   []HistogramBucket `json:"find_candidates,omitempty"`
 	SelectCandidates []HistogramBucket `json:"select_candidates,omitempty"`
+	// ParallelQueries / SerialQueries split queries by whether the
+	// shard fan-out ran on more than one worker; FanoutWorkers is the
+	// per-query histogram of workers actually used (bounded by
+	// Options.QueryWorkers and the shard count).
+	ParallelQueries uint64            `json:"parallel_queries"`
+	SerialQueries   uint64            `json:"serial_queries"`
+	FanoutWorkers   []HistogramBucket `json:"fanout_workers,omitempty"`
+	// IntersectionSteps totals the posting-list merge steps (element
+	// comparisons and gallop probes) taken by indexed queries — the
+	// work the dictionary-encoded intersection actually performs, per
+	// /stats scrape interval a direct read on index efficiency.
+	IntersectionSteps uint64 `json:"intersection_steps"`
 }
 
 // DurabilityStats aggregates the WAL and snapshot counters of a
@@ -393,7 +419,7 @@ func (s *Store) Stats() Stats {
 	for i, sh := range s.shards {
 		sh.mu.RLock()
 		ss := ShardStats{
-			Docs:     len(sh.docs),
+			Docs:     sh.ix.live(),
 			Terms:    len(sh.ix.postings),
 			Postings: sh.ix.entries,
 		}
@@ -404,16 +430,20 @@ func (s *Store) Stats() Stats {
 		st.Entries += ss.Postings
 	}
 	st.Queries = QueryStats{
-		FindIndexed:      s.findIndexed.Load(),
-		FindScan:         s.findScan.Load(),
-		SelectIndexed:    s.selectIndexed.Load(),
-		SelectScan:       s.selectScan.Load(),
-		CandidateDocs:    s.candidateDocs.Load(),
-		ScannedDocs:      s.scannedDocs.Load(),
-		PlannerScan:      s.plannerScan.Load(),
-		TermsSkipped:     s.termsSkipped.Load(),
-		FindCandidates:   s.findCandidates.snapshot(),
-		SelectCandidates: s.selectCandidates.snapshot(),
+		FindIndexed:       s.findIndexed.Load(),
+		FindScan:          s.findScan.Load(),
+		SelectIndexed:     s.selectIndexed.Load(),
+		SelectScan:        s.selectScan.Load(),
+		CandidateDocs:     s.candidateDocs.Load(),
+		ScannedDocs:       s.scannedDocs.Load(),
+		PlannerScan:       s.plannerScan.Load(),
+		TermsSkipped:      s.termsSkipped.Load(),
+		FindCandidates:    s.findCandidates.snapshot(),
+		SelectCandidates:  s.selectCandidates.snapshot(),
+		ParallelQueries:   s.parallelQueries.Load(),
+		SerialQueries:     s.serialQueries.Load(),
+		FanoutWorkers:     s.fanoutWorkers.snapshot(),
+		IntersectionSteps: s.intersectionSteps.Load(),
 	}
 	if s.dur != nil {
 		st.Durability = s.dur.stats()

@@ -290,6 +290,55 @@ func TestDeepFactPartialPruning(t *testing.T) {
 	}
 }
 
+// TestLowShardBatchFallback pins the worker-budget fallback: with
+// fewer shards than query workers, Find/Select route through the
+// engine's per-document batch pool (shard fan-out could not use the
+// budget) and must return exactly the per-shard path's results, with
+// every query still accounted in the fan-out counters.
+func TestLowShardBatchFallback(t *testing.T) {
+	batch := New(Options{Shards: 1, QueryWorkers: 8})
+	ref := New(Options{Shards: 1, QueryWorkers: 1})
+	for i := 0; i < 40; i++ {
+		doc := fmt.Sprintf(`{"g":"g%d","n":%d}`, i%4, i)
+		for _, s := range []*Store{batch, ref} {
+			if err := s.Put(fmt.Sprintf("d%02d", i), doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	queries := 0
+	for _, src := range []string{`{"g":"g1","n":{"$lte":20}}`, `{"n":{"$gte":0}}`} {
+		p, err := batch.Engine().Compile(engine.LangMongoFind, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := batch.Find(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ref.Find(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got, want) {
+			t.Fatalf("batch fallback Find(%s) = %v, per-shard path = %v", src, got, want)
+		}
+		scan, err := batch.FindScan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got, scan) {
+			t.Fatalf("batch fallback Find(%s) = %v, scan = %v", src, got, scan)
+		}
+		queries += 2 // Find + FindScan on batch
+	}
+	q := batch.Stats().Queries
+	if q.ParallelQueries+q.SerialQueries != uint64(queries) {
+		t.Fatalf("fan-out counters cover %d queries, ran %d: %+v",
+			q.ParallelQueries+q.SerialQueries, queries, q)
+	}
+}
+
 // TestBulkIDsNeverClobber pins that auto-assigned bulk IDs skip IDs
 // already taken by user-chosen names.
 func TestBulkIDsNeverClobber(t *testing.T) {
