@@ -1,0 +1,145 @@
+// Command jsonload drives a running jsonstored with a sustained HTTP
+// workload and reports latency percentiles and throughput. It is the
+// measurement side of the daemon's /metrics endpoint: jsonload says
+// what the client observed, /metrics says what the server did.
+//
+// Single run (closed loop, 8 workers, 30 seconds):
+//
+//	jsonload -target http://localhost:8080 -workload mixed -c 8 -duration 30s
+//
+// Open loop at a fixed arrival rate (latency includes queueing delay
+// when the server falls behind — no coordinated omission):
+//
+//	jsonload -target http://localhost:8080 -workload read-heavy -c 32 -rate 5000
+//
+// Grid sweep from an experiments manifest (see scripts/loadgrid/):
+//
+//	jsonload -target http://localhost:8080 -grid scripts/loadgrid/experiments.json -csv results.csv
+//
+// Workloads are the named profiles (mixed, read-heavy, write-heavy,
+// query-heavy, bulk) or a custom mix like "get=70,put=20,query=10".
+// The human-readable report goes to stderr; -json and -csv select
+// machine-readable outputs ("-" for stdout). Runs are reproducible:
+// the same -seed, workload and arrival schedule replay the same
+// request sequence.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jsonlogic/internal/load"
+)
+
+func main() {
+	log.SetFlags(0)
+	target := flag.String("target", "http://localhost:8080", "jsonstored base URL")
+	workload := flag.String("workload", "mixed", "workload profile or custom op=weight mix")
+	concurrency := flag.Int("c", 8, "concurrent workers")
+	duration := flag.Duration("duration", 10*time.Second, "measured window per run")
+	rate := flag.Float64("rate", 0, "target arrival rate in ops/sec (0: closed loop)")
+	preload := flag.Int("preload", 1000, "documents PUT before the measured window")
+	seed := flag.Int64("seed", 1, "RNG seed (same seed: same request sequence)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	bulkLines := flag.Int("bulk-lines", 16, "documents per bulk request")
+	gridPath := flag.String("grid", "", "experiments manifest: sweep its points instead of one run")
+	jsonOut := flag.String("json", "", "write JSON summary to this file (\"-\": stdout)")
+	csvOut := flag.String("csv", "", "write CSV summary to this file (\"-\": stdout)")
+	quiet := flag.Bool("q", false, "suppress the human-readable report")
+	flag.Parse()
+
+	cfg := load.Config{
+		Target:      *target,
+		Workload:    *workload,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Rate:        *rate,
+		Preload:     *preload,
+		Seed:        *seed,
+		Timeout:     *timeout,
+		BulkLines:   *bulkLines,
+	}
+
+	// Ctrl-C ends the run early and still prints what was measured.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	report := io.Writer(os.Stderr)
+	if *quiet {
+		report = io.Discard
+	}
+
+	if *gridPath != "" {
+		runGrid(ctx, cfg, *gridPath, *csvOut, *jsonOut, report)
+		return
+	}
+
+	s, err := load.Run(ctx, cfg)
+	if err != nil {
+		log.Fatalf("jsonload: %v", err)
+	}
+	if err := s.WriteText(report); err != nil {
+		log.Fatalf("jsonload: %v", err)
+	}
+	writeOut(*jsonOut, func(w io.Writer) error { return s.WriteJSON(w) })
+	writeOut(*csvOut, func(w io.Writer) error { return s.WriteCSV(w, true) })
+}
+
+func runGrid(ctx context.Context, cfg load.Config, gridPath, csvOut, jsonOut string, report io.Writer) {
+	f, err := os.Open(gridPath)
+	if err != nil {
+		log.Fatalf("jsonload: %v", err)
+	}
+	g, err := load.ParseGrid(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("jsonload: %v", err)
+	}
+	if csvOut == "" {
+		csvOut = "-" // a sweep's whole point is the combined table
+	}
+	var sums []*load.Summary
+	writeOut(csvOut, func(w io.Writer) error {
+		sums, err = load.RunGrid(ctx, cfg, g, w, report)
+		return err
+	})
+	writeOut(jsonOut, func(w io.Writer) error {
+		for _, s := range sums {
+			if err := s.WriteJSON(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// writeOut writes through fn to path ("" skips, "-" is stdout).
+func writeOut(path string, fn func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	w := io.Writer(os.Stdout)
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("jsonload: %v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("jsonload: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "jsonload: wrote %s\n", path)
+		}()
+		w = f
+	}
+	if err := fn(w); err != nil {
+		log.Fatalf("jsonload: %v", err)
+	}
+}

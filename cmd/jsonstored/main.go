@@ -6,6 +6,10 @@
 // and a restart recovers the collection (snapshot + WAL tail replay,
 // torn tails truncated, index rebuilt).
 //
+// The HTTP surface itself lives in internal/httpapi so tests and the
+// load generator (cmd/jsonload) can assemble an in-process daemon;
+// this command owns flags, the listener and the shutdown protocol.
+//
 // Endpoints (see README.md in this directory for the full API
 // reference):
 //
@@ -23,6 +27,9 @@
 //	                    fan-out-parallelism histograms, intersection-step
 //	                    totals, plan-cache hit rates,
 //	                    WAL/snapshot/recovery stats
+//	GET    /metrics     the same counters plus per-endpoint request
+//	                    latency histograms, in Prometheus text
+//	                    exposition format
 //
 // Documents use the paper's value model: objects, arrays, strings and
 // natural numbers. See examples/storequery for a curl walkthrough.
@@ -36,15 +43,14 @@
 //
 // Without -data-dir the store is in-memory and dies with the process.
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
-// in-flight requests, flushes and fsyncs the WAL, and exits.
+// in-flight requests, flushes and fsyncs the WAL, and exits; a second
+// SIGINT during the drain kills the process immediately.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -53,7 +59,7 @@ import (
 	"time"
 
 	"jsonlogic/internal/engine"
-	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/httpapi"
 	"jsonlogic/internal/store"
 )
 
@@ -105,7 +111,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(st),
+		Handler: httpapi.NewHandler(st, httpapi.Options{}),
 		// Bound slow/stalled peers; no ReadTimeout so large legitimate
 		// bulk uploads are not cut off mid-body.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -127,7 +133,14 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
-	log.Printf("jsonstored: shutting down")
+	// Unregister the signal handler before draining, not at exit: with
+	// NotifyContext still armed a second Ctrl-C was swallowed (the
+	// already-cancelled context absorbs it), leaving no way to kill a
+	// drain stuck behind slow requests. After cancel() the default
+	// disposition is restored, so a repeat SIGINT terminates
+	// immediately.
+	cancel()
+	log.Printf("jsonstored: shutting down (^C again to kill)")
 	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer shutdownCancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -141,291 +154,4 @@ func main() {
 		log.Fatalf("jsonstored: close store: %v", err)
 	}
 	log.Printf("jsonstored: store flushed; bye")
-}
-
-// maxBody bounds one request body (64 MiB; covers bulk uploads).
-const maxBody = 64 << 20
-
-// server routes the HTTP API onto one Store and its Engine.
-type server struct {
-	store *store.Store
-	eng   *engine.Engine
-}
-
-// newServer returns the daemon's handler; split from main so tests can
-// drive it through httptest.
-func newServer(st *store.Store) http.Handler {
-	s := &server{store: st, eng: st.Engine()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /docs/{id}", s.putDoc)
-	mux.HandleFunc("GET /docs/{id}", s.getDoc)
-	mux.HandleFunc("DELETE /docs/{id}", s.deleteDoc)
-	mux.HandleFunc("POST /bulk", s.bulk)
-	mux.HandleFunc("POST /query", s.query)
-	mux.HandleFunc("POST /explain", s.explain)
-	mux.HandleFunc("POST /validate", s.validate)
-	mux.HandleFunc("GET /stats", s.stats)
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func (s *server) putDoc(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	// Stream the body straight into a tree — the same tokenizer path as
-	// /bulk — instead of buffering and re-materializing through jsonval.
-	t, err := engine.BuildTree(http.MaxBytesReader(w, r.Body, maxBody), jsontree.NewBuilder())
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if err := s.store.PutTree(id, t); err != nil {
-		// A WAL failure: the write is not durable (a failed append was
-		// additionally never applied).
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "nodes": t.Len()})
-}
-
-func (s *server) getDoc(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	t, ok := s.store.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "no document %q", id)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, t.String())
-}
-
-func (s *server) deleteDoc(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	ok, err := s.store.Delete(id)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	if !ok {
-		writeError(w, http.StatusNotFound, "no document %q", id)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
-}
-
-func (s *server) bulk(w http.ResponseWriter, r *http.Request) {
-	// MaxBytesReader (not LimitReader) so an oversized upload surfaces
-	// as an ingest error instead of a silent truncation reported as
-	// success.
-	res, err := s.store.BulkNDJSON(http.MaxBytesReader(w, r.Body, maxBody))
-	type lineError struct {
-		Line  int    `json:"line"`
-		Error string `json:"error"`
-	}
-	errs := make([]lineError, len(res.Errors))
-	for i, e := range res.Errors {
-		errs[i] = lineError{Line: e.Line, Error: e.Err.Error()}
-	}
-	body := map[string]any{
-		"inserted": len(res.IDs),
-		"ids":      res.IDs,
-		"errors":   errs,
-	}
-	if err != nil {
-		// Lines before the failure are already stored; report them so
-		// the client can reconcile instead of blindly re-uploading.
-		// A WAL/disk failure is the server's fault, 500 — matching the
-		// put/delete handlers; every other abort (oversized body or
-		// line, client disconnect mid-upload) is the stream's, 400.
-		status := http.StatusBadRequest
-		if errors.Is(err, store.ErrWAL) {
-			status = http.StatusInternalServerError
-		}
-		body["error"] = fmt.Sprintf("bulk ingest aborted: %v", err)
-		writeJSON(w, status, body)
-		return
-	}
-	writeJSON(w, http.StatusOK, body)
-}
-
-// queryRequest is the body of POST /query and POST /validate.
-type queryRequest struct {
-	// Lang is the front end: "jnl", "jsl", "jsonpath" or "mongo".
-	Lang string `json:"lang"`
-	// Query is the source text in that language.
-	Query string `json:"query"`
-	// Mode selects document matching ("find", default) or node
-	// selection ("select") for /query.
-	Mode string `json:"mode"`
-	// Values asks "select" results to include the rendered JSON of
-	// each selected node.
-	Values bool `json:"values"`
-	// ID and Doc select the validation subject for /validate: a stored
-	// document or an inline one.
-	ID  string `json:"id"`
-	Doc string `json:"doc"`
-}
-
-func (s *server) compile(w http.ResponseWriter, r *http.Request) (*engine.Plan, *queryRequest, bool) {
-	var req queryRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return nil, nil, false
-	}
-	lang, err := engine.ParseLanguage(req.Lang)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return nil, nil, false
-	}
-	p, err := s.eng.Compile(lang, req.Query)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "compile: %v", err)
-		return nil, nil, false
-	}
-	return p, &req, true
-}
-
-func (s *server) query(w http.ResponseWriter, r *http.Request) {
-	p, req, ok := s.compile(w, r)
-	if !ok {
-		return
-	}
-	switch req.Mode {
-	case "", "find":
-		ids, indexed, err := s.store.Find(p)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"count":   len(ids),
-			"ids":     ids,
-			"indexed": indexed,
-		})
-	case "select":
-		sels, indexed, err := s.store.Select(p)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		type docSelection struct {
-			ID     string   `json:"id"`
-			Nodes  []int    `json:"nodes"`
-			Values []string `json:"values,omitempty"`
-		}
-		out := make([]docSelection, len(sels))
-		for i, sel := range sels {
-			ds := docSelection{ID: sel.ID, Nodes: make([]int, len(sel.Nodes))}
-			for j, n := range sel.Nodes {
-				ds.Nodes[j] = int(n)
-			}
-			if req.Values {
-				// Render from the selection's snapshot tree: the node IDs
-				// are only meaningful there, and the stored document may
-				// have been replaced concurrently.
-				ds.Values = make([]string, len(sel.Nodes))
-				for j, n := range sel.Nodes {
-					ds.Values[j] = sel.Tree.Value(n).String()
-				}
-			}
-			out[i] = ds
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"count":   len(out),
-			"results": out,
-			"indexed": indexed,
-		})
-	default:
-		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
-	}
-}
-
-// explain runs the query like /query but reports how instead of what:
-// the lowered logical tree, the physical operator program, the
-// planner's access decision with per-term statistics, and estimated
-// versus actual cardinalities.
-func (s *server) explain(w http.ResponseWriter, r *http.Request) {
-	p, req, ok := s.compile(w, r)
-	if !ok {
-		return
-	}
-	switch req.Mode {
-	case "", "find", "select":
-	default:
-		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
-		return
-	}
-	ex, err := s.store.Explain(p, req.Mode)
-	if err != nil {
-		// The mode was validated above, so any error here is an
-		// evaluation failure — the server's fault, like /query.
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ex)
-}
-
-func (s *server) validate(w http.ResponseWriter, r *http.Request) {
-	p, req, ok := s.compile(w, r)
-	if !ok {
-		return
-	}
-	var t *jsontree.Tree
-	switch {
-	case req.ID != "" && req.Doc != "":
-		writeError(w, http.StatusBadRequest, "give id or doc, not both")
-		return
-	case req.ID != "":
-		var found bool
-		t, found = s.store.Get(req.ID)
-		if !found {
-			writeError(w, http.StatusNotFound, "no document %q", req.ID)
-			return
-		}
-	case req.Doc != "":
-		var err error
-		t, err = jsontree.Parse(req.Doc)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "doc: %v", err)
-			return
-		}
-	default:
-		writeError(w, http.StatusBadRequest, "give id or doc")
-		return
-	}
-	valid, err := s.eng.Validate(p, t)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"valid": valid})
-}
-
-func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	cs := s.eng.CacheStats()
-	var hitRate float64
-	if cs.Hits+cs.Misses > 0 {
-		hitRate = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"store": s.store.Stats(),
-		"plan_cache": map[string]any{
-			"hits":      cs.Hits,
-			"misses":    cs.Misses,
-			"evictions": cs.Evictions,
-			"entries":   cs.Entries,
-			"capacity":  cs.Capacity,
-			"hit_rate":  hitRate,
-		},
-	})
 }

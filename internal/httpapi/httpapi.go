@@ -1,0 +1,357 @@
+// Package httpapi implements jsonstored's HTTP surface: the document
+// CRUD, bulk-ingest, query/explain/validate and introspection
+// endpoints over one internal/store.Store. It lives below cmd so an
+// in-process daemon can be assembled anywhere an http.Handler fits —
+// the load generator's self-test (internal/load) drives exactly the
+// handler the real daemon serves, httptest instead of a socket.
+//
+// Every route is wrapped in the metrics middleware; GET /metrics
+// exposes the store's query/planner/durability counters, the
+// engine's plan-cache statistics and the per-endpoint request-latency
+// histograms in Prometheus text exposition format.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"jsonlogic/internal/engine"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/metrics"
+	"jsonlogic/internal/store"
+)
+
+// DefaultMaxBody bounds one request body when Options.MaxBody is zero
+// (64 MiB; covers bulk uploads).
+const DefaultMaxBody = 64 << 20
+
+// Options configure the handler. The zero value is the production
+// configuration.
+type Options struct {
+	// MaxBody caps one request body in bytes (default DefaultMaxBody).
+	// Oversized bodies fail with 413, never truncate silently. Tests
+	// shrink it to exercise the limit without 64MiB uploads.
+	MaxBody int64
+}
+
+// server routes the HTTP API onto one Store and its Engine.
+type server struct {
+	store   *store.Store
+	eng     *engine.Engine
+	maxBody int64
+	http    *metrics.HTTPMetrics
+}
+
+// NewHandler returns the daemon's handler over st.
+func NewHandler(st *store.Store, opts Options) http.Handler {
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = DefaultMaxBody
+	}
+	s := &server{
+		store:   st,
+		eng:     st.Engine(),
+		maxBody: opts.MaxBody,
+		http:    &metrics.HTTPMetrics{},
+	}
+	mux := http.NewServeMux()
+	route := func(pattern, endpoint string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.http.Instrument(endpoint, h))
+	}
+	route("PUT /docs/{id}", "put_doc", s.putDoc)
+	route("GET /docs/{id}", "get_doc", s.getDoc)
+	route("DELETE /docs/{id}", "delete_doc", s.deleteDoc)
+	route("POST /bulk", "bulk", s.bulk)
+	route("POST /query", "query", s.query)
+	route("POST /explain", "explain", s.explain)
+	route("POST /validate", "validate", s.validate)
+	route("GET /stats", "stats", s.stats)
+	route("GET /metrics", "metrics", s.metrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// bodyErrStatus maps a request-body read failure to its status:
+// hitting the MaxBytesReader limit is 413 Request Entity Too Large
+// (the body was bigger than the server accepts), everything else —
+// malformed JSON, an early disconnect — is the client's 400. The
+// *http.MaxBytesError survives errors.As through the tokenizer, the
+// bulk scanner and json.Decoder, all of which return reader errors
+// unwrapped (or wrapped with %w / errors.Join).
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func (s *server) putDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Stream the body straight into a tree — the same tokenizer path as
+	// /bulk — instead of buffering and re-materializing through jsonval.
+	t, err := engine.BuildTree(http.MaxBytesReader(w, r.Body, s.maxBody), jsontree.NewBuilder())
+	if err != nil {
+		writeError(w, bodyErrStatus(err), "%v", err)
+		return
+	}
+	if err := s.store.PutTree(id, t); err != nil {
+		// A WAL failure: the write is not durable (a failed append was
+		// additionally never applied).
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "nodes": t.Len()})
+}
+
+func (s *server) getDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no document %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Stream node-at-a-time (byte-for-byte t.String() plus the
+	// trailing newline) instead of materializing the whole document in
+	// memory first — GET is the hottest endpoint, and one
+	// document-sized allocation per read was its biggest cost.
+	if _, err := t.WriteTo(w); err != nil {
+		return // client gone mid-body; nothing sensible left to send
+	}
+	w.Write([]byte{'\n'})
+}
+
+func (s *server) deleteDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ok, err := s.store.Delete(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no document %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+}
+
+func (s *server) bulk(w http.ResponseWriter, r *http.Request) {
+	// MaxBytesReader (not LimitReader) so an oversized upload surfaces
+	// as an ingest error instead of a silent truncation reported as
+	// success.
+	res, err := s.store.BulkNDJSON(http.MaxBytesReader(w, r.Body, s.maxBody))
+	type lineError struct {
+		Line  int    `json:"line"`
+		Error string `json:"error"`
+	}
+	errs := make([]lineError, len(res.Errors))
+	for i, e := range res.Errors {
+		errs[i] = lineError{Line: e.Line, Error: e.Err.Error()}
+	}
+	body := map[string]any{
+		"inserted": len(res.IDs),
+		"ids":      res.IDs,
+		"errors":   errs,
+	}
+	if err != nil {
+		// Lines before the failure are already stored; report them so
+		// the client can reconcile instead of blindly re-uploading.
+		// A WAL/disk failure is the server's fault, 500 — matching the
+		// put/delete handlers; an oversized body is 413; every other
+		// abort (oversized line, client disconnect mid-upload) is the
+		// stream's, 400.
+		status := bodyErrStatus(err)
+		if errors.Is(err, store.ErrWAL) {
+			status = http.StatusInternalServerError
+		}
+		body["error"] = fmt.Sprintf("bulk ingest aborted: %v", err)
+		writeJSON(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// queryRequest is the body of POST /query and POST /validate.
+type queryRequest struct {
+	// Lang is the front end: "jnl", "jsl", "jsonpath" or "mongo".
+	Lang string `json:"lang"`
+	// Query is the source text in that language.
+	Query string `json:"query"`
+	// Mode selects document matching ("find", default) or node
+	// selection ("select") for /query.
+	Mode string `json:"mode"`
+	// Values asks "select" results to include the rendered JSON of
+	// each selected node.
+	Values bool `json:"values"`
+	// ID and Doc select the validation subject for /validate: a stored
+	// document or an inline one.
+	ID  string `json:"id"`
+	Doc string `json:"doc"`
+}
+
+func (s *server) compile(w http.ResponseWriter, r *http.Request) (*engine.Plan, *queryRequest, bool) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		writeError(w, bodyErrStatus(err), "bad request body: %v", err)
+		return nil, nil, false
+	}
+	lang, err := engine.ParseLanguage(req.Lang)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, nil, false
+	}
+	p, err := s.eng.Compile(lang, req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "compile: %v", err)
+		return nil, nil, false
+	}
+	return p, &req, true
+}
+
+func (s *server) query(w http.ResponseWriter, r *http.Request) {
+	p, req, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	switch req.Mode {
+	case "", "find":
+		ids, indexed, err := s.store.Find(p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"count":   len(ids),
+			"ids":     ids,
+			"indexed": indexed,
+		})
+	case "select":
+		sels, indexed, err := s.store.Select(p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		type docSelection struct {
+			ID     string   `json:"id"`
+			Nodes  []int    `json:"nodes"`
+			Values []string `json:"values,omitempty"`
+		}
+		out := make([]docSelection, len(sels))
+		for i, sel := range sels {
+			ds := docSelection{ID: sel.ID, Nodes: make([]int, len(sel.Nodes))}
+			for j, n := range sel.Nodes {
+				ds.Nodes[j] = int(n)
+			}
+			if req.Values {
+				// Render from the selection's snapshot tree: the node IDs
+				// are only meaningful there, and the stored document may
+				// have been replaced concurrently.
+				ds.Values = make([]string, len(sel.Nodes))
+				for j, n := range sel.Nodes {
+					ds.Values[j] = sel.Tree.Value(n).String()
+				}
+			}
+			out[i] = ds
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"count":   len(out),
+			"results": out,
+			"indexed": indexed,
+		})
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
+	}
+}
+
+// explain runs the query like /query but reports how instead of what:
+// the lowered logical tree, the physical operator program, the
+// planner's access decision with per-term statistics, and estimated
+// versus actual cardinalities.
+func (s *server) explain(w http.ResponseWriter, r *http.Request) {
+	p, req, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	switch req.Mode {
+	case "", "find", "select":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
+		return
+	}
+	ex, err := s.store.Explain(p, req.Mode)
+	if err != nil {
+		// The mode was validated above, so any error here is an
+		// evaluation failure — the server's fault, like /query.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
+}
+
+func (s *server) validate(w http.ResponseWriter, r *http.Request) {
+	p, req, ok := s.compile(w, r)
+	if !ok {
+		return
+	}
+	var t *jsontree.Tree
+	switch {
+	case req.ID != "" && req.Doc != "":
+		writeError(w, http.StatusBadRequest, "give id or doc, not both")
+		return
+	case req.ID != "":
+		var found bool
+		t, found = s.store.Get(req.ID)
+		if !found {
+			writeError(w, http.StatusNotFound, "no document %q", req.ID)
+			return
+		}
+	case req.Doc != "":
+		var err error
+		t, err = jsontree.Parse(req.Doc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "doc: %v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "give id or doc")
+		return
+	}
+	valid, err := s.eng.Validate(p, t)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"valid": valid})
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	cs := s.eng.CacheStats()
+	var hitRate float64
+	if cs.Hits+cs.Misses > 0 {
+		hitRate = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"store": s.store.Stats(),
+		"plan_cache": map[string]any{
+			"hits":      cs.Hits,
+			"misses":    cs.Misses,
+			"evictions": cs.Evictions,
+			"entries":   cs.Entries,
+			"capacity":  cs.Capacity,
+			"hit_rate":  hitRate,
+		},
+	})
+}

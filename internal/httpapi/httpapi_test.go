@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -16,7 +16,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(store.New(store.Options{Shards: 8})))
+	ts := httptest.NewServer(NewHandler(store.New(store.Options{Shards: 8}), Options{}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -259,7 +259,7 @@ func TestDurableDaemonRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(st))
+	ts := httptest.NewServer(NewHandler(st, Options{}))
 	if code, _ := do(t, "PUT", ts.URL+"/docs/u1", `{"name":"sue","age":34}`); code != 200 {
 		t.Fatal("put u1")
 	}
@@ -290,7 +290,7 @@ func TestDurableDaemonRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	ts2 := httptest.NewServer(newServer(st2))
+	ts2 := httptest.NewServer(NewHandler(st2, Options{}))
 	t.Cleanup(ts2.Close)
 	if code, body := do(t, "GET", ts2.URL+"/docs/u1", ""); code != 200 || body["name"] != "sue" {
 		t.Fatalf("u1 after restart: %d %v", code, body)
@@ -318,7 +318,7 @@ func TestDurableDaemonRestart(t *testing.T) {
 // intact), while a factless plan (negation) reports the scan.
 func TestIndexedFlagTruthful(t *testing.T) {
 	st := store.New(store.Options{Shards: 2, MaxIndexDepth: 2})
-	ts := httptest.NewServer(newServer(st))
+	ts := httptest.NewServer(NewHandler(st, Options{}))
 	t.Cleanup(ts.Close)
 	if code, _ := do(t, "PUT", ts.URL+"/docs/x", `{"a":{"b":{"c":{"d":1}}}}`); code != 200 {
 		t.Fatal("put")

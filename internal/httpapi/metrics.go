@@ -1,0 +1,85 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"jsonlogic/internal/metrics"
+)
+
+// promPrefix namespaces every exposed family, per Prometheus naming
+// convention (<namespace>_<subsystem>_<name>_<unit>).
+const promPrefix = "jsonstored_"
+
+// metrics serves GET /metrics: the same counters /stats reports as
+// JSON, rendered in Prometheus text exposition format for scrapers —
+// store size gauges, query/planner counters, the candidates and
+// fan-out histograms with cumulative buckets, durability/recovery
+// stats, plan-cache counters, and the middleware's per-endpoint
+// request/latency families. Scraping reads the same atomics the
+// query path writes; it never takes a store-wide lock beyond the
+// per-shard read locks Stats takes.
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	var e metrics.Exposition
+	st := s.store.Stats()
+
+	e.Gauge(promPrefix+"docs", "Documents stored, across shards.", float64(st.Docs))
+	e.Gauge(promPrefix+"shards", "Shard count.", float64(len(st.Shards)))
+	e.Gauge(promPrefix+"index_terms", "Distinct index terms across shards.", float64(st.Terms))
+	e.Gauge(promPrefix+"index_postings", "Index posting-list entries across shards.", float64(st.Entries))
+
+	q := st.Queries
+	queries := promPrefix + "queries_total"
+	queriesHelp := "Queries evaluated, by mode and access path."
+	e.Counter(queries, queriesHelp, q.FindIndexed,
+		metrics.Label{Name: "mode", Value: "find"}, metrics.Label{Name: "access", Value: "index"})
+	e.Counter(queries, queriesHelp, q.FindScan,
+		metrics.Label{Name: "mode", Value: "find"}, metrics.Label{Name: "access", Value: "scan"})
+	e.Counter(queries, queriesHelp, q.SelectIndexed,
+		metrics.Label{Name: "mode", Value: "select"}, metrics.Label{Name: "access", Value: "index"})
+	e.Counter(queries, queriesHelp, q.SelectScan,
+		metrics.Label{Name: "mode", Value: "select"}, metrics.Label{Name: "access", Value: "scan"})
+	e.Counter(promPrefix+"candidate_docs_total", "Documents evaluated on indexed queries.", q.CandidateDocs)
+	e.Counter(promPrefix+"scanned_docs_total", "Documents evaluated on scans.", q.ScannedDocs)
+	e.Counter(promPrefix+"planner_scan_total", "Index-supported queries the cost-based planner sent to a scan.", q.PlannerScan)
+	e.Counter(promPrefix+"planner_terms_skipped_total", "Near-useless index terms the planner dropped from intersections.", q.TermsSkipped)
+	e.Counter(promPrefix+"queries_parallel_total", "Queries whose shard fan-out used more than one worker.", q.ParallelQueries)
+	e.Counter(promPrefix+"queries_serial_total", "Queries evaluated on a single worker.", q.SerialQueries)
+	e.Counter(promPrefix+"intersection_steps_total", "Posting-list merge steps (comparisons and gallop probes) on indexed queries.", q.IntersectionSteps)
+
+	find, sel, fan := s.store.MetricsHistograms()
+	candidates := promPrefix + "query_candidates"
+	candidatesHelp := "Candidate-set size per indexed query, by mode."
+	e.Histogram(candidates, candidatesHelp, find, 1, metrics.Label{Name: "mode", Value: "find"})
+	e.Histogram(candidates, candidatesHelp, sel, 1, metrics.Label{Name: "mode", Value: "select"})
+	e.Histogram(promPrefix+"query_fanout_workers", "Workers used per query's shard fan-out.", fan, 1)
+
+	cs := s.eng.CacheStats()
+	e.Counter(promPrefix+"plan_cache_hits_total", "Plan-cache hits.", cs.Hits)
+	e.Counter(promPrefix+"plan_cache_misses_total", "Plan-cache misses (compiles).", cs.Misses)
+	e.Counter(promPrefix+"plan_cache_evictions_total", "Plans evicted from the LRU cache.", cs.Evictions)
+	e.Gauge(promPrefix+"plan_cache_entries", "Plans currently cached.", float64(cs.Entries))
+	e.Gauge(promPrefix+"plan_cache_capacity", "Plan-cache capacity.", float64(cs.Capacity))
+
+	if d := st.Durability; d != nil {
+		e.Counter(promPrefix+"wal_appends_total", "WAL records appended since open, across shards.", d.WALAppends)
+		e.Counter(promPrefix+"wal_bytes_total", "WAL bytes framed since open.", d.WALBytes)
+		e.Counter(promPrefix+"wal_syncs_total", "WAL fsyncs issued since open.", d.WALSyncs)
+		e.Gauge(promPrefix+"wal_segment_records", "Records across active WAL segments: the replay debt a crash now would incur.", float64(d.WALSegmentRecords))
+		e.Counter(promPrefix+"snapshots_total", "Snapshot attempts since open.", d.Snapshots)
+		e.Counter(promPrefix+"snapshot_errors_total", "Failed snapshot attempts since open.", d.SnapshotErrors)
+		walFailed := uint64(0)
+		if d.LastError != "" {
+			walFailed = 1
+		}
+		e.Gauge(promPrefix+"wal_failed", "1 when a sticky WAL error has the store refusing writes.", float64(walFailed))
+		rec := d.Recovery
+		e.Gauge(promPrefix+"recovery_snapshot_docs", "Documents loaded from snapshots at startup.", float64(rec.SnapshotDocs))
+		e.Gauge(promPrefix+"recovery_wal_records_replayed", "WAL records replayed at startup.", float64(rec.WALRecordsReplayed))
+		e.Gauge(promPrefix+"recovery_torn_tails", "Torn WAL tails truncated at startup.", float64(rec.TornTails))
+	}
+
+	s.http.Expose(&e, promPrefix)
+
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_, _ = e.WriteTo(w)
+}

@@ -1,0 +1,101 @@
+package jsontree
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"jsonlogic/internal/jsonval"
+)
+
+// WriteTo writes the compact JSON rendering of the tree to w,
+// node-at-a-time straight out of the arena — no jsonval.Value
+// materialization and no whole-document string, so serving a large
+// document costs a 4KiB buffer instead of an allocation the size of
+// the document. The output is byte-for-byte Tree.String() (pinned by
+// a property test against randomized trees); object members appear in
+// the tree's key-sorted child order, exactly as String renders them.
+//
+// WriteTo implements io.WriterTo: it returns the number of bytes
+// written to w and the first write error. On error the output is
+// truncated mid-document; encoding stops at the next node boundary.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	enc := encoder{t: t, bw: bufio.NewWriterSize(cw, 4096), cw: cw}
+	enc.node(t.Root())
+	err := enc.bw.Flush()
+	return cw.n, err
+}
+
+// encoder is the streaming serializer's state: the buffered sink and
+// a number scratch buffer reused across nodes.
+type encoder struct {
+	t       *Tree
+	bw      *bufio.Writer
+	cw      *countWriter
+	scratch [20]byte // fits a uint64 in decimal
+}
+
+func (e *encoder) node(n NodeID) {
+	nd := &e.t.nodes[n]
+	switch nd.kind {
+	case NumberNode:
+		e.bw.Write(strconv.AppendUint(e.scratch[:0], nd.num, 10))
+	case StringNode:
+		jsonval.WriteQuoted(e.bw, nd.str)
+	case ArrayNode:
+		if len(nd.children) == 0 {
+			e.bw.WriteString("[]")
+			return
+		}
+		e.bw.WriteByte('[')
+		for i, c := range nd.children {
+			if i > 0 {
+				e.bw.WriteByte(',')
+			}
+			e.node(c)
+			if e.cw.err != nil {
+				return
+			}
+		}
+		e.bw.WriteByte(']')
+	case ObjectNode:
+		if len(nd.children) == 0 {
+			e.bw.WriteString("{}")
+			return
+		}
+		e.bw.WriteByte('{')
+		for i, c := range nd.children {
+			if i > 0 {
+				e.bw.WriteByte(',')
+			}
+			jsonval.WriteQuoted(e.bw, e.t.nodes[c].key)
+			e.bw.WriteByte(':')
+			e.node(c)
+			if e.cw.err != nil {
+				return
+			}
+		}
+		e.bw.WriteByte('}')
+	}
+}
+
+// countWriter counts the bytes that actually reached the underlying
+// writer and holds the first error sticky, so the encoder can stop
+// descending once the sink is gone (bufio keeps the error but does
+// not expose it until Flush).
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+	return n, err
+}

@@ -1,0 +1,116 @@
+package jsontree_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jsonlogic/internal/gen"
+	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/jsonval"
+)
+
+// TestWriteToMatchesString is the property test pinning the streaming
+// encoder to the reference serializer: on randomized trees (and a set
+// of nasty hand-built edge cases) WriteTo must produce String()
+// byte-for-byte and report exactly that many bytes written.
+func TestWriteToMatchesString(t *testing.T) {
+	check := func(t *testing.T, tr *jsontree.Tree) {
+		t.Helper()
+		want := tr.String()
+		var sb strings.Builder
+		n, err := tr.WriteTo(&sb)
+		if err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if sb.String() != want {
+			t.Fatalf("WriteTo = %q, String = %q", sb.String(), want)
+		}
+		if n != int64(len(want)) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", n, len(want))
+		}
+	}
+
+	r := rand.New(rand.NewSource(71))
+	for i := 0; i < 500; i++ {
+		o := gen.DefaultDocOptions()
+		o.Depth = 1 + r.Intn(5)
+		o.Fanout = 1 + r.Intn(6)
+		check(t, jsontree.FromValue(gen.Document(r, o)))
+	}
+
+	// Edge cases the generator's tame alphabet never produces:
+	// escapes, control characters, unicode, empty containers, nesting
+	// deeper than the write buffer is wide.
+	nasty := []*jsonval.Value{
+		jsonval.Num(0),
+		jsonval.Num(18446744073709551615),
+		jsonval.Str(""),
+		jsonval.Str("line\nbreak\ttab\rret \"quoted\" back\\slash"),
+		jsonval.Str("control\x01\x1f bytes"),
+		jsonval.Str("ünïcödé ☃ 日本語"),
+		jsonval.Arr(),
+		jsonval.MustObj(),
+		jsonval.MustObj(
+			jsonval.Member{Key: "", Value: jsonval.Str("empty key")},
+			jsonval.Member{Key: "b\"\\\n", Value: jsonval.Arr(jsonval.Num(1), jsonval.Str("x"))},
+			jsonval.Member{Key: "a", Value: jsonval.MustObj()},
+		),
+	}
+	deep := jsonval.Str("leaf")
+	for i := 0; i < 2000; i++ {
+		deep = jsonval.Arr(deep)
+	}
+	nasty = append(nasty, deep)
+	big := make([]*jsonval.Value, 3000)
+	for i := range big {
+		big[i] = jsonval.Num(uint64(i))
+	}
+	nasty = append(nasty, jsonval.Arr(big...))
+	for _, v := range nasty {
+		check(t, jsontree.FromValue(v))
+	}
+}
+
+// failAfter fails every write once off bytes have been accepted.
+type failAfter struct {
+	n    int
+	left int
+}
+
+var errSinkClosed = errors.New("sink closed")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errSinkClosed
+	}
+	if len(p) > f.left {
+		n := f.left
+		f.left = 0
+		f.n += n
+		return n, errSinkClosed
+	}
+	f.left -= len(p)
+	f.n += len(p)
+	return len(p), nil
+}
+
+func TestWriteToPropagatesWriteError(t *testing.T) {
+	big := make([]*jsonval.Value, 5000)
+	for i := range big {
+		big[i] = jsonval.Str("padding-padding-padding")
+	}
+	tr := jsontree.FromValue(jsonval.Arr(big...))
+	sink := &failAfter{left: 6000}
+	n, err := tr.WriteTo(sink)
+	if !errors.Is(err, errSinkClosed) {
+		t.Fatalf("WriteTo error = %v, want sink error", err)
+	}
+	if n != int64(sink.n) {
+		t.Fatalf("WriteTo reported %d bytes, sink accepted %d", n, sink.n)
+	}
+	if n > 6000 {
+		t.Fatalf("WriteTo claims %d bytes past a 6000-byte sink", n)
+	}
+}

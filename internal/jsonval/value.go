@@ -12,6 +12,7 @@ package jsonval
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -484,30 +485,49 @@ func (v *Value) write(sb *strings.Builder, canonical bool, prefix, indent string
 }
 
 func writeQuoted(sb *strings.Builder, s string) {
-	sb.WriteByte('"')
+	WriteQuoted(sb, s)
+}
+
+// QuoteWriter is the sink WriteQuoted renders into. *strings.Builder
+// and *bufio.Writer both satisfy it.
+type QuoteWriter interface {
+	io.Writer
+	WriteString(s string) (int, error)
+	WriteByte(b byte) error
+	WriteRune(r rune) (int, error)
+}
+
+// WriteQuoted writes the JSON string literal for s — the exact bytes
+// Value.String produces for a string value. It is the one quoting
+// implementation shared by the value serializers here and the
+// streaming tree encoder (jsontree.Tree.WriteTo), so the two cannot
+// drift. Write errors are the sink's to report (a strings.Builder
+// never fails; a bufio.Writer holds the error until Flush).
+func WriteQuoted(w QuoteWriter, s string) {
+	w.WriteByte('"')
 	for _, r := range s {
 		switch r {
 		case '"':
-			sb.WriteString(`\"`)
+			w.WriteString(`\"`)
 		case '\\':
-			sb.WriteString(`\\`)
+			w.WriteString(`\\`)
 		case '\n':
-			sb.WriteString(`\n`)
+			w.WriteString(`\n`)
 		case '\r':
-			sb.WriteString(`\r`)
+			w.WriteString(`\r`)
 		case '\t':
-			sb.WriteString(`\t`)
+			w.WriteString(`\t`)
 		case '\b':
-			sb.WriteString(`\b`)
+			w.WriteString(`\b`)
 		case '\f':
-			sb.WriteString(`\f`)
+			w.WriteString(`\f`)
 		default:
 			if r < 0x20 {
-				fmt.Fprintf(sb, `\u%04x`, r)
+				fmt.Fprintf(w, `\u%04x`, r)
 			} else {
-				sb.WriteRune(r)
+				w.WriteRune(r)
 			}
 		}
 	}
-	sb.WriteByte('"')
+	w.WriteByte('"')
 }

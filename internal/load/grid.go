@@ -1,0 +1,118 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Point is one grid cell: the per-run knobs an experiments manifest
+// can set. Zero fields inherit from the manifest defaults, then from
+// the Config passed to RunGrid.
+type Point struct {
+	Workload    string   `json:"workload,omitempty"`
+	Concurrency int      `json:"concurrency,omitempty"`
+	Rate        float64  `json:"rate,omitempty"`
+	Duration    Duration `json:"duration,omitempty"`
+	Preload     int      `json:"preload,omitempty"`
+	Seed        int64    `json:"seed,omitempty"`
+}
+
+// Grid is the experiments manifest: shared defaults plus the list of
+// workload × concurrency points to sweep.
+type Grid struct {
+	Defaults Point   `json:"defaults"`
+	Points   []Point `json:"points"`
+}
+
+// Duration is a time.Duration that unmarshals from JSON strings like
+// "30s", so manifests stay readable.
+type Duration time.Duration
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("load: duration must be a string like \"30s\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// ParseGrid reads an experiments manifest.
+func ParseGrid(r io.Reader) (*Grid, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("load: parse grid manifest: %w", err)
+	}
+	if len(g.Points) == 0 {
+		return nil, fmt.Errorf("load: grid manifest has no points")
+	}
+	return &g, nil
+}
+
+// apply overlays p on cfg: set fields win, unset fields keep cfg's.
+func (p Point) apply(cfg Config) Config {
+	if p.Workload != "" {
+		cfg.Workload = p.Workload
+	}
+	if p.Concurrency > 0 {
+		cfg.Concurrency = p.Concurrency
+	}
+	if p.Rate > 0 {
+		cfg.Rate = p.Rate
+	}
+	if p.Duration > 0 {
+		cfg.Duration = time.Duration(p.Duration)
+	}
+	if p.Preload > 0 {
+		cfg.Preload = p.Preload
+	}
+	if p.Seed != 0 {
+		cfg.Seed = p.Seed
+	}
+	return cfg
+}
+
+// RunGrid sweeps every point sequentially against base.Target and
+// writes one combined CSV table to csvw (header once, data rows per
+// run). logw, when non-nil, receives a progress line and the
+// human-readable report per point. Points run in manifest order so a
+// results table always reads in sweep order; a point's failure aborts
+// the sweep, since later points would measure a target in an unknown
+// state.
+func RunGrid(ctx context.Context, base Config, g *Grid, csvw, logw io.Writer) ([]*Summary, error) {
+	summaries := make([]*Summary, 0, len(g.Points))
+	for i, p := range g.Points {
+		cfg := p.apply(g.Defaults.apply(base))
+		if logw != nil {
+			fmt.Fprintf(logw, "[%d/%d] workload=%s concurrency=%d rate=%g duration=%s\n",
+				i+1, len(g.Points), cfg.Workload, cfg.Concurrency, cfg.Rate, cfg.Duration)
+		}
+		s, err := Run(ctx, cfg)
+		if err != nil {
+			return summaries, fmt.Errorf("load: grid point %d: %w", i+1, err)
+		}
+		if logw != nil {
+			if err := s.WriteText(logw); err != nil {
+				return summaries, err
+			}
+		}
+		if err := s.WriteCSV(csvw, i == 0); err != nil {
+			return summaries, err
+		}
+		summaries = append(summaries, s)
+	}
+	return summaries, nil
+}

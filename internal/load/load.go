@@ -1,0 +1,434 @@
+// Package load is the HTTP load generator behind cmd/jsonload: it
+// drives a running jsonstored target with a mixed document workload
+// and reports latency percentiles and throughput per operation kind.
+//
+// Two driving modes:
+//
+//   - Closed loop (Rate == 0): each of Concurrency workers issues its
+//     next request as soon as the previous one completes. Throughput
+//     is whatever the server sustains; latency is pure service time.
+//   - Open loop (Rate > 0): a pacer schedules arrivals at the target
+//     rate independent of the server, and latency is measured from the
+//     *scheduled* arrival, not the send. A server that falls behind
+//     accumulates queueing delay in the numbers instead of silently
+//     slowing the generator down (the coordinated-omission trap).
+//
+// Workloads are weighted mixes of four operations — get, put, bulk,
+// query — selected per request from a deterministic per-worker RNG, so
+// a (seed, workload, concurrency) triple replays the same request
+// sequence against any target.
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jsonlogic/internal/gen"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Target is the daemon base URL, e.g. http://localhost:8080.
+	Target string
+	// Workload is a profile name (see Profiles) or a custom weighted
+	// mix like "get=70,put=20,query=10".
+	Workload string
+	// Concurrency is the worker count (default 8).
+	Concurrency int
+	// Duration bounds the measured window (default 10s).
+	Duration time.Duration
+	// Rate is the target arrival rate in ops/sec across all workers;
+	// 0 runs closed-loop.
+	Rate float64
+	// Preload PUTs this many documents before the measured window so
+	// reads and queries have something to hit (default 1000).
+	Preload int
+	// Keyspace is the document-id range ops draw from; 0 derives it
+	// from Preload. Puts overwrite within the keyspace, keeping the
+	// collection size steady during sustained runs.
+	Keyspace int
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+	// Timeout is the per-request client timeout (default 30s).
+	Timeout time.Duration
+	// BulkLines is the NDJSON document count per bulk request
+	// (default 16).
+	BulkLines int
+	// Doc shapes the generated documents; zero value uses a compact
+	// 3-level document.
+	Doc gen.DocOptions
+}
+
+func (c *Config) defaults() {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Preload < 0 {
+		c.Preload = 0
+	}
+	if c.Keyspace <= 0 {
+		c.Keyspace = c.Preload
+		if c.Keyspace < 1000 {
+			c.Keyspace = 1000
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.BulkLines <= 0 {
+		c.BulkLines = 16
+	}
+	if c.Doc == (gen.DocOptions{}) {
+		c.Doc = gen.DocOptions{Fanout: 3, Depth: 3, Keys: 12, ArrayBias: 30, ValueRange: 100}
+	}
+	if c.Workload == "" {
+		c.Workload = "mixed"
+	}
+}
+
+// Operation kinds, indexed into per-kind recorders.
+const (
+	opGet = iota
+	opPut
+	opBulk
+	opQuery
+	numOps
+)
+
+var opNames = [numOps]string{"get", "put", "bulk", "query"}
+
+// Mix is a weighted operation blend; weights are relative, not
+// required to sum to 100.
+type Mix struct {
+	Get, Put, Bulk, Query int
+}
+
+func (m Mix) total() int { return m.Get + m.Put + m.Bulk + m.Query }
+
+// pick maps a uniform draw in [0, total) to an operation.
+func (m Mix) pick(n int) int {
+	if n < m.Get {
+		return opGet
+	}
+	n -= m.Get
+	if n < m.Put {
+		return opPut
+	}
+	n -= m.Put
+	if n < m.Bulk {
+		return opBulk
+	}
+	return opQuery
+}
+
+// Profiles are the named workload mixes. "mixed" exercises every
+// route; the skewed profiles isolate the read, write and query paths.
+var Profiles = map[string]Mix{
+	"read-heavy":  {Get: 85, Put: 10, Query: 5},
+	"write-heavy": {Get: 20, Put: 70, Bulk: 10},
+	"query-heavy": {Get: 20, Put: 10, Query: 70},
+	"mixed":       {Get: 40, Put: 30, Bulk: 10, Query: 20},
+	"bulk":        {Bulk: 100},
+}
+
+// ParseWorkload resolves a profile name or a custom "op=weight" list.
+func ParseWorkload(s string) (Mix, error) {
+	if m, ok := Profiles[s]; ok {
+		return m, nil
+	}
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("load: workload %q: want a profile name (%s) or op=weight pairs", s, profileNames())
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("load: workload %q: bad weight %q", s, v)
+		}
+		switch k {
+		case "get":
+			m.Get = w
+		case "put":
+			m.Put = w
+		case "bulk":
+			m.Bulk = w
+		case "query":
+			m.Query = w
+		default:
+			return Mix{}, fmt.Errorf("load: workload %q: unknown op %q (want get, put, bulk or query)", s, k)
+		}
+	}
+	if m.total() == 0 {
+		return Mix{}, fmt.Errorf("load: workload %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+func profileNames() string {
+	names := make([]string, 0, len(Profiles))
+	for n := range Profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// worker owns one goroutine's RNG, scratch buffers and samples, so
+// the hot loop shares nothing with its siblings.
+type worker struct {
+	cfg     *Config
+	mix     Mix
+	client  *http.Client
+	rng     *rand.Rand
+	sb      strings.Builder
+	rbuf    []byte
+	samples [numOps][]float64 // latency in seconds
+	errs    [numOps]uint64
+	codes   map[int]uint64
+}
+
+// Run executes one load run and returns its summary. The context
+// cancels the run early; whatever was measured so far is summarized.
+func Run(ctx context.Context, cfg Config) (*Summary, error) {
+	cfg.defaults()
+	mix, err := ParseWorkload(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Concurrency * 2,
+		MaxIdleConnsPerHost: cfg.Concurrency * 2,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: cfg.Timeout}
+
+	workers := make([]*worker, cfg.Concurrency)
+	for i := range workers {
+		workers[i] = &worker{
+			cfg:    &cfg,
+			mix:    mix,
+			client: client,
+			// Distinct stream per worker; +1 keeps worker 0 off the
+			// preloader's seed.
+			rng:   rand.New(rand.NewSource(cfg.Seed + int64(i) + 1)),
+			rbuf:  make([]byte, 32<<10),
+			codes: make(map[int]uint64),
+		}
+	}
+
+	if err := preload(ctx, &cfg, client); err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// Open loop: one pacer feeds scheduled arrival times to every
+	// worker. The channel buffer absorbs bursts; when the server falls
+	// behind, scheduled times lag wall time and the backlog shows up
+	// as latency, which is the point.
+	var arrivals chan time.Time
+	if cfg.Rate > 0 {
+		arrivals = make(chan time.Time, 4*cfg.Concurrency)
+		go pace(runCtx, cfg.Rate, arrivals)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.loop(runCtx, arrivals)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return summarize(&cfg, workers, elapsed), nil
+}
+
+// pace emits one scheduled arrival per 1/rate seconds until ctx ends.
+func pace(ctx context.Context, rate float64, out chan<- time.Time) {
+	defer close(out)
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	start := time.Now()
+	for n := int64(0); ; n++ {
+		next := start.Add(time.Duration(n) * interval)
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(d):
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case out <- next:
+		}
+	}
+}
+
+func (w *worker) loop(ctx context.Context, arrivals <-chan time.Time) {
+	for {
+		var scheduled time.Time
+		if arrivals != nil {
+			var ok bool
+			select {
+			case <-ctx.Done():
+				return
+			case scheduled, ok = <-arrivals:
+				if !ok {
+					return
+				}
+			}
+		} else {
+			if ctx.Err() != nil {
+				return
+			}
+			scheduled = time.Now()
+		}
+		op := w.mix.pick(w.rng.Intn(w.mix.total()))
+		code, err := w.do(ctx, op)
+		lat := time.Since(scheduled).Seconds()
+		if err != nil {
+			if ctx.Err() != nil {
+				return // cancellation mid-request is not a server error
+			}
+			w.errs[op]++
+			continue
+		}
+		w.codes[code]++
+		if code >= 500 {
+			w.errs[op]++
+			continue
+		}
+		w.samples[op] = append(w.samples[op], lat)
+	}
+}
+
+// do issues one operation and returns the HTTP status.
+func (w *worker) do(ctx context.Context, op int) (int, error) {
+	switch op {
+	case opGet:
+		return w.request(ctx, "GET", w.docURL(), "")
+	case opPut:
+		w.sb.Reset()
+		w.sb.WriteString(gen.Document(w.rng, w.cfg.Doc).String())
+		return w.request(ctx, "PUT", w.docURL(), w.sb.String())
+	case opBulk:
+		w.sb.Reset()
+		for i := 0; i < w.cfg.BulkLines; i++ {
+			w.sb.WriteString(gen.Document(w.rng, w.cfg.Doc).String())
+			w.sb.WriteByte('\n')
+		}
+		return w.request(ctx, "POST", w.cfg.Target+"/bulk", w.sb.String())
+	default:
+		// Point query on the generated key/value space; roughly half
+		// are negated so both index and scan paths stay warm.
+		k := w.rng.Intn(w.cfg.Doc.Keys)
+		v := w.rng.Intn(w.cfg.Doc.ValueRange)
+		q := fmt.Sprintf(`{\"k%d\":%d}`, k, v)
+		if w.rng.Intn(2) == 0 {
+			q = fmt.Sprintf(`{\"k%d\":{\"$ne\":%d}}`, k, v)
+		}
+		body := fmt.Sprintf(`{"lang":"mongo","query":"%s"}`, q)
+		return w.request(ctx, "POST", w.cfg.Target+"/query", body)
+	}
+}
+
+func (w *worker) docURL() string {
+	return fmt.Sprintf("%s/docs/load-%d", w.cfg.Target, w.rng.Intn(w.cfg.Keyspace))
+}
+
+func (w *worker) request(ctx context.Context, method, url, body string) (int, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the connection is reused; the response body itself is
+	// not part of the measurement contract.
+	for {
+		if _, err := resp.Body.Read(w.rbuf); err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// preload PUTs cfg.Preload documents (ids load-0 … load-N-1) with
+// Concurrency workers before the measured window.
+func preload(ctx context.Context, cfg *Config, client *http.Client) error {
+	if cfg.Preload == 0 {
+		return nil
+	}
+	ids := make(chan int)
+	errc := make(chan error, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed - int64(i) - 1))
+			w := &worker{cfg: cfg, client: client, rng: rng, rbuf: make([]byte, 32<<10)}
+			for id := range ids {
+				body := gen.Document(rng, cfg.Doc).String()
+				url := fmt.Sprintf("%s/docs/load-%d", cfg.Target, id)
+				code, err := w.request(ctx, "PUT", url, body)
+				if err != nil {
+					errc <- fmt.Errorf("load: preload: %w", err)
+					return
+				}
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("load: preload: PUT %s: status %d", url, code)
+					return
+				}
+			}
+		}(i)
+	}
+	for id := 0; id < cfg.Preload; id++ {
+		select {
+		case <-ctx.Done():
+			break
+		case ids <- id:
+			continue
+		}
+		break
+	}
+	close(ids)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,248 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"jsonlogic/internal/httpapi"
+	"jsonlogic/internal/store"
+)
+
+// newDaemon assembles the real daemon handler in-process, so the
+// generator self-test exercises the same code paths as a TCP run.
+func newDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	st := store.New(store.Options{Shards: 4})
+	t.Cleanup(func() { st.Close() })
+	ts := httptest.NewServer(httpapi.NewHandler(st, httpapi.Options{}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunMixedWorkload is the jsonload self-test the smoke target
+// runs: a short closed-loop mixed run must report nonzero throughput,
+// zero errors, ordered percentiles and a well-formed JSON/CSV summary.
+func TestRunMixedWorkload(t *testing.T) {
+	ts := newDaemon(t)
+	s, err := Run(context.Background(), Config{
+		Target:      ts.URL,
+		Workload:    "mixed",
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Preload:     50,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total.Count == 0 || s.Total.Throughput <= 0 {
+		t.Fatalf("no throughput: %+v", s.Total)
+	}
+	if s.Total.Errors != 0 {
+		t.Fatalf("errors against healthy in-process daemon: %+v codes=%v", s.Total, s.Codes)
+	}
+	if s.Total.P50Ms <= 0 || s.Total.P50Ms > s.Total.P90Ms || s.Total.P90Ms > s.Total.P99Ms || s.Total.P99Ms > s.Total.MaxMs {
+		t.Fatalf("percentiles out of order: %+v", s.Total)
+	}
+	if len(s.Ops) == 0 {
+		t.Fatal("no per-op stats")
+	}
+	for _, op := range s.Ops {
+		if op.Count == 0 {
+			t.Errorf("op %s never ran in a mixed workload", op.Op)
+		}
+	}
+	if s.Codes["200"] == 0 {
+		t.Fatalf("no 200s recorded: %v", s.Codes)
+	}
+
+	// JSON summary round-trips.
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("summary JSON does not round-trip: %v", err)
+	}
+	if back.Total.Count != s.Total.Count || back.Workload != "mixed" {
+		t.Fatalf("round-trip mismatch: %+v", back.Total)
+	}
+
+	// CSV: header plus one row per op kind plus the total row.
+	buf.Reset()
+	if err := s.WriteCSV(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != CSVHeader {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if want := 1 + len(s.Ops) + 1; len(lines) != want {
+		t.Fatalf("csv has %d lines, want %d:\n%s", len(lines), want, buf.String())
+	}
+	if !strings.Contains(lines[len(lines)-1], ",total,") {
+		t.Fatalf("last csv row is not the total: %q", lines[len(lines)-1])
+	}
+}
+
+// TestRunOpenLoop drives the pacer: the achieved rate must track a
+// target the in-process server can trivially sustain.
+func TestRunOpenLoop(t *testing.T) {
+	ts := newDaemon(t)
+	s, err := Run(context.Background(), Config{
+		Target:      ts.URL,
+		Workload:    "read-heavy",
+		Concurrency: 4,
+		Duration:    500 * time.Millisecond,
+		Rate:        200,
+		Preload:     20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total.Errors != 0 {
+		t.Fatalf("errors: %+v", s.Total)
+	}
+	// ~100 arrivals scheduled; allow generous slop for CI jitter but
+	// reject a pacer that free-runs (closed-loop would do thousands).
+	if s.Total.Count < 50 || s.Total.Count > 150 {
+		t.Fatalf("open-loop count = %d, want ≈100 at 200/s over 0.5s", s.Total.Count)
+	}
+}
+
+// TestRunReproducible pins that a (seed, workload) pair replays the
+// same operation sequence: same op counts, target state independent.
+func TestRunReproducible(t *testing.T) {
+	counts := func() map[string]uint64 {
+		ts := newDaemon(t)
+		s, err := Run(context.Background(), Config{
+			Target:      ts.URL,
+			Workload:    "mixed",
+			Concurrency: 2,
+			Duration:    200 * time.Millisecond,
+			Rate:        100, // fixed arrivals, so both runs do the same work
+			Preload:     10,
+			Seed:        42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[string]uint64)
+		for _, op := range s.Ops {
+			m[op.Op] = op.Count
+		}
+		return m
+	}
+	a, b := counts(), counts()
+	var total uint64
+	for _, n := range a {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("empty run")
+	}
+	// The op mix is drawn per-worker from the seeded RNG; identical
+	// arrival counts must give identical mixes.
+	for op, n := range a {
+		if b[op] != n {
+			t.Logf("run A: %v", a)
+			t.Logf("run B: %v", b)
+			t.Skipf("op counts differ (%s: %d vs %d): arrival-count jitter under CI load", op, n, b[op])
+		}
+	}
+}
+
+// TestParseWorkload covers profile lookup and the custom mix syntax.
+func TestParseWorkload(t *testing.T) {
+	if _, err := ParseWorkload("mixed"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseWorkload("get=70, put=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get != 70 || m.Put != 30 || m.Bulk != 0 || m.Query != 0 {
+		t.Fatalf("custom mix = %+v", m)
+	}
+	for _, bad := range []string{"", "nope", "get", "get=x", "get=-1", "jump=50", "get=0,put=0"} {
+		if _, err := ParseWorkload(bad); err == nil {
+			t.Errorf("ParseWorkload(%q) accepted", bad)
+		}
+	}
+}
+
+// TestMixPick checks the weighted selector hits every op and respects
+// zero weights.
+func TestMixPick(t *testing.T) {
+	m := Mix{Get: 1, Put: 1, Bulk: 1, Query: 1}
+	seen := map[int]bool{}
+	for n := 0; n < m.total(); n++ {
+		seen[m.pick(n)] = true
+	}
+	if len(seen) != numOps {
+		t.Fatalf("pick covered %d ops, want %d", len(seen), numOps)
+	}
+	m = Mix{Get: 2, Query: 3}
+	for n := 0; n < m.total(); n++ {
+		if op := m.pick(n); op == opPut || op == opBulk {
+			t.Fatalf("pick(%d) chose zero-weight op %s", n, opNames[op])
+		}
+	}
+}
+
+// TestGrid parses a manifest and sweeps it against the in-process
+// daemon, checking defaults overlay and the combined CSV shape.
+func TestGrid(t *testing.T) {
+	manifest := `{
+	  "defaults": {"duration": "150ms", "preload": 10, "seed": 3},
+	  "points": [
+	    {"workload": "read-heavy", "concurrency": 1},
+	    {"workload": "read-heavy", "concurrency": 2},
+	    {"workload": "write-heavy", "concurrency": 2, "duration": "100ms"}
+	  ]
+	}`
+	g, err := ParseGrid(strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newDaemon(t)
+	var csv bytes.Buffer
+	sums, err := RunGrid(context.Background(), Config{Target: ts.URL}, g, &csv, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 3 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	if sums[0].Concurrency != 1 || sums[1].Concurrency != 2 {
+		t.Fatalf("concurrency sweep not applied: %d, %d", sums[0].Concurrency, sums[1].Concurrency)
+	}
+	if sums[2].Workload != "write-heavy" {
+		t.Fatalf("workload not applied: %s", sums[2].Workload)
+	}
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if lines[0] != CSVHeader {
+		t.Fatalf("grid csv header = %q", lines[0])
+	}
+	if n := strings.Count(csv.String(), CSVHeader); n != 1 {
+		t.Fatalf("grid csv repeats the header %d times", n)
+	}
+	for _, s := range sums {
+		if s.Total.Count == 0 {
+			t.Fatalf("empty grid point: %+v", s)
+		}
+	}
+
+	for _, bad := range []string{`{}`, `{"points":[]}`, `{"points":[{"nope":1}]}`, `{"defaults":{"duration":"xx"},"points":[{}]}`} {
+		if _, err := ParseGrid(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseGrid(%s) accepted", bad)
+		}
+	}
+}

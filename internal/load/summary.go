@@ -1,0 +1,161 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// OpStats summarizes one operation kind (or the run total). Latencies
+// are milliseconds; percentiles are exact over every recorded sample,
+// not histogram-bucket approximations.
+type OpStats struct {
+	Op         string  `json:"op"`
+	Count      uint64  `json:"count"`
+	Errors     uint64  `json:"errors"`
+	Throughput float64 `json:"throughput_ops_s"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+// Summary is the result of one load run.
+type Summary struct {
+	Target      string            `json:"target"`
+	Workload    string            `json:"workload"`
+	Concurrency int               `json:"concurrency"`
+	RateTarget  float64           `json:"rate_target_ops_s,omitempty"`
+	Seed        int64             `json:"seed"`
+	DurationS   float64           `json:"duration_s"`
+	Total       OpStats           `json:"total"`
+	Ops         []OpStats         `json:"ops"`
+	Codes       map[string]uint64 `json:"status_codes"`
+}
+
+func summarize(cfg *Config, workers []*worker, elapsed time.Duration) *Summary {
+	s := &Summary{
+		Target:      cfg.Target,
+		Workload:    cfg.Workload,
+		Concurrency: cfg.Concurrency,
+		RateTarget:  cfg.Rate,
+		Seed:        cfg.Seed,
+		DurationS:   elapsed.Seconds(),
+		Codes:       make(map[string]uint64),
+	}
+	var all []float64
+	var allErrs uint64
+	for op := 0; op < numOps; op++ {
+		var samples []float64
+		var errs uint64
+		for _, w := range workers {
+			samples = append(samples, w.samples[op]...)
+			errs += w.errs[op]
+		}
+		if len(samples) == 0 && errs == 0 {
+			continue
+		}
+		s.Ops = append(s.Ops, opStats(opNames[op], samples, errs, elapsed))
+		all = append(all, samples...)
+		allErrs += errs
+	}
+	for _, w := range workers {
+		for code, n := range w.codes {
+			s.Codes[fmt.Sprint(code)] += n
+		}
+	}
+	s.Total = opStats("total", all, allErrs, elapsed)
+	return s
+}
+
+func opStats(name string, samples []float64, errs uint64, elapsed time.Duration) OpStats {
+	st := OpStats{Op: name, Count: uint64(len(samples)), Errors: errs}
+	if elapsed > 0 {
+		st.Throughput = float64(len(samples)) / elapsed.Seconds()
+	}
+	if len(samples) == 0 {
+		return st
+	}
+	sort.Float64s(samples)
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	ms := 1e3
+	st.MeanMs = sum / float64(len(samples)) * ms
+	st.P50Ms = percentile(samples, 0.50) * ms
+	st.P90Ms = percentile(samples, 0.90) * ms
+	st.P99Ms = percentile(samples, 0.99) * ms
+	st.MaxMs = samples[len(samples)-1] * ms
+	return st
+}
+
+// percentile over sorted samples: the nearest-rank definition, so
+// p100 is the max and p50 of two samples is the lower one.
+func percentile(sorted []float64, q float64) float64 {
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// CSVHeader is the column set WriteCSV emits, one row per operation
+// kind plus a "total" row; grid runs concatenate these tables.
+const CSVHeader = "workload,concurrency,rate_target,duration_s,op,count,errors,throughput_ops_s,mean_ms,p50_ms,p90_ms,p99_ms,max_ms"
+
+// WriteCSV writes the summary as a CSV table. With header false only
+// data rows are written, so successive runs can append to one file.
+func (s *Summary) WriteCSV(w io.Writer, header bool) error {
+	if header {
+		if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+			return err
+		}
+	}
+	rows := append([]OpStats{}, s.Ops...)
+	rows = append(rows, s.Total)
+	for _, r := range rows {
+		_, err := fmt.Fprintf(w, "%s,%d,%g,%.3f,%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			s.Workload, s.Concurrency, s.RateTarget, s.DurationS,
+			r.Op, r.Count, r.Errors, r.Throughput, r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText writes the human-readable run report.
+func (s *Summary) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "target %s  workload %s  concurrency %d", s.Target, s.Workload, s.Concurrency); err != nil {
+		return err
+	}
+	if s.RateTarget > 0 {
+		fmt.Fprintf(w, "  rate %g/s", s.RateTarget)
+	}
+	fmt.Fprintf(w, "  duration %.1fs\n", s.DurationS)
+	fmt.Fprintf(w, "%-7s %10s %7s %12s %10s %10s %10s %10s %10s\n",
+		"op", "count", "errors", "ops/s", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms")
+	rows := append([]OpStats{}, s.Ops...)
+	rows = append(rows, s.Total)
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-7s %10d %7d %12.1f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			r.Op, r.Count, r.Errors, r.Throughput, r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

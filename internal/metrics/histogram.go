@@ -1,0 +1,131 @@
+// Package metrics provides the daemon's observability primitives: a
+// lock-free power-of-two histogram shared with the store's query
+// accounting, a Prometheus text-exposition writer (version 0.0.4 of
+// the format, the one every scraper speaks), and an HTTP middleware
+// recording per-endpoint request counts and latency distributions.
+//
+// The histogram began life inside internal/store as the
+// candidates-per-query counter; it lives here now so the store, the
+// HTTP layer and any future subsystem share one implementation and
+// one exposition path. Buckets are powers of two: crude, but
+// branch-free to update, zero-value ready (no constructor, safe to
+// embed), and exactly what a load-test harness needs to tell a 100µs
+// p50 from a 10ms p99.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// NumBuckets is the bucket count of every Histogram: bucket 0 holds
+// exact zeros, bucket i ≥ 1 holds [2^(i-1), 2^i); the last bucket
+// absorbs everything ≥ 2^(NumBuckets-2). 28 buckets reach ~67M — for
+// microsecond latencies that is a minute, for candidate counts 67M
+// documents — before the overflow bucket engages.
+const NumBuckets = 28
+
+// Histogram counts observations in power-of-two buckets. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one observation of value n (negative values count
+// as zero).
+func (h *Histogram) Observe(n int) {
+	if n < 0 {
+		n = 0
+	}
+	h.buckets[bucketIndex(n)].Add(1)
+	h.sum.Add(uint64(n))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var c uint64
+	for i := range h.buckets {
+		c += h.buckets[i].Load()
+	}
+	return c
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := 1
+	for n > 1 && b < NumBuckets-1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (the
+// largest value the bucket admits), or -1 for the overflow bucket.
+// Bucket 0 admits only 0; bucket i ≥ 1 admits [2^(i-1), 2^i), so its
+// bound is 2^i - 1.
+func BucketBound(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumBuckets-1:
+		return -1
+	default:
+		return int64(1)<<i - 1
+	}
+}
+
+// Bucket is one non-empty bucket of a histogram snapshot, labelled
+// with its value range — the store's /stats JSON shape.
+type Bucket struct {
+	Range string `json:"range"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot renders the non-empty buckets in ascending range order.
+func (h *Histogram) Snapshot() []Bucket {
+	var out []Bucket
+	for i := 0; i < NumBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		out = append(out, Bucket{Range: bucketLabel(i), Count: c})
+	}
+	return out
+}
+
+// Cumulative returns the cumulative count of observations in buckets
+// 0..i — the "≤ BucketBound(i)" count Prometheus histogram samples
+// are built from. Concurrent Observe calls may land between bucket
+// loads; each bucket's count is itself consistent, so cumulative
+// counts remain monotone in i for any one call.
+func (h *Histogram) Cumulative() [NumBuckets]uint64 {
+	var cum [NumBuckets]uint64
+	var running uint64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		cum[i] = running
+	}
+	return cum
+}
+
+func bucketLabel(i int) string {
+	switch {
+	case i == 0:
+		return "0"
+	case i == 1:
+		return "1"
+	case i == NumBuckets-1:
+		return fmt.Sprintf("%d+", 1<<(NumBuckets-2))
+	default:
+		return fmt.Sprintf("%d-%d", 1<<(i-1), 1<<i-1)
+	}
+}

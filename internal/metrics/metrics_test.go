@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexAndBounds(t *testing.T) {
+	cases := []struct {
+		n, bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 20, 21}, {1<<26 - 1, 26}, {1 << 26, NumBuckets - 1}, {1 << 30, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.n); got != c.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.n, got, c.bucket)
+		}
+	}
+	// Every bucket's bound admits exactly the values the index maps to
+	// it: bucketIndex(bound) == i and bucketIndex(bound+1) == i+1.
+	for i := 0; i < NumBuckets-1; i++ {
+		bound := BucketBound(i)
+		if got := bucketIndex(int(bound)); got != i {
+			t.Errorf("bucketIndex(BucketBound(%d)=%d) = %d", i, bound, got)
+		}
+		if got := bucketIndex(int(bound) + 1); got != i+1 {
+			t.Errorf("bucketIndex(BucketBound(%d)+1) = %d, want %d", i, got, i+1)
+		}
+	}
+	if BucketBound(NumBuckets-1) != -1 {
+		t.Errorf("overflow bucket must have no bound")
+	}
+}
+
+func TestHistogramCumulativeAndSum(t *testing.T) {
+	var h Histogram
+	values := []int{0, 1, 1, 3, 100, 5000, 1 << 27}
+	sum := 0
+	for _, v := range values {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(values)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(values))
+	}
+	if h.Sum() != uint64(sum) {
+		t.Fatalf("sum = %d, want %d", h.Sum(), sum)
+	}
+	cum := h.Cumulative()
+	prev := uint64(0)
+	for i, c := range cum {
+		if c < prev {
+			t.Fatalf("cumulative counts not monotone at bucket %d: %d < %d", i, c, prev)
+		}
+		prev = c
+	}
+	if cum[NumBuckets-1] != uint64(len(values)) {
+		t.Fatalf("final cumulative = %d, want %d", cum[NumBuckets-1], len(values))
+	}
+	// Model check against a brute-force count.
+	for i := 0; i < NumBuckets-1; i++ {
+		want := uint64(0)
+		for _, v := range values {
+			if int64(v) <= BucketBound(i) {
+				want++
+			}
+		}
+		if cum[i] != want {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, cum[i], want)
+		}
+	}
+}
+
+func TestHistogramSnapshotLabels(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(1 << 30)
+	snap := h.Snapshot()
+	want := []Bucket{
+		{Range: "0", Count: 1},
+		{Range: "1", Count: 1},
+		{Range: "2-3", Count: 2},
+		{Range: fmt.Sprintf("%d+", 1<<(NumBuckets-2)), Count: 1},
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %v, want %v", i, snap[i], want[i])
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.Observe(r.Intn(1 << 22))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	var e Exposition
+	e.Counter("x_total", "a counter", 3)
+	e.Counter("x_total", "a counter", 4, Label{Name: "op", Value: "put"})
+	e.Gauge("g", `a "gauge" with
+newline help`, 1.5, Label{Name: "v", Value: "a\\b\"c\nd"})
+	var h Histogram
+	h.Observe(0)
+	h.Observe(2)
+	h.Observe(10)
+	e.Histogram("lat_seconds", "latency", &h, 1e6, Label{Name: "endpoint", Value: "get"})
+	out := e.String()
+
+	for _, want := range []string{
+		"# HELP x_total a counter\n# TYPE x_total counter\nx_total 3\n" + `x_total{op="put"} 4` + "\n",
+		`# HELP g a "gauge" with\nnewline help` + "\n# TYPE g gauge\n" + `g{v="a\\b\"c\nd"} 1.5` + "\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{endpoint="get",le="0"} 1` + "\n",
+		`lat_seconds_bucket{endpoint="get",le="3e-06"} 2` + "\n",
+		`lat_seconds_bucket{endpoint="get",le="1.5e-05"} 3` + "\n",
+		`lat_seconds_bucket{endpoint="get",le="+Inf"} 3` + "\n",
+		`lat_seconds_sum{endpoint="get"} 1.2e-05` + "\n",
+		`lat_seconds_count{endpoint="get"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One header per family, even with several samples.
+	if strings.Count(out, "# TYPE x_total counter") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+}
+
+// TestMiddlewareLatencyHistogram pins the middleware unit contract:
+// every request lands exactly one latency observation and one status
+// count on its own endpoint, with the measured duration at least the
+// handler's sleep.
+func TestMiddlewareLatencyHistogram(t *testing.T) {
+	var m HTTPMetrics
+	slow := m.Instrument("slow", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(5 * time.Millisecond)
+		w.WriteHeader(http.StatusTeapot)
+	})
+	fast := m.Instrument("fast", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok") // implicit 200 via Write
+	})
+	none := m.Instrument("none", func(w http.ResponseWriter, r *http.Request) {
+		// Neither Write nor WriteHeader: net/http sends 200.
+	})
+
+	for i := 0; i < 3; i++ {
+		slow(httptest.NewRecorder(), httptest.NewRequest("GET", "/slow", nil))
+	}
+	fast(httptest.NewRecorder(), httptest.NewRequest("GET", "/fast", nil))
+	none(httptest.NewRecorder(), httptest.NewRequest("GET", "/none", nil))
+
+	lat := m.Latency("slow")
+	if lat == nil || lat.Count() != 3 {
+		t.Fatalf("slow latency count = %v", lat)
+	}
+	// 3 requests × ≥5ms each: the sum is at least 15000µs.
+	if lat.Sum() < 15000 {
+		t.Fatalf("slow latency sum = %dµs, want ≥ 15000", lat.Sum())
+	}
+	if got := m.Latency("fast").Count(); got != 1 {
+		t.Fatalf("fast latency count = %d", got)
+	}
+	if m.Latency("nope") != nil {
+		t.Fatal("unknown endpoint must return nil")
+	}
+
+	var e Exposition
+	m.Expose(&e, "test_")
+	out := e.String()
+	for _, want := range []string{
+		`test_http_requests_total{endpoint="slow",code="418"} 3`,
+		`test_http_requests_total{endpoint="fast",code="200"} 1`,
+		`test_http_requests_total{endpoint="none",code="200"} 1`,
+		`test_http_request_duration_seconds_count{endpoint="slow"} 3`,
+		`test_http_request_duration_seconds_bucket{endpoint="fast",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HTTPMetrics records per-endpoint request counts (by status code)
+// and latency distributions. Endpoints are registered by Instrument
+// at mux-construction time; recording afterwards is lock-free on the
+// latency path (the power-of-two Histogram) and takes one short
+// mutex on the status-code map.
+type HTTPMetrics struct {
+	mu        sync.Mutex
+	endpoints []*endpointMetrics
+}
+
+type endpointMetrics struct {
+	name    string
+	latency Histogram // request duration in microseconds
+
+	mu    sync.Mutex
+	codes map[int]uint64
+}
+
+// Instrument registers endpoint and wraps h to record its status code
+// and wall-clock latency. The endpoint name labels the samples in
+// Expose; use one stable name per route ("put_doc", not the path with
+// its IDs), or cardinality eats the scrape.
+func (m *HTTPMetrics) Instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	ep := &endpointMetrics{name: endpoint, codes: make(map[int]uint64)}
+	m.mu.Lock()
+	m.endpoints = append(m.endpoints, ep)
+	m.mu.Unlock()
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		ep.latency.Observe(int(time.Since(start).Microseconds()))
+		code := sw.code
+		if code == 0 {
+			// Nothing written: net/http sends 200 on return.
+			code = http.StatusOK
+		}
+		ep.mu.Lock()
+		ep.codes[code]++
+		ep.mu.Unlock()
+	}
+}
+
+// Expose appends the HTTP families to e: <prefix>http_requests_total
+// {endpoint,code} and <prefix>http_request_duration_seconds{endpoint}
+// histograms (microsecond observations scaled to seconds).
+func (m *HTTPMetrics) Expose(e *Exposition, prefix string) {
+	m.mu.Lock()
+	endpoints := append([]*endpointMetrics(nil), m.endpoints...)
+	m.mu.Unlock()
+	for _, ep := range endpoints {
+		ep.mu.Lock()
+		codes := make([]int, 0, len(ep.codes))
+		for c := range ep.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		counts := make([]uint64, len(codes))
+		for i, c := range codes {
+			counts[i] = ep.codes[c]
+		}
+		ep.mu.Unlock()
+		for i, c := range codes {
+			e.Counter(prefix+"http_requests_total", "HTTP requests served, by endpoint and status code.",
+				counts[i],
+				Label{Name: "endpoint", Value: ep.name},
+				Label{Name: "code", Value: strconv.Itoa(c)})
+		}
+	}
+	for _, ep := range endpoints {
+		e.Histogram(prefix+"http_request_duration_seconds", "HTTP request latency, by endpoint.",
+			&ep.latency, 1e6, Label{Name: "endpoint", Value: ep.name})
+	}
+}
+
+// Latency returns the live latency histogram of the named endpoint,
+// or nil — the hook the middleware unit tests and /stats-style JSON
+// reporting read through.
+func (m *HTTPMetrics) Latency(endpoint string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ep := range m.endpoints {
+		if ep.name == endpoint {
+			return &ep.latency
+		}
+	}
+	return nil
+}
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}

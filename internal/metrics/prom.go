@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the text exposition format,
+// version 0.0.4 — the format every Prometheus-compatible scraper
+// accepts.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair attached to a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Exposition accumulates one scrape's worth of metric families in
+// Prometheus text exposition format. Samples of one family must be
+// added contiguously (the format requires it); the # HELP / # TYPE
+// header is emitted once, on the family's first sample. The zero
+// value is ready to use. An Exposition is built and discarded per
+// scrape and is not safe for concurrent use.
+type Exposition struct {
+	buf    bytes.Buffer
+	headed map[string]bool
+}
+
+// Counter adds one sample of a counter family.
+func (e *Exposition) Counter(name, help string, v uint64, labels ...Label) {
+	e.head(name, help, "counter")
+	e.sample(name, "", labels, strconv.FormatUint(v, 10))
+}
+
+// Gauge adds one sample of a gauge family.
+func (e *Exposition) Gauge(name, help string, v float64, labels ...Label) {
+	e.head(name, help, "gauge")
+	e.sample(name, "", labels, formatFloat(v))
+}
+
+// Histogram adds one sample set (buckets, sum, count) of a histogram
+// family from h. Observed values are divided by unit on the way out:
+// a histogram observing microseconds exposes seconds with unit = 1e6,
+// a pure-count histogram (candidates per query) uses unit = 1.
+// Division (not multiplication by 1/unit) keeps the le bounds
+// correctly rounded, so 16383µs exposes as 0.016383, not
+// 0.016382999999999998.
+func (e *Exposition) Histogram(name, help string, h *Histogram, unit float64, labels ...Label) {
+	e.head(name, help, "histogram")
+	cum := h.Cumulative()
+	le := append(append([]Label(nil), labels...), Label{})
+	for i := 0; i < NumBuckets-1; i++ {
+		le[len(le)-1] = Label{Name: "le", Value: formatFloat(float64(BucketBound(i)) / unit)}
+		e.sample(name, "_bucket", le, strconv.FormatUint(cum[i], 10))
+	}
+	count := cum[NumBuckets-1]
+	le[len(le)-1] = Label{Name: "le", Value: "+Inf"}
+	e.sample(name, "_bucket", le, strconv.FormatUint(count, 10))
+	e.sample(name, "_sum", labels, formatFloat(float64(h.Sum())/unit))
+	e.sample(name, "_count", labels, strconv.FormatUint(count, 10))
+}
+
+// WriteTo writes the accumulated exposition.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(e.buf.Bytes())
+	return int64(n), err
+}
+
+// String returns the accumulated exposition, for tests.
+func (e *Exposition) String() string { return e.buf.String() }
+
+func (e *Exposition) head(name, help, typ string) {
+	if e.headed[name] {
+		return
+	}
+	if e.headed == nil {
+		e.headed = make(map[string]bool)
+	}
+	e.headed[name] = true
+	fmt.Fprintf(&e.buf, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&e.buf, "# TYPE %s %s\n", name, typ)
+}
+
+func (e *Exposition) sample(name, suffix string, labels []Label, value string) {
+	e.buf.WriteString(name)
+	e.buf.WriteString(suffix)
+	if len(labels) > 0 {
+		e.buf.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				e.buf.WriteByte(',')
+			}
+			e.buf.WriteString(l.Name)
+			e.buf.WriteString(`="`)
+			e.buf.WriteString(escapeLabel(l.Value))
+			e.buf.WriteByte('"')
+		}
+		e.buf.WriteByte('}')
+	}
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(value)
+	e.buf.WriteByte('\n')
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a help string (backslash and newline only; the
+// format leaves quotes alone in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

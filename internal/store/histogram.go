@@ -1,67 +1,19 @@
 package store
 
-import (
-	"fmt"
-	"sync/atomic"
-)
+import "jsonlogic/internal/metrics"
 
-// histogram counts per-query candidate-set sizes in power-of-two
-// buckets: 0, 1, 2–3, 4–7, …, with one overflow bucket. It replaces
-// the old single running counter so /stats can show the distribution
-// of how hard the index prunes, not just an average.
-type histogram struct {
-	buckets [histogramBuckets]atomic.Uint64
-}
+// HistogramBucket is one non-empty bucket of a per-query histogram in
+// Stats, labelled with its value range. It is the metrics package's
+// snapshot shape: the histogram implementation moved to
+// internal/metrics so the store, the HTTP middleware and the /metrics
+// exposition share one power-of-two histogram; the alias keeps the
+// store's Stats API unchanged.
+type HistogramBucket = metrics.Bucket
 
-// histogramBuckets: bucket 0 holds exact zeros, bucket i ≥ 1 holds
-// [2^(i-1), 2^i); the last bucket absorbs everything ≥ 2^20.
-const histogramBuckets = 22
-
-func (h *histogram) observe(n int) {
-	h.buckets[histogramBucket(n)].Add(1)
-}
-
-func histogramBucket(n int) int {
-	if n <= 0 {
-		return 0
-	}
-	b := 1
-	for n > 1 && b < histogramBuckets-1 {
-		n >>= 1
-		b++
-	}
-	return b
-}
-
-// HistogramBucket is one non-empty bucket of a candidates-per-query
-// histogram, labelled with its value range.
-type HistogramBucket struct {
-	Range string `json:"range"`
-	Count uint64 `json:"count"`
-}
-
-// snapshot renders the non-empty buckets in ascending range order.
-func (h *histogram) snapshot() []HistogramBucket {
-	var out []HistogramBucket
-	for i := 0; i < histogramBuckets; i++ {
-		c := h.buckets[i].Load()
-		if c == 0 {
-			continue
-		}
-		out = append(out, HistogramBucket{Range: bucketLabel(i), Count: c})
-	}
-	return out
-}
-
-func bucketLabel(i int) string {
-	switch {
-	case i == 0:
-		return "0"
-	case i == 1:
-		return "1"
-	case i == histogramBuckets-1:
-		return fmt.Sprintf("%d+", 1<<(histogramBuckets-2))
-	default:
-		return fmt.Sprintf("%d-%d", 1<<(i-1), 1<<i-1)
-	}
+// MetricsHistograms exposes the store's live per-query histograms for
+// scraping — the same counters Stats snapshots, but as histogram
+// handles the Prometheus exposition can render with cumulative
+// buckets and sums.
+func (s *Store) MetricsHistograms() (findCandidates, selectCandidates, fanoutWorkers *metrics.Histogram) {
+	return &s.findCandidates, &s.selectCandidates, &s.fanoutWorkers
 }

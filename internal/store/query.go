@@ -120,7 +120,7 @@ func (s *Store) noteFanout(workers int, steps uint64) {
 	} else {
 		s.serialQueries.Add(1)
 	}
-	s.fanoutWorkers.observe(workers)
+	s.fanoutWorkers.Observe(workers)
 	if steps > 0 {
 		s.intersectionSteps.Add(steps)
 	}
@@ -386,9 +386,9 @@ func (s *Store) noteCandidates(sel, indexed bool, n int) {
 	}
 	s.candidateDocs.Add(uint64(n))
 	if sel {
-		s.selectCandidates.observe(n)
+		s.selectCandidates.Observe(n)
 	} else {
-		s.findCandidates.observe(n)
+		s.findCandidates.Observe(n)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"jsonlogic/internal/engine"
 	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/metrics"
 )
 
 // Options configure a Store. The zero value selects 16 shards, an
@@ -77,14 +78,14 @@ type Store struct {
 	// Planner counters and per-query candidate histograms.
 	plannerScan      atomic.Uint64
 	termsSkipped     atomic.Uint64
-	findCandidates   histogram
-	selectCandidates histogram
+	findCandidates   metrics.Histogram
+	selectCandidates metrics.Histogram
 
 	// Fan-out and intersection counters: how queries parallelize and
 	// how much merge work posting intersections perform.
 	parallelQueries   atomic.Uint64
 	serialQueries     atomic.Uint64
-	fanoutWorkers     histogram
+	fanoutWorkers     metrics.Histogram
 	intersectionSteps atomic.Uint64
 }
 
@@ -438,11 +439,11 @@ func (s *Store) Stats() Stats {
 		ScannedDocs:       s.scannedDocs.Load(),
 		PlannerScan:       s.plannerScan.Load(),
 		TermsSkipped:      s.termsSkipped.Load(),
-		FindCandidates:    s.findCandidates.snapshot(),
-		SelectCandidates:  s.selectCandidates.snapshot(),
+		FindCandidates:    s.findCandidates.Snapshot(),
+		SelectCandidates:  s.selectCandidates.Snapshot(),
 		ParallelQueries:   s.parallelQueries.Load(),
 		SerialQueries:     s.serialQueries.Load(),
-		FanoutWorkers:     s.fanoutWorkers.snapshot(),
+		FanoutWorkers:     s.fanoutWorkers.Snapshot(),
 		IntersectionSteps: s.intersectionSteps.Load(),
 	}
 	if s.dur != nil {

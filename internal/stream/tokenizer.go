@@ -140,6 +140,19 @@ func (t *Tokenizer) errf(format string, args ...any) error {
 	return &SyntaxError{Offset: t.offset, Msg: fmt.Sprintf(format, args...)}
 }
 
+// eofErrf maps a read failure to the right owner: io.EOF means the
+// document itself is truncated (a syntax error with the given
+// message); any other error is the reader's own failure and
+// propagates unchanged, so callers can still identify it with
+// errors.Is/As — the daemon relies on this to tell an oversized body
+// (*http.MaxBytesError → 413) from malformed JSON (400).
+func (t *Tokenizer) eofErrf(err error, format string, args ...any) error {
+	if err == io.EOF {
+		return t.errf(format, args...)
+	}
+	return err
+}
+
 func (t *Tokenizer) readByte() (byte, error) {
 	b, err := t.r.ReadByte()
 	if err == nil {
@@ -268,7 +281,7 @@ func (t *Tokenizer) Next() (Token, error) {
 // KeyTok token, arranging for the following call to read the value.
 func (t *Tokenizer) key(top *frame) (Token, error) {
 	if err := t.skipSpace(); err != nil {
-		return Token{}, t.errf("unexpected end of input inside object")
+		return Token{}, t.eofErrf(err, "unexpected end of input inside object")
 	}
 	b, err := t.readByte()
 	if err != nil {
@@ -289,9 +302,12 @@ func (t *Tokenizer) key(top *frame) (Token, error) {
 		top.keys[k] = true
 	}
 	if err := t.skipSpace(); err != nil {
-		return Token{}, t.errf("unexpected end of input after key")
+		return Token{}, t.eofErrf(err, "unexpected end of input after key")
 	}
 	if b, err = t.readByte(); err != nil || b != ':' {
+		if err != nil && err != io.EOF {
+			return Token{}, err
+		}
 		return Token{}, t.errf("expected ':' after key %q", k)
 	}
 	top.count++
@@ -324,7 +340,7 @@ func (t *Tokenizer) string() (string, error) {
 	for {
 		b, err := t.readByte()
 		if err != nil {
-			return "", t.errf("unterminated string")
+			return "", t.eofErrf(err, "unterminated string")
 		}
 		switch {
 		case b == '"':
@@ -332,7 +348,7 @@ func (t *Tokenizer) string() (string, error) {
 		case b == '\\':
 			e, err := t.readByte()
 			if err != nil {
-				return "", t.errf("unterminated escape")
+				return "", t.eofErrf(err, "unterminated escape")
 			}
 			switch e {
 			case '"', '\\', '/':
@@ -357,6 +373,12 @@ func (t *Tokenizer) string() (string, error) {
 					b1, err1 := t.readByte()
 					b2, err2 := t.readByte()
 					if err1 != nil || err2 != nil || b1 != '\\' || b2 != 'u' {
+						if err1 != nil && err1 != io.EOF {
+							return "", err1
+						}
+						if err2 != nil && err2 != io.EOF {
+							return "", err2
+						}
 						return "", t.errf("unpaired surrogate \\u%04X", r)
 					}
 					lo, err := t.hex4()
@@ -395,7 +417,7 @@ func (t *Tokenizer) rune() (rune, int, error) {
 	var buf [4]byte
 	b0, err := t.readByte()
 	if err != nil {
-		return 0, 0, t.errf("truncated UTF-8 sequence")
+		return 0, 0, t.eofErrf(err, "truncated UTF-8 sequence")
 	}
 	buf[0] = b0
 	n := utf8ByteLen(b0)
@@ -405,7 +427,7 @@ func (t *Tokenizer) rune() (rune, int, error) {
 	for i := 1; i < n; i++ {
 		bi, err := t.readByte()
 		if err != nil {
-			return 0, 0, t.errf("truncated UTF-8 sequence")
+			return 0, 0, t.eofErrf(err, "truncated UTF-8 sequence")
 		}
 		buf[i] = bi
 	}
@@ -439,7 +461,7 @@ func (t *Tokenizer) hex4() (uint32, error) {
 	for i := 0; i < 4; i++ {
 		b, err := t.readByte()
 		if err != nil {
-			return 0, t.errf("truncated \\u escape")
+			return 0, t.eofErrf(err, "truncated \\u escape")
 		}
 		v <<= 4
 		switch {

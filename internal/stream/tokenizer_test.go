@@ -322,3 +322,69 @@ func randString(r *rand.Rand) string {
 	}
 	return string(out)
 }
+
+// cutReader serves the prefix of s, then fails every read with errCut
+// — a stand-in for any mid-document I/O failure (a broken pipe, an
+// http.MaxBytesReader cap).
+type cutReader struct {
+	s   string
+	off int
+}
+
+var errCut = io.ErrUnexpectedEOF
+
+func (r *cutReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.s) {
+		return 0, errCut
+	}
+	n := copy(p, r.s[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestTokenizerReaderErrorPropagates pins that a reader's own error is
+// never rewritten into a *SyntaxError: only io.EOF means "the document
+// is truncated". The daemon depends on this to map oversized request
+// bodies (*http.MaxBytesError) to 413 instead of 400.
+func TestTokenizerReaderErrorPropagates(t *testing.T) {
+	// Each prefix stops the reader inside a different tokenizer state:
+	// a bare string, an escape, a \u escape, a multi-byte UTF-8
+	// sequence, a surrogate pair, an object key, and after a key.
+	prefixes := []string{
+		`{"k`,
+		`{"k":"v`,
+		`{"k":"a\`,
+		`{"k":"\u00`,
+		`{"k":"\uD83D`,
+		`{"k":"\uD83D\`,
+		"{\"k\":\"\xE2\x82",
+		`{"k":1`,
+		`{"k"`,
+		`{"k" `,
+		`{"k":[1`,
+		`{`,
+	}
+	for _, p := range prefixes {
+		tok := NewTokenizer(&cutReader{s: p})
+		var err error
+		for err == nil {
+			_, err = tok.Next()
+		}
+		if err != errCut {
+			t.Errorf("prefix %q: got %v (%T), want the reader's error", p, err, err)
+		}
+	}
+	// io.EOF at the same points stays a syntax error: truncated input
+	// is the document's defect, not the reader's.
+	for _, p := range prefixes {
+		tok := NewTokenizer(strings.NewReader(p))
+		var err error
+		for err == nil {
+			_, err = tok.Next()
+		}
+		var se *SyntaxError
+		if !errorsAs(err, &se) {
+			t.Errorf("prefix %q at EOF: got %v (%T), want *SyntaxError", p, err, err)
+		}
+	}
+}

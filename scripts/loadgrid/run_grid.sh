@@ -1,0 +1,64 @@
+#!/bin/sh
+# run_grid.sh — reproducible load grid: build the daemon and the
+# generator, start a throwaway durable daemon, sweep the experiments
+# manifest (workload x concurrency), and leave one combined CSV table
+# plus the per-point JSON summaries in the results directory.
+#
+# Usage:
+#   sh scripts/loadgrid/run_grid.sh [manifest] [results-dir]
+#
+# Defaults: scripts/loadgrid/experiments.json and a timestamped
+# directory under ./loadgrid-results. Daemon knobs come through the
+# environment: ADDR (default 127.0.0.1:18080), SHARDS (16), FSYNC
+# (interval). The manifest pins everything measurement-side (seed,
+# durations, preload), so two runs of this script on the same host
+# differ only by server-side noise.
+set -eu
+
+manifest="${1:-scripts/loadgrid/experiments.json}"
+results="${2:-loadgrid-results/$(date +%Y%m%d-%H%M%S)}"
+addr="${ADDR:-127.0.0.1:18080}"
+shards="${SHARDS:-16}"
+fsync="${FSYNC:-interval}"
+
+[ -f "$manifest" ] || { echo "run_grid: manifest $manifest not found" >&2; exit 1; }
+mkdir -p "$results"
+
+echo "run_grid: building binaries" >&2
+go build -o "$results/jsonstored" ./cmd/jsonstored
+go build -o "$results/jsonload" ./cmd/jsonload
+
+datadir=$(mktemp -d "${TMPDIR:-/tmp}/loadgrid-data.XXXXXX")
+"$results/jsonstored" -addr "$addr" -shards "$shards" \
+    -data-dir "$datadir" -fsync "$fsync" >"$results/daemon.log" 2>&1 &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null; wait "$daemon" 2>/dev/null || true; rm -rf "$datadir"' EXIT INT TERM
+
+# Readiness: poll /stats until the daemon answers.
+i=0
+until curl -sf "http://$addr/stats" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "run_grid: daemon did not come up; see $results/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "run_grid: daemon up on $addr ($shards shards, fsync=$fsync)" >&2
+
+# Metrics before and after bracket the sweep, so server-side counters
+# (planner decisions, fan-out histogram, WAL syncs) can be diffed
+# against what the generator reports.
+curl -s "http://$addr/metrics" >"$results/metrics-before.txt"
+
+"$results/jsonload" -target "http://$addr" -grid "$manifest" \
+    -csv "$results/results.csv" -json "$results/summaries.json" \
+    2>&1 | tee "$results/run.log" >&2
+
+curl -s "http://$addr/metrics" >"$results/metrics-after.txt"
+
+echo "run_grid: done" >&2
+echo "run_grid:   table    $results/results.csv" >&2
+echo "run_grid:   json     $results/summaries.json" >&2
+echo "run_grid:   metrics  $results/metrics-{before,after}.txt" >&2
+column -s, -t "$results/results.csv" 2>/dev/null || cat "$results/results.csv"
