@@ -3,9 +3,9 @@
 GO ?= go
 
 # The committed benchmark snapshot for this PR sequence; bump per PR.
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 # bench-diff compares the previous PR's snapshot against this one.
-BENCH_OLD ?= BENCH_4.json
+BENCH_OLD ?= BENCH_5.json
 BENCH_NEW ?= $(BENCH_JSON)
 
 .PHONY: all build vet fmt-check test race race-core alloc-check fuzz bench bench-engine bench-store bench-smoke bench-json bench-diff docs-check run-daemon loadtest-smoke loadgrid
@@ -30,16 +30,18 @@ race:
 
 # Just the concurrency-hot tiers (shared plans, pooled executor
 # states, sharded store with parallel query fan-out, WAL group
-# commit) — the fast-failing prefix of the full race run.
+# commit, the trace ring under concurrent writers and the traced
+# HTTP read path) — the fast-failing prefix of the full race run.
 race-core:
-	$(GO) test -race ./internal/qir ./internal/engine ./internal/store
+	$(GO) test -race ./internal/qir ./internal/engine ./internal/store ./internal/trace ./internal/httpapi
 
 # Allocation-regression gate: the AllocsPerRun tests pinning the
 # pooled executor's steady state (plan-cache-hit Match/Eval at zero
-# allocations). -count=1 defeats the test cache so the numbers are
+# allocations), the untraced compile path and the disabled/pooled
+# trace recorder. -count=1 defeats the test cache so the numbers are
 # measured, not replayed.
 alloc-check:
-	$(GO) test -run 'ZeroAllocs|AllocsBounded' -count=1 ./internal/qir
+	$(GO) test -run 'ZeroAllocs|AllocsBounded' -count=1 ./internal/qir ./internal/engine ./internal/trace
 
 # Short native-fuzz pass over the engine's plan-cache key path.
 fuzz:
@@ -79,10 +81,12 @@ run-daemon:
 	$(GO) run ./cmd/jsonstored -addr :8080 -data-dir "$$dir" -fsync interval
 
 # Load-harness smoke: the jsonload self-tests drive the generator
-# against an in-process daemon (real handlers over httptest) and
-# assert nonzero throughput, zero errors and a well-formed summary.
-# -count=1 so the run is measured, not replayed from the test cache;
-# CI runs this on every push.
+# against an in-process daemon (real handlers over httptest) whose
+# slow-query threshold is forced to 0, so every request exercises the
+# full trace-capture path under load; asserts nonzero throughput,
+# zero errors and a well-formed summary including the slowest-K
+# request ids. -count=1 so the run is measured, not replayed from the
+# test cache; CI runs this on every push.
 loadtest-smoke:
 	$(GO) test -run 'TestRun|TestGrid' -count=1 ./internal/load
 

@@ -22,6 +22,12 @@
 // machine-readable outputs ("-" for stdout). Runs are reproducible:
 // the same -seed, workload and arrival schedule replay the same
 // request sequence.
+//
+// Every measured request carries a deterministic X-Request-ID
+// ("w3-000127" = worker 3, request 127), which jsonstored echoes back
+// and stamps into its slow-query traces. The summary names the
+// -slowest K request ids, so a tail-latency outlier here can be
+// looked up in the daemon's GET /debug/queries ring by id.
 package main
 
 import (
@@ -49,6 +55,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed (same seed: same request sequence)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	bulkLines := flag.Int("bulk-lines", 16, "documents per bulk request")
+	slowest := flag.Int("slowest", 5, "slowest request ids reported in the summary (negative: none)")
 	gridPath := flag.String("grid", "", "experiments manifest: sweep its points instead of one run")
 	jsonOut := flag.String("json", "", "write JSON summary to this file (\"-\": stdout)")
 	csvOut := flag.String("csv", "", "write CSV summary to this file (\"-\": stdout)")
@@ -65,6 +72,7 @@ func main() {
 		Seed:        *seed,
 		Timeout:     *timeout,
 		BulkLines:   *bulkLines,
+		SlowestK:    *slowest,
 	}
 
 	// Ctrl-C ends the run early and still prints what was measured.

@@ -8,7 +8,8 @@
 //
 // The HTTP surface itself lives in internal/httpapi so tests and the
 // load generator (cmd/jsonload) can assemble an in-process daemon;
-// this command owns flags, the listener and the shutdown protocol.
+// this command owns flags, the listener, logging and the shutdown
+// protocol.
 //
 // Endpoints (see README.md in this directory for the full API
 // reference):
@@ -19,8 +20,9 @@
 //	POST   /bulk        NDJSON bulk ingest (one document per line)
 //	POST   /query       {"lang","query","mode":"find"|"select","values":bool}
 //	POST   /explain     like /query, but returns the logical and
-//	                    physical plan trees, the chosen access path and
-//	                    estimated vs actual cardinalities
+//	                    physical plan trees, the chosen access path,
+//	                    estimated vs actual cardinalities and the
+//	                    recorded per-stage trace
 //	POST   /validate    {"lang","query","id"} or {"lang","query","doc"}
 //	GET    /stats       shard sizes, index cardinalities, query counters,
 //	                    planner decisions, candidates-per-query and
@@ -28,8 +30,12 @@
 //	                    totals, plan-cache hit rates,
 //	                    WAL/snapshot/recovery stats
 //	GET    /metrics     the same counters plus per-endpoint request
-//	                    latency histograms, in Prometheus text
+//	                    latency histograms, slow-query/tracing counters
+//	                    and Go runtime families, in Prometheus text
 //	                    exposition format
+//	GET    /debug/queries  the slow-query ring: recently kept traces
+//	                    (slow or sampled), newest first, with the query
+//	                    source and full span tree
 //
 // Documents use the paper's value model: objects, arrays, strings and
 // natural numbers. See examples/storequery for a curl walkthrough.
@@ -40,9 +46,15 @@
 //	           [-query-workers N] [-data-dir DIR]
 //	           [-fsync always|interval|off] [-fsync-interval 100ms]
 //	           [-snapshot-every 10000]
+//	           [-slow-query 200ms] [-trace-sample N] [-trace-ring 64]
+//	           [-debug-addr :6060] [-log-format text|json]
 //
 // Without -data-dir the store is in-memory and dies with the process.
-// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// Queries at or over -slow-query are traced retroactively, logged and
+// kept in the /debug/queries ring (0 traces every query; negative
+// disables); -trace-sample N additionally keeps every Nth query.
+// -debug-addr serves net/http/pprof on a separate listener. On
+// SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests, flushes and fsyncs the WAL, and exits; a second
 // SIGINT during the drain kills the process immediately.
 package main
@@ -51,8 +63,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +74,7 @@ import (
 	"jsonlogic/internal/engine"
 	"jsonlogic/internal/httpapi"
 	"jsonlogic/internal/store"
+	"jsonlogic/internal/trace"
 )
 
 func main() {
@@ -73,16 +87,39 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval or off")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "sync period under -fsync interval")
 	snapshotEvery := flag.Int("snapshot-every", 10000, "snapshot a shard once its WAL segment holds this many records (negative: manual snapshots only)")
+	slowQuery := flag.Duration("slow-query", 200*time.Millisecond, "slow-query threshold: queries at or over it are traced, logged and kept in /debug/queries (0: every query; negative: disabled)")
+	traceSample := flag.Int("trace-sample", 0, "additionally trace 1 in N queries (0: no sampling)")
+	traceRing := flag.Int("trace-ring", trace.DefaultRingSize, "kept traces retained for /debug/queries")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty: disabled)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		slog.Error("unknown -log-format", "format", *logFormat)
+		os.Exit(1)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	policy, err := store.ParseFsyncPolicy(*fsync)
 	if err != nil {
-		log.Fatalf("jsonstored: %v", err)
+		fatal("bad -fsync", "err", err)
 	}
 	if *snapshotEvery == 0 {
 		// 0 is the library's "use the default" zero value; an operator
 		// typing it almost certainly meant "never" — make them say so.
-		log.Fatalf("jsonstored: -snapshot-every 0 is ambiguous: use a negative value to disable automatic snapshots")
+		fatal("-snapshot-every 0 is ambiguous: use a negative value to disable automatic snapshots")
 	}
 	eng := engine.New(engine.Options{PlanCacheSize: *cache})
 	opts := store.Options{
@@ -98,24 +135,53 @@ func main() {
 	var st *store.Store
 	if *dataDir == "" {
 		st = store.New(opts)
-		log.Printf("jsonstored: in-memory store (no -data-dir; documents die with the process)")
+		logger.Info("in-memory store (no -data-dir; documents die with the process)")
 	} else {
 		st, err = store.Open(opts)
 		if err != nil {
-			log.Fatalf("jsonstored: %v", err)
+			fatal("open store", "err", err)
 		}
 		rec := st.Stats().Durability.Recovery
-		log.Printf("jsonstored: recovered %s: %d docs (%d from snapshots, %d WAL records replayed, %d torn tails truncated), fsync=%s",
-			*dataDir, st.Len(), rec.SnapshotDocs, rec.WALRecordsReplayed, rec.TornTails, policy)
+		logger.Info("recovered store",
+			"dir", *dataDir, "docs", st.Len(),
+			"snapshot_docs", rec.SnapshotDocs,
+			"wal_records_replayed", rec.WALRecordsReplayed,
+			"torn_tails", rec.TornTails,
+			"fsync", policy.String())
 	}
+
+	tracer := trace.New(trace.Options{
+		SampleEvery: *traceSample,
+		SlowQuery:   *slowQuery,
+		RingSize:    *traceRing,
+		Logger:      logger,
+	})
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: httpapi.NewHandler(st, httpapi.Options{}),
+		Handler: httpapi.NewHandler(st, httpapi.Options{Tracer: tracer}),
 		// Bound slow/stalled peers; no ReadTimeout so large legitimate
 		// bulk uploads are not cut off mid-body.
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	if *debugAddr != "" {
+		// pprof on its own listener, never on the serving address: the
+		// profiles stay reachable when the API is saturated, and the
+		// serving port exposes no profiling surface.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
@@ -125,12 +191,14 @@ func main() {
 	defer cancel()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("jsonstored: listening on %s (%d shards, plan cache %d)", *addr, st.NumShards(), *cache)
+	logger.Info("listening",
+		"addr", *addr, "shards", st.NumShards(), "plan_cache", *cache,
+		"slow_query", slowQuery.String(), "trace_sample", *traceSample)
 
 	select {
 	case err := <-errc:
 		st.Close()
-		log.Fatal(err)
+		fatal("serve", "err", err)
 	case <-ctx.Done():
 	}
 	// Unregister the signal handler before draining, not at exit: with
@@ -140,18 +208,18 @@ func main() {
 	// disposition is restored, so a repeat SIGINT terminates
 	// immediately.
 	cancel()
-	log.Printf("jsonstored: shutting down (^C again to kill)")
+	logger.Info("shutting down (^C again to kill)")
 	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer shutdownCancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("jsonstored: shutdown: drain timed out after 15s; remaining connections were cut off")
+			logger.Warn("shutdown: drain timed out after 15s; remaining connections were cut off")
 		} else {
-			log.Printf("jsonstored: shutdown: %v", err)
+			logger.Warn("shutdown", "err", err)
 		}
 	}
 	if err := st.Close(); err != nil {
-		log.Fatalf("jsonstored: close store: %v", err)
+		fatal("close store", "err", err)
 	}
-	log.Printf("jsonstored: store flushed; bye")
+	logger.Info("store flushed; bye")
 }

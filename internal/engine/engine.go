@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/trace"
 )
 
 // Options configure an Engine. The zero value selects sensible
@@ -45,11 +46,28 @@ func New(opts Options) *Engine {
 // deduplicated at insert: every caller receives the same *Plan.
 // Compilation errors are not cached.
 func (e *Engine) Compile(lang Language, src string) (*Plan, error) {
+	return e.CompileTraced(lang, src, nil)
+}
+
+// CompileTraced is Compile recording a "compile" span on tr (plan
+// cache hit/miss, and on a miss the front-end parse and QIR compile as
+// child spans). tr may be nil — the untraced path — in which case the
+// recorder calls reduce to nil checks and a cache hit stays
+// allocation-free.
+func (e *Engine) CompileTraced(lang Language, src string, tr *trace.Trace) (*Plan, error) {
 	key := planKey{lang: lang, src: src}
 	if p, ok := e.cache.get(key); ok {
+		if tr != nil {
+			sp := tr.Start(tr.Root(), "compile")
+			tr.AttrStr(sp, "plan_cache", "hit")
+			tr.End(sp)
+		}
 		return p, nil
 	}
-	p, err := Compile(lang, src)
+	sp := tr.Start(tr.Root(), "compile")
+	tr.AttrStr(sp, "plan_cache", "miss")
+	p, err := compileTraced(lang, src, tr, sp)
+	tr.End(sp)
 	if err != nil {
 		return nil, err
 	}

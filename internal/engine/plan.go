@@ -9,6 +9,7 @@ import (
 	"jsonlogic/internal/jsontree"
 	"jsonlogic/internal/mongoq"
 	"jsonlogic/internal/qir"
+	"jsonlogic/internal/trace"
 )
 
 // Language selects the front end a source text is compiled with.
@@ -105,46 +106,68 @@ func (p *Plan) Query() *qir.Query { return p.query }
 // Compile parses and compiles src under the given language without
 // consulting any cache. Engine.Compile is the cached entry point.
 func Compile(lang Language, src string) (*Plan, error) {
+	return compileTraced(lang, src, nil, trace.None)
+}
+
+// compileTraced is Compile recording the front-end parse and the QIR
+// compile as child spans of parent. tr may be nil (untraced).
+func compileTraced(lang Language, src string, tr *trace.Trace, parent trace.SpanID) (*Plan, error) {
 	p := &Plan{lang: lang, source: src}
+	sp := tr.Start(parent, "parse")
+	err := p.parseAndLower(lang, src)
+	tr.End(sp)
+	if err != nil {
+		return nil, err
+	}
+	sp = tr.Start(parent, "qir_compile")
+	p, err = p.finish()
+	tr.End(sp)
+	return p, err
+}
+
+// parseAndLower runs the front end: parse src under lang and lower the
+// result into the unified algebra (p.query), retaining the reference
+// AST for the oracle evaluators.
+func (p *Plan) parseAndLower(lang Language, src string) error {
 	switch lang {
 	case LangJNL:
 		u, err := jnl.Parse(src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.unary = u
 		p.query = &qir.Query{Pred: jnl.Lower(u)}
 	case LangJSL:
 		r, err := jsl.ParseRecursive(src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Well-formedness (guardedness, no dangling refs) is a property
 		// of the expression, so it is checked once here rather than on
 		// every evaluation.
 		if err := r.WellFormed(); err != nil {
-			return nil, err
+			return err
 		}
 		p.rec = r
 		p.query = r.Lower()
 	case LangJSONPath:
 		jp, err := jsonpath.Compile(src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.path = jp.Binary()
 		p.query = jp.Lower()
 	case LangMongoFind:
 		f, err := mongoq.Parse(src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.rec = jsl.NonRecursive(f.Formula())
 		p.query = f.Lower()
 	default:
-		return nil, fmt.Errorf("engine: unknown language %d", lang)
+		return fmt.Errorf("engine: unknown language %d", lang)
 	}
-	return p.finish()
+	return nil
 }
 
 // finish compiles the lowered query into its physical program and

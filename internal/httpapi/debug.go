@@ -1,0 +1,33 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+
+	"jsonlogic/internal/trace"
+)
+
+// debugQueries serves GET /debug/queries: the tracer's kept traces —
+// slow queries and sampled ones — newest first, each with the query
+// source and the full recorded span tree. ?n= caps the number of
+// entries returned. With tracing disabled the ring is simply empty.
+func (s *server) debugQueries(w http.ResponseWriter, r *http.Request) {
+	snaps := s.tracer.Snapshots()
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad n: %q", v)
+			return
+		}
+		if n < len(snaps) {
+			snaps = snaps[:n]
+		}
+	}
+	if snaps == nil {
+		snaps = []*trace.Snapshot{} // render [] rather than null
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(snaps),
+		"queries": snaps,
+	})
+}

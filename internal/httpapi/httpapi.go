@@ -21,6 +21,7 @@ import (
 	"jsonlogic/internal/jsontree"
 	"jsonlogic/internal/metrics"
 	"jsonlogic/internal/store"
+	"jsonlogic/internal/trace"
 )
 
 // DefaultMaxBody bounds one request body when Options.MaxBody is zero
@@ -34,6 +35,10 @@ type Options struct {
 	// Oversized bodies fail with 413, never truncate silently. Tests
 	// shrink it to exercise the limit without 64MiB uploads.
 	MaxBody int64
+	// Tracer arms per-query traces on POST /query and feeds the
+	// slow-query ring GET /debug/queries serves. nil disables tracing
+	// entirely (the endpoint then reports an empty ring).
+	Tracer *trace.Tracer
 }
 
 // server routes the HTTP API onto one Store and its Engine.
@@ -41,7 +46,9 @@ type server struct {
 	store   *store.Store
 	eng     *engine.Engine
 	maxBody int64
+	tracer  *trace.Tracer
 	http    *metrics.HTTPMetrics
+	runtime *metrics.RuntimeMetrics
 }
 
 // NewHandler returns the daemon's handler over st.
@@ -53,11 +60,13 @@ func NewHandler(st *store.Store, opts Options) http.Handler {
 		store:   st,
 		eng:     st.Engine(),
 		maxBody: opts.MaxBody,
+		tracer:  opts.Tracer,
 		http:    &metrics.HTTPMetrics{},
+		runtime: &metrics.RuntimeMetrics{},
 	}
 	mux := http.NewServeMux()
 	route := func(pattern, endpoint string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.http.Instrument(endpoint, h))
+		mux.HandleFunc(pattern, s.http.Instrument(endpoint, echoRequestID(h)))
 	}
 	route("PUT /docs/{id}", "put_doc", s.putDoc)
 	route("GET /docs/{id}", "get_doc", s.getDoc)
@@ -68,7 +77,20 @@ func NewHandler(st *store.Store, opts Options) http.Handler {
 	route("POST /validate", "validate", s.validate)
 	route("GET /stats", "stats", s.stats)
 	route("GET /metrics", "metrics", s.metrics)
+	route("GET /debug/queries", "debug_queries", s.debugQueries)
 	return mux
+}
+
+// echoRequestID reflects a client-supplied X-Request-ID back on the
+// response, so callers correlating against logs, traces or a load
+// generator's slowest-request report can confirm the id round-tripped.
+func echoRequestID(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if id := r.Header.Get("X-Request-ID"); id != "" {
+			w.Header().Set("X-Request-ID", id)
+		}
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -202,33 +224,65 @@ type queryRequest struct {
 	Doc string `json:"doc"`
 }
 
-func (s *server) compile(w http.ResponseWriter, r *http.Request) (*engine.Plan, *queryRequest, bool) {
+// decodeQuery reads the shared /query-family request body.
+func (s *server) decodeQuery(w http.ResponseWriter, r *http.Request) (*queryRequest, bool) {
 	var req queryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 		writeError(w, bodyErrStatus(err), "bad request body: %v", err)
-		return nil, nil, false
+		return nil, false
 	}
+	return &req, true
+}
+
+// compileReq parses the request's language and compiles its query,
+// recording compile spans on tr (nil for the untraced endpoints).
+func (s *server) compileReq(w http.ResponseWriter, req *queryRequest, tr *trace.Trace) (*engine.Plan, bool) {
 	lang, err := engine.ParseLanguage(req.Lang)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return nil, nil, false
+		return nil, false
 	}
-	p, err := s.eng.Compile(lang, req.Query)
+	p, err := s.eng.CompileTraced(lang, req.Query, tr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "compile: %v", err)
+		return nil, false
+	}
+	return p, true
+}
+
+func (s *server) compile(w http.ResponseWriter, r *http.Request) (*engine.Plan, *queryRequest, bool) {
+	req, ok := s.decodeQuery(w, r)
+	if !ok {
 		return nil, nil, false
 	}
-	return p, &req, true
+	p, ok := s.compileReq(w, req, nil)
+	return p, req, ok
 }
 
 func (s *server) query(w http.ResponseWriter, r *http.Request) {
-	p, req, ok := s.compile(w, r)
+	req, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	// The trace spans the whole pipeline from here: compile (plan-cache
+	// lookup, front-end parse, QIR compile) through the store's plan /
+	// probe / eval / merge stages. Finish decides whether it is kept —
+	// slow or sampled — or dropped back into the recorder pool.
+	tr := s.tracer.Start()
+	defer s.tracer.Finish(tr)
+	mode := req.Mode
+	if mode == "" {
+		mode = "find" // record the default explicitly, not the omission
+	}
+	tr.SetQuery(req.Lang, req.Query, mode)
+	tr.SetRequestID(r.Header.Get("X-Request-ID"))
+	p, ok := s.compileReq(w, req, tr)
 	if !ok {
 		return
 	}
 	switch req.Mode {
 	case "", "find":
-		ids, indexed, err := s.store.Find(p)
+		ids, indexed, err := s.store.FindTraced(p, tr)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -239,7 +293,7 @@ func (s *server) query(w http.ResponseWriter, r *http.Request) {
 			"indexed": indexed,
 		})
 	case "select":
-		sels, indexed, err := s.store.Select(p)
+		sels, indexed, err := s.store.SelectTraced(p, tr)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return

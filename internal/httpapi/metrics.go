@@ -78,6 +78,17 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 		e.Gauge(promPrefix+"recovery_torn_tails", "Torn WAL tails truncated at startup.", float64(rec.TornTails))
 	}
 
+	// Per-query tracing: how many queries crossed the slow threshold,
+	// what the sampler armed, and how full the /debug/queries ring is.
+	// All zeros when no Tracer is configured.
+	ts := s.tracer.Stats()
+	e.Counter(promPrefix+"slow_queries_total", "Queries at or over the slow-query threshold (traced, ringed and logged).", ts.Slow)
+	e.Counter(promPrefix+"traces_started_total", "Queries that ran with an armed trace recorder.", ts.Started)
+	e.Counter(promPrefix+"traces_sampled_total", "Traces armed by the 1-in-N sampler.", ts.Sampled)
+	e.Counter(promPrefix+"traces_dropped_total", "Armed traces discarded at completion (neither slow nor sampled).", ts.Dropped)
+	e.Gauge(promPrefix+"trace_ring_entries", "Trace snapshots held in the /debug/queries ring.", float64(ts.RingEntries))
+
+	s.runtime.Expose(&e, promPrefix)
 	s.http.Expose(&e, promPrefix)
 
 	w.Header().Set("Content-Type", metrics.ContentType)

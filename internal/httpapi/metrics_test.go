@@ -83,8 +83,20 @@ func TestMetricsExposition(t *testing.T) {
 
 	// Required families, spanning every subsystem the ISSUE names:
 	// store gauges, query/planner counters, candidates and fan-out
-	// histograms, plan cache, durability, HTTP middleware.
+	// histograms, plan cache, durability, tracing, Go runtime, HTTP
+	// middleware.
 	required := []string{
+		"jsonstored_slow_queries_total",
+		"jsonstored_traces_started_total",
+		"jsonstored_traces_sampled_total",
+		"jsonstored_traces_dropped_total",
+		"jsonstored_trace_ring_entries",
+		"jsonstored_go_goroutines",
+		"jsonstored_go_heap_alloc_bytes",
+		"jsonstored_go_heap_sys_bytes",
+		"jsonstored_go_gc_total",
+		`jsonstored_go_gc_pause_seconds_bucket{le="+Inf"}`,
+		"jsonstored_go_gc_pause_seconds_count",
 		"jsonstored_docs",
 		"jsonstored_index_terms",
 		`jsonstored_queries_total{mode="find",access="index"}`,

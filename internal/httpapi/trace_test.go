@@ -1,0 +1,218 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"jsonlogic/internal/store"
+	"jsonlogic/internal/trace"
+)
+
+// newTracedServer builds a handler whose tracer keeps every query as
+// slow (threshold 0) — the end-to-end configuration the acceptance
+// criteria and loadtest-smoke pin.
+func newTracedServer(t *testing.T) (*httptest.Server, *trace.Tracer) {
+	t.Helper()
+	tc := trace.New(trace.Options{SlowQuery: 0})
+	ts := httptest.NewServer(NewHandler(store.New(store.Options{Shards: 8}), Options{Tracer: tc}))
+	t.Cleanup(ts.Close)
+	return ts, tc
+}
+
+// TestSlowQueryEndToEnd drives a real indexed query through the full
+// handler with the slow threshold at 0 and asserts the trace comes
+// back out of GET /debug/queries: newest first, carrying the query
+// source, the request id, and non-zero spans for the planner, probe
+// and eval stages.
+func TestSlowQueryEndToEnd(t *testing.T) {
+	ts, _ := newTracedServer(t)
+	for i := 0; i < 200; i++ {
+		if code, _ := do(t, "PUT", fmt.Sprintf("%s/docs/d%04d", ts.URL, i), fmt.Sprintf(`{"group":%d,"flag":%d}`, i%10, i%2)); code != 200 {
+			t.Fatalf("put d%04d failed", i)
+		}
+	}
+
+	req, err := http.NewRequest("POST", ts.URL+"/query",
+		strings.NewReader(`{"lang":"mongo","query":"{\"group\":3,\"flag\":1}"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "load-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/query: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "load-42" {
+		t.Fatalf("X-Request-ID not echoed: %q", got)
+	}
+
+	code, body := do(t, "GET", ts.URL+"/debug/queries", "")
+	if code != 200 {
+		t.Fatalf("/debug/queries: %d", code)
+	}
+	queries, ok := body["queries"].([]any)
+	if !ok || len(queries) == 0 {
+		t.Fatalf("/debug/queries returned no traces: %v", body)
+	}
+	// Newest first: entry 0 is the query just sent.
+	top := queries[0].(map[string]any)
+	if top["trigger"] != "slow" {
+		t.Fatalf("trigger = %v, want slow", top["trigger"])
+	}
+	if top["request_id"] != "load-42" || top["lang"] != "mongo" {
+		t.Fatalf("trace identity wrong: %v", top)
+	}
+	if !strings.Contains(top["query"].(string), `"group":3`) {
+		t.Fatalf("trace lost the query source: %v", top["query"])
+	}
+	if top["duration_ns"].(float64) <= 0 {
+		t.Fatalf("trace duration %v, want > 0", top["duration_ns"])
+	}
+
+	// The span tree must contain non-zero planner, probe and eval
+	// stages under the request root, and the plan span must carry the
+	// planner's verdict.
+	spans := top["spans"].([]any)
+	if len(spans) != 1 {
+		t.Fatalf("want one root span, got %d", len(spans))
+	}
+	root := spans[0].(map[string]any)
+	if root["name"] != "request" {
+		t.Fatalf("root span = %v", root["name"])
+	}
+	stages := map[string]float64{}
+	attrs := map[string]map[string]any{}
+	var walk func(n map[string]any)
+	walk = func(n map[string]any) {
+		name := n["name"].(string)
+		stages[name] += n["duration_ns"].(float64)
+		if a, ok := n["attrs"].(map[string]any); ok && attrs[name] == nil {
+			attrs[name] = a
+		}
+		for _, c := range childSpans(n) {
+			walk(c)
+		}
+	}
+	walk(root)
+	for _, stage := range []string{"compile", "plan", "probe", "eval", "merge"} {
+		if stages[stage] <= 0 {
+			t.Errorf("stage %q duration = %v, want > 0", stage, stages[stage])
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("spans: %v", top["spans"])
+	}
+	if attrs["plan"]["access"] != "index" {
+		t.Fatalf("plan span access = %v, want index", attrs["plan"]["access"])
+	}
+	if attrs["probe"]["lists"] == nil || attrs["probe"]["steps"] == nil {
+		t.Fatalf("probe span missing list/step attrs: %v", attrs["probe"])
+	}
+	if attrs["eval"]["docs"] == nil {
+		t.Fatalf("eval span missing docs attr: %v", attrs["eval"])
+	}
+
+	// The slow query is visible in /metrics too.
+	samples, _, _ := scrape(t, ts.URL)
+	if samples["jsonstored_slow_queries_total"] < 1 {
+		t.Fatalf("slow_queries_total = %v, want >= 1", samples["jsonstored_slow_queries_total"])
+	}
+	if samples["jsonstored_trace_ring_entries"] < 1 {
+		t.Fatalf("trace_ring_entries = %v, want >= 1", samples["jsonstored_trace_ring_entries"])
+	}
+}
+
+func childSpans(n map[string]any) []map[string]any {
+	raw, ok := n["children"].([]any)
+	if !ok {
+		return nil
+	}
+	out := make([]map[string]any, len(raw))
+	for i, c := range raw {
+		out[i] = c.(map[string]any)
+	}
+	return out
+}
+
+// TestDebugQueriesLimitAndEmpty: ?n= caps the response, and a handler
+// without a tracer serves an empty list rather than failing.
+func TestDebugQueriesLimitAndEmpty(t *testing.T) {
+	ts, _ := newTracedServer(t)
+	for i := 0; i < 5; i++ {
+		do(t, "POST", ts.URL+"/query", `{"lang":"mongo","query":"{\"a\":1}"}`)
+	}
+	code, body := do(t, "GET", ts.URL+"/debug/queries?n=2", "")
+	if code != 200 || body["count"].(float64) != 2 {
+		t.Fatalf("limited ring: code %d, body %v", code, body)
+	}
+	if code, body := do(t, "GET", ts.URL+"/debug/queries?n=bogus", ""); code != 400 {
+		t.Fatalf("bad n: code %d, body %v", code, body)
+	}
+
+	plain := newTestServer(t) // no tracer
+	code, body = do(t, "GET", plain.URL+"/debug/queries", "")
+	if code != 200 || body["count"].(float64) != 0 {
+		t.Fatalf("untraced ring: code %d, body %v", code, body)
+	}
+	if _, ok := body["queries"].([]any); !ok {
+		t.Fatalf("queries not a list: %v", body["queries"])
+	}
+}
+
+// TestSampledTraceCapture: sampling without slow detection keeps
+// exactly 1 in N queries, with trigger "sample".
+func TestSampledTraceCapture(t *testing.T) {
+	tc := trace.New(trace.Options{SampleEvery: 3, SlowQuery: -1})
+	ts := httptest.NewServer(NewHandler(store.New(store.Options{Shards: 2}), Options{Tracer: tc}))
+	t.Cleanup(ts.Close)
+	for i := 0; i < 9; i++ {
+		if code, _ := do(t, "POST", ts.URL+"/query", `{"lang":"mongo","query":"{\"a\":1}"}`); code != 200 {
+			t.Fatalf("query %d failed", i)
+		}
+	}
+	_, body := do(t, "GET", ts.URL+"/debug/queries", "")
+	if body["count"].(float64) != 3 {
+		t.Fatalf("sampled 9 queries at 1-in-3, ring has %v", body["count"])
+	}
+	for _, q := range body["queries"].([]any) {
+		if q.(map[string]any)["trigger"] != "sample" {
+			t.Fatalf("trigger = %v, want sample", q.(map[string]any)["trigger"])
+		}
+	}
+	if st := tc.Stats(); st.Slow != 0 || st.Sampled != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestExplainCarriesTrace: /explain output now embeds the recorded
+// span tree of its own execution.
+func TestExplainCarriesTrace(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/docs/a", `{"k":1}`)
+	code, body := do(t, "POST", ts.URL+"/explain", `{"lang":"mongo","query":"{\"k\":1}"}`)
+	if code != 200 {
+		t.Fatalf("/explain: %d: %v", code, body)
+	}
+	spans, ok := body["trace"].([]any)
+	if !ok || len(spans) != 1 {
+		t.Fatalf("explain trace missing: %v", body["trace"])
+	}
+	root := spans[0].(map[string]any)
+	if root["name"] != "explain" || root["duration_ns"].(float64) <= 0 {
+		t.Fatalf("explain root span = %v", root)
+	}
+	names := map[string]bool{}
+	for _, c := range childSpans(root) {
+		names[c["name"].(string)] = true
+	}
+	if !names["plan"] || !names["eval"] || !names["merge"] {
+		t.Fatalf("explain trace missing pipeline stages: %v", names)
+	}
+}

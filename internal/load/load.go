@@ -62,6 +62,13 @@ type Config struct {
 	// BulkLines is the NDJSON document count per bulk request
 	// (default 16).
 	BulkLines int
+	// SlowestK is how many of the slowest requests to report by
+	// X-Request-ID in the summary (default 5; negative disables).
+	// Every measured request carries a deterministic id like
+	// "w3-000127" (worker 3, request 127), which the daemon echoes
+	// back and records in its slow-query trace ring — so a slow
+	// summary entry can be looked up in GET /debug/queries by id.
+	SlowestK int
 	// Doc shapes the generated documents; zero value uses a compact
 	// 3-level document.
 	Doc gen.DocOptions
@@ -91,6 +98,9 @@ func (c *Config) defaults() {
 	}
 	if c.BulkLines <= 0 {
 		c.BulkLines = 16
+	}
+	if c.SlowestK == 0 {
+		c.SlowestK = 5
 	}
 	if c.Doc == (gen.DocOptions{}) {
 		c.Doc = gen.DocOptions{Fanout: 3, Depth: 3, Keys: 12, ArrayBias: 30, ValueRange: 100}
@@ -195,11 +205,14 @@ type worker struct {
 	mix     Mix
 	client  *http.Client
 	rng     *rand.Rand
+	idx     int
+	seq     uint64
 	sb      strings.Builder
 	rbuf    []byte
 	samples [numOps][]float64 // latency in seconds
 	errs    [numOps]uint64
 	codes   map[int]uint64
+	slowest []SlowRequest // descending by Ms, at most cfg.SlowestK
 }
 
 // Run executes one load run and returns its summary. The context
@@ -223,6 +236,7 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 			cfg:    &cfg,
 			mix:    mix,
 			client: client,
+			idx:    i,
 			// Distinct stream per worker; +1 keeps worker 0 off the
 			// preloader's seed.
 			rng:   rand.New(rand.NewSource(cfg.Seed + int64(i) + 1)),
@@ -308,7 +322,12 @@ func (w *worker) loop(ctx context.Context, arrivals <-chan time.Time) {
 			scheduled = time.Now()
 		}
 		op := w.mix.pick(w.rng.Intn(w.mix.total()))
-		code, err := w.do(ctx, op)
+		// Deterministic per-request id, sent as X-Request-ID and echoed
+		// by the daemon: a slow entry in the summary can be cross-
+		// referenced against the server's /debug/queries ring.
+		w.seq++
+		reqID := fmt.Sprintf("w%d-%06d", w.idx, w.seq)
+		code, err := w.do(ctx, op, reqID)
 		lat := time.Since(scheduled).Seconds()
 		if err != nil {
 			if ctx.Err() != nil {
@@ -323,25 +342,53 @@ func (w *worker) loop(ctx context.Context, arrivals <-chan time.Time) {
 			continue
 		}
 		w.samples[op] = append(w.samples[op], lat)
+		w.noteSlow(reqID, op, lat)
+	}
+}
+
+// SlowRequest identifies one of the slowest measured requests.
+type SlowRequest struct {
+	ID string  `json:"id"`
+	Op string  `json:"op"`
+	Ms float64 `json:"ms"`
+}
+
+// noteSlow keeps the worker's top-K latencies in descending order so
+// the summary can name the slowest request ids of the whole run.
+func (w *worker) noteSlow(id string, op int, lat float64) {
+	k := w.cfg.SlowestK
+	if k <= 0 {
+		return
+	}
+	ms := lat * 1e3
+	if len(w.slowest) == k && ms <= w.slowest[k-1].Ms {
+		return
+	}
+	i := sort.Search(len(w.slowest), func(i int) bool { return w.slowest[i].Ms < ms })
+	w.slowest = append(w.slowest, SlowRequest{})
+	copy(w.slowest[i+1:], w.slowest[i:])
+	w.slowest[i] = SlowRequest{ID: id, Op: opNames[op], Ms: ms}
+	if len(w.slowest) > k {
+		w.slowest = w.slowest[:k]
 	}
 }
 
 // do issues one operation and returns the HTTP status.
-func (w *worker) do(ctx context.Context, op int) (int, error) {
+func (w *worker) do(ctx context.Context, op int, reqID string) (int, error) {
 	switch op {
 	case opGet:
-		return w.request(ctx, "GET", w.docURL(), "")
+		return w.request(ctx, "GET", w.docURL(), "", reqID)
 	case opPut:
 		w.sb.Reset()
 		w.sb.WriteString(gen.Document(w.rng, w.cfg.Doc).String())
-		return w.request(ctx, "PUT", w.docURL(), w.sb.String())
+		return w.request(ctx, "PUT", w.docURL(), w.sb.String(), reqID)
 	case opBulk:
 		w.sb.Reset()
 		for i := 0; i < w.cfg.BulkLines; i++ {
 			w.sb.WriteString(gen.Document(w.rng, w.cfg.Doc).String())
 			w.sb.WriteByte('\n')
 		}
-		return w.request(ctx, "POST", w.cfg.Target+"/bulk", w.sb.String())
+		return w.request(ctx, "POST", w.cfg.Target+"/bulk", w.sb.String(), reqID)
 	default:
 		// Point query on the generated key/value space; roughly half
 		// are negated so both index and scan paths stay warm.
@@ -352,7 +399,7 @@ func (w *worker) do(ctx context.Context, op int) (int, error) {
 			q = fmt.Sprintf(`{\"k%d\":{\"$ne\":%d}}`, k, v)
 		}
 		body := fmt.Sprintf(`{"lang":"mongo","query":"%s"}`, q)
-		return w.request(ctx, "POST", w.cfg.Target+"/query", body)
+		return w.request(ctx, "POST", w.cfg.Target+"/query", body, reqID)
 	}
 }
 
@@ -360,7 +407,7 @@ func (w *worker) docURL() string {
 	return fmt.Sprintf("%s/docs/load-%d", w.cfg.Target, w.rng.Intn(w.cfg.Keyspace))
 }
 
-func (w *worker) request(ctx context.Context, method, url, body string) (int, error) {
+func (w *worker) request(ctx context.Context, method, url, body, reqID string) (int, error) {
 	var rd io.Reader
 	if body != "" {
 		rd = strings.NewReader(body)
@@ -368,6 +415,9 @@ func (w *worker) request(ctx context.Context, method, url, body string) (int, er
 	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return 0, err
+	}
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
 	}
 	resp, err := w.client.Do(req)
 	if err != nil {
@@ -402,7 +452,8 @@ func preload(ctx context.Context, cfg *Config, client *http.Client) error {
 			for id := range ids {
 				body := gen.Document(rng, cfg.Doc).String()
 				url := fmt.Sprintf("%s/docs/load-%d", cfg.Target, id)
-				code, err := w.request(ctx, "PUT", url, body)
+				// Preload is outside the measured window: no request id.
+				code, err := w.request(ctx, "PUT", url, body, "")
 				if err != nil {
 					errc <- fmt.Errorf("load: preload: %w", err)
 					return

@@ -5,22 +5,29 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
 
 	"jsonlogic/internal/httpapi"
 	"jsonlogic/internal/store"
+	"jsonlogic/internal/trace"
 )
 
 // newDaemon assembles the real daemon handler in-process, so the
-// generator self-test exercises the same code paths as a TCP run.
+// generator self-test exercises the same code paths as a TCP run. The
+// slow-query threshold is forced to 0: every query takes the full
+// trace-capture path (recorder, ring, slog) while the load runs, so
+// the smoke target doubles as a tracing-under-load test.
 func newDaemon(t *testing.T) *httptest.Server {
 	t.Helper()
 	st := store.New(store.Options{Shards: 4})
 	t.Cleanup(func() { st.Close() })
-	ts := httptest.NewServer(httpapi.NewHandler(st, httpapi.Options{}))
+	tc := trace.New(trace.Options{SlowQuery: 0, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ts := httptest.NewServer(httpapi.NewHandler(st, httpapi.Options{Tracer: tc}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -60,6 +67,27 @@ func TestRunMixedWorkload(t *testing.T) {
 	}
 	if s.Codes["200"] == 0 {
 		t.Fatalf("no 200s recorded: %v", s.Codes)
+	}
+
+	// The summary names the slowest K request ids, descending, each a
+	// well-formed worker-sequence id the daemon saw as X-Request-ID.
+	if len(s.Slowest) != 5 {
+		t.Fatalf("slowest has %d entries, want 5 (default K)", len(s.Slowest))
+	}
+	idPat := regexp.MustCompile(`^w\d+-\d{6}$`)
+	for i, r := range s.Slowest {
+		if !idPat.MatchString(r.ID) {
+			t.Errorf("slowest[%d] id %q is not a worker-sequence id", i, r.ID)
+		}
+		if r.Ms <= 0 || r.Op == "" {
+			t.Errorf("slowest[%d] malformed: %+v", i, r)
+		}
+		if i > 0 && r.Ms > s.Slowest[i-1].Ms {
+			t.Errorf("slowest not descending at %d: %v then %v", i, s.Slowest[i-1].Ms, r.Ms)
+		}
+	}
+	if s.Slowest[0].Ms != s.Total.MaxMs {
+		t.Errorf("slowest[0] = %vms but max_ms = %v", s.Slowest[0].Ms, s.Total.MaxMs)
 	}
 
 	// JSON summary round-trips.

@@ -34,6 +34,11 @@ type Summary struct {
 	Total       OpStats           `json:"total"`
 	Ops         []OpStats         `json:"ops"`
 	Codes       map[string]uint64 `json:"status_codes"`
+	// Slowest names the slowest K measured requests by the
+	// X-Request-ID the generator sent (and the daemon echoed), so an
+	// outlier in the latency tail can be looked up in the server's
+	// GET /debug/queries trace ring.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
 }
 
 func summarize(cfg *Config, workers []*worker, elapsed time.Duration) *Summary {
@@ -66,6 +71,11 @@ func summarize(cfg *Config, workers []*worker, elapsed time.Duration) *Summary {
 		for code, n := range w.codes {
 			s.Codes[fmt.Sprint(code)] += n
 		}
+		s.Slowest = append(s.Slowest, w.slowest...)
+	}
+	sort.Slice(s.Slowest, func(i, j int) bool { return s.Slowest[i].Ms > s.Slowest[j].Ms })
+	if cfg.SlowestK > 0 && len(s.Slowest) > cfg.SlowestK {
+		s.Slowest = s.Slowest[:cfg.SlowestK]
 	}
 	s.Total = opStats("total", all, allErrs, elapsed)
 	return s
@@ -155,6 +165,14 @@ func (s *Summary) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%-7s %10d %7d %12.1f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
 			r.Op, r.Count, r.Errors, r.Throughput, r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs); err != nil {
 			return err
+		}
+	}
+	if len(s.Slowest) > 0 {
+		fmt.Fprintf(w, "slowest requests (X-Request-ID, see GET /debug/queries on the target):\n")
+		for _, r := range s.Slowest {
+			if _, err := fmt.Fprintf(w, "  %-12s %-7s %10.3f ms\n", r.ID, r.Op, r.Ms); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

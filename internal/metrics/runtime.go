@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RuntimeMetrics exposes the Go runtime's health as Prometheus
+// families: goroutine count, heap bytes, GC cycles and a GC pause
+// histogram. Pauses are delta-fed at scrape time from MemStats'
+// circular PauseNs log — each scrape observes only the cycles since
+// the previous one, so the histogram accumulates every pause exactly
+// once (up to the log's 256-entry depth between scrapes).
+type RuntimeMetrics struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	pauses    Histogram // pause durations in microseconds
+}
+
+// Expose reads the runtime state and appends the <prefix>go_* families
+// to e.
+func (m *RuntimeMetrics) Expose(e *Exposition, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	m.mu.Lock()
+	from := m.lastNumGC
+	if ms.NumGC-from > uint32(len(ms.PauseNs)) {
+		// More cycles than the log holds: the older pauses are gone.
+		from = ms.NumGC - uint32(len(ms.PauseNs))
+	}
+	for gc := from + 1; gc <= ms.NumGC; gc++ {
+		pause := ms.PauseNs[(gc+255)%256]
+		m.pauses.Observe(int(pause / 1e3))
+	}
+	m.lastNumGC = ms.NumGC
+	m.mu.Unlock()
+
+	e.Gauge(prefix+"go_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+	e.Gauge(prefix+"go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	e.Gauge(prefix+"go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", float64(ms.HeapSys))
+	e.Counter(prefix+"go_gc_total", "Completed GC cycles.", uint64(ms.NumGC))
+	e.Histogram(prefix+"go_gc_pause_seconds", "GC stop-the-world pause durations.", &m.pauses, 1e6)
+}

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsExpose(t *testing.T) {
+	var m RuntimeMetrics
+	runtime.GC() // ensure at least one cycle is in the pause log
+	var e Exposition
+	m.Expose(&e, "x_")
+	out := e.String()
+	for _, family := range []string{
+		"x_go_goroutines",
+		"x_go_heap_alloc_bytes",
+		"x_go_heap_sys_bytes",
+		"x_go_gc_total",
+		"x_go_gc_pause_seconds_bucket",
+		"x_go_gc_pause_seconds_count",
+	} {
+		if !strings.Contains(out, family) {
+			t.Fatalf("exposition missing %s:\n%s", family, out)
+		}
+	}
+	if m.pauses.Count() == 0 {
+		t.Fatal("no GC pauses observed after an explicit runtime.GC()")
+	}
+	// A second scrape must not re-observe the same cycles.
+	count := m.pauses.Count()
+	var e2 Exposition
+	m.Expose(&e2, "x_")
+	if got := m.pauses.Count(); got != count {
+		t.Fatalf("re-scrape re-observed pauses: %d -> %d", count, got)
+	}
+}

@@ -323,20 +323,22 @@ func releaseProbeScratch(s *probeScratch) { probePool.Put(s) }
 // probe intersects the posting lists of the given terms, smallest
 // first, and returns the resulting sorted duplicate-free ordinals
 // (tombstoned ordinals included — the caller filters while resolving
-// against the dictionary) plus the number of merge steps taken, the
-// intersection-cost counter /stats reports. A missing term
-// short-circuits to the empty set without touching the other lists.
-// Apart from scratch growth on first use, probe does not allocate.
-func (ix *pathIndex) probe(terms []uint64, scr *probeScratch) ([]ordinal, int) {
+// against the dictionary) plus the number of merge steps taken — the
+// intersection-cost counter /stats reports — and how many of the
+// pairwise merges ran in galloping mode (the per-query trace records
+// it per shard). A missing term short-circuits to the empty set
+// without touching the other lists. Apart from scratch growth on
+// first use, probe does not allocate.
+func (ix *pathIndex) probe(terms []uint64, scr *probeScratch) (_ []ordinal, steps, gallops int) {
 	if len(terms) == 0 {
-		return nil, 0
+		return nil, 0, 0
 	}
 	lists := scr.lists[:0]
 	defer func() { scr.lists = lists }()
 	for _, term := range terms {
 		post, ok := ix.postings[term]
 		if !ok {
-			return nil, 0
+			return nil, 0, 0
 		}
 		lists = append(lists, post)
 	}
@@ -349,7 +351,6 @@ func (ix *pathIndex) probe(terms []uint64, scr *probeScratch) ([]ordinal, int) {
 		}
 	}
 	cur := lists[0]
-	steps := 0
 	for i := 1; i < len(lists) && len(cur) > 0; i++ {
 		// Ping-pong between the two scratch buffers, so cur (the
 		// previous round's output) never aliases the buffer written.
@@ -361,8 +362,12 @@ func (ix *pathIndex) probe(terms []uint64, scr *probeScratch) ([]ordinal, int) {
 			dst = scr.bufB[:0]
 		}
 		var s int
-		dst, s = intersectInto(dst, cur, lists[i])
+		var galloped bool
+		dst, s, galloped = intersectInto(dst, cur, lists[i])
 		steps += s
+		if galloped {
+			gallops++
+		}
 		if odd {
 			scr.bufA = dst
 		} else {
@@ -370,7 +375,7 @@ func (ix *pathIndex) probe(terms []uint64, scr *probeScratch) ([]ordinal, int) {
 		}
 		cur = dst
 	}
-	return cur, steps
+	return cur, steps, gallops
 }
 
 // gallopRatio is the list-length ratio past which the intersection
@@ -381,8 +386,9 @@ const gallopRatio = 8
 
 // intersectInto appends the intersection of a and b (both sorted,
 // duplicate-free, len(a) ≤ len(b)) to dst and returns it with the
-// number of comparison steps — the work metric QueryStats aggregates.
-func intersectInto(dst, a, b []ordinal) ([]ordinal, int) {
+// number of comparison steps — the work metric QueryStats aggregates —
+// and whether the merge switched to galloping mode.
+func intersectInto(dst, a, b []ordinal) ([]ordinal, int, bool) {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
@@ -418,7 +424,7 @@ func intersectInto(dst, a, b []ordinal) ([]ordinal, int) {
 				break
 			}
 		}
-		return dst, steps
+		return dst, steps, true
 	}
 	// Small-vs-small: plain two-pointer merge.
 	i, j := 0, 0
@@ -435,5 +441,5 @@ func intersectInto(dst, a, b []ordinal) ([]ordinal, int) {
 			j++
 		}
 	}
-	return dst, steps
+	return dst, steps, false
 }

@@ -151,7 +151,7 @@ func TestProbeEmptyIntersectionEarlyExit(t *testing.T) {
 		{absent, present},
 		nil,
 	} {
-		ords, steps := ix.probe(terms, scr)
+		ords, steps, _ := ix.probe(terms, scr)
 		if len(ords) != 0 || steps != 0 {
 			t.Fatalf("probe(%v) = %d ordinals, %d steps; want empty with zero steps", terms, len(ords), steps)
 		}
@@ -194,7 +194,7 @@ func TestProbeSortedDedupProperty(t *testing.T) {
 			valueTerm(pathHash([]jsontree.Step{jsontree.Key("color")}), valHash),
 		}
 		scr := acquireProbeScratch()
-		ords, _ := ix.probe(terms, scr)
+		ords, _, _ := ix.probe(terms, scr)
 		for i := 1; i < len(ords); i++ {
 			if ords[i-1] >= ords[i] {
 				t.Fatalf("round %d: probe output not strictly ascending: %v", round, ords)

@@ -136,7 +136,7 @@ func BenchmarkStoreIntersection(b *testing.B) {
 				got := 0
 				for _, sh := range s.shards {
 					sh.mu.RLock()
-					ords, _ := sh.ix.probe(terms, scr)
+					ords, _, _ := sh.ix.probe(terms, scr)
 					got += len(ords)
 					sh.mu.RUnlock()
 				}

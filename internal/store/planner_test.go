@@ -158,7 +158,7 @@ func TestPlannerDegradedFactLabel(t *testing.T) {
 func probeIDs(ix *pathIndex, terms []uint64) []string {
 	scr := acquireProbeScratch()
 	defer releaseProbeScratch(scr)
-	ords, _ := ix.probe(terms, scr)
+	ords, _, _ := ix.probe(terms, scr)
 	var out []string
 	for _, ord := range ords {
 		if id := ix.ids[ord]; id != "" {

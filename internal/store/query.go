@@ -3,11 +3,13 @@ package store
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"jsonlogic/internal/engine"
 	"jsonlogic/internal/jsontree"
+	"jsonlogic/internal/trace"
 )
 
 // Selection is the node-selection result for one document.
@@ -26,13 +28,26 @@ type docPair struct {
 	tree *jsontree.Tree
 }
 
+// execInfo aggregates one execution's counter inputs — parallelism,
+// intersection work, candidate count — returned up to the Find/Select
+// entry points, which alone bump the store's counters. Explain runs
+// the identical pipeline and simply discards it, so explaining a
+// query never disturbs the statistics.
+type execInfo struct {
+	workers    int
+	steps      uint64
+	candidates int
+}
+
 // collectCandidates appends the shard's candidates for one query to
 // dst under the shard's read lock: the live documents of the posting
 // intersection when indexed, the whole shard otherwise. Trees are
 // immutable, so evaluation happens after the lock is released; each
 // query sees a consistent per-shard snapshot. steps reports the
-// intersection's merge work.
-func (sh *shard) collectCandidates(terms []uint64, indexed bool, dst []docPair) (_ []docPair, steps int) {
+// intersection's merge work. An armed trace gets one "probe" span per
+// indexed shard (posting-list lengths, merge steps, gallop switches,
+// surviving candidates); tr is nil on the untraced path.
+func (sh *shard) collectCandidates(terms []uint64, indexed bool, dst []docPair, tr *trace.Trace, shardIdx int) (_ []docPair, steps int) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	if !indexed {
@@ -41,8 +56,15 @@ func (sh *shard) collectCandidates(terms []uint64, indexed bool, dst []docPair) 
 		})
 		return dst, 0
 	}
+	sp := trace.None
+	if tr != nil {
+		sp = tr.Start(tr.Root(), "probe")
+		tr.Attr(sp, "shard", int64(shardIdx))
+		tr.AttrStr(sp, "lists", postingLengths(sh.ix, terms))
+	}
 	scr := acquireProbeScratch()
-	ords, steps := sh.ix.probe(terms, scr)
+	ords, steps, gallops := sh.ix.probe(terms, scr)
+	before := len(dst)
 	for _, ord := range ords {
 		// The probe result may carry tombstoned ordinals; the dictionary
 		// filters them here, while the lock still pins it.
@@ -51,17 +73,37 @@ func (sh *shard) collectCandidates(terms []uint64, indexed bool, dst []docPair) 
 		}
 	}
 	releaseProbeScratch(scr)
+	if sp != trace.None {
+		tr.Attr(sp, "steps", int64(steps))
+		tr.Attr(sp, "gallops", int64(gallops))
+		tr.Attr(sp, "candidates", int64(len(dst)-before))
+		tr.End(sp)
+	}
 	return dst, steps
+}
+
+// postingLengths renders the probed terms' posting-list lengths
+// ("12,4096"), in term order — the trace's record of what the
+// intersection was up against on this shard.
+func postingLengths(ix *pathIndex, terms []uint64) string {
+	var b []byte
+	for i, term := range terms {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(len(ix.postings[term])), 10)
+	}
+	return string(b)
 }
 
 // candidates snapshots, serially, the documents a query must evaluate
 // across all shards. The fan-out paths below collect per shard on the
-// worker pool instead; this entry point remains for Explain and the
-// differential tests' reference scans.
+// worker pool instead; this entry point remains for the forced-access
+// benchmarks and the differential tests' reference scans.
 func (s *Store) candidates(terms []uint64, indexed bool) []docPair {
 	var out []docPair
-	for _, sh := range s.shards {
-		out, _ = sh.collectCandidates(terms, indexed, out)
+	for i, sh := range s.shards {
+		out, _ = sh.collectCandidates(terms, indexed, out, nil, i)
 	}
 	return out
 }
@@ -126,6 +168,62 @@ func (s *Store) noteFanout(workers int, steps uint64) {
 	}
 }
 
+// annotatePlanSpan records the planner's verdict on the trace's plan
+// span: access path, justification, and the terms kept/skipped with
+// their cardinalities.
+func annotatePlanSpan(tr *trace.Trace, sp trace.SpanID, plan *QueryPlan) {
+	if tr == nil {
+		return
+	}
+	tr.AttrStr(sp, "access", plan.Access.String())
+	tr.AttrStr(sp, "reason", plan.Reason)
+	tr.Attr(sp, "doc_count", int64(plan.DocCount))
+	kept := 0
+	for _, t := range plan.Terms {
+		if !t.Skipped {
+			kept++
+		}
+	}
+	tr.Attr(sp, "terms_kept", int64(kept))
+	tr.Attr(sp, "terms_skipped", int64(plan.TermsSkipped()))
+	tr.Attr(sp, "est_candidates", int64(plan.EstCandidates))
+	if len(plan.Terms) > 0 {
+		tr.AttrStr(sp, "terms", renderTerms(plan.Terms))
+	}
+}
+
+// renderTerms compacts the planner's per-term decisions into one
+// attribute value: "fact=cardinality" per term, "!" marking skipped
+// terms, comma-separated in planner (ascending-cardinality) order.
+func renderTerms(terms []TermPlan) string {
+	var b []byte
+	for i, t := range terms {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		if t.Skipped {
+			b = append(b, '!')
+		}
+		b = append(b, t.Fact...)
+		b = append(b, '=')
+		b = strconv.AppendInt(b, int64(t.Cardinality), 10)
+	}
+	return string(b)
+}
+
+// runFind executes the whole find pipeline — plan, per-shard probe,
+// validate, sorted merge — recording spans on tr (which may be nil),
+// and returns the plan and counter inputs untouched. Find/FindTraced
+// bump the counters; Explain runs this same code and does not.
+func (s *Store) runFind(p *engine.Plan, tr *trace.Trace) ([]string, QueryPlan, execInfo, error) {
+	sp := tr.Start(tr.Root(), "plan")
+	plan := s.planFacts(p.FindFacts())
+	annotatePlanSpan(tr, sp, &plan)
+	tr.End(sp)
+	ids, info, err := s.findFanout(p, plan.probeTerms, plan.Access == AccessIndex, tr)
+	return ids, plan, info, err
+}
+
 // Find returns the IDs of all documents matching the plan's boolean
 // semantics (engine.Validate), sorted. The cost-based planner decides
 // per query between posting-list intersection and a full scan; results
@@ -135,7 +233,13 @@ func (s *Store) noteFanout(workers int, steps uint64) {
 // list, so the result is deterministic whatever the interleaving. The
 // returned indexed flag reports which access path answered the query.
 func (s *Store) Find(p *engine.Plan) (ids []string, indexed bool, err error) {
-	plan := s.planFacts(p.FindFacts())
+	return s.FindTraced(p, nil)
+}
+
+// FindTraced is Find recording the pipeline's spans on tr. A nil tr is
+// the production fast path: the recorder calls reduce to nil checks.
+func (s *Store) FindTraced(p *engine.Plan, tr *trace.Trace) (ids []string, indexed bool, err error) {
+	ids, plan, info, err := s.runFind(p, tr)
 	s.notePlan(&plan)
 	indexed = plan.Access == AccessIndex
 	if indexed {
@@ -143,8 +247,8 @@ func (s *Store) Find(p *engine.Plan) (ids []string, indexed bool, err error) {
 	} else {
 		s.findScan.Add(1)
 	}
-	ids, candidates, err := s.findFanout(p, plan.probeTerms, indexed)
-	s.noteCandidates(false, indexed, candidates)
+	s.noteFanout(info.workers, info.steps)
+	s.noteCandidates(false, indexed, info.candidates)
 	return ids, indexed, err
 }
 
@@ -153,8 +257,9 @@ func (s *Store) Find(p *engine.Plan) (ids []string, indexed bool, err error) {
 // Find — the scan's unit of parallelism is the shard.
 func (s *Store) FindScan(p *engine.Plan) ([]string, error) {
 	s.findScan.Add(1)
-	ids, candidates, err := s.findFanout(p, nil, false)
-	s.noteCandidates(false, false, candidates)
+	ids, info, err := s.findFanout(p, nil, false, nil)
+	s.noteFanout(info.workers, info.steps)
+	s.noteCandidates(false, false, info.candidates)
 	return ids, err
 }
 
@@ -165,28 +270,30 @@ func (s *Store) FindScan(p *engine.Plan) ([]string, error) {
 // per-document batch pool instead, capped at Options.QueryWorkers so
 // the configured per-query parallelism bound holds on this path too.
 // ok is false when the normal per-shard fan-out should run.
-func (s *Store) lowShardBatch(terms []uint64, indexed bool) (pairs []docPair, workers int, ok bool) {
+func (s *Store) lowShardBatch(terms []uint64, indexed bool, tr *trace.Trace) (pairs []docPair, info execInfo, ok bool) {
 	if s.opts.QueryWorkers <= len(s.shards) {
-		return nil, 0, false
+		return nil, execInfo{}, false
 	}
 	steps := 0
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		var st int
-		pairs, st = sh.collectCandidates(terms, indexed, pairs)
+		pairs, st = sh.collectCandidates(terms, indexed, pairs, tr, i)
 		steps += st
 	}
-	workers = min(s.eng.Workers(), s.opts.QueryWorkers, max(len(pairs), 1))
-	s.noteFanout(workers, uint64(steps))
-	return pairs, workers, true
+	info.workers = min(s.eng.Workers(), s.opts.QueryWorkers, max(len(pairs), 1))
+	info.steps = uint64(steps)
+	info.candidates = len(pairs)
+	return pairs, info, true
 }
 
 // findFanout runs the find pipeline — probe, snapshot, validate —
 // per shard on the worker pool and merges the matches.
-func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool) ([]string, int, error) {
-	if pairs, workers, ok := s.lowShardBatch(terms, indexed); ok {
-		verdicts, err := s.eng.ValidateBatchBounded(p, candidateTrees(pairs), workers)
+func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool, tr *trace.Trace) ([]string, execInfo, error) {
+	if pairs, info, ok := s.lowShardBatch(terms, indexed, tr); ok {
+		sp := tr.Start(tr.Root(), "eval")
+		verdicts, err := s.eng.ValidateBatchBounded(p, candidateTrees(pairs), info.workers)
 		if err != nil {
-			return nil, len(pairs), err
+			return nil, info, err
 		}
 		ids := make([]string, 0, len(pairs))
 		for i, match := range verdicts {
@@ -194,15 +301,28 @@ func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool) ([]stri
 				ids = append(ids, pairs[i].id)
 			}
 		}
+		if sp != trace.None {
+			tr.Attr(sp, "docs", int64(len(pairs)))
+			tr.Attr(sp, "matches", int64(len(ids)))
+			tr.End(sp)
+		}
+		msp := tr.Start(tr.Root(), "merge")
 		sort.Strings(ids)
-		return ids, len(pairs), nil
+		tr.Attr(msp, "results", int64(len(ids)))
+		tr.End(msp)
+		return ids, info, nil
 	}
 	perShard := make([][]string, len(s.shards))
 	var candidates, steps atomic.Int64
 	workers, err := s.fanOut(func(i int) error {
-		pairs, st := s.shards[i].collectCandidates(terms, indexed, nil)
+		pairs, st := s.shards[i].collectCandidates(terms, indexed, nil, tr, i)
 		candidates.Add(int64(len(pairs)))
 		steps.Add(int64(st))
+		sp := trace.None
+		if tr != nil {
+			sp = tr.Start(tr.Root(), "eval")
+			tr.Attr(sp, "shard", int64(i))
+		}
 		var ids []string
 		for _, pair := range pairs {
 			ok, verr := s.eng.Validate(p, pair.tree)
@@ -213,13 +333,19 @@ func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool) ([]stri
 				ids = append(ids, pair.id)
 			}
 		}
+		if sp != trace.None {
+			tr.Attr(sp, "docs", int64(len(pairs)))
+			tr.Attr(sp, "matches", int64(len(ids)))
+			tr.End(sp)
+		}
 		perShard[i] = ids
 		return nil
 	})
-	s.noteFanout(workers, uint64(steps.Load()))
+	info := execInfo{workers: workers, steps: uint64(steps.Load()), candidates: int(candidates.Load())}
 	if err != nil {
-		return nil, int(candidates.Load()), err
+		return nil, info, err
 	}
+	msp := tr.Start(tr.Root(), "merge")
 	total := 0
 	for _, ids := range perShard {
 		total += len(ids)
@@ -229,7 +355,19 @@ func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool) ([]stri
 		out = append(out, ids...)
 	}
 	sort.Strings(out)
-	return out, int(candidates.Load()), nil
+	tr.Attr(msp, "results", int64(len(out)))
+	tr.End(msp)
+	return out, info, nil
+}
+
+// runSelect is runFind's node-selection counterpart.
+func (s *Store) runSelect(p *engine.Plan, tr *trace.Trace) ([]Selection, QueryPlan, execInfo, error) {
+	sp := tr.Start(tr.Root(), "plan")
+	plan := s.planFacts(p.SelectFacts())
+	annotatePlanSpan(tr, sp, &plan)
+	tr.End(sp)
+	sels, info, err := s.selectFanout(p, plan.probeTerms, plan.Access == AccessIndex, tr)
+	return sels, plan, info, err
 }
 
 // Select runs the plan's node-selection semantics (engine.Eval) over
@@ -241,7 +379,13 @@ func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool) ([]stri
 // other plans scan. The returned indexed flag reports the chosen
 // access path.
 func (s *Store) Select(p *engine.Plan) (sels []Selection, indexed bool, err error) {
-	plan := s.planFacts(p.SelectFacts())
+	return s.SelectTraced(p, nil)
+}
+
+// SelectTraced is Select recording the pipeline's spans on tr; nil tr
+// is the untraced fast path.
+func (s *Store) SelectTraced(p *engine.Plan, tr *trace.Trace) (sels []Selection, indexed bool, err error) {
+	sels, plan, info, err := s.runSelect(p, tr)
 	s.notePlan(&plan)
 	indexed = plan.Access == AccessIndex
 	if indexed {
@@ -249,27 +393,29 @@ func (s *Store) Select(p *engine.Plan) (sels []Selection, indexed bool, err erro
 	} else {
 		s.selectScan.Add(1)
 	}
-	sels, candidates, err := s.selectFanout(p, plan.probeTerms, indexed)
-	s.noteCandidates(true, indexed, candidates)
+	s.noteFanout(info.workers, info.steps)
+	s.noteCandidates(true, indexed, info.candidates)
 	return sels, indexed, err
 }
 
 // SelectScan is Select with the planner and index disabled.
 func (s *Store) SelectScan(p *engine.Plan) ([]Selection, error) {
 	s.selectScan.Add(1)
-	sels, candidates, err := s.selectFanout(p, nil, false)
-	s.noteCandidates(true, false, candidates)
+	sels, info, err := s.selectFanout(p, nil, false, nil)
+	s.noteFanout(info.workers, info.steps)
+	s.noteCandidates(true, false, info.candidates)
 	return sels, err
 }
 
 // selectFanout is findFanout's node-selection counterpart. Each worker
 // evaluates through a reused node buffer (engine.EvalAppend), copying
 // only the per-document selections that are actually returned.
-func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool) ([]Selection, int, error) {
-	if pairs, workers, ok := s.lowShardBatch(terms, indexed); ok {
-		selections, err := s.eng.EvalBatchBounded(p, candidateTrees(pairs), workers)
+func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool, tr *trace.Trace) ([]Selection, execInfo, error) {
+	if pairs, info, ok := s.lowShardBatch(terms, indexed, tr); ok {
+		sp := tr.Start(tr.Root(), "eval")
+		selections, err := s.eng.EvalBatchBounded(p, candidateTrees(pairs), info.workers)
 		if err != nil {
-			return nil, len(pairs), err
+			return nil, info, err
 		}
 		out := make([]Selection, 0, len(pairs))
 		for i, nodes := range selections {
@@ -277,15 +423,28 @@ func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool) ([]Se
 				out = append(out, Selection{ID: pairs[i].id, Tree: pairs[i].tree, Nodes: nodes})
 			}
 		}
+		if sp != trace.None {
+			tr.Attr(sp, "docs", int64(len(pairs)))
+			tr.Attr(sp, "matches", int64(len(out)))
+			tr.End(sp)
+		}
+		msp := tr.Start(tr.Root(), "merge")
 		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-		return out, len(pairs), nil
+		tr.Attr(msp, "results", int64(len(out)))
+		tr.End(msp)
+		return out, info, nil
 	}
 	perShard := make([][]Selection, len(s.shards))
 	var candidates, steps atomic.Int64
 	workers, err := s.fanOut(func(i int) error {
-		pairs, st := s.shards[i].collectCandidates(terms, indexed, nil)
+		pairs, st := s.shards[i].collectCandidates(terms, indexed, nil, tr, i)
 		candidates.Add(int64(len(pairs)))
 		steps.Add(int64(st))
+		sp := trace.None
+		if tr != nil {
+			sp = tr.Start(tr.Root(), "eval")
+			tr.Attr(sp, "shard", int64(i))
+		}
 		var (
 			sels []Selection
 			buf  []jsontree.NodeID
@@ -302,13 +461,19 @@ func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool) ([]Se
 				sels = append(sels, Selection{ID: pair.id, Tree: pair.tree, Nodes: nodes})
 			}
 		}
+		if sp != trace.None {
+			tr.Attr(sp, "docs", int64(len(pairs)))
+			tr.Attr(sp, "matches", int64(len(sels)))
+			tr.End(sp)
+		}
 		perShard[i] = sels
 		return nil
 	})
-	s.noteFanout(workers, uint64(steps.Load()))
+	info := execInfo{workers: workers, steps: uint64(steps.Load()), candidates: int(candidates.Load())}
 	if err != nil {
-		return nil, int(candidates.Load()), err
+		return nil, info, err
 	}
+	msp := tr.Start(tr.Root(), "merge")
 	total := 0
 	for _, sels := range perShard {
 		total += len(sels)
@@ -318,13 +483,14 @@ func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool) ([]Se
 		out = append(out, sels...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out, int(candidates.Load()), nil
+	tr.Attr(msp, "results", int64(len(out)))
+	tr.End(msp)
+	return out, info, nil
 }
 
 // findOver evaluates the plan's boolean semantics over an
-// already-collected candidate snapshot — the serial tail Explain and
-// the forced-access benchmarks use (the production path is
-// findFanout).
+// already-collected candidate snapshot — the serial tail the
+// forced-access benchmarks use (the production path is findFanout).
 func (s *Store) findOver(p *engine.Plan, pairs []docPair) ([]string, error) {
 	verdicts, err := s.eng.ValidateBatch(p, candidateTrees(pairs))
 	if err != nil {
@@ -418,30 +584,51 @@ type Explanation struct {
 	// ActualResults counts matching documents (find) or documents with
 	// at least one selected node (select).
 	ActualResults int `json:"actual_results"`
+	// Trace is the span tree recorded while executing this explanation
+	// — the same recorder and pipeline the slow-query log uses, so the
+	// stage timings are measured on the production path, not modelled
+	// by a parallel one.
+	Trace []*trace.SpanOut `json:"trace"`
 }
 
 // Explain plans and executes the query in the given mode ("find" or
-// "select"), reporting the logical and physical trees alongside
-// estimated and actual cardinalities. It runs the real access path but
-// does not disturb the store's query counters.
+// "select") under an always-armed trace recorder, reporting the
+// logical and physical trees, estimated and actual cardinalities, and
+// the recorded per-stage span tree. It runs the real fan-out pipeline
+// (runFind/runSelect — exactly what Find and Select execute) but does
+// not disturb the store's query counters.
 func (s *Store) Explain(p *engine.Plan, mode string) (Explanation, error) {
-	var facts []jsontree.PathFact
 	switch mode {
 	case "", "find":
 		mode = "find"
-		facts = p.FindFacts()
 	case "select":
-		facts = p.SelectFacts()
 	default:
 		return Explanation{}, fmt.Errorf("store: explain: unknown mode %q", mode)
 	}
-	plan := s.planFacts(facts)
+	tr := trace.NewTrace("explain")
+	tr.SetQuery(p.Language().String(), p.Source(), mode)
+	var (
+		plan    QueryPlan
+		info    execInfo
+		results int
+	)
+	if mode == "find" {
+		ids, pl, inf, err := s.runFind(p, tr)
+		if err != nil {
+			return Explanation{}, err
+		}
+		plan, info, results = pl, inf, len(ids)
+	} else {
+		sels, pl, inf, err := s.runSelect(p, tr)
+		if err != nil {
+			return Explanation{}, err
+		}
+		plan, info, results = pl, inf, len(sels)
+	}
 	for i := range plan.Terms {
 		plan.Terms[i].Classes = s.ClassHistogram(plan.Terms[i].steps).Map()
 	}
-	indexed := plan.Access == AccessIndex
-	pairs := s.candidates(plan.probeTerms, indexed)
-	ex := Explanation{
+	return Explanation{
 		Plan:             p.Explain(),
 		Mode:             mode,
 		Access:           plan.Access.String(),
@@ -449,20 +636,8 @@ func (s *Store) Explain(p *engine.Plan, mode string) (Explanation, error) {
 		DocCount:         plan.DocCount,
 		Terms:            plan.Terms,
 		EstCandidates:    plan.EstCandidates,
-		ActualCandidates: len(pairs),
-	}
-	if mode == "find" {
-		ids, err := s.findOver(p, pairs)
-		if err != nil {
-			return Explanation{}, err
-		}
-		ex.ActualResults = len(ids)
-	} else {
-		sels, err := s.selOver(p, pairs)
-		if err != nil {
-			return Explanation{}, err
-		}
-		ex.ActualResults = len(sels)
-	}
-	return ex, nil
+		ActualCandidates: info.candidates,
+		ActualResults:    results,
+		Trace:            tr.Spans(),
+	}, nil
 }

@@ -1,0 +1,59 @@
+package trace
+
+import "sync"
+
+// ring is a fixed-size buffer of kept trace snapshots. Pushes evict
+// the oldest entry once full, so memory is bounded by size × snapshot
+// size regardless of how many slow queries the daemon sees; reads
+// return newest first — the order GET /debug/queries serves.
+type ring struct {
+	mu   sync.Mutex
+	buf  []*Snapshot // circular; buf[next] is the oldest once wrapped
+	next int
+	full bool
+	seq  uint64
+}
+
+func newRing(size int) *ring {
+	return &ring{buf: make([]*Snapshot, size)}
+}
+
+// push stores s, assigning its sequence id under the same lock so
+// insertion order and id order agree even with concurrent writers —
+// the invariant that makes "newest first" well defined.
+func (r *ring) push(s *Snapshot) {
+	r.mu.Lock()
+	r.seq++
+	s.ID = r.seq
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+func (r *ring) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// snapshots copies the held entries, newest first.
+func (r *ring) snapshots() []*Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]*Snapshot, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+// Package trace is jsonstored's pooled per-query trace recorder: a
+// span tree with per-stage wall time and typed attributes, threaded
+// through the read path (request → compile → plan → per-shard probe →
+// eval → merge). The recorder is designed around one hard constraint:
+// when a query is not traced, the instrumentation must cost nothing
+// but a nil check — every method is safe (and trivially cheap) on a
+// nil *Trace, so call sites are unconditional and the untraced hot
+// path stays allocation-free.
+//
+// Recorders come from a Tracer (tracer.go), which arms one per query
+// when the sampler fires or slow-query detection is on, and decides at
+// Finish whether the completed trace is kept: slow traces (and sampled
+// ones) are materialized into Snapshots, pushed onto a fixed-size ring
+// (ring.go) served by GET /debug/queries, and logged through slog.
+// Store.Explain drives the same recorder in always-on mode, so explain
+// output is the actual recorded trace rather than a parallel code
+// path.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanID names one span within one Trace. The root span is always 0;
+// None is the id returned by operations on a nil (untraced) recorder,
+// and is itself accepted (and ignored) everywhere a SpanID is taken.
+type SpanID int32
+
+// None is the SpanID of "no span": Start on a nil Trace returns it,
+// and every method accepting a SpanID treats it as a no-op target.
+const None SpanID = -1
+
+// span is one recorded stage. Times are offsets from the trace start,
+// so a pooled recorder carries no absolute timestamps between queries.
+type span struct {
+	name   string
+	parent SpanID
+	start  time.Duration
+	dur    time.Duration
+}
+
+// attrRec is one key/value attribute, tagged with its span because
+// concurrent per-shard workers interleave their appends in the shared
+// arena.
+type attrRec struct {
+	span  SpanID
+	key   string
+	str   string
+	num   int64
+	isStr bool
+}
+
+// Trace records one query's span tree. A Trace is either armed
+// (non-nil, from Tracer.Start or NewTrace) or absent (nil); methods on
+// a nil Trace do nothing, which is the entire disabled path. Armed
+// recorders are safe for concurrent use — the store's parallel shard
+// workers record probe/eval spans from multiple goroutines.
+type Trace struct {
+	start   time.Time
+	sampled bool
+
+	lang      string
+	source    string
+	mode      string
+	requestID string
+
+	mu    sync.Mutex
+	spans []span
+	attrs []attrRec
+}
+
+// NewTrace returns a standalone always-armed recorder whose root span
+// has the given name. Store.Explain and tests use it; request tracing
+// goes through a Tracer so pooling, sampling and the ring apply.
+func NewTrace(rootName string) *Trace {
+	t := &Trace{}
+	t.reset(rootName)
+	return t
+}
+
+// reset re-arms a (possibly pooled) recorder: clears spans and attrs
+// keeping their capacity, stamps the start time and opens the root
+// span.
+func (t *Trace) reset(rootName string) {
+	t.start = time.Now()
+	t.sampled = false
+	t.lang, t.source, t.mode, t.requestID = "", "", "", ""
+	t.spans = append(t.spans[:0], span{name: rootName, parent: None})
+	t.attrs = t.attrs[:0]
+}
+
+// Root returns the root span's id (0), or None on a nil Trace.
+func (t *Trace) Root() SpanID {
+	if t == nil {
+		return None
+	}
+	return 0
+}
+
+// Start opens a child span under parent and returns its id. On a nil
+// Trace it returns None.
+func (t *Trace) Start(parent SpanID, name string) SpanID {
+	if t == nil {
+		return None
+	}
+	off := time.Since(t.start)
+	t.mu.Lock()
+	id := SpanID(len(t.spans))
+	t.spans = append(t.spans, span{name: name, parent: parent, start: off})
+	t.mu.Unlock()
+	return id
+}
+
+// End closes the span, recording its duration. Ending None (or ending
+// on a nil Trace) is a no-op; ending twice keeps the later duration.
+func (t *Trace) End(id SpanID) {
+	if t == nil || id < 0 {
+		return
+	}
+	off := time.Since(t.start)
+	t.mu.Lock()
+	if int(id) < len(t.spans) {
+		t.spans[id].dur = off - t.spans[id].start
+	}
+	t.mu.Unlock()
+}
+
+// Attr attaches an integer attribute to the span.
+func (t *Trace) Attr(id SpanID, key string, v int64) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	t.attrs = append(t.attrs, attrRec{span: id, key: key, num: v})
+	t.mu.Unlock()
+}
+
+// AttrStr attaches a string attribute to the span.
+func (t *Trace) AttrStr(id SpanID, key, v string) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	t.attrs = append(t.attrs, attrRec{span: id, key: key, str: v, isStr: true})
+	t.mu.Unlock()
+}
+
+// SetQuery records the query's language, source text and mode; they
+// appear on the trace's Snapshot (and in the slow-query log).
+func (t *Trace) SetQuery(lang, source, mode string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.lang, t.source, t.mode = lang, source, mode
+	t.mu.Unlock()
+}
+
+// SetRequestID records the client-supplied X-Request-ID, the join key
+// between a load generator's slowest-request report and the
+// /debug/queries ring.
+func (t *Trace) SetRequestID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.requestID = id
+	t.mu.Unlock()
+}
+
+// Sampled reports whether the sampler (rather than only slow-query
+// arming) selected this trace.
+func (t *Trace) Sampled() bool { return t != nil && t.sampled }
+
+// SpanOut is one rendered span in a Snapshot's tree. Durations are
+// nanoseconds so sub-microsecond stages stay visible.
+type SpanOut struct {
+	Name       string         `json:"name"`
+	StartNS    int64          `json:"start_ns"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanOut     `json:"children,omitempty"`
+}
+
+// Snapshot is one completed, materialized trace: what the ring stores
+// and GET /debug/queries serves. Unlike the pooled recorder it owns
+// all its memory.
+type Snapshot struct {
+	// ID is the ring-assigned sequence number, newest highest.
+	ID uint64 `json:"id"`
+	// Time is when the query started.
+	Time time.Time `json:"time"`
+	// DurationNS is the whole request's wall time.
+	DurationNS int64 `json:"duration_ns"`
+	// Trigger is why the trace was kept: "slow", "sample" or "explain".
+	Trigger   string     `json:"trigger"`
+	Lang      string     `json:"lang,omitempty"`
+	Query     string     `json:"query,omitempty"`
+	Mode      string     `json:"mode,omitempty"`
+	RequestID string     `json:"request_id,omitempty"`
+	Spans     []*SpanOut `json:"spans"`
+}
+
+// Spans materializes the recorded span tree (root first). The root
+// span, if still open, is rendered with the elapsed time so far.
+func (t *Trace) Spans() []*SpanOut {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spansLocked()
+}
+
+func (t *Trace) spansLocked() []*SpanOut {
+	nodes := make([]*SpanOut, len(t.spans))
+	for i, sp := range t.spans {
+		dur := sp.dur
+		if dur == 0 && sp.parent == None {
+			dur = time.Since(t.start) - sp.start
+		}
+		nodes[i] = &SpanOut{Name: sp.name, StartNS: int64(sp.start), DurationNS: int64(dur)}
+	}
+	for _, a := range t.attrs {
+		n := nodes[a.span]
+		if n.Attrs == nil {
+			n.Attrs = make(map[string]any)
+		}
+		if a.isStr {
+			n.Attrs[a.key] = a.str
+		} else {
+			n.Attrs[a.key] = a.num
+		}
+	}
+	// Spans start strictly after their parent, so parents always precede
+	// children in append order: one forward pass builds the tree.
+	var roots []*SpanOut
+	for i, sp := range t.spans {
+		if sp.parent == None || int(sp.parent) >= len(nodes) {
+			roots = append(roots, nodes[i])
+			continue
+		}
+		p := nodes[sp.parent]
+		p.Children = append(p.Children, nodes[i])
+	}
+	return roots
+}
+
+// snapshot closes the root span at dur and materializes the trace.
+// The snapshot's ID is assigned by the ring at push time.
+func (t *Trace) snapshot(trigger string, dur time.Duration) *Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans[0].dur = dur
+	return &Snapshot{
+		Time:       t.start,
+		DurationNS: int64(dur),
+		Trigger:    trigger,
+		Lang:       t.lang,
+		Query:      t.source,
+		Mode:       t.mode,
+		RequestID:  t.requestID,
+		Spans:      t.spansLocked(),
+	}
+}
+
+// StageNS sums rendered span durations by name across the whole tree —
+// the per-stage totals the slow-query log emits (probe and eval spans
+// are per shard; their sum is the aggregate stage cost).
+func (s *Snapshot) StageNS() map[string]int64 {
+	out := make(map[string]int64)
+	var walk func(ns []*SpanOut)
+	walk = func(ns []*SpanOut) {
+		for _, n := range ns {
+			out[n.Name] += n.DurationNS
+			walk(n.Children)
+		}
+	}
+	walk(s.Spans)
+	return out
+}

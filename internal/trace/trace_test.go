@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"runtime/debug"
+	"testing"
+	"time"
+)
+
+// measureAllocs reports steady-state allocations per call with GC
+// pinned off, after one warm-up call.
+func measureAllocs(f func()) float64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	f()
+	return testing.AllocsPerRun(200, f)
+}
+
+// TestNilTraceZeroAllocs pins the disabled path's contract: every
+// recorder method on a nil *Trace (and Start/Finish on a nil *Tracer)
+// is allocation-free — the cost tracing adds to an untraced query is
+// nil checks only.
+func TestNilTraceZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	var tr *Trace
+	var tc *Tracer
+	n := measureAllocs(func() {
+		tr2 := tc.Start()
+		root := tr2.Root()
+		sp := tr2.Start(root, "plan")
+		tr2.Attr(sp, "terms", 3)
+		tr2.AttrStr(sp, "access", "index")
+		tr2.End(sp)
+		tr2.SetQuery("mongo", `{"a":1}`, "find")
+		tr2.SetRequestID("r1")
+		tc.Finish(tr2)
+		tr.End(tr.Start(tr.Root(), "x"))
+	})
+	if n != 0 {
+		t.Fatalf("nil-trace path allocates: %v allocs/op, want 0", n)
+	}
+}
+
+// TestArmedRecorderReuse pins that a pooled recorder's slices are
+// reused across queries: after a warm-up query, recording a trace of
+// the same shape allocates only at snapshot time, never during span
+// recording.
+func TestArmedRecorderReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	tc := New(Options{SlowQuery: -1, SampleEvery: 1})
+	record := func() {
+		tr := tc.Start()
+		sp := tr.Start(tr.Root(), "plan")
+		tr.Attr(sp, "terms", 2)
+		tr.End(sp)
+		tc.Finish(tr)
+	}
+	record() // warm the pool and grow the arenas
+	// Finish materializes a Snapshot (allocation is expected there);
+	// measure only the recording half by never finishing.
+	tr := tc.Start()
+	n := measureAllocs(func() {
+		sp := tr.Start(tr.Root(), "plan")
+		tr.Attr(sp, "terms", 2)
+		tr.End(sp)
+		tr.mu.Lock()
+		tr.spans = tr.spans[:1]
+		tr.attrs = tr.attrs[:0]
+		tr.mu.Unlock()
+	})
+	tc.Finish(tr)
+	if n != 0 {
+		t.Fatalf("steady-state span recording allocates: %v allocs/op, want 0", n)
+	}
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	tr := NewTrace("request")
+	plan := tr.Start(tr.Root(), "plan")
+	tr.AttrStr(plan, "access", "index")
+	tr.Attr(plan, "terms_kept", 2)
+	tr.End(plan)
+	probe := tr.Start(tr.Root(), "probe")
+	tr.Attr(probe, "shard", 3)
+	tr.End(probe)
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d roots, want 1", len(spans))
+	}
+	root := spans[0]
+	if root.Name != "request" || len(root.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want request with 2", root.Name, len(root.Children))
+	}
+	if root.DurationNS <= 0 {
+		t.Fatalf("open root span rendered with duration %d, want > 0", root.DurationNS)
+	}
+	p := root.Children[0]
+	if p.Name != "plan" || p.Attrs["access"] != "index" || p.Attrs["terms_kept"] != int64(2) {
+		t.Fatalf("plan span wrong: %+v", p)
+	}
+	if root.Children[1].Attrs["shard"] != int64(3) {
+		t.Fatalf("probe span wrong: %+v", root.Children[1])
+	}
+}
+
+func TestStageNS(t *testing.T) {
+	tr := NewTrace("request")
+	for i := 0; i < 3; i++ {
+		sp := tr.Start(tr.Root(), "probe")
+		time.Sleep(time.Millisecond)
+		tr.End(sp)
+	}
+	snap := tr.snapshot("slow", time.Since(tr.start))
+	st := snap.StageNS()
+	if st["probe"] < 3*int64(time.Millisecond) {
+		t.Fatalf("probe stage total %d, want >= 3ms summed across shards", st["probe"])
+	}
+	if st["request"] != snap.DurationNS {
+		t.Fatalf("request stage %d != trace duration %d", st["request"], snap.DurationNS)
+	}
+}
