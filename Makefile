@@ -3,9 +3,9 @@
 GO ?= go
 
 # The committed benchmark snapshot for this PR sequence; bump per PR.
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 # bench-diff compares the previous PR's snapshot against this one.
-BENCH_OLD ?= BENCH_5.json
+BENCH_OLD ?= BENCH_6.json
 BENCH_NEW ?= $(BENCH_JSON)
 
 .PHONY: all build vet fmt-check test race race-core alloc-check fuzz bench bench-engine bench-store bench-smoke bench-json bench-diff docs-check run-daemon loadtest-smoke loadgrid
@@ -31,21 +31,34 @@ race:
 # Just the concurrency-hot tiers (shared plans, pooled executor
 # states, sharded store with parallel query fan-out, WAL group
 # commit, the trace ring under concurrent writers and the traced
-# HTTP read path) — the fast-failing prefix of the full race run.
+# HTTP read path) plus the theory packages the semantic planner now
+# calls at compile time (containment/jauto/schema/datalog) — the
+# fast-failing prefix of the full race run. The metamorphic
+# containment harness in internal/store rides along here, so its
+# ≥1000 pairs per front end run race-clean on every push.
 race-core:
-	$(GO) test -race ./internal/qir ./internal/engine ./internal/store ./internal/trace ./internal/httpapi
+	$(GO) test -race ./internal/qir ./internal/engine ./internal/store ./internal/trace ./internal/httpapi ./internal/containment ./internal/jauto ./internal/schema ./internal/datalog
 
 # Allocation-regression gate: the AllocsPerRun tests pinning the
 # pooled executor's steady state (plan-cache-hit Match/Eval at zero
-# allocations), the untraced compile path and the disabled/pooled
-# trace recorder. -count=1 defeats the test cache so the numbers are
-# measured, not replayed.
+# allocations), the untraced compile path — including cache-hit
+# compiles with the semantic pass enabled — and the disabled/pooled
+# trace recorder. The theory packages are included so any future
+# alloc pins there are picked up without editing this target.
+# -count=1 defeats the test cache so the numbers are measured, not
+# replayed.
 alloc-check:
-	$(GO) test -run 'ZeroAllocs|AllocsBounded' -count=1 ./internal/qir ./internal/engine ./internal/trace
+	$(GO) test -run 'ZeroAllocs|AllocsBounded' -count=1 ./internal/qir ./internal/engine ./internal/trace ./internal/containment ./internal/jauto ./internal/schema ./internal/datalog
 
-# Short native-fuzz pass over the engine's plan-cache key path.
+# Short native-fuzz passes: the engine's plan-cache key path, plus
+# the witness-soundness targets for the semantic planner's decision
+# procedures (a SAT witness must satisfy the query through the real
+# engine; containment refutations must separate the pair under the
+# production evaluator).
 fuzz:
 	$(GO) test ./internal/engine/ -run FuzzPlanCache -fuzz FuzzPlanCache -fuzztime 20s
+	$(GO) test ./internal/jauto/ -run FuzzJNLSat -fuzz FuzzJNLSat -fuzztime 30s
+	$(GO) test ./internal/containment/ -run FuzzContainment -fuzz FuzzContainment -fuzztime 30s
 
 # The full complexity-reproduction benchmark suite (slow).
 bench:

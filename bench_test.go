@@ -630,6 +630,56 @@ func BenchmarkEnginePlanCache(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSemanticCompile measures the semantic pass the engine
+// runs on plan-cache misses (Proposition 7 satisfiability, plus the
+// containment dedup scan) and pins the hit path with the pass enabled:
+// cache hits skip the pass entirely, so the hit series must match the
+// semantics-off plan cache at 0 allocs/op.
+func BenchmarkEngineSemanticCompile(b *testing.B) {
+	families := []struct {
+		name string
+		lang engine.Language
+		a, z string
+	}{
+		{"sat", engine.LangJSL,
+			`object && some(~"k.*", (number && min(1)) || string)`,
+			`object && some(~"j.*", (number && max(9)) || string)`},
+		{"unsat", engine.LangJNL,
+			`([/k0] && !([/k0]))`,
+			`([/k1] && !([/k1]))`},
+	}
+	for _, f := range families {
+		b.Run(f.name+"/miss", func(b *testing.B) {
+			// A size-1 cache with two alternating sources makes every
+			// compile a miss running the full semantic pass.
+			e := engine.New(engine.Options{PlanCacheSize: 1, SemanticBudget: 50000})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src := f.a
+				if i%2 == 1 {
+					src = f.z
+				}
+				if _, err := e.Compile(f.lang, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(f.name+"/hit", func(b *testing.B) {
+			e := engine.New(engine.Options{PlanCacheSize: 64, SemanticBudget: 50000})
+			if _, err := e.Compile(f.lang, f.a); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Compile(f.lang, f.a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // engineBatchTrees builds the document corpus shared by the batch
 // benchmarks: many mid-size random documents.
 func engineBatchTrees(count, size int) []*jsontree.Tree {
@@ -871,6 +921,32 @@ func BenchmarkStoreSelectJSONPath(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkStoreSemanticShortCircuit measures the serving cost of a
+// provably-empty query: the compile-time pass already stamped the plan
+// unsatisfiable, so Find returns before planning — no posting list, no
+// shard fan-out, no per-document eval, at any collection size.
+func BenchmarkStoreSemanticShortCircuit(b *testing.B) {
+	e := engine.New(engine.Options{PlanCacheSize: 64, SemanticBudget: 50000})
+	plan, err := e.Compile(engine.LangMongoFind, `{"$and":[{"k0":{"$gt":5}},{"k0":{"$lt":3}}]}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := store.New(store.Options{Shards: 16, Engine: e})
+	r := rand.New(rand.NewSource(7))
+	opts := gen.DocOptions{Fanout: 2, Depth: 2, Keys: 10, ArrayBias: 40, ValueRange: 30}
+	for i := 0; i < 1000; i++ {
+		s.PutTree(fmt.Sprintf("doc%04d", i), jsontree.FromValue(gen.Document(r, opts)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, _, err := s.Find(plan)
+		if err != nil || len(ids) != 0 {
+			b.Fatalf("got %d docs (err %v), want 0", len(ids), err)
+		}
 	}
 }
 

@@ -181,6 +181,14 @@ var defaultHotPath = []string{
 	"BenchmarkEnginePlanCache/jsonpath/hit",
 	"BenchmarkEnginePlanCache/mongo/hit",
 	"BenchmarkEngineEvalZeroAlloc",
+	// The semantic planner's serving-path additions: cache hits with
+	// the pass enabled must stay indistinguishable from the
+	// semantics-off plan cache, and a short-circuited unsat query is a
+	// constant-time answer. Semantic misses are deliberately absent —
+	// they are budget-bounded compile-time work, not serving work.
+	"BenchmarkEngineSemanticCompile/sat/hit",
+	"BenchmarkEngineSemanticCompile/unsat/hit",
+	"BenchmarkStoreSemanticShortCircuit",
 }
 
 // loadReport reads one BENCH_N.json file.

@@ -46,10 +46,19 @@
 //	           [-query-workers N] [-data-dir DIR]
 //	           [-fsync always|interval|off] [-fsync-interval 100ms]
 //	           [-snapshot-every 10000]
+//	           [-schema FILE] [-semantic-budget 50000]
 //	           [-slow-query 200ms] [-trace-sample N] [-trace-ring 64]
 //	           [-debug-addr :6060] [-log-format text|json]
 //
 // Without -data-dir the store is in-memory and dies with the process.
+// The semantic pass (on by default, budget 50000 automaton steps per
+// plan-cache miss; -semantic-budget 0 disables) proves queries
+// unsatisfiable at compile time — they answer empty without touching
+// the index — and reuses cached plans for provably-equivalent queries.
+// With -schema FILE every write must conform to the JSON Schema
+// (nonconforming documents are rejected with 422) and the planner
+// additionally prunes index terms the schema proves universal; see
+// README.md for a worked /explain example.
 // Queries at or over -slow-query are traced retroactively, logged and
 // kept in the /debug/queries ring (0 traces every query; negative
 // disables); -trace-sample N additionally keeps every Nth query.
@@ -73,6 +82,7 @@ import (
 
 	"jsonlogic/internal/engine"
 	"jsonlogic/internal/httpapi"
+	"jsonlogic/internal/schema"
 	"jsonlogic/internal/store"
 	"jsonlogic/internal/trace"
 )
@@ -92,6 +102,8 @@ func main() {
 	traceRing := flag.Int("trace-ring", trace.DefaultRingSize, "kept traces retained for /debug/queries")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty: disabled)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	schemaFile := flag.String("schema", "", "JSON Schema file every stored document must conform to; also drives semantic term pruning (empty: no schema)")
+	semanticBudget := flag.Int("semantic-budget", 50000, "automaton-step budget for the semantic pass (satisfiability, containment dedup, schema pruning) per plan-cache miss (0: disabled)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -121,7 +133,26 @@ func main() {
 		// typing it almost certainly meant "never" — make them say so.
 		fatal("-snapshot-every 0 is ambiguous: use a negative value to disable automatic snapshots")
 	}
-	eng := engine.New(engine.Options{PlanCacheSize: *cache})
+	var schemaInfo *engine.SchemaInfo
+	if *schemaFile != "" {
+		raw, err := os.ReadFile(*schemaFile)
+		if err != nil {
+			fatal("read -schema", "err", err)
+		}
+		sch, err := schema.Parse(string(raw))
+		if err != nil {
+			fatal("parse -schema", "file", *schemaFile, "err", err)
+		}
+		schemaInfo, err = engine.CompileSchema(sch)
+		if err != nil {
+			fatal("compile -schema", "file", *schemaFile, "err", err)
+		}
+	}
+	eng := engine.New(engine.Options{
+		PlanCacheSize:  *cache,
+		SemanticBudget: *semanticBudget,
+		Schema:         schemaInfo,
+	})
 	opts := store.Options{
 		Shards:        *shards,
 		MaxIndexDepth: *indexDepth,
@@ -131,6 +162,7 @@ func main() {
 		Fsync:         policy,
 		FsyncInterval: *fsyncInterval,
 		SnapshotEvery: *snapshotEvery,
+		Schema:        schemaInfo,
 	}
 	var st *store.Store
 	if *dataDir == "" {
@@ -193,6 +225,7 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("listening",
 		"addr", *addr, "shards", st.NumShards(), "plan_cache", *cache,
+		"semantic_budget", *semanticBudget, "schema", *schemaFile,
 		"slow_query", slowQuery.String(), "trace_sample", *traceSample)
 
 	select {

@@ -33,7 +33,14 @@ type Result struct {
 
 // Formulas decides φ ⊑ ψ for non-recursive JSL formulas.
 func Formulas(phi, psi jsl.Formula) (Result, error) {
-	w, sat, err := jauto.SatisfiableJSLFormula(jsl.And{Left: phi, Right: jsl.Not{Inner: psi}})
+	return FormulasCaps(phi, psi, jauto.DefaultCaps())
+}
+
+// FormulasCaps is Formulas under explicit search bounds — for callers
+// with a latency budget, like the engine's plan-cache dedup scan. An
+// exhausted budget is jauto.ErrBudget, never a guess.
+func FormulasCaps(phi, psi jsl.Formula, c jauto.Caps) (Result, error) {
+	w, sat, err := jauto.SatisfiableJSLFormulaCaps(jsl.And{Left: phi, Right: jsl.Not{Inner: psi}}, c)
 	if err != nil {
 		return Result{}, err
 	}
@@ -81,6 +88,12 @@ func EquivalentSchemas(s1, s2 *schema.Schema) (Result, error) {
 // the definition environments (renaming the right side apart) and
 // testing ∆1 ∧ ¬∆2.
 func Recursive(d1, d2 *jsl.Recursive) (Result, error) {
+	return RecursiveCaps(d1, d2, jauto.DefaultCaps())
+}
+
+// RecursiveCaps is Recursive under explicit search bounds; see
+// FormulasCaps.
+func RecursiveCaps(d1, d2 *jsl.Recursive, c jauto.Caps) (Result, error) {
 	merged, phi, psi, err := merge(d1, d2)
 	if err != nil {
 		return Result{}, err
@@ -89,7 +102,7 @@ func Recursive(d1, d2 *jsl.Recursive) (Result, error) {
 		Defs: merged,
 		Base: jsl.And{Left: phi, Right: jsl.Not{Inner: psi}},
 	}
-	w, sat, err := jauto.SatisfiableJSL(test)
+	w, sat, err := jauto.SatisfiableJSLCaps(test, c)
 	if err != nil {
 		return Result{}, err
 	}
@@ -97,6 +110,22 @@ func Recursive(d1, d2 *jsl.Recursive) (Result, error) {
 		return Result{Contained: false, Counterexample: w}, nil
 	}
 	return Result{Contained: true}, nil
+}
+
+// ConjunctionSatisfiable decides satisfiability of ∆1 ∧ ∆2 over the
+// merged definition environments — the primitive behind schema-aware
+// query analysis (is any schema-conforming document able to match this
+// query?). The witness, when satisfiable, conforms to both sides.
+func ConjunctionSatisfiable(d1, d2 *jsl.Recursive, c jauto.Caps) (*jsonval.Value, bool, error) {
+	merged, phi, psi, err := merge(d1, d2)
+	if err != nil {
+		return nil, false, err
+	}
+	test := &jsl.Recursive{
+		Defs: merged,
+		Base: jsl.And{Left: phi, Right: psi},
+	}
+	return jauto.SatisfiableJSLCaps(test, c)
 }
 
 // merge renames d2's definitions apart from d1's and returns the

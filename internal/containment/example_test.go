@@ -1,0 +1,38 @@
+package containment_test
+
+// Runnable godoc examples for the containment procedures — the
+// public-facing surface the semantic planner is built on. `go test
+// ./internal/containment/` executes these, so the documentation
+// cannot rot.
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/containment"
+	"jsonlogic/internal/jsl"
+)
+
+// Decide φ ⊑ ψ for two JSL formulas: "a number of at least 10" is
+// contained in "a number of at least 5", and a refuted containment
+// hands back a concrete separating document.
+func ExampleFormulas() {
+	atLeast10 := jsl.MustParse(`number && min(10)`)
+	atLeast5 := jsl.MustParse(`number && min(5)`)
+
+	res, err := containment.Formulas(atLeast10, atLeast5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("min(10) ⊑ min(5):", res.Contained)
+
+	res, err = containment.Formulas(atLeast5, atLeast10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("min(5) ⊑ min(10):", res.Contained)
+	fmt.Println("counterexample:", res.Counterexample)
+	// Output:
+	// min(10) ⊑ min(5): true
+	// min(5) ⊑ min(10): false
+	// counterexample: 5
+}

@@ -1,0 +1,110 @@
+package containment
+
+// Containment fuzzing: for arbitrary pairs of recursive JSL sources the
+// decision procedure must be crash-free, reflexive (P ⊑ P), and sound
+// in both directions — a refutation's counterexample must separate the
+// pair under the production evaluator, and a decided equivalence must
+// make the two expressions agree on random documents.
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"jsonlogic/internal/gen"
+	"jsonlogic/internal/jauto"
+	"jsonlogic/internal/jsl"
+	"jsonlogic/internal/jsontree"
+)
+
+// fuzzEquivTrees is how many random documents a decided equivalence is
+// cross-checked against.
+const fuzzEquivTrees = 50
+
+func fuzzContainCaps() jauto.Caps {
+	c := jauto.DefaultCaps()
+	c.MaxSteps = 200000
+	return c
+}
+
+func FuzzContainment(f *testing.F) {
+	f.Add(`number && min(5)`, `number && min(3)`)
+	f.Add(`string`, `string || number`)
+	f.Add(`some("a", number)`, `object`)
+	f.Add(`def g = eq(0) || some("next", g) ; g`, `eq(0) || some("next", true)`)
+	f.Add(`unique && array`, `(unique && array) && !eq([])`)
+	f.Add(`all("k", number && multOf(4))`, `all("k", number && multOf(2))`)
+
+	f.Fuzz(func(t *testing.T, srcP, srcQ string) {
+		p, err := jsl.ParseRecursive(srcP)
+		if err != nil {
+			return
+		}
+		q, err := jsl.ParseRecursive(srcQ)
+		if err != nil {
+			return
+		}
+		if p.WellFormed() != nil || q.WellFormed() != nil {
+			return // undefined or unguarded references; rejected at compile
+		}
+		caps := fuzzContainCaps()
+
+		// Reflexivity: P ⊑ P whenever the procedure can decide it.
+		if refl, err := RecursiveCaps(p, p, caps); err == nil && !refl.Contained {
+			t.Fatalf("reflexivity violated: %q ⋢ itself (counterexample %s)", srcP, refl.Counterexample)
+		}
+
+		pq, err := RecursiveCaps(p, q, caps)
+		if errors.Is(err, jauto.ErrBudget) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("containment(%q, %q): %v", srcP, srcQ, err)
+		}
+		if !pq.Contained {
+			// The counterexample must satisfy P and refute Q under the
+			// production evaluator — witnesses are re-verified, not trusted.
+			if pq.Counterexample == nil {
+				t.Fatalf("not-contained verdict without counterexample: %q vs %q", srcP, srcQ)
+			}
+			w := jsontree.FromValue(pq.Counterexample)
+			inP, err := jsl.HoldsRecursive(w, p)
+			if err != nil {
+				t.Fatalf("evaluate counterexample against %q: %v", srcP, err)
+			}
+			inQ, err := jsl.HoldsRecursive(w, q)
+			if err != nil {
+				t.Fatalf("evaluate counterexample against %q: %v", srcQ, err)
+			}
+			if !inP || inQ {
+				t.Fatalf("counterexample for %q ⋢ %q does not separate: P=%v Q=%v witness=%s",
+					srcP, srcQ, inP, inQ, pq.Counterexample)
+			}
+			return
+		}
+		qp, err := RecursiveCaps(q, p, caps)
+		if err != nil || !qp.Contained {
+			return
+		}
+		// Decided equivalence: the two expressions must agree everywhere;
+		// spot-check on random documents.
+		h := fnv.New64a()
+		fmt.Fprint(h, srcP, "\x00", srcQ)
+		r := rand.New(rand.NewSource(int64(h.Sum64())))
+		opts := gen.DocOptions{Fanout: 3, Depth: 3, Keys: 12, ArrayBias: 40, ValueRange: 20}
+		for i := 0; i < fuzzEquivTrees; i++ {
+			tree := jsontree.FromValue(gen.Document(r, opts))
+			inP, err1 := jsl.HoldsRecursive(tree, p)
+			inQ, err2 := jsl.HoldsRecursive(tree, q)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("evaluate random doc: %v / %v", err1, err2)
+			}
+			if inP != inQ {
+				t.Fatalf("decided equivalence %q ≡ %q disagrees on random document %d: P=%v Q=%v",
+					srcP, srcQ, i, inP, inQ)
+			}
+		}
+	})
+}

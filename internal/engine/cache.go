@@ -22,6 +22,21 @@ type CacheStats struct {
 	Entries int
 	// Capacity is the configured bound.
 	Capacity int
+
+	// Semantic-pass counters (all zero when Options.SemanticBudget is
+	// 0; see semantic.go). SemanticChecks counts analyzed cache misses;
+	// SemanticUnsat the plans proved unsatisfiable; SemanticUnknown the
+	// verdicts lost to the budget or undecidable constructs;
+	// SemanticAliases the cache keys answered by an equivalent resident
+	// plan; SemanticBorrowed the index facts inherited through strict
+	// containment; SchemaPrunedFacts the find facts the schema proved
+	// universal.
+	SemanticChecks    uint64
+	SemanticUnsat     uint64
+	SemanticUnknown   uint64
+	SemanticAliases   uint64
+	SemanticBorrowed  uint64
+	SchemaPrunedFacts uint64
 }
 
 // planCache is a bounded LRU of compiled plans, safe for concurrent
@@ -82,6 +97,29 @@ func (c *planCache) add(key planKey, p *Plan) *Plan {
 		c.evictions++
 	}
 	return p
+}
+
+// recent snapshots up to k distinct resident plans in recency order,
+// for the semantic dedup scan. Alias entries share a plan with their
+// canonical key; the snapshot reports each plan once. Containment
+// checks happen outside the lock — plans are immutable once published.
+func (c *planCache) recent(k int) []*Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Plan, 0, k)
+	for e := c.head; e != nil && len(out) < k; e = e.next {
+		dup := false
+		for _, p := range out {
+			if p == e.plan {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e.plan)
+		}
+	}
+	return out
 }
 
 func (c *planCache) stats() CacheStats {

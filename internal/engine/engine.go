@@ -5,17 +5,34 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"jsonlogic/internal/jauto"
 	"jsonlogic/internal/jsontree"
 	"jsonlogic/internal/trace"
 )
 
 // Options configure an Engine. The zero value selects sensible
-// defaults: a 256-plan cache and one worker per CPU.
+// defaults: a 256-plan cache, one worker per CPU and no semantic pass.
 type Options struct {
 	// PlanCacheSize bounds the LRU plan cache (default 256).
 	PlanCacheSize int
 	// Workers bounds batch parallelism (default runtime.GOMAXPROCS(0)).
 	Workers int
+
+	// SemanticBudget enables the compile-time semantic pass (see
+	// semantic.go): positive values bound each solver invocation's step
+	// count (jauto.Caps.MaxSteps); 0 — the default — disables the pass
+	// entirely. The pass runs only on plan-cache misses, so cache hits
+	// stay allocation-free whatever the budget.
+	SemanticBudget int
+	// Schema attaches a compiled JSON Schema (CompileSchema) for
+	// schema-aware query analysis. Requires SemanticBudget > 0 to have
+	// any effect. Stores that enforce the same schema on writes may
+	// additionally short-circuit schema-unsatisfiable queries.
+	Schema *SchemaInfo
+	// SemanticDedupScan bounds how many resident plans a cache miss
+	// compares against for containment-based dedup (default 8 when the
+	// pass is enabled; negative disables the scan).
+	SemanticDedupScan int
 }
 
 // DefaultPlanCacheSize is the plan-cache bound used when Options leaves
@@ -28,6 +45,7 @@ const DefaultPlanCacheSize = 256
 type Engine struct {
 	opts  Options
 	cache *planCache
+	sem   *semantics // nil when the semantic pass is disabled
 }
 
 // New returns an Engine with the given options.
@@ -38,7 +56,20 @@ func New(opts Options) *Engine {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{opts: opts, cache: newPlanCache(opts.PlanCacheSize)}
+	e := &Engine{opts: opts, cache: newPlanCache(opts.PlanCacheSize)}
+	if opts.SemanticBudget > 0 {
+		caps := jauto.DefaultCaps()
+		caps.MaxSteps = opts.SemanticBudget
+		scan := opts.SemanticDedupScan
+		if scan == 0 {
+			scan = defaultSemanticDedupScan
+		}
+		if scan < 0 {
+			scan = 0
+		}
+		e.sem = &semantics{caps: caps, dedupScan: scan, schema: opts.Schema}
+	}
+	return e
 }
 
 // Compile returns the plan for (lang, src), compiling at most once per
@@ -67,6 +98,14 @@ func (e *Engine) CompileTraced(lang Language, src string, tr *trace.Trace) (*Pla
 	sp := tr.Start(tr.Root(), "compile")
 	tr.AttrStr(sp, "plan_cache", "miss")
 	p, err := compileTraced(lang, src, tr, sp)
+	if err == nil && e.sem != nil {
+		e.analyze(p, tr, sp)
+		if q := e.dedup(p); q != nil {
+			tr.AttrStr(sp, "semantic_alias", q.Source())
+			tr.End(sp)
+			return e.cache.add(key, q), nil
+		}
+	}
 	tr.End(sp)
 	if err != nil {
 		return nil, err
@@ -74,8 +113,20 @@ func (e *Engine) CompileTraced(lang Language, src string, tr *trace.Trace) (*Pla
 	return e.cache.add(key, p), nil
 }
 
-// CacheStats returns a snapshot of the plan cache's counters.
-func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+// CacheStats returns a snapshot of the plan cache's counters, plus the
+// semantic pass's when it is enabled.
+func (e *Engine) CacheStats() CacheStats {
+	st := e.cache.stats()
+	if e.sem != nil {
+		st.SemanticChecks = e.sem.checks.Load()
+		st.SemanticUnsat = e.sem.unsat.Load()
+		st.SemanticUnknown = e.sem.unknown.Load()
+		st.SemanticAliases = e.sem.aliases.Load()
+		st.SemanticBorrowed = e.sem.borrowed.Load()
+		st.SchemaPrunedFacts = e.sem.pruned.Load()
+	}
+	return st
+}
 
 // Workers returns the batch worker-pool bound (Options.Workers after
 // defaulting). The store consults it to decide between shard-level

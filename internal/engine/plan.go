@@ -91,6 +91,12 @@ type Plan struct {
 	// (selectFacts). Empty slices mean "not index-supported".
 	findFacts   []jsontree.PathFact
 	selectFacts []jsontree.PathFact
+
+	// Semantic-pass results (semantic.go); zero values when the pass is
+	// disabled or the plan was compiled outside an engine. Filled before
+	// the plan is published to the cache, immutable afterwards.
+	sem    semanticInfo
+	semJSL *jsl.Recursive // canonical recursive-JSL form; nil if unavailable
 }
 
 // Language returns the plan's front-end language.
@@ -294,6 +300,9 @@ type PlanExplain struct {
 	Physical    string   `json:"physical"`
 	FindFacts   []string `json:"find_facts,omitempty"`
 	SelectFacts []string `json:"select_facts,omitempty"`
+	// Semantic reports the semantic pass's outcome (verdict, borrowed
+	// facts, schema-pruned terms); nil when the pass did not run.
+	Semantic *SemanticExplain `json:"semantic,omitempty"`
 }
 
 // Explain renders the plan's logical and physical trees.
@@ -303,6 +312,7 @@ func (p *Plan) Explain() PlanExplain {
 		Source:   p.source,
 		Logical:  p.query.String(),
 		Physical: p.prog.Describe(),
+		Semantic: p.semanticExplain(),
 	}
 	for _, f := range p.findFacts {
 		ex.FindFacts = append(ex.FindFacts, f.String())

@@ -130,6 +130,13 @@ func (s *server) putDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.store.PutTree(id, t); err != nil {
+		if errors.Is(err, store.ErrSchema) {
+			// The document parsed but does not conform to the store's
+			// enforced schema: the request is well-formed, its content is
+			// not — 422, distinct from the 400 parse failures above.
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
 		// A WAL failure: the write is not durable (a failed append was
 		// additionally never applied).
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -406,6 +413,14 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 			"entries":   cs.Entries,
 			"capacity":  cs.Capacity,
 			"hit_rate":  hitRate,
+		},
+		"semantic": map[string]any{
+			"checks":              cs.SemanticChecks,
+			"unsat":               cs.SemanticUnsat,
+			"unknown":             cs.SemanticUnknown,
+			"aliases":             cs.SemanticAliases,
+			"borrowed_facts":      cs.SemanticBorrowed,
+			"schema_pruned_facts": cs.SchemaPrunedFacts,
 		},
 	})
 }

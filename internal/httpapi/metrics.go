@@ -42,6 +42,9 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 	e.Counter(promPrefix+"scanned_docs_total", "Documents evaluated on scans.", q.ScannedDocs)
 	e.Counter(promPrefix+"planner_scan_total", "Index-supported queries the cost-based planner sent to a scan.", q.PlannerScan)
 	e.Counter(promPrefix+"planner_terms_skipped_total", "Near-useless index terms the planner dropped from intersections.", q.TermsSkipped)
+	e.Counter(promPrefix+"semantic_short_circuits_total", "Queries answered empty from a compile-time emptiness proof, without probing or evaluating any document.", q.SemanticShortCircuits)
+	e.Counter(promPrefix+"planner_terms_pruned_total", "Index terms skipped as schema-universal (held by every conforming document).", q.TermsPruned)
+	e.Counter(promPrefix+"schema_rejects_total", "Writes rejected for not conforming to the enforced schema.", q.SchemaRejects)
 	e.Counter(promPrefix+"queries_parallel_total", "Queries whose shard fan-out used more than one worker.", q.ParallelQueries)
 	e.Counter(promPrefix+"queries_serial_total", "Queries evaluated on a single worker.", q.SerialQueries)
 	e.Counter(promPrefix+"intersection_steps_total", "Posting-list merge steps (comparisons and gallop probes) on indexed queries.", q.IntersectionSteps)
@@ -59,6 +62,15 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 	e.Counter(promPrefix+"plan_cache_evictions_total", "Plans evicted from the LRU cache.", cs.Evictions)
 	e.Gauge(promPrefix+"plan_cache_entries", "Plans currently cached.", float64(cs.Entries))
 	e.Gauge(promPrefix+"plan_cache_capacity", "Plan-cache capacity.", float64(cs.Capacity))
+
+	// The semantic pass (satisfiability, containment dedup, schema
+	// pruning) runs on plan-cache misses only; all zeros when disabled.
+	e.Counter(promPrefix+"semantic_checks_total", "Compiles the semantic pass analyzed.", cs.SemanticChecks)
+	e.Counter(promPrefix+"semantic_unsat_total", "Compiles proven unsatisfiable (compiled to a constant-empty program).", cs.SemanticUnsat)
+	e.Counter(promPrefix+"semantic_unknown_total", "Semantic checks that exhausted their budget undecided.", cs.SemanticUnknown)
+	e.Counter(promPrefix+"semantic_aliases_total", "Compiles answered by a containment-equivalent cached plan.", cs.SemanticAliases)
+	e.Counter(promPrefix+"semantic_borrowed_facts_total", "Index facts borrowed from strictly-containing cached plans.", cs.SemanticBorrowed)
+	e.Counter(promPrefix+"semantic_schema_pruned_facts_total", "Facts the schema proved universal over conforming documents.", cs.SchemaPrunedFacts)
 
 	if d := st.Durability; d != nil {
 		e.Counter(promPrefix+"wal_appends_total", "WAL records appended since open, across shards.", d.WALAppends)

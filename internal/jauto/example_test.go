@@ -1,0 +1,36 @@
+package jauto_test
+
+// Runnable godoc examples for the satisfiability entry points — the
+// public-facing surface the semantic planner is built on. `go test
+// ./internal/jauto/` executes these, so the documentation cannot rot.
+
+import (
+	"fmt"
+
+	"jsonlogic/internal/jauto"
+	"jsonlogic/internal/jnl"
+)
+
+// Decide satisfiability of JNL queries. A satisfiable query comes
+// back with a synthesized witness document (independently re-verified
+// against the query before it is returned); a self-contradictory one
+// is refuted outright — the semantic planner compiles such queries
+// to a constant-empty program.
+func ExampleSatisfiableJNL() {
+	sat := jnl.MustParse(`[/user/name] && eq(/user/age, 34)`)
+	w, ok, err := jauto.SatisfiableJNL(sat)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("satisfiable:", ok, "witness:", w)
+
+	unsat := jnl.MustParse(`[/k0] && !([/k0])`)
+	_, ok, err = jauto.SatisfiableJNL(unsat)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("satisfiable:", ok)
+	// Output:
+	// satisfiable: true witness: {"user":{"age":34,"name":0}}
+	// satisfiable: false
+}

@@ -118,14 +118,29 @@ func (a *Automaton) Nonempty() (*jsonval.Value, bool, error) {
 // SatisfiableJSL is the Proposition 7 / Proposition 10 entry point:
 // satisfiability of a (recursive) JSL expression, with witness.
 func SatisfiableJSL(r *jsl.Recursive) (*jsonval.Value, bool, error) {
+	return SatisfiableJSLCaps(r, DefaultCaps())
+}
+
+// SatisfiableJSLCaps is SatisfiableJSL under explicit search bounds —
+// the entry point for callers with a latency budget, like the engine's
+// compile-time semantic pass. An exhausted budget is ErrBudget, never
+// a guess.
+func SatisfiableJSLCaps(r *jsl.Recursive, c Caps) (*jsonval.Value, bool, error) {
 	a, err := Compile(r)
 	if err != nil {
 		return nil, false, err
 	}
+	a.SetCaps(c)
 	return a.Nonempty()
 }
 
 // SatisfiableJSLFormula decides satisfiability of a plain JSL formula.
 func SatisfiableJSLFormula(f jsl.Formula) (*jsonval.Value, bool, error) {
 	return SatisfiableJSL(jsl.NonRecursive(f))
+}
+
+// SatisfiableJSLFormulaCaps is SatisfiableJSLFormula under explicit
+// search bounds.
+func SatisfiableJSLFormulaCaps(f jsl.Formula, c Caps) (*jsonval.Value, bool, error) {
+	return SatisfiableJSLCaps(jsl.NonRecursive(f), c)
 }

@@ -77,6 +77,85 @@ func TestSatBasics(t *testing.T) {
 	}
 }
 
+// TestEqDocModalConflict is a regression test: a positive eq(A)
+// conjoined with a modality whose inner test contradicts A's child
+// used to slip past witness synthesis (valueMeetsAtoms skipped
+// positive eq atoms when evaluating nested node tests), surfacing as
+// an internal "witness failed verification" error instead of UNSAT.
+func TestEqDocModalConflict(t *testing.T) {
+	unsat := []string{
+		`all("k5", eq(0)) && eq({"k5":1})`,
+		`some("k5", eq(0)) && eq({"k5":1})`,
+		`all("k5", eq([])) && eq({"k5":0})`,
+	}
+	for _, src := range unsat {
+		w, ok, err := SatisfiableJSLFormula(jsl.MustParse(src))
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if ok {
+			t.Errorf("%s should be unsatisfiable, got witness %s", src, w)
+		}
+	}
+	// The consistent counterparts must stay satisfiable.
+	for _, src := range []string{
+		`all("k5", eq(0)) && eq({"k5":0})`,
+		`some("k5", eq([])) && eq({"k5":[]})`,
+	} {
+		if _, ok := satJSL(t, src); !ok {
+			t.Errorf("%s should be satisfiable", src)
+		}
+	}
+}
+
+// TestEqNegContainerRetry: a minimal container witness that collides
+// with a negated ~(A) document must be escaped by widening the
+// container or steering a child away from A — not reported UNSAT.
+// (Found by the metamorphic containment harness: "unique && array"
+// was decided equivalent to "unique && array && eq([])".)
+func TestEqNegContainerRetry(t *testing.T) {
+	satCases := []string{
+		`array && !eq([])`,
+		`(unique && array) && !eq([])`,
+		`array && !eq([]) && !eq([0])`,
+		`array && minch(1) && maxch(1) && !eq([0])`,
+		`array && !unique && !eq([0,0])`,
+		`object && !eq({})`,
+		`object && !eq({}) && !eq({"k0":0})`,
+		`some("a", eq(0)) && !eq({"a":0})`,
+	}
+	for _, src := range satCases {
+		w, ok := satJSL(t, src)
+		if !ok {
+			t.Errorf("%s should be satisfiable", src)
+			continue
+		}
+		holds, err := jsl.HoldsRecursive(jsontree.FromValue(w), jsl.MustParseRecursive(src))
+		if err != nil || !holds {
+			t.Errorf("witness %s does not satisfy %s (err=%v)", w, src, err)
+		}
+	}
+	// Controls: when every container the bounds allow is forbidden, the
+	// query really is unsatisfiable and must stay that way.
+	unsatCases := []string{
+		`array && maxch(0) && !eq([])`,
+		`object && maxch(0) && !eq({})`,
+		`array && maxch(1) && all([0:], eq(7)) && !eq([]) && !eq([7])`,
+		`some("a", eq(0)) && maxch(1) && !eq({"a":0})`,
+	}
+	for _, src := range unsatCases {
+		w, ok, err := SatisfiableJSL(jsl.MustParseRecursive(src))
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if ok {
+			t.Errorf("%s should be unsatisfiable, got witness %s", src, w)
+		}
+	}
+}
+
 // TestProposition2Examples: the observation after Proposition 2 — the
 // positive formula X_a[X_1] ∧ X_a[X_b] is unsatisfiable because the
 // value under key a cannot be both an array and an object.

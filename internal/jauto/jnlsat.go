@@ -18,11 +18,17 @@ import (
 // Formulas containing EQ(α,β) are rejected: their satisfiability is
 // undecidable (Proposition 4).
 func SatisfiableJNL(u jnl.Unary) (*jsonval.Value, bool, error) {
+	return SatisfiableJNLCaps(u, DefaultCaps())
+}
+
+// SatisfiableJNLCaps is SatisfiableJNL under explicit search bounds;
+// see SatisfiableJSLCaps.
+func SatisfiableJNLCaps(u jnl.Unary, c Caps) (*jsonval.Value, bool, error) {
 	r, err := JNLToRecursiveJSL(u)
 	if err != nil {
 		return nil, false, err
 	}
-	return SatisfiableJSL(r)
+	return SatisfiableJSLCaps(r, c)
 }
 
 // JNLToRecursiveJSL translates a unary JNL formula (possibly with Kleene

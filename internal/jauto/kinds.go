@@ -146,7 +146,11 @@ func (s *solver) assignDiamonds(a *atoms, i int, assign map[string][]nf) (*jsonv
 }
 
 // buildObject completes an object witness from a diamond assignment:
-// applies boxes, pads to MinCh, recursively solves children.
+// applies boxes, pads to MinCh, recursively solves children. A candidate
+// of minimal size can collide with a negated ~(A) object document; the
+// two ways out — padding with an extra fresh member, and steering one
+// child value away from its counterpart in A — are tried in turn, so a
+// collision never turns into a spurious UNSAT.
 func (s *solver) buildObject(a *atoms, assign map[string][]nf) (*jsonval.Value, bool, bool) {
 	keys := make([]string, 0, len(assign))
 	for k := range assign {
@@ -154,48 +158,85 @@ func (s *solver) buildObject(a *atoms, assign map[string][]nf) (*jsonval.Value, 
 	}
 	sortStrings(keys)
 
-	// Pad with fresh keys to reach MinCh. Prefer keys outside every box
-	// language (unconstrained children).
-	if len(keys) < a.minCh {
-		free := relang.Any()
-		for _, b := range a.boxKey {
-			free = free.Minus(b.re)
+	base := len(keys)
+	if a.minCh > base {
+		base = a.minCh
+	}
+	maxSize := base + len(a.eqNeg)
+	if maxSize > a.maxCh {
+		maxSize = a.maxCh
+	}
+	tainted := false
+	for size := base; size <= maxSize; size++ {
+		padded, padKeys, ok := s.padKeys(a, assign, keys, size)
+		if !ok {
+			break
 		}
-		needed := a.minCh - len(keys)
-		for _, cand := range free.Enumerate(needed + len(keys)) {
-			if _, used := assign[cand]; !used {
-				assign[cand] = nil
-				keys = append(keys, cand)
-				if needed--; needed == 0 {
-					break
-				}
-			}
-		}
-		if needed > 0 {
-			// Fall back to keys inside box languages; their children
-			// must satisfy the boxes, which buildObject applies below.
-			for _, cand := range relang.Any().Enumerate(needed + len(keys) + 4) {
-				if _, used := assign[cand]; !used {
-					assign[cand] = nil
-					keys = append(keys, cand)
-					if needed--; needed == 0 {
-						break
-					}
-				}
-			}
-		}
-		if needed > 0 {
-			return nil, false, false
+		w, ok, t := s.buildObjectWith(a, padded, padKeys, map[string][]nf{})
+		tainted = tainted || t
+		if ok {
+			return w, true, false
 		}
 	}
-	if len(keys) > a.maxCh {
-		return nil, false, false
-	}
+	return nil, false, tainted
+}
 
+// padKeys extends a diamond assignment with fresh keys until the object
+// has size members, preferring keys outside every box language
+// (unconstrained children).
+func (s *solver) padKeys(a *atoms, assign map[string][]nf, keys []string, size int) (map[string][]nf, []string, bool) {
+	needed := size - len(keys)
+	if needed <= 0 {
+		return assign, keys, true
+	}
+	out := make(map[string][]nf, size)
+	for k, v := range assign {
+		out[k] = v
+	}
+	outKeys := append([]string{}, keys...)
+	free := relang.Any()
+	for _, b := range a.boxKey {
+		free = free.Minus(b.re)
+	}
+	for _, cand := range free.Enumerate(needed + len(outKeys)) {
+		if _, used := out[cand]; !used {
+			out[cand] = nil
+			outKeys = append(outKeys, cand)
+			if needed--; needed == 0 {
+				return out, outKeys, true
+			}
+		}
+	}
+	// Fall back to keys inside box languages; their children must
+	// satisfy the boxes, which buildObjectWith applies.
+	for _, cand := range relang.Any().Enumerate(needed + len(outKeys) + 4) {
+		if _, used := out[cand]; !used {
+			out[cand] = nil
+			outKeys = append(outKeys, cand)
+			if needed--; needed == 0 {
+				return out, outKeys, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// buildObjectWith solves each member's child obligations and checks the
+// result against the negated ~(·) documents. avoid carries per-key
+// obligations accumulated while steering children away from colliding
+// documents; each recursion pins one more key to differ, so the depth is
+// bounded by len(a.eqNeg).
+func (s *solver) buildObjectWith(a *atoms, assign map[string][]nf, keys []string, avoid map[string][]nf) (*jsonval.Value, bool, bool) {
+	s.steps++
+	if s.steps > s.caps.MaxSteps {
+		s.exceeded = true
+		return nil, false, true
+	}
 	tainted := false
 	var members []jsonval.Member
 	for _, key := range keys {
 		obls := append([]nf{}, assign[key]...)
+		obls = append(obls, avoid[key]...)
 		for _, b := range a.boxKey {
 			if b.isWord {
 				if b.word == key {
@@ -220,11 +261,26 @@ func (s *solver) buildObject(a *atoms, assign map[string][]nf) (*jsonval.Value, 
 		return nil, false, tainted
 	}
 	for _, d := range a.eqNeg {
-		if jsonval.Equal(obj, d) {
-			// The synthesized object collides with a forbidden document;
-			// retry is handled by outer backtracking over key choices.
-			return nil, false, tainted
+		if !jsonval.Equal(obj, d) {
+			continue
 		}
+		// Collision: some member's value must differ from its counterpart
+		// in d (the member sets coincide, or Equal would have failed).
+		// Backtrack over the choice of member.
+		for _, key := range keys {
+			dv, have := d.Member(key)
+			if !have {
+				continue
+			}
+			avoid[key] = append(avoid[key], nfTest{test: jsl.EqDoc{Doc: dv}, neg: true})
+			w, ok, t := s.buildObjectWith(a, assign, keys, avoid)
+			tainted = tainted || t
+			avoid[key] = avoid[key][:len(avoid[key])-1]
+			if ok {
+				return w, true, false
+			}
+		}
+		return nil, false, tainted
 	}
 	return obj, true, false
 }
@@ -271,23 +327,52 @@ func (s *solver) assignPositions(a *atoms, i int, assign map[int][]nf) (*jsonval
 }
 
 func (s *solver) buildArray(a *atoms, assign map[int][]nf) (*jsonval.Value, bool, bool) {
-	length := a.minCh
+	base := a.minCh
 	for p := range assign {
-		if p+1 > length {
-			length = p + 1
+		if p+1 > base {
+			base = p + 1
 		}
 	}
-	if a.uniqueNeg && length < 2 {
-		length = 2
+	if a.uniqueNeg && base < 2 {
+		base = 2
 	}
-	if length > a.maxCh || length > s.caps.MaxArrayLen {
-		return nil, false, false
+	// A minimal-width candidate can collide with a negated ~(A) array
+	// document; like buildObject, the builder escapes by widening the
+	// array or by steering one element away from its counterpart in A
+	// (buildArrayAt), so a collision never turns into a spurious UNSAT.
+	limit := base + len(a.eqNeg)
+	if limit > a.maxCh {
+		limit = a.maxCh
 	}
+	if limit > s.caps.MaxArrayLen {
+		limit = s.caps.MaxArrayLen
+	}
+	tainted := false
+	for length := base; length <= limit; length++ {
+		w, ok, t := s.buildArrayAt(a, assign, length, map[int][]nf{})
+		tainted = tainted || t
+		if ok {
+			return w, true, false
+		}
+	}
+	return nil, false, tainted
+}
 
+// buildArrayAt synthesizes an array of exactly the given width. avoid
+// carries per-position obligations accumulated while steering elements
+// away from colliding ~(·) documents; each recursion pins one more
+// position to differ, so the depth is bounded by len(a.eqNeg).
+func (s *solver) buildArrayAt(a *atoms, assign map[int][]nf, length int, avoid map[int][]nf) (*jsonval.Value, bool, bool) {
+	s.steps++
+	if s.steps > s.caps.MaxSteps {
+		s.exceeded = true
+		return nil, false, true
+	}
 	tainted := false
 	elems := make([]*jsonval.Value, length)
 	for p := 0; p < length; p++ {
 		obls := append([]nf{}, assign[p]...)
+		obls = append(obls, avoid[p]...)
 		for _, b := range a.boxIdx {
 			if p >= b.lo && (b.hi == jsl.Inf || p <= b.hi) {
 				obls = append(obls, b.inner)
@@ -317,9 +402,22 @@ func (s *solver) buildArray(a *atoms, assign map[int][]nf) (*jsonval.Value, bool
 	}
 	arr := jsonval.Arr(elems...)
 	for _, d := range a.eqNeg {
-		if jsonval.Equal(arr, d) {
-			return nil, false, tainted
+		if !jsonval.Equal(arr, d) {
+			continue
 		}
+		// Collision: some position must differ from its counterpart in d
+		// (the widths coincide, or Equal would have failed). Backtrack
+		// over the choice of position.
+		for p := 0; p < length; p++ {
+			avoid[p] = append(avoid[p], nfTest{test: jsl.EqDoc{Doc: d.Elems()[p]}, neg: true})
+			w, ok, t := s.buildArrayAt(a, assign, length, avoid)
+			tainted = tainted || t
+			avoid[p] = avoid[p][:len(avoid[p])-1]
+			if ok {
+				return w, true, false
+			}
+		}
+		return nil, false, tainted
 	}
 	if a.uniquePos && !elemsUnique(arr) {
 		return nil, false, tainted

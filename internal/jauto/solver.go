@@ -464,6 +464,11 @@ func (s *solver) valueMeetsAtoms(v *jsonval.Value, a *atoms) bool {
 	if a.uniqueNeg && v.IsArray() && elemsUnique(v) {
 		return false
 	}
+	for _, d := range a.eqPos {
+		if !jsonval.Equal(v, d) {
+			return false
+		}
+	}
 	for _, d := range a.eqNeg {
 		if jsonval.Equal(v, d) {
 			return false

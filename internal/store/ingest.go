@@ -64,6 +64,12 @@ func (s *Store) BulkNDJSON(r io.Reader) (BulkResult, error) {
 			res.Errors = append(res.Errors, BulkError{Line: lineNo, Err: err})
 			continue
 		}
+		// Schema enforcement is per line, like parse errors: one
+		// nonconforming document is rejected without aborting the batch.
+		if err := s.validateSchema(fmt.Sprintf("bulk line %d", lineNo), t); err != nil {
+			res.Errors = append(res.Errors, BulkError{Line: lineNo, Err: err})
+			continue
+		}
 		// Draw sequence IDs until one inserts: taken IDs (user-chosen
 		// names, or a concurrent Put racing the sequence) are skipped
 		// atomically, never overwritten.

@@ -46,12 +46,19 @@ const (
 	AccessScan AccessPath = iota
 	// AccessIndex evaluates only the posting-list intersection.
 	AccessIndex
+	// AccessSemantic answers from a compile-time emptiness proof: the
+	// query is provably empty (unsatisfiable, or unsatisfiable over the
+	// enforced schema) and no document is probed or evaluated at all.
+	AccessSemantic
 )
 
-// String returns "scan" or "index".
+// String returns "scan", "index" or "semantic".
 func (a AccessPath) String() string {
-	if a == AccessIndex {
+	switch a {
+	case AccessIndex:
 		return "index"
+	case AccessSemantic:
+		return "semantic"
 	}
 	return "scan"
 }
@@ -91,18 +98,29 @@ type QueryPlan struct {
 	// AccessScan.
 	EstCandidates int `json:"est_candidates"`
 
-	probeTerms []uint64 // kept terms in probe order
+	probeTerms  []uint64 // kept terms in probe order
+	prunedTerms int      // terms skipped as schema-universal
 }
 
 // planFacts builds the access plan for a fact set against the store's
-// current statistics.
-func (s *Store) planFacts(facts []jsontree.PathFact) QueryPlan {
-	return planQuery(s, facts, s.opts.MaxIndexDepth)
+// current statistics; pruned (may be nil) marks facts whose terms the
+// schema proved universal — see prunedFor.
+func (s *Store) planFacts(facts []jsontree.PathFact, pruned map[string]bool) QueryPlan {
+	return planQueryPruned(s, facts, s.opts.MaxIndexDepth, pruned)
 }
 
 // planQuery is the planner core, parameterized over Statistics so
 // tests can drive it with synthetic distributions.
 func planQuery(stats Statistics, facts []jsontree.PathFact, maxIndexDepth int) QueryPlan {
+	return planQueryPruned(stats, facts, maxIndexDepth, nil)
+}
+
+// planQueryPruned is planQuery honoring a schema-pruned fact set:
+// facts the schema proves every conforming document carries. Their
+// posting lists contain (at least) the whole conforming collection, so
+// intersecting them cannot narrow the candidate set; they are reported
+// as skipped terms and never probed.
+func planQueryPruned(stats Statistics, facts []jsontree.PathFact, maxIndexDepth int, pruned map[string]bool) QueryPlan {
 	n := stats.DocCount()
 	plan := QueryPlan{DocCount: n}
 
@@ -125,6 +143,11 @@ func planQuery(stats Statistics, facts []jsontree.PathFact, maxIndexDepth int) Q
 		if n > 0 {
 			tp.Selectivity = float64(card) / float64(n)
 		}
+		if pruned[tp.Fact] {
+			tp.Skipped = true
+			tp.Reason = "schema: held by every conforming document"
+			plan.prunedTerms++
+		}
 		plan.Terms = append(plan.Terms, tp)
 	}
 	if len(plan.Terms) == 0 {
@@ -137,7 +160,20 @@ func planQuery(stats Statistics, facts []jsontree.PathFact, maxIndexDepth int) Q
 		return plan.Terms[i].Cardinality < plan.Terms[j].Cardinality
 	})
 
-	best := &plan.Terms[0]
+	// The best term is the most selective one the schema did not prune.
+	var best *TermPlan
+	for i := range plan.Terms {
+		if !plan.Terms[i].Skipped {
+			best = &plan.Terms[i]
+			break
+		}
+	}
+	if best == nil {
+		plan.Access = AccessScan
+		plan.Reason = "every index term is schema-universal: intersection cannot narrow a conforming collection"
+		plan.EstCandidates = n
+		return plan
+	}
 	if n > 0 && best.Selectivity > scanSelectivity {
 		plan.Access = AccessScan
 		plan.Reason = fmt.Sprintf("intersection unselective: best term %s matches %.0f%% of %d documents",
@@ -149,8 +185,11 @@ func planQuery(stats Statistics, facts []jsontree.PathFact, maxIndexDepth int) Q
 	plan.Access = AccessIndex
 	plan.EstCandidates = best.Cardinality
 	plan.probeTerms = append(plan.probeTerms, best.term)
-	for i := 1; i < len(plan.Terms); i++ {
+	for i := range plan.Terms {
 		t := &plan.Terms[i]
+		if t == best || t.Skipped {
+			continue
+		}
 		switch {
 		case len(plan.probeTerms) >= maxPlanTerms:
 			t.Skipped = true

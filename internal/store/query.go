@@ -211,13 +211,55 @@ func renderTerms(terms []TermPlan) string {
 	return string(b)
 }
 
+// semanticEmpty reports whether the plan short-circuits to an empty
+// answer from a compile-time proof: an unsatisfiable query always
+// does; a schema-unsatisfiable one only on a store that enforces the
+// schema (otherwise nonconforming resident documents could match).
+func (s *Store) semanticEmpty(p *engine.Plan) (string, bool) {
+	if p.Unsatisfiable() {
+		return "unsat", true
+	}
+	if p.SchemaUnsatisfiable() && s.opts.Schema != nil {
+		return "schema_unsat", true
+	}
+	return "", false
+}
+
+// semanticPlan records the short-circuit on the trace (a "semantic"
+// span carrying the verdict) and returns its query plan: access path
+// "semantic", zero candidates, nothing probed.
+func (s *Store) semanticPlan(verdict string, tr *trace.Trace) QueryPlan {
+	sp := tr.Start(tr.Root(), "semantic")
+	tr.AttrStr(sp, "verdict", verdict)
+	tr.End(sp)
+	return QueryPlan{
+		Access:   AccessSemantic,
+		Reason:   "semantic: provably empty (" + verdict + "); no documents probed or evaluated",
+		DocCount: s.DocCount(),
+	}
+}
+
+// prunedFor returns the plan's schema-pruned fact set when this store
+// enforces the schema that proved it. A store without the schema must
+// ignore the marks: its documents never passed conformance validation,
+// so "universal over conforming documents" promises nothing here.
+func (s *Store) prunedFor(p *engine.Plan) map[string]bool {
+	if s.opts.Schema == nil {
+		return nil
+	}
+	return p.SchemaPruned()
+}
+
 // runFind executes the whole find pipeline — plan, per-shard probe,
 // validate, sorted merge — recording spans on tr (which may be nil),
 // and returns the plan and counter inputs untouched. Find/FindTraced
 // bump the counters; Explain runs this same code and does not.
 func (s *Store) runFind(p *engine.Plan, tr *trace.Trace) ([]string, QueryPlan, execInfo, error) {
+	if verdict, ok := s.semanticEmpty(p); ok {
+		return nil, s.semanticPlan(verdict, tr), execInfo{}, nil
+	}
 	sp := tr.Start(tr.Root(), "plan")
-	plan := s.planFacts(p.FindFacts())
+	plan := s.planFacts(p.FindFacts(), s.prunedFor(p))
 	annotatePlanSpan(tr, sp, &plan)
 	tr.End(sp)
 	ids, info, err := s.findFanout(p, plan.probeTerms, plan.Access == AccessIndex, tr)
@@ -240,6 +282,12 @@ func (s *Store) Find(p *engine.Plan) (ids []string, indexed bool, err error) {
 // the production fast path: the recorder calls reduce to nil checks.
 func (s *Store) FindTraced(p *engine.Plan, tr *trace.Trace) (ids []string, indexed bool, err error) {
 	ids, plan, info, err := s.runFind(p, tr)
+	if plan.Access == AccessSemantic {
+		// A compile-time proof answered the query: nothing was probed,
+		// scanned or evaluated, so none of the execution counters apply.
+		s.semShortCircuits.Add(1)
+		return ids, false, err
+	}
 	s.notePlan(&plan)
 	indexed = plan.Access == AccessIndex
 	if indexed {
@@ -362,8 +410,11 @@ func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool, tr *tra
 
 // runSelect is runFind's node-selection counterpart.
 func (s *Store) runSelect(p *engine.Plan, tr *trace.Trace) ([]Selection, QueryPlan, execInfo, error) {
+	if verdict, ok := s.semanticEmpty(p); ok {
+		return nil, s.semanticPlan(verdict, tr), execInfo{}, nil
+	}
 	sp := tr.Start(tr.Root(), "plan")
-	plan := s.planFacts(p.SelectFacts())
+	plan := s.planFacts(p.SelectFacts(), s.prunedFor(p))
 	annotatePlanSpan(tr, sp, &plan)
 	tr.End(sp)
 	sels, info, err := s.selectFanout(p, plan.probeTerms, plan.Access == AccessIndex, tr)
@@ -386,6 +437,10 @@ func (s *Store) Select(p *engine.Plan) (sels []Selection, indexed bool, err erro
 // is the untraced fast path.
 func (s *Store) SelectTraced(p *engine.Plan, tr *trace.Trace) (sels []Selection, indexed bool, err error) {
 	sels, plan, info, err := s.runSelect(p, tr)
+	if plan.Access == AccessSemantic {
+		s.semShortCircuits.Add(1)
+		return sels, false, err
+	}
 	s.notePlan(&plan)
 	indexed = plan.Access == AccessIndex
 	if indexed {
@@ -539,6 +594,9 @@ func (s *Store) notePlan(plan *QueryPlan) {
 	}
 	if skipped := plan.TermsSkipped(); skipped > 0 {
 		s.termsSkipped.Add(uint64(skipped))
+	}
+	if plan.prunedTerms > 0 {
+		s.termsPruned.Add(uint64(plan.prunedTerms))
 	}
 }
 

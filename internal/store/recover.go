@@ -196,6 +196,33 @@ func Open(opts Options) (*Store, error) {
 	}
 	d.recovery = rs
 
+	// A schema-enforcing store promises every resident document
+	// conforms — the semantic planner's schema verdicts (short-circuits,
+	// pruned terms) are only sound under that invariant — so recovered
+	// documents are validated too. Data written without the schema (or
+	// under a different one) fails the open rather than silently
+	// weakening the invariant.
+	if opts.Schema != nil {
+		var verr error
+		for _, sh := range s.shards {
+			sh.ix.each(func(id string, t *jsontree.Tree) {
+				if verr != nil {
+					return
+				}
+				verr = s.validateSchema(fmt.Sprintf("recovered document %q", id), t)
+			})
+			if verr != nil {
+				break
+			}
+		}
+		if verr != nil {
+			for _, w := range d.wals {
+				w.close()
+			}
+			return nil, fmt.Errorf("store: open: %w", verr)
+		}
+	}
+
 	// Make the shard-directory entries themselves durable (the files
 	// inside were synced as they were created).
 	if err := syncDir(opts.DataDir); err != nil {

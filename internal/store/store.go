@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,6 +33,15 @@ type Options struct {
 	// evaluates concurrently (default runtime.GOMAXPROCS(0)). 1 runs
 	// every query serially.
 	QueryWorkers int
+	// Schema, when set, makes the store enforce the compiled schema on
+	// every write (Put, bulk ingest, recovery replay): nonconforming
+	// documents are refused with ErrSchema. Enforcement is what makes
+	// the engine's schema-aware semantic verdicts usable here — a
+	// schema-unsatisfiable query short-circuits to an empty answer and
+	// schema-universal index terms are pruned, both sound only because
+	// every resident document is known to conform. Share the same
+	// SchemaInfo with engine.Options.Schema.
+	Schema *engine.SchemaInfo
 
 	// DataDir roots the write-ahead logs and snapshots of a durable
 	// store. Open requires it; New ignores it.
@@ -87,6 +97,13 @@ type Store struct {
 	serialQueries     atomic.Uint64
 	fanoutWorkers     metrics.Histogram
 	intersectionSteps atomic.Uint64
+
+	// Semantic-planner counters: queries answered from a compile-time
+	// emptiness proof, index terms the schema proved universal, and
+	// writes refused by schema enforcement.
+	semShortCircuits atomic.Uint64
+	termsPruned      atomic.Uint64
+	schemaRejects    atomic.Uint64
 }
 
 // shard owns a partition of the documents and its slice of the index.
@@ -192,6 +209,30 @@ func (sh *shard) put(id string, t *jsontree.Tree) {
 	sh.ix.put(id, t)
 }
 
+// ErrSchema rejects a write whose document does not conform to the
+// store's configured schema (Options.Schema). Wrapped errors carry the
+// document ID; match with errors.Is.
+var ErrSchema = errors.New("document does not conform to the configured schema")
+
+// validateSchema enforces the configured schema on a write, counting
+// and refusing nonconforming documents; what describes the write for
+// the error message (`put "id"`, `bulk line 3`). A nil Options.Schema
+// accepts everything.
+func (s *Store) validateSchema(what string, t *jsontree.Tree) error {
+	if s.opts.Schema == nil {
+		return nil
+	}
+	ok, err := s.eng.Validate(s.opts.Schema.Plan(), t)
+	if err != nil {
+		return fmt.Errorf("store: %s: schema validation: %w", what, err)
+	}
+	if !ok {
+		s.schemaRejects.Add(1)
+		return fmt.Errorf("store: %s: %w", what, ErrSchema)
+	}
+	return nil
+}
+
 // Put parses a JSON document and stores it under id, replacing any
 // previous document with that ID.
 func (s *Store) Put(id, doc string) error {
@@ -213,6 +254,9 @@ func (s *Store) Put(id, doc string) error {
 // then refuses every further write, so memory cannot silently diverge
 // further.
 func (s *Store) PutTree(id string, t *jsontree.Tree) error {
+	if err := s.validateSchema(fmt.Sprintf("put %q", id), t); err != nil {
+		return err
+	}
 	var (
 		w   *shardWAL
 		seq uint64
@@ -374,6 +418,17 @@ type QueryStats struct {
 	// work the dictionary-encoded intersection actually performs, per
 	// /stats scrape interval a direct read on index efficiency.
 	IntersectionSteps uint64 `json:"intersection_steps"`
+	// SemanticShortCircuits counts queries answered empty from a
+	// compile-time emptiness proof: no posting list was probed and no
+	// document evaluated. Such queries are counted here instead of in
+	// the FindIndexed/FindScan (SelectIndexed/SelectScan) pairs.
+	SemanticShortCircuits uint64 `json:"semantic_short_circuits"`
+	// TermsPruned counts index terms skipped because the configured
+	// schema proves them universal over conforming documents (a subset
+	// of TermsSkipped); SchemaRejects counts writes refused by schema
+	// enforcement.
+	TermsPruned   uint64 `json:"terms_pruned"`
+	SchemaRejects uint64 `json:"schema_rejects"`
 }
 
 // DurabilityStats aggregates the WAL and snapshot counters of a
@@ -445,6 +500,10 @@ func (s *Store) Stats() Stats {
 		SerialQueries:     s.serialQueries.Load(),
 		FanoutWorkers:     s.fanoutWorkers.Snapshot(),
 		IntersectionSteps: s.intersectionSteps.Load(),
+
+		SemanticShortCircuits: s.semShortCircuits.Load(),
+		TermsPruned:           s.termsPruned.Load(),
+		SchemaRejects:         s.schemaRejects.Load(),
 	}
 	if s.dur != nil {
 		st.Durability = s.dur.stats()
