@@ -3,9 +3,9 @@
 GO ?= go
 
 # The committed benchmark snapshot for this PR sequence; bump per PR.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 # bench-diff compares the previous PR's snapshot against this one.
-BENCH_OLD ?= BENCH_6.json
+BENCH_OLD ?= BENCH_7.json
 BENCH_NEW ?= $(BENCH_JSON)
 
 .PHONY: all build vet fmt-check test race race-core alloc-check fuzz bench bench-engine bench-store bench-smoke bench-json bench-diff docs-check run-daemon loadtest-smoke loadgrid
@@ -42,23 +42,26 @@ race-core:
 # Allocation-regression gate: the AllocsPerRun tests pinning the
 # pooled executor's steady state (plan-cache-hit Match/Eval at zero
 # allocations), the untraced compile path — including cache-hit
-# compiles with the semantic pass enabled — and the disabled/pooled
-# trace recorder. The theory packages are included so any future
-# alloc pins there are picked up without editing this target.
+# compiles with the semantic pass enabled — the disabled/pooled
+# trace recorder, and the store's steady-state segment probe. The
+# theory packages are included so any future alloc pins there are
+# picked up without editing this target.
 # -count=1 defeats the test cache so the numbers are measured, not
 # replayed.
 alloc-check:
-	$(GO) test -run 'ZeroAllocs|AllocsBounded' -count=1 ./internal/qir ./internal/engine ./internal/trace ./internal/containment ./internal/jauto ./internal/schema ./internal/datalog
+	$(GO) test -run 'ZeroAllocs|AllocsBounded' -count=1 ./internal/qir ./internal/engine ./internal/store ./internal/trace ./internal/containment ./internal/jauto ./internal/schema ./internal/datalog
 
-# Short native-fuzz passes: the engine's plan-cache key path, plus
-# the witness-soundness targets for the semantic planner's decision
+# Short native-fuzz passes: the engine's plan-cache key path, the
+# witness-soundness targets for the semantic planner's decision
 # procedures (a SAT witness must satisfy the query through the real
 # engine; containment refutations must separate the pair under the
-# production evaluator).
+# production evaluator), and the segment posting-list codec (round-
+# trip fidelity; hostile bytes must error, never panic or over-read).
 fuzz:
 	$(GO) test ./internal/engine/ -run FuzzPlanCache -fuzz FuzzPlanCache -fuzztime 20s
 	$(GO) test ./internal/jauto/ -run FuzzJNLSat -fuzz FuzzJNLSat -fuzztime 30s
 	$(GO) test ./internal/containment/ -run FuzzContainment -fuzz FuzzContainment -fuzztime 30s
+	$(GO) test ./internal/store/ -run FuzzPostingsCodec -fuzz FuzzPostingsCodec -fuzztime 20s
 
 # The full complexity-reproduction benchmark suite (slow).
 bench:

@@ -1032,47 +1032,7 @@ func BenchmarkStorePutDurable(b *testing.B) {
 	}
 }
 
-// BenchmarkStoreRecover measures startup recovery: replaying a
-// 2000-document WAL versus loading the equivalent snapshot.
-func BenchmarkStoreRecover(b *testing.B) {
-	input := ingestCorpus()
-	for _, snapshotted := range []bool{false, true} {
-		name := "wal-replay"
-		if snapshotted {
-			name = "snapshot-load"
-		}
-		b.Run(name, func(b *testing.B) {
-			dir := b.TempDir()
-			opts := store.Options{Shards: 16, DataDir: dir, Fsync: store.FsyncOff, SnapshotEvery: -1}
-			s, err := store.Open(opts)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if _, err := s.BulkNDJSON(strings.NewReader(input)); err != nil {
-				b.Fatal(err)
-			}
-			if snapshotted {
-				if err := s.Snapshot(); err != nil {
-					b.Fatal(err)
-				}
-			}
-			if err := s.Close(); err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				s, err := store.Open(opts)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if s.Len() != 2000 {
-					b.Fatalf("recovered %d docs", s.Len())
-				}
-				if err := s.Close(); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
+// BenchmarkStoreRecover moved to internal/store/recover_bench_test.go,
+// where it compares segment-open against snapshot-load and wal-replay
+// at 10k and 100k documents (the legacy-layout conversion needs
+// package-internal access).

@@ -189,6 +189,10 @@ var defaultHotPath = []string{
 	"BenchmarkEngineSemanticCompile/sat/hit",
 	"BenchmarkEngineSemanticCompile/unsat/hit",
 	"BenchmarkStoreSemanticShortCircuit",
+	// Segment-tier restart: Open maps the newest segment instead of
+	// replaying the log, so startup is a serving property now. The
+	// replay and legacy-snapshot modes stay ungated (I/O-bound).
+	"BenchmarkStoreRecover/segment-open/docs=100000",
 }
 
 // loadReport reads one BENCH_N.json file.

@@ -84,8 +84,18 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 			walFailed = 1
 		}
 		e.Gauge(promPrefix+"wal_failed", "1 when a sticky WAL error has the store refusing writes.", float64(walFailed))
+		// The tiered read path: immutable mmap'd segments under the
+		// mutable memtable, converted by compaction (segment builds).
+		e.Gauge(promPrefix+"segments", "Immutable segment files currently serving reads, across shards.", float64(d.Segments))
+		e.Gauge(promPrefix+"segment_bytes", "Bytes of segment files mapped (or heap-resident on the no-mmap fallback).", float64(d.SegmentBytes))
+		e.Gauge(promPrefix+"segment_docs", "Live documents served from the segment tier.", float64(d.SegmentDocs))
+		e.Gauge(promPrefix+"memtable_docs", "Documents in the mutable memtable tier above the segments.", float64(d.MemtableDocs))
+		e.Counter(promPrefix+"compactions_total", "Segment builds (memtable + old segment merged to a new segment) since open.", d.Compactions)
 		rec := d.Recovery
-		e.Gauge(promPrefix+"recovery_snapshot_docs", "Documents loaded from snapshots at startup.", float64(rec.SnapshotDocs))
+		e.Gauge(promPrefix+"recovery_segments_mapped", "Shards restored at startup by mapping a segment file.", float64(rec.SegmentsMapped))
+		e.Gauge(promPrefix+"recovery_segment_docs", "Documents served from segments mapped at startup.", float64(rec.SegmentDocs))
+		e.Gauge(promPrefix+"recovery_invalid_segments", "Torn or corrupt segment files skipped at startup in favor of an older generation.", float64(rec.InvalidSegments))
+		e.Gauge(promPrefix+"recovery_snapshot_docs", "Documents loaded from legacy snapshots at startup.", float64(rec.SnapshotDocs))
 		e.Gauge(promPrefix+"recovery_wal_records_replayed", "WAL records replayed at startup.", float64(rec.WALRecordsReplayed))
 		e.Gauge(promPrefix+"recovery_torn_tails", "Torn WAL tails truncated at startup.", float64(rec.TornTails))
 	}

@@ -115,6 +115,13 @@ func TestMetricsExposition(t *testing.T) {
 		"jsonstored_wal_appends_total",
 		"jsonstored_wal_syncs_total",
 		"jsonstored_wal_failed",
+		"jsonstored_segments",
+		"jsonstored_segment_bytes",
+		"jsonstored_segment_docs",
+		"jsonstored_memtable_docs",
+		"jsonstored_compactions_total",
+		"jsonstored_recovery_segments_mapped",
+		"jsonstored_recovery_invalid_segments",
 		"jsonstored_recovery_wal_records_replayed",
 		`jsonstored_http_requests_total{endpoint="put_doc",code="200"}`,
 		`jsonstored_http_request_duration_seconds_bucket{endpoint="query",le="+Inf"}`,
@@ -185,5 +192,25 @@ func TestMetricsExposition(t *testing.T) {
 	// the second.
 	if s2[`jsonstored_http_requests_total{endpoint="metrics",code="200"}`] < 1 {
 		t.Errorf("metrics endpoint not self-instrumented")
+	}
+
+	// Tier accounting: before any compaction everything lives in the
+	// memtable; a snapshot moves it into one segment per shard and the
+	// gauges follow.
+	if s2["jsonstored_memtable_docs"] != 4 || s2["jsonstored_segments"] != 0 {
+		t.Errorf("pre-compaction tiers: memtable %v segments %v, want 4 and 0",
+			s2["jsonstored_memtable_docs"], s2["jsonstored_segments"])
+	}
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	s3, _, _ := scrape(t, ts.URL)
+	if s3["jsonstored_segments"] != 4 || s3["jsonstored_segment_docs"] != 4 || s3["jsonstored_memtable_docs"] != 0 {
+		t.Errorf("post-compaction tiers: segments %v segment_docs %v memtable %v, want 4/4/0",
+			s3["jsonstored_segments"], s3["jsonstored_segment_docs"], s3["jsonstored_memtable_docs"])
+	}
+	if s3["jsonstored_compactions_total"] != 4 || s3["jsonstored_segment_bytes"] == 0 {
+		t.Errorf("post-compaction: compactions %v segment_bytes %v, want 4 and nonzero",
+			s3["jsonstored_compactions_total"], s3["jsonstored_segment_bytes"])
 	}
 }

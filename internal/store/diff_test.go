@@ -113,7 +113,11 @@ func sameSelections(a, b []Selection) bool {
 func referenceFind(t *testing.T, s *Store, p *engine.Plan, src string) []string {
 	t.Helper()
 	var ids []string
-	for _, pair := range s.candidates(nil, false) {
+	pairs, err := s.candidates(nil, false)
+	if err != nil {
+		t.Fatalf("reference candidates: %v", err)
+	}
+	for _, pair := range pairs {
 		ok, err := p.ValidateReference(pair.tree)
 		if err != nil {
 			t.Fatalf("reference validate(%q): %v", src, err)
@@ -131,7 +135,11 @@ func referenceFind(t *testing.T, s *Store, p *engine.Plan, src string) []string 
 func referenceSelect(t *testing.T, s *Store, p *engine.Plan, src string) []Selection {
 	t.Helper()
 	var out []Selection
-	for _, pair := range s.candidates(nil, false) {
+	pairs, err := s.candidates(nil, false)
+	if err != nil {
+		t.Fatalf("reference candidates: %v", err)
+	}
+	for _, pair := range pairs {
 		nodes, err := p.EvalReference(pair.tree)
 		if err != nil {
 			t.Fatalf("reference eval(%q): %v", src, err)

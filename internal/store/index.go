@@ -167,8 +167,10 @@ func (ix *pathIndex) each(fn func(id string, t *jsontree.Tree)) {
 // result is sorted and duplicate-free — distinct paths hash to
 // distinct terms short of a 64-bit collision, but posting lists and
 // the entries counter must stay exact even across one — so add and
-// accounting-only removal see the identical term set.
-func (ix *pathIndex) docTerms(t *jsontree.Tree) []uint64 {
+// accounting-only removal see the identical term set. The segment
+// writer re-walks captured documents with the same function, which is
+// what makes memtable and segment posting lists agree term-for-term.
+func docTerms(t *jsontree.Tree, maxDepth int) []uint64 {
 	terms := make([]uint64, 0, 3*t.Len())
 	var walk func(n jsontree.NodeID, h uint64, depth int)
 	walk = func(n jsontree.NodeID, h uint64, depth int) {
@@ -181,7 +183,7 @@ func (ix *pathIndex) docTerms(t *jsontree.Tree) []uint64 {
 		case jsontree.StringNode, jsontree.NumberNode:
 			terms = append(terms, valueTerm(h, t.SubtreeHash(n)))
 		default:
-			if depth == ix.maxDepth {
+			if depth == maxDepth {
 				return
 			}
 			for _, c := range t.Children(n) {
@@ -205,7 +207,7 @@ func (ix *pathIndex) docTerms(t *jsontree.Tree) []uint64 {
 // (put does).
 func (ix *pathIndex) add(id string, t *jsontree.Tree) {
 	ord := ordinal(len(ix.ids))
-	terms := ix.docTerms(t)
+	terms := docTerms(t, ix.maxDepth)
 	ix.ids = append(ix.ids, id)
 	ix.trees = append(ix.trees, t)
 	ix.termCounts = append(ix.termCounts, uint32(len(terms)))
@@ -313,6 +315,11 @@ func (ix *pathIndex) compact() {
 type probeScratch struct {
 	lists      [][]ordinal
 	bufA, bufB []ordinal
+
+	// Segment-tier scratch (segmentReader.probe): the resolved
+	// compressed lists and the single-block decode buffer.
+	segLists []postingList
+	segBlock []ordinal
 }
 
 var probePool = sync.Pool{New: func() any { return new(probeScratch) }}

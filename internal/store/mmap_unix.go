@@ -1,0 +1,32 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only and shared, so the kernel manages
+// residency and a reopened segment shares page cache with every other
+// reader. mapped reports whether unmapFile must munmap (the heap
+// fallback sets it false). An empty file maps to a nil slice.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapFile mapping; heap-backed data is left to
+// the garbage collector.
+func unmapFile(data []byte, mapped bool) error {
+	if !mapped || data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package store
+
+// raceEnabled mirrors the -race flag; see race_detect_test.go.
+const raceEnabled = false

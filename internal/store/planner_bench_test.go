@@ -102,7 +102,10 @@ func BenchmarkStorePlannerUnselective(b *testing.B) {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				pairs := s.candidates(terms, true)
+				pairs, cerr := s.candidates(terms, true)
+				if cerr != nil {
+					b.Fatal(cerr)
+				}
 				ids, err := s.findOver(plan, pairs)
 				if err != nil || len(ids) != n {
 					b.Fatalf("got %d docs (err %v), want %d", len(ids), err, n)

@@ -40,21 +40,24 @@ type execInfo struct {
 }
 
 // collectCandidates appends the shard's candidates for one query to
-// dst under the shard's read lock: the live documents of the posting
-// intersection when indexed, the whole shard otherwise. Trees are
-// immutable, so evaluation happens after the lock is released; each
-// query sees a consistent per-shard snapshot. steps reports the
-// intersection's merge work. An armed trace gets one "probe" span per
-// indexed shard (posting-list lengths, merge steps, gallop switches,
-// surviving candidates); tr is nil on the untraced path.
-func (sh *shard) collectCandidates(terms []uint64, indexed bool, dst []docPair, tr *trace.Trace, shardIdx int) (_ []docPair, steps int) {
+// dst under the shard's read lock: when indexed, the union of the
+// memtable's posting intersection and the segment's (tombstone-
+// filtered), the whole shard otherwise. Trees are immutable, so
+// evaluation happens after the lock is released; each query sees a
+// consistent per-shard snapshot. steps reports both tiers' merge
+// work. The error is a segment resolve/decode failure — impossible
+// while the mapping is intact, surfaced rather than swallowed. An
+// armed trace gets one "probe" span per indexed shard (posting-list
+// lengths, merge steps, gallop switches per tier, surviving
+// candidates); tr is nil on the untraced path.
+func (sh *shard) collectCandidates(terms []uint64, indexed bool, dst []docPair, tr *trace.Trace, shardIdx int) (_ []docPair, steps int, err error) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	if !indexed {
-		sh.ix.each(func(id string, t *jsontree.Tree) {
+		err := sh.each(func(id string, t *jsontree.Tree) {
 			dst = append(dst, docPair{id: id, tree: t})
 		})
-		return dst, 0
+		return dst, 0, err
 	}
 	sp := trace.None
 	if tr != nil {
@@ -63,8 +66,9 @@ func (sh *shard) collectCandidates(terms []uint64, indexed bool, dst []docPair, 
 		tr.AttrStr(sp, "lists", postingLengths(sh.ix, terms))
 	}
 	scr := acquireProbeScratch()
-	ords, steps, gallops := sh.ix.probe(terms, scr)
+	defer releaseProbeScratch(scr)
 	before := len(dst)
+	ords, steps, gallops := sh.ix.probe(terms, scr)
 	for _, ord := range ords {
 		// The probe result may carry tombstoned ordinals; the dictionary
 		// filters them here, while the lock still pins it.
@@ -72,14 +76,34 @@ func (sh *shard) collectCandidates(terms []uint64, indexed bool, dst []docPair, 
 			dst = append(dst, docPair{id: id, tree: sh.ix.trees[ord]})
 		}
 	}
-	releaseProbeScratch(scr)
+	// Segment tier second: its probe reuses the scratch's ping-pong
+	// buffers, which is safe exactly because the memtable result was
+	// just consumed into dst. The tiers are disjoint, so appending
+	// cannot duplicate an ID.
+	segSteps, segGallops := 0, 0
+	if sh.seg != nil {
+		var segOrds []ordinal
+		segOrds, segSteps, segGallops, err = sh.seg.probe(terms, scr, sh.segDead)
+		if err == nil {
+			for _, ord := range segOrds {
+				var d *segDoc
+				if d, err = sh.seg.resolve(ord); err != nil {
+					break
+				}
+				dst = append(dst, docPair{id: d.id, tree: d.tree})
+			}
+		}
+		steps += segSteps
+	}
 	if sp != trace.None {
 		tr.Attr(sp, "steps", int64(steps))
 		tr.Attr(sp, "gallops", int64(gallops))
+		tr.Attr(sp, "seg_steps", int64(segSteps))
+		tr.Attr(sp, "seg_gallops", int64(segGallops))
 		tr.Attr(sp, "candidates", int64(len(dst)-before))
 		tr.End(sp)
 	}
-	return dst, steps
+	return dst, steps, err
 }
 
 // postingLengths renders the probed terms' posting-list lengths
@@ -100,12 +124,15 @@ func postingLengths(ix *pathIndex, terms []uint64) string {
 // across all shards. The fan-out paths below collect per shard on the
 // worker pool instead; this entry point remains for the forced-access
 // benchmarks and the differential tests' reference scans.
-func (s *Store) candidates(terms []uint64, indexed bool) []docPair {
+func (s *Store) candidates(terms []uint64, indexed bool) ([]docPair, error) {
 	var out []docPair
 	for i, sh := range s.shards {
-		out, _ = sh.collectCandidates(terms, indexed, out, nil, i)
+		var err error
+		if out, _, err = sh.collectCandidates(terms, indexed, out, nil, i); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // fanOut runs task(0 … shards-1) over at most Options.QueryWorkers
@@ -318,26 +345,31 @@ func (s *Store) FindScan(p *engine.Plan) ([]string, error) {
 // per-document batch pool instead, capped at Options.QueryWorkers so
 // the configured per-query parallelism bound holds on this path too.
 // ok is false when the normal per-shard fan-out should run.
-func (s *Store) lowShardBatch(terms []uint64, indexed bool, tr *trace.Trace) (pairs []docPair, info execInfo, ok bool) {
+func (s *Store) lowShardBatch(terms []uint64, indexed bool, tr *trace.Trace) (pairs []docPair, info execInfo, ok bool, err error) {
 	if s.opts.QueryWorkers <= len(s.shards) {
-		return nil, execInfo{}, false
+		return nil, execInfo{}, false, nil
 	}
 	steps := 0
 	for i, sh := range s.shards {
 		var st int
-		pairs, st = sh.collectCandidates(terms, indexed, pairs, tr, i)
+		if pairs, st, err = sh.collectCandidates(terms, indexed, pairs, tr, i); err != nil {
+			return nil, execInfo{}, true, err
+		}
 		steps += st
 	}
 	info.workers = min(s.eng.Workers(), s.opts.QueryWorkers, max(len(pairs), 1))
 	info.steps = uint64(steps)
 	info.candidates = len(pairs)
-	return pairs, info, true
+	return pairs, info, true, nil
 }
 
 // findFanout runs the find pipeline — probe, snapshot, validate —
 // per shard on the worker pool and merges the matches.
 func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool, tr *trace.Trace) ([]string, execInfo, error) {
-	if pairs, info, ok := s.lowShardBatch(terms, indexed, tr); ok {
+	if pairs, info, ok, err := s.lowShardBatch(terms, indexed, tr); ok {
+		if err != nil {
+			return nil, info, err
+		}
 		sp := tr.Start(tr.Root(), "eval")
 		verdicts, err := s.eng.ValidateBatchBounded(p, candidateTrees(pairs), info.workers)
 		if err != nil {
@@ -363,7 +395,10 @@ func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool, tr *tra
 	perShard := make([][]string, len(s.shards))
 	var candidates, steps atomic.Int64
 	workers, err := s.fanOut(func(i int) error {
-		pairs, st := s.shards[i].collectCandidates(terms, indexed, nil, tr, i)
+		pairs, st, cerr := s.shards[i].collectCandidates(terms, indexed, nil, tr, i)
+		if cerr != nil {
+			return cerr
+		}
 		candidates.Add(int64(len(pairs)))
 		steps.Add(int64(st))
 		sp := trace.None
@@ -466,7 +501,10 @@ func (s *Store) SelectScan(p *engine.Plan) ([]Selection, error) {
 // evaluates through a reused node buffer (engine.EvalAppend), copying
 // only the per-document selections that are actually returned.
 func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool, tr *trace.Trace) ([]Selection, execInfo, error) {
-	if pairs, info, ok := s.lowShardBatch(terms, indexed, tr); ok {
+	if pairs, info, ok, err := s.lowShardBatch(terms, indexed, tr); ok {
+		if err != nil {
+			return nil, info, err
+		}
 		sp := tr.Start(tr.Root(), "eval")
 		selections, err := s.eng.EvalBatchBounded(p, candidateTrees(pairs), info.workers)
 		if err != nil {
@@ -492,7 +530,10 @@ func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool, tr *t
 	perShard := make([][]Selection, len(s.shards))
 	var candidates, steps atomic.Int64
 	workers, err := s.fanOut(func(i int) error {
-		pairs, st := s.shards[i].collectCandidates(terms, indexed, nil, tr, i)
+		pairs, st, cerr := s.shards[i].collectCandidates(terms, indexed, nil, tr, i)
+		if cerr != nil {
+			return cerr
+		}
 		candidates.Add(int64(len(pairs)))
 		steps.Add(int64(st))
 		sp := trace.None

@@ -1,0 +1,7 @@
+//go:build race
+
+package store
+
+// raceEnabled mirrors the -race flag: allocation-count assertions are
+// skipped under the race detector, whose instrumentation allocates.
+const raceEnabled = true

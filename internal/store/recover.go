@@ -1,23 +1,27 @@
 package store
 
-// recover.go: opening a durable store. Open loads, per shard, the
-// newest snapshot that validates end-to-end, replays every WAL
-// generation at or after it in order, truncates a torn tail off the
-// active segment, and rebuilds the inverted path index as a side
-// effect of re-inserting each document through the ordinary in-memory
-// path. The layout under Options.DataDir:
+// recover.go: opening a durable store. Open maps, per shard, the
+// newest segment file that validates end-to-end (magic, footer,
+// whole-file CRC) and replays only the WAL generations at or after it
+// into the memtable, truncating a torn tail off the active WAL
+// segment. Mapping a segment is O(1) in the document count — no JSON
+// is parsed and no posting list rebuilt — so open time is governed by
+// the WAL tail alone. The layout under Options.DataDir:
 //
-//	MANIFEST.json            format version + shard count (authoritative)
+//	MANIFEST.json            format version + shard count + index depth
 //	shard-0000/
-//	  snap-0000000003.snap   state at the instant wal-3 started
+//	  seg-0000000003.seg     state at the instant wal-3 started (mmap'd)
 //	  wal-0000000003.log     mutations since that instant (active tail)
 //
-// Generation g's snapshot pairs with generation g's WAL: snap-g is the
-// state at the moment wal-g began, so recovery is load(snap-G) then
-// replay wal-G, wal-G+1, … for the greatest valid G. Failed snapshot
-// attempts leave extra WAL generations behind (a rotation happens
-// before the snapshot is written); they replay in order like any
-// other.
+// Generation g's segment pairs with generation g's WAL: seg-g is the
+// state at the moment wal-g began, so recovery is map(seg-G) then
+// replay wal-G, wal-G+1, … for the greatest valid G. Failed segment
+// builds leave extra WAL generations behind (a rotation happens
+// before the segment is written); they replay in order like any
+// other. Directories written by earlier builds hold snap-*.snap
+// snapshots instead; those still load (slowly, via full replay into
+// the memtable) and the next snapshot converts the shard to a
+// segment.
 
 import (
 	"bufio"
@@ -37,13 +41,19 @@ import (
 	"jsonlogic/internal/jsontree"
 )
 
-// manifest pins the on-disk format and the shard count. The shard
-// count is authoritative: document IDs are routed to shard files by
-// hash, so reopening with a different count would scatter replay
-// across the wrong directories.
+// manifest pins the on-disk format, the shard count and the index
+// depth bound. The shard count is authoritative: document IDs are
+// routed to shard files by hash, so reopening with a different count
+// would scatter replay across the wrong directories. The depth bound
+// is authoritative for the same reason one level up: segment posting
+// lists are depth-bounded at write time, so reopening with a larger
+// bound would have the planner probe terms the segments never indexed
+// and silently miss matches. A manifest written before the field
+// existed adopts the configured depth and is rewritten.
 type manifest struct {
-	Version int `json:"version"`
-	Shards  int `json:"shards"`
+	Version  int `json:"version"`
+	Shards   int `json:"shards"`
+	MaxDepth int `json:"max_index_depth,omitempty"`
 }
 
 const manifestVersion = 1
@@ -63,6 +73,7 @@ type durability struct {
 	snapMu         sync.Mutex // serializes snapshots (manual and background)
 	snapshots      atomic.Uint64
 	snapshotErrors atomic.Uint64
+	compactions    atomic.Uint64 // segment builds (merge + swap) completed
 
 	stop chan struct{}
 	done chan struct{}
@@ -82,7 +93,16 @@ func (d *durability) shardDir(i int) string {
 
 // RecoveryStats reports what Open found and repaired.
 type RecoveryStats struct {
-	// SnapshotsLoaded counts shards restored from a snapshot;
+	// SegmentsMapped counts shards restored by mapping a segment file;
+	// SegmentDocs the documents those segments hold.
+	SegmentsMapped int `json:"segments_mapped"`
+	SegmentDocs    int `json:"segment_docs"`
+	// InvalidSegments counts segment files that failed end-to-end
+	// validation (torn footer, CRC mismatch, implausible structure) and
+	// were skipped in favor of an older generation — the torn-segment
+	// recovery counter /metrics exposes.
+	InvalidSegments int `json:"invalid_segments"`
+	// SnapshotsLoaded counts shards restored from a legacy snapshot;
 	// SnapshotDocs the documents those snapshots held.
 	SnapshotsLoaded int `json:"snapshots_loaded"`
 	SnapshotDocs    int `json:"snapshot_docs"`
@@ -156,10 +176,22 @@ func Open(opts Options) (*Store, error) {
 			return nil, fmt.Errorf("store: open: %s: invalid shard count %d (must be a power of two)", mPath, m.Shards)
 		}
 		// The manifest wins: the files on disk are laid out for its
-		// shard count.
+		// shard count and their segments indexed to its depth bound.
 		opts.Shards = m.Shards
+		if m.MaxDepth > 0 {
+			opts.MaxIndexDepth = m.MaxDepth
+		} else {
+			// Pre-segment manifest: adopt the configured depth (the one
+			// every file so far was written under, since nothing else
+			// was ever configurable) and pin it from now on.
+			m.MaxDepth = opts.MaxIndexDepth
+			raw, _ := json.Marshal(m)
+			if err := writeFileAtomic(mPath, append(raw, '\n')); err != nil {
+				return nil, fmt.Errorf("store: open: write manifest: %w", err)
+			}
+		}
 	} else if os.IsNotExist(err) {
-		raw, _ := json.Marshal(manifest{Version: manifestVersion, Shards: opts.Shards})
+		raw, _ := json.Marshal(manifest{Version: manifestVersion, Shards: opts.Shards, MaxDepth: opts.MaxIndexDepth})
 		if err := writeFileAtomic(mPath, append(raw, '\n')); err != nil {
 			return nil, fmt.Errorf("store: open: write manifest: %w", err)
 		}
@@ -205,12 +237,18 @@ func Open(opts Options) (*Store, error) {
 	if opts.Schema != nil {
 		var verr error
 		for _, sh := range s.shards {
-			sh.ix.each(func(id string, t *jsontree.Tree) {
+			// sh.each resolves segment documents too: enforcement must
+			// cover both tiers, so a schema-enforcing store trades the
+			// O(1) open for the invariant (every resident doc conforms).
+			eerr := sh.each(func(id string, t *jsontree.Tree) {
 				if verr != nil {
 					return
 				}
 				verr = s.validateSchema(fmt.Sprintf("recovered document %q", id), t)
 			})
+			if verr == nil {
+				verr = eerr
+			}
 			if verr != nil {
 				break
 			}
@@ -290,46 +328,77 @@ func (s *Store) recoverShard(i int, rs *RecoveryStats, maxSeq *uint64) error {
 	if err != nil {
 		return fmt.Errorf("store: recover shard %d: %w", i, err)
 	}
-	var snapGens, walGens []uint64
+	type baseCand struct {
+		gen  uint64
+		kind string
+	}
+	var bases []baseCand
+	var walGens []uint64
 	for _, e := range entries {
 		name := e.Name()
 		switch gen, kind := parseGenName(name); kind {
 		case "wal":
 			walGens = append(walGens, gen)
-		case "snap":
-			snapGens = append(snapGens, gen)
+		case "seg", "snap":
+			bases = append(bases, baseCand{gen: gen, kind: kind})
 		}
 		if filepath.Ext(name) == ".tmp" {
-			// A snapshot attempt that never reached its rename; the
-			// WAL covering it is still intact.
+			// A segment or snapshot build that never reached its rename;
+			// the WAL covering it is still intact.
 			os.Remove(filepath.Join(dir, name))
 			rs.StaleTempFiles++
 		}
 	}
-	sort.Slice(snapGens, func(a, b int) bool { return snapGens[a] > snapGens[b] }) // descending
-	sort.Slice(walGens, func(a, b int) bool { return walGens[a] < walGens[b] })    // ascending
+	// Descending generation; a segment outranks a same-generation
+	// legacy snapshot (they hold identical state, the segment is free
+	// to open).
+	sort.Slice(bases, func(a, b int) bool {
+		if bases[a].gen != bases[b].gen {
+			return bases[a].gen > bases[b].gen
+		}
+		return bases[a].kind == "seg"
+	})
+	sort.Slice(walGens, func(a, b int) bool { return walGens[a] < walGens[b] }) // ascending
 
-	// Latest snapshot that validates end-to-end wins; invalid ones are
+	// Latest base that validates end-to-end wins; invalid ones are
 	// skipped (never partially applied) in favor of older generations.
+	// A segment base is mapped, not loaded: O(1) in its document count.
+	sh := s.shards[i]
 	baseGen := uint64(0)
-	var baseDocs map[string]*jsontree.Tree
-	for _, g := range snapGens {
-		docs, snapSeq, err := loadSnapshot(snapFilePath(dir, g))
+	for _, c := range bases {
+		if c.kind == "seg" {
+			sr, err := openSegment(segFilePath(dir, c.gen), c.gen, s.opts.SegmentNoMmap)
+			if err != nil {
+				rs.InvalidSegments++
+				continue
+			}
+			sh.seg = sr
+			sh.segDead = newBitmap(sr.n)
+			sh.segLive = sr.n
+			if sr.seq > *maxSeq {
+				*maxSeq = sr.seq
+			}
+			baseGen = c.gen
+			rs.SegmentsMapped++
+			rs.SegmentDocs += sr.n
+			break
+		}
+		docs, snapSeq, err := loadSnapshot(snapFilePath(dir, c.gen))
 		if err != nil {
 			rs.InvalidSnapshots++
 			continue
 		}
-		baseGen, baseDocs = g, docs
 		if snapSeq > *maxSeq {
 			*maxSeq = snapSeq
 		}
+		baseGen = c.gen
 		rs.SnapshotsLoaded++
 		rs.SnapshotDocs += len(docs)
+		for id, t := range docs {
+			s.memPut(id, t)
+			noteAutoID(id, maxSeq)
+		}
 		break
-	}
-	for id, t := range baseDocs {
-		s.memPut(id, t)
-		noteAutoID(id, maxSeq)
 	}
 
 	// Replay every WAL generation from the base on, in order. The set
@@ -341,13 +410,13 @@ func (s *Store) recoverShard(i int, rs *RecoveryStats, maxSeq *uint64) error {
 			replay = append(replay, g)
 		}
 	}
-	// The first replayed generation must be the base itself: snapshots
-	// obsolete (and delete) everything before their generation, so a
-	// later start means the covering snapshot failed to validate and
-	// the records bridging the gap are gone. Refuse to resurrect a
-	// partial history.
+	// The first replayed generation must be the base itself: segments
+	// (and snapshots) obsolete — and delete — everything before their
+	// generation, so a later start means the covering base failed to
+	// validate and the records bridging the gap are gone. Refuse to
+	// resurrect a partial history.
 	if len(replay) > 0 && replay[0] != baseGen {
-		return fmt.Errorf("store: recover shard %d: no usable snapshot for generation %d (WAL starts there, base is %d): unrecoverable gap", i, replay[0], baseGen)
+		return fmt.Errorf("store: recover shard %d: no usable segment or snapshot for generation %d (WAL starts there, base is %d): unrecoverable gap", i, replay[0], baseGen)
 	}
 	activeGen := baseGen
 	activeSegRecords := uint64(0)
@@ -387,8 +456,8 @@ func (s *Store) recoverShard(i int, rs *RecoveryStats, maxSeq *uint64) error {
 }
 
 // parseGenName classifies a shard-directory entry as a WAL segment
-// ("wal"), a snapshot ("snap") or neither (""), returning its
-// generation number.
+// ("wal"), an index segment file ("seg"), a legacy snapshot ("snap")
+// or neither (""), returning its generation number.
 func parseGenName(name string) (gen uint64, kind string) {
 	cut := func(prefix, suffix string) (string, bool) {
 		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) && len(name) > len(prefix)+len(suffix) {
@@ -399,6 +468,11 @@ func parseGenName(name string) (gen uint64, kind string) {
 	if mid, ok := cut("wal-", ".log"); ok {
 		if g, err := strconv.ParseUint(mid, 10, 64); err == nil {
 			return g, "wal"
+		}
+	}
+	if mid, ok := cut("seg-", ".seg"); ok {
+		if g, err := strconv.ParseUint(mid, 10, 64); err == nil {
+			return g, "seg"
 		}
 	}
 	if mid, ok := cut("snap-", ".snap"); ok {

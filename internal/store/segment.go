@@ -1,0 +1,769 @@
+package store
+
+// segment.go: the immutable mmap'd read tier. A segment file is one
+// shard's complete state at the instant a WAL generation started —
+// the snapshot role snap-*.snap used to play — but instead of a
+// replay log of documents it holds the shard's dictionary and its
+// inverted index in their on-wire layout, so Open maps the file and
+// serves from it directly: no JSON is parsed and no posting list is
+// rebuilt at startup. Documents lazily parse into trees on first
+// access and are cached per ordinal; posting lists stay block-
+// compressed (postings_codec.go) and are intersected in place via
+// their skip tables.
+//
+// On-disk layout (all integers little-endian):
+//
+//	magic "JLSEG1\n"
+//	docs      section: concatenated compact-JSON document bytes
+//	doc index: (n+1) × u64 offsets into the docs section
+//	ids       section: concatenated document IDs
+//	id index:  (n+1) × u64 offsets into the ids section
+//	postings  section: per term, skip table + delta+varint blocks
+//	term dir:  terms × (u64 hash | u64 postings offset | u32 count),
+//	           sorted by hash for binary search
+//	footer (88 bytes, fixed):
+//	  6 × u64 section offsets, u64 posting entries, u64 auto-ID seq,
+//	  u32 doc count, u32 term count, u32 block size,
+//	  u32 crc32(file[0:crc]), magic "JLSEGF1\n"
+//
+// Ordinals are assigned in sorted-ID order when the segment is
+// written, so ID lookup is a binary search over the id index and a
+// shard's candidate enumeration is ID-ordered for free. The footer
+// CRC covers the entire file, and openSegment verifies it before the
+// segment is trusted — a torn footer or a flipped block anywhere
+// invalidates the whole file and recovery falls back to the previous
+// generation, exactly like an invalid snapshot.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"jsonlogic/internal/jsontree"
+)
+
+const (
+	segMagic       = "JLSEG1\n"
+	segFooterMagic = "JLSEGF1\n"
+	segFooterSize  = 6*8 + 8 + 8 + 4 + 4 + 4 + 4 + len(segFooterMagic)
+	termDirEntry   = 8 + 8 + 4
+)
+
+func segFilePath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%010d.seg", gen))
+}
+
+func segTempPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%010d.tmp", gen))
+}
+
+// segDoc is one resolved segment document: the ID string and the
+// parsed tree, cached per ordinal after first access.
+type segDoc struct {
+	id   string
+	tree *jsontree.Tree
+}
+
+// segmentReader serves one shard's immutable segment. All methods are
+// safe for concurrent use: the underlying bytes never change and the
+// resolve cache is a slice of atomic pointers. Close (munmap) must
+// not race reads; the owning shard swaps readers under its write
+// lock and closes the old one after the swap.
+type segmentReader struct {
+	path   string
+	gen    uint64
+	data   []byte
+	mapped bool
+
+	n              int // document count
+	termCount      int
+	blockSize      int
+	seq            uint64 // bulk auto-ID high-water mark at write time
+	postingEntries uint64
+
+	docs, docIdx, ids, idIdx, postings, termDir []byte
+
+	// cache holds lazily resolved documents; openSegment sizes it but
+	// resolves nothing, so open cost stays independent of parse cost.
+	cache []atomic.Pointer[segDoc]
+}
+
+// openSegment maps (or, with noMmap or on platforms without mmap,
+// reads) the segment at path and validates it end-to-end: magic,
+// footer, whole-file CRC, section bounds and index monotonicity. Any
+// defect fails the open with nothing trusted — recovery treats it
+// like an invalid snapshot and falls back.
+func openSegment(path string, gen uint64, noMmap bool) (*segmentReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(segMagic)+segFooterSize) {
+		return nil, fmt.Errorf("%s: too short for a segment (%d bytes)", path, size)
+	}
+	var data []byte
+	var mapped bool
+	if noMmap {
+		data, err = readSegmentIntoHeap(f, size)
+	} else {
+		data, mapped, err = mapFile(f, size)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: map: %w", path, err)
+	}
+	sr := &segmentReader{path: path, gen: gen, data: data, mapped: mapped}
+	if err := sr.validate(); err != nil {
+		sr.close()
+		return nil, err
+	}
+	sr.cache = make([]atomic.Pointer[segDoc], sr.n)
+	return sr, nil
+}
+
+// readSegmentIntoHeap is the forced fallback shared by every
+// platform: -segment-no-mmap and the differential tests use it on
+// unix, and the !unix mapFile builds on the same idea.
+func readSegmentIntoHeap(f *os.File, size int64) ([]byte, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// validate checks the whole file: magic, footer magic, the CRC over
+// every byte before the CRC field, and the structural consistency of
+// the section offsets and both per-document indexes.
+func (sr *segmentReader) validate() error {
+	data := sr.data
+	if string(data[:len(segMagic)]) != segMagic {
+		return fmt.Errorf("%s: bad segment magic", sr.path)
+	}
+	ft := data[len(data)-segFooterSize:]
+	if string(ft[segFooterSize-len(segFooterMagic):]) != segFooterMagic {
+		return fmt.Errorf("%s: bad or torn segment footer", sr.path)
+	}
+	crcOff := len(data) - len(segFooterMagic) - 4
+	if crc32.ChecksumIEEE(data[:crcOff]) != binary.LittleEndian.Uint32(data[crcOff:]) {
+		return fmt.Errorf("%s: segment CRC mismatch", sr.path)
+	}
+	le := binary.LittleEndian
+	docsOff := le.Uint64(ft[0:])
+	docIdxOff := le.Uint64(ft[8:])
+	idsOff := le.Uint64(ft[16:])
+	idIdxOff := le.Uint64(ft[24:])
+	postingsOff := le.Uint64(ft[32:])
+	termDirOff := le.Uint64(ft[40:])
+	sr.postingEntries = le.Uint64(ft[48:])
+	sr.seq = le.Uint64(ft[56:])
+	sr.n = int(le.Uint32(ft[64:]))
+	sr.termCount = int(le.Uint32(ft[68:]))
+	sr.blockSize = int(le.Uint32(ft[72:]))
+
+	end := uint64(len(data) - segFooterSize)
+	offs := []uint64{uint64(len(segMagic)), docsOff, docIdxOff, idsOff, idIdxOff, postingsOff, termDirOff, end}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] || offs[i] > end {
+			return fmt.Errorf("%s: segment section offsets out of order", sr.path)
+		}
+	}
+	if sr.n < 0 || sr.blockSize < 1 || sr.blockSize > maxSegmentBlockSize {
+		return fmt.Errorf("%s: implausible segment header (docs %d, block %d)", sr.path, sr.n, sr.blockSize)
+	}
+	if docIdxOff+uint64(sr.n+1)*8 != idsOff || idIdxOff+uint64(sr.n+1)*8 != postingsOff {
+		return fmt.Errorf("%s: document index sized wrong for %d documents", sr.path, sr.n)
+	}
+	if termDirOff+uint64(sr.termCount)*termDirEntry != end {
+		return fmt.Errorf("%s: term directory sized wrong for %d terms", sr.path, sr.termCount)
+	}
+	sr.docs = data[docsOff:docIdxOff]
+	sr.docIdx = data[docIdxOff:idsOff]
+	sr.ids = data[idsOff:idIdxOff]
+	sr.idIdx = data[idIdxOff:postingsOff]
+	sr.postings = data[postingsOff:termDirOff]
+	sr.termDir = data[termDirOff:end]
+	// Both per-document indexes must be monotone and in-section, so
+	// the accessors below can slice without bounds anxiety.
+	for _, ix := range []struct {
+		idx     []byte
+		section int
+		what    string
+	}{{sr.docIdx, len(sr.docs), "doc"}, {sr.idIdx, len(sr.ids), "id"}} {
+		prev := uint64(0)
+		for i := 0; i <= sr.n; i++ {
+			off := le.Uint64(ix.idx[i*8:])
+			if off < prev || off > uint64(ix.section) {
+				return fmt.Errorf("%s: %s index entry %d out of order", sr.path, ix.what, i)
+			}
+			prev = off
+		}
+	}
+	// Term directory: hashes strictly increasing (binary-searchable),
+	// offsets inside the postings section.
+	prevHash := uint64(0)
+	for i := 0; i < sr.termCount; i++ {
+		e := sr.termDir[i*termDirEntry:]
+		h := le.Uint64(e)
+		if i > 0 && h <= prevHash {
+			return fmt.Errorf("%s: term directory not sorted at entry %d", sr.path, i)
+		}
+		prevHash = h
+		if off := le.Uint64(e[8:]); off > uint64(len(sr.postings)) {
+			return fmt.Errorf("%s: term directory entry %d offset out of range", sr.path, i)
+		}
+	}
+	return nil
+}
+
+// close releases the mapping. The caller guarantees no concurrent
+// reader (the shard lock orders swap-then-close).
+func (sr *segmentReader) close() error {
+	data := sr.data
+	sr.data = nil
+	return unmapFile(data, sr.mapped)
+}
+
+// sizeBytes is the mapped (or heap-resident) file size.
+func (sr *segmentReader) sizeBytes() int64 { return int64(len(sr.data)) }
+
+func (sr *segmentReader) idBytes(ord ordinal) []byte {
+	le := binary.LittleEndian
+	return sr.ids[le.Uint64(sr.idIdx[ord*8:]):le.Uint64(sr.idIdx[(ord+1)*8:])]
+}
+
+func (sr *segmentReader) docBytes(ord ordinal) []byte {
+	le := binary.LittleEndian
+	return sr.docs[le.Uint64(sr.docIdx[ord*8:]):le.Uint64(sr.docIdx[(ord+1)*8:])]
+}
+
+// lookup binary-searches the ID index (ordinals are ID-sorted by
+// construction) without allocating.
+func (sr *segmentReader) lookup(id string) (ordinal, bool) {
+	lo, hi := 0, sr.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if string(sr.idBytes(ordinal(mid))) < id { // comparison only: no allocation
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < sr.n && string(sr.idBytes(ordinal(lo))) == id {
+		return ordinal(lo), true
+	}
+	return 0, false
+}
+
+// resolve returns ordinal ord's document, parsing and caching it on
+// first access. Concurrent first accesses may parse twice; exactly
+// one result wins the cache and trees are immutable, so either is
+// correct.
+func (sr *segmentReader) resolve(ord ordinal) (*segDoc, error) {
+	if d := sr.cache[ord].Load(); d != nil {
+		return d, nil
+	}
+	t, err := jsontree.Parse(string(sr.docBytes(ord)))
+	if err != nil {
+		// The file was CRC-valid at open; reaching here means the
+		// bytes changed underneath the map or a writer bug.
+		return nil, fmt.Errorf("%s: document %q: %w", sr.path, string(sr.idBytes(ord)), err)
+	}
+	d := &segDoc{id: string(sr.idBytes(ord)), tree: t}
+	if !sr.cache[ord].CompareAndSwap(nil, d) {
+		d = sr.cache[ord].Load()
+	}
+	return d, nil
+}
+
+// termList locates a term's posting list via binary search over the
+// term directory. The bool reports presence; the zero postingList is
+// returned for absent terms.
+func (sr *segmentReader) termList(hash uint64) (postingList, bool) {
+	le := binary.LittleEndian
+	lo, hi := 0, sr.termCount
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if le.Uint64(sr.termDir[mid*termDirEntry:]) < hash {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= sr.termCount {
+		return postingList{}, false
+	}
+	e := sr.termDir[lo*termDirEntry:]
+	if le.Uint64(e) != hash {
+		return postingList{}, false
+	}
+	off := le.Uint64(e[8:])
+	count := int(le.Uint32(e[16:]))
+	end := uint64(len(sr.postings))
+	if lo+1 < sr.termCount {
+		end = le.Uint64(sr.termDir[(lo+1)*termDirEntry+8:])
+	}
+	if end < off || end > uint64(len(sr.postings)) {
+		return postingList{}, false
+	}
+	return postingList{raw: sr.postings[off:end], count: count, blockSize: sr.blockSize}, true
+}
+
+// termCardinality returns the term's posting count (0 if absent).
+// Like the memtable's statistic it may include tombstoned documents,
+// so it is an upper bound on live carriers.
+func (sr *segmentReader) termCardinality(hash uint64) int {
+	pl, ok := sr.termList(hash)
+	if !ok {
+		return 0
+	}
+	return pl.count
+}
+
+// probe intersects the segment's posting lists for terms, smallest
+// first, filtering tombstoned ordinals through dead, and returns the
+// surviving sorted ordinals (aliasing scratch buffers — consume
+// before releasing scr) plus the merge-work counters. The compressed
+// lists are never fully decoded except the smallest: the rest are
+// galloped via their skip tables, decoding only visited blocks. A
+// missing term short-circuits to empty. Allocation-free once the
+// scratch has grown.
+//
+// probe reuses scr's ping-pong buffers, so a caller that also probes
+// the memtable must consume that result before calling probe.
+func (sr *segmentReader) probe(terms []uint64, scr *probeScratch, dead []uint64) (_ []ordinal, steps, gallops int, err error) {
+	if len(terms) == 0 {
+		return nil, 0, 0, nil
+	}
+	lists := scr.segLists[:0]
+	defer func() { scr.segLists = lists }()
+	for _, term := range terms {
+		pl, ok := sr.termList(term)
+		if !ok {
+			return nil, 0, 0, nil
+		}
+		if err := pl.valid(); err != nil {
+			return nil, 0, 0, fmt.Errorf("%s: term %#x: %w", sr.path, term, err)
+		}
+		lists = append(lists, pl)
+	}
+	for i := 1; i < len(lists); i++ {
+		for j := i; j > 0 && lists[j].count < lists[j-1].count; j-- {
+			lists[j], lists[j-1] = lists[j-1], lists[j]
+		}
+	}
+	cur := scr.bufA[:0]
+	if cur, err = lists[0].decodeAll(cur); err != nil {
+		scr.bufA = cur
+		return nil, 0, 0, err
+	}
+	scr.bufA = cur
+	steps = len(cur)
+	for i := 1; i < len(lists) && len(cur) > 0; i++ {
+		var dst []ordinal
+		odd := i%2 == 1
+		if odd {
+			dst = scr.bufB[:0]
+		} else {
+			dst = scr.bufA[:0]
+		}
+		var s int
+		dst, scr.segBlock, s, err = intersectPostings(dst, cur, lists[i], scr.segBlock[:0])
+		steps += s
+		gallops++
+		if odd {
+			scr.bufB = dst
+		} else {
+			scr.bufA = dst
+		}
+		if err != nil {
+			return nil, steps, gallops, err
+		}
+		cur = dst
+	}
+	if len(dead) > 0 {
+		w := 0
+		for _, ord := range cur {
+			if !bitGet(dead, ord) {
+				cur[w] = ord
+				w++
+			}
+		}
+		cur = cur[:w]
+	}
+	return cur, steps, gallops, nil
+}
+
+// each calls fn for every live (per dead) document in the segment in
+// ID order, resolving each through the cache.
+func (sr *segmentReader) each(dead []uint64, fn func(id string, t *jsontree.Tree)) error {
+	for ord := 0; ord < sr.n; ord++ {
+		if bitGet(dead, ordinal(ord)) {
+			continue
+		}
+		d, err := sr.resolve(ordinal(ord))
+		if err != nil {
+			return err
+		}
+		fn(d.id, d.tree)
+	}
+	return nil
+}
+
+// Tombstone bitmap helpers: one bit per segment ordinal, owned by the
+// shard and guarded by its lock.
+
+func bitGet(bm []uint64, i ordinal) bool {
+	w := int(i >> 6)
+	return w < len(bm) && bm[w]&(1<<(i&63)) != 0
+}
+
+func bitSet(bm []uint64, i ordinal) {
+	bm[i>>6] |= 1 << (i & 63)
+}
+
+func newBitmap(n int) []uint64 {
+	return make([]uint64, (n+63)/64)
+}
+
+// ---------------------------------------------------------------------
+// Segment construction: merge of the previous segment and the frozen
+// memtable.
+
+// segSource records where one new-segment ordinal came from, so the
+// post-build swap can reconcile against writes that landed while the
+// merge ran, and so warm parse caches carry over.
+type segSource struct {
+	fromSeg bool
+	oldOrd  ordinal // valid when fromSeg
+	memIdx  int32   // index into the captured memtable slice otherwise
+}
+
+// segBuild is the frozen input of one segment build, captured under
+// the shard lock at WAL rotation, plus the outputs the swap needs.
+type segBuild struct {
+	old     *segmentReader // previous segment (immutable; nil if none)
+	oldDead []uint64       // tombstones at rotation (copy)
+	memIDs  []string       // live memtable documents at rotation
+	memTree []*jsontree.Tree
+
+	// Outputs of buildSegment.
+	sources []segSource
+	entries int
+}
+
+// crcWriter counts and checksums everything written through it, so
+// the footer CRC is computed in the same single pass that streams the
+// file.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+	off uint64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	cw.off += uint64(n)
+	return n, err
+}
+
+// buildSegment writes generation gen's segment file for one shard
+// from b's frozen inputs: documents stream straight from the old
+// mapping (no JSON parse) and from the captured memtable trees, and
+// posting lists merge term-by-term — the old segment's compressed
+// lists are decoded, de-tombstoned and renumbered while the memtable
+// documents are re-walked once. The file lands via temp + fsync +
+// rename, so a crash mid-build leaves only a swept .tmp. On return
+// b.sources maps every new ordinal to its origin.
+func (s *Store) buildSegment(dir string, gen uint64, b *segBuild, seq uint64) error {
+	oldN := 0
+	if b.old != nil {
+		oldN = b.old.n
+	}
+	// Survivor set, sorted by ID. Live memtable IDs and live old-
+	// segment IDs are disjoint: a put that shadows a segment document
+	// tombstones its ordinal.
+	type survivor struct {
+		id  string
+		src segSource
+	}
+	survivors := make([]survivor, 0, oldN+len(b.memIDs))
+	for ord := 0; ord < oldN; ord++ {
+		if bitGet(b.oldDead, ordinal(ord)) {
+			continue
+		}
+		survivors = append(survivors, survivor{
+			id:  string(b.old.idBytes(ordinal(ord))),
+			src: segSource{fromSeg: true, oldOrd: ordinal(ord)},
+		})
+	}
+	for i, id := range b.memIDs {
+		survivors = append(survivors, survivor{id: id, src: segSource{memIdx: int32(i)}})
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].id < survivors[j].id })
+	n := len(survivors)
+	b.sources = make([]segSource, n)
+	for i, sv := range survivors {
+		b.sources[i] = sv.src
+	}
+
+	// Ordinal remaps old → new. Both are order-preserving (survivors
+	// of each tier keep their relative ID order), so remapped posting
+	// lists stay sorted.
+	const deadOrd = ^ordinal(0)
+	segRemap := make([]ordinal, oldN)
+	for i := range segRemap {
+		segRemap[i] = deadOrd
+	}
+	memOrd := make([]ordinal, len(b.memIDs))
+	for newOrd, sv := range survivors {
+		if sv.src.fromSeg {
+			segRemap[sv.src.oldOrd] = ordinal(newOrd)
+		} else {
+			memOrd[sv.src.memIdx] = ordinal(newOrd)
+		}
+	}
+
+	// Memtable postings, keyed and then sorted by term hash. The walk
+	// happens here — once per captured document — rather than under
+	// any lock.
+	memPost := make(map[uint64][]ordinal)
+	for i, t := range b.memTree {
+		for _, term := range docTerms(t, s.opts.MaxIndexDepth) {
+			memPost[term] = append(memPost[term], memOrd[i])
+		}
+	}
+	memTerms := make([]uint64, 0, len(memPost))
+	for term := range memPost {
+		memTerms = append(memTerms, term)
+	}
+	sort.Slice(memTerms, func(i, j int) bool { return memTerms[i] < memTerms[j] })
+	for _, post := range memPost {
+		sort.Slice(post, func(i, j int) bool { return post[i] < post[j] })
+	}
+
+	blockSize := s.opts.SegmentBlockSize
+	tmp := segTempPath(dir, gen)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	cw := &crcWriter{w: bufio.NewWriterSize(f, 1<<20)}
+	le := binary.LittleEndian
+	if _, err := io.WriteString(cw, segMagic); err != nil {
+		return fail(err)
+	}
+
+	// Docs section, offsets accumulated for the index that follows.
+	docsOff := cw.off
+	offsets := make([]uint64, n+1)
+	for i, sv := range survivors {
+		offsets[i] = cw.off - docsOff
+		var err error
+		if sv.src.fromSeg {
+			_, err = cw.Write(b.old.docBytes(sv.src.oldOrd))
+		} else {
+			_, err = io.WriteString(cw, b.memTree[sv.src.memIdx].String())
+		}
+		if err != nil {
+			return fail(err)
+		}
+	}
+	offsets[n] = cw.off - docsOff
+	docIdxOff := cw.off
+	var u64buf [8]byte
+	writeU64 := func(v uint64) error {
+		le.PutUint64(u64buf[:], v)
+		_, err := cw.Write(u64buf[:])
+		return err
+	}
+	for _, off := range offsets {
+		if err := writeU64(off); err != nil {
+			return fail(err)
+		}
+	}
+
+	// IDs section + index.
+	idsOff := cw.off
+	for i, sv := range survivors {
+		offsets[i] = cw.off - idsOff
+		if _, err := io.WriteString(cw, sv.id); err != nil {
+			return fail(err)
+		}
+	}
+	offsets[n] = cw.off - idsOff
+	idIdxOff := cw.off
+	for _, off := range offsets {
+		if err := writeU64(off); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Postings: one ordered merge of the old segment's term directory
+	// and the memtable's term set. Term hashes are unique within each
+	// stream and both are sorted, so this is a plain two-pointer merge;
+	// a shared hash merges the two remapped ordinal lists.
+	postingsOff := cw.off
+	termDir := make([]byte, 0, (b.oldSegTerms()+len(memTerms))*termDirEntry)
+	var encBuf []byte
+	var listBuf, decBuf []ordinal
+	entries := 0
+	emit := func(term uint64, ords []ordinal) error {
+		if len(ords) == 0 {
+			return nil
+		}
+		var e [termDirEntry]byte
+		le.PutUint64(e[0:], term)
+		le.PutUint64(e[8:], cw.off-postingsOff)
+		le.PutUint32(e[16:], uint32(len(ords)))
+		termDir = append(termDir, e[:]...)
+		entries += len(ords)
+		encBuf = appendPostings(encBuf[:0], ords, blockSize)
+		_, err := cw.Write(encBuf)
+		return err
+	}
+	// remapOld decodes one old-segment list, drops tombstoned
+	// ordinals and renumbers the rest (order-preserving).
+	remapOld := func(pl postingList) ([]ordinal, error) {
+		if err := pl.valid(); err != nil {
+			return nil, err
+		}
+		decBuf = decBuf[:0]
+		var err error
+		if decBuf, err = pl.decodeAll(decBuf); err != nil {
+			return nil, err
+		}
+		listBuf = listBuf[:0]
+		for _, ord := range decBuf {
+			if int(ord) < len(segRemap) && segRemap[ord] != deadOrd {
+				listBuf = append(listBuf, segRemap[ord])
+			}
+		}
+		return listBuf, nil
+	}
+	oi, mi := 0, 0
+	oldTerms := b.oldSegTerms()
+	for oi < oldTerms || mi < len(memTerms) {
+		var oldHash uint64
+		var oldPl postingList
+		if oi < oldTerms {
+			e := b.old.termDir[oi*termDirEntry:]
+			oldHash = le.Uint64(e)
+			oldPl, _ = b.old.termList(oldHash)
+		}
+		switch {
+		case mi >= len(memTerms) || (oi < oldTerms && oldHash < memTerms[mi]):
+			ords, err := remapOld(oldPl)
+			if err != nil {
+				return fail(err)
+			}
+			if err := emit(oldHash, ords); err != nil {
+				return fail(err)
+			}
+			oi++
+		case oi >= oldTerms || memTerms[mi] < oldHash:
+			if err := emit(memTerms[mi], memPost[memTerms[mi]]); err != nil {
+				return fail(err)
+			}
+			mi++
+		default: // same term in both tiers: merge the sorted lists
+			ords, err := remapOld(oldPl)
+			if err != nil {
+				return fail(err)
+			}
+			merged := mergeSorted(ords, memPost[memTerms[mi]])
+			if err := emit(oldHash, merged); err != nil {
+				return fail(err)
+			}
+			oi++
+			mi++
+		}
+	}
+	termDirOff := cw.off
+	if _, err := cw.Write(termDir); err != nil {
+		return fail(err)
+	}
+
+	// Footer: everything through the CRC's own offset is covered by
+	// the CRC; the CRC and trailing magic are not (they cannot be).
+	var ft [segFooterSize]byte
+	le.PutUint64(ft[0:], docsOff)
+	le.PutUint64(ft[8:], docIdxOff)
+	le.PutUint64(ft[16:], idsOff)
+	le.PutUint64(ft[24:], idIdxOff)
+	le.PutUint64(ft[32:], postingsOff)
+	le.PutUint64(ft[40:], termDirOff)
+	le.PutUint64(ft[48:], uint64(entries))
+	le.PutUint64(ft[56:], seq)
+	le.PutUint32(ft[64:], uint32(n))
+	le.PutUint32(ft[68:], uint32(len(termDir)/termDirEntry))
+	le.PutUint32(ft[72:], uint32(blockSize))
+	crcEnd := segFooterSize - len(segFooterMagic) - 4
+	if _, err := cw.Write(ft[:crcEnd]); err != nil {
+		return fail(err)
+	}
+	le.PutUint32(ft[crcEnd:], cw.crc)
+	copy(ft[crcEnd+4:], segFooterMagic)
+	if _, err := cw.w.Write(ft[crcEnd:]); err != nil {
+		return fail(err)
+	}
+	if err := cw.w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, segFilePath(dir, gen)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	b.entries = n
+	return syncDir(dir)
+}
+
+// oldSegTerms is the previous segment's term count (0 when none).
+func (b *segBuild) oldSegTerms() int {
+	if b.old == nil {
+		return 0
+	}
+	return b.old.termCount
+}
+
+// mergeSorted merges two sorted duplicate-free ordinal lists. The
+// tiers are disjoint, so no ordinal appears in both.
+func mergeSorted(a, b []ordinal) []ordinal {
+	out := make([]ordinal, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -45,12 +45,19 @@ func (c ClassCounts) Map() map[string]int {
 func (s *Store) DocCount() int { return s.Len() }
 
 // TermCardinality implements Statistics: the posting-list length of
-// the term summed over shards.
+// the term summed over shards and tiers — the memtable's slice length
+// plus the segment term directory's count, both O(1) per shard
+// (the segment count is read from the directory entry, no block is
+// decoded). Segment counts include tombstoned ordinals, like the
+// memtable's, preserving the upper-bound contract.
 func (s *Store) TermCardinality(term uint64) int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		n += len(sh.ix.postings[term])
+		if sh.seg != nil {
+			n += sh.seg.termCardinality(term)
+		}
 		sh.mu.RUnlock()
 	}
 	return n

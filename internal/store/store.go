@@ -56,6 +56,16 @@ type Options struct {
 	// active WAL segment holds that many records (default 10000).
 	// Negative disables automatic snapshots; Snapshot still works.
 	SnapshotEvery int
+	// SegmentBlockSize is the posting-list block length for newly
+	// written segment files (default 128, capped at 32768). Existing
+	// segments carry their own block size in the footer, so the option
+	// only shapes future writes.
+	SegmentBlockSize int
+	// SegmentNoMmap reads segment files into the heap instead of
+	// mapping them — the forced portability fallback (platforms
+	// without mmap always use it). Correctness is identical; the
+	// kernel just stops managing residency.
+	SegmentNoMmap bool
 }
 
 const (
@@ -106,13 +116,100 @@ type Store struct {
 	schemaRejects    atomic.Uint64
 }
 
-// shard owns a partition of the documents and its slice of the index.
-// The documents live inside the index's dictionary (ordinal → ID,
-// tree), so one RWMutex guards one structure and index and documents
-// can never disagree.
+// shard owns a partition of the documents: a mutable memtable (the
+// pathIndex — dictionary plus inverted index) layered over an
+// immutable mmap'd segment. The two tiers are disjoint by invariant —
+// a put that shadows a segment document tombstones its segment
+// ordinal — so a lookup consults the memtable first and the segment's
+// live remainder second, and a probe unions two per-tier
+// intersections. One RWMutex guards the whole shard; segDead and
+// segLive mutate only under the write lock, while the segment's bytes
+// and its resolve cache are safe under the read lock (immutable bytes,
+// atomic cache).
 type shard struct {
 	mu sync.RWMutex
 	ix *pathIndex
+
+	seg     *segmentReader // nil until the first snapshot/recovery maps one
+	segDead []uint64       // tombstone bitmap over seg ordinals
+	segLive int            // segment docs not tombstoned
+}
+
+// live is the shard's document count: memtable plus the segment's
+// untombstoned remainder. Caller holds the lock (either mode).
+func (sh *shard) live() int { return sh.ix.live() + sh.segLive }
+
+// getDoc looks id up across both tiers. A segment resolve failure
+// (impossible short of the mapping changing under us) reads as
+// absent; the query paths, which can return errors, surface it
+// instead. Caller holds the lock (either mode).
+func (sh *shard) getDoc(id string) (*jsontree.Tree, bool) {
+	if t, ok := sh.ix.get(id); ok {
+		return t, true
+	}
+	if sh.seg != nil {
+		if ord, ok := sh.seg.lookup(id); ok && !bitGet(sh.segDead, ord) {
+			d, err := sh.seg.resolve(ord)
+			if err != nil {
+				return nil, false
+			}
+			return d.tree, true
+		}
+	}
+	return nil, false
+}
+
+// has reports whether id is live in either tier without resolving it.
+func (sh *shard) has(id string) bool {
+	if _, ok := sh.ix.get(id); ok {
+		return true
+	}
+	if sh.seg != nil {
+		if ord, ok := sh.seg.lookup(id); ok && !bitGet(sh.segDead, ord) {
+			return true
+		}
+	}
+	return false
+}
+
+// shadowSeg tombstones id's segment ordinal if it is live there — the
+// write half of the disjointness invariant. Caller holds the write
+// lock.
+func (sh *shard) shadowSeg(id string) {
+	if sh.seg == nil {
+		return
+	}
+	if ord, ok := sh.seg.lookup(id); ok && !bitGet(sh.segDead, ord) {
+		bitSet(sh.segDead, ord)
+		sh.segLive--
+	}
+}
+
+// del removes id from whichever tier holds it and reports whether it
+// was live. Caller holds the write lock.
+func (sh *shard) del(id string) bool {
+	if _, ok := sh.ix.remove(id); ok {
+		return true
+	}
+	if sh.seg != nil {
+		if ord, ok := sh.seg.lookup(id); ok && !bitGet(sh.segDead, ord) {
+			bitSet(sh.segDead, ord)
+			sh.segLive--
+			return true
+		}
+	}
+	return false
+}
+
+// each calls fn for every live document in the shard: memtable first,
+// then the segment's live remainder (which resolves lazily and can
+// therefore fail). Caller holds the lock (either mode).
+func (sh *shard) each(fn func(id string, t *jsontree.Tree)) error {
+	sh.ix.each(fn)
+	if sh.seg == nil {
+		return nil
+	}
+	return sh.seg.each(sh.segDead, fn)
 }
 
 // New returns an empty in-memory Store. See Open for the durable
@@ -146,6 +243,12 @@ func normalizeOptions(opts Options) Options {
 	}
 	if opts.SnapshotEvery == 0 {
 		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	if opts.SegmentBlockSize <= 0 {
+		opts.SegmentBlockSize = defaultSegmentBlockSize
+	}
+	if opts.SegmentBlockSize > maxSegmentBlockSize {
+		opts.SegmentBlockSize = maxSegmentBlockSize
 	}
 	return opts
 }
@@ -200,12 +303,15 @@ func (s *Store) memPut(id string, t *jsontree.Tree) {
 
 // memDelete is memPut's delete counterpart.
 func (s *Store) memDelete(id string) {
-	s.shardFor(id).ix.remove(id)
+	s.shardFor(id).del(id)
 }
 
 // put applies an insert/replace to one shard; the caller holds the
-// shard lock (or is the single-threaded recovery path).
+// shard lock (or is the single-threaded recovery path). A put that
+// shadows a segment document tombstones its segment ordinal, keeping
+// the tiers disjoint.
 func (sh *shard) put(id string, t *jsontree.Tree) {
+	sh.shadowSeg(id)
 	sh.ix.put(id, t)
 }
 
@@ -304,7 +410,7 @@ func (s *Store) putTreeIfAbsent(id string, t *jsontree.Tree) (bool, error) {
 	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	if _, taken := sh.ix.get(id); taken {
+	if sh.has(id) {
 		sh.mu.Unlock()
 		return false, nil
 	}
@@ -319,11 +425,13 @@ func (s *Store) putTreeIfAbsent(id string, t *jsontree.Tree) (bool, error) {
 	return true, nil
 }
 
-// Get returns the document stored under id.
+// Get returns the document stored under id, resolving through either
+// tier (a segment-resident document parses and caches on first
+// access).
 func (s *Store) Get(id string) (*jsontree.Tree, bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	t, ok := sh.ix.get(id)
+	t, ok := sh.getDoc(id)
 	sh.mu.RUnlock()
 	return t, ok
 }
@@ -344,7 +452,7 @@ func (s *Store) Delete(id string) (bool, error) {
 	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	if _, ok := sh.ix.get(id); !ok {
+	if !sh.has(id) {
 		sh.mu.Unlock()
 		return false, nil
 	}
@@ -355,7 +463,7 @@ func (s *Store) Delete(id string) (bool, error) {
 			return false, err
 		}
 	}
-	sh.ix.remove(id)
+	sh.del(id)
 	sh.mu.Unlock()
 	if w != nil {
 		return true, w.commit(seq)
@@ -363,12 +471,12 @@ func (s *Store) Delete(id string) (bool, error) {
 	return true, nil
 }
 
-// Len returns the number of stored documents.
+// Len returns the number of stored documents across both tiers.
 func (s *Store) Len() int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		n += sh.ix.live()
+		n += sh.live()
 		sh.mu.RUnlock()
 	}
 	return n
@@ -450,6 +558,17 @@ type DurabilityStats struct {
 	// attempts since open.
 	Snapshots      uint64 `json:"snapshots"`
 	SnapshotErrors uint64 `json:"snapshot_errors"`
+	// Segments / SegmentBytes / SegmentDocs describe the immutable
+	// read tier: shards with a mapped segment file, bytes mapped (or
+	// heap-resident under the no-mmap fallback) and live documents
+	// served from segments. MemtableDocs counts documents in the
+	// mutable tier above them; Compactions counts segment builds
+	// (snapshot-triggered merges) completed since open.
+	Segments     int    `json:"segments"`
+	SegmentBytes int64  `json:"segment_bytes"`
+	SegmentDocs  int    `json:"segment_docs"`
+	MemtableDocs int    `json:"memtable_docs"`
+	Compactions  uint64 `json:"compactions"`
 	// LastError is the first sticky WAL failure, if any; once set the
 	// affected shard refuses writes.
 	LastError string `json:"last_error,omitempty"`
@@ -472,13 +591,21 @@ type Stats struct {
 // query counters.
 func (s *Store) Stats() Stats {
 	st := Stats{Shards: make([]ShardStats, len(s.shards))}
+	var segments, segDocs, memDocs int
+	var segBytes int64
 	for i, sh := range s.shards {
 		sh.mu.RLock()
 		ss := ShardStats{
-			Docs:     sh.ix.live(),
+			Docs:     sh.live(),
 			Terms:    len(sh.ix.postings),
 			Postings: sh.ix.entries,
 		}
+		if sh.seg != nil {
+			segments++
+			segBytes += sh.seg.sizeBytes()
+			segDocs += sh.segLive
+		}
+		memDocs += sh.ix.live()
 		sh.mu.RUnlock()
 		st.Shards[i] = ss
 		st.Docs += ss.Docs
@@ -507,6 +634,10 @@ func (s *Store) Stats() Stats {
 	}
 	if s.dur != nil {
 		st.Durability = s.dur.stats()
+		st.Durability.Segments = segments
+		st.Durability.SegmentBytes = segBytes
+		st.Durability.SegmentDocs = segDocs
+		st.Durability.MemtableDocs = memDocs
 	}
 	return st
 }
@@ -517,6 +648,7 @@ func (d *durability) stats() *DurabilityStats {
 		Fsync:          d.policy.String(),
 		Snapshots:      d.snapshots.Load(),
 		SnapshotErrors: d.snapshotErrors.Load(),
+		Compactions:    d.compactions.Load(),
 		Recovery:       d.recovery,
 	}
 	for _, w := range d.wals {
