@@ -8,7 +8,7 @@ BENCH_JSON ?= BENCH_8.json
 BENCH_OLD ?= BENCH_7.json
 BENCH_NEW ?= $(BENCH_JSON)
 
-.PHONY: all build vet fmt-check test race race-core alloc-check fuzz bench bench-engine bench-store bench-smoke bench-json bench-diff docs-check run-daemon loadtest-smoke loadgrid
+.PHONY: all build vet fmt-check test race race-core alloc-check chaos fuzz bench bench-engine bench-store bench-smoke bench-json bench-diff docs-check run-daemon loadtest-smoke loadgrid
 
 all: vet fmt-check build test docs-check
 
@@ -50,6 +50,18 @@ race-core:
 # replayed.
 alloc-check:
 	$(GO) test -run 'ZeroAllocs|AllocsBounded' -count=1 ./internal/qir ./internal/engine ./internal/store ./internal/trace ./internal/containment ./internal/jauto ./internal/schema ./internal/datalog
+
+# The robustness suite: fault-injected durability (a FaultFS injects
+# ENOSPC/EIO/short writes under the WAL and snapshotter; shards must
+# degrade read-only, keep serving oracle-correct reads, survive a
+# crash without corruption and self-heal once the fault lifts),
+# cooperative query cancellation, Close racing in-flight queries, and
+# the HTTP half (429 admission sheds, 503 degraded/drain contract,
+# 504 timeouts). Under -race — the close/cancel scenarios are
+# concurrency tests first. -count=1: faults must be injected, not
+# replayed from the test cache.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Cancelled|Deadline|HonoursContext|NilContext|LiveContext|CloseRaces|QueryGate|QueryTimeout|Drain|Degraded|BulkByteGate' ./internal/store ./internal/httpapi
 
 # Short native-fuzz passes: the engine's plan-cache key path, the
 # witness-soundness targets for the semantic planner's decision

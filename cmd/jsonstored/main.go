@@ -49,6 +49,9 @@
 //	           [-segment-block-size 128] [-segment-no-mmap]
 //	           [-schema FILE] [-semantic-budget 50000]
 //	           [-slow-query 200ms] [-trace-sample N] [-trace-ring 64]
+//	           [-query-timeout 0] [-max-concurrent-queries 0]
+//	           [-max-queued-queries 0] [-max-bulk-bytes 0]
+//	           [-degraded-retry 500ms]
 //	           [-debug-addr :6060] [-log-format text|json]
 //
 // Without -data-dir the store is in-memory and dies with the process.
@@ -63,10 +66,22 @@
 // Queries at or over -slow-query are traced retroactively, logged and
 // kept in the /debug/queries ring (0 traces every query; negative
 // disables); -trace-sample N additionally keeps every Nth query.
-// -debug-addr serves net/http/pprof on a separate listener. On
-// SIGINT/SIGTERM the daemon stops accepting connections, drains
-// in-flight requests, flushes and fsyncs the WAL, and exits; a second
-// SIGINT during the drain kills the process immediately.
+// -debug-addr serves net/http/pprof on a separate listener.
+//
+// -query-timeout bounds each /query and /explain execution server-side
+// (a request overrides it with an X-Timeout-Ms header; expiry returns
+// 504 with the partial trace preserved). -max-concurrent-queries and
+// -max-queued-queries bound in-flight query work: excess requests wait
+// in the bounded queue and are shed with 429 + Retry-After once it
+// fills. -max-bulk-bytes bounds the bytes of concurrently admitted
+// bulk uploads the same way. If a shard's WAL fails (disk full, I/O
+// error) the shard degrades to read-only — writes return 503 while
+// reads keep serving — and a background probe retries with backoff
+// (starting at -degraded-retry, doubling to 30s) until the shard
+// heals. On SIGINT/SIGTERM the daemon stops accepting
+// connections, answers new requests 503 (drain mode), drains in-flight
+// requests, flushes and fsyncs the WAL, and exits; a second SIGINT
+// during the drain kills the process immediately.
 package main
 
 import (
@@ -107,6 +122,11 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	schemaFile := flag.String("schema", "", "JSON Schema file every stored document must conform to; also drives semantic term pruning (empty: no schema)")
 	semanticBudget := flag.Int("semantic-budget", 50000, "automaton-step budget for the semantic pass (satisfiability, containment dedup, schema pruning) per plan-cache miss (0: disabled)")
+	queryTimeout := flag.Duration("query-timeout", 0, "server-side bound on each /query and /explain execution, overridable per request with X-Timeout-Ms (0: none)")
+	maxConcurrentQueries := flag.Int("max-concurrent-queries", 0, "in-flight /query and /explain bound; excess requests queue briefly then shed with 429 (0: unbounded)")
+	maxQueuedQueries := flag.Int("max-queued-queries", 0, "admission-queue depth behind -max-concurrent-queries (0: twice the concurrency bound)")
+	maxBulkBytes := flag.Int64("max-bulk-bytes", 0, "total bytes of concurrently admitted /bulk uploads; excess uploads shed with 429 (0: unbounded)")
+	degradedRetry := flag.Duration("degraded-retry", 0, "initial backoff between heal attempts on a degraded shard and retries of a failed snapshot, doubling to 30s (0: default 500ms)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -168,6 +188,7 @@ func main() {
 		SegmentBlockSize: *segmentBlockSize,
 		SegmentNoMmap:    *segmentNoMmap,
 		Schema:           schemaInfo,
+		DegradedRetry:    *degradedRetry,
 	}
 	var st *store.Store
 	if *dataDir == "" {
@@ -197,9 +218,16 @@ func main() {
 		Logger:      logger,
 	})
 
+	api := httpapi.NewHandler(st, httpapi.Options{
+		Tracer:               tracer,
+		QueryTimeout:         *queryTimeout,
+		MaxConcurrentQueries: *maxConcurrentQueries,
+		MaxQueuedQueries:     *maxQueuedQueries,
+		MaxBulkBytes:         *maxBulkBytes,
+	})
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: httpapi.NewHandler(st, httpapi.Options{Tracer: tracer}),
+		Handler: api,
 		// Bound slow/stalled peers; no ReadTimeout so large legitimate
 		// bulk uploads are not cut off mid-body.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -249,6 +277,11 @@ func main() {
 	// disposition is restored, so a repeat SIGINT terminates
 	// immediately.
 	cancel()
+	// Flip the handler into drain mode before Shutdown: new requests on
+	// kept-alive connections get an immediate 503 + Retry-After (load
+	// balancers fail over at once) while the in-flight ones below drain
+	// normally. The introspection endpoints stay up for observers.
+	api.SetDraining(true)
 	logger.Info("shutting down (^C again to kill)")
 	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer shutdownCancel()

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -189,6 +190,73 @@ func (e *Engine) ValidateBatchBounded(p *Plan, trees []*jsontree.Tree, maxWorker
 	err := e.forEach(len(trees), maxWorkers, func(i int) error {
 		ok, err := p.validate(trees[i])
 		out[i] = ok
+		return err
+	})
+	return out, err
+}
+
+// batchCancelDocs is how often (in documents) the batch Ctx variants
+// poll ctx.Err between trees; must be a power of two. Within a single
+// tree the executor's own step counter bounds the latency, so the
+// per-document poll only matters for batches of tiny documents.
+const batchCancelDocs = 64
+
+// ValidateCtx is Validate with cooperative cancellation: evaluation
+// polls ctx periodically and returns ctx.Err() once it is done. A nil
+// ctx selects the unchecked (allocation-free) fast path.
+func (e *Engine) ValidateCtx(ctx context.Context, p *Plan, t *jsontree.Tree) (bool, error) {
+	if ctx == nil {
+		return p.validate(t)
+	}
+	return p.validateCtx(ctx, t)
+}
+
+// EvalAppendCtx is EvalAppend with cooperative cancellation; a nil ctx
+// selects the unchecked fast path.
+func (e *Engine) EvalAppendCtx(ctx context.Context, p *Plan, t *jsontree.Tree, out []jsontree.NodeID) ([]jsontree.NodeID, error) {
+	if ctx == nil {
+		return p.evalAppend(t, out)
+	}
+	return p.evalAppendCtx(ctx, t, out)
+}
+
+// ValidateBatchBoundedCtx is ValidateBatchBounded with cooperative
+// cancellation: every worker polls ctx between documents (every
+// batchCancelDocs trees) and inside each evaluation. A nil ctx
+// delegates to the unchecked variant.
+func (e *Engine) ValidateBatchBoundedCtx(ctx context.Context, p *Plan, trees []*jsontree.Tree, maxWorkers int) ([]bool, error) {
+	if ctx == nil {
+		return e.ValidateBatchBounded(p, trees, maxWorkers)
+	}
+	out := make([]bool, len(trees))
+	err := e.forEach(len(trees), maxWorkers, func(i int) error {
+		if i&(batchCancelDocs-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		ok, err := p.validateCtx(ctx, trees[i])
+		out[i] = ok
+		return err
+	})
+	return out, err
+}
+
+// EvalBatchBoundedCtx is EvalBatchBounded with cooperative
+// cancellation; a nil ctx delegates to the unchecked variant.
+func (e *Engine) EvalBatchBoundedCtx(ctx context.Context, p *Plan, trees []*jsontree.Tree, maxWorkers int) ([][]jsontree.NodeID, error) {
+	if ctx == nil {
+		return e.EvalBatchBounded(p, trees, maxWorkers)
+	}
+	out := make([][]jsontree.NodeID, len(trees))
+	err := e.forEach(len(trees), maxWorkers, func(i int) error {
+		if i&(batchCancelDocs-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		nodes, err := p.evalAppendCtx(ctx, trees[i], nil)
+		out[i] = nodes
 		return err
 	})
 	return out, err

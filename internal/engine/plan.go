@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"jsonlogic/internal/jnl"
@@ -232,6 +233,12 @@ func (p *Plan) evalAppend(t *jsontree.Tree, out []jsontree.NodeID) ([]jsontree.N
 	return p.prog.EvalAppend(t, out), nil
 }
 
+// evalAppendCtx is evalAppend with cooperative cancellation; a nil ctx
+// is the unchecked fast path.
+func (p *Plan) evalAppendCtx(ctx context.Context, t *jsontree.Tree, out []jsontree.NodeID) ([]jsontree.NodeID, error) {
+	return p.prog.EvalAppendCtx(ctx, t, out)
+}
+
 // validate computes the plan's boolean semantics over one tree via the
 // QIR program:
 //
@@ -241,6 +248,12 @@ func (p *Plan) evalAppend(t *jsontree.Tree, out []jsontree.NodeID) ([]jsontree.N
 //   - Mongo find: does the document match the filter.
 func (p *Plan) validate(t *jsontree.Tree) (bool, error) {
 	return p.prog.Match(t), nil
+}
+
+// validateCtx is validate with cooperative cancellation; a nil ctx is
+// the unchecked fast path.
+func (p *Plan) validateCtx(ctx context.Context, t *jsontree.Tree) (bool, error) {
+	return p.prog.MatchCtx(ctx, t)
 }
 
 // EvalReference computes the node-selection semantics with the

@@ -12,10 +12,14 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"jsonlogic/internal/engine"
 	"jsonlogic/internal/jsontree"
@@ -39,30 +43,74 @@ type Options struct {
 	// slow-query ring GET /debug/queries serves. nil disables tracing
 	// entirely (the endpoint then reports an empty ring).
 	Tracer *trace.Tracer
+	// QueryTimeout bounds each /query and /explain execution; a
+	// request can tighten or loosen it per call with an X-Timeout-Ms
+	// header. Zero means no server-side timeout.
+	QueryTimeout time.Duration
+	// MaxConcurrentQueries bounds in-flight /query and /explain
+	// executions; excess requests wait in a bounded queue and are shed
+	// with 429 once it fills. Zero disables admission control.
+	MaxConcurrentQueries int
+	// MaxQueuedQueries bounds the admission queue (default: twice
+	// MaxConcurrentQueries). Only meaningful with a positive
+	// MaxConcurrentQueries.
+	MaxQueuedQueries int
+	// MaxBulkBytes bounds the total Content-Length of concurrently
+	// admitted /bulk uploads; excess uploads are shed with 429. Zero
+	// disables the bound (each body is still individually capped by
+	// MaxBody).
+	MaxBulkBytes int64
 }
 
 // server routes the HTTP API onto one Store and its Engine.
 type server struct {
-	store   *store.Store
-	eng     *engine.Engine
-	maxBody int64
-	tracer  *trace.Tracer
-	http    *metrics.HTTPMetrics
-	runtime *metrics.RuntimeMetrics
+	store        *store.Store
+	eng          *engine.Engine
+	maxBody      int64
+	tracer       *trace.Tracer
+	http         *metrics.HTTPMetrics
+	runtime      *metrics.RuntimeMetrics
+	queryTimeout time.Duration
+	qgate        *gate
+	bulkBytes    *byteGate
+	draining     atomic.Bool
+	drainSheds   atomic.Uint64
 }
 
+// Handler is the daemon's HTTP handler: the routed API plus the
+// drain switch the daemon flips when shutdown begins.
+type Handler struct {
+	http.Handler
+	s *server
+}
+
+// SetDraining flips drain mode: while draining, every request except
+// the read-only introspection endpoints (GET /metrics, /stats,
+// /debug/queries) is answered immediately with 503 and Retry-After,
+// so load balancers fail over at once instead of queueing behind a
+// closing listener. In-flight requests are unaffected — the caller
+// still drains them with http.Server.Shutdown.
+func (h *Handler) SetDraining(v bool) { h.s.draining.Store(v) }
+
 // NewHandler returns the daemon's handler over st.
-func NewHandler(st *store.Store, opts Options) http.Handler {
+func NewHandler(st *store.Store, opts Options) *Handler {
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = DefaultMaxBody
 	}
+	queue := opts.MaxQueuedQueries
+	if queue == 0 {
+		queue = 2 * opts.MaxConcurrentQueries
+	}
 	s := &server{
-		store:   st,
-		eng:     st.Engine(),
-		maxBody: opts.MaxBody,
-		tracer:  opts.Tracer,
-		http:    &metrics.HTTPMetrics{},
-		runtime: &metrics.RuntimeMetrics{},
+		store:        st,
+		eng:          st.Engine(),
+		maxBody:      opts.MaxBody,
+		tracer:       opts.Tracer,
+		http:         &metrics.HTTPMetrics{},
+		runtime:      &metrics.RuntimeMetrics{},
+		queryTimeout: opts.QueryTimeout,
+		qgate:        newGate(opts.MaxConcurrentQueries, queue),
+		bulkBytes:    newByteGate(opts.MaxBulkBytes),
 	}
 	mux := http.NewServeMux()
 	route := func(pattern, endpoint string, h http.HandlerFunc) {
@@ -78,7 +126,26 @@ func NewHandler(st *store.Store, opts Options) http.Handler {
 	route("GET /stats", "stats", s.stats)
 	route("GET /metrics", "metrics", s.metrics)
 	route("GET /debug/queries", "debug_queries", s.debugQueries)
-	return mux
+	return &Handler{Handler: s.drainWrap(mux), s: s}
+}
+
+// drainWrap rejects requests while draining, passing through the
+// introspection endpoints an operator (or scraper) needs to watch the
+// drain itself.
+func (s *server) drainWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			switch {
+			case r.Method == http.MethodGet && (r.URL.Path == "/metrics" || r.URL.Path == "/stats" || r.URL.Path == "/debug/queries"):
+			default:
+				s.drainSheds.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // echoRequestID reflects a client-supplied X-Request-ID back on the
@@ -120,6 +187,85 @@ func bodyErrStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// StatusClientClosedRequest is the non-standard (nginx-originated)
+// status reported when the client went away before the query
+// finished; no client sees it, but it keeps the access metrics honest
+// about who aborted.
+const StatusClientClosedRequest = 499
+
+// queryErrStatus maps a query-execution failure: the server's
+// deadline is a 504 (the query ran too long, the server gave up), the
+// client's disappearance is 499, a degraded store is 503 — the
+// rest is the server's 500.
+func queryErrStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, store.ErrDegraded):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// writeStoreErr maps a write-path store failure: a degraded shard is
+// the retryable 503 (the WAL failed; the store is read-only until the
+// background probe heals it), anything else the non-retryable 500.
+func writeStoreErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, store.ErrDegraded) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "%v", err)
+}
+
+// queryCtx derives the execution context for one /query or /explain
+// request: the client's context bounded by the configured
+// QueryTimeout, which an X-Timeout-Ms header overrides per request
+// (0 disables the timeout for that request). Reports ok=false (and
+// writes the 400) on a malformed header.
+func (s *server) queryCtx(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	timeout := s.queryTimeout
+	if h := r.Header.Get("X-Timeout-Ms"); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "bad X-Timeout-Ms %q", h)
+			return nil, nil, false
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		return ctx, cancel, true
+	}
+	return ctx, func() {}, true
+}
+
+// admit passes the request through the query gate, recording the wait
+// as a "gate" span on tr and writing the 429/504 on rejection.
+// Returns the release function and ok.
+func (s *server) admit(w http.ResponseWriter, ctx context.Context, tr *trace.Trace) (func(), bool) {
+	if s.qgate == nil {
+		return func() {}, true
+	}
+	sp := tr.Start(tr.Root(), "gate")
+	release, err := s.qgate.acquire(ctx)
+	tr.End(sp)
+	if err == nil {
+		return release, true
+	}
+	if errors.Is(err, errShed) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	} else {
+		writeError(w, queryErrStatus(err), "query admission: %v", err)
+	}
+	return nil, false
+}
+
 func (s *server) putDoc(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	// Stream the body straight into a tree — the same tokenizer path as
@@ -138,8 +284,8 @@ func (s *server) putDoc(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// A WAL failure: the write is not durable (a failed append was
-		// additionally never applied).
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		// additionally never applied). A degraded shard maps to 503.
+		writeStoreErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "nodes": t.Len()})
@@ -167,7 +313,7 @@ func (s *server) deleteDoc(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ok, err := s.store.Delete(id)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeStoreErr(w, err)
 		return
 	}
 	if !ok {
@@ -178,6 +324,20 @@ func (s *server) deleteDoc(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) bulk(w http.ResponseWriter, r *http.Request) {
+	// Bound the bytes of concurrently admitted uploads before reading
+	// anything. An unknown Content-Length (chunked upload) reserves the
+	// worst case, maxBody.
+	n := r.ContentLength
+	if n < 0 {
+		n = s.maxBody
+	}
+	release, gerr := s.bulkBytes.acquire(n)
+	if gerr != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", gerr)
+		return
+	}
+	defer release()
 	// MaxBytesReader (not LimitReader) so an oversized upload surfaces
 	// as an ingest error instead of a silent truncation reported as
 	// success.
@@ -194,17 +354,26 @@ func (s *server) bulk(w http.ResponseWriter, r *http.Request) {
 		"inserted": len(res.IDs),
 		"ids":      res.IDs,
 		"errors":   errs,
+		// How many of the inserted lines are already durable per the
+		// store's fsync policy. On a mid-batch WAL failure this is the
+		// prefix the client does NOT need to re-upload.
+		"durable": res.Durable,
 	}
 	if err != nil {
 		// Lines before the failure are already stored; report them so
 		// the client can reconcile instead of blindly re-uploading.
 		// A WAL/disk failure is the server's fault, 500 — matching the
-		// put/delete handlers; an oversized body is 413; every other
-		// abort (oversized line, client disconnect mid-upload) is the
+		// put/delete handlers — or 503 when it tripped the shard into
+		// degraded mode; an oversized body is 413; every other abort
+		// (oversized line, client disconnect mid-upload) is the
 		// stream's, 400.
 		status := bodyErrStatus(err)
 		if errors.Is(err, store.ErrWAL) {
 			status = http.StatusInternalServerError
+		}
+		if errors.Is(err, store.ErrDegraded) {
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
 		}
 		body["error"] = fmt.Sprintf("bulk ingest aborted: %v", err)
 		writeJSON(w, status, body)
@@ -283,15 +452,25 @@ func (s *server) query(w http.ResponseWriter, r *http.Request) {
 	}
 	tr.SetQuery(req.Lang, req.Query, mode)
 	tr.SetRequestID(r.Header.Get("X-Request-ID"))
+	ctx, cancel, ok := s.queryCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	release, ok := s.admit(w, ctx, tr)
+	if !ok {
+		return
+	}
+	defer release()
 	p, ok := s.compileReq(w, req, tr)
 	if !ok {
 		return
 	}
 	switch req.Mode {
 	case "", "find":
-		ids, indexed, err := s.store.FindTraced(p, tr)
+		ids, indexed, err := s.store.FindTraced(ctx, p, tr)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, queryErrStatus(err), "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -300,9 +479,9 @@ func (s *server) query(w http.ResponseWriter, r *http.Request) {
 			"indexed": indexed,
 		})
 	case "select":
-		sels, indexed, err := s.store.SelectTraced(p, tr)
+		sels, indexed, err := s.store.SelectTraced(ctx, p, tr)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, queryErrStatus(err), "%v", err)
 			return
 		}
 		type docSelection struct {
@@ -342,6 +521,18 @@ func (s *server) query(w http.ResponseWriter, r *http.Request) {
 // planner's access decision with per-term statistics, and estimated
 // versus actual cardinalities.
 func (s *server) explain(w http.ResponseWriter, r *http.Request) {
+	// Explain executes the real pipeline, so it pays the same admission
+	// toll and timeout as /query.
+	ctx, cancel, ok := s.queryCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	release, ok := s.admit(w, ctx, nil)
+	if !ok {
+		return
+	}
+	defer release()
 	p, req, ok := s.compile(w, r)
 	if !ok {
 		return
@@ -352,11 +543,11 @@ func (s *server) explain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown mode %q", req.Mode)
 		return
 	}
-	ex, err := s.store.Explain(p, req.Mode)
+	ex, err := s.store.Explain(ctx, p, req.Mode)
 	if err != nil {
 		// The mode was validated above, so any error here is an
-		// evaluation failure — the server's fault, like /query.
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		// evaluation failure; timeouts and degradation map like /query.
+		writeError(w, queryErrStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ex)

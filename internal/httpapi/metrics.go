@@ -48,6 +48,26 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 	e.Counter(promPrefix+"queries_parallel_total", "Queries whose shard fan-out used more than one worker.", q.ParallelQueries)
 	e.Counter(promPrefix+"queries_serial_total", "Queries evaluated on a single worker.", q.SerialQueries)
 	e.Counter(promPrefix+"intersection_steps_total", "Posting-list merge steps (comparisons and gallop probes) on indexed queries.", q.IntersectionSteps)
+	e.Counter(promPrefix+"cancellations_total", "Queries aborted by context cancellation or deadline expiry.", q.Cancellations)
+
+	// Admission control: load shed before any work happened, by cause.
+	sheds := promPrefix + "sheds_total"
+	shedsHelp := "Requests shed by admission control, by reason."
+	shed := func(reason string, v uint64) {
+		e.Counter(sheds, shedsHelp, v, metrics.Label{Name: "reason", Value: reason})
+	}
+	var gateSheds, gateWaits uint64
+	if s.qgate != nil {
+		gateSheds, gateWaits = s.qgate.sheds.Load(), s.qgate.waits.Load()
+	}
+	shed("query_gate", gateSheds)
+	var bulkSheds uint64
+	if s.bulkBytes != nil {
+		bulkSheds = s.bulkBytes.sheds.Load()
+	}
+	shed("bulk_bytes", bulkSheds)
+	shed("draining", s.drainSheds.Load())
+	e.Counter(promPrefix+"gate_waits_total", "Queries that queued for an execution slot before running.", gateWaits)
 
 	find, sel, fan := s.store.MetricsHistograms()
 	candidates := promPrefix + "query_candidates"
@@ -84,6 +104,14 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 			walFailed = 1
 		}
 		e.Gauge(promPrefix+"wal_failed", "1 when a sticky WAL error has the store refusing writes.", float64(walFailed))
+		degraded := uint64(0)
+		if d.Degraded {
+			degraded = 1
+		}
+		e.Gauge(promPrefix+"degraded", "1 while any shard is degraded read-only after a WAL failure.", float64(degraded))
+		e.Gauge(promPrefix+"degraded_shards", "Shards currently degraded read-only.", float64(d.DegradedShards))
+		e.Counter(promPrefix+"wal_retry_total", "Heal attempts the degraded-shard probe has made.", d.WALRetries)
+		e.Counter(promPrefix+"wal_heal_total", "Degraded shards successfully healed (WAL reset + snapshot).", d.WALHeals)
 		// The tiered read path: immutable mmap'd segments under the
 		// mutable memtable, converted by compaction (segment builds).
 		e.Gauge(promPrefix+"segments", "Immutable segment files currently serving reads, across shards.", float64(d.Segments))

@@ -109,6 +109,15 @@ func TestMetricsExposition(t *testing.T) {
 		`jsonstored_query_candidates_count{mode="find"}`,
 		`jsonstored_query_fanout_workers_bucket{le="+Inf"}`,
 		"jsonstored_intersection_steps_total",
+		"jsonstored_cancellations_total",
+		`jsonstored_sheds_total{reason="query_gate"}`,
+		`jsonstored_sheds_total{reason="bulk_bytes"}`,
+		`jsonstored_sheds_total{reason="draining"}`,
+		"jsonstored_gate_waits_total",
+		"jsonstored_degraded",
+		"jsonstored_degraded_shards",
+		"jsonstored_wal_retry_total",
+		"jsonstored_wal_heal_total",
 		"jsonstored_plan_cache_hits_total",
 		"jsonstored_plan_cache_misses_total",
 		"jsonstored_plan_cache_entries",

@@ -21,10 +21,12 @@ package load
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -201,18 +203,19 @@ func profileNames() string {
 // worker owns one goroutine's RNG, scratch buffers and samples, so
 // the hot loop shares nothing with its siblings.
 type worker struct {
-	cfg     *Config
-	mix     Mix
-	client  *http.Client
-	rng     *rand.Rand
-	idx     int
-	seq     uint64
-	sb      strings.Builder
-	rbuf    []byte
-	samples [numOps][]float64 // latency in seconds
-	errs    [numOps]uint64
-	codes   map[int]uint64
-	slowest []SlowRequest // descending by Ms, at most cfg.SlowestK
+	cfg      *Config
+	mix      Mix
+	client   *http.Client
+	rng      *rand.Rand
+	idx      int
+	seq      uint64
+	sb       strings.Builder
+	rbuf     []byte
+	samples  [numOps][]float64 // latency in seconds
+	errs     [numOps]uint64
+	timeouts uint64 // requests cut off by the client's own Timeout
+	codes    map[int]uint64
+	slowest  []SlowRequest // descending by Ms, at most cfg.SlowestK
 }
 
 // Run executes one load run and returns its summary. The context
@@ -333,10 +336,24 @@ func (w *worker) loop(ctx context.Context, arrivals <-chan time.Time) {
 			if ctx.Err() != nil {
 				return // cancellation mid-request is not a server error
 			}
+			if isClientTimeout(err) {
+				// The client's own per-request Timeout fired while the run
+				// was still live: the server was too slow for this client,
+				// which the summary reports separately from transport
+				// errors — it is the client-side view of a 504.
+				w.timeouts++
+			}
 			w.errs[op]++
 			continue
 		}
 		w.codes[code]++
+		if code == http.StatusTooManyRequests {
+			// Shed by admission control before any work: not a latency
+			// sample (nothing was measured but the rejection) and not an
+			// error (the server is protecting itself, as configured). The
+			// status-code breakdown carries the count.
+			continue
+		}
 		if code >= 500 {
 			w.errs[op]++
 			continue
@@ -344,6 +361,17 @@ func (w *worker) loop(ctx context.Context, arrivals <-chan time.Time) {
 		w.samples[op] = append(w.samples[op], lat)
 		w.noteSlow(reqID, op, lat)
 	}
+}
+
+// isClientTimeout reports whether a request failed on the client's
+// own Timeout (http.Client.Timeout or a per-request deadline) rather
+// than a transport fault; url.Error wraps both shapes.
+func isClientTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || os.IsTimeout(err) {
+		return true
+	}
+	var t interface{ Timeout() bool }
+	return errors.As(err, &t) && t.Timeout()
 }
 
 // SlowRequest identifies one of the slowest measured requests.

@@ -34,6 +34,10 @@ type Summary struct {
 	Total       OpStats           `json:"total"`
 	Ops         []OpStats         `json:"ops"`
 	Codes       map[string]uint64 `json:"status_codes"`
+	// ClientTimeouts counts requests the generator's own per-request
+	// Timeout cut off — the client-side view of a too-slow server,
+	// reported separately from transport errors.
+	ClientTimeouts uint64 `json:"client_timeouts,omitempty"`
 	// Slowest names the slowest K measured requests by the
 	// X-Request-ID the generator sent (and the daemon echoed), so an
 	// outlier in the latency tail can be looked up in the server's
@@ -71,6 +75,7 @@ func summarize(cfg *Config, workers []*worker, elapsed time.Duration) *Summary {
 		for code, n := range w.codes {
 			s.Codes[fmt.Sprint(code)] += n
 		}
+		s.ClientTimeouts += w.timeouts
 		s.Slowest = append(s.Slowest, w.slowest...)
 	}
 	sort.Slice(s.Slowest, func(i, j int) bool { return s.Slowest[i].Ms > s.Slowest[j].Ms })
@@ -125,7 +130,7 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 
 // CSVHeader is the column set WriteCSV emits, one row per operation
 // kind plus a "total" row; grid runs concatenate these tables.
-const CSVHeader = "workload,concurrency,rate_target,duration_s,op,count,errors,throughput_ops_s,mean_ms,p50_ms,p90_ms,p99_ms,max_ms"
+const CSVHeader = "workload,concurrency,rate_target,duration_s,op,count,errors,throughput_ops_s,mean_ms,p50_ms,p90_ms,p99_ms,max_ms,shed_429,unavailable_503,timeout_504,client_timeouts"
 
 // WriteCSV writes the summary as a CSV table. With header false only
 // data rows are written, so successive runs can append to one file.
@@ -138,9 +143,10 @@ func (s *Summary) WriteCSV(w io.Writer, header bool) error {
 	rows := append([]OpStats{}, s.Ops...)
 	rows = append(rows, s.Total)
 	for _, r := range rows {
-		_, err := fmt.Fprintf(w, "%s,%d,%g,%.3f,%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+		_, err := fmt.Fprintf(w, "%s,%d,%g,%.3f,%s,%d,%d,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d\n",
 			s.Workload, s.Concurrency, s.RateTarget, s.DurationS,
-			r.Op, r.Count, r.Errors, r.Throughput, r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+			r.Op, r.Count, r.Errors, r.Throughput, r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs,
+			s.Codes["429"], s.Codes["503"], s.Codes["504"], s.ClientTimeouts)
 		if err != nil {
 			return err
 		}
@@ -166,6 +172,10 @@ func (s *Summary) WriteText(w io.Writer) error {
 			r.Op, r.Count, r.Errors, r.Throughput, r.MeanMs, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs); err != nil {
 			return err
 		}
+	}
+	if shed, unavail, timeout := s.Codes["429"], s.Codes["503"], s.Codes["504"]; shed+unavail+timeout+s.ClientTimeouts > 0 {
+		fmt.Fprintf(w, "backpressure: 429 shed %d  503 unavailable %d  504 query timeout %d  client timeouts %d\n",
+			shed, unavail, timeout, s.ClientTimeouts)
 	}
 	if len(s.Slowest) > 0 {
 		fmt.Fprintf(w, "slowest requests (X-Request-ID, see GET /debug/queries on the target):\n")

@@ -1,6 +1,7 @@
 package qir
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -124,6 +125,31 @@ func (p *Program) Match(t *jsontree.Tree) bool {
 	return v
 }
 
+// MatchCtx is Match with cooperative cancellation: the executor polls
+// ctx at its recursion checkpoints (closure steps, definition entries,
+// closure-enumeration visits — every cancelCheckEvery of them) and
+// returns ctx.Err() when it has fired. A nil ctx is exactly Match:
+// the zero-overhead, zero-allocation fast path.
+func (p *Program) MatchCtx(ctx context.Context, t *jsontree.Tree) (ok bool, err error) {
+	if ctx == nil {
+		return p.Match(t), nil
+	}
+	st := p.acquire(t)
+	st.ctx = ctx
+	defer func() {
+		st.ctx, st.steps = nil, 0
+		p.release(st)
+		if r := recover(); r != nil {
+			c, isCancel := r.(cancelErr)
+			if !isCancel {
+				panic(r)
+			}
+			ok, err = false, c.err
+		}
+	}()
+	return p.pred.eval(st, t.Root()), nil
+}
+
 // Eval computes the query's node-selection semantics: the nodes
 // reachable via the selection path when one is set, otherwise all
 // nodes satisfying the match predicate. Results are in ascending node
@@ -141,6 +167,37 @@ func (p *Program) Eval(t *jsontree.Tree) []jsontree.NodeID {
 // working-set size.
 func (p *Program) EvalAppend(t *jsontree.Tree, out []jsontree.NodeID) []jsontree.NodeID {
 	st := p.acquire(t)
+	out = p.evalAppendWith(st, t, out)
+	p.release(st)
+	return out
+}
+
+// EvalAppendCtx is EvalAppend with cooperative cancellation (see
+// MatchCtx); it returns nil, ctx.Err() once the context fires. A nil
+// ctx is exactly EvalAppend.
+func (p *Program) EvalAppendCtx(ctx context.Context, t *jsontree.Tree, out []jsontree.NodeID) (res []jsontree.NodeID, err error) {
+	if ctx == nil {
+		return p.EvalAppend(t, out), nil
+	}
+	st := p.acquire(t)
+	st.ctx = ctx
+	defer func() {
+		st.ctx, st.steps = nil, 0
+		p.release(st)
+		if r := recover(); r != nil {
+			c, isCancel := r.(cancelErr)
+			if !isCancel {
+				panic(r)
+			}
+			res, err = nil, c.err
+		}
+	}()
+	return p.evalAppendWith(st, t, out), nil
+}
+
+// evalAppendWith is the shared body of EvalAppend and EvalAppendCtx;
+// the caller owns st's acquire/release.
+func (p *Program) evalAppendWith(st *state, t *jsontree.Tree, out []jsontree.NodeID) []jsontree.NodeID {
 	n := t.Len()
 	if p.sel != nil {
 		// Enumerate into a pooled mark set, then emit in ascending node
@@ -156,15 +213,14 @@ func (p *Program) EvalAppend(t *jsontree.Tree, out []jsontree.NodeID) []jsontree
 			}
 		}
 		st.releaseVisited(seen)
-		p.release(st)
 		return out
 	}
 	for i := 0; i < n; i++ {
+		st.step()
 		if p.pred.eval(st, jsontree.NodeID(i)) {
 			out = append(out, jsontree.NodeID(i))
 		}
 	}
-	p.release(st)
 	return out
 }
 
@@ -643,6 +699,39 @@ type state struct {
 
 	// nodeBuf is the sort buffer of the uniqueness check.
 	nodeBuf []jsontree.NodeID
+
+	// ctx arms cooperative cancellation for the *Ctx entry points; nil
+	// (the Match/Eval fast paths) makes step a single branch. steps
+	// counts checkpoints so ctx is polled once per cancelCheckEvery.
+	ctx   context.Context
+	steps int
+}
+
+// cancelCheckEvery is how many executor checkpoints (closure steps,
+// definition entries, enumeration visits, scanned nodes) pass between
+// context polls. A power of two so the modulus is a mask; small
+// enough that a cancelled query unwinds in well under a millisecond
+// of residual work.
+const cancelCheckEvery = 1024
+
+// cancelErr carries ctx.Err() out of the operator recursion as a
+// panic; the *Ctx entry points recover it. A panic rather than
+// threaded error returns keeps the operator signatures — and the
+// zero-allocation nil-ctx paths — untouched.
+type cancelErr struct{ err error }
+
+// step is the cancellation checkpoint, inlined into the recursion
+// sites that bound how long evaluation can run between polls.
+func (st *state) step() {
+	if st.ctx == nil {
+		return
+	}
+	st.steps++
+	if st.steps&(cancelCheckEvery-1) == 0 {
+		if err := st.ctx.Err(); err != nil {
+			panic(cancelErr{err})
+		}
+	}
 }
 
 // acquire returns a ready state for evaluating t: pooled if available,
@@ -1122,6 +1211,7 @@ type closureOp struct {
 }
 
 func (o *closureOp) eval(st *state, n jsontree.NodeID) bool {
+	st.step()
 	m := st.memo(o.memoID)
 	switch m[n] {
 	case memoTrue:
@@ -1163,6 +1253,7 @@ type defOp struct {
 }
 
 func (o *defOp) eval(st *state, n jsontree.NodeID) bool {
+	st.step()
 	m := st.memo(o.memoID)
 	switch m[n] {
 	case memoTrue:
@@ -1331,6 +1422,7 @@ func (e closureEnum) each(st *state, n jsontree.NodeID, yield func(jsontree.Node
 	visited := st.acquireVisited()
 	var walk func(m jsontree.NodeID) bool
 	walk = func(m jsontree.NodeID) bool {
+		st.step()
 		if visited.marks[m] {
 			return true
 		}

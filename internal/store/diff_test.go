@@ -206,7 +206,7 @@ func runStoreDifferential(t *testing.T, seed int64, lang engine.Language, source
 		// actually produced, and results never exceed candidates.
 		if i%5 == 0 {
 			for _, mode := range []string{"find", "select"} {
-				ex, err := s.Explain(p, mode)
+				ex, err := s.Explain(nil, p, mode)
 				if err != nil {
 					t.Fatalf("Explain(%q, %s): %v", src, mode, err)
 				}

@@ -669,7 +669,7 @@ func TestDurableAutoIDNeverRecycled(t *testing.T) {
 // acknowledged and then truncated away as a "torn tail" on reopen) —
 // and the refusal must not poison the WAL for later records.
 func TestWALRejectsOversizedRecord(t *testing.T) {
-	w, err := openShardWAL(0, t.TempDir(), 0, FsyncOff, 0)
+	w, err := openShardWAL(osFS{}, 0, t.TempDir(), 0, FsyncOff, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -689,7 +689,7 @@ func TestWALRejectsOversizedRecord(t *testing.T) {
 // while new appends after close still fail.
 func TestWALCommitAfterCloseSucceeds(t *testing.T) {
 	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval} {
-		w, err := openShardWAL(0, t.TempDir(), 0, policy, 0)
+		w, err := openShardWAL(osFS{}, 0, t.TempDir(), 0, policy, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

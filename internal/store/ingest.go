@@ -28,6 +28,13 @@ type BulkResult struct {
 	IDs []string
 	// Errors lists the lines that failed to parse.
 	Errors []BulkError
+	// Durable is how many of IDs (a prefix, in input order) are known
+	// durable per the store's fsync policy. On a clean batch it equals
+	// len(IDs); on a mid-batch WAL failure it is the count the client
+	// need not re-upload — later lines were applied in memory but their
+	// WAL records may not have survived. On an in-memory store it
+	// equals len(IDs) (there is no durability to lose).
+	Durable int
 }
 
 // BulkNDJSON ingests one JSON document per non-blank line, assigning
@@ -82,11 +89,14 @@ func (s *Store) BulkNDJSON(r io.Reader) (BulkResult, error) {
 				// before reporting: the result's IDs are promised to
 				// be "already stored", which must survive a crash. A
 				// failure of that force matters just as much, so it
-				// travels with the original error.
+				// travels with the original error. Only on a clean
+				// force is the applied prefix known durable.
 				if cerr := s.commitBulk(); cerr != nil {
 					err = errors.Join(err, cerr)
+				} else {
+					res.Durable = len(res.IDs)
 				}
-				return res, err
+				return res, fmt.Errorf("bulk line %d (after %d durable): %w", lineNo, res.Durable, err)
 			}
 			if ok {
 				break
@@ -99,10 +109,16 @@ func (s *Store) BulkNDJSON(r io.Reader) (BulkResult, error) {
 		// the reader error.
 		if cerr := s.commitBulk(); cerr != nil {
 			err = errors.Join(err, cerr)
+		} else {
+			res.Durable = len(res.IDs)
 		}
 		return res, err
 	}
-	return res, s.commitBulk()
+	if err := s.commitBulk(); err != nil {
+		return res, fmt.Errorf("bulk commit (0 of %d lines known durable): %w", len(res.IDs), err)
+	}
+	res.Durable = len(res.IDs)
+	return res, nil
 }
 
 // commitBulk forces every shard's buffered WAL tail durable per the
@@ -110,7 +126,11 @@ func (s *Store) BulkNDJSON(r io.Reader) (BulkResult, error) {
 // per-shard fsyncs are independent, so they run concurrently: the
 // batch waits roughly one fsync latency, not shard-count of them.
 // Untouched shards are free (syncNow returns without syncing when
-// nothing is pending).
+// nothing is pending). Shards already degraded are skipped: every
+// write that touched one has already returned its error to the
+// caller unacknowledged, so forcing it can only re-report the sticky
+// error and mask the healthy shards' clean commit — which is exactly
+// the durable prefix a mid-batch abort wants to certify.
 func (s *Store) commitBulk() error {
 	if s.dur == nil {
 		return nil
@@ -118,6 +138,9 @@ func (s *Store) commitBulk() error {
 	if s.dur.policy != FsyncAlways {
 		var first error
 		for _, w := range s.dur.wals {
+			if w.degraded.Load() {
+				continue
+			}
 			if err := w.commit(0); err != nil && first == nil {
 				first = err
 			}
@@ -126,8 +149,11 @@ func (s *Store) commitBulk() error {
 	}
 	errs := make([]error, len(s.dur.wals))
 	var wg sync.WaitGroup
-	wg.Add(len(s.dur.wals))
 	for i, w := range s.dur.wals {
+		if w.degraded.Load() {
+			continue
+		}
+		wg.Add(1)
 		go func(i int, w *shardWAL) {
 			defer wg.Done()
 			errs[i] = w.syncNow()

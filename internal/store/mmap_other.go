@@ -2,15 +2,13 @@
 
 package store
 
-import "os"
-
 // On platforms without syscall.Mmap (Windows), segments are read into
 // the heap instead: the same reader code runs over a []byte either
 // way, trading kernel-managed residency for portability. Mirrors
 // lock_other.go's degradation contract, documented in
 // cmd/jsonstored/README.md.
 
-func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+func mapFile(f File, size int64) (data []byte, mapped bool, err error) {
 	data, err = readSegmentIntoHeap(f, size)
 	return data, false, err
 }

@@ -3,7 +3,6 @@
 package store
 
 import (
-	"os"
 	"syscall"
 )
 
@@ -11,7 +10,7 @@ import (
 // residency and a reopened segment shares page cache with every other
 // reader. mapped reports whether unmapFile must munmap (the heap
 // fallback sets it false). An empty file maps to a nil slice.
-func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+func mapFile(f File, size int64) (data []byte, mapped bool, err error) {
 	if size == 0 {
 		return nil, false, nil
 	}

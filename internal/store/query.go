@@ -1,6 +1,8 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -21,6 +23,12 @@ type Selection struct {
 	Tree  *jsontree.Tree
 	Nodes []jsontree.NodeID
 }
+
+// batchCancelDocs is how often (in documents) the per-shard evaluation
+// loops poll a non-nil ctx between documents; must be a power of two.
+// It mirrors the engine's batch poll interval so cancellation latency
+// is bounded the same way on both evaluation paths.
+const batchCancelDocs = 64
 
 // docPair is a snapshot of one stored document.
 type docPair struct {
@@ -140,8 +148,10 @@ func (s *Store) candidates(terms []uint64, indexed bool) ([]docPair, error) {
 // pool) and returns how many workers ran plus the first task error.
 // With one worker — or one shard — the tasks run inline on the calling
 // goroutine: no goroutine is spawned for a query that cannot
-// parallelize.
-func (s *Store) fanOut(task func(shardIdx int) error) (int, error) {
+// parallelize. A non-nil ctx is polled before every shard task, so a
+// cancelled query stops picking up shards; in-flight tasks notice via
+// their own checkpoints.
+func (s *Store) fanOut(ctx context.Context, task func(shardIdx int) error) (int, error) {
 	n := len(s.shards)
 	workers := s.opts.QueryWorkers
 	if workers > n {
@@ -149,6 +159,11 @@ func (s *Store) fanOut(task func(shardIdx int) error) (int, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return 1, err
+				}
+			}
 			if err := task(i); err != nil {
 				return 1, err
 			}
@@ -168,6 +183,12 @@ func (s *Store) fanOut(task func(shardIdx int) error) (int, error) {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
 				}
 				if err := task(i); err != nil {
 					firstErr.CompareAndSwap(nil, &err)
@@ -281,7 +302,7 @@ func (s *Store) prunedFor(p *engine.Plan) map[string]bool {
 // validate, sorted merge — recording spans on tr (which may be nil),
 // and returns the plan and counter inputs untouched. Find/FindTraced
 // bump the counters; Explain runs this same code and does not.
-func (s *Store) runFind(p *engine.Plan, tr *trace.Trace) ([]string, QueryPlan, execInfo, error) {
+func (s *Store) runFind(ctx context.Context, p *engine.Plan, tr *trace.Trace) ([]string, QueryPlan, execInfo, error) {
 	if verdict, ok := s.semanticEmpty(p); ok {
 		return nil, s.semanticPlan(verdict, tr), execInfo{}, nil
 	}
@@ -289,7 +310,7 @@ func (s *Store) runFind(p *engine.Plan, tr *trace.Trace) ([]string, QueryPlan, e
 	plan := s.planFacts(p.FindFacts(), s.prunedFor(p))
 	annotatePlanSpan(tr, sp, &plan)
 	tr.End(sp)
-	ids, info, err := s.findFanout(p, plan.probeTerms, plan.Access == AccessIndex, tr)
+	ids, info, err := s.findFanout(ctx, p, plan.probeTerms, plan.Access == AccessIndex, tr)
 	return ids, plan, info, err
 }
 
@@ -302,13 +323,20 @@ func (s *Store) runFind(p *engine.Plan, tr *trace.Trace) ([]string, QueryPlan, e
 // list, so the result is deterministic whatever the interleaving. The
 // returned indexed flag reports which access path answered the query.
 func (s *Store) Find(p *engine.Plan) (ids []string, indexed bool, err error) {
-	return s.FindTraced(p, nil)
+	return s.FindTraced(nil, p, nil)
 }
 
-// FindTraced is Find recording the pipeline's spans on tr. A nil tr is
-// the production fast path: the recorder calls reduce to nil checks.
-func (s *Store) FindTraced(p *engine.Plan, tr *trace.Trace) (ids []string, indexed bool, err error) {
-	ids, plan, info, err := s.runFind(p, tr)
+// FindTraced is Find recording the pipeline's spans on tr and
+// honouring ctx. A nil tr is the production fast path: the recorder
+// calls reduce to nil checks. A nil ctx disables cancellation (the
+// allocation-free path); with a non-nil ctx, evaluation checkpoints
+// cooperatively and the first ctx error aborts the fan-out, returning
+// ctx.Err() with whatever trace spans were recorded so far.
+func (s *Store) FindTraced(ctx context.Context, p *engine.Plan, tr *trace.Trace) (ids []string, indexed bool, err error) {
+	ids, plan, info, err := s.runFind(ctx, p, tr)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		s.cancellations.Add(1)
+	}
 	if plan.Access == AccessSemantic {
 		// A compile-time proof answered the query: nothing was probed,
 		// scanned or evaluated, so none of the execution counters apply.
@@ -332,7 +360,7 @@ func (s *Store) FindTraced(p *engine.Plan, tr *trace.Trace) (ids []string, index
 // Find — the scan's unit of parallelism is the shard.
 func (s *Store) FindScan(p *engine.Plan) ([]string, error) {
 	s.findScan.Add(1)
-	ids, info, err := s.findFanout(p, nil, false, nil)
+	ids, info, err := s.findFanout(nil, p, nil, false, nil)
 	s.noteFanout(info.workers, info.steps)
 	s.noteCandidates(false, false, info.candidates)
 	return ids, err
@@ -365,13 +393,13 @@ func (s *Store) lowShardBatch(terms []uint64, indexed bool, tr *trace.Trace) (pa
 
 // findFanout runs the find pipeline — probe, snapshot, validate —
 // per shard on the worker pool and merges the matches.
-func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool, tr *trace.Trace) ([]string, execInfo, error) {
+func (s *Store) findFanout(ctx context.Context, p *engine.Plan, terms []uint64, indexed bool, tr *trace.Trace) ([]string, execInfo, error) {
 	if pairs, info, ok, err := s.lowShardBatch(terms, indexed, tr); ok {
 		if err != nil {
 			return nil, info, err
 		}
 		sp := tr.Start(tr.Root(), "eval")
-		verdicts, err := s.eng.ValidateBatchBounded(p, candidateTrees(pairs), info.workers)
+		verdicts, err := s.eng.ValidateBatchBoundedCtx(ctx, p, candidateTrees(pairs), info.workers)
 		if err != nil {
 			return nil, info, err
 		}
@@ -394,7 +422,7 @@ func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool, tr *tra
 	}
 	perShard := make([][]string, len(s.shards))
 	var candidates, steps atomic.Int64
-	workers, err := s.fanOut(func(i int) error {
+	workers, err := s.fanOut(ctx, func(i int) error {
 		pairs, st, cerr := s.shards[i].collectCandidates(terms, indexed, nil, tr, i)
 		if cerr != nil {
 			return cerr
@@ -407,8 +435,13 @@ func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool, tr *tra
 			tr.Attr(sp, "shard", int64(i))
 		}
 		var ids []string
-		for _, pair := range pairs {
-			ok, verr := s.eng.Validate(p, pair.tree)
+		for di, pair := range pairs {
+			if ctx != nil && di&(batchCancelDocs-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			ok, verr := s.eng.ValidateCtx(ctx, p, pair.tree)
 			if verr != nil {
 				return verr
 			}
@@ -444,7 +477,7 @@ func (s *Store) findFanout(p *engine.Plan, terms []uint64, indexed bool, tr *tra
 }
 
 // runSelect is runFind's node-selection counterpart.
-func (s *Store) runSelect(p *engine.Plan, tr *trace.Trace) ([]Selection, QueryPlan, execInfo, error) {
+func (s *Store) runSelect(ctx context.Context, p *engine.Plan, tr *trace.Trace) ([]Selection, QueryPlan, execInfo, error) {
 	if verdict, ok := s.semanticEmpty(p); ok {
 		return nil, s.semanticPlan(verdict, tr), execInfo{}, nil
 	}
@@ -452,7 +485,7 @@ func (s *Store) runSelect(p *engine.Plan, tr *trace.Trace) ([]Selection, QueryPl
 	plan := s.planFacts(p.SelectFacts(), s.prunedFor(p))
 	annotatePlanSpan(tr, sp, &plan)
 	tr.End(sp)
-	sels, info, err := s.selectFanout(p, plan.probeTerms, plan.Access == AccessIndex, tr)
+	sels, info, err := s.selectFanout(ctx, p, plan.probeTerms, plan.Access == AccessIndex, tr)
 	return sels, plan, info, err
 }
 
@@ -465,13 +498,17 @@ func (s *Store) runSelect(p *engine.Plan, tr *trace.Trace) ([]Selection, QueryPl
 // other plans scan. The returned indexed flag reports the chosen
 // access path.
 func (s *Store) Select(p *engine.Plan) (sels []Selection, indexed bool, err error) {
-	return s.SelectTraced(p, nil)
+	return s.SelectTraced(nil, p, nil)
 }
 
-// SelectTraced is Select recording the pipeline's spans on tr; nil tr
-// is the untraced fast path.
-func (s *Store) SelectTraced(p *engine.Plan, tr *trace.Trace) (sels []Selection, indexed bool, err error) {
-	sels, plan, info, err := s.runSelect(p, tr)
+// SelectTraced is Select recording the pipeline's spans on tr and
+// honouring ctx; nil tr is the untraced fast path, nil ctx disables
+// cancellation (see FindTraced).
+func (s *Store) SelectTraced(ctx context.Context, p *engine.Plan, tr *trace.Trace) (sels []Selection, indexed bool, err error) {
+	sels, plan, info, err := s.runSelect(ctx, p, tr)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		s.cancellations.Add(1)
+	}
 	if plan.Access == AccessSemantic {
 		s.semShortCircuits.Add(1)
 		return sels, false, err
@@ -491,7 +528,7 @@ func (s *Store) SelectTraced(p *engine.Plan, tr *trace.Trace) (sels []Selection,
 // SelectScan is Select with the planner and index disabled.
 func (s *Store) SelectScan(p *engine.Plan) ([]Selection, error) {
 	s.selectScan.Add(1)
-	sels, info, err := s.selectFanout(p, nil, false, nil)
+	sels, info, err := s.selectFanout(nil, p, nil, false, nil)
 	s.noteFanout(info.workers, info.steps)
 	s.noteCandidates(true, false, info.candidates)
 	return sels, err
@@ -500,13 +537,13 @@ func (s *Store) SelectScan(p *engine.Plan) ([]Selection, error) {
 // selectFanout is findFanout's node-selection counterpart. Each worker
 // evaluates through a reused node buffer (engine.EvalAppend), copying
 // only the per-document selections that are actually returned.
-func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool, tr *trace.Trace) ([]Selection, execInfo, error) {
+func (s *Store) selectFanout(ctx context.Context, p *engine.Plan, terms []uint64, indexed bool, tr *trace.Trace) ([]Selection, execInfo, error) {
 	if pairs, info, ok, err := s.lowShardBatch(terms, indexed, tr); ok {
 		if err != nil {
 			return nil, info, err
 		}
 		sp := tr.Start(tr.Root(), "eval")
-		selections, err := s.eng.EvalBatchBounded(p, candidateTrees(pairs), info.workers)
+		selections, err := s.eng.EvalBatchBoundedCtx(ctx, p, candidateTrees(pairs), info.workers)
 		if err != nil {
 			return nil, info, err
 		}
@@ -529,7 +566,7 @@ func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool, tr *t
 	}
 	perShard := make([][]Selection, len(s.shards))
 	var candidates, steps atomic.Int64
-	workers, err := s.fanOut(func(i int) error {
+	workers, err := s.fanOut(ctx, func(i int) error {
 		pairs, st, cerr := s.shards[i].collectCandidates(terms, indexed, nil, tr, i)
 		if cerr != nil {
 			return cerr
@@ -545,9 +582,14 @@ func (s *Store) selectFanout(p *engine.Plan, terms []uint64, indexed bool, tr *t
 			sels []Selection
 			buf  []jsontree.NodeID
 		)
-		for _, pair := range pairs {
+		for di, pair := range pairs {
+			if ctx != nil && di&(batchCancelDocs-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			var verr error
-			buf, verr = s.eng.EvalAppend(p, pair.tree, buf[:0])
+			buf, verr = s.eng.EvalAppendCtx(ctx, p, pair.tree, buf[:0])
 			if verr != nil {
 				return verr
 			}
@@ -696,7 +738,7 @@ type Explanation struct {
 // the recorded per-stage span tree. It runs the real fan-out pipeline
 // (runFind/runSelect — exactly what Find and Select execute) but does
 // not disturb the store's query counters.
-func (s *Store) Explain(p *engine.Plan, mode string) (Explanation, error) {
+func (s *Store) Explain(ctx context.Context, p *engine.Plan, mode string) (Explanation, error) {
 	switch mode {
 	case "", "find":
 		mode = "find"
@@ -712,13 +754,13 @@ func (s *Store) Explain(p *engine.Plan, mode string) (Explanation, error) {
 		results int
 	)
 	if mode == "find" {
-		ids, pl, inf, err := s.runFind(p, tr)
+		ids, pl, inf, err := s.runFind(ctx, p, tr)
 		if err != nil {
 			return Explanation{}, err
 		}
 		plan, info, results = pl, inf, len(ids)
 	} else {
-		sels, pl, inf, err := s.runSelect(p, tr)
+		sels, pl, inf, err := s.runSelect(ctx, p, tr)
 		if err != nil {
 			return Explanation{}, err
 		}

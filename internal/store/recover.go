@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -62,9 +63,11 @@ const manifestVersion = 1
 // the snapshotter/flusher state. Nil on in-memory stores.
 type durability struct {
 	dir           string
+	fs            VFS
 	policy        FsyncPolicy
 	interval      time.Duration
 	snapshotEvery int
+	retryBase     time.Duration // initial heal/snapshot-retry backoff
 
 	wals     []*shardWAL
 	recovery RecoveryStats
@@ -74,6 +77,12 @@ type durability struct {
 	snapshots      atomic.Uint64
 	snapshotErrors atomic.Uint64
 	compactions    atomic.Uint64 // segment builds (merge + swap) completed
+
+	// Degraded-mode telemetry: heal attempts on degraded shards and
+	// heals that completed (fresh WAL generation + reconciling
+	// segment, writes re-enabled).
+	walRetries atomic.Uint64
+	walHeals   atomic.Uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -134,7 +143,8 @@ func Open(opts Options) (*Store, error) {
 		return nil, errors.New("store: Open requires Options.DataDir; use New for an in-memory store")
 	}
 	opts = normalizeOptions(opts)
-	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+	fs := opts.VFS
+	if err := fs.MkdirAll(opts.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
 	// One owner per data directory: concurrent processes would
@@ -154,15 +164,15 @@ func Open(opts Options) (*Store, error) {
 	// Sweep manifest temp files orphaned by a crash inside
 	// writeFileAtomic (the shard-directory sweep below only covers
 	// snap-*.tmp leftovers).
-	if ents, err := os.ReadDir(opts.DataDir); err == nil {
+	if ents, err := fs.ReadDir(opts.DataDir); err == nil {
 		for _, e := range ents {
 			if !e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") {
-				os.Remove(filepath.Join(opts.DataDir, e.Name()))
+				fs.Remove(filepath.Join(opts.DataDir, e.Name()))
 			}
 		}
 	}
 	mPath := filepath.Join(opts.DataDir, "MANIFEST.json")
-	if raw, err := os.ReadFile(mPath); err == nil {
+	if raw, err := fs.ReadFile(mPath); err == nil {
 		var m manifest
 		if err := json.Unmarshal(raw, &m); err != nil {
 			return nil, fmt.Errorf("store: open: %s: %w", mPath, err)
@@ -186,13 +196,13 @@ func Open(opts Options) (*Store, error) {
 			// was ever configurable) and pin it from now on.
 			m.MaxDepth = opts.MaxIndexDepth
 			raw, _ := json.Marshal(m)
-			if err := writeFileAtomic(mPath, append(raw, '\n')); err != nil {
+			if err := writeFileAtomic(fs, mPath, append(raw, '\n')); err != nil {
 				return nil, fmt.Errorf("store: open: write manifest: %w", err)
 			}
 		}
 	} else if os.IsNotExist(err) {
 		raw, _ := json.Marshal(manifest{Version: manifestVersion, Shards: opts.Shards, MaxDepth: opts.MaxIndexDepth})
-		if err := writeFileAtomic(mPath, append(raw, '\n')); err != nil {
+		if err := writeFileAtomic(fs, mPath, append(raw, '\n')); err != nil {
 			return nil, fmt.Errorf("store: open: write manifest: %w", err)
 		}
 	} else {
@@ -202,9 +212,11 @@ func Open(opts Options) (*Store, error) {
 	s := newStore(opts)
 	d := &durability{
 		dir:           opts.DataDir,
+		fs:            fs,
 		policy:        opts.Fsync,
 		interval:      opts.FsyncInterval,
 		snapshotEvery: opts.SnapshotEvery,
+		retryBase:     opts.DegradedRetry,
 		wals:          make([]*shardWAL, len(s.shards)),
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
@@ -263,7 +275,7 @@ func Open(opts Options) (*Store, error) {
 
 	// Make the shard-directory entries themselves durable (the files
 	// inside were synced as they were created).
-	if err := syncDir(opts.DataDir); err != nil {
+	if err := fs.SyncDir(opts.DataDir); err != nil {
 		for _, w := range d.wals {
 			w.close()
 		}
@@ -280,11 +292,11 @@ func Open(opts Options) (*Store, error) {
 	d.lock = lock
 	locked = false // ownership passes to the store; released in Close
 
-	if d.policy == FsyncInterval || d.policy == FsyncOff || d.snapshotEvery > 0 {
-		go d.maintain(s)
-	} else {
-		close(d.done)
-	}
+	// maintain always runs on a durable store: even under FsyncAlways
+	// with automatic snapshots disabled it owns the degraded-shard
+	// heal probe, without which a transient disk fault would leave the
+	// store read-only forever.
+	go d.maintain(s)
 	return s, nil
 }
 
@@ -321,10 +333,10 @@ func noteAutoID(id string, maxSeq *uint64) {
 func (s *Store) recoverShard(i int, rs *RecoveryStats, maxSeq *uint64) error {
 	d := s.dur
 	dir := d.shardDir(i)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := d.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: recover shard %d: %w", i, err)
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := d.fs.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("store: recover shard %d: %w", i, err)
 	}
@@ -345,7 +357,7 @@ func (s *Store) recoverShard(i int, rs *RecoveryStats, maxSeq *uint64) error {
 		if filepath.Ext(name) == ".tmp" {
 			// A segment or snapshot build that never reached its rename;
 			// the WAL covering it is still intact.
-			os.Remove(filepath.Join(dir, name))
+			d.fs.Remove(filepath.Join(dir, name))
 			rs.StaleTempFiles++
 		}
 	}
@@ -367,7 +379,7 @@ func (s *Store) recoverShard(i int, rs *RecoveryStats, maxSeq *uint64) error {
 	baseGen := uint64(0)
 	for _, c := range bases {
 		if c.kind == "seg" {
-			sr, err := openSegment(segFilePath(dir, c.gen), c.gen, s.opts.SegmentNoMmap)
+			sr, err := openSegment(d.fs, segFilePath(dir, c.gen), c.gen, s.opts.SegmentNoMmap)
 			if err != nil {
 				rs.InvalidSegments++
 				continue
@@ -383,7 +395,7 @@ func (s *Store) recoverShard(i int, rs *RecoveryStats, maxSeq *uint64) error {
 			rs.SegmentDocs += sr.n
 			break
 		}
-		docs, snapSeq, err := loadSnapshot(snapFilePath(dir, c.gen))
+		docs, snapSeq, err := loadSnapshot(d.fs, snapFilePath(dir, c.gen))
 		if err != nil {
 			rs.InvalidSnapshots++
 			continue
@@ -447,7 +459,7 @@ func (s *Store) recoverShard(i int, rs *RecoveryStats, maxSeq *uint64) error {
 		activeSegRecords = uint64(records)
 	}
 
-	w, err := openShardWAL(i, dir, activeGen, d.policy, activeSegRecords)
+	w, err := openShardWAL(d.fs, i, dir, activeGen, d.policy, activeSegRecords)
 	if err != nil {
 		return err
 	}
@@ -492,7 +504,8 @@ func parseGenName(name string) (gen uint64, kind string) {
 // attempt to refuse too. records is the count applied, cut the bytes
 // past the last whole record.
 func (s *Store) replayWAL(path string, last bool, maxSeq *uint64) (records int, torn bool, cut int64, err error) {
-	f, err := os.Open(path)
+	fs := s.dur.fs
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, false, 0, err
 	}
@@ -509,7 +522,7 @@ func (s *Store) replayWAL(path string, last bool, maxSeq *uint64) (records int, 
 		if !last {
 			return nil // leave the evidence; the caller refuses recovery
 		}
-		if err := os.Truncate(path, off); err != nil {
+		if err := fs.Truncate(path, off); err != nil {
 			return fmt.Errorf("%s: truncate torn tail: %w", path, err)
 		}
 		return nil
@@ -563,8 +576,11 @@ func (s *Store) replayWAL(path string, last bool, maxSeq *uint64) (records int, 
 
 // maintain is the background loop of a durable store: the periodic
 // flush that implements FsyncInterval (and bounds the buffered tail
-// under FsyncOff), and the snapshot trigger that rolls a shard's WAL
-// into a snapshot once it accumulates SnapshotEvery records.
+// under FsyncOff), the snapshot trigger that rolls a shard's WAL into
+// a segment once it accumulates SnapshotEvery records (failures are
+// logged and retried with per-shard exponential backoff, never
+// dropped), and the heal probe that retries degraded shards until the
+// disk recovers.
 func (d *durability) maintain(s *Store) {
 	defer close(d.done)
 	// Under FsyncAlways every commit already syncs; don't wake 10×/s
@@ -577,6 +593,15 @@ func (d *durability) maintain(s *Store) {
 	}
 	snap := time.NewTicker(snapshotPoll)
 	defer snap.Stop()
+	probe := time.NewTicker(degradedPoll)
+	defer probe.Stop()
+	// Per-shard retry state, owned by this goroutine: when the next
+	// attempt may run and the current backoff. The ticker fires often;
+	// these gates are what implement "exponential backoff".
+	healAt := make([]time.Time, len(d.wals))
+	healBackoff := make([]time.Duration, len(d.wals))
+	snapAt := make([]time.Time, len(d.wals))
+	snapBackoff := make([]time.Duration, len(d.wals))
 	for {
 		select {
 		case <-d.stop:
@@ -596,20 +621,97 @@ func (d *durability) maintain(s *Store) {
 			if d.snapshotEvery <= 0 {
 				continue
 			}
+			now := time.Now()
 			d.snapMu.Lock()
 			for i, w := range d.wals {
+				// A degraded shard is healShard's problem (its heal ends
+				// in exactly this snapshot); a failed shard that is not
+				// yet degraded cannot rotate anyway.
+				if w.degraded.Load() || now.Before(snapAt[i]) {
+					continue
+				}
 				if w.segmentRecords() >= uint64(d.snapshotEvery) {
-					s.snapshotShard(i) // errors counted in snapshotErrors
+					if err := s.snapshotShard(i); err != nil {
+						snapBackoff[i] = nextBackoff(snapBackoff[i], d.retryBase)
+						snapAt[i] = now.Add(snapBackoff[i])
+						slog.Warn("store: background snapshot failed; retrying",
+							"shard", i, "backoff", snapBackoff[i], "err", err)
+					} else {
+						snapBackoff[i] = 0
+					}
 				}
 			}
 			d.snapMu.Unlock()
+		case <-probe.C:
+			now := time.Now()
+			for i, w := range d.wals {
+				if !w.degraded.Load() || now.Before(healAt[i]) {
+					continue
+				}
+				d.walRetries.Add(1)
+				if err := s.healShard(i); err != nil {
+					healBackoff[i] = nextBackoff(healBackoff[i], d.retryBase)
+					healAt[i] = now.Add(healBackoff[i])
+					slog.Warn("store: degraded shard heal failed; backing off",
+						"shard", i, "backoff", healBackoff[i], "err", err)
+				} else {
+					healBackoff[i] = 0
+					d.walHeals.Add(1)
+					slog.Info("store: shard healed; writes re-enabled", "shard", i)
+				}
+			}
 		}
 	}
+}
+
+// healShard brings a degraded shard back to writable: reset abandons
+// the failed WAL generation and opens a fresh one, and a snapshot
+// folds the shard's full in-memory state into a new segment — records
+// the broken WAL dropped from its buffer were never acknowledged, but
+// they were applied in memory, and the segment re-captures them so
+// disk and memory reconverge. Only after both steps does the shard
+// accept writes again. Each step is idempotent: if reset succeeds and
+// the snapshot fails, the next probe finds a healthy WAL (reset
+// no-ops) and retries just the snapshot.
+func (s *Store) healShard(i int) error {
+	d := s.dur
+	w := d.wals[i]
+	if err := w.reset(); err != nil {
+		return err
+	}
+	d.snapMu.Lock()
+	err := s.snapshotShard(i)
+	d.snapMu.Unlock()
+	if err != nil {
+		return err
+	}
+	w.degraded.Store(false)
+	return nil
+}
+
+// nextBackoff doubles cur within [base, maxRetryBackoff].
+func nextBackoff(cur, base time.Duration) time.Duration {
+	if cur <= 0 {
+		return base
+	}
+	if cur *= 2; cur > maxRetryBackoff {
+		cur = maxRetryBackoff
+	}
+	return cur
 }
 
 // snapshotPoll is how often the background snapshotter checks segment
 // sizes against Options.SnapshotEvery.
 const snapshotPoll = 500 * time.Millisecond
+
+// degradedPoll is how often the heal probe scans for degraded shards.
+// The scan is a per-shard atomic load when healthy, so it can afford
+// to be frequent; actual heal attempts are paced by the exponential
+// backoff (Options.DegradedRetry up to maxRetryBackoff).
+const degradedPoll = 50 * time.Millisecond
+
+// maxRetryBackoff caps the heal and snapshot-retry backoff.
+const maxRetryBackoff = 30 * time.Second
 
 // Close flushes and fsyncs every shard's WAL (whatever the fsync
 // policy — a clean shutdown loses nothing), stops the background
@@ -664,9 +766,9 @@ func (s *Store) crashForTest() {
 
 // writeFileAtomic writes data via a temp file and rename, fsyncing
 // both the file and its directory.
-func writeFileAtomic(path string, data []byte) error {
+func writeFileAtomic(fs VFS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := fs.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
@@ -680,12 +782,12 @@ func writeFileAtomic(path string, data []byte) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(name)
+		fs.Remove(name)
 		return err
 	}
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
+	if err := fs.Rename(name, path); err != nil {
+		fs.Remove(name)
 		return err
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }

@@ -58,7 +58,7 @@ func seedRecoverDir(b *testing.B, opts Options, n int, layout string) {
 				b.Fatal(err)
 			}
 			sd := s.dur.shardDir(i)
-			if err := writeSnapshot(sd, 1, docs, s.seq.Load()); err != nil {
+			if err := writeSnapshot(osFS{}, sd, 1, docs, s.seq.Load()); err != nil {
 				b.Fatal(err)
 			}
 			if err := os.Remove(segFilePath(sd, 1)); err != nil {

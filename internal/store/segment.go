@@ -99,8 +99,8 @@ type segmentReader struct {
 // footer, whole-file CRC, section bounds and index monotonicity. Any
 // defect fails the open with nothing trusted — recovery treats it
 // like an invalid snapshot and falls back.
-func openSegment(path string, gen uint64, noMmap bool) (*segmentReader, error) {
-	f, err := os.Open(path)
+func openSegment(fs VFS, path string, gen uint64, noMmap bool) (*segmentReader, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +135,7 @@ func openSegment(path string, gen uint64, noMmap bool) (*segmentReader, error) {
 // readSegmentIntoHeap is the forced fallback shared by every
 // platform: -segment-no-mmap and the differential tests use it on
 // unix, and the !unix mapFile builds on the same idea.
-func readSegmentIntoHeap(f *os.File, size int64) ([]byte, error) {
+func readSegmentIntoHeap(f File, size int64) ([]byte, error) {
 	data := make([]byte, size)
 	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
 		return nil, err
@@ -555,14 +555,15 @@ func (s *Store) buildSegment(dir string, gen uint64, b *segBuild, seq uint64) er
 	}
 
 	blockSize := s.opts.SegmentBlockSize
+	fs := s.dur.fs
 	tmp := segTempPath(dir, gen)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	fail := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	cw := &crcWriter{w: bufio.NewWriterSize(f, 1<<20)}
@@ -731,15 +732,15 @@ func (s *Store) buildSegment(dir string, gen uint64, b *segBuild, seq uint64) er
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, segFilePath(dir, gen)); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, segFilePath(dir, gen)); err != nil {
+		fs.Remove(tmp)
 		return err
 	}
 	b.entries = n
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }
 
 // oldSegTerms is the previous segment's term count (0 when none).

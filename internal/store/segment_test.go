@@ -182,7 +182,7 @@ func TestSegmentLegacySnapshotCompat(t *testing.T) {
 
 	// Rewrite generation 1 in the legacy layout and drop the segment:
 	// exactly what a directory written by an older build looks like.
-	if err := writeSnapshot(sd, 1, base, 0); err != nil {
+	if err := writeSnapshot(osFS{}, sd, 1, base, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Remove(segFilePath(sd, 1)); err != nil {

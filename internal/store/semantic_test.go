@@ -109,7 +109,7 @@ func TestUnsatShortCircuitTraceAndExplain(t *testing.T) {
 	}
 
 	tr := trace.NewTrace("test")
-	if _, _, err := s.FindTraced(p, tr); err != nil {
+	if _, _, err := s.FindTraced(nil, p, tr); err != nil {
 		t.Fatal(err)
 	}
 	var verdict any
@@ -127,7 +127,7 @@ func TestUnsatShortCircuitTraceAndExplain(t *testing.T) {
 		t.Fatalf("semantic span verdict = %v, want \"unsat\"", verdict)
 	}
 
-	ex, err := s.Explain(p, "find")
+	ex, err := s.Explain(nil, p, "find")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestSchemaTermPruning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := s.Explain(p, "find")
+	ex, err := s.Explain(nil, p, "find")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestSchemaTermPruning(t *testing.T) {
 	if err := lawless.Put("x", `{"k0": 1, "k1": 1}`); err != nil {
 		t.Fatal(err)
 	}
-	ex, err = lawless.Explain(p, "find")
+	ex, err = lawless.Explain(nil, p, "find")
 	if err != nil {
 		t.Fatal(err)
 	}

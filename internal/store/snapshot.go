@@ -101,7 +101,7 @@ func (s *Store) snapshotShard(i int) error {
 		d.snapshotErrors.Add(1)
 		return fmt.Errorf("store: snapshot shard %d: %w", i, err)
 	}
-	sr, err := openSegment(segFilePath(dir, gen), gen, s.opts.SegmentNoMmap)
+	sr, err := openSegment(d.fs, segFilePath(dir, gen), gen, s.opts.SegmentNoMmap)
 	if err != nil {
 		d.snapshotErrors.Add(1)
 		return fmt.Errorf("store: snapshot shard %d: %w", i, err)
@@ -154,16 +154,16 @@ func (s *Store) snapshotShard(i int) error {
 
 	d.snapshots.Add(1)
 	d.compactions.Add(1)
-	removeObsolete(dir, gen)
+	removeObsolete(d.fs, dir, gen)
 	return nil
 }
 
 // writeSnapshot writes docs as snap-<gen> in dir: temp file, fsync,
 // rename, fsync the directory. The footer carries the record count
 // (validation) and the bulk auto-ID sequence at snapshot time.
-func writeSnapshot(dir string, gen uint64, docs map[string]*jsontree.Tree, seq uint64) error {
+func writeSnapshot(fs VFS, dir string, gen uint64, docs map[string]*jsontree.Tree, seq uint64) error {
 	tmp := snapTempPath(dir, gen)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -174,7 +174,7 @@ func writeSnapshot(dir string, gen uint64, docs map[string]*jsontree.Tree, seq u
 		buf = encodeRecord(buf[:0], walRecord{op: opPut, id: id, doc: t.String()})
 		if _, err := bw.Write(buf); err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fs.Remove(tmp)
 			return err
 		}
 	}
@@ -186,23 +186,23 @@ func writeSnapshot(dir string, gen uint64, docs map[string]*jsontree.Tree, seq u
 	}
 	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, snapFilePath(dir, gen)); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, snapFilePath(dir, gen)); err != nil {
+		fs.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }
 
 // loadSnapshot reads and fully validates snap file at path, returning
@@ -211,8 +211,8 @@ func writeSnapshot(dir string, gen uint64, docs map[string]*jsontree.Tree, seq u
 // defect invalidates the whole snapshot (nil map, error) so recovery
 // can fall back to an older generation — nothing is applied from a
 // partially valid file.
-func loadSnapshot(path string) (map[string]*jsontree.Tree, uint64, error) {
-	f, err := os.Open(path)
+func loadSnapshot(fs VFS, path string) (map[string]*jsontree.Tree, uint64, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -260,8 +260,8 @@ func loadSnapshot(path string) (map[string]*jsontree.Tree, uint64, error) {
 // removeObsolete deletes snapshots and WAL segments of generations
 // before keep. Best-effort: a leftover file is re-deleted by the next
 // snapshot and skipped by recovery.
-func removeObsolete(dir string, keep uint64) {
-	entries, err := os.ReadDir(dir)
+func removeObsolete(fs VFS, dir string, keep uint64) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
@@ -270,7 +270,7 @@ func removeObsolete(dir string, keep uint64) {
 		// parseGenName matches prefix and suffix exactly, so only the
 		// files this package owns are ever deleted.
 		if gen, kind := parseGenName(name); kind != "" && gen < keep {
-			os.Remove(filepath.Join(dir, name))
+			fs.Remove(filepath.Join(dir, name))
 		}
 	}
 }

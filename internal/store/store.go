@@ -66,6 +66,16 @@ type Options struct {
 	// without mmap always use it). Correctness is identical; the
 	// kernel just stops managing residency.
 	SegmentNoMmap bool
+	// VFS is the filesystem the durable layers (WAL, snapshots,
+	// segments, recovery) perform their file operations through. Nil
+	// selects the real OS filesystem; the chaos tests inject a
+	// FaultFS here. The LOCK file and mmap bypass the seam (see
+	// vfs.go).
+	VFS VFS
+	// DegradedRetry is the initial backoff between heal attempts on a
+	// degraded shard, and between retries of a failed background
+	// snapshot; it doubles per failure up to 30s (default 500ms).
+	DegradedRetry time.Duration
 }
 
 const (
@@ -73,6 +83,7 @@ const (
 	defaultMaxIndexDepth = 16
 	defaultFsyncInterval = 100 * time.Millisecond
 	defaultSnapshotEvery = 10000
+	defaultDegradedRetry = 500 * time.Millisecond
 )
 
 // Store is a sharded, goroutine-safe document collection with an
@@ -114,6 +125,10 @@ type Store struct {
 	semShortCircuits atomic.Uint64
 	termsPruned      atomic.Uint64
 	schemaRejects    atomic.Uint64
+
+	// cancellations counts queries that ended early because their
+	// context was cancelled or its deadline expired.
+	cancellations atomic.Uint64
 }
 
 // shard owns a partition of the documents: a mutable memtable (the
@@ -250,6 +265,12 @@ func normalizeOptions(opts Options) Options {
 	if opts.SegmentBlockSize > maxSegmentBlockSize {
 		opts.SegmentBlockSize = maxSegmentBlockSize
 	}
+	if opts.VFS == nil {
+		opts.VFS = osFS{}
+	}
+	if opts.DegradedRetry <= 0 {
+		opts.DegradedRetry = defaultDegradedRetry
+	}
 	return opts
 }
 
@@ -320,6 +341,26 @@ func (sh *shard) put(id string, t *jsontree.Tree) {
 // document ID; match with errors.Is.
 var ErrSchema = errors.New("document does not conform to the configured schema")
 
+// ErrDegraded refuses a write to a shard in degraded read-only mode:
+// its write-ahead log hit an I/O failure (disk full, device error)
+// and until the background probe heals it — fresh WAL generation plus
+// a segment re-capturing the shard's state — accepting writes would
+// let memory and disk diverge. Reads keep serving throughout. The
+// daemon maps it to 503 with Retry-After, distinct from ErrWAL's 500:
+// a degraded shard is a known, recovering condition, not a fresh
+// fault. Match with errors.Is.
+var ErrDegraded = errors.New("shard degraded (write-ahead log failure): read-only until the log heals")
+
+// degradedErr gates a write on w's degraded flag, returning the
+// 503-mapped refusal when the shard is read-only. Checked before the
+// shard lock: degraded writes shed without contending with readers.
+func degradedErr(w *shardWAL, what string) error {
+	if w != nil && w.degraded.Load() {
+		return fmt.Errorf("store: %s: shard %d: %w", what, w.shard, ErrDegraded)
+	}
+	return nil
+}
+
 // validateSchema enforces the configured schema on a write, counting
 // and refusing nonconforming documents; what describes the write for
 // the error message (`put "id"`, `bulk line 3`). A nil Options.Schema
@@ -370,6 +411,9 @@ func (s *Store) PutTree(id string, t *jsontree.Tree) error {
 	)
 	if s.dur != nil {
 		w = s.dur.wals[s.shardIndex(id)]
+		if err := degradedErr(w, fmt.Sprintf("put %q", id)); err != nil {
+			return err
+		}
 		// Render outside the lock; trees are immutable.
 		rec = walRecord{op: opPut, id: id, doc: t.String()}
 	}
@@ -403,6 +447,9 @@ func (s *Store) putTreeIfAbsent(id string, t *jsontree.Tree) (bool, error) {
 	)
 	if s.dur != nil {
 		w = s.dur.wals[s.shardIndex(id)]
+		if err := degradedErr(w, fmt.Sprintf("bulk put %q", id)); err != nil {
+			return false, err
+		}
 		// Render outside the lock (as PutTree does); on the rare
 		// ID-collision retry the render is wasted, which is cheaper
 		// than serializing it against the shard's readers.
@@ -449,6 +496,9 @@ func (s *Store) Delete(id string) (bool, error) {
 	)
 	if s.dur != nil {
 		w = s.dur.wals[s.shardIndex(id)]
+		if err := degradedErr(w, fmt.Sprintf("delete %q", id)); err != nil {
+			return false, err
+		}
 	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
@@ -537,6 +587,9 @@ type QueryStats struct {
 	// enforcement.
 	TermsPruned   uint64 `json:"terms_pruned"`
 	SchemaRejects uint64 `json:"schema_rejects"`
+	// Cancellations counts queries that ended early because their
+	// context was cancelled (client gone) or its deadline expired.
+	Cancellations uint64 `json:"cancellations"`
 }
 
 // DurabilityStats aggregates the WAL and snapshot counters of a
@@ -572,6 +625,15 @@ type DurabilityStats struct {
 	// LastError is the first sticky WAL failure, if any; once set the
 	// affected shard refuses writes.
 	LastError string `json:"last_error,omitempty"`
+	// Degraded reports whether any shard is currently in degraded
+	// read-only mode (writes refused with ErrDegraded, reads serving,
+	// background heal probe retrying); DegradedShards counts them.
+	Degraded       bool `json:"degraded"`
+	DegradedShards int  `json:"degraded_shards"`
+	// WALRetries counts heal attempts on degraded shards; WALHeals
+	// counts the ones that completed and re-enabled writes.
+	WALRetries uint64 `json:"wal_retries"`
+	WALHeals   uint64 `json:"wal_heals"`
 	// Recovery reports what Open found and repaired.
 	Recovery RecoveryStats `json:"recovery"`
 }
@@ -631,6 +693,7 @@ func (s *Store) Stats() Stats {
 		SemanticShortCircuits: s.semShortCircuits.Load(),
 		TermsPruned:           s.termsPruned.Load(),
 		SchemaRejects:         s.schemaRejects.Load(),
+		Cancellations:         s.cancellations.Load(),
 	}
 	if s.dur != nil {
 		st.Durability = s.dur.stats()
@@ -649,6 +712,8 @@ func (d *durability) stats() *DurabilityStats {
 		Snapshots:      d.snapshots.Load(),
 		SnapshotErrors: d.snapshotErrors.Load(),
 		Compactions:    d.compactions.Load(),
+		WALRetries:     d.walRetries.Load(),
+		WALHeals:       d.walHeals.Load(),
 		Recovery:       d.recovery,
 	}
 	for _, w := range d.wals {
@@ -660,6 +725,10 @@ func (d *durability) stats() *DurabilityStats {
 		if err != nil && ds.LastError == "" {
 			ds.LastError = err.Error()
 		}
+		if w.degraded.Load() {
+			ds.DegradedShards++
+		}
 	}
+	ds.Degraded = ds.DegradedShards > 0
 	return ds
 }

@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // FsyncPolicy selects when the WAL is fsynced to stable storage.
@@ -182,11 +183,19 @@ var errWALClosed = errors.New("store: write-ahead log is closed")
 type shardWAL struct {
 	shard  int
 	dir    string
+	fs     VFS
 	policy FsyncPolicy
+
+	// degraded is set alongside every sticky I/O failure (never for a
+	// clean close) and cleared only by a completed heal — after reset
+	// started a fresh generation AND a snapshot re-captured the shard's
+	// memory state. Write paths gate on it lock-free; the background
+	// probe polls it.
+	degraded atomic.Bool
 
 	mu   sync.Mutex
 	cond sync.Cond // waits on mu for the in-flight group fsync
-	f    *os.File
+	f    File
 	bw   *bufio.Writer
 	gen  uint64
 	err  error // sticky: first I/O failure (or errWALClosed)
@@ -211,14 +220,15 @@ type shardWAL struct {
 // openShardWAL opens (creating if necessary) the active segment of a
 // shard's log for appending. segRecords is the number of records the
 // recovered tail of that segment already holds.
-func openShardWAL(shard int, dir string, gen uint64, policy FsyncPolicy, segRecords uint64) (*shardWAL, error) {
-	f, err := os.OpenFile(walPath(dir, gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openShardWAL(fs VFS, shard int, dir string, gen uint64, policy FsyncPolicy, segRecords uint64) (*shardWAL, error) {
+	f, err := fs.OpenFile(walPath(dir, gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: wal shard %d: %w: %w", shard, ErrWAL, err)
 	}
 	w := &shardWAL{
 		shard:      shard,
 		dir:        dir,
+		fs:         fs,
 		policy:     policy,
 		f:          f,
 		bw:         bufio.NewWriterSize(f, walBufSize),
@@ -238,12 +248,21 @@ func openShardWAL(shard int, dir string, gen uint64, policy FsyncPolicy, segReco
 		// be durable before any fsynced record is acknowledged, or a
 		// machine crash could drop the whole file.
 		w.bw.WriteString(walMagic)
-		if err := syncDir(dir); err != nil {
+		if err := fs.SyncDir(dir); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("store: wal shard %d: sync dir: %w: %w", shard, ErrWAL, err)
 		}
 	}
 	return w, nil
+}
+
+// setErr records a sticky I/O failure and flips the shard into
+// degraded read-only mode. Caller holds w.mu.
+func (w *shardWAL) setErr(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+	w.degraded.Store(true)
 }
 
 // append frames rec into the buffered writer and returns its commit
@@ -267,7 +286,7 @@ func (w *shardWAL) append(rec walRecord) (uint64, error) {
 	}
 	w.tmp = encodeRecord(w.tmp[:0], rec)
 	if _, err := w.bw.Write(w.tmp); err != nil {
-		w.err = fmt.Errorf("store: wal shard %d: append: %w: %w", w.shard, ErrWAL, err)
+		w.setErr(fmt.Errorf("store: wal shard %d: append: %w: %w", w.shard, ErrWAL, err))
 		return 0, w.err
 	}
 	w.writeSeq++
@@ -330,9 +349,7 @@ func (w *shardWAL) groupSync(seq uint64) error {
 		w.mu.Lock()
 		w.syncing = false
 		if err != nil {
-			if w.err == nil {
-				w.err = fmt.Errorf("store: wal shard %d: sync: %w: %w", w.shard, ErrWAL, err)
-			}
+			w.setErr(fmt.Errorf("store: wal shard %d: sync: %w: %w", w.shard, ErrWAL, err))
 		} else if target > w.syncSeq {
 			w.syncSeq = target
 			w.syncs++
@@ -356,7 +373,7 @@ func (w *shardWAL) flushOnly() error {
 		return w.err
 	}
 	if err := w.bw.Flush(); err != nil {
-		w.err = fmt.Errorf("store: wal shard %d: flush: %w: %w", w.shard, ErrWAL, err)
+		w.setErr(fmt.Errorf("store: wal shard %d: flush: %w: %w", w.shard, ErrWAL, err))
 	}
 	return w.err
 }
@@ -376,7 +393,7 @@ func (w *shardWAL) rotate() (uint64, error) {
 		return 0, w.err
 	}
 	fail := func(stage string, err error) (uint64, error) {
-		w.err = fmt.Errorf("store: wal shard %d: rotate: %s: %w: %w", w.shard, stage, ErrWAL, err)
+		w.setErr(fmt.Errorf("store: wal shard %d: rotate: %s: %w: %w", w.shard, stage, ErrWAL, err))
 		return 0, w.err
 	}
 	if err := w.bw.Flush(); err != nil {
@@ -390,7 +407,7 @@ func (w *shardWAL) rotate() (uint64, error) {
 	}
 	w.syncSeq = w.writeSeq
 	w.gen++
-	f, err := os.OpenFile(walPath(w.dir, w.gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(walPath(w.dir, w.gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fail("create", err)
 	}
@@ -400,7 +417,7 @@ func (w *shardWAL) rotate() (uint64, error) {
 	w.segRecords = 0
 	// Make the new segment's directory entry durable before records
 	// appended to it are acknowledged.
-	if err := syncDir(w.dir); err != nil {
+	if err := w.fs.SyncDir(w.dir); err != nil {
 		return fail("sync dir", err)
 	}
 	return w.gen, nil
@@ -444,6 +461,107 @@ func (w *shardWAL) close() error {
 		}
 	}
 	return first
+}
+
+// reset abandons a failed WAL generation and starts a fresh one on a
+// (possibly) recovered disk: the heal path's first half. It is a
+// no-op when the WAL is healthy and an error on a closed WAL. On
+// success w.err is clear and appends work again — but w.degraded
+// stays set; the caller (healShard) clears it only after a snapshot
+// has re-captured the shard's memory state, because records that were
+// buffered when the disk failed never reached the file and only a
+// fresh segment makes disk and memory converge again. Nothing acked
+// is at risk either way: an ack requires the flush+fsync that failed.
+func (w *shardWAL) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncing {
+		w.cond.Wait()
+	}
+	if w.err == nil {
+		return nil // healthy (or a previous reset already succeeded)
+	}
+	if errors.Is(w.err, errWALClosed) {
+		return w.err
+	}
+	if w.f != nil {
+		// Abandon the broken descriptor; its buffered tail was never
+		// acknowledged, so dropping it loses nothing promised.
+		w.f.Close()
+		w.f = nil
+	}
+	// The abandoned generation may end mid-frame (a short write, or a
+	// flush that died partway through the buffer). Recovery truncates
+	// torn tails only off the *last* generation and refuses a torn
+	// non-last file, so cut this one back to its last whole frame now,
+	// before a successor generation exists.
+	if err := truncateTornTail(w.fs, walPath(w.dir, w.gen)); err != nil {
+		return fmt.Errorf("store: wal shard %d: reset: %w: %w", w.shard, ErrWAL, err)
+	}
+	gen := w.gen + 1
+	// O_TRUNC, not O_EXCL: a previous reset attempt may have created
+	// the file and then failed before clearing w.err; nothing in it
+	// was ever acknowledged.
+	f, err := w.fs.OpenFile(walPath(w.dir, gen), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: wal shard %d: reset: create: %w: %w", w.shard, ErrWAL, err)
+	}
+	bw := bufio.NewWriterSize(f, walBufSize)
+	bw.WriteString(walMagic)
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("store: wal shard %d: reset: sync dir: %w: %w", w.shard, ErrWAL, err)
+	}
+	w.f = f
+	w.bw = bw
+	w.gen = gen
+	w.segRecords = 0
+	// Nothing is pending in the new generation; commits blocked on the
+	// failure have already returned their errors.
+	w.syncSeq = w.writeSeq
+	w.err = nil
+	return nil
+}
+
+// truncateTornTail scans the frames of the WAL at path and truncates
+// everything past the last whole, CRC-valid record — the repair
+// replayWAL performs on the active generation at recovery, applied
+// eagerly when a failed generation is about to stop being the last.
+func truncateTornTail(fs VFS, path string) error {
+	f, err := fs.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	size := st.Size()
+	br := bufio.NewReaderSize(f, walBufSize)
+	magic := make([]byte, len(walMagic))
+	good := int64(0)
+	if n, rerr := io.ReadFull(br, magic); rerr == nil && string(magic) == walMagic {
+		good = int64(len(walMagic))
+		for {
+			_, n, rerr := readRecord(br)
+			if rerr != nil {
+				break
+			}
+			good += n
+		}
+	} else if n == 0 && rerr == io.EOF {
+		f.Close()
+		return nil // empty file: created but never flushed
+	}
+	f.Close()
+	if good == size {
+		return nil
+	}
+	return fs.Truncate(path, good)
 }
 
 // crashForTest abandons the WAL the way a killed process would: the
